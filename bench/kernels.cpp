@@ -1,0 +1,180 @@
+// Microbenchmarks of the PLF inner loops (google-benchmark): newview and
+// branch evaluation across state counts, child kinds and Γ settings. These
+// support the experiment harnesses by quantifying the pure compute cost per
+// ancestral-vector element, independent of storage.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "likelihood/kernels.hpp"
+#include "model/eigen.hpp"
+#include "model/gamma.hpp"
+#include "model/protein_matrices.hpp"
+#include "model/transition.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+struct KernelFixture {
+  KernelDims dims;
+  std::vector<double> left;
+  std::vector<double> right;
+  std::vector<double> parent;
+  std::vector<std::int32_t> lscale;
+  std::vector<std::int32_t> rscale;
+  std::vector<std::int32_t> pscale;
+  std::vector<double> pmat_left;
+  std::vector<double> pmat_right;
+  std::vector<std::uint8_t> codes;
+  std::vector<double> lookup;
+  std::vector<double> freqs;
+  std::vector<double> weights;
+  EigenSystem eigen;
+
+  KernelFixture(std::size_t patterns, unsigned categories, unsigned states)
+      : dims{patterns, categories, states} {
+    const std::size_t width =
+        patterns * categories * states;
+    Rng rng(7);
+    left.resize(width);
+    right.resize(width);
+    parent.resize(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      left[i] = rng.uniform(0.01, 1.0);
+      right[i] = rng.uniform(0.01, 1.0);
+    }
+    lscale.assign(patterns, 0);
+    rscale.assign(patterns, 0);
+    pscale.assign(patterns, 0);
+    eigen = (states == 4) ? decompose(jc69())
+                          : decompose(synthetic_protein_model(3));
+    const std::vector<double> rates =
+        discrete_gamma_rates(0.6, categories);
+    category_transition_matrices(eigen, 0.13, rates, pmat_left);
+    category_transition_matrices(eigen, 0.29, rates, pmat_right);
+    codes.resize(patterns);
+    const unsigned ncodes = states == 4 ? 16 : 24;
+    for (std::size_t p = 0; p < patterns; ++p)
+      codes[p] = static_cast<std::uint8_t>(
+          states == 4 ? 1u << rng.below(4) : rng.below(20));
+    lookup.assign(static_cast<std::size_t>(ncodes) * categories * states, 0.3);
+    freqs.assign(states, 1.0 / states);
+    weights.assign(patterns, 1.0);
+  }
+
+  NewviewChild inner_left() const {
+    return {left.data(), lscale.data(), pmat_left.data(), nullptr, nullptr};
+  }
+  NewviewChild inner_right() const {
+    return {right.data(), rscale.data(), pmat_right.data(), nullptr, nullptr};
+  }
+  NewviewChild tip_child() const {
+    return {nullptr, nullptr, nullptr, codes.data(), lookup.data()};
+  }
+};
+
+void BM_NewviewInnerInner(benchmark::State& state) {
+  KernelFixture fx(static_cast<std::size_t>(state.range(0)),
+                   static_cast<unsigned>(state.range(1)),
+                   static_cast<unsigned>(state.range(2)));
+  for (auto _ : state) {
+    newview(fx.dims, fx.inner_left(), fx.inner_right(), fx.parent.data(),
+            fx.pscale.data());
+    benchmark::DoNotOptimize(fx.parent.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.dims.patterns));
+}
+BENCHMARK(BM_NewviewInnerInner)
+    ->Args({1200, 4, 4})
+    ->Args({1200, 1, 4})
+    ->Args({1200, 4, 20})
+    ->Args({10000, 4, 4});
+
+void BM_NewviewTipTip(benchmark::State& state) {
+  KernelFixture fx(static_cast<std::size_t>(state.range(0)), 4, 4);
+  for (auto _ : state) {
+    newview(fx.dims, fx.tip_child(), fx.tip_child(), fx.parent.data(),
+            fx.pscale.data());
+    benchmark::DoNotOptimize(fx.parent.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.dims.patterns));
+}
+BENCHMARK(BM_NewviewTipTip)->Arg(1200)->Arg(10000);
+
+void BM_NewviewTipInner(benchmark::State& state) {
+  KernelFixture fx(static_cast<std::size_t>(state.range(0)), 4, 4);
+  for (auto _ : state) {
+    newview(fx.dims, fx.tip_child(), fx.inner_right(), fx.parent.data(),
+            fx.pscale.data());
+    benchmark::DoNotOptimize(fx.parent.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.dims.patterns));
+}
+BENCHMARK(BM_NewviewTipInner)->Arg(1200)->Arg(10000);
+
+void BM_EvaluateBranch(benchmark::State& state) {
+  KernelFixture fx(static_cast<std::size_t>(state.range(0)),
+                   static_cast<unsigned>(state.range(1)),
+                   static_cast<unsigned>(state.range(2)));
+  EvalSide near_side{fx.left.data(), fx.lscale.data(), nullptr,
+                     nullptr,        nullptr,          nullptr, nullptr};
+  EvalSide far_side{fx.right.data(), fx.rscale.data(), nullptr,
+                    nullptr,         nullptr,          nullptr, nullptr};
+  for (auto _ : state) {
+    const BranchValue value =
+        evaluate_branch(fx.dims, fx.freqs.data(), fx.weights.data(), near_side,
+                        far_side, fx.pmat_left.data(), nullptr, nullptr,
+                        false);
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.dims.patterns));
+}
+BENCHMARK(BM_EvaluateBranch)
+    ->Args({1200, 4, 4})
+    ->Args({1200, 4, 20})
+    ->Args({10000, 4, 4});
+
+void BM_EvaluateWithDerivatives(benchmark::State& state) {
+  KernelFixture fx(static_cast<std::size_t>(state.range(0)), 4, 4);
+  std::vector<double> dmat(fx.pmat_left.size());
+  std::vector<double> d2mat(fx.pmat_left.size());
+  for (unsigned c = 0; c < 4; ++c)
+    transition_derivatives(fx.eigen, 0.13, nullptr, dmat.data() + c * 16,
+                           d2mat.data() + c * 16);
+  EvalSide near_side{fx.left.data(), fx.lscale.data(), nullptr,
+                     nullptr,        nullptr,          nullptr, nullptr};
+  EvalSide far_side{fx.right.data(), fx.rscale.data(), nullptr,
+                    nullptr,         nullptr,          nullptr, nullptr};
+  for (auto _ : state) {
+    const BranchValue value = evaluate_branch(
+        fx.dims, fx.freqs.data(), fx.weights.data(), near_side, far_side,
+        fx.pmat_left.data(), dmat.data(), d2mat.data(), true);
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.dims.patterns));
+}
+BENCHMARK(BM_EvaluateWithDerivatives)->Arg(1200);
+
+void BM_TransitionMatrix(benchmark::State& state) {
+  const EigenSystem eigen = state.range(0) == 4
+                                ? decompose(jc69())
+                                : decompose(synthetic_protein_model(3));
+  const std::vector<double> rates = discrete_gamma_rates(0.6, 4);
+  std::vector<double> pmats;
+  for (auto _ : state) {
+    category_transition_matrices(eigen, 0.2, rates, pmats);
+    benchmark::DoNotOptimize(pmats.data());
+  }
+}
+BENCHMARK(BM_TransitionMatrix)->Arg(4)->Arg(20);
+
+}  // namespace
+}  // namespace plfoc
+
+BENCHMARK_MAIN();

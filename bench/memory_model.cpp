@@ -1,0 +1,62 @@
+// Section 3.1 reproduction: the memory-requirement arithmetic of the PLF,
+// printed as a table, plus a cross-check of the formulas against the actual
+// allocation the library performs for a small live engine.
+#include <cstdio>
+
+#include "likelihood/engine.hpp"
+#include "likelihood/memory_model.hpp"
+#include "ooc/inram_store.hpp"
+#include "sim/dataset_planner.hpp"
+
+using namespace plfoc;
+
+namespace {
+
+void print_row(const char* label, const MemoryModel& m) {
+  std::printf("%-28s %8zu %9zu %6u %5u %14.3f %16.3f\n", label, m.num_taxa,
+              m.num_sites, m.states, m.categories,
+              static_cast<double>(m.vector_bytes()) / 1048576.0,
+              static_cast<double>(m.ancestral_bytes()) / 1073741824.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Section 3.1: ancestral probability vector memory = "
+              "(n-2) * 8 * states * categories * s bytes\n");
+  std::printf("%-28s %8s %9s %6s %5s %14s %16s\n", "case", "taxa", "sites",
+              "states", "cats", "vector_MiB", "ancestral_GiB");
+
+  // The paper's worked example: 10,000 x 10,000 DNA under Γ4 -> 1.28 MB
+  // vectors, ~12 GB of ancestral vectors.
+  print_row("paper example DNA G4", MemoryModel::dna(10000, 10000, 4));
+  print_row("DNA simplest (no rate het.)", MemoryModel::dna(10000, 10000, 1));
+  print_row("protein G4", MemoryModel::protein(10000, 10000, 4));
+  // The paper's evaluation datasets.
+  print_row("eval dataset 1288x1200", MemoryModel::dna(1288, 1200, 4));
+  print_row("eval dataset 1908x1424", MemoryModel::dna(1908, 1424, 4));
+  // Fig. 5 extremes (8192 taxa; s chosen for 1 GB and 32 GB).
+  print_row("fig5 low (1 GB)",
+            MemoryModel::dna(8192, sites_for_ancestral_bytes(
+                                       8192, 4, 4, 1ull << 30), 4));
+  print_row("fig5 high (32 GB)",
+            MemoryModel::dna(8192, sites_for_ancestral_bytes(
+                                       8192, 4, 4, 32ull << 30), 4));
+
+  // Cross-check the formula against a live engine's store dimensions.
+  DatasetPlan plan;
+  plan.num_taxa = 64;
+  plan.num_sites = 500;
+  PlannedDataset data = make_dna_dataset(plan);
+  const MemoryModel model = MemoryModel::dna(64, 500, 4);
+  InRamStore store(data.tree.num_inner(),
+                   LikelihoodEngine::vector_width(data.alignment, 4));
+  const std::uint64_t actual =
+      static_cast<std::uint64_t>(store.count()) * store.width() * 8;
+  std::printf("\n# live cross-check (64 x 500, uncompressed): formula %llu B, "
+              "store allocates %llu B -> %s\n",
+              static_cast<unsigned long long>(model.ancestral_bytes()),
+              static_cast<unsigned long long>(actual),
+              model.ancestral_bytes() == actual ? "MATCH" : "MISMATCH");
+  return model.ancestral_bytes() == actual ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Section 5 extension experiment: the three-layer hierarchy.
+//
+// "They can also be deployed for exchanging vectors between the relatively
+//  small memory of an accelerator card [...] and the main memory [...]. One
+//  may also envision a three-layer architecture."
+//
+// Sweeps the split between (small) accelerator-memory slots and host-RAM
+// slots at a fixed total budget and reports how host<->device transfers and
+// disk I/O trade off under the search workload.
+#include "bench_common.hpp"
+
+#include "ooc/tiered_store.hpp"
+
+using namespace plfoc;
+using namespace plfoc::bench;
+
+int main() {
+  const Scale scale = scale_from_env();
+  const std::size_t taxa = scale == Scale::kQuick ? 128 : 512;
+  const std::size_t sites = scale == Scale::kQuick ? 200 : 600;
+  const SearchDataset dataset = make_search_dataset(taxa, sites, 7321);
+  print_header("Three-layer hierarchy: accelerator/RAM split sweep", dataset,
+               scale);
+  SearchWorkloadOptions workload = workload_for(scale);
+
+  const std::size_t vectors = dataset.start_tree.num_inner();
+  const std::size_t total_slots = std::max<std::size_t>(vectors / 5, 16);
+  std::printf("# %zu vectors, %zu total slots split fast/ram\n", vectors,
+              total_slots);
+  std::printf("%8s %8s %14s %14s %14s %14s %10s\n", "fast", "ram",
+              "miss_rate_%", "promotions", "demotions", "disk_reads",
+              "logL_ok");
+
+  double reference_ll = 0.0;
+  bool have_reference = false;
+  for (double fast_share : {0.1, 0.25, 0.5, 0.75}) {
+    const std::size_t fast =
+        std::max<std::size_t>(3, static_cast<std::size_t>(
+                                     fast_share * static_cast<double>(total_slots)));
+    const std::size_t ram = std::max<std::size_t>(1, total_slots - fast);
+    SessionOptions options;
+    options.backend = Backend::kTiered;
+    options.tiered_fast_slots = fast;
+    options.tiered_ram_slots = ram;
+    options.seed = 7;
+
+    Session session(dataset.alignment, dataset.start_tree, benchmark_gtr(),
+                    options);
+    SearchOptions search;
+    search.spr.rounds = 1;
+    search.spr.prune_stride = workload.prune_stride;
+    const SearchResult result = run_search(session.engine(), search);
+    const TierStats& tier = session.tiered()->tier_stats();
+    const OocStats& stats = session.stats();
+    if (!have_reference) {
+      reference_ll = result.final_log_likelihood;
+      have_reference = true;
+    }
+    std::printf("%8zu %8zu %14.3f %14llu %14llu %14llu %10s\n", fast, ram,
+                100.0 * stats.miss_rate(),
+                static_cast<unsigned long long>(tier.promotions),
+                static_cast<unsigned long long>(tier.demotions),
+                static_cast<unsigned long long>(stats.file_reads),
+                result.final_log_likelihood == reference_ll ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+  return 0;
+}

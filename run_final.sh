@@ -1,0 +1,9 @@
+#!/bin/bash
+cd /root/repo
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt > /dev/null
+for b in build/bench/*; do
+  echo "=== $b ==="
+  PLFOC_BENCH_SCALE=paper timeout 1200 "$b"
+  echo "exit=$?"
+done 2>&1 | tee /root/repo/bench_output.txt > /dev/null
+touch /root/repo/results/FINAL_DONE

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Runs the complete test suite and the paper-scale benchmark sweep,
+# writing test_output.txt and bench_output.txt at the repository root.
+cd "$(dirname "$0")/.."
+ctest --test-dir build 2>&1 | tee test_output.txt > /dev/null
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "=== $b ==="
+  PLFOC_BENCH_SCALE=paper timeout 1200 "$b"
+  echo "exit=$?"
+done 2>&1 | tee bench_output.txt > /dev/null
+

@@ -1,0 +1,204 @@
+#include "cli/driver.hpp"
+
+#include <optional>
+#include <ostream>
+
+#include "likelihood/checkpoint.hpp"
+#include "likelihood/model_opt.hpp"
+#include "msa/fasta.hpp"
+#include "msa/phylip.hpp"
+#include "search/mcmc.hpp"
+#include "search/search.hpp"
+#include "search/stepwise.hpp"
+#include "session.hpp"
+#include "tree/newick.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+namespace plfoc {
+namespace {
+
+DataType parse_data_type(const std::string& name) {
+  if (name == "dna") return DataType::kDna;
+  if (name == "protein") return DataType::kProtein;
+  throw Error("unknown --data-type '" + name + "' (dna | protein)");
+}
+
+SubstitutionModel build_model(const CliConfig& config,
+                              const Alignment& alignment) {
+  if (config.model == "jc") return jc69();
+  if (config.model == "k80") return k80(config.kappa);
+  if (config.model == "hky")
+    return hky85(config.kappa, alignment.empirical_frequencies());
+  if (config.model == "gtr")
+    return gtr({1.0, 2.0, 1.0, 1.0, 2.0, 1.0},
+               alignment.empirical_frequencies());
+  if (config.model == "poisson") return poisson_protein();
+  throw Error("unknown --model '" + config.model +
+              "' (jc | k80 | hky | gtr | poisson)");
+}
+
+Backend parse_backend(const std::string& name) {
+  if (name == "inram") return Backend::kInRam;
+  if (name == "ooc") return Backend::kOutOfCore;
+  if (name == "paged") return Backend::kPaged;
+  if (name == "tiered") return Backend::kTiered;
+  if (name == "mmap") return Backend::kMmap;
+  throw Error("unknown --backend '" + name +
+              "' (inram | ooc | paged | tiered | mmap)");
+}
+
+}  // namespace
+
+CliConfig parse_cli(int argc, const char* const* argv) {
+  CliConfig config;
+  ArgParser parser(
+      "plfoc", "compute the phylogenetic likelihood function out-of-core");
+  parser.add_string("msa", &config.msa_path, "alignment file", true)
+      .add_string("format", &config.format, "alignment format: fasta | phylip")
+      .add_string("data-type", &config.data_type, "dna | protein")
+      .add_string("tree", &config.tree_path,
+                  "Newick starting tree (default: stepwise addition)")
+      .add_string("model", &config.model, "jc | k80 | hky | gtr | poisson")
+      .add_double("kappa", &config.kappa, "transition/transversion ratio")
+      .add_uint("categories", &config.categories, "discrete-Γ categories")
+      .add_double("alpha", &config.alpha, "initial Γ shape parameter")
+      .add_string("backend", &config.backend,
+                  "storage backend: inram | ooc | paged | tiered | mmap")
+      .add_uint("memory-limit", &config.memory_limit,
+                "ancestral-vector RAM budget in bytes (RAxML's -L)")
+      .add_double("ram-fraction", &config.ram_fraction,
+                  "fraction f of vectors kept in RAM (paper experiments)")
+      .add_string("strategy", &config.strategy,
+                  "replacement: random | lru | lfu | topological")
+      .add_flag("no-read-skipping", &config.no_read_skipping,
+                "disable the read-skipping optimisation")
+      .add_string("vector-file", &config.vector_file,
+                  "explicit backing file path (default: temp file)")
+      .add_string("mode", &config.mode,
+                  "evaluate | search | traverse | mcmc")
+      .add_uint("traversals", &config.traversals,
+                "full traversals in traverse mode (paper's -f z)")
+      .add_uint("spr-rounds", &config.spr_rounds, "SPR rounds in search mode")
+      .add_uint("mcmc-iterations", &config.mcmc_iterations,
+                "chain length in mcmc mode")
+      .add_uint("seed", &config.seed, "random seed (full determinism)")
+      .add_string("out-tree", &config.out_tree_path,
+                  "write the final tree to this file")
+      .add_string("save-checkpoint", &config.save_checkpoint_path,
+                  "write a resumable checkpoint (tree + model) after the run")
+      .add_string("load-checkpoint", &config.load_checkpoint_path,
+                  "resume tree and model parameters from a checkpoint")
+      .add_flag("stats", &config.print_stats, "print storage statistics");
+  parser.parse(argc, argv);
+  return config;
+}
+
+int run_cli(const CliConfig& config, std::ostream& out) {
+  Timer total;
+  const DataType data_type = parse_data_type(config.data_type);
+  Alignment alignment = [&] {
+    if (config.format == "fasta")
+      return read_fasta_file(config.msa_path, data_type);
+    if (config.format == "phylip")
+      return read_phylip_file(config.msa_path, data_type);
+    throw Error("unknown --format '" + config.format + "' (fasta | phylip)");
+  }();
+  out << "alignment: " << alignment.num_taxa() << " taxa x "
+      << alignment.num_sites() << " sites (" << datatype_name(data_type)
+      << ")\n";
+
+  Rng rng(config.seed);
+  std::optional<Checkpoint> resume;
+  if (!config.load_checkpoint_path.empty())
+    resume = load_checkpoint_file(config.load_checkpoint_path);
+
+  Tree tree = [&] {
+    if (resume.has_value()) {
+      out << "resuming from checkpoint " << config.load_checkpoint_path
+          << "\n";
+      return restore_tree(*resume);
+    }
+    if (!config.tree_path.empty()) return read_newick_file(config.tree_path);
+    out << "building stepwise-addition starting tree...\n";
+    return stepwise_addition_tree(alignment, rng);
+  }();
+  PLFOC_REQUIRE(tree.num_taxa() == alignment.num_taxa(),
+                "tree and alignment have different taxon counts");
+
+  SubstitutionModel model =
+      resume.has_value() ? resume->model : build_model(config, alignment);
+  out << "model: " << model.name << " + G" << config.categories << "\n";
+
+  SessionOptions options;
+  options.categories = resume.has_value()
+                           ? resume->categories
+                           : static_cast<unsigned>(config.categories);
+  options.alpha = resume.has_value() ? resume->alpha : config.alpha;
+  options.backend = parse_backend(config.backend);
+  options.ram_budget_bytes = config.memory_limit;
+  options.ram_fraction = config.ram_fraction;
+  options.policy = parse_policy(config.strategy);
+  options.read_skipping = !config.no_read_skipping;
+  options.seed = config.seed;
+  options.vector_file = config.vector_file;
+  Session session(std::move(alignment), std::move(tree), std::move(model),
+                  options);
+  out << "backend: " << session.store().backend_name() << " ("
+      << session.patterns() << " patterns, vector width "
+      << session.vector_width() * sizeof(double) << " B)\n";
+
+  if (config.mode == "evaluate") {
+    out << "logL = " << session.engine().log_likelihood() << "\n";
+  } else if (config.mode == "traverse") {
+    double ll = 0.0;
+    Timer timer;
+    for (std::uint64_t i = 0; i < config.traversals; ++i)
+      ll = session.engine().full_traversal_log_likelihood();
+    out << config.traversals << " full traversals in " << timer.seconds()
+        << " s; logL = " << ll << "\n";
+  } else if (config.mode == "search") {
+    SearchOptions search;
+    search.spr.rounds = static_cast<int>(config.spr_rounds);
+    const SearchResult result = run_search(session.engine(), search);
+    out << "search: logL " << result.starting_log_likelihood << " -> "
+        << result.final_log_likelihood << " (alpha "
+        << session.engine().config().alpha << ", "
+        << result.spr.moves_accepted << " SPR moves)\n";
+  } else if (config.mode == "mcmc") {
+    McmcOptions mcmc;
+    mcmc.iterations = config.mcmc_iterations;
+    Rng chain_rng(config.seed + 1);
+    const McmcResult result = run_mcmc(session.engine(), chain_rng, mcmc);
+    out << "mcmc: log posterior " << result.initial_log_posterior << " -> "
+        << result.final_log_posterior << " (best "
+        << result.best_log_posterior << "); acceptance branch "
+        << result.branch_acceptance() << ", NNI " << result.nni_acceptance()
+        << "\n";
+  } else {
+    throw Error("unknown --mode '" + config.mode +
+                "' (evaluate | search | traverse | mcmc)");
+  }
+
+  if (config.print_stats) {
+    out << "storage: " << session.stats().summary() << "\n";
+    if (TieredStore* tiered = session.tiered()) {
+      const TierStats& tier = tiered->tier_stats();
+      out << "tiers: " << tier.promotions << " promotions, "
+          << tier.demotions << " demotions, "
+          << (tier.bytes_transferred >> 20) << " MiB host<->device\n";
+    }
+  }
+  if (!config.save_checkpoint_path.empty()) {
+    save_checkpoint_file(config.save_checkpoint_path, session.engine());
+    out << "checkpoint written to " << config.save_checkpoint_path << "\n";
+  }
+  if (!config.out_tree_path.empty()) {
+    write_newick_file(config.out_tree_path, session.tree());
+    out << "tree written to " << config.out_tree_path << "\n";
+  }
+  out << "total wall time: " << total.seconds() << " s\n";
+  return 0;
+}
+
+}  // namespace plfoc

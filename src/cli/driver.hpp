@@ -1,0 +1,61 @@
+// The plfoc command-line driver — the library's counterpart of the paper's
+// modified RAxML binary. Thin `tools/plfoc_main.cpp` wraps run_cli() so the
+// whole driver is unit-testable.
+//
+// Modes (--mode):
+//   evaluate  log likelihood of the given (or stepwise-addition) tree
+//   search    branch smoothing + alpha optimisation + lazy-SPR rounds
+//   traverse  N full tree traversals (the paper's -f z worst case, Fig. 5)
+//   mcmc      Metropolis-Hastings sampling (Bayesian workload)
+//
+// Memory control mirrors the paper: --memory-limit <bytes> is RAxML's -L
+// flag; --ram-fraction <f> is the experiments' fraction parameter.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace plfoc {
+
+struct CliConfig {
+  // input
+  std::string msa_path;
+  std::string format = "fasta";      // fasta | phylip
+  std::string data_type = "dna";     // dna | protein
+  std::string tree_path;             // empty: stepwise-addition starting tree
+  // model
+  std::string model = "gtr";         // jc | k80 | hky | gtr | poisson
+  double kappa = 2.0;                // k80 / hky
+  std::uint64_t categories = 4;
+  double alpha = 1.0;
+  // storage
+  std::string backend = "inram";     // inram | ooc | paged | tiered
+  std::uint64_t memory_limit = 0;    // bytes (-L)
+  double ram_fraction = 0.0;         // f
+  std::string strategy = "lru";      // random | lru | lfu | topological
+  bool no_read_skipping = false;
+  std::string vector_file;           // optional explicit backing file
+  // workload
+  std::string mode = "evaluate";     // evaluate | search | traverse | mcmc
+  std::uint64_t traversals = 5;      // traverse mode
+  std::uint64_t spr_rounds = 1;      // search mode
+  std::uint64_t mcmc_iterations = 2000;
+  std::uint64_t seed = 42;
+  // output
+  std::string out_tree_path;
+  bool print_stats = false;
+  // checkpointing
+  std::string save_checkpoint_path;  ///< write tree+model state after the run
+  std::string load_checkpoint_path;  ///< resume tree+model state before it
+};
+
+/// Parse argv into a config; throws plfoc::Error (message includes usage)
+/// on bad input or --help.
+CliConfig parse_cli(int argc, const char* const* argv);
+
+/// Execute the configured run, writing the report to `out`.
+/// Returns a process exit code.
+int run_cli(const CliConfig& config, std::ostream& out);
+
+}  // namespace plfoc

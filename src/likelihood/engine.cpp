@@ -1,0 +1,325 @@
+#include "likelihood/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "model/transition.hpp"
+#include "util/checks.hpp"
+#include "util/logging.hpp"
+
+namespace plfoc {
+
+std::size_t LikelihoodEngine::vector_width(const Alignment& alignment,
+                                           unsigned categories) {
+  return alignment.num_sites() * categories *
+         num_states(alignment.data_type());
+}
+
+LikelihoodEngine::LikelihoodEngine(const Alignment& alignment, Tree& tree,
+                                   ModelConfig config, AncestralStore& store)
+    : alignment_(alignment),
+      tree_(tree),
+      config_(std::move(config)),
+      store_(store),
+      tips_(alignment, tree),
+      dims_{alignment.num_sites(), config_.categories,
+            num_states(alignment.data_type())},
+      orientation_(tree),
+      scale_counts_(tree.num_inner() * alignment.num_sites(), 0) {
+  PLFOC_REQUIRE(config_.categories >= 1 && config_.categories <= 16,
+                "1..16 rate categories supported");
+  PLFOC_REQUIRE(config_.substitution.type == alignment.data_type(),
+                "substitution model data type does not match the alignment");
+  PLFOC_REQUIRE(store_.count() == tree.num_inner(),
+                "store vector count must equal the number of inner nodes");
+  PLFOC_REQUIRE(store_.width() == vector_width(alignment, config_.categories),
+                "store vector width does not match patterns*categories*states");
+  PLFOC_CHECK(tree.is_fully_connected());
+  weights_.assign(alignment.num_sites(), 1.0);
+  if (!alignment.weights().empty())
+    weights_ = alignment.weights();
+  rebuild_eigen();
+}
+
+void LikelihoodEngine::rebuild_eigen() {
+  eigen_ = decompose(config_.substitution);
+  rates_ = discrete_gamma_rates(config_.alpha, config_.categories);
+}
+
+void LikelihoodEngine::set_alpha(double alpha) {
+  PLFOC_REQUIRE(alpha > 0.0, "alpha must be positive");
+  config_.alpha = alpha;
+  rates_ = discrete_gamma_rates(alpha, config_.categories);
+  orientation_.invalidate_all();
+}
+
+void LikelihoodEngine::set_substitution_model(SubstitutionModel model) {
+  PLFOC_REQUIRE(model.type == config_.substitution.type,
+                "cannot change the data type of a live engine");
+  config_.substitution = std::move(model);
+  rebuild_eigen();
+  orientation_.invalidate_all();
+}
+
+void LikelihoodEngine::submit_prefetch(std::span<const TraversalStep> steps) {
+  if (prefetcher_ == nullptr) return;
+  std::vector<std::uint32_t> upcoming;
+  upcoming.reserve(steps.size());
+  for (const TraversalStep& step : steps) {
+    if (tree_.is_inner(step.left)) upcoming.push_back(vector_index(step.left));
+    if (tree_.is_inner(step.right)) upcoming.push_back(vector_index(step.right));
+  }
+  prefetcher_->submit(std::move(upcoming));
+}
+
+void LikelihoodEngine::execute(std::span<const TraversalStep> steps) {
+  submit_prefetch(steps);
+  std::size_t reads_consumed = 0;
+  for (const TraversalStep& step : steps) {
+    PLFOC_DCHECK(tree_.is_inner(step.parent));
+    if (journal_ != nullptr) journal_->push_back(step.parent);
+    // Let the prefetch worker run ahead of this step's reads.
+    if (prefetcher_ != nullptr) prefetcher_->notify_progress(reads_consumed);
+    // Acquire order: children (reads) before the parent (write). Leases pin
+    // all three vectors for the duration of the kernel — the paper's
+    // requirement that the working triple resides in RAM.
+    NewviewChild left{};
+    NewviewChild right{};
+    VectorLease left_lease;
+    VectorLease right_lease;
+
+    category_transition_matrices(eigen_, step.length_left, rates_, pmat_left_);
+    category_transition_matrices(eigen_, step.length_right, rates_,
+                                 pmat_right_);
+
+    if (tree_.is_tip(step.left)) {
+      tips_.build_branch_lookup(pmat_left_.data(), dims_.categories,
+                                lookup_left_);
+      left.codes = tips_.tip_codes(step.left);
+      left.lookup = lookup_left_.data();
+    } else {
+      left_lease = store_.acquire(vector_index(step.left), AccessMode::kRead);
+      left.vector = left_lease.data();
+      left.scale_counts = scale_data(step.left);
+      left.pmat = pmat_left_.data();
+      ++reads_consumed;
+    }
+    if (tree_.is_tip(step.right)) {
+      tips_.build_branch_lookup(pmat_right_.data(), dims_.categories,
+                                lookup_right_);
+      right.codes = tips_.tip_codes(step.right);
+      right.lookup = lookup_right_.data();
+    } else {
+      right_lease = store_.acquire(vector_index(step.right), AccessMode::kRead);
+      right.vector = right_lease.data();
+      right.scale_counts = scale_data(step.right);
+      right.pmat = pmat_right_.data();
+      ++reads_consumed;
+    }
+
+    VectorLease parent_lease =
+        store_.acquire(vector_index(step.parent), AccessMode::kWrite);
+    newview(dims_, left, right, parent_lease.data(), scale_data(step.parent));
+  }
+}
+
+BranchValue LikelihoodEngine::evaluate_at(NodeId a, NodeId b, double t,
+                                          bool with_derivatives) {
+  PLFOC_CHECK(tree_.has_edge(a, b));
+  // The near side contributes raw conditionals; the far side is propagated
+  // across the branch. A tip can serve either role; when exactly one side is
+  // a tip we put it near (cheap indicator gather).
+  NodeId near = a;
+  NodeId far = b;
+  if (tree_.is_tip(far) && !tree_.is_tip(near)) std::swap(near, far);
+  PLFOC_CHECK(!tree_.is_tip(far));  // n >= 3 has no tip-tip edges
+
+  category_transition_matrices(eigen_, t, rates_, pmat_left_);
+  if (with_derivatives) {
+    const unsigned s = dims_.states;
+    dmat_.resize(static_cast<std::size_t>(dims_.categories) * s * s);
+    d2mat_.resize(dmat_.size());
+    for (unsigned c = 0; c < dims_.categories; ++c) {
+      // d/dt P(r_c t) = r_c P'(r_c t): chain rule over the category rate.
+      transition_derivatives(eigen_, t * rates_[c], nullptr,
+                             dmat_.data() + static_cast<std::size_t>(c) * s * s,
+                             d2mat_.data() + static_cast<std::size_t>(c) * s * s);
+      const double r = rates_[c];
+      double* d1 = dmat_.data() + static_cast<std::size_t>(c) * s * s;
+      double* d2 = d2mat_.data() + static_cast<std::size_t>(c) * s * s;
+      for (unsigned i = 0; i < s * s; ++i) {
+        d1[i] *= r;
+        d2[i] *= r * r;
+      }
+    }
+  }
+
+  EvalSide near_side{};
+  EvalSide far_side{};
+  VectorLease near_lease;
+  VectorLease far_lease;
+
+  if (tree_.is_tip(near)) {
+    near_side.codes = tips_.tip_codes(near);
+    near_side.indicator = tips_.indicator(0);  // base of the indicator table
+    // indicator(code) rows are contiguous: kernel indexes codes[p]*states.
+  } else {
+    near_lease = store_.acquire(vector_index(near), AccessMode::kRead);
+    near_side.vector = near_lease.data();
+    near_side.scale_counts = scale_data(near);
+  }
+  far_lease = store_.acquire(vector_index(far), AccessMode::kRead);
+  far_side.vector = far_lease.data();
+  far_side.scale_counts = scale_data(far);
+
+  return evaluate_branch(dims_, config_.substitution.frequencies.data(),
+                         weights_.data(), near_side, far_side,
+                         pmat_left_.data(),
+                         with_derivatives ? dmat_.data() : nullptr,
+                         with_derivatives ? d2mat_.data() : nullptr,
+                         with_derivatives);
+}
+
+double LikelihoodEngine::log_likelihood(NodeId a, NodeId b) {
+  const std::vector<TraversalStep> steps =
+      plan_for_branch(tree_, orientation_, a, b, /*full=*/false);
+  execute(steps);
+  return evaluate_at(a, b, tree_.branch_length(a, b), false).log_likelihood;
+}
+
+std::vector<double> LikelihoodEngine::pattern_log_likelihoods(NodeId a,
+                                                              NodeId b) {
+  const std::vector<TraversalStep> steps =
+      plan_for_branch(tree_, orientation_, a, b, /*full=*/false);
+  execute(steps);
+  // Same near/far assignment as evaluate_at.
+  NodeId near = a;
+  NodeId far = b;
+  if (tree_.is_tip(far) && !tree_.is_tip(near)) std::swap(near, far);
+  PLFOC_CHECK(!tree_.is_tip(far));
+  category_transition_matrices(eigen_, tree_.branch_length(a, b), rates_,
+                               pmat_left_);
+  EvalSide near_side{};
+  EvalSide far_side{};
+  VectorLease near_lease;
+  if (tree_.is_tip(near)) {
+    near_side.codes = tips_.tip_codes(near);
+    near_side.indicator = tips_.indicator(0);
+  } else {
+    near_lease = store_.acquire(vector_index(near), AccessMode::kRead);
+    near_side.vector = near_lease.data();
+    near_side.scale_counts = scale_data(near);
+  }
+  VectorLease far_lease =
+      store_.acquire(vector_index(far), AccessMode::kRead);
+  far_side.vector = far_lease.data();
+  far_side.scale_counts = scale_data(far);
+  std::vector<double> out(dims_.patterns);
+  per_pattern_log_likelihoods(dims_, config_.substitution.frequencies.data(),
+                              near_side, far_side, pmat_left_.data(),
+                              out.data());
+  return out;
+}
+
+double LikelihoodEngine::log_likelihood() {
+  const auto [a, b] = tree_.default_root_branch();
+  return log_likelihood(a, b);
+}
+
+double LikelihoodEngine::full_traversal_log_likelihood() {
+  const auto [a, b] = tree_.default_root_branch();
+  const std::vector<TraversalStep> steps =
+      plan_for_branch(tree_, orientation_, a, b, /*full=*/true);
+  execute(steps);
+  return evaluate_at(a, b, tree_.branch_length(a, b), false).log_likelihood;
+}
+
+BranchValue LikelihoodEngine::branch_value(NodeId a, NodeId b, double t,
+                                           bool with_derivatives) {
+  return evaluate_at(a, b, t, with_derivatives);
+}
+
+double LikelihoodEngine::optimize_branch(NodeId a, NodeId b,
+                                         int max_iterations,
+                                         bool update_invalidation) {
+  // Validate the endpoint vectors once; Newton iterations then touch only
+  // the two vectors at the branch ends (the paper's Sec. 4.2 locality).
+  const std::vector<TraversalStep> steps =
+      plan_for_branch(tree_, orientation_, a, b, /*full=*/false);
+  execute(steps);
+
+  const double t_initial = tree_.branch_length(a, b);
+  double t = t_initial;
+  double best_t = t;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const BranchValue value = evaluate_at(a, b, t, true);
+    if (value.log_likelihood > best_ll) {
+      best_ll = value.log_likelihood;
+      best_t = t;
+    }
+    double next;
+    if (value.d2 < 0.0) {
+      next = t - value.d1 / value.d2;
+    } else {
+      // Not in a concave region: march in the uphill direction.
+      next = value.d1 > 0.0 ? t * 2.0 : t * 0.5;
+    }
+    // Keep steps bounded and inside the admissible branch-length range.
+    next = std::clamp(next, t / 8.0, t * 8.0);
+    next = std::clamp(next, kMinBranchLength, kMaxBranchLength);
+    if (std::abs(next - t) <= 1e-10 * (1.0 + t)) break;
+    t = next;
+  }
+  if (best_t != t_initial) {
+    tree_.set_branch_length(a, b, best_t);
+    if (update_invalidation) invalidate_length_change(a, b);
+  }
+  return best_ll;
+}
+
+void LikelihoodEngine::collect_edges_tree_walk(
+    std::vector<std::pair<NodeId, NodeId>>& out) {
+  // Depth-first tree walk from the default root branch so consecutive
+  // optimised branches are topologically adjacent (access locality).
+  out.clear();
+  out.reserve(tree_.num_edges());
+  const auto [root_a, root_b] = tree_.default_root_branch();
+  std::vector<std::pair<NodeId, NodeId>> stack;  // (node, parent)
+  out.emplace_back(root_a, root_b);
+  stack.emplace_back(root_a, root_b);
+  stack.emplace_back(root_b, root_a);
+  while (!stack.empty()) {
+    const auto [node, parent] = stack.back();
+    stack.pop_back();
+    for (NodeId nbr : tree_.neighbors(node)) {
+      if (nbr == parent) continue;
+      out.emplace_back(node, nbr);
+      stack.emplace_back(nbr, node);
+    }
+  }
+  PLFOC_CHECK(out.size() == tree_.num_edges());
+}
+
+double LikelihoodEngine::optimize_all_branches(int passes) {
+  PLFOC_CHECK(passes >= 1);
+  double ll = -std::numeric_limits<double>::infinity();
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (int pass = 0; pass < passes; ++pass) {
+    collect_edges_tree_walk(edges);
+    for (const auto& [a, b] : edges) ll = optimize_branch(a, b);
+  }
+  return ll;
+}
+
+std::span<const std::int32_t> LikelihoodEngine::scale_counts(
+    NodeId inner) const {
+  PLFOC_CHECK(tree_.is_inner(inner));
+  return {scale_counts_.data() +
+              static_cast<std::size_t>(tree_.inner_index(inner)) *
+                  dims_.patterns,
+          dims_.patterns};
+}
+
+}  // namespace plfoc

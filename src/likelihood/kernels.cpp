@@ -1,0 +1,287 @@
+#include "likelihood/kernels.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "likelihood/kernels_internal.hpp"
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+/// Propagated child likelihood L(x) for one (pattern, category) block.
+/// S is the compile-time state count (0 = generic/runtime).
+template <unsigned S>
+inline void propagate_inner(const double* pmat_c, const double* child_block,
+                            unsigned states, double* out) {
+  const unsigned s = S != 0 ? S : states;
+  for (unsigned x = 0; x < s; ++x) {
+    double sum = 0.0;
+    const double* row = pmat_c + static_cast<std::size_t>(x) * s;
+    for (unsigned y = 0; y < s; ++y) sum += row[y] * child_block[y];
+    out[x] = sum;
+  }
+}
+
+template <unsigned S>
+std::size_t newview_impl(const KernelDims& dims, const NewviewChild& left,
+                         const NewviewChild& right, double* parent,
+                         std::int32_t* parent_scale) {
+  const unsigned states = S != 0 ? S : dims.states;
+  const unsigned cats = dims.categories;
+  const std::size_t block = static_cast<std::size_t>(cats) * states;
+  std::size_t scaled = 0;
+
+  double lbuf[32];
+  double rbuf[32];
+  PLFOC_CHECK(states <= 32);
+
+  for (std::size_t p = 0; p < dims.patterns; ++p) {
+    double* parent_block = parent + p * block;
+    bool all_small = true;
+    for (unsigned c = 0; c < cats; ++c) {
+      const double* l;
+      if (left.is_tip()) {
+        l = left.lookup +
+            (static_cast<std::size_t>(left.codes[p]) * cats + c) * states;
+      } else {
+        propagate_inner<S>(left.pmat + static_cast<std::size_t>(c) * states * states,
+                           left.vector + p * block + static_cast<std::size_t>(c) * states,
+                           states, lbuf);
+        l = lbuf;
+      }
+      const double* r;
+      if (right.is_tip()) {
+        r = right.lookup +
+            (static_cast<std::size_t>(right.codes[p]) * cats + c) * states;
+      } else {
+        propagate_inner<S>(right.pmat + static_cast<std::size_t>(c) * states * states,
+                           right.vector + p * block + static_cast<std::size_t>(c) * states,
+                           states, rbuf);
+        r = rbuf;
+      }
+      double* out = parent_block + static_cast<std::size_t>(c) * states;
+      for (unsigned x = 0; x < states; ++x) {
+        const double v = l[x] * r[x];
+        out[x] = v;
+        if (v >= kScaleThreshold) all_small = false;
+      }
+    }
+    std::int32_t count = (left.scale_counts != nullptr ? left.scale_counts[p] : 0) +
+                         (right.scale_counts != nullptr ? right.scale_counts[p] : 0);
+    if (all_small) {
+      ++scaled;
+      // Scale repeatedly until the largest entry clears the threshold: a
+      // single application is not enough when one pruning step shrinks the
+      // site by more than the multiplier, and the single-precision disk
+      // representation relies on max >= threshold.
+      while (all_small) {
+        all_small = false;
+        double max_value = 0.0;
+        for (std::size_t i = 0; i < block; ++i) {
+          parent_block[i] *= kScaleMultiplier;
+          if (parent_block[i] > max_value) max_value = parent_block[i];
+        }
+        ++count;
+        all_small = max_value < kScaleThreshold;
+      }
+    }
+    parent_scale[p] = count;
+  }
+  return scaled;
+}
+
+template <unsigned S>
+BranchValue evaluate_impl(const KernelDims& dims, const double* freqs,
+                          const double* weights, const EvalSide& near_side,
+                          const EvalSide& far_side, const double* pmats,
+                          const double* dmats, const double* d2mats,
+                          bool with_derivatives) {
+  const unsigned states = S != 0 ? S : dims.states;
+  const unsigned cats = dims.categories;
+  const std::size_t block = static_cast<std::size_t>(cats) * states;
+  const double cat_weight = 1.0 / cats;
+
+  double fb[32];
+  double dfb[32];
+  double d2fb[32];
+  PLFOC_CHECK(states <= 32);
+
+  BranchValue result;
+  for (std::size_t p = 0; p < dims.patterns; ++p) {
+    double site_l = 0.0;
+    double site_d1 = 0.0;
+    double site_d2 = 0.0;
+    for (unsigned c = 0; c < cats; ++c) {
+      // Far side propagated across the branch (and its t-derivatives).
+      const double* far;
+      const double* dfar = nullptr;
+      const double* d2far = nullptr;
+      if (far_side.is_tip()) {
+        const std::size_t at =
+            (static_cast<std::size_t>(far_side.codes[p]) * cats + c) * states;
+        far = far_side.lookup_p + at;
+        if (with_derivatives) {
+          dfar = far_side.lookup_d1 + at;
+          d2far = far_side.lookup_d2 + at;
+        }
+      } else {
+        const double* vec = far_side.vector + p * block +
+                            static_cast<std::size_t>(c) * states;
+        propagate_inner<S>(pmats + static_cast<std::size_t>(c) * states * states,
+                           vec, states, fb);
+        far = fb;
+        if (with_derivatives) {
+          propagate_inner<S>(dmats + static_cast<std::size_t>(c) * states * states,
+                             vec, states, dfb);
+          propagate_inner<S>(d2mats + static_cast<std::size_t>(c) * states * states,
+                             vec, states, d2fb);
+          dfar = dfb;
+          d2far = d2fb;
+        }
+      }
+      // Near side values at this (pattern, category).
+      const double* near;
+      if (near_side.is_tip()) {
+        near = near_side.indicator +
+               static_cast<std::size_t>(near_side.codes[p]) * states;
+      } else {
+        near = near_side.vector + p * block + static_cast<std::size_t>(c) * states;
+      }
+      double lc = 0.0;
+      double d1c = 0.0;
+      double d2c = 0.0;
+      for (unsigned x = 0; x < states; ++x) {
+        const double base = freqs[x] * near[x];
+        lc += base * far[x];
+        if (with_derivatives) {
+          d1c += base * dfar[x];
+          d2c += base * d2far[x];
+        }
+      }
+      site_l += lc;
+      site_d1 += d1c;
+      site_d2 += d2c;
+    }
+    site_l *= cat_weight;
+    site_d1 *= cat_weight;
+    site_d2 *= cat_weight;
+
+    const std::int32_t scale =
+        (near_side.scale_counts != nullptr ? near_side.scale_counts[p] : 0) +
+        (far_side.scale_counts != nullptr ? far_side.scale_counts[p] : 0);
+    const double w = weights != nullptr ? weights[p] : 1.0;
+    const double guarded = std::max(site_l, std::numeric_limits<double>::min());
+    result.log_likelihood += w * (std::log(guarded) + scale * kLogScaleUnit);
+    if (with_derivatives) {
+      const double ratio1 = site_d1 / guarded;
+      result.d1 += w * ratio1;
+      result.d2 += w * (site_d2 / guarded - ratio1 * ratio1);
+    }
+  }
+  return result;
+}
+
+template <unsigned S>
+void per_pattern_impl(const KernelDims& dims, const double* freqs,
+                      const EvalSide& near_side, const EvalSide& far_side,
+                      const double* pmats, double* out) {
+  const unsigned states = S != 0 ? S : dims.states;
+  const unsigned cats = dims.categories;
+  const std::size_t block = static_cast<std::size_t>(cats) * states;
+  const double cat_weight = 1.0 / cats;
+  double fb[32];
+  PLFOC_CHECK(states <= 32);
+  for (std::size_t p = 0; p < dims.patterns; ++p) {
+    double site_l = 0.0;
+    for (unsigned c = 0; c < cats; ++c) {
+      const double* far;
+      if (far_side.is_tip()) {
+        far = far_side.lookup_p +
+              (static_cast<std::size_t>(far_side.codes[p]) * cats + c) * states;
+      } else {
+        propagate_inner<S>(pmats + static_cast<std::size_t>(c) * states * states,
+                           far_side.vector + p * block +
+                               static_cast<std::size_t>(c) * states,
+                           states, fb);
+        far = fb;
+      }
+      const double* near;
+      if (near_side.is_tip()) {
+        near = near_side.indicator +
+               static_cast<std::size_t>(near_side.codes[p]) * states;
+      } else {
+        near = near_side.vector + p * block + static_cast<std::size_t>(c) * states;
+      }
+      double lc = 0.0;
+      for (unsigned x = 0; x < states; ++x) lc += freqs[x] * near[x] * far[x];
+      site_l += lc;
+    }
+    site_l *= cat_weight;
+    const std::int32_t scale =
+        (near_side.scale_counts != nullptr ? near_side.scale_counts[p] : 0) +
+        (far_side.scale_counts != nullptr ? far_side.scale_counts[p] : 0);
+    const double guarded = std::max(site_l, std::numeric_limits<double>::min());
+    out[p] = std::log(guarded) + scale * kLogScaleUnit;
+  }
+}
+
+}  // namespace
+
+void per_pattern_log_likelihoods(const KernelDims& dims, const double* freqs,
+                                 const EvalSide& near_side,
+                                 const EvalSide& far_side,
+                                 const double* pmats, double* out) {
+  switch (dims.states) {
+    case 4:
+      per_pattern_impl<4>(dims, freqs, near_side, far_side, pmats, out);
+      break;
+    case 20:
+      per_pattern_impl<20>(dims, freqs, near_side, far_side, pmats, out);
+      break;
+    default:
+      per_pattern_impl<0>(dims, freqs, near_side, far_side, pmats, out);
+      break;
+  }
+}
+
+std::size_t newview_scalar(const KernelDims& dims, const NewviewChild& left,
+                           const NewviewChild& right, double* parent,
+                           std::int32_t* parent_scale) {
+  switch (dims.states) {
+    case 4: return newview_impl<4>(dims, left, right, parent, parent_scale);
+    case 20: return newview_impl<20>(dims, left, right, parent, parent_scale);
+    default: return newview_impl<0>(dims, left, right, parent, parent_scale);
+  }
+}
+
+std::size_t newview(const KernelDims& dims, const NewviewChild& left,
+                    const NewviewChild& right, double* parent,
+                    std::int32_t* parent_scale) {
+  if (dims.states == 4 && dims.categories <= 16 && detail::cpu_has_avx2())
+    return detail::newview4_avx2(dims, left, right, parent, parent_scale);
+  return newview_scalar(dims, left, right, parent, parent_scale);
+}
+
+BranchValue evaluate_branch(const KernelDims& dims, const double* freqs,
+                            const double* weights, const EvalSide& near_side,
+                            const EvalSide& far_side, const double* pmats,
+                            const double* dmats, const double* d2mats,
+                            bool with_derivatives) {
+  if (with_derivatives)
+    PLFOC_CHECK((dmats != nullptr && d2mats != nullptr) || far_side.is_tip());
+  switch (dims.states) {
+    case 4:
+      return evaluate_impl<4>(dims, freqs, weights, near_side, far_side, pmats,
+                              dmats, d2mats, with_derivatives);
+    case 20:
+      return evaluate_impl<20>(dims, freqs, weights, near_side, far_side,
+                               pmats, dmats, d2mats, with_derivatives);
+    default:
+      return evaluate_impl<0>(dims, freqs, weights, near_side, far_side, pmats,
+                              dmats, d2mats, with_derivatives);
+  }
+}
+
+}  // namespace plfoc

@@ -1,0 +1,110 @@
+// The PLF inner loops: newview (Felsenstein pruning step) and the branch
+// likelihood/derivative evaluation, with RAxML-style numerical scaling.
+//
+// Data layout of an ancestral probability vector: pattern-major,
+//   v[p * C * S + c * S + x]
+// for pattern p, rate category c, state x. Tips enter either through a
+// per-branch lookup table (newview / cross-branch side of evaluate) or the
+// raw 0/1 indicator (near side of evaluate); see likelihood/tip_states.hpp.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace plfoc {
+
+/// Numerical scaling constants (RAxML-style): when every entry of a site
+/// block falls below the threshold, the block is multiplied by the (power of
+/// two, hence exact) multiplier — repeatedly, until the largest entry clears
+/// the threshold — and the site's scaling counter counts the applications;
+/// log-likelihoods add count * kLogScaleUnit at the root.
+///
+/// RAxML uses 2^-256; we use 2^-64 so that the largest entry of every stored
+/// block stays far above IEEE float range (~1.2e-38): that is what makes the
+/// optional single-precision on-disk representation (DiskPrecision::kSingle)
+/// safe. Because scaling by powers of two is exact, the choice of threshold
+/// does not perturb double-precision results beyond the rounding of the
+/// final log() accumulation.
+inline const double kScaleThreshold = std::ldexp(1.0, -64);
+inline const double kScaleMultiplier = std::ldexp(1.0, 64);
+inline const double kLogScaleUnit = -64.0 * M_LN2;
+
+struct KernelDims {
+  std::size_t patterns;
+  unsigned categories;
+  unsigned states;
+};
+
+/// One child of a newview operation. Exactly one of {vector, lookup} is set:
+///  * inner child: `vector` + `scale_counts` + `pmat` (C×S×S for its branch);
+///  * tip child:   `codes` (per pattern) + `lookup` (codes×C×S, already
+///    folded with the branch's transition matrices).
+struct NewviewChild {
+  const double* vector = nullptr;
+  const std::int32_t* scale_counts = nullptr;
+  const double* pmat = nullptr;
+  const std::uint8_t* codes = nullptr;
+  const double* lookup = nullptr;
+
+  bool is_tip() const { return lookup != nullptr; }
+};
+
+/// parent[p,c,x] = L(p,c,x) * R(p,c,x) where L/R are the children's
+/// likelihoods propagated across their branches. Writes parent (P*C*S) and
+/// parent_scale (per pattern, = children's counts + fresh scalings).
+/// Returns the number of patterns scaled in this call.
+/// Dispatches to an AVX2 path for 4-state data when the CPU supports it;
+/// the vector path performs the identical multiply/add sequence, so results
+/// are bit-identical to the portable kernel.
+std::size_t newview(const KernelDims& dims, const NewviewChild& left,
+                    const NewviewChild& right, double* parent,
+                    std::int32_t* parent_scale);
+
+/// The portable kernel, bypassing SIMD dispatch (reference for tests/benches).
+std::size_t newview_scalar(const KernelDims& dims, const NewviewChild& left,
+                           const NewviewChild& right, double* parent,
+                           std::int32_t* parent_scale);
+
+/// One side of a branch likelihood evaluation.
+///  * inner: `vector` + `scale_counts`;
+///  * tip: `codes` + `indicator` (near side, codes×S) and — when this side
+///    sits across the branch from the root — `lookup_*` tables (codes×C×S)
+///    folded with P, dP, d²P respectively (lookup_d1/d2 only for derivatives).
+struct EvalSide {
+  const double* vector = nullptr;
+  const std::int32_t* scale_counts = nullptr;
+  const std::uint8_t* codes = nullptr;
+  const double* indicator = nullptr;
+  const double* lookup_p = nullptr;
+  const double* lookup_d1 = nullptr;
+  const double* lookup_d2 = nullptr;
+
+  bool is_tip() const { return codes != nullptr; }
+};
+
+struct BranchValue {
+  double log_likelihood = 0.0;
+  double d1 = 0.0;  ///< d log L / d t
+  double d2 = 0.0;  ///< d² log L / d t²
+};
+
+/// Per-pattern log likelihoods across a branch (scaling corrections applied,
+/// site weights NOT applied — callers combine with their weight vector, e.g.
+/// for RELL bootstrapping). `out` must hold dims.patterns doubles.
+void per_pattern_log_likelihoods(const KernelDims& dims, const double* freqs,
+                                 const EvalSide& near_side,
+                                 const EvalSide& far_side,
+                                 const double* pmats, double* out);
+
+/// Log likelihood (and optionally its first two branch-length derivatives)
+/// across a branch with per-category transition matrices pmats (C×S×S) and,
+/// when `with_derivatives`, dmats/d2mats. `near_side` is conditioned on data
+/// on its side only; `far_side` is propagated across the branch. `weights`
+/// are per-pattern multiplicities, `freqs` the equilibrium frequencies.
+BranchValue evaluate_branch(const KernelDims& dims, const double* freqs,
+                            const double* weights, const EvalSide& near_side,
+                            const EvalSide& far_side, const double* pmats,
+                            const double* dmats, const double* d2mats,
+                            bool with_derivatives);
+
+}  // namespace plfoc

@@ -1,0 +1,21 @@
+// Internal kernel-dispatch seam between the portable kernels and the
+// vectorised specialisations. Not part of the public API.
+#pragma once
+
+#include "likelihood/kernels.hpp"
+
+namespace plfoc::detail {
+
+/// True if this CPU supports the AVX2 newview path (checked once).
+bool cpu_has_avx2();
+
+/// AVX2 implementation of the 4-state newview. Performs per-lane exactly the
+/// same multiply/add sequence as the scalar kernel (no FMA contraction), so
+/// results are bit-identical — the cross-backend determinism guarantee is
+/// unaffected by dispatch. Compiled with a per-function target attribute;
+/// only call when cpu_has_avx2().
+std::size_t newview4_avx2(const KernelDims& dims, const NewviewChild& left,
+                          const NewviewChild& right, double* parent,
+                          std::int32_t* parent_scale);
+
+}  // namespace plfoc::detail

@@ -1,0 +1,3 @@
+// MemoryModel is header-only arithmetic; this TU exists so the build has a
+// home for future non-inline additions and keeps one-definition hygiene.
+#include "likelihood/memory_model.hpp"

@@ -1,0 +1,152 @@
+#include "likelihood/model_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/checks.hpp"
+#include "util/logging.hpp"
+
+namespace plfoc {
+
+double brent_minimize(const std::function<double(double)>& f, double lower,
+                      double upper, double tolerance, int max_iterations,
+                      double* fmin) {
+  PLFOC_CHECK(lower < upper);
+  constexpr double kGolden = 0.3819660112501051;
+  double a = lower;
+  double b = upper;
+  double x = a + kGolden * (b - a);
+  double w = x;
+  double v = x;
+  double fx = f(x);
+  double fw = fx;
+  double fv = fx;
+  double d = 0.0;
+  double e = 0.0;
+
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    const double midpoint = 0.5 * (a + b);
+    const double tol1 = tolerance * std::abs(x) + 1e-12;
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - midpoint) <= tol2 - 0.5 * (b - a)) break;
+
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      // Parabolic interpolation through (x, w, v).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_old = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2)
+          d = (midpoint > x) ? tol1 : -tol1;
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x < midpoint) ? b - x : a - x;
+      d = kGolden * e;
+    }
+    const double u =
+        (std::abs(d) >= tol1) ? x + d : x + ((d > 0.0) ? tol1 : -tol1);
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u < x)
+        b = x;
+      else
+        a = x;
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x)
+        a = u;
+      else
+        b = u;
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  if (fmin != nullptr) *fmin = fx;
+  return x;
+}
+
+double optimize_alpha(LikelihoodEngine& engine, double lower, double upper,
+                      double tolerance) {
+  // Optimise in log(alpha): the likelihood surface is far better conditioned.
+  const auto objective = [&engine](double log_alpha) {
+    engine.set_alpha(std::exp(log_alpha));
+    return -engine.log_likelihood();
+  };
+  double neg_ll = 0.0;
+  const double best = brent_minimize(objective, std::log(lower),
+                                     std::log(upper), tolerance, 60, &neg_ll);
+  engine.set_alpha(std::exp(best));
+  // Re-evaluate so the engine's vectors reflect the final alpha.
+  const double ll = engine.log_likelihood();
+  PLFOC_LOG(kInfo) << "alpha optimised to " << std::exp(best)
+                   << " (logL = " << ll << ")";
+  return ll;
+}
+
+namespace {
+
+double optimize_gtr_rates(LikelihoodEngine& engine, int cycles,
+                          double tolerance) {
+  double ll = engine.log_likelihood();
+  const unsigned s = engine.states();
+  const std::size_t num_rates = engine.config().substitution.exchangeabilities.size();
+  PLFOC_CHECK(num_rates >= 1);
+  (void)s;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // Coordinate descent: optimise each exchangeability (log scale), keeping
+    // the last one fixed at its value as the reference rate.
+    for (std::size_t k = 0; k + 1 < num_rates; ++k) {
+      const auto objective = [&engine, k](double log_rate) {
+        SubstitutionModel model = engine.config().substitution;
+        model.exchangeabilities[k] = std::exp(log_rate);
+        engine.set_substitution_model(std::move(model));
+        return -engine.log_likelihood();
+      };
+      double neg_ll = 0.0;
+      const double best = brent_minimize(objective, std::log(1e-3),
+                                         std::log(1e3), tolerance, 40, &neg_ll);
+      SubstitutionModel model = engine.config().substitution;
+      model.exchangeabilities[k] = std::exp(best);
+      engine.set_substitution_model(std::move(model));
+      ll = -neg_ll;
+    }
+  }
+  return ll;
+}
+
+}  // namespace
+
+double optimize_model(LikelihoodEngine& engine, const ModelOptOptions& options) {
+  double ll = engine.log_likelihood();
+  if (options.optimize_alpha && engine.config().categories > 1)
+    ll = optimize_alpha(engine, options.alpha_lower, options.alpha_upper,
+                        options.tolerance);
+  if (options.optimize_rates)
+    ll = optimize_gtr_rates(engine, options.rate_cycles, options.tolerance);
+  return ll;
+}
+
+}  // namespace plfoc

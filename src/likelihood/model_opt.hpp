@@ -1,0 +1,38 @@
+// Model parameter optimisation: Brent's method on the Γ shape α and the GTR
+// exchangeabilities. Every objective evaluation changes a global model
+// parameter and therefore invalidates all ancestral vectors — model
+// optimisation is the full-tree-traversal workload the paper's Fig. 5 -f z
+// experiment stands in for.
+#pragma once
+
+#include <functional>
+
+#include "likelihood/engine.hpp"
+
+namespace plfoc {
+
+/// Brent's derivative-free 1-D minimiser on [lower, upper].
+/// Returns the minimising x; *fmin (optional) receives f(x).
+double brent_minimize(const std::function<double(double)>& f, double lower,
+                      double upper, double tolerance = 1e-6,
+                      int max_iterations = 100, double* fmin = nullptr);
+
+struct ModelOptOptions {
+  double alpha_lower = 0.02;
+  double alpha_upper = 100.0;
+  double tolerance = 1e-3;   ///< relative tolerance in parameter space
+  int rate_cycles = 1;       ///< coordinate-descent sweeps over GTR rates
+  bool optimize_alpha = true;
+  bool optimize_rates = false;  ///< GTR exchangeabilities (expensive)
+};
+
+/// Optimise α (and optionally the substitution rates) in place.
+/// Returns the final log likelihood.
+double optimize_model(LikelihoodEngine& engine,
+                      const ModelOptOptions& options = {});
+
+/// Optimise only α; returns the final log likelihood.
+double optimize_alpha(LikelihoodEngine& engine, double lower = 0.02,
+                      double upper = 100.0, double tolerance = 1e-3);
+
+}  // namespace plfoc

@@ -1,0 +1,57 @@
+#include "likelihood/tip_states.hpp"
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+TipStates::TipStates(const Alignment& alignment, const Tree& tree)
+    : states_(num_states(alignment.data_type())),
+      codes_(num_codes(alignment.data_type())),
+      patterns_(alignment.num_sites()),
+      rows_(tree.num_taxa(), nullptr) {
+  PLFOC_REQUIRE(alignment.num_taxa() >= tree.num_taxa(),
+                "alignment has fewer taxa than the tree");
+  for (NodeId tip = 0; tip < tree.num_taxa(); ++tip) {
+    const long row = alignment.find_taxon(tree.taxon_name(tip));
+    PLFOC_REQUIRE(row >= 0, "tree taxon '" + tree.taxon_name(tip) +
+                                "' not found in the alignment");
+    rows_[tip] = alignment.row(static_cast<std::size_t>(row)).data();
+  }
+  indicators_.assign(static_cast<std::size_t>(codes_) * states_, 0.0);
+  for (unsigned code = 0; code < codes_; ++code) {
+    const std::uint32_t mask =
+        (alignment.data_type() == DataType::kDna && code == 0)
+            ? 0u  // DNA code 0 is invalid and never produced by encode_char
+            : code_state_mask(alignment.data_type(),
+                              static_cast<std::uint8_t>(code));
+    for (unsigned s = 0; s < states_; ++s)
+      indicators_[static_cast<std::size_t>(code) * states_ + s] =
+          ((mask >> s) & 1u) ? 1.0 : 0.0;
+  }
+}
+
+const std::uint8_t* TipStates::tip_codes(NodeId tip) const {
+  PLFOC_DCHECK(tip < rows_.size() && rows_[tip] != nullptr);
+  return rows_[tip];
+}
+
+void TipStates::build_branch_lookup(const double* pmats, unsigned categories,
+                                    std::vector<double>& out) const {
+  out.resize(static_cast<std::size_t>(codes_) * categories * states_);
+  for (unsigned code = 0; code < codes_; ++code) {
+    const double* ind = indicator(static_cast<std::uint8_t>(code));
+    for (unsigned c = 0; c < categories; ++c) {
+      const double* p = pmats + static_cast<std::size_t>(c) * states_ * states_;
+      double* row = out.data() +
+                    (static_cast<std::size_t>(code) * categories + c) * states_;
+      for (unsigned x = 0; x < states_; ++x) {
+        double sum = 0.0;
+        for (unsigned y = 0; y < states_; ++y)
+          if (ind[y] != 0.0) sum += p[x * states_ + y];
+        row[x] = sum;
+      }
+    }
+  }
+}
+
+}  // namespace plfoc

@@ -1,0 +1,104 @@
+#include "model/eigen.hpp"
+
+#include <cmath>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+void jacobi_eigen(std::vector<double> a, unsigned n,
+                  std::vector<double>& eigenvalues,
+                  std::vector<double>& eigenvectors) {
+  PLFOC_CHECK(a.size() == static_cast<std::size_t>(n) * n);
+  eigenvectors.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (unsigned i = 0; i < n; ++i) eigenvectors[i * n + i] = 1.0;
+
+  constexpr int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (unsigned p = 0; p < n; ++p)
+      for (unsigned q = p + 1; q < n; ++q) off += a[p * n + q] * a[p * n + q];
+    if (off < 1e-28) break;
+
+    for (unsigned p = 0; p < n; ++p) {
+      for (unsigned q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Numerically stable tangent of the rotation angle.
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        const double tau = s / (1.0 + c);
+
+        a[p * n + p] = app - t * apq;
+        a[q * n + q] = aqq + t * apq;
+        a[p * n + q] = 0.0;
+        a[q * n + p] = 0.0;
+        for (unsigned r = 0; r < n; ++r) {
+          if (r != p && r != q) {
+            const double arp = a[r * n + p];
+            const double arq = a[r * n + q];
+            a[r * n + p] = arp - s * (arq + tau * arp);
+            a[r * n + q] = arq + s * (arp - tau * arq);
+            a[p * n + r] = a[r * n + p];
+            a[q * n + r] = a[r * n + q];
+          }
+          const double vrp = eigenvectors[r * n + p];
+          const double vrq = eigenvectors[r * n + q];
+          eigenvectors[r * n + p] = vrp - s * (vrq + tau * vrp);
+          eigenvectors[r * n + q] = vrq + s * (vrp - tau * vrq);
+        }
+      }
+    }
+  }
+
+  eigenvalues.resize(n);
+  for (unsigned i = 0; i < n; ++i) eigenvalues[i] = a[i * n + i];
+}
+
+EigenSystem decompose(const SubstitutionModel& model) {
+  model.validate();
+  const unsigned s = model.states();
+  const std::vector<double> q = build_rate_matrix(model);
+
+  // Symmetrise: B = Π^{1/2} Q Π^{-1/2}.
+  std::vector<double> sqrt_pi(s);
+  std::vector<double> inv_sqrt_pi(s);
+  for (unsigned i = 0; i < s; ++i) {
+    sqrt_pi[i] = std::sqrt(model.frequencies[i]);
+    inv_sqrt_pi[i] = 1.0 / sqrt_pi[i];
+  }
+  std::vector<double> b(static_cast<std::size_t>(s) * s);
+  for (unsigned i = 0; i < s; ++i)
+    for (unsigned j = 0; j < s; ++j)
+      b[i * s + j] = sqrt_pi[i] * q[i * s + j] * inv_sqrt_pi[j];
+  // Force exact symmetry against rounding before Jacobi.
+  for (unsigned i = 0; i < s; ++i)
+    for (unsigned j = i + 1; j < s; ++j) {
+      const double mean = 0.5 * (b[i * s + j] + b[j * s + i]);
+      b[i * s + j] = mean;
+      b[j * s + i] = mean;
+    }
+
+  EigenSystem system;
+  system.states = s;
+  std::vector<double> u;
+  jacobi_eigen(std::move(b), s, system.eigenvalues, u);
+
+  // V = Π^{-1/2} U ; V^{-1} = Uᵀ Π^{1/2}.
+  system.right.resize(static_cast<std::size_t>(s) * s);
+  system.inverse.resize(static_cast<std::size_t>(s) * s);
+  for (unsigned i = 0; i < s; ++i)
+    for (unsigned k = 0; k < s; ++k) {
+      system.right[i * s + k] = inv_sqrt_pi[i] * u[i * s + k];
+      system.inverse[k * s + i] = u[i * s + k] * sqrt_pi[i];
+    }
+  return system;
+}
+
+}  // namespace plfoc

@@ -1,0 +1,36 @@
+// Eigendecomposition of time-reversible rate matrices.
+//
+// For a reversible Q with stationary distribution π, the similarity transform
+// B = Π^{1/2} Q Π^{-1/2} (Π = diag(π)) is symmetric, so it has a real
+// orthogonal eigendecomposition B = U Λ Uᵀ (computed here by cyclic Jacobi —
+// states ≤ 20, so a dense O(S³) method is ideal). Then
+//   Q = V Λ V^{-1} with V = Π^{-1/2} U and V^{-1} = Uᵀ Π^{1/2},
+// and the transition matrix is P(t) = V e^{Λt} V^{-1}.
+#pragma once
+
+#include <vector>
+
+#include "model/rate_matrix.hpp"
+
+namespace plfoc {
+
+struct EigenSystem {
+  unsigned states = 0;
+  std::vector<double> eigenvalues;  ///< λ_k, size S (one is ~0, rest negative)
+  std::vector<double> right;        ///< V, row-major S×S (columns = eigenvectors)
+  std::vector<double> inverse;      ///< V^{-1}, row-major S×S
+};
+
+/// Decompose a validated reversible model. Deterministic; throws on invalid
+/// models, aborts if Jacobi fails to converge (cannot happen for symmetric
+/// input within the iteration bound).
+EigenSystem decompose(const SubstitutionModel& model);
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix (row-major n×n).
+/// Outputs eigenvalues and an orthogonal matrix whose *columns* are the
+/// corresponding eigenvectors. Exposed for testing.
+void jacobi_eigen(std::vector<double> symmetric, unsigned n,
+                  std::vector<double>& eigenvalues,
+                  std::vector<double>& eigenvectors);
+
+}  // namespace plfoc

@@ -1,0 +1,125 @@
+#include "model/gamma.hpp"
+
+#include <cmath>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+/// P(a, x) by its power series — converges fast for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Q(a, x) = 1 - P(a, x) by Lentz's continued fraction — for x >= a + 1.
+double gamma_q_continued_fraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  PLFOC_CHECK(a > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_continued_fraction(a, x);
+}
+
+double gamma_quantile(double p, double shape, double rate) {
+  PLFOC_CHECK(p > 0.0 && p < 1.0);
+  PLFOC_CHECK(shape > 0.0 && rate > 0.0);
+
+  // Solve P(shape, y) = p for the unit-rate variable y (x = y / rate) in
+  // u = log(y): small shapes put the quantile at ~10^{-1/shape} scales, so a
+  // linear-space bracket loses all relative precision there.
+  const double g = std::lgamma(shape);
+
+  // Bracket in u. A safe lower start comes from the series leading term
+  // P(a, y) ~ y^a / (a Γ(a)), i.e. y0 = (p a Γ(a))^{1/a}, an underestimate
+  // up to the e^{-y} factor; expand outward to be safe.
+  double u_lo = (std::log(p * shape) + g) / shape - 1.0;
+  if (!std::isfinite(u_lo)) u_lo = -700.0;
+  double u_hi = std::log(shape + 10.0 * std::sqrt(shape) + 10.0);
+  while (regularized_gamma_p(shape, std::exp(u_lo)) > p) u_lo -= 5.0;
+  while (regularized_gamma_p(shape, std::exp(u_hi)) < p) u_hi += 1.0;
+
+  double u = 0.5 * (u_lo + u_hi);
+  for (int iter = 0; iter < 300; ++iter) {
+    const double y = std::exp(u);
+    const double f = regularized_gamma_p(shape, y) - p;
+    if (f > 0.0)
+      u_hi = u;
+    else
+      u_lo = u;
+    // dP/du = pdf(y) * y = exp(a ln y - y - lgamma(a)).
+    const double dfdu = std::exp(shape * u - y - g);
+    double next = (dfdu > 1e-300) ? u - f / dfdu : 0.5 * (u_lo + u_hi);
+    if (!(next > u_lo) || !(next < u_hi)) next = 0.5 * (u_lo + u_hi);
+    if (std::abs(next - u) < 1e-14) {
+      u = next;
+      break;
+    }
+    u = next;
+  }
+  return std::exp(u) / rate;
+}
+
+std::vector<double> discrete_gamma_rates(double alpha, unsigned categories) {
+  PLFOC_CHECK(alpha > 0.0);
+  PLFOC_CHECK(categories >= 1);
+  if (categories == 1) return {1.0};
+
+  const unsigned k = categories;
+  // Cut points of K equal-probability classes of Gamma(alpha, alpha)
+  // (mean 1), then the mean rate within each class via the identity
+  //   E[X · 1{X < q}] = P(alpha + 1, alpha·q)   for X ~ Gamma(alpha, alpha).
+  std::vector<double> upper_mass(k, 1.0);
+  for (unsigned i = 0; i + 1 < k; ++i) {
+    const double q =
+        gamma_quantile(static_cast<double>(i + 1) / k, alpha, alpha);
+    upper_mass[i] = regularized_gamma_p(alpha + 1.0, alpha * q);
+  }
+  std::vector<double> rates(k);
+  double previous = 0.0;
+  for (unsigned i = 0; i < k; ++i) {
+    rates[i] = (upper_mass[i] - previous) * k;
+    previous = upper_mass[i];
+  }
+  // Normalise the (already ~1) mean exactly to 1 so branch lengths keep their
+  // expected-substitutions interpretation.
+  double mean = 0.0;
+  for (double r : rates) mean += r;
+  mean /= k;
+  PLFOC_CHECK(mean > 0.0);
+  for (double& r : rates) r /= mean;
+  return rates;
+}
+
+}  // namespace plfoc

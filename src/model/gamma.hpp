@@ -1,0 +1,23 @@
+// Discrete Γ rate heterogeneity (Yang 1994) and the special functions it
+// needs. The paper runs everything under "the standard (and biologically
+// meaningful) Γ model of rate heterogeneity with 4 discrete rates", which
+// multiplies ancestral-vector memory by the category count (Sec. 3.1).
+#pragma once
+
+#include <vector>
+
+namespace plfoc {
+
+/// Regularised lower incomplete gamma P(a, x) (series / continued fraction).
+double regularized_gamma_p(double a, double x);
+
+/// Quantile of the Gamma(shape, rate) distribution: smallest x with
+/// P(shape, rate·x) >= p. Bracketed Newton iteration; p in (0, 1).
+double gamma_quantile(double p, double shape, double rate);
+
+/// The K category rates of the discrete Γ approximation with shape alpha
+/// (mean-of-equal-probability-classes discretisation; the rates average
+/// to exactly 1 after normalisation). K >= 1; K == 1 returns {1.0}.
+std::vector<double> discrete_gamma_rates(double alpha, unsigned categories);
+
+}  // namespace plfoc

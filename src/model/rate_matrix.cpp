@@ -1,0 +1,116 @@
+#include "model/rate_matrix.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+std::size_t SubstitutionModel::pair_index(unsigned i, unsigned j,
+                                          unsigned states) {
+  PLFOC_DCHECK(i < j && j < states);
+  // Row-major upper triangle: row i starts after (states-1) + ... + (states-i)
+  // entries.
+  return static_cast<std::size_t>(i) * states - static_cast<std::size_t>(i) * (i + 1) / 2 +
+         (j - i - 1);
+}
+
+void SubstitutionModel::validate() const {
+  const unsigned s = states();
+  PLFOC_REQUIRE(frequencies.size() == s,
+                "model '" + name + "': frequency vector has wrong size");
+  PLFOC_REQUIRE(exchangeabilities.size() == static_cast<std::size_t>(s) * (s - 1) / 2,
+                "model '" + name + "': exchangeability vector has wrong size");
+  double total = 0.0;
+  for (double f : frequencies) {
+    PLFOC_REQUIRE(std::isfinite(f) && f > 0.0,
+                  "model '" + name + "': frequencies must be positive");
+    total += f;
+  }
+  PLFOC_REQUIRE(std::abs(total - 1.0) < 1e-8,
+                "model '" + name + "': frequencies must sum to 1");
+  for (double r : exchangeabilities)
+    PLFOC_REQUIRE(std::isfinite(r) && r > 0.0,
+                  "model '" + name + "': exchangeabilities must be positive");
+}
+
+namespace {
+
+SubstitutionModel make_dna(std::string name, std::vector<double> rates,
+                           std::vector<double> freqs) {
+  SubstitutionModel model;
+  model.name = std::move(name);
+  model.type = DataType::kDna;
+  model.frequencies = std::move(freqs);
+  model.exchangeabilities = std::move(rates);
+  model.validate();
+  return model;
+}
+
+}  // namespace
+
+SubstitutionModel jc69() {
+  return make_dna("JC69", std::vector<double>(6, 1.0),
+                  std::vector<double>(4, 0.25));
+}
+
+SubstitutionModel k80(double kappa) {
+  PLFOC_REQUIRE(kappa > 0.0, "K80: kappa must be positive");
+  // State order A, C, G, T; transitions are A<->G and C<->T.
+  return make_dna("K80", {1.0, kappa, 1.0, 1.0, kappa, 1.0},
+                  std::vector<double>(4, 0.25));
+}
+
+SubstitutionModel hky85(double kappa, std::vector<double> frequencies) {
+  PLFOC_REQUIRE(kappa > 0.0, "HKY85: kappa must be positive");
+  return make_dna("HKY85", {1.0, kappa, 1.0, 1.0, kappa, 1.0},
+                  std::move(frequencies));
+}
+
+SubstitutionModel gtr(std::vector<double> rates,
+                      std::vector<double> frequencies) {
+  PLFOC_REQUIRE(rates.size() == 6, "GTR: expected 6 rates (AC AG AT CG CT GT)");
+  return make_dna("GTR", std::move(rates), std::move(frequencies));
+}
+
+SubstitutionModel poisson_protein() {
+  SubstitutionModel model;
+  model.name = "Poisson";
+  model.type = DataType::kProtein;
+  model.frequencies.assign(20, 0.05);
+  model.exchangeabilities.assign(190, 1.0);
+  model.validate();
+  return model;
+}
+
+std::vector<double> build_rate_matrix(const SubstitutionModel& model) {
+  model.validate();
+  const unsigned s = model.states();
+  std::vector<double> q(static_cast<std::size_t>(s) * s, 0.0);
+  for (unsigned i = 0; i < s; ++i) {
+    for (unsigned j = 0; j < s; ++j) {
+      if (i == j) continue;
+      const unsigned lo = std::min(i, j);
+      const unsigned hi = std::max(i, j);
+      const double rho =
+          model.exchangeabilities[SubstitutionModel::pair_index(lo, hi, s)];
+      q[i * s + j] = rho * model.frequencies[j];
+    }
+  }
+  // Diagonal: rows sum to zero.
+  for (unsigned i = 0; i < s; ++i) {
+    double row = 0.0;
+    for (unsigned j = 0; j < s; ++j)
+      if (j != i) row += q[i * s + j];
+    q[i * s + i] = -row;
+  }
+  // Scale so the mean instantaneous rate is 1 substitution per unit time.
+  double mean_rate = 0.0;
+  for (unsigned i = 0; i < s; ++i) mean_rate -= model.frequencies[i] * q[i * s + i];
+  PLFOC_CHECK(mean_rate > 0.0);
+  for (double& value : q) value /= mean_rate;
+  return q;
+}
+
+}  // namespace plfoc

@@ -1,0 +1,56 @@
+// Time-reversible substitution models.
+//
+// A model is (equilibrium frequencies π, symmetric exchangeabilities ρ). The
+// instantaneous rate matrix is Q_ij = ρ_ij π_j (i≠j), diagonal set so rows
+// sum to zero, globally rescaled so the expected substitution rate
+// -Σ_i π_i Q_ii equals 1 (branch lengths are then expected substitutions per
+// site — the RAxML convention).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "msa/datatype.hpp"
+
+namespace plfoc {
+
+struct SubstitutionModel {
+  std::string name;
+  DataType type = DataType::kDna;
+  /// Equilibrium frequencies, size = num_states(type), strictly positive,
+  /// summing to 1.
+  std::vector<double> frequencies;
+  /// Upper-triangular exchangeabilities ρ_ij for i<j in row order
+  /// ((0,1), (0,2), ..., (S-2,S-1)); size S(S-1)/2, strictly positive.
+  std::vector<double> exchangeabilities;
+
+  unsigned states() const { return num_states(type); }
+  /// Index of ρ_ij in `exchangeabilities` (i < j).
+  static std::size_t pair_index(unsigned i, unsigned j, unsigned states);
+  /// Throws plfoc::Error if sizes/positivity/normalisation are violated.
+  void validate() const;
+};
+
+// --- DNA models --------------------------------------------------------------
+
+/// Jukes-Cantor 1969: uniform frequencies, all exchangeabilities equal.
+SubstitutionModel jc69();
+
+/// Kimura 1980: uniform frequencies, transition/transversion ratio kappa.
+SubstitutionModel k80(double kappa);
+
+/// Hasegawa-Kishino-Yano 1985: arbitrary frequencies + kappa.
+SubstitutionModel hky85(double kappa, std::vector<double> frequencies);
+
+/// General time-reversible: 6 rates (AC, AG, AT, CG, CT, GT) + frequencies.
+SubstitutionModel gtr(std::vector<double> rates, std::vector<double> frequencies);
+
+// --- Protein models ----------------------------------------------------------
+
+/// Poisson (the 20-state JC analogue): uniform frequencies and rates.
+SubstitutionModel poisson_protein();
+
+/// Build the dense S×S rate matrix Q (row-major), scaled to mean rate 1.
+std::vector<double> build_rate_matrix(const SubstitutionModel& model);
+
+}  // namespace plfoc

@@ -1,0 +1,71 @@
+#include "model/transition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+/// out = V diag(w) V^{-1}; the shared core of P and its derivatives.
+void weighted_reconstruct(const EigenSystem& eigen, const double* weights,
+                          double* out) {
+  const unsigned s = eigen.states;
+  for (unsigned i = 0; i < s; ++i) {
+    for (unsigned j = 0; j < s; ++j) {
+      double sum = 0.0;
+      for (unsigned k = 0; k < s; ++k)
+        sum += eigen.right[i * s + k] * weights[k] * eigen.inverse[k * s + j];
+      out[i * s + j] = sum;
+    }
+  }
+}
+
+}  // namespace
+
+void transition_matrix(const EigenSystem& eigen, double t, double* out) {
+  PLFOC_CHECK(t >= 0.0 && std::isfinite(t));
+  const unsigned s = eigen.states;
+  double weights[32] = {};
+  PLFOC_CHECK(s <= 32);
+  for (unsigned k = 0; k < s; ++k) weights[k] = std::exp(eigen.eigenvalues[k] * t);
+  weighted_reconstruct(eigen, weights, out);
+  // Clamp tiny negative round-off; probabilities must be non-negative for the
+  // likelihood kernels (log of negative would poison a whole site).
+  for (unsigned i = 0; i < s * s; ++i) out[i] = std::max(out[i], 0.0);
+}
+
+void transition_derivatives(const EigenSystem& eigen, double t, double* p,
+                            double* dp, double* d2p) {
+  PLFOC_CHECK(t >= 0.0 && std::isfinite(t));
+  const unsigned s = eigen.states;
+  PLFOC_CHECK(s <= 32);
+  double w0[32] = {};
+  double w1[32] = {};
+  double w2[32] = {};
+  for (unsigned k = 0; k < s; ++k) {
+    const double lambda = eigen.eigenvalues[k];
+    const double e = std::exp(lambda * t);
+    w0[k] = e;
+    w1[k] = lambda * e;
+    w2[k] = lambda * lambda * e;
+  }
+  if (p != nullptr) {
+    weighted_reconstruct(eigen, w0, p);
+    for (unsigned i = 0; i < s * s; ++i) p[i] = std::max(p[i], 0.0);
+  }
+  if (dp != nullptr) weighted_reconstruct(eigen, w1, dp);
+  if (d2p != nullptr) weighted_reconstruct(eigen, w2, d2p);
+}
+
+void category_transition_matrices(const EigenSystem& eigen, double t,
+                                  const std::vector<double>& rates,
+                                  std::vector<double>& out) {
+  const unsigned s = eigen.states;
+  out.resize(rates.size() * s * s);
+  for (std::size_t c = 0; c < rates.size(); ++c)
+    transition_matrix(eigen, t * rates[c], out.data() + c * s * s);
+}
+
+}  // namespace plfoc

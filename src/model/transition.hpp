@@ -1,0 +1,25 @@
+// Transition probability matrices P(t) = V e^{Λt} V^{-1} and their first two
+// derivatives in t (needed by Newton-Raphson branch-length optimisation).
+#pragma once
+
+#include <vector>
+
+#include "model/eigen.hpp"
+
+namespace plfoc {
+
+/// Fill `out` (row-major S×S) with P(t). t >= 0.
+void transition_matrix(const EigenSystem& eigen, double t, double* out);
+
+/// Fill p, dp, d2p (each row-major S×S, any may be nullptr) with P(t) and its
+/// first and second derivatives with respect to t.
+void transition_derivatives(const EigenSystem& eigen, double t, double* p,
+                            double* dp, double* d2p);
+
+/// Per-category transition matrices for a branch: out has
+/// categories × S × S entries; category c uses effective time t * rates[c].
+void category_transition_matrices(const EigenSystem& eigen, double t,
+                                  const std::vector<double>& rates,
+                                  std::vector<double>& out);
+
+}  // namespace plfoc

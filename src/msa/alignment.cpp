@@ -1,0 +1,90 @@
+#include "msa/alignment.hpp"
+
+#include <numeric>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+void Alignment::add_sequence(std::string name, std::string_view characters) {
+  PLFOC_REQUIRE(characters.size() == num_sites_,
+                "sequence '" + name + "' has length " +
+                    std::to_string(characters.size()) + ", expected " +
+                    std::to_string(num_sites_));
+  std::vector<std::uint8_t> codes;
+  codes.reserve(characters.size());
+  for (char c : characters) codes.push_back(encode_char(type_, c));
+  add_encoded(std::move(name), std::move(codes));
+}
+
+void Alignment::add_encoded(std::string name, std::vector<std::uint8_t> codes) {
+  PLFOC_REQUIRE(!name.empty(), "taxon names must be non-empty");
+  PLFOC_REQUIRE(codes.size() == num_sites_,
+                "encoded sequence length mismatch for taxon '" + name + "'");
+  PLFOC_REQUIRE(find_taxon(name) < 0, "duplicate taxon name '" + name + "'");
+  names_.push_back(std::move(name));
+  rows_.push_back(std::move(codes));
+}
+
+long Alignment::find_taxon(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<long>(i);
+  return -1;
+}
+
+std::string Alignment::text(std::size_t taxon) const {
+  PLFOC_CHECK(taxon < rows_.size());
+  std::string out;
+  out.reserve(num_sites_);
+  for (std::uint8_t code : rows_[taxon]) out.push_back(decode_char(type_, code));
+  return out;
+}
+
+void Alignment::set_weights(std::vector<double> weights) {
+  PLFOC_REQUIRE(weights.size() == num_sites_,
+                "weight vector length must equal the number of sites");
+  for (double w : weights)
+    PLFOC_REQUIRE(w > 0.0, "site weights must be positive");
+  weights_ = std::move(weights);
+}
+
+double Alignment::total_weight() const {
+  if (weights_.empty()) return static_cast<double>(num_sites_);
+  return std::accumulate(weights_.begin(), weights_.end(), 0.0);
+}
+
+std::vector<double> Alignment::empirical_frequencies() const {
+  const unsigned states = num_states(type_);
+  std::vector<double> counts(states, 0.0);
+  for (std::size_t taxon = 0; taxon < rows_.size(); ++taxon) {
+    for (std::size_t site = 0; site < num_sites_; ++site) {
+      const double w = weights_.empty() ? 1.0 : weights_[site];
+      const std::uint32_t mask = code_state_mask(type_, rows_[taxon][site]);
+      unsigned bits = 0;
+      for (unsigned s = 0; s < states; ++s) bits += (mask >> s) & 1u;
+      PLFOC_DCHECK(bits > 0);
+      const double share = w / bits;
+      for (unsigned s = 0; s < states; ++s)
+        if ((mask >> s) & 1u) counts[s] += share;
+    }
+  }
+  double total = std::accumulate(counts.begin(), counts.end(), 0.0);
+  if (total <= 0.0) return std::vector<double>(states, 1.0 / states);
+  for (double& c : counts) c /= total;
+  // Guard against zero frequencies (all-gap columns for a state): likelihood
+  // code divides by frequencies during ancestral state handling.
+  constexpr double kFloor = 1e-6;
+  bool floored = false;
+  for (double& c : counts)
+    if (c < kFloor) {
+      c = kFloor;
+      floored = true;
+    }
+  if (floored) {
+    total = std::accumulate(counts.begin(), counts.end(), 0.0);
+    for (double& c : counts) c /= total;
+  }
+  return counts;
+}
+
+}  // namespace plfoc

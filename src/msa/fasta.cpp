@@ -1,0 +1,79 @@
+#include "msa/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+Alignment read_fasta(std::istream& in, DataType type) {
+  std::vector<std::string> names;
+  std::vector<std::string> seqs;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    if (t[0] == '>') {
+      // Header: taxon name is the first whitespace-delimited token.
+      std::istringstream header(t.substr(1));
+      std::string name;
+      header >> name;
+      PLFOC_REQUIRE(!name.empty(), "FASTA header with empty name");
+      names.push_back(name);
+      seqs.emplace_back();
+    } else {
+      PLFOC_REQUIRE(!names.empty(), "FASTA sequence data before first header");
+      for (char c : t)
+        if (!std::isspace(static_cast<unsigned char>(c))) seqs.back().push_back(c);
+    }
+  }
+  PLFOC_REQUIRE(!names.empty(), "empty FASTA input");
+  const std::size_t sites = seqs.front().size();
+  PLFOC_REQUIRE(sites > 0, "first FASTA sequence is empty");
+  Alignment alignment(type, sites);
+  for (std::size_t i = 0; i < names.size(); ++i)
+    alignment.add_sequence(names[i], seqs[i]);
+  return alignment;
+}
+
+Alignment read_fasta_file(const std::string& path, DataType type) {
+  std::ifstream in(path);
+  PLFOC_REQUIRE(in.good(), "cannot open FASTA file '" + path + "'");
+  return read_fasta(in, type);
+}
+
+void write_fasta(std::ostream& out, const Alignment& alignment,
+                 std::size_t wrap) {
+  for (std::size_t taxon = 0; taxon < alignment.num_taxa(); ++taxon) {
+    out << '>' << alignment.name(taxon) << '\n';
+    const std::string text = alignment.text(taxon);
+    if (wrap == 0) {
+      out << text << '\n';
+    } else {
+      for (std::size_t pos = 0; pos < text.size(); pos += wrap)
+        out << text.substr(pos, wrap) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const Alignment& alignment,
+                      std::size_t wrap) {
+  std::ofstream out(path);
+  PLFOC_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  write_fasta(out, alignment, wrap);
+}
+
+}  // namespace plfoc

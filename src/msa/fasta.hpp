@@ -1,0 +1,26 @@
+// FASTA reading and writing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "msa/alignment.hpp"
+
+namespace plfoc {
+
+/// Parse a FASTA stream into an Alignment. All sequences must have equal
+/// length (this is an *alignment* reader). Throws plfoc::Error on malformed
+/// input.
+Alignment read_fasta(std::istream& in, DataType type);
+
+/// Convenience overload reading from a file path.
+Alignment read_fasta_file(const std::string& path, DataType type);
+
+/// Write an alignment in FASTA with `wrap` characters per line (0 = no wrap).
+void write_fasta(std::ostream& out, const Alignment& alignment,
+                 std::size_t wrap = 80);
+
+void write_fasta_file(const std::string& path, const Alignment& alignment,
+                      std::size_t wrap = 80);
+
+}  // namespace plfoc

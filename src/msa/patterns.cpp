@@ -1,0 +1,49 @@
+#include "msa/patterns.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+CompressionResult compress_patterns(const Alignment& alignment) {
+  const std::size_t taxa = alignment.num_taxa();
+  const std::size_t sites = alignment.num_sites();
+  PLFOC_REQUIRE(taxa >= 1 && sites >= 1, "cannot compress an empty alignment");
+  PLFOC_REQUIRE(alignment.weights().empty(),
+                "alignment is already pattern-compressed");
+
+  // Key each column by its raw code bytes.
+  std::unordered_map<std::string, std::size_t> first_seen;
+  first_seen.reserve(sites);
+  std::vector<std::size_t> site_to_pattern(sites);
+  std::vector<std::size_t> pattern_sites;  // representative site per pattern
+  std::vector<double> weights;
+  std::string key(taxa, '\0');
+  for (std::size_t site = 0; site < sites; ++site) {
+    for (std::size_t taxon = 0; taxon < taxa; ++taxon)
+      key[taxon] = static_cast<char>(alignment.row(taxon)[site]);
+    auto [it, inserted] = first_seen.emplace(key, pattern_sites.size());
+    if (inserted) {
+      pattern_sites.push_back(site);
+      weights.push_back(1.0);
+    } else {
+      weights[it->second] += 1.0;
+    }
+    site_to_pattern[site] = it->second;
+  }
+
+  Alignment compressed(alignment.data_type(), pattern_sites.size());
+  for (std::size_t taxon = 0; taxon < taxa; ++taxon) {
+    std::vector<std::uint8_t> row;
+    row.reserve(pattern_sites.size());
+    for (std::size_t pattern_site : pattern_sites)
+      row.push_back(alignment.row(taxon)[pattern_site]);
+    compressed.add_encoded(alignment.name(taxon), std::move(row));
+  }
+  compressed.set_weights(std::move(weights));
+  return {std::move(compressed), std::move(site_to_pattern)};
+}
+
+}  // namespace plfoc

@@ -1,0 +1,27 @@
+// Site-pattern compression.
+//
+// Identical alignment columns contribute identical per-site likelihood terms,
+// so they are collapsed into one *pattern* with an integer weight. This is the
+// standard RAxML preprocessing step; everything downstream (vector sizes, the
+// out-of-core slot width w, the Sec. 3.1 memory formulas) is expressed in
+// patterns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "msa/alignment.hpp"
+
+namespace plfoc {
+
+struct CompressionResult {
+  Alignment compressed;                 ///< one column per unique pattern, weights set
+  std::vector<std::size_t> site_to_pattern;  ///< original site -> pattern index
+};
+
+/// Collapse identical columns. Column identity is over encoded codes (so an
+/// 'N' and a '-' column entry, both the all-states code, compare equal).
+/// Patterns are emitted in order of first occurrence.
+CompressionResult compress_patterns(const Alignment& alignment);
+
+}  // namespace plfoc

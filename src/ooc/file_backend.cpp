@@ -1,0 +1,169 @@
+#include "ooc/file_backend.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+void pread_all(int fd, void* dst, std::size_t bytes, std::uint64_t offset) {
+  char* cursor = static_cast<char*>(dst);
+  std::size_t remaining = bytes;
+  while (remaining > 0) {
+    const ssize_t got = ::pread(fd, cursor, remaining,
+                                static_cast<off_t>(offset + (bytes - remaining)));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("pread failed: ") + std::strerror(errno));
+    }
+    PLFOC_REQUIRE(got > 0, "pread hit end of vector file (file truncated?)");
+    cursor += got;
+    remaining -= static_cast<std::size_t>(got);
+  }
+}
+
+void pwrite_all(int fd, const void* src, std::size_t bytes,
+                std::uint64_t offset) {
+  const char* cursor = static_cast<const char*>(src);
+  std::size_t remaining = bytes;
+  while (remaining > 0) {
+    const ssize_t put = ::pwrite(fd, cursor, remaining,
+                                 static_cast<off_t>(offset + (bytes - remaining)));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("pwrite failed: ") + std::strerror(errno));
+    }
+    cursor += put;
+    remaining -= static_cast<std::size_t>(put);
+  }
+}
+
+}  // namespace
+
+FileBackend::FileBackend(std::size_t count, std::size_t bytes_per_vector,
+                         FileBackendOptions options)
+    : count_(count), bytes_per_vector_(bytes_per_vector),
+      options_(std::move(options)) {
+  PLFOC_REQUIRE(count_ > 0 && bytes_per_vector_ > 0,
+                "FileBackend needs a positive vector count and width");
+  PLFOC_REQUIRE(options_.num_files >= 1 && options_.num_files <= 64,
+                "FileBackend supports 1..64 stripe files");
+  PLFOC_REQUIRE(!options_.base_path.empty(), "FileBackend needs a file path");
+
+  for (unsigned k = 0; k < options_.num_files; ++k) {
+    std::string path = options_.base_path;
+    if (options_.num_files > 1) path += "." + std::to_string(k);
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+    PLFOC_REQUIRE(fd >= 0, "cannot create vector file '" + path + "': " +
+                               std::strerror(errno));
+    fds_.push_back(fd);
+    paths_.push_back(std::move(path));
+  }
+
+  if (options_.preallocate) {
+    // Vectors stripe round-robin: file k holds ceil((count - k)/num_files).
+    for (unsigned k = 0; k < options_.num_files; ++k) {
+      const std::uint64_t vectors_in_file =
+          (count_ + options_.num_files - 1 - k) / options_.num_files;
+      const int rc = ::ftruncate(
+          fds_[k], static_cast<off_t>(vectors_in_file * bytes_per_vector_));
+      PLFOC_REQUIRE(rc == 0, std::string("ftruncate failed: ") +
+                                 std::strerror(errno));
+    }
+  }
+}
+
+FileBackend::~FileBackend() {
+  for (int fd : fds_) ::close(fd);
+  if (options_.remove_on_close)
+    for (const std::string& path : paths_) ::unlink(path.c_str());
+}
+
+FileBackend::Location FileBackend::locate(std::uint32_t index) const {
+  PLFOC_DCHECK(index < count_);
+  const unsigned file = index % options_.num_files;
+  const std::uint64_t slot = index / options_.num_files;
+  return {fds_[file], slot * bytes_per_vector_};
+}
+
+void FileBackend::charge(std::size_t bytes) {
+  io_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (!options_.device.enabled()) return;
+  std::uint64_t ns = options_.device.seek_latency_ns;
+  if (options_.device.bytes_per_second != 0)
+    ns += static_cast<std::uint64_t>(bytes) * 1'000'000'000ull /
+          options_.device.bytes_per_second;
+  modeled_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void FileBackend::read_vector(std::uint32_t index, void* dst) {
+  const Location loc = locate(index);
+  pread_all(loc.fd, dst, bytes_per_vector_, loc.offset);
+  charge(bytes_per_vector_);
+}
+
+void FileBackend::write_vector(std::uint32_t index, const void* src) {
+  const Location loc = locate(index);
+  pwrite_all(loc.fd, src, bytes_per_vector_, loc.offset);
+  charge(bytes_per_vector_);
+}
+
+void FileBackend::read_bytes(std::uint64_t offset, void* dst,
+                             std::size_t bytes) {
+  PLFOC_CHECK(options_.num_files == 1);
+  PLFOC_DCHECK(offset + bytes <= total_bytes());
+  pread_all(fds_[0], dst, bytes, offset);
+  charge(bytes);
+}
+
+void FileBackend::write_bytes(std::uint64_t offset, const void* src,
+                              std::size_t bytes) {
+  PLFOC_CHECK(options_.num_files == 1);
+  PLFOC_DCHECK(offset + bytes <= total_bytes());
+  pwrite_all(fds_[0], src, bytes, offset);
+  charge(bytes);
+}
+
+void FileBackend::write_ranges_clustered(const IoRange* ranges,
+                                         std::size_t count, const void* base) {
+  PLFOC_CHECK(options_.num_files == 1);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    PLFOC_DCHECK(ranges[i].offset + ranges[i].bytes <= total_bytes());
+    pwrite_all(fds_[0],
+               static_cast<const char*>(base) + ranges[i].offset,
+               ranges[i].bytes, ranges[i].offset);
+    total += ranges[i].bytes;
+  }
+  if (count > 0) charge(total);  // one device operation for the cluster
+}
+
+void FileBackend::drop_page_cache() {
+  for (int fd : fds_) {
+    ::fsync(fd);
+#ifdef POSIX_FADV_DONTNEED
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+#endif
+  }
+}
+
+void FileBackend::sync() {
+  for (int fd : fds_) ::fsync(fd);
+}
+
+std::string temp_vector_file_path(const std::string& tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string dir = (tmpdir != nullptr && *tmpdir != '\0') ? tmpdir : "/tmp";
+  return dir + "/plfoc_" + tag + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".bin";
+}
+
+}  // namespace plfoc

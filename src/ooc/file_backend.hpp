@@ -1,0 +1,118 @@
+// Binary backing file(s) for ancestral probability vectors.
+//
+// Vectors are stored contiguously in one binary file (Sec. 3.2); splitting
+// across several files is supported (the paper found "minimal" performance
+// differences) by striping vectors round-robin. The logical block size equals
+// one vector — far above the 512 B / 8 KiB hardware block granularity — so
+// every transfer is one large contiguous pread/pwrite.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plfoc {
+
+/// Deterministic storage-device cost model. The paper's Fig. 5 machine had
+/// 2 GB of RAM, so its vector file could never be page-cached and every
+/// transfer paid real device latency; on a large-RAM host the OS page cache
+/// absorbs the file and wall clock no longer reflects the disk-bound regime.
+/// When enabled, every read/write additionally accrues
+///   seek_latency_ns + bytes * 1e9 / bytes_per_second
+/// of virtual device time, which benchmarks report alongside wall time.
+/// Defaults model a ~2010 consumer HDD (the paper's era).
+struct DeviceModel {
+  std::uint64_t seek_latency_ns = 0;      ///< per-operation cost (0 = disabled)
+  std::uint64_t bytes_per_second = 0;     ///< sequential bandwidth (0 = disabled)
+
+  bool enabled() const { return seek_latency_ns != 0 || bytes_per_second != 0; }
+  static DeviceModel hdd_2010() { return {8'000'000, 100'000'000}; }
+  static DeviceModel ssd() { return {80'000, 500'000'000}; }
+};
+
+struct FileBackendOptions {
+  std::string base_path;      ///< file path; file k gets suffix ".k" if num_files > 1
+  unsigned num_files = 1;     ///< stripe count (paper: 1 by default)
+  bool preallocate = true;    ///< ftruncate to full size up front (zero-filled)
+  bool remove_on_close = true;  ///< unlink backing files in the destructor
+  DeviceModel device;         ///< virtual device cost accounting (off by default)
+};
+
+class FileBackend {
+ public:
+  /// Creates/opens the backing file(s) for `count` vectors of
+  /// `bytes_per_vector` bytes each.
+  FileBackend(std::size_t count, std::size_t bytes_per_vector,
+              FileBackendOptions options);
+  ~FileBackend();
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  std::size_t count() const { return count_; }
+  std::size_t bytes_per_vector() const { return bytes_per_vector_; }
+  std::uint64_t total_bytes() const {
+    return static_cast<std::uint64_t>(count_) * bytes_per_vector_;
+  }
+
+  /// Read/write one whole vector (one logical block).
+  void read_vector(std::uint32_t index, void* dst);
+  void write_vector(std::uint32_t index, const void* src);
+
+  /// Byte-granularity access into the single-file linear vector space
+  /// (vector i occupies [i*w, (i+1)*w)). Used by the paged baseline.
+  /// Requires num_files == 1.
+  void read_bytes(std::uint64_t offset, void* dst, std::size_t bytes);
+  void write_bytes(std::uint64_t offset, const void* src, std::size_t bytes);
+
+  /// One clustered write: several file ranges (offsets into the linear
+  /// space, data taken from `base + offset`) written as a *single* device
+  /// operation for accounting purposes — models the OS coalescing dirty
+  /// pages into one swap-out. Requires num_files == 1.
+  struct IoRange {
+    std::uint64_t offset;
+    std::size_t bytes;
+  };
+  void write_ranges_clustered(const IoRange* ranges, std::size_t count,
+                              const void* base);
+
+  /// Ask the OS to drop its page cache for the backing files so subsequent
+  /// reads hit the device (benchmark cold-cache mode). Best effort.
+  void drop_page_cache();
+
+  /// fsync all backing files.
+  void sync();
+
+  /// Accumulated virtual device time (0 if the DeviceModel is disabled).
+  double modeled_device_seconds() const {
+    return static_cast<double>(modeled_ns_.load()) * 1e-9;
+  }
+  /// Total read+write operations issued.
+  std::uint64_t io_operations() const { return io_ops_.load(); }
+  void reset_device_accounting() {
+    modeled_ns_.store(0);
+    io_ops_.store(0);
+  }
+
+ private:
+  void charge(std::size_t bytes);
+
+  struct Location {
+    int fd;
+    std::uint64_t offset;
+  };
+  Location locate(std::uint32_t index) const;
+
+  std::size_t count_;
+  std::size_t bytes_per_vector_;
+  FileBackendOptions options_;
+  std::vector<int> fds_;
+  std::vector<std::string> paths_;
+  std::atomic<std::uint64_t> modeled_ns_{0};
+  std::atomic<std::uint64_t> io_ops_{0};
+};
+
+/// A unique temporary file path under $TMPDIR (or /tmp) for vector files.
+std::string temp_vector_file_path(const std::string& tag);
+
+}  // namespace plfoc

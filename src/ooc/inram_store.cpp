@@ -1,0 +1,17 @@
+#include "ooc/inram_store.hpp"
+
+namespace plfoc {
+
+InRamStore::InRamStore(std::size_t count, std::size_t width)
+    : AncestralStore(count, width), arena_(count * width) {}
+
+double* InRamStore::do_acquire(std::uint32_t index, AccessMode /*mode*/) {
+  PLFOC_CHECK(index < count_);
+  ++stats_.accesses;
+  ++stats_.hits;
+  return arena_.data() + static_cast<std::size_t>(index) * width_;
+}
+
+void InRamStore::do_release(std::uint32_t /*index*/) {}
+
+}  // namespace plfoc

@@ -1,0 +1,25 @@
+// The "standard implementation" baseline: every ancestral probability vector
+// permanently resident in one contiguous RAM allocation (n == m). Acquire is
+// pointer arithmetic; all accesses are hits.
+#pragma once
+
+#include "ooc/storage.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace plfoc {
+
+class InRamStore final : public AncestralStore {
+ public:
+  InRamStore(std::size_t count, std::size_t width);
+
+  const char* backend_name() const override { return "in-ram"; }
+
+ protected:
+  double* do_acquire(std::uint32_t index, AccessMode mode) override;
+  void do_release(std::uint32_t index) override;
+
+ private:
+  AlignedBuffer arena_;
+};
+
+}  // namespace plfoc

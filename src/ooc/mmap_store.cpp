@@ -1,0 +1,69 @@
+#include "ooc/mmap_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+MmapStore::MmapStore(std::size_t count, std::size_t width,
+                     MmapStoreOptions options)
+    : AncestralStore(count, width), options_(std::move(options)) {
+  PLFOC_REQUIRE(!options_.file_path.empty(), "MmapStore needs a file path");
+  fd_ = ::open(options_.file_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  PLFOC_REQUIRE(fd_ >= 0, "cannot create vector file '" + options_.file_path +
+                              "': " + std::strerror(errno));
+  mapping_bytes_ = count * width * sizeof(double);
+  const int rc = ::ftruncate(fd_, static_cast<off_t>(mapping_bytes_));
+  PLFOC_REQUIRE(rc == 0,
+                std::string("ftruncate failed: ") + std::strerror(errno));
+  mapping_ = ::mmap(nullptr, mapping_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED, fd_, 0);
+  PLFOC_REQUIRE(mapping_ != MAP_FAILED,
+                std::string("mmap failed: ") + std::strerror(errno));
+  if (options_.advise_random)
+    ::madvise(mapping_, mapping_bytes_, MADV_RANDOM);
+}
+
+MmapStore::~MmapStore() {
+  if (mapping_ != nullptr && mapping_ != MAP_FAILED)
+    ::munmap(mapping_, mapping_bytes_);
+  if (fd_ >= 0) ::close(fd_);
+  if (options_.remove_on_close) ::unlink(options_.file_path.c_str());
+}
+
+double* MmapStore::do_acquire(std::uint32_t index, AccessMode /*mode*/) {
+  PLFOC_CHECK(index < count_);
+  ++stats_.accesses;
+  ++stats_.hits;  // from the application's view every access "hits" the map
+  return static_cast<double*>(mapping_) +
+         static_cast<std::size_t>(index) * width_;
+}
+
+void MmapStore::do_release(std::uint32_t /*index*/) {}
+
+void MmapStore::flush() {
+  const int rc = ::msync(mapping_, mapping_bytes_, MS_SYNC);
+  PLFOC_REQUIRE(rc == 0, std::string("msync failed: ") + std::strerror(errno));
+}
+
+double MmapStore::resident_fraction() const {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t pages =
+      (mapping_bytes_ + static_cast<std::size_t>(page) - 1) /
+      static_cast<std::size_t>(page);
+  std::vector<unsigned char> residency(pages, 0);
+  if (::mincore(mapping_, mapping_bytes_, residency.data()) != 0) return -1.0;
+  std::size_t resident = 0;
+  for (unsigned char byte : residency) resident += (byte & 1u);
+  return pages == 0 ? 0.0
+                    : static_cast<double>(resident) / static_cast<double>(pages);
+}
+
+}  // namespace plfoc

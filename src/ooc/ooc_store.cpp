@@ -1,0 +1,187 @@
+#include "ooc/ooc_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace plfoc {
+
+std::size_t OocStoreOptions::slots_from_fraction(double f, std::size_t count) {
+  PLFOC_REQUIRE(f > 0.0, "RAM fraction f must be positive");
+  const double m = std::round(f * static_cast<double>(count));
+  return std::max<std::size_t>(3, static_cast<std::size_t>(m));
+}
+
+std::size_t OocStoreOptions::slots_from_budget(std::uint64_t budget_bytes,
+                                               std::size_t width_doubles) {
+  const std::uint64_t w = width_doubles * sizeof(double);
+  PLFOC_REQUIRE(budget_bytes >= 3 * w,
+                "RAM budget must hold at least 3 ancestral vectors (m >= 3)");
+  return static_cast<std::size_t>(budget_bytes / w);
+}
+
+OutOfCoreStore::OutOfCoreStore(std::size_t count, std::size_t width,
+                               OocStoreOptions options)
+    : AncestralStore(count, width),
+      options_(std::move(options)),
+      arena_(std::min(options_.num_slots, count) * width),
+      slots_(std::min(options_.num_slots, count)),
+      vector_slot_(count, kNoSlot),
+      touched_(count, false),
+      float_scratch_(options_.disk_precision == DiskPrecision::kSingle ? width
+                                                                        : 0),
+      file_(count,
+            width * (options_.disk_precision == DiskPrecision::kSingle
+                         ? sizeof(float)
+                         : sizeof(double)),
+            options_.file),
+      strategy_(make_strategy(StrategyConfig{options_.policy, count,
+                                             options_.seed, options_.tree})) {
+  PLFOC_REQUIRE(options_.num_slots >= 3,
+                "the out-of-core store needs at least 3 slots (m >= 3)");
+  PLFOC_LOG(kInfo) << "out-of-core store: " << count << " vectors x " << width
+                   << " doubles, " << slots_.size() << " slots ("
+                   << (slot_memory_bytes() >> 20) << " MiB RAM), strategy="
+                   << strategy_->name();
+}
+
+bool OutOfCoreStore::is_resident(std::uint32_t index) const {
+  PLFOC_CHECK(index < count_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return vector_slot_[index] != kNoSlot;
+}
+
+void OutOfCoreStore::file_read(std::uint32_t index, double* dst) {
+  if (options_.disk_precision == DiskPrecision::kDouble) {
+    file_.read_vector(index, dst);
+  } else {
+    file_.read_vector(index, float_scratch_.data());
+    for (std::size_t i = 0; i < width_; ++i)
+      dst[i] = static_cast<double>(float_scratch_[i]);
+  }
+  ++stats_.file_reads;
+  stats_.bytes_read += file_.bytes_per_vector();
+}
+
+void OutOfCoreStore::file_write(std::uint32_t index, const double* src) {
+  if (options_.disk_precision == DiskPrecision::kDouble) {
+    file_.write_vector(index, src);
+  } else {
+    for (std::size_t i = 0; i < width_; ++i)
+      float_scratch_[i] = static_cast<float>(src[i]);
+    file_.write_vector(index, float_scratch_.data());
+  }
+  ++stats_.file_writes;
+  stats_.bytes_written += file_.bytes_per_vector();
+}
+
+std::uint32_t OutOfCoreStore::obtain_slot(std::uint32_t index) {
+  // Free slot available? (Cold phase, or count <= slots.)
+  for (std::uint32_t s = 0; s < slots_.size(); ++s)
+    if (slots_[s].vector == kNoVector) return s;
+
+  // Collect eviction candidates: resident and unpinned.
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(slots_.size());
+  for (const Slot& slot : slots_)
+    if (slot.pins == 0) candidates.push_back(slot.vector);
+  PLFOC_REQUIRE(!candidates.empty(),
+                "all RAM slots are pinned; the store needs more slots than "
+                "concurrently held leases");
+
+  const std::uint32_t victim = strategy_->choose_victim(
+      {candidates.data(), candidates.size()}, index);
+  const std::uint32_t slot = vector_slot_[victim];
+  PLFOC_CHECK(slot != kNoSlot && slots_[slot].vector == victim &&
+              slots_[slot].pins == 0);
+
+  // Swap the victim out. The paper's implementation always writes the victim
+  // back; dirty tracking (write_back_clean = false) is an ablation extension.
+  if (options_.write_back_clean || slots_[slot].dirty)
+    file_write(victim, slot_data(slot));
+  ++stats_.evictions;
+  strategy_->on_evict(victim);
+  vector_slot_[victim] = kNoSlot;
+  slots_[slot].vector = kNoVector;
+  slots_[slot].dirty = false;
+  return slot;
+}
+
+double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
+  PLFOC_CHECK(index < count_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.accesses;
+
+  std::uint32_t slot = vector_slot_[index];
+  if (slot != kNoSlot) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    if (!touched_[index]) ++stats_.cold_misses;
+    slot = obtain_slot(index);
+    // Swap the requested vector in — unless this access overwrites it anyway
+    // and read skipping applies (Sec. 3.4). First-ever accesses never have
+    // meaningful file contents either way (the file is zero-preallocated).
+    if (mode == AccessMode::kRead || !options_.read_skipping) {
+      file_read(index, slot_data(slot));
+    } else {
+      ++stats_.skipped_reads;
+    }
+    vector_slot_[index] = slot;
+    slots_[slot].vector = index;
+    strategy_->on_load(index);
+  }
+  touched_[index] = true;
+  ++slots_[slot].pins;
+  if (mode == AccessMode::kWrite) slots_[slot].dirty = true;
+  strategy_->on_access(index);
+  return slot_data(slot);
+}
+
+void OutOfCoreStore::do_release(std::uint32_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint32_t slot = vector_slot_[index];
+  PLFOC_CHECK(slot != kNoSlot && slots_[slot].pins > 0);
+  --slots_[slot].pins;
+}
+
+void OutOfCoreStore::prefetch(std::uint32_t index) {
+  PLFOC_CHECK(index < count_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (vector_slot_[index] != kNoSlot) return;  // already resident
+  // Never prefetch a vector that has not been written yet: the file holds no
+  // meaningful bytes for it, and the first real access will be write-mode.
+  if (!touched_[index]) return;
+  std::uint32_t slot;
+  try {
+    slot = obtain_slot(index);
+  } catch (const Error&) {
+    return;  // everything pinned; skip this prefetch
+  }
+  if (options_.disk_precision == DiskPrecision::kDouble) {
+    file_.read_vector(index, slot_data(slot));
+  } else {
+    file_.read_vector(index, float_scratch_.data());
+    double* dst = slot_data(slot);
+    for (std::size_t i = 0; i < width_; ++i)
+      dst[i] = static_cast<double>(float_scratch_[i]);
+  }
+  ++stats_.prefetch_reads;
+  stats_.bytes_read += file_.bytes_per_vector();
+  vector_slot_[index] = slot;
+  slots_[slot].vector = index;
+  strategy_->on_load(index);
+}
+
+void OutOfCoreStore::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].vector == kNoVector || !slots_[s].dirty) continue;
+    file_write(slots_[s].vector, slot_data(s));
+    slots_[s].dirty = false;
+  }
+  file_.sync();
+}
+
+}  // namespace plfoc

@@ -1,0 +1,118 @@
+// The out-of-core slot manager — the paper's core contribution (Sec. 3.2-3.4).
+//
+// All `count` ancestral probability vectors live in a binary backing file;
+// only `m` RAM slots of w bytes each are allocated (m = f·n in the paper's
+// experiments, or m chosen from a byte budget as with RAxML's -L flag).
+// An acquire of a non-resident vector selects a victim slot through the
+// configured replacement strategy (pinned slots excluded), swaps the victim
+// out to the file, and the requested vector in — unless the access is
+// write-only and read skipping elides the swap-in read.
+//
+// Thread safety: all slot-table mutations are guarded by one mutex so the
+// optional prefetch thread (ooc/prefetch.hpp) can swap vectors in while the
+// likelihood engine computes. Lease data pointers remain stable while pinned.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "ooc/file_backend.hpp"
+#include "ooc/replacement.hpp"
+#include "ooc/storage.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace plfoc {
+
+/// On-disk numeric precision of ancestral vectors. The paper's companion
+/// technique (Berger & Stamatakis 2010, cited as [1]) halves PLF memory with
+/// single-precision arithmetic and the paper notes the approaches compose:
+/// kSingle stores vectors as floats on disk (half the file size and half the
+/// transfer bytes) while RAM slots and kernels stay double. Swaps convert.
+/// Results are no longer bit-identical to all-double runs (a controlled,
+/// tested perturbation ~1e-7 relative per value); default remains kDouble.
+enum class DiskPrecision { kDouble, kSingle };
+
+struct OocStoreOptions {
+  /// Number of RAM slots m (>= 3; the engine pins up to 3 vectors at once).
+  std::size_t num_slots = 3;
+  ReplacementPolicy policy = ReplacementPolicy::kRandom;
+  /// Elide the swap-in read for write-only first accesses (Sec. 3.4).
+  bool read_skipping = true;
+  DiskPrecision disk_precision = DiskPrecision::kDouble;
+  /// Paper behaviour: a swap always writes the victim back. With false,
+  /// clean victims are dropped without a write (dirty-tracking extension).
+  bool write_back_clean = true;
+  std::uint64_t seed = 1;                  ///< Random strategy seed
+  const Tree* tree = nullptr;              ///< required for kTopological
+  FileBackendOptions file;                 ///< backing file configuration
+
+  /// Convenience: slots from the paper's fraction parameter f (m = max(3, round(f·n))).
+  static std::size_t slots_from_fraction(double f, std::size_t count);
+  /// Convenience: slots from a RAM byte budget (RAxML's -L flag).
+  static std::size_t slots_from_budget(std::uint64_t budget_bytes,
+                                       std::size_t width_doubles);
+};
+
+class OutOfCoreStore final : public AncestralStore {
+ public:
+  OutOfCoreStore(std::size_t count, std::size_t width, OocStoreOptions options);
+
+  const char* backend_name() const override { return "out-of-core"; }
+  std::size_t num_slots() const { return slots_.size(); }
+  const char* strategy_name() const { return strategy_->name(); }
+
+  /// True if the vector is currently in a RAM slot.
+  bool is_resident(std::uint32_t index) const;
+
+  /// Bring `index` into RAM (read mode) without pinning it; used by the
+  /// prefetch thread. No-op if resident; never evicts a pinned vector.
+  /// Counted in stats().prefetch_reads, not as an access.
+  void prefetch(std::uint32_t index);
+
+  /// Write all resident vectors back to the file (e.g. before checkpointing).
+  void flush() override;
+
+  /// Backing-file accounting (I/O op counts, modeled device time).
+  const FileBackend& file() const { return file_; }
+  FileBackend& file() { return file_; }
+
+  /// RAM actually allocated for slots, in bytes.
+  std::uint64_t slot_memory_bytes() const {
+    return static_cast<std::uint64_t>(slots_.size()) * width_ * sizeof(double);
+  }
+
+ protected:
+  double* do_acquire(std::uint32_t index, AccessMode mode) override;
+  void do_release(std::uint32_t index) override;
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kNoVector = 0xFFFFFFFFu;
+
+  struct Slot {
+    std::uint32_t vector = kNoVector;
+    std::uint32_t pins = 0;
+    bool dirty = false;
+  };
+
+  double* slot_data(std::uint32_t slot) {
+    return arena_.data() + static_cast<std::size_t>(slot) * width_;
+  }
+  /// Pick (evicting if needed) a slot for `index`; requires lock held.
+  std::uint32_t obtain_slot(std::uint32_t index);
+  /// Vector-level file transfer honouring disk_precision; lock held.
+  void file_read(std::uint32_t index, double* dst);
+  void file_write(std::uint32_t index, const double* src);
+
+  OocStoreOptions options_;
+  AlignedBuffer arena_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> vector_slot_;  ///< per vector: slot or kNoSlot
+  std::vector<bool> touched_;               ///< vector ever accessed (cold-miss tracking)
+  std::vector<float> float_scratch_;        ///< conversion buffer (kSingle only)
+  FileBackend file_;
+  std::unique_ptr<ReplacementStrategy> strategy_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace plfoc

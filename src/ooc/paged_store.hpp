@@ -1,0 +1,105 @@
+// Deterministic OS-paging baseline (the "standard implementation" of Fig. 5).
+//
+// The paper compares its out-of-core layer against unmodified RAxML whose
+// ancestral vectors overflow RAM and are demand-paged to swap by the OS. We
+// reproduce that mechanism deterministically: the vectors' full linear
+// address space is backed by the same kind of binary file, and a page cache
+// of `budget_bytes` with 4 KiB pages and LRU replacement mediates every
+// vector access. This models exactly what generic paging does differently
+// from the application-specific layer:
+//
+//  * granularity is a hardware page, not a whole vector, so one vector access
+//    costs ~w/4096 page faults once the working set exceeds the budget;
+//  * there is no read skipping — the OS cannot know a page is about to be
+//    fully overwritten, so every fault reads the page from the device;
+//  * there is no pinning or topology knowledge, only recency.
+//
+// Pages of currently leased vectors are held resident for the lease's
+// lifetime (equivalent to the OS keeping the active working set mapped; this
+// is *generous* to the baseline). Faults perform real file I/O, so both
+// counted statistics and wall-clock comparisons are meaningful.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "ooc/file_backend.hpp"
+#include "ooc/storage.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace plfoc {
+
+struct PagedStoreOptions {
+  std::uint64_t budget_bytes = 0;   ///< page-cache size ("physical RAM")
+  std::size_t page_bytes = 4096;    ///< hardware page size
+  /// Swap readahead: pages brought in per fault I/O (Linux page-cluster=3
+  /// corresponds to 8 pages). 1 disables clustering.
+  unsigned read_cluster_pages = 8;
+  /// Swap-out coalescing: dirty pages written per eviction I/O.
+  unsigned write_cluster_pages = 8;
+  FileBackendOptions file;          ///< backing file (single file required)
+};
+
+class PagedStore final : public AncestralStore {
+ public:
+  PagedStore(std::size_t count, std::size_t width, PagedStoreOptions options);
+
+  const char* backend_name() const override { return "paged"; }
+
+  std::uint64_t page_faults() const { return stats_.misses; }
+  std::size_t num_page_frames() const { return frames_; }
+
+  /// Backing-file accounting (I/O op counts, modeled device time).
+  const FileBackend& file() const { return file_; }
+  FileBackend& file() { return file_; }
+
+ protected:
+  double* do_acquire(std::uint32_t index, AccessMode mode) override;
+  void do_release(std::uint32_t index) override;
+
+ private:
+  static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+
+  struct PageMeta {
+    bool resident = false;
+    bool dirty = false;
+    /// Page has been swapped out at least once. First-ever faults are
+    /// zero-fill-on-demand (anonymous memory), not device reads.
+    bool swapped_out = false;
+    std::uint32_t pins = 0;
+    // Intrusive LRU list links (page numbers), valid while resident+unpinned.
+    std::uint64_t prev = kNoPage;
+    std::uint64_t next = kNoPage;
+  };
+
+  std::uint64_t first_page(std::uint32_t index) const {
+    return static_cast<std::uint64_t>(index) * width_ * sizeof(double) /
+           options_.page_bytes;
+  }
+  std::uint64_t last_page(std::uint32_t index) const {
+    return (static_cast<std::uint64_t>(index + 1) * width_ * sizeof(double) -
+            1) /
+           options_.page_bytes;
+  }
+
+  void lru_push_front(std::uint64_t page);
+  void lru_remove(std::uint64_t page);
+  /// Bring `page` (plus readahead) into the cache; one clustered device read.
+  void fault_cluster(std::uint64_t page);
+  /// Free at least `needed` frames, coalescing dirty write-back.
+  void make_room(std::size_t needed);
+
+  PagedStoreOptions options_;
+  AlignedBuffer arena_;  ///< the full vector address space
+  FileBackend file_;
+  std::vector<PageMeta> pages_;
+  std::size_t frames_ = 0;          ///< page-cache capacity in pages
+  std::size_t resident_count_ = 0;  ///< pages currently "in RAM"
+  std::uint64_t lru_head_ = kNoPage;  ///< most recently used
+  std::uint64_t lru_tail_ = kNoPage;  ///< least recently used
+  std::vector<AccessMode> lease_mode_;  ///< active lease mode per vector
+  std::vector<std::uint32_t> lease_count_;
+  std::mutex mutex_;
+};
+
+}  // namespace plfoc

@@ -1,0 +1,62 @@
+#include "ooc/prefetch.hpp"
+
+namespace plfoc {
+
+Prefetcher::Prefetcher(OutOfCoreStore& store, std::size_t lookahead)
+    : store_(store), lookahead_(lookahead == 0 ? 1 : lookahead),
+      thread_([this] { worker(); }) {}
+
+Prefetcher::~Prefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+}
+
+void Prefetcher::submit(std::vector<std::uint32_t> upcoming) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = std::move(upcoming);
+    next_ = 0;
+    cursor_ = 0;
+  }
+  wake_.notify_one();
+}
+
+void Prefetcher::notify_progress(std::size_t consumed) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (consumed <= cursor_) return;
+    cursor_ = consumed > plan_.size() ? plan_.size() : consumed;
+    // Entries the engine already consumed are no longer worth fetching.
+    if (next_ < cursor_) next_ = cursor_;
+  }
+  wake_.notify_one();
+}
+
+void Prefetcher::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return next_ >= window_end() && !busy_; });
+}
+
+void Prefetcher::worker() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [this] { return stop_ || next_ < window_end(); });
+    if (stop_) return;
+    const std::uint32_t index = plan_[next_++];
+    busy_ = true;
+    lock.unlock();
+    // The store's own mutex serialises against the engine; prefetch never
+    // evicts pinned vectors and silently skips when everything is pinned or
+    // the vector is resident already.
+    store_.prefetch(index);
+    lock.lock();
+    busy_ = false;
+    if (next_ >= window_end()) idle_.notify_all();
+  }
+}
+
+}  // namespace plfoc

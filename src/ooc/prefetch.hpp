@@ -1,0 +1,68 @@
+// Prefetch thread — the paper's Sec. 5 future-work item, implemented as an
+// optional extension. A traversal descriptor reveals the exact order in which
+// ancestral vectors will be read, so a background thread can swap upcoming
+// vectors into RAM while the likelihood kernels compute, hiding swap-in
+// latency.
+//
+// The worker is *cursor-coupled* to the engine: the engine reports how many
+// entries of the submitted read sequence it has consumed, and the worker only
+// prefetches within a bounded lookahead window beyond that cursor. Without
+// the window the worker trails the engine (re-reading vectors that were
+// already consumed and evicted — pure waste); without the cursor it cannot
+// skip entries the engine has already taken the miss for.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ooc/ooc_store.hpp"
+
+namespace plfoc {
+
+class Prefetcher {
+ public:
+  /// Starts the worker thread. The store must outlive the Prefetcher.
+  /// `lookahead` bounds how far beyond the engine's cursor the worker runs
+  /// (in read-sequence entries).
+  explicit Prefetcher(OutOfCoreStore& store, std::size_t lookahead = 8);
+  ~Prefetcher();
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Replace the plan with the read sequence of the next traversal (the
+  /// inner-vector indices in the order the engine will read them). Resets
+  /// the progress cursor.
+  void submit(std::vector<std::uint32_t> upcoming);
+
+  /// The engine has consumed `consumed` entries of the current plan; the
+  /// worker may advance its window accordingly.
+  void notify_progress(std::size_t consumed);
+
+  /// Block until the worker has prefetched everything currently allowed by
+  /// the window (for deterministic tests).
+  void drain();
+
+ private:
+  void worker();
+  std::size_t window_end() const {
+    const std::size_t end = cursor_ + lookahead_;
+    return end < plan_.size() ? end : plan_.size();
+  }
+
+  OutOfCoreStore& store_;
+  const std::size_t lookahead_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::vector<std::uint32_t> plan_;
+  std::size_t next_ = 0;    ///< worker position in plan_
+  std::size_t cursor_ = 0;  ///< engine progress in plan_
+  bool stop_ = false;
+  bool busy_ = false;
+  std::thread thread_;
+};
+
+}  // namespace plfoc

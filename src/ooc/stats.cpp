@@ -1,0 +1,36 @@
+#include "ooc/stats.hpp"
+
+#include <cstdio>
+
+namespace plfoc {
+
+OocStats& OocStats::operator+=(const OocStats& other) {
+  accesses += other.accesses;
+  hits += other.hits;
+  misses += other.misses;
+  cold_misses += other.cold_misses;
+  evictions += other.evictions;
+  file_reads += other.file_reads;
+  file_writes += other.file_writes;
+  skipped_reads += other.skipped_reads;
+  prefetch_reads += other.prefetch_reads;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  return *this;
+}
+
+std::string OocStats::summary() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "accesses=%llu miss_rate=%.4f read_rate=%.4f reads=%llu "
+                "writes=%llu skipped=%llu MB_read=%.1f MB_written=%.1f",
+                static_cast<unsigned long long>(accesses), miss_rate(),
+                read_rate(), static_cast<unsigned long long>(file_reads),
+                static_cast<unsigned long long>(file_writes),
+                static_cast<unsigned long long>(skipped_reads),
+                static_cast<double>(bytes_read) / 1048576.0,
+                static_cast<double>(bytes_written) / 1048576.0);
+  return buffer;
+}
+
+}  // namespace plfoc

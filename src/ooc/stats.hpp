@@ -1,0 +1,47 @@
+// I/O and cache statistics for ancestral-vector stores.
+//
+// These counters are the paper's measurements: miss rate (Figs. 2, 4) is
+// misses/accesses, read rate (Fig. 3) is file_reads/accesses — with read
+// skipping off the two are identical (Sec. 4.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace plfoc {
+
+struct OocStats {
+  std::uint64_t accesses = 0;     ///< vector acquires (hits + misses)
+  std::uint64_t hits = 0;         ///< vector already in RAM
+  std::uint64_t misses = 0;       ///< vector had to be brought into RAM
+  std::uint64_t cold_misses = 0;  ///< first-ever access to a vector
+  std::uint64_t evictions = 0;    ///< vectors displaced from RAM
+  std::uint64_t file_reads = 0;   ///< read operations actually issued
+  std::uint64_t file_writes = 0;  ///< write operations actually issued
+  std::uint64_t skipped_reads = 0;  ///< reads omitted by read skipping
+  std::uint64_t prefetch_reads = 0;  ///< reads issued by the prefetch thread
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  /// Fraction of vector requests not served from RAM (Figs. 2, 4).
+  double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+  /// Fraction of vector requests that triggered an actual disk read (Fig. 3).
+  double read_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(file_reads) / static_cast<double>(accesses);
+  }
+  /// Miss rate with compulsory (first-touch) misses excluded.
+  double capacity_miss_rate() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(misses - cold_misses) / static_cast<double>(accesses);
+  }
+
+  OocStats& operator+=(const OocStats& other);
+
+  /// One-line human-readable summary.
+  std::string summary() const;
+};
+
+}  // namespace plfoc

@@ -1,0 +1,194 @@
+#include "ooc/tiered_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace plfoc {
+
+TieredStore::TieredStore(std::size_t count, std::size_t width,
+                         TieredStoreOptions options)
+    : AncestralStore(count, width),
+      options_(std::move(options)),
+      fast_arena_(std::min(options_.fast_slots, count) * width),
+      ram_arena_(std::min(options_.ram_slots, count) * width),
+      bounce_(width),
+      fast_(std::min(options_.fast_slots, count)),
+      ram_(std::min(options_.ram_slots, count)),
+      where_(count, Location::kDisk),
+      slot_of_(count, kNone),
+      touched_(count, false),
+      file_(count, width * sizeof(double), options_.file),
+      fast_strategy_(make_strategy(StrategyConfig{
+          options_.fast_policy, count, options_.seed, options_.tree})),
+      ram_strategy_(make_strategy(StrategyConfig{
+          options_.ram_policy, count, options_.seed + 1, options_.tree})) {
+  PLFOC_REQUIRE(options_.fast_slots >= 3,
+                "the fast tier needs at least 3 slots (working triple)");
+  PLFOC_REQUIRE(options_.ram_slots >= 1, "the RAM tier needs at least 1 slot");
+  PLFOC_LOG(kInfo) << "tiered store: " << count << " vectors, fast="
+                   << fast_.size() << " ram=" << ram_.size() << " slots";
+}
+
+void TieredStore::demote(std::uint32_t slot) {
+  Slot& fast_slot = fast_[slot];
+  PLFOC_CHECK(fast_slot.vector != kNone && fast_slot.pins == 0);
+  const std::uint32_t vector = fast_slot.vector;
+  const std::uint32_t ram_slot = obtain_ram_slot(vector);
+  std::memcpy(ram_data(ram_slot), fast_data(slot), width_ * sizeof(double));
+  ++tier_stats_.demotions;
+  tier_stats_.bytes_transferred += width_ * sizeof(double);
+  ram_[ram_slot].vector = vector;
+  ram_[ram_slot].dirty = fast_slot.dirty;
+  ram_strategy_->on_load(vector);
+  ram_strategy_->on_access(vector);
+  where_[vector] = Location::kRam;
+  slot_of_[vector] = ram_slot;
+  fast_strategy_->on_evict(vector);
+  fast_slot.vector = kNone;
+  fast_slot.dirty = false;
+}
+
+std::uint32_t TieredStore::obtain_fast_slot(std::uint32_t incoming) {
+  for (std::uint32_t s = 0; s < fast_.size(); ++s)
+    if (fast_[s].vector == kNone) return s;
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(fast_.size());
+  for (const Slot& slot : fast_)
+    if (slot.pins == 0) candidates.push_back(slot.vector);
+  PLFOC_REQUIRE(!candidates.empty(),
+                "all fast-tier slots are pinned; increase fast_slots");
+  const std::uint32_t victim = fast_strategy_->choose_victim(
+      {candidates.data(), candidates.size()}, incoming);
+  const std::uint32_t slot = slot_of_[victim];
+  PLFOC_CHECK(fast_[slot].vector == victim);
+  demote(slot);
+  return slot;
+}
+
+std::uint32_t TieredStore::obtain_ram_slot(std::uint32_t incoming) {
+  for (std::uint32_t s = 0; s < ram_.size(); ++s)
+    if (ram_[s].vector == kNone) return s;
+  // RAM-tier occupants are never pinned (pins live at the fast tier), so any
+  // resident vector is a candidate.
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(ram_.size());
+  for (const Slot& slot : ram_) candidates.push_back(slot.vector);
+  const std::uint32_t victim = ram_strategy_->choose_victim(
+      {candidates.data(), candidates.size()}, incoming);
+  const std::uint32_t slot = slot_of_[victim];
+  PLFOC_CHECK(ram_[slot].vector == victim);
+  // Spill to disk (the paper's slot manager always writes the victim back;
+  // we keep dirty tracking here since the tiers multiply traffic).
+  if (ram_[slot].dirty) {
+    file_.write_vector(victim, ram_data(slot));
+    ++stats_.file_writes;
+    stats_.bytes_written += width_ * sizeof(double);
+  }
+  ++stats_.evictions;
+  ram_strategy_->on_evict(victim);
+  where_[victim] = Location::kDisk;
+  slot_of_[victim] = kNone;
+  ram_[slot].vector = kNone;
+  ram_[slot].dirty = false;
+  return slot;
+}
+
+double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
+  PLFOC_CHECK(index < count_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.accesses;
+
+  if (where_[index] == Location::kFast) {
+    ++stats_.hits;
+    ++tier_stats_.fast_hits;
+    const std::uint32_t slot = slot_of_[index];
+    ++fast_[slot].pins;
+    if (mode == AccessMode::kWrite) fast_[slot].dirty = true;
+    fast_strategy_->on_access(index);
+    return fast_data(slot);
+  }
+
+  ++stats_.misses;
+  if (!touched_[index]) ++stats_.cold_misses;
+
+  const bool from_ram = where_[index] == Location::kRam;
+  bool promoted_dirty = false;
+  if (from_ram) {
+    // Stage the promotion through a bounce buffer and release the RAM slot
+    // *before* freeing a fast slot: the demoted fast victim can then drop
+    // into the just-freed RAM slot instead of spilling a third vector to
+    // disk when both tiers are exactly full.
+    const std::uint32_t ram_slot = slot_of_[index];
+    std::memcpy(bounce_.data(), ram_data(ram_slot), width_ * sizeof(double));
+    promoted_dirty = ram_[ram_slot].dirty;
+    ram_strategy_->on_evict(index);
+    ram_[ram_slot].vector = kNone;
+    ram_[ram_slot].dirty = false;
+    where_[index] = Location::kDisk;  // transiently: lives in the bounce buffer
+    slot_of_[index] = kNone;
+  }
+
+  const std::uint32_t fast_slot = obtain_fast_slot(index);
+  if (from_ram) {
+    // Promote from host RAM: a PCIe copy, no disk access.
+    std::memcpy(fast_data(fast_slot), bounce_.data(), width_ * sizeof(double));
+    ++tier_stats_.promotions;
+    ++tier_stats_.ram_hits;
+    tier_stats_.bytes_transferred += width_ * sizeof(double);
+    fast_[fast_slot].dirty = promoted_dirty;
+  } else {
+    // Load from disk straight into the fast tier (staging through host RAM
+    // is a hardware detail the model need not pay twice for).
+    if (mode == AccessMode::kRead || !options_.read_skipping) {
+      file_.read_vector(index, fast_data(fast_slot));
+      ++stats_.file_reads;
+      stats_.bytes_read += width_ * sizeof(double);
+    } else {
+      ++stats_.skipped_reads;
+    }
+    ++tier_stats_.promotions;
+    tier_stats_.bytes_transferred += width_ * sizeof(double);
+    fast_[fast_slot].dirty = false;
+  }
+
+  touched_[index] = true;
+  fast_[fast_slot].vector = index;
+  fast_[fast_slot].pins = 1;
+  if (mode == AccessMode::kWrite) fast_[fast_slot].dirty = true;
+  where_[index] = Location::kFast;
+  slot_of_[index] = fast_slot;
+  fast_strategy_->on_load(index);
+  fast_strategy_->on_access(index);
+  return fast_data(fast_slot);
+}
+
+void TieredStore::do_release(std::uint32_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PLFOC_CHECK(where_[index] == Location::kFast);
+  Slot& slot = fast_[slot_of_[index]];
+  PLFOC_CHECK(slot.pins > 0);
+  --slot.pins;
+}
+
+void TieredStore::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::uint32_t s = 0; s < fast_.size(); ++s) {
+    if (fast_[s].vector == kNone || !fast_[s].dirty) continue;
+    file_.write_vector(fast_[s].vector, fast_data(s));
+    ++stats_.file_writes;
+    stats_.bytes_written += width_ * sizeof(double);
+    fast_[s].dirty = false;
+  }
+  for (std::uint32_t s = 0; s < ram_.size(); ++s) {
+    if (ram_[s].vector == kNone || !ram_[s].dirty) continue;
+    file_.write_vector(ram_[s].vector, ram_data(s));
+    ++stats_.file_writes;
+    stats_.bytes_written += width_ * sizeof(double);
+    ram_[s].dirty = false;
+  }
+  file_.sync();
+}
+
+}  // namespace plfoc

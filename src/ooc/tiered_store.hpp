@@ -1,0 +1,115 @@
+// Three-layer storage hierarchy — the paper's Sec. 5 outlook, implemented.
+//
+// "One may also envision a three-layer architecture, where ancestral
+//  probability vectors partially reside on disk, in RAM, or the memory of an
+//  accelerator card."
+//
+// TieredStore stacks a small *fast tier* (modelling accelerator/GPU device
+// memory: the kernels may only compute on vectors residing there) on top of
+// the familiar RAM slot tier, backed by the binary vector file:
+//
+//      fast tier (m_fast slots)   <- acquire() returns addresses here only
+//        | promote / demote         (models PCIe transfers; no disk I/O)
+//      RAM tier (m_ram slots)
+//        | swap in / out            (real file reads/writes, read skipping)
+//      vector file on disk
+//
+// Demotions from the fast tier fall to the RAM tier (possibly cascading a
+// RAM->disk eviction); promotions prefer RAM residency over a disk read.
+// Pinning applies to the fast tier (a computation's working triple must be
+// on the accelerator), so m_fast >= 3. Both tiers use their own replacement
+// strategy instance. Transfer statistics are split per layer: stats() counts
+// the disk layer exactly like OutOfCoreStore; tier_stats() counts
+// host<->device traffic.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "ooc/file_backend.hpp"
+#include "ooc/replacement.hpp"
+#include "ooc/storage.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace plfoc {
+
+struct TieredStoreOptions {
+  std::size_t fast_slots = 3;  ///< accelerator-memory vectors (>= 3)
+  std::size_t ram_slots = 8;   ///< host-RAM vectors (>= 1)
+  ReplacementPolicy fast_policy = ReplacementPolicy::kLru;
+  ReplacementPolicy ram_policy = ReplacementPolicy::kRandom;
+  bool read_skipping = true;
+  std::uint64_t seed = 1;
+  const Tree* tree = nullptr;  ///< for topological policies
+  FileBackendOptions file;
+};
+
+/// Host<->device transfer counters (the middle layer of the hierarchy).
+struct TierStats {
+  std::uint64_t promotions = 0;    ///< RAM -> fast copies
+  std::uint64_t demotions = 0;     ///< fast -> RAM copies
+  std::uint64_t fast_hits = 0;     ///< acquire served from the fast tier
+  std::uint64_t ram_hits = 0;      ///< promotion served from RAM (no disk read)
+  std::uint64_t bytes_transferred = 0;
+};
+
+class TieredStore final : public AncestralStore {
+ public:
+  TieredStore(std::size_t count, std::size_t width, TieredStoreOptions options);
+
+  const char* backend_name() const override { return "tiered"; }
+  std::size_t fast_slots() const { return fast_.size(); }
+  std::size_t ram_slots() const { return ram_.size(); }
+  const TierStats& tier_stats() const { return tier_stats_; }
+
+  /// Write all dirty state (both tiers) back to the file.
+  void flush() override;
+
+  const FileBackend& file() const { return file_; }
+
+ protected:
+  double* do_acquire(std::uint32_t index, AccessMode mode) override;
+  void do_release(std::uint32_t index) override;
+
+ private:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  struct Slot {
+    std::uint32_t vector = kNone;
+    std::uint32_t pins = 0;  ///< fast tier only
+    bool dirty = false;
+  };
+
+  enum class Location : std::uint8_t { kDisk, kRam, kFast };
+
+  double* fast_data(std::uint32_t slot) {
+    return fast_arena_.data() + static_cast<std::size_t>(slot) * width_;
+  }
+  double* ram_data(std::uint32_t slot) {
+    return ram_arena_.data() + static_cast<std::size_t>(slot) * width_;
+  }
+
+  /// Free a fast slot (demoting its occupant to RAM); lock held.
+  std::uint32_t obtain_fast_slot(std::uint32_t incoming);
+  /// Free a RAM slot (evicting its occupant to disk); lock held.
+  std::uint32_t obtain_ram_slot(std::uint32_t incoming);
+  /// Move the vector in fast slot `slot` down to the RAM tier; lock held.
+  void demote(std::uint32_t slot);
+
+  TieredStoreOptions options_;
+  AlignedBuffer fast_arena_;
+  AlignedBuffer ram_arena_;
+  AlignedBuffer bounce_;  ///< one-vector staging buffer for promotions
+  std::vector<Slot> fast_;
+  std::vector<Slot> ram_;
+  std::vector<Location> where_;           ///< per vector
+  std::vector<std::uint32_t> slot_of_;    ///< per vector: slot in its tier
+  std::vector<bool> touched_;
+  FileBackend file_;
+  std::unique_ptr<ReplacementStrategy> fast_strategy_;
+  std::unique_ptr<ReplacementStrategy> ram_strategy_;
+  TierStats tier_stats_;
+  std::mutex mutex_;
+};
+
+}  // namespace plfoc

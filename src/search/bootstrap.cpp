@@ -1,0 +1,73 @@
+#include "search/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+RellResult rell_bootstrap(
+    const std::vector<std::vector<double>>& pattern_log_likelihoods,
+    const std::vector<double>& weights, std::size_t replicates, Rng& rng) {
+  const std::size_t trees = pattern_log_likelihoods.size();
+  PLFOC_REQUIRE(trees >= 1, "RELL needs at least one tree");
+  const std::size_t patterns = weights.size();
+  PLFOC_REQUIRE(patterns >= 1, "RELL needs at least one pattern");
+  for (const auto& row : pattern_log_likelihoods)
+    PLFOC_REQUIRE(row.size() == patterns,
+                  "RELL: per-tree pattern vectors must match the weights");
+  PLFOC_REQUIRE(replicates >= 1, "RELL needs at least one replicate");
+
+  // Cumulative weights for O(log P) multinomial draws.
+  std::vector<double> cumulative(patterns);
+  std::partial_sum(weights.begin(), weights.end(), cumulative.begin());
+  const double total_weight = cumulative.back();
+  PLFOC_REQUIRE(total_weight > 0.0, "RELL: weights must be positive");
+  const std::size_t draws =
+      static_cast<std::size_t>(std::llround(total_weight));
+
+  RellResult result;
+  result.replicates = replicates;
+  result.support.assign(trees, 0.0);
+  result.mean_log_likelihood.assign(trees, 0.0);
+
+  std::vector<double> counts(patterns);
+  std::vector<double> scores(trees);
+  for (std::size_t replicate = 0; replicate < replicates; ++replicate) {
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (std::size_t d = 0; d < draws; ++d) {
+      const double u = rng.uniform() * total_weight;
+      const auto it =
+          std::upper_bound(cumulative.begin(), cumulative.end(), u);
+      const std::size_t pattern = std::min<std::size_t>(
+          static_cast<std::size_t>(it - cumulative.begin()), patterns - 1);
+      counts[pattern] += 1.0;
+    }
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < trees; ++t) {
+      double score = 0.0;
+      const auto& row = pattern_log_likelihoods[t];
+      for (std::size_t p = 0; p < patterns; ++p)
+        if (counts[p] != 0.0) score += counts[p] * row[p];
+      scores[t] = score;
+      result.mean_log_likelihood[t] += score;
+      best = std::max(best, score);
+    }
+    // Ties share the replicate evenly.
+    std::size_t winners = 0;
+    for (double score : scores)
+      if (score == best) ++winners;
+    for (std::size_t t = 0; t < trees; ++t)
+      if (scores[t] == best)
+        result.support[t] += 1.0 / static_cast<double>(winners);
+  }
+  for (std::size_t t = 0; t < trees; ++t) {
+    result.support[t] /= static_cast<double>(replicates);
+    result.mean_log_likelihood[t] /= static_cast<double>(replicates);
+  }
+  return result;
+}
+
+}  // namespace plfoc

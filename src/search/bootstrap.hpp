@@ -1,0 +1,34 @@
+// RELL bootstrap (Kishino, Miyata & Hasegawa 1990): topology support by
+// resampling per-site log likelihoods instead of re-optimising each
+// replicate. The natural consumer of LikelihoodEngine::
+// pattern_log_likelihoods() — and a realistic multi-tree PLF workload for
+// the out-of-core layer (each candidate tree's vectors stream through the
+// same slots).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace plfoc {
+
+struct RellResult {
+  /// Per input tree: fraction of replicates in which it had the highest
+  /// resampled log likelihood (ties split evenly). Sums to 1.
+  std::vector<double> support;
+  /// Per input tree: mean resampled log likelihood across replicates.
+  std::vector<double> mean_log_likelihood;
+  std::size_t replicates = 0;
+};
+
+/// `pattern_log_likelihoods[t][p]` is tree t's log likelihood of pattern p
+/// (weights NOT applied); `weights[p]` is the pattern multiplicity. Each
+/// replicate draws round(sum(weights)) sites multinomially proportional to
+/// the weights and scores every tree on the resampled counts. Deterministic
+/// for a given RNG state.
+RellResult rell_bootstrap(
+    const std::vector<std::vector<double>>& pattern_log_likelihoods,
+    const std::vector<double>& weights, std::size_t replicates, Rng& rng);
+
+}  // namespace plfoc

@@ -1,0 +1,34 @@
+// NNI hill climbing — the cheapest PLF-based topology search.
+//
+// Nearest-neighbour interchange evaluates the two alternative resolutions of
+// every inner edge; its working set is even smaller than lazy SPR's (the
+// four subtrees around one edge), which makes it the friendliest workload
+// for the out-of-core layer. Typically used to polish an SPR result or as a
+// fast search on its own.
+#pragma once
+
+#include <cstdint>
+
+#include "likelihood/engine.hpp"
+
+namespace plfoc {
+
+struct NniOptions {
+  int max_rounds = 50;          ///< scan rounds == max accepted moves (early stop)
+  double epsilon = 0.01;        ///< log-likelihood gain required to accept
+  int newton_iterations = 8;    ///< branch-length polish per evaluated variant
+};
+
+struct NniResult {
+  double initial_log_likelihood = 0.0;
+  double final_log_likelihood = 0.0;
+  std::uint64_t variants_tried = 0;
+  std::uint64_t moves_accepted = 0;
+  int rounds_run = 0;
+};
+
+/// Deterministic first-improvement NNI hill climb; the tree is modified in
+/// place. Results are bit-identical across storage backends.
+NniResult nni_search(LikelihoodEngine& engine, const NniOptions& options = {});
+
+}  // namespace plfoc

@@ -1,0 +1,255 @@
+#include "search/parsimony.hpp"
+
+#include <algorithm>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+/// Bind alignment rows to tree tips by name and expand to state-set masks.
+std::vector<std::vector<std::uint32_t>> tip_masks_for(
+    const Alignment& alignment, const Tree& tree) {
+  std::vector<std::vector<std::uint32_t>> masks(tree.num_taxa());
+  for (NodeId tip = 0; tip < tree.num_taxa(); ++tip) {
+    const long row = alignment.find_taxon(tree.taxon_name(tip));
+    PLFOC_REQUIRE(row >= 0, "tree taxon '" + tree.taxon_name(tip) +
+                                "' not found in the alignment");
+    const auto codes = alignment.row(static_cast<std::size_t>(row));
+    masks[tip].resize(codes.size());
+    for (std::size_t s = 0; s < codes.size(); ++s)
+      masks[tip][s] = code_state_mask(alignment.data_type(), codes[s]);
+  }
+  return masks;
+}
+
+std::vector<double> site_weights(const Alignment& alignment) {
+  if (!alignment.weights().empty()) return alignment.weights();
+  return std::vector<double>(alignment.num_sites(), 1.0);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> parsimony_masks(
+    const Alignment& alignment) {
+  std::vector<std::vector<std::uint32_t>> masks(alignment.num_taxa());
+  for (std::size_t taxon = 0; taxon < alignment.num_taxa(); ++taxon) {
+    const auto codes = alignment.row(taxon);
+    masks[taxon].resize(codes.size());
+    for (std::size_t s = 0; s < codes.size(); ++s)
+      masks[taxon][s] = code_state_mask(alignment.data_type(), codes[s]);
+  }
+  return masks;
+}
+
+double parsimony_score(const Tree& tree, const Alignment& alignment) {
+  PLFOC_CHECK(tree.is_fully_connected());
+  const auto masks = tip_masks_for(alignment, tree);
+  const auto weights = site_weights(alignment);
+  const std::size_t sites = alignment.num_sites();
+
+  // Root at tip 0; iterative post-order over (node, parent) frames.
+  std::vector<std::vector<std::uint32_t>> sets(tree.num_nodes());
+  double score = 0.0;
+  struct Frame {
+    NodeId node, parent;
+    bool expanded;
+  };
+  const NodeId root_tip = 0;
+  const NodeId top = tree.neighbors(root_tip)[0];
+  std::vector<Frame> stack{{top, root_tip, false}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (tree.is_tip(frame.node)) continue;
+    if (!frame.expanded) {
+      stack.push_back({frame.node, frame.parent, true});
+      for (NodeId nbr : tree.neighbors(frame.node))
+        if (nbr != frame.parent) stack.push_back({nbr, frame.node, false});
+    } else {
+      NodeId children[2];
+      int count = 0;
+      for (NodeId nbr : tree.neighbors(frame.node))
+        if (nbr != frame.parent) children[count++] = nbr;
+      PLFOC_CHECK(count == 2);
+      const auto& left =
+          tree.is_tip(children[0]) ? masks[children[0]] : sets[children[0]];
+      const auto& right =
+          tree.is_tip(children[1]) ? masks[children[1]] : sets[children[1]];
+      auto& out = sets[frame.node];
+      out.resize(sites);
+      for (std::size_t s = 0; s < sites; ++s) {
+        const std::uint32_t x = left[s] & right[s];
+        if (x != 0) {
+          out[s] = x;
+        } else {
+          out[s] = left[s] | right[s];
+          score += weights[s];
+        }
+      }
+    }
+  }
+  // Final junction at the root tip.
+  const auto& below = tree.is_tip(top) ? masks[top] : sets[top];
+  for (std::size_t s = 0; s < sites; ++s)
+    if ((below[s] & masks[root_tip][s]) == 0) score += weights[s];
+  return score;
+}
+
+// --- ParsimonyScorer ---------------------------------------------------------
+
+ParsimonyScorer::ParsimonyScorer(const Alignment& alignment, const Tree& tree)
+    : alignment_(alignment),
+      tree_(tree),
+      tip_masks_(tip_masks_for(alignment, tree)),
+      weights_(site_weights(alignment)),
+      sites_(alignment.num_sites()) {
+  sets_.assign(tree.num_inner() * 3 * sites_, 0);
+  set_valid_.assign(tree.num_inner() * 3, 0);
+}
+
+std::size_t ParsimonyScorer::set_offset(NodeId inner, int slot) const {
+  PLFOC_DCHECK(tree_.is_inner(inner) && slot >= 0 && slot < 3);
+  return (static_cast<std::size_t>(tree_.inner_index(inner)) * 3 +
+          static_cast<std::size_t>(slot)) *
+         sites_;
+}
+
+int ParsimonyScorer::neighbor_slot(NodeId node, NodeId neighbor) const {
+  const auto nbrs = tree_.neighbors(node);
+  for (int i = 0; i < static_cast<int>(nbrs.size()); ++i)
+    if (nbrs[static_cast<std::size_t>(i)] == neighbor) return i;
+  PLFOC_CHECK(false);
+  return -1;
+}
+
+const std::uint32_t* ParsimonyScorer::directional(NodeId node,
+                                                  NodeId towards) const {
+  if (tree_.is_tip(node)) return tip_masks_[node].data();
+  const int slot = neighbor_slot(node, towards);
+  PLFOC_CHECK(set_valid_[static_cast<std::size_t>(tree_.inner_index(node)) * 3 +
+                         static_cast<std::size_t>(slot)] != 0);
+  return sets_.data() + set_offset(node, slot);
+}
+
+void ParsimonyScorer::refresh(NodeId any_node) {
+  // Collect the connected component and a BFS parent order from a tip root.
+  std::vector<NodeId> order;          // BFS order, root first
+  std::vector<NodeId> parent_of(tree_.num_nodes(), kNoNode);
+  std::vector<bool> seen(tree_.num_nodes(), false);
+  {
+    std::vector<NodeId> queue{any_node};
+    seen[any_node] = true;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const NodeId node = queue[head++];
+      for (NodeId nbr : tree_.neighbors(node))
+        if (!seen[nbr]) {
+          seen[nbr] = true;
+          queue.push_back(nbr);
+        }
+    }
+    // Re-run BFS from a tip in the component for clean parent structure.
+    NodeId root_tip = kNoNode;
+    for (NodeId node : queue)
+      if (tree_.is_tip(node)) {
+        root_tip = node;
+        break;
+      }
+    PLFOC_CHECK(root_tip != kNoNode);
+    std::fill(seen.begin(), seen.end(), false);
+    order.clear();
+    order.push_back(root_tip);
+    seen[root_tip] = true;
+    head = 0;
+    while (head < order.size()) {
+      const NodeId node = order[head++];
+      for (NodeId nbr : tree_.neighbors(node))
+        if (!seen[nbr]) {
+          seen[nbr] = true;
+          parent_of[nbr] = node;
+          order.push_back(nbr);
+        }
+    }
+  }
+  std::fill(set_valid_.begin(), set_valid_.end(), 0);
+  component_score_ = 0.0;
+
+  // Upward pass (children before parents): D(u -> parent).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    if (tree_.is_tip(u)) continue;
+    const NodeId p = parent_of[u];
+    PLFOC_CHECK(p != kNoNode);
+    NodeId children[2];
+    int count = 0;
+    for (NodeId nbr : tree_.neighbors(u))
+      if (nbr != p) children[count++] = nbr;
+    PLFOC_CHECK(count == 2);
+    const std::uint32_t* left = directional(children[0], u);
+    const std::uint32_t* right = directional(children[1], u);
+    const int slot = neighbor_slot(u, p);
+    std::uint32_t* out = sets_.data() + set_offset(u, slot);
+    for (std::size_t s = 0; s < sites_; ++s) {
+      const std::uint32_t x = left[s] & right[s];
+      if (x != 0) {
+        out[s] = x;
+      } else {
+        out[s] = left[s] | right[s];
+        component_score_ += weights_[s];
+      }
+    }
+    set_valid_[static_cast<std::size_t>(tree_.inner_index(u)) * 3 +
+               static_cast<std::size_t>(slot)] = 1;
+  }
+  // Root-tip junction cost.
+  const NodeId root_tip = order.front();
+  if (tree_.degree(root_tip) == 1) {
+    const NodeId below = tree_.neighbors(root_tip)[0];
+    const std::uint32_t* set = directional(below, root_tip);
+    const std::uint32_t* mask = tip_masks_[root_tip].data();
+    for (std::size_t s = 0; s < sites_; ++s)
+      if ((set[s] & mask[s]) == 0) component_score_ += weights_[s];
+  }
+
+  // Downward pass (parents before children): D(u -> child).
+  for (NodeId u : order) {
+    if (tree_.is_tip(u)) continue;
+    const NodeId p = parent_of[u];
+    NodeId children[2];
+    int count = 0;
+    for (NodeId nbr : tree_.neighbors(u))
+      if (nbr != p) children[count++] = nbr;
+    PLFOC_CHECK(count == 2);
+    for (int c = 0; c < 2; ++c) {
+      const NodeId child = children[c];
+      const NodeId sibling = children[1 - c];
+      const std::uint32_t* from_parent = directional(p, u);
+      const std::uint32_t* from_sibling = directional(sibling, u);
+      const int slot = neighbor_slot(u, child);
+      std::uint32_t* out = sets_.data() + set_offset(u, slot);
+      for (std::size_t s = 0; s < sites_; ++s) {
+        const std::uint32_t x = from_parent[s] & from_sibling[s];
+        out[s] = (x != 0) ? x : (from_parent[s] | from_sibling[s]);
+      }
+      set_valid_[static_cast<std::size_t>(tree_.inner_index(u)) * 3 +
+                 static_cast<std::size_t>(slot)] = 1;
+    }
+  }
+}
+
+double ParsimonyScorer::insertion_cost(NodeId tip, NodeId a, NodeId b) const {
+  PLFOC_CHECK(tree_.is_tip(tip));
+  const std::uint32_t* da = directional(a, b);
+  const std::uint32_t* db = directional(b, a);
+  const std::uint32_t* t = tip_masks_[tip].data();
+  double cost = 0.0;
+  for (std::size_t s = 0; s < sites_; ++s) {
+    std::uint32_t x = da[s] & db[s];
+    if (x == 0) x = da[s] | db[s];
+    if ((x & t[s]) == 0) cost += weights_[s];
+  }
+  return cost;
+}
+
+}  // namespace plfoc

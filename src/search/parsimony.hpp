@@ -1,0 +1,67 @@
+// Fitch parsimony on state-set bitmasks.
+//
+// Used to build reasonable starting trees by stepwise addition (RAxML seeds
+// its ML searches with randomised parsimony trees). Works on any data type:
+// a site's state set is the encode-time ambiguity mask (DNA) or the
+// code_state_mask (protein).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "msa/alignment.hpp"
+#include "tree/tree.hpp"
+
+namespace plfoc {
+
+/// Per-taxon per-site state-set masks for Fitch.
+std::vector<std::vector<std::uint32_t>> parsimony_masks(
+    const Alignment& alignment);
+
+/// Total (weighted) Fitch parsimony score of a fully connected tree. The
+/// alignment binds to tree tips by taxon name.
+double parsimony_score(const Tree& tree, const Alignment& alignment);
+
+/// Directional Fitch sets and incremental insertion scoring over a partial
+/// (or full) tree — the workhorse of stepwise addition.
+class ParsimonyScorer {
+ public:
+  ParsimonyScorer(const Alignment& alignment, const Tree& tree);
+
+  /// Recompute all directional sets for the current connected component that
+  /// contains `any_node` (O(component * sites)). Must be called after every
+  /// topology change.
+  void refresh(NodeId any_node);
+
+  /// (Weighted) score of the current component, rooted anywhere.
+  double component_score() const { return component_score_; }
+
+  /// Local estimate of the additional mutations incurred by attaching `tip`
+  /// onto edge (a, b) of the refreshed component, from the two directional
+  /// sets meeting at that edge. O(sites). This is the standard stepwise-
+  /// addition scoring heuristic: an *upper bound* on the true score increase
+  /// (exact when the insertion junction is taken as the Fitch root; rescoring
+  /// from scratch can be cheaper because downstream set unions absorb part of
+  /// the cost).
+  double insertion_cost(NodeId tip, NodeId a, NodeId b) const;
+
+ private:
+  /// Fitch set of the subtree on `node`'s side of edge (node, towards).
+  const std::uint32_t* directional(NodeId node, NodeId towards) const;
+
+  const Alignment& alignment_;
+  const Tree& tree_;
+  std::vector<std::vector<std::uint32_t>> tip_masks_;  ///< per tree tip
+  std::vector<double> weights_;
+  // Directional sets keyed by (inner node, neighbour slot): 3 per inner node.
+  std::vector<std::uint32_t> sets_;
+  std::vector<std::uint8_t> set_valid_;
+  std::size_t sites_;
+  double component_score_ = 0.0;
+
+  std::size_t set_offset(NodeId inner, int slot) const;
+  int neighbor_slot(NodeId node, NodeId neighbor) const;
+  void compute_upward(NodeId node, NodeId parent, std::vector<double>& cost);
+};
+
+}  // namespace plfoc

@@ -1,0 +1,42 @@
+// Lazy SPR tree search (the RAxML search pattern the paper instruments).
+//
+// For every candidate subtree, the subtree is pruned, reinserted into each
+// branch within a rearrangement radius of the pruning point, and each
+// insertion is scored *lazily*: only the three branch lengths around the
+// insertion point are (briefly) optimised before evaluating the likelihood
+// (Sec. 4.2, "Lazy SPR technique"). This is what produces the high
+// ancestral-vector access locality that makes out-of-core execution cheap.
+#pragma once
+
+#include <cstdint>
+
+#include "likelihood/engine.hpp"
+
+namespace plfoc {
+
+struct SprOptions {
+  int rounds = 1;              ///< full passes over all prune candidates
+  unsigned radius_min = 1;     ///< min hops from the pruning point
+  unsigned radius_max = 5;     ///< max hops (RAxML's initial default)
+  int lazy_newton_iterations = 4;  ///< Newton steps per locally optimised branch
+  double epsilon = 0.01;       ///< log-likelihood gain required to accept
+  /// Evaluate every `prune_stride`-th prune candidate (1 = all). Benchmarks
+  /// use > 1 to bound wall time; miss/read *rates* are unaffected.
+  std::size_t prune_stride = 1;
+  /// Branch-smoothing passes after each accepted move, around the insertion.
+  int smooth_accepted_iterations = 16;
+};
+
+struct SprResult {
+  double initial_log_likelihood = 0.0;
+  double final_log_likelihood = 0.0;
+  std::uint64_t prune_candidates = 0;
+  std::uint64_t insertions_tried = 0;
+  std::uint64_t moves_accepted = 0;
+};
+
+/// Run `options.rounds` lazy-SPR passes, applying improving moves greedily.
+/// Deterministic. The engine's tree is modified in place.
+SprResult spr_search(LikelihoodEngine& engine, const SprOptions& options = {});
+
+}  // namespace plfoc

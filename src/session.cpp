@@ -1,0 +1,120 @@
+#include "session.hpp"
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+Alignment prepare_alignment(Alignment alignment, bool compress,
+                            std::vector<std::size_t>* site_to_pattern) {
+  if (!compress || !alignment.weights().empty()) return alignment;
+  CompressionResult result = compress_patterns(alignment);
+  *site_to_pattern = std::move(result.site_to_pattern);
+  return std::move(result.compressed);
+}
+
+}  // namespace
+
+Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
+                 SessionOptions options)
+    : options_(std::move(options)),
+      alignment_(prepare_alignment(std::move(alignment),
+                                   options_.compress_patterns,
+                                   &site_to_pattern_)),
+      tree_(std::move(tree)) {
+  const std::size_t count = tree_.num_inner();
+  const std::size_t width =
+      LikelihoodEngine::vector_width(alignment_, options_.categories);
+
+  switch (options_.backend) {
+    case Backend::kInRam: {
+      store_ = std::make_unique<InRamStore>(count, width);
+      break;
+    }
+    case Backend::kOutOfCore: {
+      OocStoreOptions ooc;
+      if (options_.ram_fraction > 0.0) {
+        ooc.num_slots =
+            OocStoreOptions::slots_from_fraction(options_.ram_fraction, count);
+      } else {
+        PLFOC_REQUIRE(options_.ram_budget_bytes > 0,
+                      "out-of-core backend needs ram_fraction or "
+                      "ram_budget_bytes");
+        ooc.num_slots = OocStoreOptions::slots_from_budget(
+            options_.ram_budget_bytes, width);
+      }
+      ooc.policy = options_.policy;
+      ooc.read_skipping = options_.read_skipping;
+      ooc.write_back_clean = options_.write_back_clean;
+      ooc.disk_precision = options_.single_precision_disk
+                               ? DiskPrecision::kSingle
+                               : DiskPrecision::kDouble;
+      ooc.seed = options_.seed;
+      ooc.tree = &tree_;
+      ooc.file.base_path = options_.vector_file.empty()
+                               ? temp_vector_file_path("ooc")
+                               : options_.vector_file;
+      ooc.file.num_files = options_.num_files;
+      ooc.file.device = options_.device;
+      store_ = std::make_unique<OutOfCoreStore>(count, width, std::move(ooc));
+      break;
+    }
+    case Backend::kPaged: {
+      PLFOC_REQUIRE(options_.ram_budget_bytes > 0,
+                    "paged backend needs ram_budget_bytes");
+      PagedStoreOptions paged;
+      paged.budget_bytes = options_.ram_budget_bytes;
+      paged.page_bytes = options_.page_bytes;
+      paged.file.base_path = options_.vector_file.empty()
+                                 ? temp_vector_file_path("paged")
+                                 : options_.vector_file;
+      paged.file.device = options_.device;
+      store_ = std::make_unique<PagedStore>(count, width, std::move(paged));
+      break;
+    }
+    case Backend::kTiered: {
+      TieredStoreOptions tiered;
+      tiered.fast_slots = options_.tiered_fast_slots;
+      tiered.ram_slots = options_.tiered_ram_slots;
+      tiered.fast_policy = ReplacementPolicy::kLru;
+      tiered.ram_policy = options_.policy;
+      tiered.read_skipping = options_.read_skipping;
+      tiered.seed = options_.seed;
+      tiered.tree = &tree_;
+      tiered.file.base_path = options_.vector_file.empty()
+                                  ? temp_vector_file_path("tiered")
+                                  : options_.vector_file;
+      tiered.file.device = options_.device;
+      store_ = std::make_unique<TieredStore>(count, width, std::move(tiered));
+      break;
+    }
+    case Backend::kMmap: {
+      MmapStoreOptions mm;
+      mm.file_path = options_.vector_file.empty()
+                         ? temp_vector_file_path("mmap")
+                         : options_.vector_file;
+      store_ = std::make_unique<MmapStore>(count, width, std::move(mm));
+      break;
+    }
+  }
+
+  ModelConfig config;
+  config.substitution = std::move(model);
+  config.categories = options_.categories;
+  config.alpha = options_.alpha;
+  engine_ = std::make_unique<LikelihoodEngine>(alignment_, tree_,
+                                               std::move(config), *store_);
+}
+
+std::vector<double> Session::site_log_likelihoods() {
+  const auto [a, b] = tree_.default_root_branch();
+  const std::vector<double> per_pattern =
+      engine_->pattern_log_likelihoods(a, b);
+  if (site_to_pattern_.empty()) return per_pattern;
+  std::vector<double> out(site_to_pattern_.size());
+  for (std::size_t site = 0; site < out.size(); ++site)
+    out[site] = per_pattern[site_to_pattern_[site]];
+  return out;
+}
+
+}  // namespace plfoc

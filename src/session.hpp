@@ -1,0 +1,104 @@
+// Session: the one-stop public entry point.
+//
+// Bundles what a caller otherwise wires manually — pattern compression, tip
+// binding, storage backend construction (in-RAM / out-of-core / paged), and
+// the likelihood engine — behind a small options struct. Mirrors how the
+// paper's modified RAxML is driven: pick a dataset, a model, a memory limit
+// (-L) or fraction f, and a replacement strategy.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "likelihood/engine.hpp"
+#include "msa/patterns.hpp"
+#include "ooc/inram_store.hpp"
+#include "ooc/ooc_store.hpp"
+#include "ooc/paged_store.hpp"
+#include "ooc/mmap_store.hpp"
+#include "ooc/tiered_store.hpp"
+
+namespace plfoc {
+
+enum class Backend {
+  kInRam,      ///< the standard implementation (everything resident)
+  kOutOfCore,  ///< the paper's slot manager
+  kPaged,      ///< deterministic OS-paging baseline (Fig. 5 "Standard")
+  kTiered,     ///< three-layer disk/RAM/accelerator hierarchy (Sec. 5)
+  kMmap,       ///< memory-mapped file, OS page cache does the caching
+};
+
+struct SessionOptions {
+  unsigned categories = 4;
+  double alpha = 1.0;
+  Backend backend = Backend::kInRam;
+  /// Collapse identical columns before building vectors (RAxML default).
+  bool compress_patterns = true;
+
+  // Out-of-core / paged memory limit: exactly one of these for non-RAM
+  // backends. `ram_fraction` is the paper's f; `ram_budget_bytes` is -L.
+  double ram_fraction = 0.0;
+  std::uint64_t ram_budget_bytes = 0;
+
+  ReplacementPolicy policy = ReplacementPolicy::kRandom;
+  bool read_skipping = true;
+  bool write_back_clean = true;
+  /// Store vectors on disk in single precision (out-of-core backend only):
+  /// halves file size and transfer bytes at a ~1e-7 relative perturbation
+  /// (see ooc/ooc_store.hpp, DiskPrecision).
+  bool single_precision_disk = false;
+  std::uint64_t seed = 1;
+  /// Backing file path (empty = unique temp file, removed on destruction).
+  std::string vector_file;
+  unsigned num_files = 1;
+  std::size_t page_bytes = 4096;  ///< paged backend only
+  std::size_t tiered_fast_slots = 8;   ///< tiered backend: accelerator slots
+  std::size_t tiered_ram_slots = 32;   ///< tiered backend: host-RAM slots
+  /// Virtual device cost model applied to all backing-file I/O (see
+  /// ooc/file_backend.hpp); disabled by default.
+  DeviceModel device;
+};
+
+class Session {
+ public:
+  /// Takes ownership of the (uncompressed) alignment and the starting tree;
+  /// the substitution model's data type must match the alignment.
+  Session(Alignment alignment, Tree tree, SubstitutionModel model,
+          SessionOptions options = {});
+
+  LikelihoodEngine& engine() { return *engine_; }
+  Tree& tree() { return tree_; }
+  const Alignment& alignment() const { return alignment_; }
+  AncestralStore& store() { return *store_; }
+  const OocStats& stats() const { return store_->stats(); }
+  void reset_stats() { store_->reset_stats(); }
+
+  /// Non-null only for the out-of-core backend.
+  OutOfCoreStore* out_of_core() {
+    return dynamic_cast<OutOfCoreStore*>(store_.get());
+  }
+  PagedStore* paged() { return dynamic_cast<PagedStore*>(store_.get()); }
+  TieredStore* tiered() { return dynamic_cast<TieredStore*>(store_.get()); }
+  MmapStore* mmap_backend() { return dynamic_cast<MmapStore*>(store_.get()); }
+
+  std::size_t patterns() const { return alignment_.num_sites(); }
+  std::size_t vector_width() const { return store_->width(); }
+  const SessionOptions& options() const { return options_; }
+
+  /// Per-site log likelihoods in *original alignment column order* (pattern
+  /// values expanded through the compression map; identical to the pattern
+  /// values when compression is disabled). Evaluated at the default root
+  /// branch.
+  std::vector<double> site_log_likelihoods();
+
+ private:
+  SessionOptions options_;
+  std::vector<std::size_t> site_to_pattern_;  ///< empty when not compressed
+  Alignment alignment_;  ///< pattern-compressed when requested
+  Tree tree_;
+  std::unique_ptr<AncestralStore> store_;
+  std::unique_ptr<LikelihoodEngine> engine_;
+};
+
+}  // namespace plfoc

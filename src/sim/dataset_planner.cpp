@@ -1,0 +1,46 @@
+#include "sim/dataset_planner.hpp"
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+std::size_t sites_for_ancestral_bytes(std::size_t num_taxa, unsigned states,
+                                      unsigned categories,
+                                      std::uint64_t target_bytes) {
+  PLFOC_REQUIRE(num_taxa >= 3, "need at least 3 taxa");
+  const std::uint64_t per_site =
+      static_cast<std::uint64_t>(num_taxa - 2) * 8 * states * categories;
+  const std::size_t sites =
+      static_cast<std::size_t>((target_bytes + per_site - 1) / per_site);
+  return sites > 0 ? sites : 1;
+}
+
+SubstitutionModel benchmark_gtr() {
+  // A GTR parameterisation with the usual empirical signatures: strong
+  // transition/transversion asymmetry (AG, CT elevated) and GC-skewed
+  // frequencies. Deterministic so every bench run sees the same model.
+  return gtr({1.2, 4.5, 0.8, 1.1, 5.2, 1.0}, {0.30, 0.22, 0.24, 0.24});
+}
+
+PlannedDataset make_dna_dataset(const DatasetPlan& plan) {
+  std::size_t sites = plan.num_sites;
+  if (sites == 0) {
+    PLFOC_REQUIRE(plan.target_ancestral_bytes > 0,
+                  "dataset plan needs num_sites or target_ancestral_bytes");
+    sites = sites_for_ancestral_bytes(plan.num_taxa, 4, plan.categories,
+                                      plan.target_ancestral_bytes);
+  }
+  Rng rng(plan.seed);
+  RandomTreeOptions tree_options;
+  tree_options.mean_branch_length = plan.mean_branch_length;
+  Tree tree = random_tree(plan.num_taxa, rng, tree_options);
+  SimulationOptions sim_options;
+  sim_options.categories = plan.categories;
+  sim_options.alpha = plan.alpha;
+  Alignment alignment =
+      simulate_alignment(tree, benchmark_gtr(), sites, rng, sim_options);
+  MemoryModel memory = MemoryModel::dna(plan.num_taxa, sites, plan.categories);
+  return {std::move(tree), std::move(alignment), memory};
+}
+
+}  // namespace plfoc

@@ -1,0 +1,47 @@
+// Dataset geometry planning for the Fig. 5 experiment: the paper simulated
+// 8192-taxon DNA datasets "of variable width s" chosen so the ancestral
+// probability vectors need 1-32 GB. These helpers invert the Sec. 3.1
+// formulas to pick s for a target footprint and bundle the generation of a
+// ready-to-use simulated dataset.
+#pragma once
+
+#include <cstdint>
+
+#include "likelihood/memory_model.hpp"
+#include "msa/alignment.hpp"
+#include "sim/simulate.hpp"
+#include "tree/random_tree.hpp"
+
+namespace plfoc {
+
+/// Smallest s such that (n-2) * 8 * states * categories * s >= target_bytes.
+std::size_t sites_for_ancestral_bytes(std::size_t num_taxa, unsigned states,
+                                      unsigned categories,
+                                      std::uint64_t target_bytes);
+
+struct PlannedDataset {
+  Tree tree;
+  Alignment alignment;  ///< uncompressed
+  MemoryModel memory;   ///< geometry of the uncompressed data
+};
+
+struct DatasetPlan {
+  std::size_t num_taxa = 128;
+  /// Either give sites directly...
+  std::size_t num_sites = 0;
+  /// ...or a target ancestral-vector footprint (used when num_sites == 0).
+  std::uint64_t target_ancestral_bytes = 0;
+  unsigned categories = 4;
+  double alpha = 1.0;
+  double mean_branch_length = 0.1;
+  std::uint64_t seed = 42;
+};
+
+/// Simulate a GTR+Γ DNA dataset on a random tree per the plan.
+PlannedDataset make_dna_dataset(const DatasetPlan& plan);
+
+/// A fixed, realistic GTR model used by benchmarks and examples
+/// (heterogeneous rates and frequencies; deterministic).
+SubstitutionModel benchmark_gtr();
+
+}  // namespace plfoc

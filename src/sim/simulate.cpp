@@ -1,0 +1,78 @@
+#include "sim/simulate.hpp"
+
+#include <vector>
+
+#include "model/eigen.hpp"
+#include "model/gamma.hpp"
+#include "model/transition.hpp"
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+/// Encoded tip code for a simulated (unambiguous) state.
+std::uint8_t code_for_state(DataType type, unsigned state) {
+  if (type == DataType::kDna) return static_cast<std::uint8_t>(1u << state);
+  return static_cast<std::uint8_t>(state);
+}
+
+}  // namespace
+
+Alignment simulate_alignment(const Tree& tree, const SubstitutionModel& model,
+                             std::size_t sites, Rng& rng,
+                             const SimulationOptions& options) {
+  PLFOC_REQUIRE(sites >= 1, "cannot simulate an empty alignment");
+  PLFOC_CHECK(tree.is_fully_connected());
+  model.validate();
+  const unsigned states = model.states();
+  const EigenSystem eigen = decompose(model);
+  const std::vector<double> rates =
+      discrete_gamma_rates(options.alpha, options.categories);
+
+  // Per-site rate category (uniform over the equal-probability classes).
+  std::vector<std::uint8_t> site_category(sites);
+  for (std::size_t s = 0; s < sites; ++s)
+    site_category[s] = static_cast<std::uint8_t>(rng.below(rates.size()));
+
+  // States per node, filled along a preorder walk from an arbitrary root.
+  std::vector<std::vector<std::uint8_t>> node_states(tree.num_nodes());
+  const NodeId root = tree.inner_node(0);
+  node_states[root].resize(sites);
+  for (std::size_t s = 0; s < sites; ++s)
+    node_states[root][s] = static_cast<std::uint8_t>(
+        rng.categorical(model.frequencies.data(), states));
+
+  std::vector<std::pair<NodeId, NodeId>> stack;  // (node, parent)
+  for (NodeId nbr : tree.neighbors(root)) stack.emplace_back(nbr, root);
+  std::vector<double> pmats;
+  while (!stack.empty()) {
+    const auto [node, parent] = stack.back();
+    stack.pop_back();
+    const double t = tree.branch_length(node, parent);
+    category_transition_matrices(eigen, t, rates, pmats);
+    node_states[node].resize(sites);
+    const auto& parent_states = node_states[parent];
+    for (std::size_t s = 0; s < sites; ++s) {
+      const double* row =
+          pmats.data() +
+          (static_cast<std::size_t>(site_category[s]) * states +
+           parent_states[s]) *
+              states;
+      node_states[node][s] =
+          static_cast<std::uint8_t>(rng.categorical(row, states));
+    }
+    for (NodeId nbr : tree.neighbors(node))
+      if (nbr != parent) stack.emplace_back(nbr, node);
+  }
+
+  Alignment alignment(model.type, sites);
+  for (NodeId tip = 0; tip < tree.num_taxa(); ++tip) {
+    std::vector<std::uint8_t> codes(sites);
+    for (std::size_t s = 0; s < sites; ++s)
+      codes[s] = code_for_state(model.type, node_states[tip][s]);
+    alignment.add_encoded(tree.taxon_name(tip), std::move(codes));
+  }
+  return alignment;
+}
+
+}  // namespace plfoc

@@ -1,0 +1,31 @@
+// Sequence evolution simulator — the INDELible substitute (see DESIGN.md).
+//
+// Simulates character data along a tree under any supported reversible model
+// with discrete-Γ rate heterogeneity: root states are drawn from the
+// equilibrium frequencies, then states evolve edge by edge with the
+// transition matrices P(t·r). Substitution-only (the paper's pipelines
+// consume *aligned* data, so indel simulation would be immediately undone by
+// the alignment step). Deterministic for a given RNG state.
+#pragma once
+
+#include "msa/alignment.hpp"
+#include "model/rate_matrix.hpp"
+#include "tree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+
+struct SimulationOptions {
+  /// Γ rate categories (1 = homogeneous rates).
+  unsigned categories = 4;
+  /// Γ shape parameter used to draw per-site rates.
+  double alpha = 1.0;
+};
+
+/// Simulate `sites` characters for every taxon of `tree` under `model`.
+/// Returns an uncompressed alignment in tree-tip order.
+Alignment simulate_alignment(const Tree& tree, const SubstitutionModel& model,
+                             std::size_t sites, Rng& rng,
+                             const SimulationOptions& options = {});
+
+}  // namespace plfoc

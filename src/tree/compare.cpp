@@ -1,0 +1,96 @@
+#include "tree/compare.hpp"
+
+#include <algorithm>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+/// Taxa below `node` seen from `parent`, as a bitset over taxon_index.
+void collect_side(const Tree& tree, NodeId node, NodeId parent,
+                  const std::vector<std::size_t>& taxon_index, Split& out) {
+  if (tree.is_tip(node)) {
+    const std::size_t bit = taxon_index[node];
+    out[bit / 64] |= std::uint64_t{1} << (bit % 64);
+    return;
+  }
+  for (NodeId nbr : tree.neighbors(node))
+    if (nbr != parent) collect_side(tree, nbr, node, taxon_index, out);
+}
+
+}  // namespace
+
+std::vector<Split> tree_splits(const Tree& tree,
+                               const std::vector<std::string>& taxon_order) {
+  PLFOC_REQUIRE(taxon_order.size() == tree.num_taxa(),
+                "tree_splits: taxon count mismatch");
+  // Map tree tip ids to positions in the reference order.
+  std::vector<std::size_t> taxon_index(tree.num_taxa());
+  for (NodeId tip = 0; tip < tree.num_taxa(); ++tip) {
+    const auto it = std::find(taxon_order.begin(), taxon_order.end(),
+                              tree.taxon_name(tip));
+    PLFOC_REQUIRE(it != taxon_order.end(),
+                  "tree_splits: taxon '" + tree.taxon_name(tip) +
+                      "' missing from the reference order");
+    taxon_index[tip] =
+        static_cast<std::size_t>(std::distance(taxon_order.begin(), it));
+  }
+
+  const std::size_t blocks = (tree.num_taxa() + 63) / 64;
+  // Full mask for complementing (trailing bits beyond n stay zero).
+  Split full(blocks, 0);
+  for (std::size_t i = 0; i < tree.num_taxa(); ++i)
+    full[i / 64] |= std::uint64_t{1} << (i % 64);
+
+  std::vector<Split> splits;
+  for (const auto& [a, b] : tree.edges()) {
+    if (!tree.is_inner(a) || !tree.is_inner(b)) continue;  // trivial split
+    Split side(blocks, 0);
+    collect_side(tree, a, b, taxon_index, side);
+    // Normalise: the block containing taxon_order[0]'s bit must be clear.
+    if (side[0] & 1u)
+      for (std::size_t k = 0; k < blocks; ++k) side[k] = full[k] & ~side[k];
+    splits.push_back(std::move(side));
+  }
+  std::sort(splits.begin(), splits.end());
+  return splits;
+}
+
+unsigned robinson_foulds(const Tree& a, const Tree& b) {
+  PLFOC_REQUIRE(a.num_taxa() == b.num_taxa(),
+                "robinson_foulds: trees have different taxon counts");
+  std::vector<std::string> order;
+  order.reserve(a.num_taxa());
+  for (NodeId tip = 0; tip < a.num_taxa(); ++tip)
+    order.push_back(a.taxon_name(tip));
+  const std::vector<Split> sa = tree_splits(a, order);
+  const std::vector<Split> sb = tree_splits(b, order);  // throws on mismatch
+  // Symmetric difference of two sorted sets.
+  unsigned distance = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      ++distance;
+      ++i;
+    } else {
+      ++distance;
+      ++j;
+    }
+  }
+  distance += static_cast<unsigned>((sa.size() - i) + (sb.size() - j));
+  return distance;
+}
+
+double normalized_robinson_foulds(const Tree& a, const Tree& b) {
+  PLFOC_REQUIRE(a.num_taxa() >= 4,
+                "normalized RF needs at least 4 taxa (no inner edges below)");
+  const double max_rf = 2.0 * (static_cast<double>(a.num_taxa()) - 3.0);
+  return static_cast<double>(robinson_foulds(a, b)) / max_rf;
+}
+
+}  // namespace plfoc

@@ -1,0 +1,35 @@
+// Tree comparison: bipartitions and the Robinson-Foulds distance.
+//
+// Every inner edge of an unrooted tree splits the taxa into two sets; the
+// Robinson-Foulds distance counts the splits present in one tree but not the
+// other. Used by tests and examples to quantify how close an inferred
+// topology is to the truth (0 = identical topologies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace plfoc {
+
+/// One bipartition as a bitset over a reference taxon order, normalised so
+/// the bit of taxon 0 is always clear (a split and its complement are the
+/// same bipartition).
+using Split = std::vector<std::uint64_t>;
+
+/// The non-trivial splits (inner edges only) of `tree`, with bit i
+/// corresponding to `taxon_order[i]`. Throws if the tree's taxa do not
+/// exactly match `taxon_order`. Sorted for set comparison.
+std::vector<Split> tree_splits(const Tree& tree,
+                               const std::vector<std::string>& taxon_order);
+
+/// Robinson-Foulds distance: |splits(a) Δ splits(b)|. Throws when the trees
+/// are over different taxon sets.
+unsigned robinson_foulds(const Tree& a, const Tree& b);
+
+/// RF scaled to [0, 1] by the maximum 2(n-3).
+double normalized_robinson_foulds(const Tree& a, const Tree& b);
+
+}  // namespace plfoc

@@ -1,0 +1,33 @@
+#include "tree/distances.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+std::vector<std::uint32_t> node_distances(const Tree& tree, NodeId source) {
+  PLFOC_CHECK(source < tree.num_nodes());
+  constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(tree.num_nodes(), kUnreached);
+  std::queue<NodeId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop();
+    for (NodeId nbr : tree.neighbors(node))
+      if (dist[nbr] == kUnreached) {
+        dist[nbr] = dist[node] + 1;
+        queue.push(nbr);
+      }
+  }
+  return dist;
+}
+
+std::uint32_t node_distance(const Tree& tree, NodeId a, NodeId b) {
+  return node_distances(tree, a)[b];
+}
+
+}  // namespace plfoc

@@ -1,0 +1,23 @@
+// Topological node distances.
+//
+// The paper's Topological replacement strategy evicts the in-RAM vector whose
+// node is *most distant* from the currently requested node, distance being
+// the number of nodes along the unique connecting path (Sec. 3.3). Hop count
+// orders nodes identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace plfoc {
+
+/// BFS hop distance from `source` to every node (indexed by NodeId).
+std::vector<std::uint32_t> node_distances(const Tree& tree, NodeId source);
+
+/// Hop distance between two nodes (O(nodes) BFS; use node_distances for many
+/// queries from the same source).
+std::uint32_t node_distance(const Tree& tree, NodeId a, NodeId b);
+
+}  // namespace plfoc

@@ -1,0 +1,31 @@
+// Newick tree serialisation.
+//
+// The parser accepts strictly bifurcating trees, either in unrooted form
+// (trifurcation at the outermost level) or rooted form (bifurcation, which is
+// collapsed into a single branch, making the tree unrooted). Taxon tip ids
+// are assigned in order of appearance in the string.
+#pragma once
+
+#include <string>
+
+#include "tree/tree.hpp"
+
+namespace plfoc {
+
+inline constexpr double kDefaultBranchLength = 0.1;
+
+/// Parse a Newick string ("(...);"). Throws plfoc::Error on malformed input,
+/// multifurcations (other than the outermost trifurcation), duplicate taxon
+/// names, or fewer than 3 taxa. Missing branch lengths get
+/// kDefaultBranchLength.
+Tree parse_newick(const std::string& text);
+
+/// Read a Newick tree from a file (the first ';'-terminated tree in it).
+Tree read_newick_file(const std::string& path);
+
+/// Serialise as unrooted Newick with a trifurcation at an inner node.
+std::string to_newick(const Tree& tree, int precision = 9);
+
+void write_newick_file(const std::string& path, const Tree& tree);
+
+}  // namespace plfoc

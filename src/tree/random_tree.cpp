@@ -1,0 +1,68 @@
+#include "tree/random_tree.hpp"
+
+#include <algorithm>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+double draw_length(Rng& rng, const RandomTreeOptions& options) {
+  const double length = rng.exponential(1.0 / options.mean_branch_length);
+  return std::max(length, options.min_branch_length);
+}
+
+}  // namespace
+
+std::vector<std::string> default_taxon_names(std::size_t num_taxa) {
+  std::vector<std::string> names;
+  names.reserve(num_taxa);
+  for (std::size_t i = 0; i < num_taxa; ++i) names.push_back("t" + std::to_string(i));
+  return names;
+}
+
+Tree random_tree(std::vector<std::string> taxon_names, Rng& rng,
+                 const RandomTreeOptions& options) {
+  const std::size_t n = taxon_names.size();
+  PLFOC_REQUIRE(n >= 3, "random_tree needs at least 3 taxa");
+  Tree tree(std::move(taxon_names));
+
+  // Start from the 3-taxon star around the first inner node.
+  const NodeId first_inner = tree.inner_node(0);
+  for (NodeId tip = 0; tip < 3; ++tip)
+    tree.connect(tip, first_inner, draw_length(rng, options));
+
+  // Grow: tip k (k >= 3) subdivides a uniformly random existing edge with a
+  // fresh inner node. After adding tip k, the tree has 2k - 1 edges.
+  std::vector<std::pair<NodeId, NodeId>> edge_list = {
+      {0, first_inner}, {1, first_inner}, {2, first_inner}};
+  for (std::size_t k = 3; k < n; ++k) {
+    const std::size_t pick = rng.below(edge_list.size());
+    const auto [a, b] = edge_list[pick];
+    const double old_len = tree.branch_length(a, b);
+    const NodeId inner = tree.inner_node(static_cast<std::uint32_t>(k) - 2);
+    const NodeId tip = static_cast<NodeId>(k);
+    tree.disconnect(a, b);
+    // Split the subdivided branch proportionally at a uniform point.
+    const double split = rng.uniform(0.1, 0.9);
+    const double len_a =
+        std::max(old_len * split, options.min_branch_length);
+    const double len_b =
+        std::max(old_len * (1.0 - split), options.min_branch_length);
+    tree.connect(a, inner, len_a);
+    tree.connect(inner, b, len_b);
+    tree.connect(tip, inner, draw_length(rng, options));
+    edge_list[pick] = {a, inner};
+    edge_list.emplace_back(inner, b);
+    edge_list.emplace_back(tip, inner);
+  }
+  tree.validate();
+  return tree;
+}
+
+Tree random_tree(std::size_t num_taxa, Rng& rng,
+                 const RandomTreeOptions& options) {
+  return random_tree(default_taxon_names(num_taxa), rng, options);
+}
+
+}  // namespace plfoc

@@ -1,0 +1,32 @@
+// Random tree topologies and branch lengths for simulation and testing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+
+struct RandomTreeOptions {
+  /// Mean of the exponential branch-length distribution.
+  double mean_branch_length = 0.1;
+  /// Lower clamp so the PLF never sees a degenerate branch.
+  double min_branch_length = 1e-6;
+};
+
+/// Uniform random unrooted binary topology over the given taxa, built by
+/// random sequential addition (each new tip subdivides a uniformly chosen
+/// existing edge). Branch lengths ~ Exp(1/mean).
+Tree random_tree(std::vector<std::string> taxon_names, Rng& rng,
+                 const RandomTreeOptions& options = {});
+
+/// Convenience: taxa named "t0".."t{n-1}".
+Tree random_tree(std::size_t num_taxa, Rng& rng,
+                 const RandomTreeOptions& options = {});
+
+/// Generate the default taxon label set "t0".."t{n-1}".
+std::vector<std::string> default_taxon_names(std::size_t num_taxa);
+
+}  // namespace plfoc

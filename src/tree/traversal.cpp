@@ -1,0 +1,97 @@
+#include "tree/traversal.hpp"
+
+#include <queue>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+void plan_subtree(const Tree& tree, Orientation& orientation, NodeId node,
+                  NodeId parent, bool full, std::vector<TraversalStep>& out) {
+  if (tree.is_tip(node)) return;
+  // Iterative post-order: a frame is expanded once (pushing children that
+  // need work), then emitted. Recursion is avoided because caterpillar-ish
+  // trees over thousands of taxa would produce deep stacks.
+  struct Frame {
+    NodeId node;
+    NodeId parent;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({node, parent, false});
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (tree.is_tip(frame.node)) continue;
+    if (!full && orientation.valid_towards(frame.node, frame.parent)) continue;
+    if (!frame.expanded) {
+      stack.push_back({frame.node, frame.parent, true});
+      for (NodeId nbr : tree.neighbors(frame.node))
+        if (nbr != frame.parent) stack.push_back({nbr, frame.node, false});
+    } else {
+      NodeId children[2];
+      int count = 0;
+      for (NodeId nbr : tree.neighbors(frame.node))
+        if (nbr != frame.parent) children[count++] = nbr;
+      PLFOC_CHECK(count == 2);
+      out.push_back({frame.node, children[0], children[1],
+                     tree.branch_length(frame.node, children[0]),
+                     tree.branch_length(frame.node, children[1])});
+      orientation.set(frame.node, frame.parent);
+    }
+  }
+}
+
+std::vector<TraversalStep> plan_for_branch(const Tree& tree,
+                                           Orientation& orientation, NodeId a,
+                                           NodeId b, bool full) {
+  PLFOC_CHECK(tree.has_edge(a, b));
+  std::vector<TraversalStep> out;
+  plan_subtree(tree, orientation, a, b, full, out);
+  plan_subtree(tree, orientation, b, a, full, out);
+  return out;
+}
+
+namespace {
+
+/// Invalidate every vector whose summarised subtree contains `origin`,
+/// excluding `origin` itself (callers decide what happens to it). A vector at
+/// inner node u, oriented towards o_u, summarises the subtree *away* from
+/// o_u; it contains `origin` iff the walk from `origin` reaches u through a
+/// neighbour other than o_u. BFS tracking the arrival direction gives the
+/// exact stale set in O(nodes).
+void invalidate_containing(const Tree& tree, Orientation& orientation,
+                           NodeId origin) {
+  std::queue<std::pair<NodeId, NodeId>> queue;  // (node, arrived_from)
+  for (NodeId nbr : tree.neighbors(origin)) queue.emplace(nbr, origin);
+  while (!queue.empty()) {
+    const auto [node, from] = queue.front();
+    queue.pop();
+    if (tree.is_inner(node) && orientation.towards(node) != from)
+      orientation.invalidate(node);
+    for (NodeId nbr : tree.neighbors(node))
+      if (nbr != from) queue.emplace(nbr, node);
+  }
+}
+
+}  // namespace
+
+void invalidate_for_change(const Tree& tree, Orientation& orientation,
+                           NodeId changed_at) {
+  // The node's own adjacency changed, so whatever its vector summarised is
+  // gone regardless of orientation.
+  if (tree.is_inner(changed_at)) orientation.invalidate(changed_at);
+  invalidate_containing(tree, orientation, changed_at);
+}
+
+void invalidate_for_length_change(const Tree& tree, Orientation& orientation,
+                                  NodeId a, NodeId b) {
+  PLFOC_CHECK(tree.has_edge(a, b));
+  // a's vector includes branch (a, b) unless it is oriented towards b; the
+  // BFS from a covers b and everything else with the standard rule.
+  if (tree.is_inner(a) && orientation.towards(a) != b)
+    orientation.invalidate(a);
+  invalidate_containing(tree, orientation, a);
+}
+
+}  // namespace plfoc

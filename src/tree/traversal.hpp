@@ -1,0 +1,95 @@
+// Traversal descriptors: the precomputed vector-access plans of the PLF.
+//
+// The likelihood of a tree is computed by Felsenstein's pruning algorithm:
+// a post-order sweep that combines the two child vectors of each inner node
+// (Sec. 3.1 of the paper). RAxML materialises the sweep as a *traversal
+// descriptor* — an ordered list of (parent, left, right) operations — before
+// touching any vector. Two properties of the descriptor drive the whole
+// out-of-core design:
+//
+//  * the access pattern is known a priori, so the first access to each
+//    `parent` vector is write-only → its stale on-disk bytes need not be read
+//    ("read skipping", Sec. 3.4);
+//  * after local tree changes only a small suffix of vectors is stale, so
+//    partial traversals touch few vectors → high access locality (Sec. 4.2).
+//
+// `Orientation` tracks, per inner node, which neighbour its current vector
+// is conditioned "towards"; a vector is valid for a computation only if it is
+// oriented towards that computation's root side and nothing below it changed.
+#pragma once
+
+#include <vector>
+
+#include "tree/tree.hpp"
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+/// One pruning operation: recompute `parent`'s ancestral vector from the
+/// vectors/tips `left` and `right` over the given branch lengths.
+struct TraversalStep {
+  NodeId parent;
+  NodeId left;
+  NodeId right;
+  double length_left;
+  double length_right;
+};
+
+/// Per-inner-node record of the direction the node's current ancestral
+/// vector is conditioned towards (kNoNode = vector not valid).
+class Orientation {
+ public:
+  explicit Orientation(const Tree& tree)
+      : num_taxa_(static_cast<NodeId>(tree.num_taxa())),
+        towards_(tree.num_inner(), kNoNode) {}
+
+  NodeId towards(NodeId inner_node) const {
+    return towards_[index(inner_node)];
+  }
+  void set(NodeId inner_node, NodeId parent) {
+    towards_[index(inner_node)] = parent;
+  }
+  void invalidate(NodeId inner_node) { set(inner_node, kNoNode); }
+  void invalidate_all() {
+    for (NodeId& t : towards_) t = kNoNode;
+  }
+  bool valid_towards(NodeId inner_node, NodeId parent) const {
+    return towards(inner_node) == parent;
+  }
+
+ private:
+  std::size_t index(NodeId inner_node) const {
+    PLFOC_DCHECK(inner_node >= num_taxa_);
+    return inner_node - num_taxa_;
+  }
+
+  NodeId num_taxa_;
+  std::vector<NodeId> towards_;
+};
+
+/// Append (post-order) the steps required so that `node`'s vector is valid
+/// towards `parent`. With `full`, every inner node in the subtree is
+/// recomputed regardless of current orientation (the paper's worst-case full
+/// tree traversal, `-f z`). Updates `orientation` as steps are planned.
+void plan_subtree(const Tree& tree, Orientation& orientation, NodeId node,
+                  NodeId parent, bool full, std::vector<TraversalStep>& out);
+
+/// Plan so that the likelihood can be evaluated across branch (a, b): both
+/// endpoint vectors valid towards each other.
+std::vector<TraversalStep> plan_for_branch(const Tree& tree,
+                                           Orientation& orientation, NodeId a,
+                                           NodeId b, bool full = false);
+
+/// After a topological change touching `changed_at` (a node whose adjacency
+/// was edited), invalidate exactly those ancestral vectors whose summarised
+/// subtree contains `changed_at`. O(nodes) walk, no vector I/O.
+void invalidate_for_change(const Tree& tree, Orientation& orientation,
+                           NodeId changed_at);
+
+/// After changing the *length* of branch (a, b) (topology unchanged),
+/// invalidate exactly the vectors whose summarised subtree contains that
+/// branch. The endpoint vectors conditioned away from the branch stay valid.
+void invalidate_for_length_change(const Tree& tree, Orientation& orientation,
+                                  NodeId a, NodeId b);
+
+}  // namespace plfoc

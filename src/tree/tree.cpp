@@ -1,0 +1,166 @@
+#include "tree/tree.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+Tree::Tree(std::vector<std::string> taxon_names)
+    : num_taxa_(taxon_names.size()), names_(std::move(taxon_names)) {
+  PLFOC_REQUIRE(num_taxa_ >= 3,
+                "an unrooted binary tree needs at least 3 taxa");
+  nodes_.resize(num_nodes());
+}
+
+std::uint32_t Tree::inner_index(NodeId node) const {
+  PLFOC_DCHECK(is_inner(node));
+  return node - static_cast<NodeId>(num_taxa_);
+}
+
+NodeId Tree::inner_node(std::uint32_t inner_idx) const {
+  PLFOC_DCHECK(inner_idx < num_inner());
+  return static_cast<NodeId>(num_taxa_) + inner_idx;
+}
+
+const std::string& Tree::taxon_name(NodeId tip) const {
+  PLFOC_CHECK(is_tip(tip));
+  return names_[tip];
+}
+
+NodeId Tree::find_taxon(std::string_view name) const {
+  for (std::size_t i = 0; i < num_taxa_; ++i)
+    if (names_[i] == name) return static_cast<NodeId>(i);
+  return kNoNode;
+}
+
+std::span<const NodeId> Tree::neighbors(NodeId node) const {
+  PLFOC_DCHECK(node < num_nodes());
+  const Slots& s = nodes_[node];
+  return {s.nbr.data(), s.count};
+}
+
+std::size_t Tree::degree(NodeId node) const {
+  PLFOC_DCHECK(node < num_nodes());
+  return nodes_[node].count;
+}
+
+int Tree::slot_of(NodeId node, NodeId neighbor) const {
+  const Slots& s = nodes_[node];
+  for (int i = 0; i < s.count; ++i)
+    if (s.nbr[static_cast<std::size_t>(i)] == neighbor) return i;
+  return -1;
+}
+
+bool Tree::has_edge(NodeId a, NodeId b) const {
+  PLFOC_DCHECK(a < num_nodes() && b < num_nodes());
+  return slot_of(a, b) >= 0;
+}
+
+double Tree::branch_length(NodeId a, NodeId b) const {
+  const int slot = slot_of(a, b);
+  PLFOC_CHECK(slot >= 0);
+  return nodes_[a].len[static_cast<std::size_t>(slot)];
+}
+
+void Tree::set_branch_length(NodeId a, NodeId b, double length) {
+  PLFOC_CHECK(std::isfinite(length) && length > 0.0);
+  const int sa = slot_of(a, b);
+  const int sb = slot_of(b, a);
+  PLFOC_CHECK(sa >= 0 && sb >= 0);
+  nodes_[a].len[static_cast<std::size_t>(sa)] = length;
+  nodes_[b].len[static_cast<std::size_t>(sb)] = length;
+}
+
+void Tree::connect(NodeId a, NodeId b, double length) {
+  PLFOC_CHECK(a < num_nodes() && b < num_nodes() && a != b);
+  PLFOC_CHECK(std::isfinite(length) && length > 0.0);
+  PLFOC_CHECK(slot_of(a, b) < 0);
+  PLFOC_CHECK(nodes_[a].count < max_degree(a));
+  PLFOC_CHECK(nodes_[b].count < max_degree(b));
+  auto attach = [length](Slots& s, NodeId other) {
+    s.nbr[s.count] = other;
+    s.len[s.count] = length;
+    ++s.count;
+  };
+  attach(nodes_[a], b);
+  attach(nodes_[b], a);
+}
+
+void Tree::disconnect(NodeId a, NodeId b) {
+  auto detach = [this](NodeId node, NodeId other) {
+    const int slot = slot_of(node, other);
+    PLFOC_CHECK(slot >= 0);
+    Slots& s = nodes_[node];
+    // Keep remaining neighbours compact; order may change, which is fine —
+    // nothing in the library depends on neighbour order.
+    const std::size_t last = static_cast<std::size_t>(s.count - 1);
+    s.nbr[static_cast<std::size_t>(slot)] = s.nbr[last];
+    s.len[static_cast<std::size_t>(slot)] = s.len[last];
+    s.nbr[last] = kNoNode;
+    s.len[last] = 0.0;
+    --s.count;
+  };
+  detach(a, b);
+  detach(b, a);
+}
+
+bool Tree::is_fully_connected() const {
+  for (NodeId node = 0; node < num_nodes(); ++node)
+    if (degree(node) != max_degree(node)) return false;
+  return true;
+}
+
+void Tree::validate() const {
+  PLFOC_CHECK(is_fully_connected());
+  // Symmetry of adjacency and lengths.
+  for (NodeId node = 0; node < num_nodes(); ++node) {
+    for (NodeId nbr : neighbors(node)) {
+      PLFOC_CHECK(nbr < num_nodes());
+      PLFOC_CHECK(slot_of(nbr, node) >= 0);
+      const double forward = branch_length(node, nbr);
+      const double backward = branch_length(nbr, node);
+      PLFOC_CHECK(forward == backward);
+      PLFOC_CHECK(std::isfinite(forward) && forward > 0.0);
+    }
+  }
+  // Connectivity: BFS from node 0 must reach all 2n-2 nodes.
+  std::vector<bool> seen(num_nodes(), false);
+  std::queue<NodeId> queue;
+  queue.push(0);
+  seen[0] = true;
+  std::size_t reached = 0;
+  while (!queue.empty()) {
+    const NodeId node = queue.front();
+    queue.pop();
+    ++reached;
+    for (NodeId nbr : neighbors(node))
+      if (!seen[nbr]) {
+        seen[nbr] = true;
+        queue.push(nbr);
+      }
+  }
+  PLFOC_CHECK(reached == num_nodes());
+}
+
+std::pair<NodeId, NodeId> Tree::default_root_branch() const {
+  PLFOC_CHECK(is_fully_connected());
+  for (NodeId node = static_cast<NodeId>(num_taxa_); node < num_nodes(); ++node)
+    for (NodeId nbr : neighbors(node))
+      if (is_inner(nbr)) return {node, nbr};
+  // 3-taxon tree: single inner node, all neighbours are tips.
+  const NodeId inner = static_cast<NodeId>(num_taxa_);
+  return {inner, neighbors(inner)[0]};
+}
+
+std::vector<std::pair<NodeId, NodeId>> Tree::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges());
+  for (NodeId node = 0; node < num_nodes(); ++node)
+    for (NodeId nbr : neighbors(node))
+      if (node < nbr) out.emplace_back(node, nbr);
+  return out;
+}
+
+}  // namespace plfoc

@@ -1,0 +1,91 @@
+// Unrooted binary (strictly bifurcating) phylogenetic trees.
+//
+// Node numbering follows the RAxML convention the paper relies on: over n
+// taxa there are n tip nodes (ids 0..n-1) and n-2 inner nodes
+// (ids n..2n-3). Each inner node owns one ancestral probability vector; the
+// out-of-core layer addresses vectors by `inner_index(node) = node - n`
+// (0..n-3). Tips have exactly one neighbour, inner nodes exactly three.
+//
+// Branch lengths are stored symmetrically on both directed half-edges, so
+// `branch_length(a, b) == branch_length(b, a)` always holds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace plfoc {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+class Tree {
+ public:
+  /// An unconnected forest of n tips and n-2 inner nodes; callers (Newick
+  /// parser, random generator, stepwise addition) wire up edges.
+  explicit Tree(std::vector<std::string> taxon_names);
+
+  std::size_t num_taxa() const { return num_taxa_; }
+  std::size_t num_inner() const { return num_taxa_ - 2; }
+  std::size_t num_nodes() const { return 2 * num_taxa_ - 2; }
+  /// Edges in a fully connected unrooted binary tree: 2n - 3.
+  std::size_t num_edges() const { return 2 * num_taxa_ - 3; }
+
+  bool is_tip(NodeId node) const { return node < num_taxa_; }
+  bool is_inner(NodeId node) const {
+    return node >= num_taxa_ && node < num_nodes();
+  }
+  /// Dense 0-based index of an inner node (its ancestral-vector id).
+  std::uint32_t inner_index(NodeId node) const;
+  NodeId inner_node(std::uint32_t inner_idx) const;
+
+  const std::string& taxon_name(NodeId tip) const;
+  /// Tip id for a taxon name, or kNoNode.
+  NodeId find_taxon(std::string_view name) const;
+
+  /// Current neighbours of a node (0..3 entries; order is wiring order).
+  std::span<const NodeId> neighbors(NodeId node) const;
+  std::size_t degree(NodeId node) const;
+  bool has_edge(NodeId a, NodeId b) const;
+
+  double branch_length(NodeId a, NodeId b) const;
+  void set_branch_length(NodeId a, NodeId b, double length);
+
+  /// Add edge (a, b) with the given length. Tips accept one edge, inner
+  /// nodes three; violating that is a checked internal error.
+  void connect(NodeId a, NodeId b, double length);
+  /// Remove edge (a, b); the edge must exist.
+  void disconnect(NodeId a, NodeId b);
+
+  /// True once every tip has degree 1 and every inner node degree 3.
+  bool is_fully_connected() const;
+
+  /// Checked structural validation: degrees, symmetry, connectivity, positive
+  /// finite branch lengths. Aborts on violation (internal invariant).
+  void validate() const;
+
+  /// Some canonical inner branch (both endpoints inner) to place the virtual
+  /// root on; falls back to any branch for 3-taxon trees.
+  std::pair<NodeId, NodeId> default_root_branch() const;
+
+  /// All undirected edges as (a, b) pairs with a < b.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  struct Slots {
+    std::array<NodeId, 3> nbr{kNoNode, kNoNode, kNoNode};
+    std::array<double, 3> len{0.0, 0.0, 0.0};
+    std::uint8_t count = 0;
+  };
+
+  int slot_of(NodeId node, NodeId neighbor) const;
+  std::size_t max_degree(NodeId node) const { return is_tip(node) ? 1 : 3; }
+
+  std::size_t num_taxa_;
+  std::vector<std::string> names_;
+  std::vector<Slots> nodes_;
+};
+
+}  // namespace plfoc

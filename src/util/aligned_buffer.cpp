@@ -1,0 +1,37 @@
+#include "util/aligned_buffer.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+AlignedBuffer::AlignedBuffer(std::size_t count, double fill) : size_(count) {
+  if (count == 0) return;
+  // Round the byte size up to an alignment multiple as required by aligned_alloc.
+  std::size_t bytes = count * sizeof(double);
+  bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  data_ = static_cast<double*>(std::aligned_alloc(kAlignment, bytes));
+  if (data_ == nullptr) throw std::bad_alloc();
+  std::fill_n(data_, count, fill);
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace plfoc

@@ -1,0 +1,44 @@
+// Cache-line / SIMD-aligned owning buffer for probability vectors.
+//
+// Ancestral probability vectors are large contiguous double arrays that the
+// likelihood kernels stream through; 64-byte alignment keeps them friendly to
+// vectorised loads and avoids cache-line splits at slot boundaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace plfoc {
+
+/// 64-byte-aligned heap buffer of doubles with RAII ownership.
+/// Non-copyable (these buffers are big); movable.
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t count, double fill = 0.0);
+  ~AlignedBuffer();
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  std::span<double> span() { return {data_, size_}; }
+  std::span<const double> span() const { return {data_, size_}; }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace plfoc

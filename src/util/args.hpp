@@ -1,0 +1,51 @@
+// Minimal declarative command-line parsing for the plfoc tool and examples.
+//
+// Flags are registered with a name, help text and a typed binding; parse()
+// consumes "--name value" / "--name=value" pairs and boolean "--name"
+// switches, validates required flags and produces usage text.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace plfoc {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description);
+
+  ArgParser& add_string(const std::string& name, std::string* target,
+                        const std::string& help, bool required = false);
+  ArgParser& add_uint(const std::string& name, std::uint64_t* target,
+                      const std::string& help, bool required = false);
+  ArgParser& add_double(const std::string& name, double* target,
+                        const std::string& help, bool required = false);
+  ArgParser& add_flag(const std::string& name, bool* target,
+                      const std::string& help);
+
+  /// Parse argv (excluding argv[0]). Throws plfoc::Error with a message that
+  /// includes usage on unknown flags, missing values, bad numbers or missing
+  /// required flags. "--help" throws a special Error carrying usage only.
+  void parse(int argc, const char* const* argv) const;
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    bool required;
+    bool is_switch;
+    std::function<void(const std::string&)> apply;
+  };
+
+  const Option* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace plfoc

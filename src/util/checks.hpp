@@ -1,0 +1,40 @@
+// Lightweight assertion / error machinery shared across the library.
+//
+// PLFOC_CHECK is always active (release included): the library manipulates
+// on-disk state and a silently-violated invariant can corrupt the vector file.
+// PLFOC_DCHECK compiles out in NDEBUG builds and is meant for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace plfoc {
+
+/// Thrown for user-facing recoverable errors (bad input files, bad parameters).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "plfoc: internal invariant violated: %s at %s:%d\n", expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace plfoc
+
+#define PLFOC_CHECK(expr) \
+  ((expr) ? (void)0 : ::plfoc::fail_check(#expr, __FILE__, __LINE__))
+
+#ifdef NDEBUG
+#define PLFOC_DCHECK(expr) ((void)0)
+#else
+#define PLFOC_DCHECK(expr) PLFOC_CHECK(expr)
+#endif
+
+/// Throw a plfoc::Error for recoverable, user-correctable conditions.
+#define PLFOC_REQUIRE(expr, msg) \
+  ((expr) ? (void)0 : throw ::plfoc::Error(msg))

@@ -1,0 +1,43 @@
+// Minimal leveled logging. Off by default below `warn` so library code can
+// narrate (e.g. search progress, swap decisions) without polluting benchmark
+// output; tests and examples can raise the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace plfoc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Globally set the minimum level that is emitted (thread-safe).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` to stderr if enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace plfoc
+
+#define PLFOC_LOG(level) ::plfoc::detail::LogMessage(::plfoc::LogLevel::level)

@@ -1,0 +1,60 @@
+// Deterministic random number generation.
+//
+// The whole library uses this generator (never std::rand / random_device in
+// library code) so that, given a seed, simulation, starting trees, the search
+// and the Random replacement strategy are bit-reproducible. Determinism is what
+// lets the tests assert exact log-likelihood equality between the in-RAM and
+// the out-of-core code paths — the paper's correctness criterion (Sec. 4.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace plfoc {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface, so <random> distributions work too.
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard exponential deviate with the given rate (rate > 0).
+  double exponential(double rate);
+
+  /// Standard normal deviate (Box-Muller, no cached spare for determinism).
+  double normal();
+
+  /// Gamma(shape, scale) deviate, Marsaglia-Tsang method.
+  double gamma(double shape, double scale);
+
+  /// Pick an index in [0, n) proportionally to the given weights.
+  std::size_t categorical(const double* weights, std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace plfoc

@@ -1,0 +1,83 @@
+// Independent brute-force reference implementation of the PLF for tests.
+//
+// Deliberately written differently from the library: per-site recursion over
+// the tree, no pattern compression assumptions, no scaling (long double is
+// enough for the small trees tests use), transition matrices via the same
+// eigen code (itself verified against closed forms in test_transition).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "model/eigen.hpp"
+#include "model/gamma.hpp"
+#include "model/transition.hpp"
+#include "msa/alignment.hpp"
+#include "tree/tree.hpp"
+
+namespace plfoc::testing {
+
+/// Conditional likelihood vector of the subtree at `node` seen from `parent`
+/// for one site and one fixed rate multiplier.
+inline std::vector<long double> reference_conditional(
+    const Tree& tree, const Alignment& alignment, const EigenSystem& eigen,
+    double rate, std::size_t site, NodeId node, NodeId parent) {
+  const unsigned s = eigen.states;
+  if (tree.is_tip(node)) {
+    const long row = alignment.find_taxon(tree.taxon_name(node));
+    const std::uint32_t mask =
+        code_state_mask(alignment.data_type(),
+                        alignment.row(static_cast<std::size_t>(row))[site]);
+    std::vector<long double> out(s, 0.0L);
+    for (unsigned x = 0; x < s; ++x)
+      if ((mask >> x) & 1u) out[x] = 1.0L;
+    return out;
+  }
+  std::vector<long double> out(s, 1.0L);
+  for (NodeId child : tree.neighbors(node)) {
+    if (child == parent) continue;
+    const auto below =
+        reference_conditional(tree, alignment, eigen, rate, site, child, node);
+    std::vector<double> p(static_cast<std::size_t>(s) * s);
+    transition_matrix(eigen, tree.branch_length(node, child) * rate, p.data());
+    for (unsigned x = 0; x < s; ++x) {
+      long double sum = 0.0L;
+      for (unsigned y = 0; y < s; ++y) sum += p[x * s + y] * below[y];
+      out[x] *= sum;
+    }
+  }
+  return out;
+}
+
+/// Full log likelihood under the model with discrete-Γ rates, rooted at an
+/// arbitrary inner node (root placement must not matter — pulley principle).
+inline double reference_log_likelihood(const Tree& tree,
+                                       const Alignment& alignment,
+                                       const SubstitutionModel& model,
+                                       unsigned categories, double alpha,
+                                       NodeId root = kNoNode) {
+  const EigenSystem eigen = decompose(model);
+  const std::vector<double> rates = discrete_gamma_rates(alpha, categories);
+  if (root == kNoNode) root = tree.inner_node(0);
+  const unsigned s = eigen.states;
+  double total = 0.0;
+  for (std::size_t site = 0; site < alignment.num_sites(); ++site) {
+    long double site_likelihood = 0.0L;
+    for (double rate : rates) {
+      const auto conditional = reference_conditional(
+          tree, alignment, eigen, rate, site, root, kNoNode);
+      long double l = 0.0L;
+      for (unsigned x = 0; x < s; ++x)
+        l += static_cast<long double>(model.frequencies[x]) * conditional[x];
+      site_likelihood += l;
+    }
+    site_likelihood /= categories;
+    const double weight =
+        alignment.weights().empty() ? 1.0 : alignment.weights()[site];
+    total +=
+        weight * static_cast<double>(std::log(site_likelihood));
+  }
+  return total;
+}
+
+}  // namespace plfoc::testing

@@ -1,0 +1,64 @@
+#include "util/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace plfoc {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesAndFills) {
+  AlignedBuffer buffer(100, 3.5);
+  EXPECT_EQ(buffer.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(buffer[i], 3.5);
+}
+
+TEST(AlignedBuffer, SixtyFourByteAligned) {
+  for (std::size_t count : {1u, 7u, 8u, 9u, 1000u}) {
+    AlignedBuffer buffer(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) % 64, 0u)
+        << "count " << count;
+  }
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(10, 1.0);
+  double* raw = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer a(10, 1.0);
+  AlignedBuffer b(20, 2.0);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(b[0], 1.0);
+}
+
+TEST(AlignedBuffer, SpanCoversBuffer) {
+  AlignedBuffer buffer(16, 2.0);
+  auto span = buffer.span();
+  EXPECT_EQ(span.size(), 16u);
+  EXPECT_EQ(span.data(), buffer.data());
+}
+
+TEST(AlignedBuffer, WritableThroughIndex) {
+  AlignedBuffer buffer(4);
+  buffer[2] = 9.0;
+  EXPECT_EQ(buffer[2], 9.0);
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,113 @@
+#include "msa/alignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+Alignment small() {
+  Alignment alignment(DataType::kDna, 4);
+  alignment.add_sequence("a", "ACGT");
+  alignment.add_sequence("b", "AC-T");
+  alignment.add_sequence("c", "TTTT");
+  return alignment;
+}
+
+TEST(Alignment, BasicShape) {
+  const Alignment alignment = small();
+  EXPECT_EQ(alignment.num_taxa(), 3u);
+  EXPECT_EQ(alignment.num_sites(), 4u);
+  EXPECT_EQ(alignment.data_type(), DataType::kDna);
+}
+
+TEST(Alignment, TextRoundTrip) {
+  const Alignment alignment = small();
+  EXPECT_EQ(alignment.text(0), "ACGT");
+  EXPECT_EQ(alignment.text(1), "ACNT");  // '-' prints as the canonical 'N'
+  EXPECT_EQ(alignment.text(2), "TTTT");
+}
+
+TEST(Alignment, FindTaxon) {
+  const Alignment alignment = small();
+  EXPECT_EQ(alignment.find_taxon("a"), 0);
+  EXPECT_EQ(alignment.find_taxon("c"), 2);
+  EXPECT_EQ(alignment.find_taxon("zz"), -1);
+}
+
+TEST(Alignment, RejectsWrongLength) {
+  Alignment alignment(DataType::kDna, 4);
+  EXPECT_THROW(alignment.add_sequence("a", "ACG"), Error);
+  EXPECT_THROW(alignment.add_sequence("a", "ACGTT"), Error);
+}
+
+TEST(Alignment, RejectsDuplicateNames) {
+  Alignment alignment(DataType::kDna, 2);
+  alignment.add_sequence("a", "AC");
+  EXPECT_THROW(alignment.add_sequence("a", "GT"), Error);
+}
+
+TEST(Alignment, RejectsEmptyName) {
+  Alignment alignment(DataType::kDna, 2);
+  EXPECT_THROW(alignment.add_sequence("", "AC"), Error);
+}
+
+TEST(Alignment, RejectsInvalidCharacters) {
+  Alignment alignment(DataType::kDna, 2);
+  EXPECT_THROW(alignment.add_sequence("a", "AZ"), Error);
+}
+
+TEST(Alignment, WeightsValidation) {
+  Alignment alignment = small();
+  EXPECT_THROW(alignment.set_weights({1.0, 2.0}), Error);        // wrong size
+  EXPECT_THROW(alignment.set_weights({1, 1, 0, 1}), Error);      // zero weight
+  alignment.set_weights({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(alignment.total_weight(), 10.0);
+}
+
+TEST(Alignment, TotalWeightDefaultsToSites) {
+  EXPECT_EQ(small().total_weight(), 4.0);
+}
+
+TEST(Alignment, EmpiricalFrequenciesSumToOne) {
+  const auto freqs = small().empirical_frequencies();
+  ASSERT_EQ(freqs.size(), 4u);
+  double total = 0.0;
+  for (double f : freqs) {
+    EXPECT_GT(f, 0.0);
+    total += f;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Alignment, EmpiricalFrequenciesCountAmbiguityFractionally) {
+  Alignment alignment(DataType::kDna, 1);
+  alignment.add_sequence("a", "R");  // A or G, half each
+  alignment.add_sequence("b", "A");
+  const auto freqs = alignment.empirical_frequencies();
+  // Counts: A = 1.5, G = 0.5 (pre-flooring); C and T get the tiny floor.
+  EXPECT_NEAR(freqs[0], 0.75, 0.01);
+  EXPECT_NEAR(freqs[2], 0.25, 0.01);
+}
+
+TEST(Alignment, EmpiricalFrequenciesTFloorIsPositive) {
+  Alignment alignment(DataType::kDna, 2);
+  alignment.add_sequence("a", "AA");
+  alignment.add_sequence("b", "AA");
+  const auto freqs = alignment.empirical_frequencies();
+  for (double f : freqs) EXPECT_GT(f, 0.0);  // floored, never exactly zero
+}
+
+TEST(Alignment, AddEncodedMatchesAddSequence) {
+  Alignment by_text(DataType::kDna, 3);
+  by_text.add_sequence("a", "ACG");
+  Alignment by_code(DataType::kDna, 3);
+  by_code.add_encoded("a", {1, 2, 4});
+  EXPECT_EQ(by_text.text(0), by_code.text(0));
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,106 @@
+#include "search/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "msa/patterns.hpp"
+#include "ooc/inram_store.hpp"
+#include "likelihood/engine.hpp"
+#include "sim/simulate.hpp"
+#include "tree/random_tree.hpp"
+#include "tree/topology_moves.hpp"
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+TEST(Rell, SupportSumsToOne) {
+  const std::vector<std::vector<double>> lls = {
+      {-1.0, -2.0, -3.0}, {-1.1, -2.1, -2.9}, {-0.9, -2.2, -3.1}};
+  const std::vector<double> weights = {5.0, 3.0, 2.0};
+  Rng rng(3);
+  const RellResult result = rell_bootstrap(lls, weights, 500, rng);
+  EXPECT_EQ(result.support.size(), 3u);
+  EXPECT_NEAR(std::accumulate(result.support.begin(), result.support.end(),
+                              0.0),
+              1.0, 1e-12);
+}
+
+TEST(Rell, DominantTreeGetsAllSupport) {
+  // Tree 0 is better on every pattern: no resampling can change the winner.
+  const std::vector<std::vector<double>> lls = {{-1.0, -1.0}, {-2.0, -2.0}};
+  const std::vector<double> weights = {10.0, 10.0};
+  Rng rng(5);
+  const RellResult result = rell_bootstrap(lls, weights, 200, rng);
+  EXPECT_DOUBLE_EQ(result.support[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.support[1], 0.0);
+  EXPECT_GT(result.mean_log_likelihood[0], result.mean_log_likelihood[1]);
+}
+
+TEST(Rell, IdenticalTreesShareSupport) {
+  const std::vector<std::vector<double>> lls = {{-1.0, -2.0}, {-1.0, -2.0}};
+  const std::vector<double> weights = {4.0, 4.0};
+  Rng rng(7);
+  const RellResult result = rell_bootstrap(lls, weights, 100, rng);
+  EXPECT_NEAR(result.support[0], 0.5, 1e-12);
+  EXPECT_NEAR(result.support[1], 0.5, 1e-12);
+}
+
+TEST(Rell, DeterministicForSeed) {
+  const std::vector<std::vector<double>> lls = {
+      {-1.0, -2.0, -1.5}, {-1.2, -1.8, -1.6}};
+  const std::vector<double> weights = {3.0, 4.0, 5.0};
+  Rng a(11);
+  Rng b(11);
+  const RellResult ra = rell_bootstrap(lls, weights, 300, a);
+  const RellResult rb = rell_bootstrap(lls, weights, 300, b);
+  EXPECT_EQ(ra.support, rb.support);
+  EXPECT_EQ(ra.mean_log_likelihood, rb.mean_log_likelihood);
+}
+
+TEST(Rell, ValidatesInput) {
+  Rng rng(1);
+  EXPECT_THROW(rell_bootstrap({}, {1.0}, 10, rng), Error);
+  EXPECT_THROW(rell_bootstrap({{-1.0}}, {}, 10, rng), Error);
+  EXPECT_THROW(rell_bootstrap({{-1.0, -2.0}}, {1.0}, 10, rng), Error);
+  EXPECT_THROW(rell_bootstrap({{-1.0}}, {1.0}, 0, rng), Error);
+}
+
+TEST(Rell, EndToEndPrefersTrueTopology) {
+  // Simulate on a known tree; compare it against an NNI rearrangement via
+  // engine-produced per-pattern log likelihoods.
+  Rng rng(13);
+  RandomTreeOptions topt;
+  topt.mean_branch_length = 0.2;
+  Tree truth = random_tree(10, rng, topt);
+  const Alignment raw =
+      simulate_alignment(truth, jc69(), 500, rng, SimulationOptions{1, 1.0});
+  const Alignment alignment = compress_patterns(raw).compressed;
+
+  Tree wrong = truth;
+  for (const auto& [a, b] : wrong.edges())
+    if (wrong.is_inner(a) && wrong.is_inner(b)) {
+      apply_nni(wrong, a, b, 0);
+      break;
+    }
+
+  const auto pattern_lls = [&](Tree& tree) {
+    InRamStore store(tree.num_inner(),
+                     LikelihoodEngine::vector_width(alignment, 1));
+    LikelihoodEngine engine(alignment, tree, ModelConfig{jc69(), 1, 1.0},
+                            store);
+    engine.optimize_all_branches(2);
+    const auto [x, y] = tree.default_root_branch();
+    return engine.pattern_log_likelihoods(x, y);
+  };
+  const std::vector<std::vector<double>> lls = {pattern_lls(truth),
+                                                pattern_lls(wrong)};
+  Rng boot_rng(17);
+  const RellResult result =
+      rell_bootstrap(lls, alignment.weights(), 400, boot_rng);
+  EXPECT_GT(result.support[0], 0.9);
+}
+
+}  // namespace
+}  // namespace plfoc

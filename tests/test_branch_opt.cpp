@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "likelihood/engine.hpp"
+#include "ooc/inram_store.hpp"
+#include "sim/simulate.hpp"
+#include "tree/random_tree.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+struct Fixture {
+  Tree tree;
+  Alignment alignment;
+  InRamStore store;
+  LikelihoodEngine engine;
+
+  explicit Fixture(std::uint64_t seed, std::size_t taxa = 10,
+                   std::size_t sites = 60, unsigned categories = 2)
+      : tree(make_tree(seed, taxa)),
+        alignment(make_alignment(seed, sites, tree)),
+        store(tree.num_inner(),
+              LikelihoodEngine::vector_width(alignment, categories)),
+        engine(alignment, tree, ModelConfig{jc69(), categories, 0.8}, store) {}
+
+  static Tree make_tree(std::uint64_t seed, std::size_t taxa) {
+    Rng rng(seed);
+    return random_tree(taxa, rng);
+  }
+  static Alignment make_alignment(std::uint64_t seed, std::size_t sites,
+                                  const Tree& tree) {
+    Rng rng(seed + 1000);
+    return simulate_alignment(tree, jc69(), sites, rng,
+                              SimulationOptions{2, 0.8});
+  }
+};
+
+TEST(BranchOpt, SingleBranchNeverDecreasesLikelihood) {
+  Fixture fx(3);
+  const double before = fx.engine.log_likelihood();
+  const auto [a, b] = fx.tree.default_root_branch();
+  const double after = fx.engine.optimize_branch(a, b);
+  EXPECT_GE(after, before - 1e-9);
+}
+
+TEST(BranchOpt, OptimumHasZeroDerivative) {
+  Fixture fx(5);
+  const auto [a, b] = fx.engine.tree().default_root_branch();
+  fx.engine.optimize_branch(a, b, 64);
+  const double t = fx.engine.tree().branch_length(a, b);
+  const BranchValue value = fx.engine.branch_value(a, b, t, true);
+  // At an interior optimum d1 ~ 0; at the boundary the gradient points out.
+  if (t > kMinBranchLength * 2 && t < kMaxBranchLength / 2)
+    EXPECT_NEAR(value.d1 / std::max(1.0, std::abs(value.d2)), 0.0, 1e-3);
+}
+
+TEST(BranchOpt, RecoversPerturbedBranch) {
+  Fixture fx(7);
+  const auto [a, b] = fx.engine.tree().default_root_branch();
+  fx.engine.optimize_branch(a, b, 64);
+  const double optimal = fx.engine.tree().branch_length(a, b);
+  const double ll_optimal = fx.engine.log_likelihood(a, b);
+  // Perturb and re-optimise from both directions.
+  for (double factor : {0.1, 10.0}) {
+    fx.engine.tree().set_branch_length(a, b, optimal * factor);
+    fx.engine.invalidate_length_change(a, b);
+    fx.engine.optimize_branch(a, b, 64);
+    EXPECT_NEAR(fx.engine.tree().branch_length(a, b), optimal,
+                0.05 * optimal + 1e-6);
+    EXPECT_NEAR(fx.engine.log_likelihood(a, b), ll_optimal, 1e-6);
+  }
+}
+
+TEST(BranchOpt, StaysWithinBounds) {
+  Fixture fx(11);
+  for (const auto& [a, b] : fx.engine.tree().edges()) {
+    fx.engine.optimize_branch(a, b, 32);
+    const double t = fx.engine.tree().branch_length(a, b);
+    EXPECT_GE(t, kMinBranchLength);
+    EXPECT_LE(t, kMaxBranchLength);
+  }
+}
+
+TEST(BranchOpt, SmoothingPassImprovesMonotonically) {
+  Fixture fx(13);
+  const double before = fx.engine.log_likelihood();
+  const double pass1 = fx.engine.optimize_all_branches(1);
+  const double pass2 = fx.engine.optimize_all_branches(1);
+  EXPECT_GE(pass1, before - 1e-9);
+  EXPECT_GE(pass2, pass1 - 1e-7);
+}
+
+TEST(BranchOpt, SmoothingConverges) {
+  Fixture fx(17, 8, 40);
+  double previous = fx.engine.optimize_all_branches(1);
+  for (int pass = 0; pass < 4; ++pass) {
+    const double current = fx.engine.optimize_all_branches(1);
+    EXPECT_GE(current, previous - 1e-7);
+    previous = current;
+  }
+  // One more pass should gain almost nothing.
+  const double final_ll = fx.engine.optimize_all_branches(1);
+  EXPECT_NEAR(final_ll, previous, 0.05);
+}
+
+TEST(BranchOpt, LazyModeSkipsInvalidation) {
+  Fixture fx(19);
+  const auto [a, b] = fx.engine.tree().default_root_branch();
+  fx.engine.log_likelihood();
+  // With update_invalidation=false the orientation of distant vectors stays
+  // untouched; with true, vectors containing the branch are invalidated.
+  fx.engine.optimize_branch(a, b, 8, false);
+  // Evaluating at (a, b) is still exact regardless (the endpoint vectors do
+  // not depend on the branch length between them).
+  const double direct = fx.engine.log_likelihood(a, b);
+  const double t = fx.engine.tree().branch_length(a, b);
+  const BranchValue value = fx.engine.branch_value(a, b, t, false);
+  EXPECT_NEAR(direct, value.log_likelihood, 1e-9);
+}
+
+TEST(BranchOpt, TipBranchOptimizable) {
+  Fixture fx(23);
+  // Find a tip branch.
+  const NodeId tip = 0;
+  const NodeId inner = fx.engine.tree().neighbors(tip)[0];
+  const double before = fx.engine.log_likelihood(tip, inner);
+  const double after = fx.engine.optimize_branch(tip, inner);
+  EXPECT_GE(after, before - 1e-9);
+}
+
+}  // namespace
+}  // namespace plfoc

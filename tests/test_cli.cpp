@@ -1,0 +1,220 @@
+#include "cli/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "msa/fasta.hpp"
+#include "sim/dataset_planner.hpp"
+#include "tree/newick.hpp"
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+/// Writes a small simulated dataset to temp files once per process.
+class CliFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetPlan plan;
+    plan.num_taxa = 12;
+    plan.num_sites = 60;
+    plan.seed = 99;
+    const PlannedDataset data = make_dna_dataset(plan);
+    msa_path_ = "/tmp/plfoc_cli_test_msa.fasta";
+    tree_path_ = "/tmp/plfoc_cli_test_tree.nwk";
+    write_fasta_file(msa_path_, data.alignment);
+    write_newick_file(tree_path_, data.tree);
+  }
+  static void TearDownTestSuite() {
+    std::remove(msa_path_.c_str());
+    std::remove(tree_path_.c_str());
+  }
+
+  static CliConfig base_config() {
+    CliConfig config;
+    config.msa_path = msa_path_;
+    config.tree_path = tree_path_;
+    return config;
+  }
+
+  static std::string msa_path_;
+  static std::string tree_path_;
+};
+
+std::string CliFixture::msa_path_;
+std::string CliFixture::tree_path_;
+
+CliConfig parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return parse_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliParse, DefaultsAndOverrides) {
+  const CliConfig config =
+      parse({"--msa", "x.fa", "--backend", "ooc", "--memory-limit", "1000000",
+             "--strategy", "random", "--mode", "traverse", "--traversals",
+             "3", "--no-read-skipping", "--stats"});
+  EXPECT_EQ(config.msa_path, "x.fa");
+  EXPECT_EQ(config.backend, "ooc");
+  EXPECT_EQ(config.memory_limit, 1000000u);
+  EXPECT_EQ(config.strategy, "random");
+  EXPECT_EQ(config.mode, "traverse");
+  EXPECT_EQ(config.traversals, 3u);
+  EXPECT_TRUE(config.no_read_skipping);
+  EXPECT_TRUE(config.print_stats);
+  EXPECT_EQ(config.categories, 4u);  // default
+}
+
+TEST(CliParse, RequiresMsa) {
+  EXPECT_THROW(parse({"--mode", "evaluate"}), Error);
+}
+
+TEST_F(CliFixture, EvaluateMode) {
+  CliConfig config = base_config();
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(config, out), 0);
+  EXPECT_NE(out.str().find("logL = -"), std::string::npos);
+}
+
+TEST_F(CliFixture, EvaluateMatchesAcrossBackends) {
+  const auto logl_line = [](const std::string& text) {
+    const std::size_t at = text.find("logL = ");
+    EXPECT_NE(at, std::string::npos);
+    return text.substr(at, text.find('\n', at) - at);
+  };
+  CliConfig in_ram = base_config();
+  std::ostringstream ram_out;
+  run_cli(in_ram, ram_out);
+
+  CliConfig ooc = base_config();
+  ooc.backend = "ooc";
+  ooc.ram_fraction = 0.3;
+  ooc.strategy = "topological";
+  std::ostringstream ooc_out;
+  run_cli(ooc, ooc_out);
+  EXPECT_EQ(logl_line(ram_out.str()), logl_line(ooc_out.str()));
+
+  CliConfig tiered = base_config();
+  tiered.backend = "tiered";
+  std::ostringstream tiered_out;
+  run_cli(tiered, tiered_out);
+  EXPECT_EQ(logl_line(ram_out.str()), logl_line(tiered_out.str()));
+}
+
+TEST_F(CliFixture, TraverseModeReportsTiming) {
+  CliConfig config = base_config();
+  config.mode = "traverse";
+  config.traversals = 2;
+  config.backend = "ooc";
+  config.ram_fraction = 0.25;
+  config.print_stats = true;
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(config, out), 0);
+  EXPECT_NE(out.str().find("2 full traversals"), std::string::npos);
+  EXPECT_NE(out.str().find("miss_rate"), std::string::npos);
+}
+
+TEST_F(CliFixture, SearchModeWritesTree) {
+  CliConfig config = base_config();
+  config.mode = "search";
+  config.spr_rounds = 1;
+  config.out_tree_path = "/tmp/plfoc_cli_test_out.nwk";
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(config, out), 0);
+  const Tree result = read_newick_file(config.out_tree_path);
+  EXPECT_EQ(result.num_taxa(), 12u);
+  std::remove(config.out_tree_path.c_str());
+}
+
+TEST_F(CliFixture, McmcMode) {
+  CliConfig config = base_config();
+  config.mode = "mcmc";
+  config.mcmc_iterations = 100;
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(config, out), 0);
+  EXPECT_NE(out.str().find("mcmc: log posterior"), std::string::npos);
+}
+
+TEST_F(CliFixture, StepwiseStartWhenNoTreeGiven) {
+  CliConfig config = base_config();
+  config.tree_path.clear();
+  std::ostringstream out;
+  EXPECT_EQ(run_cli(config, out), 0);
+  EXPECT_NE(out.str().find("stepwise-addition"), std::string::npos);
+}
+
+TEST_F(CliFixture, BadConfigurationsThrow) {
+  {
+    CliConfig config = base_config();
+    config.format = "nexus";
+    std::ostringstream out;
+    EXPECT_THROW(run_cli(config, out), Error);
+  }
+  {
+    CliConfig config = base_config();
+    config.mode = "dance";
+    std::ostringstream out;
+    EXPECT_THROW(run_cli(config, out), Error);
+  }
+  {
+    CliConfig config = base_config();
+    config.backend = "cloud";
+    std::ostringstream out;
+    EXPECT_THROW(run_cli(config, out), Error);
+  }
+  {
+    CliConfig config = base_config();
+    config.model = "dayhoff";
+    std::ostringstream out;
+    EXPECT_THROW(run_cli(config, out), Error);
+  }
+  {
+    CliConfig config = base_config();
+    config.msa_path = "/nonexistent.fa";
+    std::ostringstream out;
+    EXPECT_THROW(run_cli(config, out), Error);
+  }
+}
+
+TEST_F(CliFixture, CheckpointSaveAndResume) {
+  const std::string ckpt = "/tmp/plfoc_cli_test_ckpt.bin";
+  // Run a search and checkpoint the result.
+  CliConfig first = base_config();
+  first.mode = "search";
+  first.save_checkpoint_path = ckpt;
+  std::ostringstream first_out;
+  EXPECT_EQ(run_cli(first, first_out), 0);
+  // Extract the final logL of the search.
+  const std::string text = first_out.str();
+  const std::size_t arrow = text.find("-> ");
+  ASSERT_NE(arrow, std::string::npos);
+  const std::string final_ll =
+      text.substr(arrow + 3, text.find(' ', arrow + 3) - (arrow + 3));
+
+  // Resume from the checkpoint and evaluate: same likelihood.
+  CliConfig second = base_config();
+  second.tree_path.clear();
+  second.load_checkpoint_path = ckpt;
+  std::ostringstream second_out;
+  EXPECT_EQ(run_cli(second, second_out), 0);
+  EXPECT_NE(second_out.str().find("resuming from checkpoint"),
+            std::string::npos);
+  EXPECT_NE(second_out.str().find(final_ll), std::string::npos)
+      << second_out.str();
+  std::remove(ckpt.c_str());
+}
+
+TEST_F(CliFixture, K80AndJcModels) {
+  for (const char* model : {"jc", "k80", "hky"}) {
+    CliConfig config = base_config();
+    config.model = model;
+    std::ostringstream out;
+    EXPECT_EQ(run_cli(config, out), 0) << model;
+  }
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,108 @@
+#include "tree/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tree/newick.hpp"
+#include "tree/random_tree.hpp"
+#include "tree/topology_moves.hpp"
+#include "util/checks.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+TEST(Compare, IdenticalTreesHaveZeroDistance) {
+  const Tree a = parse_newick("((a,b),(c,d),(e,f));");
+  const Tree b = parse_newick("((b,a),(d,c),(f,e));");  // same splits
+  EXPECT_EQ(robinson_foulds(a, b), 0u);
+  EXPECT_DOUBLE_EQ(normalized_robinson_foulds(a, b), 0.0);
+}
+
+TEST(Compare, SelfDistanceZeroForRandomTrees) {
+  Rng rng(5);
+  for (std::size_t n : {4u, 8u, 20u, 50u}) {
+    const Tree tree = random_tree(n, rng);
+    EXPECT_EQ(robinson_foulds(tree, tree), 0u) << n;
+  }
+}
+
+TEST(Compare, QuartetAlternativesAreMaximallyDistant) {
+  // 4 taxa: one inner edge each; the three resolutions share no splits.
+  const Tree ab_cd = parse_newick("((a,b),(c,d));");
+  const Tree ac_bd = parse_newick("((a,c),(b,d));");
+  const Tree ad_bc = parse_newick("((a,d),(b,c));");
+  EXPECT_EQ(robinson_foulds(ab_cd, ac_bd), 2u);
+  EXPECT_EQ(robinson_foulds(ab_cd, ad_bc), 2u);
+  EXPECT_EQ(robinson_foulds(ac_bd, ad_bc), 2u);
+  EXPECT_DOUBLE_EQ(normalized_robinson_foulds(ab_cd, ac_bd), 1.0);
+}
+
+TEST(Compare, SingleNniCostsTwo) {
+  Rng rng(9);
+  Tree tree = random_tree(12, rng);
+  Tree mutated = tree;
+  // Find an inner-inner edge and swap across it.
+  for (const auto& [a, b] : mutated.edges()) {
+    if (mutated.is_inner(a) && mutated.is_inner(b)) {
+      apply_nni(mutated, a, b, 0);
+      break;
+    }
+  }
+  // One NNI changes exactly one bipartition.
+  EXPECT_EQ(robinson_foulds(tree, mutated), 2u);
+}
+
+TEST(Compare, SplitCountsMatchInnerEdges) {
+  Rng rng(13);
+  const Tree tree = random_tree(30, rng);
+  std::vector<std::string> order;
+  for (NodeId tip = 0; tip < tree.num_taxa(); ++tip)
+    order.push_back(tree.taxon_name(tip));
+  const auto splits = tree_splits(tree, order);
+  // An unrooted binary tree over n taxa has n-3 inner edges.
+  EXPECT_EQ(splits.size(), tree.num_taxa() - 3);
+}
+
+TEST(Compare, TaxonOrderIndependence) {
+  const Tree a = parse_newick("((a,b),(c,(d,e)));");
+  const Tree b = parse_newick("((e,d),(c,(b,a)));");
+  EXPECT_EQ(robinson_foulds(a, b), 0u);
+}
+
+TEST(Compare, DisjointTaxaThrow) {
+  const Tree a = parse_newick("((a,b),(c,d));");
+  const Tree b = parse_newick("((a,b),(c,x));");
+  EXPECT_THROW(robinson_foulds(a, b), Error);
+}
+
+TEST(Compare, DifferentSizesThrow) {
+  const Tree a = parse_newick("((a,b),(c,d));");
+  const Tree b = parse_newick("((a,b),(c,d),e);");
+  EXPECT_THROW(robinson_foulds(a, b), Error);
+}
+
+TEST(Compare, ManyTaxaCrossBlockBoundary) {
+  // > 64 taxa exercises the multi-block bitset path.
+  Rng rng(17);
+  const Tree a = random_tree(100, rng);
+  Tree b = a;
+  EXPECT_EQ(robinson_foulds(a, b), 0u);
+  for (const auto& [x, y] : b.edges()) {
+    if (b.is_inner(x) && b.is_inner(y)) {
+      apply_nni(b, x, y, 1);
+      break;
+    }
+  }
+  EXPECT_EQ(robinson_foulds(a, b), 2u);
+}
+
+TEST(Compare, DistanceIsSymmetric) {
+  Rng r1(19);
+  Rng r2(23);
+  const Tree a = random_tree(16, r1);
+  Tree b = random_tree(16, r2);
+  EXPECT_EQ(robinson_foulds(a, b), robinson_foulds(b, a));
+}
+
+}  // namespace
+}  // namespace plfoc

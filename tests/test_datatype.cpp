@@ -1,0 +1,115 @@
+#include "msa/datatype.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+TEST(DataType, BasicCounts) {
+  EXPECT_EQ(num_states(DataType::kDna), 4u);
+  EXPECT_EQ(num_codes(DataType::kDna), 16u);
+  EXPECT_EQ(num_states(DataType::kProtein), 20u);
+  EXPECT_EQ(num_codes(DataType::kProtein), 24u);
+}
+
+TEST(DataType, DnaCanonicalBases) {
+  EXPECT_EQ(encode_char(DataType::kDna, 'A'), 1);
+  EXPECT_EQ(encode_char(DataType::kDna, 'C'), 2);
+  EXPECT_EQ(encode_char(DataType::kDna, 'G'), 4);
+  EXPECT_EQ(encode_char(DataType::kDna, 'T'), 8);
+  EXPECT_EQ(encode_char(DataType::kDna, 'U'), 8);  // RNA uracil maps to T
+}
+
+TEST(DataType, DnaCaseInsensitive) {
+  EXPECT_EQ(encode_char(DataType::kDna, 'a'), encode_char(DataType::kDna, 'A'));
+  EXPECT_EQ(encode_char(DataType::kDna, 'n'), encode_char(DataType::kDna, 'N'));
+}
+
+TEST(DataType, DnaAmbiguityMasks) {
+  EXPECT_EQ(encode_char(DataType::kDna, 'R'), 1 | 4);  // A/G
+  EXPECT_EQ(encode_char(DataType::kDna, 'Y'), 2 | 8);  // C/T
+  EXPECT_EQ(encode_char(DataType::kDna, 'S'), 2 | 4);
+  EXPECT_EQ(encode_char(DataType::kDna, 'W'), 1 | 8);
+  EXPECT_EQ(encode_char(DataType::kDna, 'K'), 4 | 8);
+  EXPECT_EQ(encode_char(DataType::kDna, 'M'), 1 | 2);
+  EXPECT_EQ(encode_char(DataType::kDna, 'B'), 2 | 4 | 8);
+  EXPECT_EQ(encode_char(DataType::kDna, 'D'), 1 | 4 | 8);
+  EXPECT_EQ(encode_char(DataType::kDna, 'H'), 1 | 2 | 8);
+  EXPECT_EQ(encode_char(DataType::kDna, 'V'), 1 | 2 | 4);
+}
+
+TEST(DataType, GapCharactersAreFullAmbiguity) {
+  for (char c : {'N', '-', '?', '.', '~', 'X'})
+    EXPECT_EQ(encode_char(DataType::kDna, c), 15) << c;
+  for (char c : {'X', '-', '?', '.', '~', '*'})
+    EXPECT_EQ(encode_char(DataType::kProtein, c), 23) << c;
+}
+
+TEST(DataType, InvalidCharactersThrow) {
+  EXPECT_THROW(encode_char(DataType::kDna, 'Z'), Error);
+  EXPECT_THROW(encode_char(DataType::kDna, '1'), Error);
+  EXPECT_THROW(encode_char(DataType::kProtein, '1'), Error);
+  EXPECT_THROW(encode_char(DataType::kProtein, 'O'), Error);
+}
+
+TEST(DataType, DnaMaskEqualsCode) {
+  for (std::uint8_t code = 1; code < 16; ++code)
+    EXPECT_EQ(code_state_mask(DataType::kDna, code), code);
+}
+
+TEST(DataType, ProteinAmbiguityMasks) {
+  // B = Asn(2) | Asp(3), Z = Gln(5) | Glu(6), J = Ile(9) | Leu(10).
+  EXPECT_EQ(code_state_mask(DataType::kProtein, 20), (1u << 2) | (1u << 3));
+  EXPECT_EQ(code_state_mask(DataType::kProtein, 21), (1u << 5) | (1u << 6));
+  EXPECT_EQ(code_state_mask(DataType::kProtein, 22), (1u << 9) | (1u << 10));
+  EXPECT_EQ(code_state_mask(DataType::kProtein, 23), (1u << 20) - 1);
+}
+
+TEST(DataType, RoundTripDna) {
+  const std::string chars = "ACGTRYSWKMBDHVN";
+  for (char c : chars) {
+    const std::uint8_t code = encode_char(DataType::kDna, c);
+    EXPECT_EQ(decode_char(DataType::kDna, code), c);
+  }
+}
+
+TEST(DataType, RoundTripProteinCanonical) {
+  const std::string chars = "ARNDCQEGHILKMFPSTWYV";
+  for (char c : chars) {
+    const std::uint8_t code = encode_char(DataType::kProtein, c);
+    EXPECT_EQ(decode_char(DataType::kProtein, code), c);
+  }
+}
+
+TEST(DataType, UnambiguousDetection) {
+  EXPECT_TRUE(is_unambiguous(DataType::kDna, 1));
+  EXPECT_TRUE(is_unambiguous(DataType::kDna, 8));
+  EXPECT_FALSE(is_unambiguous(DataType::kDna, 3));
+  EXPECT_FALSE(is_unambiguous(DataType::kDna, 15));
+  EXPECT_TRUE(is_unambiguous(DataType::kProtein, 0));
+  EXPECT_TRUE(is_unambiguous(DataType::kProtein, 19));
+  EXPECT_FALSE(is_unambiguous(DataType::kProtein, 23));
+}
+
+TEST(DataType, SingleStateIndex) {
+  EXPECT_EQ(single_state(DataType::kDna, 1), 0u);
+  EXPECT_EQ(single_state(DataType::kDna, 2), 1u);
+  EXPECT_EQ(single_state(DataType::kDna, 4), 2u);
+  EXPECT_EQ(single_state(DataType::kDna, 8), 3u);
+  EXPECT_EQ(single_state(DataType::kProtein, 7), 7u);
+}
+
+TEST(DataType, GapCodes) {
+  EXPECT_EQ(gap_code(DataType::kDna), 15);
+  EXPECT_EQ(gap_code(DataType::kProtein), 23);
+}
+
+TEST(DataType, Names) {
+  EXPECT_EQ(datatype_name(DataType::kDna), "DNA");
+  EXPECT_EQ(datatype_name(DataType::kProtein), "Protein");
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,58 @@
+#include "tree/distances.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tree/newick.hpp"
+#include "tree/random_tree.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+TEST(Distances, QuartetDistances) {
+  // ((a,b),(c,d)): a-b via one inner node (2 hops), a-c via two (3 hops).
+  const Tree tree = parse_newick("((a,b),(c,d));");
+  const NodeId a = tree.find_taxon("a");
+  const NodeId b = tree.find_taxon("b");
+  const NodeId c = tree.find_taxon("c");
+  EXPECT_EQ(node_distance(tree, a, a), 0u);
+  EXPECT_EQ(node_distance(tree, a, b), 2u);
+  EXPECT_EQ(node_distance(tree, a, c), 3u);
+}
+
+TEST(Distances, SymmetricAndTriangle) {
+  Rng rng(3);
+  const Tree tree = random_tree(20, rng);
+  const auto from0 = node_distances(tree, 0);
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    const auto fromN = node_distances(tree, n);
+    EXPECT_EQ(fromN[0], from0[n]);  // symmetry
+    for (NodeId m = 0; m < tree.num_nodes(); ++m)
+      EXPECT_LE(from0[m], from0[n] + fromN[m]);  // triangle inequality
+  }
+}
+
+TEST(Distances, AdjacentNodesAtDistanceOne) {
+  Rng rng(5);
+  const Tree tree = random_tree(12, rng);
+  for (const auto& [a, b] : tree.edges())
+    EXPECT_EQ(node_distance(tree, a, b), 1u);
+}
+
+TEST(Distances, AllReachable) {
+  Rng rng(7);
+  const Tree tree = random_tree(40, rng);
+  const auto dist = node_distances(tree, 3);
+  for (NodeId n = 0; n < tree.num_nodes(); ++n)
+    EXPECT_LT(dist[n], tree.num_nodes());
+}
+
+TEST(Distances, LadderHasLinearDiameter) {
+  const Tree tree = parse_newick("(a,(b,(c,(d,(e,f)))));");
+  const NodeId a = tree.find_taxon("a");
+  const NodeId f = tree.find_taxon("f");
+  EXPECT_EQ(node_distance(tree, a, f), 5u);
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,132 @@
+#include "model/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/protein_matrices.hpp"
+
+namespace plfoc {
+namespace {
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnDecomposition) {
+  std::vector<double> m = {3.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 7.0};
+  std::vector<double> values;
+  std::vector<double> vectors;
+  jacobi_eigen(m, 3, values, vectors);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_NEAR(sorted[0], -1.0, 1e-12);
+  EXPECT_NEAR(sorted[1], 3.0, 1e-12);
+  EXPECT_NEAR(sorted[2], 7.0, 1e-12);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  std::vector<double> m = {2.0, 1.0, 1.0, 2.0};
+  std::vector<double> values;
+  std::vector<double> vectors;
+  jacobi_eigen(m, 2, values, vectors);
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[0], 1.0, 1e-12);
+  EXPECT_NEAR(values[1], 3.0, 1e-12);
+}
+
+TEST(Jacobi, EigenvectorsAreOrthonormal) {
+  // Symmetric random-ish matrix.
+  std::vector<double> m = {4.0, 1.0, 2.0, 0.5, 1.0, 3.0, 0.7, 0.2,
+                           2.0, 0.7, 5.0, 1.1, 0.5, 0.2, 1.1, 2.5};
+  std::vector<double> values;
+  std::vector<double> u;
+  jacobi_eigen(m, 4, values, u);
+  for (unsigned i = 0; i < 4; ++i)
+    for (unsigned j = 0; j < 4; ++j) {
+      double dot = 0.0;
+      for (unsigned k = 0; k < 4; ++k) dot += u[k * 4 + i] * u[k * 4 + j];
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  std::vector<double> m = {4.0, 1.0, 2.0, 1.0, 3.0, 0.7, 2.0, 0.7, 5.0};
+  std::vector<double> values;
+  std::vector<double> u;
+  jacobi_eigen(m, 3, values, u);
+  for (unsigned i = 0; i < 3; ++i)
+    for (unsigned j = 0; j < 3; ++j) {
+      double sum = 0.0;
+      for (unsigned k = 0; k < 3; ++k)
+        sum += u[i * 3 + k] * values[k] * u[j * 3 + k];
+      EXPECT_NEAR(sum, m[i * 3 + j], 1e-10);
+    }
+}
+
+TEST(Eigen, ReconstructsQ) {
+  const SubstitutionModel model =
+      gtr({1.2, 4.5, 0.8, 1.1, 5.2, 1.0}, {0.3, 0.22, 0.24, 0.24});
+  const auto q = build_rate_matrix(model);
+  const EigenSystem sys = decompose(model);
+  for (unsigned i = 0; i < 4; ++i)
+    for (unsigned j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (unsigned k = 0; k < 4; ++k)
+        sum += sys.right[i * 4 + k] * sys.eigenvalues[k] * sys.inverse[k * 4 + j];
+      EXPECT_NEAR(sum, q[i * 4 + j], 1e-10);
+    }
+}
+
+TEST(Eigen, InverseIsActualInverse) {
+  const EigenSystem sys = decompose(jc69());
+  for (unsigned i = 0; i < 4; ++i)
+    for (unsigned j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (unsigned k = 0; k < 4; ++k)
+        sum += sys.right[i * 4 + k] * sys.inverse[k * 4 + j];
+      EXPECT_NEAR(sum, i == j ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(Eigen, OneZeroEigenvalueRestNegative) {
+  for (const SubstitutionModel& model :
+       {jc69(), k80(2.0), gtr({1.2, 4.5, 0.8, 1.1, 5.2, 1.0},
+                              {0.3, 0.22, 0.24, 0.24})}) {
+    const EigenSystem sys = decompose(model);
+    std::vector<double> values = sys.eigenvalues;
+    std::sort(values.begin(), values.end());
+    EXPECT_NEAR(values.back(), 0.0, 1e-10);
+    for (std::size_t k = 0; k + 1 < values.size(); ++k)
+      EXPECT_LT(values[k], 1e-10);
+  }
+}
+
+TEST(Eigen, Jc69KnownEigenvalues) {
+  // JC69 scaled to mean rate 1 has eigenvalues {0, -4/3, -4/3, -4/3}.
+  const EigenSystem sys = decompose(jc69());
+  std::vector<double> values = sys.eigenvalues;
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[0], -4.0 / 3.0, 1e-10);
+  EXPECT_NEAR(values[1], -4.0 / 3.0, 1e-10);
+  EXPECT_NEAR(values[2], -4.0 / 3.0, 1e-10);
+  EXPECT_NEAR(values[3], 0.0, 1e-10);
+}
+
+TEST(Eigen, TwentyStateDecomposition) {
+  const SubstitutionModel model = synthetic_protein_model(5);
+  const auto q = build_rate_matrix(model);
+  const EigenSystem sys = decompose(model);
+  ASSERT_EQ(sys.states, 20u);
+  double worst = 0.0;
+  for (unsigned i = 0; i < 20; ++i)
+    for (unsigned j = 0; j < 20; ++j) {
+      double sum = 0.0;
+      for (unsigned k = 0; k < 20; ++k)
+        sum += sys.right[i * 20 + k] * sys.eigenvalues[k] *
+               sys.inverse[k * 20 + j];
+      worst = std::max(worst, std::abs(sum - q[i * 20 + j]));
+    }
+  EXPECT_LT(worst, 1e-8);
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,110 @@
+#include "model/gamma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace plfoc {
+namespace {
+
+TEST(Gamma, RegularizedPBoundaries) {
+  EXPECT_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_EQ(regularized_gamma_p(2.0, -1.0), 0.0);
+  EXPECT_NEAR(regularized_gamma_p(2.0, 1e9), 1.0, 1e-12);
+}
+
+TEST(Gamma, RegularizedPKnownValues) {
+  // P(1, x) = 1 - e^{-x} (exponential CDF).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0})
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  // P(0.5, x) = erf(sqrt(x)).
+  for (double x : {0.25, 1.0, 4.0})
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-10);
+}
+
+TEST(Gamma, RegularizedPMonotone) {
+  double prev = 0.0;
+  for (double x = 0.1; x < 20.0; x += 0.1) {
+    const double p = regularized_gamma_p(3.0, x);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Gamma, QuantileInvertsCdf) {
+  for (double shape : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    for (double prob : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+      const double x = gamma_quantile(prob, shape, shape);
+      EXPECT_NEAR(regularized_gamma_p(shape, shape * x), prob, 1e-9)
+          << "shape=" << shape << " p=" << prob;
+    }
+  }
+}
+
+TEST(Gamma, QuantileExponentialClosedForm) {
+  // Gamma(1, 1) is Exp(1): quantile = -log(1-p).
+  for (double prob : {0.1, 0.5, 0.9})
+    EXPECT_NEAR(gamma_quantile(prob, 1.0, 1.0), -std::log1p(-prob), 1e-9);
+}
+
+TEST(Gamma, SingleCategoryIsUnitRate) {
+  const auto rates = discrete_gamma_rates(0.5, 1);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+}
+
+TEST(Gamma, RatesAverageToOne) {
+  for (double alpha : {0.05, 0.2, 0.5, 1.0, 2.0, 10.0, 100.0}) {
+    for (unsigned k : {2u, 4u, 8u}) {
+      const auto rates = discrete_gamma_rates(alpha, k);
+      ASSERT_EQ(rates.size(), k);
+      double mean = 0.0;
+      for (double r : rates) {
+        EXPECT_GT(r, 0.0);
+        mean += r;
+      }
+      EXPECT_NEAR(mean / k, 1.0, 1e-10) << "alpha=" << alpha << " k=" << k;
+    }
+  }
+}
+
+TEST(Gamma, RatesAreIncreasing) {
+  const auto rates = discrete_gamma_rates(0.5, 4);
+  for (std::size_t i = 0; i + 1 < rates.size(); ++i)
+    EXPECT_LT(rates[i], rates[i + 1]);
+}
+
+TEST(Gamma, SmallAlphaIsMoreHeterogeneous) {
+  const auto spread = [](const std::vector<double>& rates) {
+    return rates.back() / rates.front();
+  };
+  EXPECT_GT(spread(discrete_gamma_rates(0.2, 4)),
+            spread(discrete_gamma_rates(2.0, 4)));
+}
+
+TEST(Gamma, LargeAlphaApproachesHomogeneity) {
+  const auto rates = discrete_gamma_rates(1000.0, 4);
+  for (double r : rates) EXPECT_NEAR(r, 1.0, 0.05);
+}
+
+TEST(Gamma, KnownPamlReferenceAlphaHalf) {
+  // DiscreteGamma(alpha=0.5, K=4) reference values (PAML): approximately
+  // {0.0334, 0.2519, 0.8203, 2.8944}.
+  const auto rates = discrete_gamma_rates(0.5, 4);
+  EXPECT_NEAR(rates[0], 0.0334, 5e-3);
+  EXPECT_NEAR(rates[1], 0.2519, 5e-3);
+  EXPECT_NEAR(rates[2], 0.8203, 5e-3);
+  EXPECT_NEAR(rates[3], 2.8944, 5e-3);
+}
+
+TEST(Gamma, KnownPamlReferenceAlphaOne) {
+  // DiscreteGamma(alpha=1, K=4): approximately {0.1369, 0.4767, 1.0000, 2.3864}.
+  const auto rates = discrete_gamma_rates(1.0, 4);
+  EXPECT_NEAR(rates[0], 0.1369, 5e-3);
+  EXPECT_NEAR(rates[1], 0.4767, 5e-3);
+  EXPECT_NEAR(rates[2], 1.0000, 5e-3);
+  EXPECT_NEAR(rates[3], 2.3864, 5e-3);
+}
+
+}  // namespace
+}  // namespace plfoc

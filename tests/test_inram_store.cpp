@@ -1,0 +1,64 @@
+#include "ooc/inram_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plfoc {
+namespace {
+
+TEST(InRamStore, EveryAccessIsAHit) {
+  InRamStore store(10, 16);
+  for (int round = 0; round < 3; ++round)
+    for (std::uint32_t idx = 0; idx < 10; ++idx) {
+      auto lease = store.acquire(idx, AccessMode::kRead);
+      EXPECT_NE(lease.data(), nullptr);
+    }
+  EXPECT_EQ(store.stats().accesses, 30u);
+  EXPECT_EQ(store.stats().hits, 30u);
+  EXPECT_EQ(store.stats().misses, 0u);
+  EXPECT_EQ(store.stats().file_reads, 0u);
+  EXPECT_DOUBLE_EQ(store.stats().miss_rate(), 0.0);
+}
+
+TEST(InRamStore, DataPersistsAcrossLeases) {
+  InRamStore store(4, 8);
+  {
+    auto lease = store.acquire(2, AccessMode::kWrite);
+    for (int i = 0; i < 8; ++i) lease.data()[i] = i * 1.5;
+  }
+  auto lease = store.acquire(2, AccessMode::kRead);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(lease.data()[i], i * 1.5);
+}
+
+TEST(InRamStore, VectorsAreDistinct) {
+  InRamStore store(3, 4);
+  auto a = store.acquire(0, AccessMode::kWrite);
+  auto b = store.acquire(1, AccessMode::kWrite);
+  auto c = store.acquire(2, AccessMode::kWrite);
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(b.data() - a.data(), 4);
+  EXPECT_EQ(c.data() - a.data(), 8);
+}
+
+TEST(InRamStore, LeaseMoveSemantics) {
+  InRamStore store(2, 4);
+  VectorLease lease = store.acquire(0, AccessMode::kWrite);
+  VectorLease moved = std::move(lease);
+  EXPECT_FALSE(static_cast<bool>(lease));
+  EXPECT_TRUE(static_cast<bool>(moved));
+  EXPECT_EQ(moved.index(), 0u);
+}
+
+TEST(InRamStore, ResetStatsClearsCounters) {
+  InRamStore store(2, 4);
+  store.acquire(0, AccessMode::kRead);
+  store.reset_stats();
+  EXPECT_EQ(store.stats().accesses, 0u);
+}
+
+TEST(InRamStore, BackendName) {
+  InRamStore store(2, 4);
+  EXPECT_STREQ(store.backend_name(), "in-ram");
+}
+
+}  // namespace
+}  // namespace plfoc

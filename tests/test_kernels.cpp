@@ -1,0 +1,279 @@
+#include "likelihood/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "model/eigen.hpp"
+#include "model/transition.hpp"
+
+namespace plfoc {
+namespace {
+
+/// Single-category single-pattern helper fixtures for hand-checkable math.
+struct TinySetup {
+  EigenSystem eigen = decompose(jc69());
+  std::vector<double> pmat_left = std::vector<double>(16);
+  std::vector<double> pmat_right = std::vector<double>(16);
+  TinySetup(double t_left, double t_right) {
+    transition_matrix(eigen, t_left, pmat_left.data());
+    transition_matrix(eigen, t_right, pmat_right.data());
+  }
+};
+
+TEST(Kernels, NewviewInnerInnerMatchesManualComputation) {
+  TinySetup setup(0.1, 0.2);
+  const KernelDims dims{1, 1, 4};
+  // Children vectors: arbitrary positive values.
+  const std::vector<double> left = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<double> right = {0.4, 0.3, 0.2, 0.1};
+  const std::vector<std::int32_t> zero_scale = {0};
+  NewviewChild cl{left.data(), zero_scale.data(), setup.pmat_left.data(),
+                  nullptr, nullptr};
+  NewviewChild cr{right.data(), zero_scale.data(), setup.pmat_right.data(),
+                  nullptr, nullptr};
+  std::vector<double> parent(4);
+  std::vector<std::int32_t> parent_scale(1);
+  const std::size_t scaled = newview(dims, cl, cr, parent.data(),
+                                     parent_scale.data());
+  EXPECT_EQ(scaled, 0u);
+  EXPECT_EQ(parent_scale[0], 0);
+  for (unsigned x = 0; x < 4; ++x) {
+    double l = 0.0;
+    double r = 0.0;
+    for (unsigned y = 0; y < 4; ++y) {
+      l += setup.pmat_left[x * 4 + y] * left[y];
+      r += setup.pmat_right[x * 4 + y] * right[y];
+    }
+    EXPECT_NEAR(parent[x], l * r, 1e-14);
+  }
+}
+
+TEST(Kernels, NewviewTipChildUsesLookup) {
+  TinySetup setup(0.1, 0.2);
+  const KernelDims dims{2, 1, 4};
+  // Tip with codes for patterns {A, G} -> codes {1, 4}.
+  const std::vector<std::uint8_t> codes = {1, 4};
+  // Lookup: 16 codes x 1 cat x 4 states; fill only codes 1 and 4.
+  std::vector<double> lookup(16 * 4, 0.0);
+  for (unsigned x = 0; x < 4; ++x) {
+    lookup[1 * 4 + x] = setup.pmat_left[x * 4 + 0];  // state A
+    lookup[4 * 4 + x] = setup.pmat_left[x * 4 + 2];  // state G
+  }
+  NewviewChild tip{nullptr, nullptr, nullptr, codes.data(), lookup.data()};
+  const std::vector<double> right = {0.4, 0.3, 0.2, 0.1, 0.1, 0.2, 0.3, 0.4};
+  const std::vector<std::int32_t> rscale = {0, 0};
+  NewviewChild inner{right.data(), rscale.data(), setup.pmat_right.data(),
+                     nullptr, nullptr};
+  std::vector<double> parent(8);
+  std::vector<std::int32_t> parent_scale(2);
+  newview(dims, tip, inner, parent.data(), parent_scale.data());
+  for (std::size_t p = 0; p < 2; ++p) {
+    const unsigned tip_state = (p == 0) ? 0u : 2u;
+    for (unsigned x = 0; x < 4; ++x) {
+      double r = 0.0;
+      for (unsigned y = 0; y < 4; ++y)
+        r += setup.pmat_right[x * 4 + y] * right[p * 4 + y];
+      EXPECT_NEAR(parent[p * 4 + x],
+                  setup.pmat_left[x * 4 + tip_state] * r, 1e-14);
+    }
+  }
+}
+
+TEST(Kernels, ScalingTriggersAndCounts) {
+  TinySetup setup(0.1, 0.1);
+  const KernelDims dims{1, 1, 4};
+  // Children so small the product underflows the threshold.
+  const double tiny = std::ldexp(1.0, -200);
+  const std::vector<double> left(4, tiny);
+  const std::vector<double> right(4, tiny);
+  const std::vector<std::int32_t> lscale = {3};
+  const std::vector<std::int32_t> rscale = {5};
+  NewviewChild cl{left.data(), lscale.data(), setup.pmat_left.data(), nullptr,
+                  nullptr};
+  NewviewChild cr{right.data(), rscale.data(), setup.pmat_right.data(),
+                  nullptr, nullptr};
+  std::vector<double> parent(4);
+  std::vector<std::int32_t> parent_scale(1);
+  const std::size_t scaled =
+      newview(dims, cl, cr, parent.data(), parent_scale.data());
+  EXPECT_EQ(scaled, 1u);
+  // Children's counts propagate, plus as many fresh scalings as it takes to
+  // clear the threshold: the product sits at ~2^-400, so with a 2^64
+  // multiplier and a 2^-64 threshold that is ceil((400-64)/64) = 6.
+  EXPECT_EQ(parent_scale[0], 3 + 5 + 6);
+  double max_value = 0.0;
+  for (unsigned x = 0; x < 4; ++x) max_value = std::max(max_value, parent[x]);
+  EXPECT_GE(max_value, kScaleThreshold);
+  EXPECT_LT(max_value, kScaleThreshold * kScaleMultiplier);
+}
+
+TEST(Kernels, ScalingPreservesLikelihood) {
+  // log(value * threshold * multiplier) must equal log(value) + kLogScaleUnit
+  // bookkeeping: check the constants are exact inverses.
+  EXPECT_DOUBLE_EQ(kScaleThreshold * kScaleMultiplier, 1.0);
+  EXPECT_DOUBLE_EQ(kLogScaleUnit, std::log(kScaleThreshold));
+}
+
+TEST(Kernels, EvaluateMatchesManualSingleSite) {
+  TinySetup setup(0.25, 0.0);
+  const KernelDims dims{1, 1, 4};
+  const double freqs[4] = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> near = {0.3, 0.4, 0.2, 0.1};
+  const std::vector<double> far = {0.2, 0.2, 0.5, 0.1};
+  const std::vector<std::int32_t> zero = {0};
+  EvalSide a{near.data(), zero.data(), nullptr, nullptr, nullptr, nullptr,
+             nullptr};
+  EvalSide b{far.data(), zero.data(), nullptr, nullptr, nullptr, nullptr,
+             nullptr};
+  const BranchValue value = evaluate_branch(
+      dims, freqs, nullptr, a, b, setup.pmat_left.data(), nullptr, nullptr,
+      false);
+  double expected = 0.0;
+  for (unsigned x = 0; x < 4; ++x) {
+    double pb = 0.0;
+    for (unsigned y = 0; y < 4; ++y)
+      pb += setup.pmat_left[x * 4 + y] * far[y];
+    expected += freqs[x] * near[x] * pb;
+  }
+  EXPECT_NEAR(value.log_likelihood, std::log(expected), 1e-12);
+}
+
+TEST(Kernels, EvaluateAppliesWeightsAndScaleCounts) {
+  TinySetup setup(0.25, 0.0);
+  const KernelDims dims{1, 1, 4};
+  const double freqs[4] = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> near = {0.3, 0.4, 0.2, 0.1};
+  const std::vector<double> far = {0.2, 0.2, 0.5, 0.1};
+  const std::vector<std::int32_t> zero = {0};
+  const std::vector<std::int32_t> two = {2};
+  const std::vector<double> weights = {3.0};
+  EvalSide a{near.data(), two.data(), nullptr, nullptr, nullptr, nullptr,
+             nullptr};
+  EvalSide b{far.data(), zero.data(), nullptr, nullptr, nullptr, nullptr,
+             nullptr};
+  const BranchValue weighted = evaluate_branch(
+      dims, freqs, weights.data(), a, b, setup.pmat_left.data(), nullptr,
+      nullptr, false);
+  EvalSide a0{near.data(), zero.data(), nullptr, nullptr, nullptr, nullptr,
+              nullptr};
+  const BranchValue plain = evaluate_branch(
+      dims, freqs, nullptr, a0, b, setup.pmat_left.data(), nullptr, nullptr,
+      false);
+  EXPECT_NEAR(weighted.log_likelihood,
+              3.0 * (plain.log_likelihood + 2 * kLogScaleUnit), 1e-9);
+}
+
+TEST(Kernels, EvaluateDerivativesMatchFiniteDifference) {
+  const EigenSystem eigen = decompose(
+      gtr({1.2, 4.5, 0.8, 1.1, 5.2, 1.0}, {0.3, 0.22, 0.24, 0.24}));
+  const KernelDims dims{1, 1, 4};
+  const double freqs[4] = {0.3, 0.22, 0.24, 0.24};
+  const std::vector<double> near = {0.3, 0.4, 0.2, 0.1};
+  const std::vector<double> far = {0.2, 0.2, 0.5, 0.1};
+  const std::vector<std::int32_t> zero = {0};
+  EvalSide a{near.data(), zero.data(), nullptr, nullptr, nullptr, nullptr,
+             nullptr};
+  EvalSide b{far.data(), zero.data(), nullptr, nullptr, nullptr, nullptr,
+             nullptr};
+
+  const auto value_at = [&](double t, bool deriv) {
+    std::vector<double> p(16);
+    std::vector<double> dp(16);
+    std::vector<double> d2p(16);
+    transition_derivatives(eigen, t, p.data(), dp.data(), d2p.data());
+    return evaluate_branch(dims, freqs, nullptr, a, b, p.data(), dp.data(),
+                           d2p.data(), deriv);
+  };
+  const double t = 0.4;
+  const double h = 1e-6;
+  const BranchValue center = value_at(t, true);
+  const double ll_plus = value_at(t + h, false).log_likelihood;
+  const double ll_minus = value_at(t - h, false).log_likelihood;
+  EXPECT_NEAR(center.d1, (ll_plus - ll_minus) / (2 * h), 1e-5);
+  EXPECT_NEAR(center.d2,
+              (ll_plus - 2 * center.log_likelihood + ll_minus) / (h * h),
+              1e-2);
+}
+
+TEST(Kernels, EvaluateTipFarSideWithDerivatives) {
+  // A tip can sit on the far side of the evaluated branch if the caller
+  // supplies lookup tables folded with P, dP and d2P; check against the
+  // equivalent dense-vector formulation.
+  const EigenSystem eigen = decompose(jc69());
+  const KernelDims dims{2, 1, 4};
+  const double freqs[4] = {0.25, 0.25, 0.25, 0.25};
+  const double t = 0.3;
+  std::vector<double> p(16);
+  std::vector<double> dp(16);
+  std::vector<double> d2p(16);
+  transition_derivatives(eigen, t, p.data(), dp.data(), d2p.data());
+
+  // Tip codes {A, G}; build the three lookup tables by explicit fold.
+  const std::vector<std::uint8_t> codes = {1, 4};
+  const auto fold = [](const std::vector<double>& m, unsigned state) {
+    std::vector<double> out(4);
+    for (unsigned x = 0; x < 4; ++x) out[x] = m[x * 4 + state];
+    return out;
+  };
+  std::vector<double> lp(16 * 4, 0.0);
+  std::vector<double> ld1(16 * 4, 0.0);
+  std::vector<double> ld2(16 * 4, 0.0);
+  for (const auto& [code, state] :
+       std::vector<std::pair<unsigned, unsigned>>{{1, 0}, {4, 2}}) {
+    const auto cp = fold(p, state);
+    const auto cd1 = fold(dp, state);
+    const auto cd2 = fold(d2p, state);
+    for (unsigned x = 0; x < 4; ++x) {
+      lp[code * 4 + x] = cp[x];
+      ld1[code * 4 + x] = cd1[x];
+      ld2[code * 4 + x] = cd2[x];
+    }
+  }
+  const std::vector<double> near = {0.2, 0.5, 0.1, 0.2, 0.4, 0.1, 0.4, 0.1};
+  const std::vector<std::int32_t> zero = {0, 0};
+
+  EvalSide near_side{near.data(), zero.data(), nullptr, nullptr,
+                     nullptr,     nullptr,     nullptr};
+  EvalSide tip_far{nullptr,   nullptr,   codes.data(), nullptr,
+                   lp.data(), ld1.data(), ld2.data()};
+  const BranchValue via_lookup = evaluate_branch(
+      dims, freqs, nullptr, near_side, tip_far, p.data(), dp.data(),
+      d2p.data(), true);
+
+  // Dense equivalent: expand the tips into indicator vectors.
+  std::vector<double> dense(8, 0.0);
+  dense[0 * 4 + 0] = 1.0;  // A
+  dense[1 * 4 + 2] = 1.0;  // G
+  EvalSide dense_far{dense.data(), zero.data(), nullptr, nullptr,
+                     nullptr,      nullptr,     nullptr};
+  const BranchValue via_dense = evaluate_branch(
+      dims, freqs, nullptr, near_side, dense_far, p.data(), dp.data(),
+      d2p.data(), true);
+
+  EXPECT_NEAR(via_lookup.log_likelihood, via_dense.log_likelihood, 1e-12);
+  EXPECT_NEAR(via_lookup.d1, via_dense.d1, 1e-10);
+  EXPECT_NEAR(via_lookup.d2, via_dense.d2, 1e-10);
+}
+
+TEST(Kernels, GenericStateFallbackMatchesSpecialized) {
+  // states = 5 exercises the runtime-S path; compare against manual math.
+  const KernelDims dims{1, 1, 5};
+  std::vector<double> pmat(25, 0.0);
+  for (unsigned i = 0; i < 5; ++i) pmat[i * 5 + i] = 1.0;  // identity
+  const std::vector<double> left = {0.1, 0.2, 0.3, 0.2, 0.2};
+  const std::vector<double> right = {0.5, 0.1, 0.1, 0.2, 0.1};
+  const std::vector<std::int32_t> zero = {0};
+  NewviewChild cl{left.data(), zero.data(), pmat.data(), nullptr, nullptr};
+  NewviewChild cr{right.data(), zero.data(), pmat.data(), nullptr, nullptr};
+  std::vector<double> parent(5);
+  std::vector<std::int32_t> pscale(1);
+  newview(dims, cl, cr, parent.data(), pscale.data());
+  for (unsigned x = 0; x < 5; ++x)
+    EXPECT_NEAR(parent[x], left[x] * right[x], 1e-15);
+}
+
+}  // namespace
+}  // namespace plfoc

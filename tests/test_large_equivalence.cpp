@@ -1,0 +1,55 @@
+// Moderate-scale equivalence: a 100-taxon search with realistic access
+// volumes (tens of thousands of vector acquires), comparing the in-RAM
+// baseline against a severely constrained out-of-core store. Complements the
+// small exhaustive grid in test_integration_equivalence.cpp.
+#include <gtest/gtest.h>
+
+#include "search/search.hpp"
+#include "search/stepwise.hpp"
+#include "session.hpp"
+#include "sim/dataset_planner.hpp"
+#include "tree/newick.hpp"
+
+namespace plfoc {
+namespace {
+
+TEST(LargeEquivalence, HundredTaxonSearchBitIdentical) {
+  DatasetPlan plan;
+  plan.num_taxa = 100;
+  plan.num_sites = 200;
+  plan.seed = 1001;
+  const PlannedDataset data = make_dna_dataset(plan);
+  Rng rng(5);
+  const Tree start = stepwise_addition_tree(data.alignment, rng);
+
+  const auto run_one = [&](SessionOptions options) {
+    Session session(data.alignment, start, benchmark_gtr(),
+                    std::move(options));
+    SearchOptions search;
+    search.spr.rounds = 1;
+    search.spr.prune_stride = 4;
+    search.model.tolerance = 1e-2;
+    const SearchResult result = run_search(session.engine(), search);
+    return std::make_tuple(result.final_log_likelihood,
+                           to_newick(session.engine().tree()),
+                           session.stats());
+  };
+
+  const auto [ll_ram, tree_ram, stats_ram] = run_one(SessionOptions{});
+  EXPECT_GT(stats_ram.accesses, 10000u);  // a real workload, not a toy
+
+  SessionOptions ooc;
+  ooc.backend = Backend::kOutOfCore;
+  ooc.ram_fraction = 0.08;  // 8% of the required memory
+  ooc.policy = ReplacementPolicy::kRandom;
+  ooc.seed = 3;
+  const auto [ll_ooc, tree_ooc, stats_ooc] = run_one(ooc);
+
+  EXPECT_EQ(ll_ooc, ll_ram);
+  EXPECT_EQ(tree_ooc, tree_ram);
+  EXPECT_GT(stats_ooc.misses, 100u);          // the store really thrashed
+  EXPECT_GT(stats_ooc.skipped_reads, 100u);   // and read skipping engaged
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,60 @@
+#include "likelihood/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plfoc {
+namespace {
+
+TEST(MemoryModel, PaperWorkedExample) {
+  // Sec. 3.1: n = 10,000 taxa, s = 10,000 DNA sites, Γ4:
+  // 9,998 vectors of 10,000 * 16 * 8 = 1,280,000 bytes each.
+  const MemoryModel m = MemoryModel::dna(10000, 10000, 4);
+  EXPECT_EQ(m.vector_count(), 9998u);
+  EXPECT_EQ(m.vector_bytes(), 1280000u);
+  EXPECT_EQ(m.ancestral_bytes(), 9998ull * 1280000ull);
+}
+
+TEST(MemoryModel, SimpleDnaNoGamma) {
+  // (n-2) * 8 * 4 * s for the simplest DNA model.
+  const MemoryModel m = MemoryModel::dna(100, 1000, 1);
+  EXPECT_EQ(m.ancestral_bytes(), 98ull * 8 * 4 * 1000);
+}
+
+TEST(MemoryModel, DnaGamma4) {
+  // (n-2) * 8 * 16 * s under Γ4.
+  const MemoryModel m = MemoryModel::dna(100, 1000, 4);
+  EXPECT_EQ(m.ancestral_bytes(), 98ull * 8 * 16 * 1000);
+}
+
+TEST(MemoryModel, ProteinGamma4) {
+  // (n-2) * 8 * 80 * s for protein data under Γ4.
+  const MemoryModel m = MemoryModel::protein(100, 1000, 4);
+  EXPECT_EQ(m.ancestral_bytes(), 98ull * 8 * 80 * 1000);
+}
+
+TEST(MemoryModel, VectorExceedsHardwareBlocks) {
+  // Sec. 3.1: a representative vector is far larger than the 512 B / 8 KiB
+  // hardware block sizes, so vector-sized logical blocks amortise I/O.
+  const MemoryModel m = MemoryModel::dna(10000, 10000, 4);
+  EXPECT_GT(m.vector_bytes(), 8u * 1024u);
+}
+
+TEST(MemoryModel, ScaleCountersAreSmallFraction) {
+  // RAM-resident scaling counters are 4/(8*16) = 1/32 of vector memory for
+  // DNA Γ4 (the design tradeoff documented in DESIGN.md).
+  const MemoryModel m = MemoryModel::dna(1000, 5000, 4);
+  EXPECT_EQ(m.scale_counter_bytes() * 32, m.ancestral_bytes());
+}
+
+TEST(MemoryModel, TipsAreNegligible) {
+  const MemoryModel m = MemoryModel::dna(10000, 10000, 4);
+  EXPECT_LT(m.tip_bytes() * 100, m.ancestral_bytes());
+}
+
+TEST(MemoryModel, WidthMatchesBytes) {
+  const MemoryModel m = MemoryModel::dna(50, 200, 4);
+  EXPECT_EQ(m.vector_width() * 8, m.vector_bytes());
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,142 @@
+#include "likelihood/model_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ooc/inram_store.hpp"
+#include "sim/simulate.hpp"
+#include "tree/random_tree.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+TEST(Brent, FindsQuadraticMinimum) {
+  const double x = brent_minimize([](double v) { return (v - 3.0) * (v - 3.0); },
+                                  0.0, 10.0, 1e-10);
+  EXPECT_NEAR(x, 3.0, 1e-6);
+}
+
+TEST(Brent, FindsAsymmetricMinimum) {
+  // f(x) = x^4 - 2x^2 + 0.3x: f'(x) = 4x^3 - 4x + 0.3 has its negative root
+  // (the global minimum) at x ~ -1.0356.
+  double fmin = 0.0;
+  const double x = brent_minimize(
+      [](double v) { return v * v * v * v - 2 * v * v + 0.3 * v; }, -2.0, 0.0,
+      1e-10, 200, &fmin);
+  EXPECT_NEAR(x, -1.0356, 1e-3);
+  EXPECT_LT(fmin, -1.3);
+}
+
+TEST(Brent, HandlesBoundaryMinimum) {
+  const double x =
+      brent_minimize([](double v) { return v; }, 1.0, 5.0, 1e-8);
+  EXPECT_NEAR(x, 1.0, 1e-4);
+}
+
+TEST(Brent, RespectsMaxIterations) {
+  int calls = 0;
+  brent_minimize(
+      [&calls](double v) {
+        ++calls;
+        return std::cos(v);
+      },
+      0.0, 6.0, 1e-12, 5);
+  EXPECT_LE(calls, 8);  // initial eval + <= max_iterations probes
+}
+
+struct Fixture {
+  Tree tree;
+  Alignment alignment;
+  InRamStore store;
+  LikelihoodEngine engine;
+
+  Fixture(std::uint64_t seed, double true_alpha, std::size_t taxa = 12,
+          std::size_t sites = 300)
+      : tree(make_tree(seed, taxa)),
+        alignment(make_alignment(seed, sites, tree, true_alpha)),
+        store(tree.num_inner(),
+              LikelihoodEngine::vector_width(alignment, 4)),
+        engine(alignment, tree, ModelConfig{jc69(), 4, 1.0}, store) {}
+
+  static Tree make_tree(std::uint64_t seed, std::size_t taxa) {
+    Rng rng(seed);
+    RandomTreeOptions options;
+    options.mean_branch_length = 0.3;  // enough signal to estimate alpha
+    return random_tree(taxa, rng, options);
+  }
+  static Alignment make_alignment(std::uint64_t seed, std::size_t sites,
+                                  const Tree& tree, double alpha) {
+    Rng rng(seed + 5);
+    return simulate_alignment(tree, jc69(), sites, rng,
+                              SimulationOptions{4, alpha});
+  }
+};
+
+TEST(ModelOpt, AlphaOptimizationImprovesLikelihood) {
+  Fixture fx(3, 0.4);
+  const double before = fx.engine.log_likelihood();
+  const double after = optimize_alpha(fx.engine);
+  EXPECT_GE(after, before - 1e-9);
+}
+
+TEST(ModelOpt, RecoversSimulatedAlphaRoughly) {
+  Fixture fx(7, 0.3);
+  optimize_alpha(fx.engine);
+  const double estimated = fx.engine.config().alpha;
+  // Point estimates of alpha are noisy; demand the right order of magnitude
+  // and clear separation from homogeneity.
+  EXPECT_GT(estimated, 0.05);
+  EXPECT_LT(estimated, 1.5);
+}
+
+TEST(ModelOpt, HighAlphaDataEstimatesHighAlpha) {
+  Fixture fx(11, 50.0);
+  optimize_alpha(fx.engine);
+  EXPECT_GT(fx.engine.config().alpha, 2.0);
+}
+
+TEST(ModelOpt, OptimizeModelSkipsAlphaForSingleCategory) {
+  Tree tree = Fixture::make_tree(13, 8);
+  Alignment alignment = Fixture::make_alignment(13, 100, tree, 1.0);
+  InRamStore store(tree.num_inner(),
+                   LikelihoodEngine::vector_width(alignment, 1));
+  LikelihoodEngine engine(alignment, tree, ModelConfig{jc69(), 1, 1.0}, store);
+  const double before = engine.log_likelihood();
+  ModelOptOptions options;
+  const double after = optimize_model(engine, options);
+  EXPECT_NEAR(after, before, 1e-9);  // nothing to optimise
+}
+
+TEST(ModelOpt, GtrRateOptimizationImprovesLikelihood) {
+  // Simulate under a skewed GTR, start the engine at JC-like rates.
+  Rng rng(17);
+  Tree tree = random_tree(8, rng);
+  Alignment alignment = simulate_alignment(
+      tree, gtr({1.0, 6.0, 1.0, 1.0, 6.0, 1.0}, {0.25, 0.25, 0.25, 0.25}),
+      400, rng, SimulationOptions{1, 1.0});
+  InRamStore store(tree.num_inner(),
+                   LikelihoodEngine::vector_width(alignment, 1));
+  LikelihoodEngine engine(
+      alignment, tree,
+      ModelConfig{gtr({1, 1, 1, 1, 1, 1}, {0.25, 0.25, 0.25, 0.25}), 1, 1.0},
+      store);
+  const double before = engine.log_likelihood();
+  ModelOptOptions options;
+  options.optimize_alpha = false;
+  options.optimize_rates = true;
+  options.tolerance = 1e-2;
+  const double after = optimize_model(engine, options);
+  EXPECT_GT(after, before + 1.0);
+  // The transition rates (AG, CT) should come out elevated.
+  const auto& rates = engine.config().substitution.exchangeabilities;
+  const double ag = rates[SubstitutionModel::pair_index(0, 2, 4)];
+  const double ct = rates[SubstitutionModel::pair_index(1, 3, 4)];
+  const double ac = rates[SubstitutionModel::pair_index(0, 1, 4)];
+  EXPECT_GT(ag, 2.0 * ac);
+  EXPECT_GT(ct, 2.0 * ac);
+}
+
+}  // namespace
+}  // namespace plfoc

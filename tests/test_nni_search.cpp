@@ -1,0 +1,142 @@
+#include "search/nni.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ooc/inram_store.hpp"
+#include "session.hpp"
+#include "sim/dataset_planner.hpp"
+#include "sim/simulate.hpp"
+#include "tree/compare.hpp"
+#include "tree/random_tree.hpp"
+#include "tree/topology_moves.hpp"
+
+namespace plfoc {
+namespace {
+
+struct Fixture {
+  Tree truth;
+  Alignment alignment;
+  Tree start;
+  InRamStore store;
+  LikelihoodEngine engine;
+
+  explicit Fixture(std::uint64_t seed, std::size_t taxa = 12,
+                   std::size_t sites = 150, int scrambles = 3)
+      : truth(make_truth(seed, taxa)),
+        alignment(make_alignment(seed, sites, truth)),
+        start(scramble(truth, seed, scrambles)),
+        store(start.num_inner(),
+              LikelihoodEngine::vector_width(alignment, 1)),
+        engine(alignment, start, ModelConfig{jc69(), 1, 1.0}, store) {}
+
+  static Tree make_truth(std::uint64_t seed, std::size_t taxa) {
+    Rng rng(seed);
+    RandomTreeOptions options;
+    options.mean_branch_length = 0.15;
+    return random_tree(taxa, rng, options);
+  }
+  static Alignment make_alignment(std::uint64_t seed, std::size_t sites,
+                                  const Tree& truth) {
+    Rng rng(seed + 10);
+    return simulate_alignment(truth, jc69(), sites, rng,
+                              SimulationOptions{1, 1.0});
+  }
+  /// The true tree with a few random NNIs applied — a start NNI can fix.
+  static Tree scramble(const Tree& truth, std::uint64_t seed, int count) {
+    Tree tree = truth;
+    Rng rng(seed + 20);
+    for (int k = 0; k < count; ++k) {
+      std::vector<std::pair<NodeId, NodeId>> inner;
+      for (const auto& [a, b] : tree.edges())
+        if (tree.is_inner(a) && tree.is_inner(b)) inner.emplace_back(a, b);
+      const auto [a, b] = inner[rng.below(inner.size())];
+      apply_nni(tree, a, b, static_cast<int>(rng.below(2)));
+    }
+    return tree;
+  }
+};
+
+TEST(NniSearch, NeverDecreasesLikelihood) {
+  Fixture fx(3);
+  const NniResult result = nni_search(fx.engine);
+  EXPECT_GE(result.final_log_likelihood,
+            result.initial_log_likelihood - 1e-9);
+  fx.engine.tree().validate();
+}
+
+TEST(NniSearch, RecoversSingleScramble) {
+  // One NNI away from the (well-supported) truth: the hill climb must find
+  // its way back, or to a topology at least as good.
+  Fixture fx(7, 14, 600, 1);
+  fx.engine.optimize_all_branches(2);
+  const double scrambled_ll = fx.engine.log_likelihood();
+  const NniResult result = nni_search(fx.engine);
+  EXPECT_GT(result.moves_accepted, 0u);
+  EXPECT_GT(result.final_log_likelihood, scrambled_ll + 1.0);
+  // NNI must land at (or very near) the truth's likelihood: trial scoring
+  // polishes only the central branch, so a few units of slack remain.
+  InRamStore truth_store(fx.truth.num_inner(),
+                         LikelihoodEngine::vector_width(fx.alignment, 1));
+  LikelihoodEngine truth_engine(fx.alignment, fx.truth,
+                                ModelConfig{jc69(), 1, 1.0}, truth_store);
+  truth_engine.optimize_all_branches(3);
+  EXPECT_GT(result.final_log_likelihood,
+            truth_engine.log_likelihood() - 5.0);
+  EXPECT_LE(robinson_foulds(fx.engine.tree(), fx.truth), 4u);
+}
+
+TEST(NniSearch, ImprovesMultiScrambleWithoutWandering) {
+  // Several scrambles: NNI is a local search and may stop in a local
+  // optimum, but it must strictly improve the likelihood and not drift to a
+  // topology farther from the truth than where it started.
+  Fixture fx(7, 14, 400, 4);
+  const unsigned rf_before = robinson_foulds(fx.engine.tree(), fx.truth);
+  fx.engine.optimize_all_branches(2);  // compare topologies like-for-like
+  const double smoothed_ll = fx.engine.log_likelihood();
+  const NniResult result = nni_search(fx.engine);
+  EXPECT_GT(result.moves_accepted, 0u);
+  EXPECT_GT(result.final_log_likelihood, smoothed_ll + 1.0);
+  EXPECT_LE(robinson_foulds(fx.engine.tree(), fx.truth), rf_before + 2);
+}
+
+TEST(NniSearch, ConvergesEarlyAtOptimisedTruth) {
+  Fixture fx(11, 10, 400, 0);  // start at the truth...
+  fx.engine.optimize_all_branches(3);  // ...with ML branch lengths
+  NniOptions options;
+  options.max_rounds = 10;
+  const NniResult result = nni_search(fx.engine, options);
+  // A strong optimum: at most a round or two of cosmetic moves, then stop.
+  EXPECT_LE(result.rounds_run, 3);
+  EXPECT_LE(result.moves_accepted, 2u);
+}
+
+TEST(NniSearch, StateConsistentAfterSearch) {
+  Fixture fx(13);
+  nni_search(fx.engine);
+  EXPECT_NEAR(fx.engine.log_likelihood(),
+              fx.engine.full_traversal_log_likelihood(), 1e-8);
+}
+
+TEST(NniSearch, DeterministicAndBackendInvariant) {
+  DatasetPlan plan;
+  plan.num_taxa = 12;
+  plan.num_sites = 80;
+  plan.seed = 99;
+  const PlannedDataset data = make_dna_dataset(plan);
+  const auto run_one = [&](SessionOptions options) {
+    Session session(data.alignment, data.tree, benchmark_gtr(),
+                    std::move(options));
+    return nni_search(session.engine());
+  };
+  const NniResult reference = run_one(SessionOptions{});
+  SessionOptions ooc;
+  ooc.backend = Backend::kOutOfCore;
+  ooc.ram_fraction = 0.3;
+  const NniResult result = run_one(ooc);
+  EXPECT_EQ(result.final_log_likelihood, reference.final_log_likelihood);
+  EXPECT_EQ(result.moves_accepted, reference.moves_accepted);
+  EXPECT_EQ(result.variants_tried, reference.variants_tried);
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,275 @@
+#include "ooc/ooc_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+OocStoreOptions small_options(std::size_t slots,
+                              ReplacementPolicy policy = ReplacementPolicy::kLru) {
+  OocStoreOptions options;
+  options.num_slots = slots;
+  options.policy = policy;
+  options.file.base_path = temp_vector_file_path("oocstore");
+  return options;
+}
+
+void fill(VectorLease& lease, std::size_t width, double value) {
+  for (std::size_t i = 0; i < width; ++i) lease.data()[i] = value + i;
+}
+
+void expect_content(VectorLease& lease, std::size_t width, double value) {
+  for (std::size_t i = 0; i < width; ++i)
+    ASSERT_EQ(lease.data()[i], value + i) << "element " << i;
+}
+
+TEST(OocStore, RequiresThreeSlots) {
+  EXPECT_THROW(OutOfCoreStore(10, 8, small_options(2)), Error);
+}
+
+TEST(OocStore, SlotsFromFraction) {
+  EXPECT_EQ(OocStoreOptions::slots_from_fraction(0.25, 1000), 250u);
+  EXPECT_EQ(OocStoreOptions::slots_from_fraction(0.5, 7), 4u);   // rounds
+  EXPECT_EQ(OocStoreOptions::slots_from_fraction(0.001, 100), 3u);  // floor 3
+  EXPECT_THROW(OocStoreOptions::slots_from_fraction(0.0, 10), Error);
+}
+
+TEST(OocStore, SlotsFromBudget) {
+  // width 100 doubles = 800 bytes; 1 MB budget = 1310 slots.
+  EXPECT_EQ(OocStoreOptions::slots_from_budget(1 << 20, 100), 1310u);
+  EXPECT_THROW(OocStoreOptions::slots_from_budget(1000, 100), Error);
+}
+
+TEST(OocStore, DataSurvivesEviction) {
+  const std::size_t width = 32;
+  OutOfCoreStore store(8, width, small_options(3));
+  // Write distinct content into all 8 vectors (evictions must spill to disk).
+  for (std::uint32_t idx = 0; idx < 8; ++idx) {
+    auto lease = store.acquire(idx, AccessMode::kWrite);
+    fill(lease, width, idx * 100.0);
+  }
+  // Read everything back.
+  for (std::uint32_t idx = 0; idx < 8; ++idx) {
+    auto lease = store.acquire(idx, AccessMode::kRead);
+    expect_content(lease, width, idx * 100.0);
+  }
+}
+
+TEST(OocStore, HitsDoNotTouchTheFile) {
+  OutOfCoreStore store(8, 16, small_options(8));
+  for (std::uint32_t idx = 0; idx < 8; ++idx) {
+    auto lease = store.acquire(idx, AccessMode::kWrite);
+    fill(lease, 16, idx);
+  }
+  store.reset_stats();
+  for (int round = 0; round < 5; ++round)
+    for (std::uint32_t idx = 0; idx < 8; ++idx)
+      store.acquire(idx, AccessMode::kRead);
+  EXPECT_EQ(store.stats().misses, 0u);
+  EXPECT_EQ(store.stats().file_reads, 0u);
+  EXPECT_EQ(store.stats().file_writes, 0u);
+}
+
+TEST(OocStore, ReadSkippingElidesWriteMissReads) {
+  OocStoreOptions options = small_options(3);
+  options.read_skipping = true;
+  OutOfCoreStore store(10, 16, options);
+  for (std::uint32_t idx = 0; idx < 10; ++idx) {
+    auto lease = store.acquire(idx, AccessMode::kWrite);
+    fill(lease, 16, idx);
+  }
+  // All 10 first accesses are write-mode misses: zero reads, 10 skipped.
+  EXPECT_EQ(store.stats().misses, 10u);
+  EXPECT_EQ(store.stats().file_reads, 0u);
+  EXPECT_EQ(store.stats().skipped_reads, 10u);
+}
+
+TEST(OocStore, WithoutReadSkippingEveryMissReads) {
+  OocStoreOptions options = small_options(3);
+  options.read_skipping = false;
+  OutOfCoreStore store(10, 16, options);
+  for (std::uint32_t idx = 0; idx < 10; ++idx)
+    store.acquire(idx, AccessMode::kWrite);
+  EXPECT_EQ(store.stats().misses, 10u);
+  EXPECT_EQ(store.stats().file_reads, 10u);
+  EXPECT_EQ(store.stats().skipped_reads, 0u);
+  // Read rate equals miss rate without read skipping (paper, Fig. 3 caption).
+  EXPECT_DOUBLE_EQ(store.stats().read_rate(), store.stats().miss_rate());
+}
+
+TEST(OocStore, PinnedVectorsAreNotEvicted) {
+  const std::size_t width = 8;
+  OutOfCoreStore store(10, width, small_options(3));
+  auto a = store.acquire(0, AccessMode::kWrite);
+  fill(a, width, 1000.0);
+  auto b = store.acquire(1, AccessMode::kWrite);
+  fill(b, width, 2000.0);
+  // Cycle many other vectors through the single remaining slot.
+  for (std::uint32_t idx = 2; idx < 10; ++idx)
+    store.acquire(idx, AccessMode::kWrite);
+  // The pinned leases still see their data at the same addresses.
+  expect_content(a, width, 1000.0);
+  expect_content(b, width, 2000.0);
+  EXPECT_TRUE(store.is_resident(0));
+  EXPECT_TRUE(store.is_resident(1));
+}
+
+TEST(OocStore, AllPinnedFailsLoudly) {
+  OutOfCoreStore store(10, 8, small_options(3));
+  [[maybe_unused]] auto a = store.acquire(0, AccessMode::kWrite);
+  [[maybe_unused]] auto b = store.acquire(1, AccessMode::kWrite);
+  [[maybe_unused]] auto c = store.acquire(2, AccessMode::kWrite);
+  EXPECT_THROW(store.acquire(3, AccessMode::kWrite), Error);
+}
+
+TEST(OocStore, ColdMissesTracked) {
+  OutOfCoreStore store(6, 8, small_options(3));
+  for (std::uint32_t idx = 0; idx < 6; ++idx)
+    store.acquire(idx, AccessMode::kWrite);
+  EXPECT_EQ(store.stats().cold_misses, 6u);
+  // Re-touch: further misses are capacity misses, not cold.
+  for (std::uint32_t idx = 0; idx < 6; ++idx)
+    store.acquire(idx, AccessMode::kRead);
+  EXPECT_EQ(store.stats().cold_misses, 6u);
+  EXPECT_GT(store.stats().misses, 6u);
+  EXPECT_GT(store.stats().miss_rate(), store.stats().capacity_miss_rate());
+}
+
+TEST(OocStore, WriteBackCleanPolicyMattersForWrites) {
+  // With paper semantics every eviction writes; with dirty tracking only
+  // dirty vectors are written back.
+  for (bool write_back_clean : {true, false}) {
+    OocStoreOptions options = small_options(3);
+    options.write_back_clean = write_back_clean;
+    OutOfCoreStore store(6, 8, options);
+    // Populate all (writes). Then read-cycle them twice: those evictions are
+    // clean evictions.
+    for (std::uint32_t idx = 0; idx < 6; ++idx) {
+      auto lease = store.acquire(idx, AccessMode::kWrite);
+      fill(lease, 8, idx);
+    }
+    store.flush();  // residents are now clean on disk
+    store.reset_stats();
+    for (int round = 0; round < 2; ++round)
+      for (std::uint32_t idx = 0; idx < 6; ++idx) {
+        auto lease = store.acquire(idx, AccessMode::kRead);
+        expect_content(lease, 8, idx);
+      }
+    if (write_back_clean)
+      EXPECT_GT(store.stats().file_writes, 0u);
+    else
+      EXPECT_EQ(store.stats().file_writes, 0u);
+  }
+}
+
+TEST(OocStore, FractionOneNeverCapacityMisses) {
+  OutOfCoreStore store(5, 8, small_options(5));
+  for (int round = 0; round < 3; ++round)
+    for (std::uint32_t idx = 0; idx < 5; ++idx)
+      store.acquire(idx, AccessMode::kWrite);
+  EXPECT_EQ(store.stats().misses, store.stats().cold_misses);
+  EXPECT_DOUBLE_EQ(store.stats().capacity_miss_rate(), 0.0);
+}
+
+TEST(OocStore, MoreSlotsThanVectorsIsClamped) {
+  OutOfCoreStore store(4, 8, small_options(100));
+  EXPECT_EQ(store.num_slots(), 4u);
+}
+
+TEST(OocStore, FlushPersistsDirtyResidents) {
+  const std::size_t width = 8;
+  OocStoreOptions options = small_options(3);
+  options.write_back_clean = false;
+  OutOfCoreStore store(3, width, options);
+  for (std::uint32_t idx = 0; idx < 3; ++idx) {
+    auto lease = store.acquire(idx, AccessMode::kWrite);
+    fill(lease, width, idx * 10.0);
+  }
+  store.flush();
+  const std::uint64_t writes = store.stats().file_writes;
+  EXPECT_EQ(writes, 3u);
+  store.flush();  // second flush: nothing dirty anymore
+  EXPECT_EQ(store.stats().file_writes, writes);
+}
+
+TEST(OocStore, MultiFileBackendRoundTrips) {
+  OocStoreOptions options = small_options(3);
+  options.file.num_files = 3;
+  const std::size_t width = 16;
+  OutOfCoreStore store(9, width, options);
+  for (std::uint32_t idx = 0; idx < 9; ++idx) {
+    auto lease = store.acquire(idx, AccessMode::kWrite);
+    fill(lease, width, idx * 7.0);
+  }
+  for (std::uint32_t idx = 0; idx < 9; ++idx) {
+    auto lease = store.acquire(idx, AccessMode::kRead);
+    expect_content(lease, width, idx * 7.0);
+  }
+}
+
+TEST(OocStore, SinglePrecisionDiskHalvesBytes) {
+  const std::size_t width = 64;
+  OocStoreOptions dp = small_options(3);
+  OocStoreOptions sp = small_options(3);
+  sp.disk_precision = DiskPrecision::kSingle;
+  OutOfCoreStore store_d(8, width, dp);
+  OutOfCoreStore store_s(8, width, sp);
+  for (std::uint32_t idx = 0; idx < 8; ++idx) {
+    auto a = store_d.acquire(idx, AccessMode::kWrite);
+    auto b = store_s.acquire(idx, AccessMode::kWrite);
+    fill(a, width, idx);
+    fill(b, width, idx);
+  }
+  for (std::uint32_t idx = 0; idx < 8; ++idx) {
+    store_d.acquire(idx, AccessMode::kRead);
+    store_s.acquire(idx, AccessMode::kRead);
+  }
+  EXPECT_EQ(store_d.stats().misses, store_s.stats().misses);
+  EXPECT_EQ(store_s.stats().bytes_written * 2, store_d.stats().bytes_written);
+  EXPECT_EQ(store_s.stats().bytes_read * 2, store_d.stats().bytes_read);
+}
+
+TEST(OocStore, SinglePrecisionRoundTripsWithinFloatAccuracy) {
+  const std::size_t width = 32;
+  OocStoreOptions options = small_options(3);
+  options.disk_precision = DiskPrecision::kSingle;
+  OutOfCoreStore store(10, width, options);
+  for (std::uint32_t idx = 0; idx < 10; ++idx) {
+    auto lease = store.acquire(idx, AccessMode::kWrite);
+    for (std::size_t i = 0; i < width; ++i)
+      lease.data()[i] = 0.1234567890123 * (idx + 1) * (i + 1);
+  }
+  for (std::uint32_t idx = 0; idx < 10; ++idx) {
+    auto lease = store.acquire(idx, AccessMode::kRead);
+    for (std::size_t i = 0; i < width; ++i) {
+      const double expected = 0.1234567890123 * (idx + 1) * (i + 1);
+      // Survives the float round-trip to single-precision accuracy...
+      ASSERT_NEAR(lease.data()[i], expected, 1.2e-7 * expected);
+      // ...and equals the exact float-rounded value.
+      ASSERT_EQ(lease.data()[i],
+                static_cast<double>(static_cast<float>(expected)));
+    }
+  }
+}
+
+TEST(OocStore, StatsSummaryIsPopulated) {
+  OutOfCoreStore store(4, 8, small_options(3));
+  store.acquire(0, AccessMode::kWrite);
+  const std::string summary = store.stats().summary();
+  EXPECT_NE(summary.find("accesses=1"), std::string::npos);
+  EXPECT_NE(summary.find("miss_rate="), std::string::npos);
+}
+
+TEST(OocStore, BackendName) {
+  OutOfCoreStore store(4, 8, small_options(3));
+  EXPECT_STREQ(store.backend_name(), "out-of-core");
+  EXPECT_STREQ(store.strategy_name(), "lru");
+}
+
+}  // namespace
+}  // namespace plfoc

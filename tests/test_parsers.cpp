@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "msa/fasta.hpp"
+#include "msa/phylip.hpp"
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+TEST(Fasta, ParsesSimpleInput) {
+  std::istringstream in(">a\nACGT\n>b\nAC-T\n>c desc ignored\nTTTT\n");
+  const Alignment alignment = read_fasta(in, DataType::kDna);
+  EXPECT_EQ(alignment.num_taxa(), 3u);
+  EXPECT_EQ(alignment.num_sites(), 4u);
+  EXPECT_EQ(alignment.name(2), "c");
+  EXPECT_EQ(alignment.text(0), "ACGT");
+}
+
+TEST(Fasta, JoinsWrappedLines) {
+  std::istringstream in(">a\nAC\nGT\n>b\nACGT\n>c\nAAAA\n");
+  const Alignment alignment = read_fasta(in, DataType::kDna);
+  EXPECT_EQ(alignment.text(0), "ACGT");
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  std::istringstream in("ACGT\n>a\nACGT\n");
+  EXPECT_THROW(read_fasta(in, DataType::kDna), Error);
+}
+
+TEST(Fasta, RejectsEmptyInput) {
+  std::istringstream in("\n\n");
+  EXPECT_THROW(read_fasta(in, DataType::kDna), Error);
+}
+
+TEST(Fasta, RejectsRaggedAlignment) {
+  std::istringstream in(">a\nACGT\n>b\nAC\n");
+  EXPECT_THROW(read_fasta(in, DataType::kDna), Error);
+}
+
+TEST(Fasta, RoundTripThroughWriter) {
+  std::istringstream in(">a\nACGTACGT\n>b\nTTTTAAAA\n>c\nGGGGCCCC\n");
+  const Alignment alignment = read_fasta(in, DataType::kDna);
+  std::ostringstream out;
+  write_fasta(out, alignment, 4);
+  std::istringstream back(out.str());
+  const Alignment again = read_fasta(back, DataType::kDna);
+  ASSERT_EQ(again.num_taxa(), alignment.num_taxa());
+  for (std::size_t i = 0; i < alignment.num_taxa(); ++i) {
+    EXPECT_EQ(again.name(i), alignment.name(i));
+    EXPECT_EQ(again.text(i), alignment.text(i));
+  }
+}
+
+TEST(Fasta, ProteinParsing) {
+  std::istringstream in(">a\nARND\n>b\nCQEG\n");
+  const Alignment alignment = read_fasta(in, DataType::kProtein);
+  EXPECT_EQ(alignment.text(1), "CQEG");
+}
+
+TEST(Phylip, ParsesSequential) {
+  std::istringstream in("3 4\nalpha ACGT\nbeta  AC-T\ngamma TTTT\n");
+  const Alignment alignment = read_phylip(in, DataType::kDna);
+  EXPECT_EQ(alignment.num_taxa(), 3u);
+  EXPECT_EQ(alignment.num_sites(), 4u);
+  EXPECT_EQ(alignment.name(0), "alpha");
+  EXPECT_EQ(alignment.text(0), "ACGT");
+}
+
+TEST(Phylip, ParsesSequentialSplitSequences) {
+  std::istringstream in("2 8\na ACGT ACGT\nb TTTT TTTT\n");
+  // 2-taxon alignments are below the tree minimum but fine for the parser.
+  const Alignment alignment = read_phylip(in, DataType::kDna);
+  EXPECT_EQ(alignment.text(0), "ACGTACGT");
+}
+
+TEST(Phylip, ParsesInterleaved) {
+  std::istringstream in(
+      "3 8\n"
+      "a ACGT\n"
+      "b TTTT\n"
+      "c GGGG\n"
+      "ACGT\n"
+      "AAAA\n"
+      "CCCC\n");
+  const Alignment alignment = read_phylip(in, DataType::kDna);
+  EXPECT_EQ(alignment.text(0), "ACGTACGT");
+  EXPECT_EQ(alignment.text(1), "TTTTAAAA");
+  EXPECT_EQ(alignment.text(2), "GGGGCCCC");
+}
+
+TEST(Phylip, RejectsBadHeader) {
+  std::istringstream in("oops\n");
+  EXPECT_THROW(read_phylip(in, DataType::kDna), Error);
+}
+
+TEST(Phylip, RejectsTruncatedData) {
+  std::istringstream in("3 4\na ACGT\nb AC\n");
+  EXPECT_THROW(read_phylip(in, DataType::kDna), Error);
+}
+
+TEST(Phylip, RoundTripThroughWriter) {
+  std::istringstream in("3 4\na ACGT\nb TTTT\nc GGCC\n");
+  const Alignment alignment = read_phylip(in, DataType::kDna);
+  std::ostringstream out;
+  write_phylip(out, alignment);
+  std::istringstream back(out.str());
+  const Alignment again = read_phylip(back, DataType::kDna);
+  for (std::size_t i = 0; i < alignment.num_taxa(); ++i)
+    EXPECT_EQ(again.text(i), alignment.text(i));
+}
+
+TEST(Files, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/x.fa", DataType::kDna), Error);
+  EXPECT_THROW(read_phylip_file("/nonexistent/x.phy", DataType::kDna), Error);
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,153 @@
+#include "search/parsimony.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tree/newick.hpp"
+#include "tree/random_tree.hpp"
+#include "tree/topology_moves.hpp"
+#include "sim/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+Alignment quartet_alignment() {
+  Alignment alignment(DataType::kDna, 4);
+  alignment.add_sequence("a", "AAGC");
+  alignment.add_sequence("b", "AAGC");
+  alignment.add_sequence("c", "AATC");
+  alignment.add_sequence("d", "ATTC");
+  return alignment;
+}
+
+TEST(Parsimony, HandComputedQuartet) {
+  // Tree ((a,b),(c,d)).
+  // Site 1: A A A A -> 0. Site 2: A A A T -> 1. Site 3: G G T T -> 1.
+  // Site 4: C C C C -> 0. Total 2.
+  const Tree tree = parse_newick("((a,b),(c,d));");
+  EXPECT_EQ(parsimony_score(tree, quartet_alignment()), 2.0);
+}
+
+TEST(Parsimony, WorseTopologyScoresHigher) {
+  // ((a,c),(b,d)) breaks the G/T split at site 3 into two changes.
+  const Tree good = parse_newick("((a,b),(c,d));");
+  const Tree bad = parse_newick("((a,c),(b,d));");
+  const Alignment alignment = quartet_alignment();
+  EXPECT_LT(parsimony_score(good, alignment), parsimony_score(bad, alignment));
+}
+
+TEST(Parsimony, ScoreIsRootInvariant) {
+  Rng rng(3);
+  const Tree tree = random_tree(12, rng);
+  Alignment alignment =
+      simulate_alignment(tree, jc69(), 50, rng, SimulationOptions{1, 1.0});
+  // parsimony_score roots at tip 0 internally; verify against the scorer
+  // (which roots at an arbitrary component tip) for the same data.
+  ParsimonyScorer scorer(alignment, tree);
+  scorer.refresh(tree.inner_node(0));
+  EXPECT_EQ(parsimony_score(tree, alignment), scorer.component_score());
+}
+
+TEST(Parsimony, AmbiguityCodesAreFree) {
+  Alignment alignment(DataType::kDna, 1);
+  alignment.add_sequence("a", "R");  // A or G
+  alignment.add_sequence("b", "A");
+  alignment.add_sequence("c", "G");
+  alignment.add_sequence("d", "N");
+  const Tree tree = parse_newick("((a,b),(c,d));");
+  // R ∩ A = A at the left cherry; G ∩ N = G at the right; A ∩ G = empty ->
+  // exactly one change.
+  EXPECT_EQ(parsimony_score(tree, alignment), 1.0);
+}
+
+TEST(Parsimony, WeightsMultiplyScore) {
+  Alignment alignment = quartet_alignment();
+  alignment.set_weights({10.0, 1.0, 1.0, 1.0});
+  const Tree tree = parse_newick("((a,b),(c,d));");
+  EXPECT_EQ(parsimony_score(tree, alignment), 2.0);  // site 1 is constant
+  Alignment heavy(DataType::kDna, 4);
+  heavy.add_sequence("a", "AAGC");
+  heavy.add_sequence("b", "AAGC");
+  heavy.add_sequence("c", "AATC");
+  heavy.add_sequence("d", "ATTC");
+  heavy.set_weights({1.0, 5.0, 2.0, 1.0});
+  EXPECT_EQ(parsimony_score(tree, heavy), 5.0 + 2.0);
+}
+
+TEST(ParsimonyScorer, InsertionCostUpperBoundsRescoring) {
+  Rng rng(7);
+  const std::size_t n = 8;
+  Tree full = random_tree(n, rng);
+  Alignment alignment =
+      simulate_alignment(full, jc69(), 40, rng, SimulationOptions{1, 1.0});
+
+  // Build a partial tree missing the last tip, then compare incremental
+  // insertion costs with brute-force full-tree rescoring.
+  const NodeId tip = static_cast<NodeId>(n - 1);
+  // Prune `tip` from the full tree: its inner attachment node s.
+  const NodeId s = full.neighbors(tip)[0];
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+  for (NodeId nbr : full.neighbors(s))
+    if (nbr != tip) (u == kNoNode ? u : v) = nbr;
+  full.disconnect(s, tip);
+  full.disconnect(s, u);
+  full.disconnect(s, v);
+  full.connect(u, v, 0.2);
+
+  ParsimonyScorer scorer(alignment, full);
+  scorer.refresh(u);
+  const double base = scorer.component_score();
+
+  // For every edge of the partial tree: the local cost is an upper bound on
+  // the true score increase, never off by much, and exact for most edges.
+  std::size_t exact = 0;
+  std::size_t total = 0;
+  for (const auto& [a, b] : full.edges()) {
+    if (a == s || b == s || a == tip || b == tip) continue;
+    const double predicted = scorer.insertion_cost(tip, a, b);
+    // Actually insert, score, remove.
+    const double len = full.branch_length(a, b);
+    full.disconnect(a, b);
+    full.connect(a, s, 0.1);
+    full.connect(s, b, 0.1);
+    full.connect(s, tip, 0.1);
+    ParsimonyScorer check(alignment, full);
+    check.refresh(a);
+    const double actual = check.component_score() - base;
+    EXPECT_GE(predicted, actual) << "edge " << a << "-" << b;
+    EXPECT_LE(predicted, actual + 5.0) << "edge " << a << "-" << b;
+    ++total;
+    if (predicted == actual) ++exact;
+    full.disconnect(a, s);
+    full.disconnect(s, b);
+    full.disconnect(s, tip);
+    full.connect(a, b, len);
+  }
+  EXPECT_GT(exact * 2, total);  // exact on most edges for this data
+}
+
+TEST(Parsimony, MasksMatchAlignment) {
+  const Alignment alignment = quartet_alignment();
+  const auto masks = parsimony_masks(alignment);
+  ASSERT_EQ(masks.size(), 4u);
+  EXPECT_EQ(masks[0][0], 1u);   // A
+  EXPECT_EQ(masks[3][1], 8u);   // T
+}
+
+TEST(Parsimony, NniNeverBeatsOptimalQuartet) {
+  // For the quartet data, ((a,b),(c,d)) is the parsimony optimum; both NNI
+  // neighbours score worse or equal.
+  Tree tree = parse_newick("((a,b),(c,d));");
+  const Alignment alignment = quartet_alignment();
+  const double best = parsimony_score(tree, alignment);
+  const auto [x, y] = tree.default_root_branch();
+  for (int variant : {0, 1}) {
+    const NniMove move = apply_nni(tree, x, y, variant);
+    EXPECT_GE(parsimony_score(tree, alignment), best);
+    undo_nni(tree, move);
+  }
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,102 @@
+#include "msa/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+Alignment with_duplicates() {
+  Alignment alignment(DataType::kDna, 6);
+  alignment.add_sequence("a", "AAGGAT");
+  alignment.add_sequence("b", "CCGGCT");
+  alignment.add_sequence("c", "TTGGTA");
+  return alignment;
+  // Columns: (A,C,T) x2, (G,G,G) x2, (A,C,T), (T,T,A) -> patterns:
+  // {ACT}x3, {GGG}x2, {TTA}x1.
+}
+
+TEST(Patterns, CollapsesIdenticalColumns) {
+  const CompressionResult result = compress_patterns(with_duplicates());
+  EXPECT_EQ(result.compressed.num_sites(), 3u);
+  EXPECT_EQ(result.compressed.num_taxa(), 3u);
+}
+
+TEST(Patterns, WeightsSumToOriginalLength) {
+  const CompressionResult result = compress_patterns(with_duplicates());
+  EXPECT_EQ(result.compressed.total_weight(), 6.0);
+}
+
+TEST(Patterns, WeightsMatchMultiplicities) {
+  const CompressionResult result = compress_patterns(with_duplicates());
+  const auto& w = result.compressed.weights();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], 3.0);  // ACT, first seen at site 0
+  EXPECT_EQ(w[1], 2.0);  // GGG
+  EXPECT_EQ(w[2], 1.0);  // TTA
+}
+
+TEST(Patterns, SiteMapIsConsistent) {
+  const Alignment original = with_duplicates();
+  const CompressionResult result = compress_patterns(original);
+  ASSERT_EQ(result.site_to_pattern.size(), original.num_sites());
+  for (std::size_t site = 0; site < original.num_sites(); ++site) {
+    const std::size_t pattern = result.site_to_pattern[site];
+    for (std::size_t taxon = 0; taxon < original.num_taxa(); ++taxon)
+      EXPECT_EQ(original.row(taxon)[site],
+                result.compressed.row(taxon)[pattern]);
+  }
+}
+
+TEST(Patterns, FirstOccurrenceOrder) {
+  const CompressionResult result = compress_patterns(with_duplicates());
+  EXPECT_EQ(result.site_to_pattern[0], 0u);
+  EXPECT_EQ(result.site_to_pattern[2], 1u);
+  EXPECT_EQ(result.site_to_pattern[5], 2u);
+}
+
+TEST(Patterns, AllUniqueStaysSameSize) {
+  Alignment alignment(DataType::kDna, 4);
+  alignment.add_sequence("a", "ACGT");
+  alignment.add_sequence("b", "CGTA");
+  alignment.add_sequence("c", "GTAC");
+  const CompressionResult result = compress_patterns(alignment);
+  EXPECT_EQ(result.compressed.num_sites(), 4u);
+  for (double w : result.compressed.weights()) EXPECT_EQ(w, 1.0);
+}
+
+TEST(Patterns, AllIdenticalCollapsesToOne) {
+  Alignment alignment(DataType::kDna, 5);
+  alignment.add_sequence("a", "AAAAA");
+  alignment.add_sequence("b", "CCCCC");
+  alignment.add_sequence("c", "GGGGG");
+  const CompressionResult result = compress_patterns(alignment);
+  EXPECT_EQ(result.compressed.num_sites(), 1u);
+  EXPECT_EQ(result.compressed.weights()[0], 5.0);
+}
+
+TEST(Patterns, GapAndNCompareEqual) {
+  // '-' and 'N' encode to the same code, so the columns are one pattern.
+  Alignment alignment(DataType::kDna, 2);
+  alignment.add_sequence("a", "-N");
+  alignment.add_sequence("b", "AA");
+  alignment.add_sequence("c", "CC");
+  const CompressionResult result = compress_patterns(alignment);
+  EXPECT_EQ(result.compressed.num_sites(), 1u);
+}
+
+TEST(Patterns, RejectsDoubleCompression) {
+  const CompressionResult once = compress_patterns(with_duplicates());
+  EXPECT_THROW(compress_patterns(once.compressed), Error);
+}
+
+TEST(Patterns, PreservesNamesAndType) {
+  const CompressionResult result = compress_patterns(with_duplicates());
+  EXPECT_EQ(result.compressed.name(0), "a");
+  EXPECT_EQ(result.compressed.name(2), "c");
+  EXPECT_EQ(result.compressed.data_type(), DataType::kDna);
+}
+
+}  // namespace
+}  // namespace plfoc

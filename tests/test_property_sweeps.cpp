@@ -1,0 +1,172 @@
+// Parameterised property sweeps over models, dimensions and stores.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "likelihood/engine.hpp"
+#include "model/protein_matrices.hpp"
+#include "model/transition.hpp"
+#include "ooc/inram_store.hpp"
+#include "ooc/ooc_store.hpp"
+#include "reference_likelihood.hpp"
+#include "sim/simulate.hpp"
+#include "tree/random_tree.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+// --- Transition-matrix properties over a model x time grid -------------------
+
+struct ModelCase {
+  const char* name;
+  SubstitutionModel model;
+};
+
+std::vector<ModelCase> model_cases() {
+  return {
+      {"jc69", jc69()},
+      {"k80", k80(4.0)},
+      {"hky", hky85(2.0, {0.35, 0.15, 0.2, 0.3})},
+      {"gtr", gtr({1.2, 4.5, 0.8, 1.1, 5.2, 1.0}, {0.3, 0.22, 0.24, 0.24})},
+      {"poisson20", poisson_protein()},
+      {"synth20", synthetic_protein_model(4)},
+  };
+}
+
+class TransitionProperties
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(TransitionProperties, StochasticAndReversible) {
+  const auto [model_index, t] = GetParam();
+  const ModelCase mc = model_cases()[static_cast<std::size_t>(model_index)];
+  const EigenSystem sys = decompose(mc.model);
+  const unsigned s = sys.states;
+  std::vector<double> p(static_cast<std::size_t>(s) * s);
+  transition_matrix(sys, t, p.data());
+  for (unsigned i = 0; i < s; ++i) {
+    double row = 0.0;
+    for (unsigned j = 0; j < s; ++j) {
+      EXPECT_GE(p[i * s + j], 0.0);
+      row += p[i * s + j];
+    }
+    EXPECT_NEAR(row, 1.0, 1e-8) << mc.name << " t=" << t;
+  }
+  // Time reversibility: pi_i P_ij(t) == pi_j P_ji(t).
+  for (unsigned i = 0; i < s; ++i)
+    for (unsigned j = 0; j < s; ++j)
+      EXPECT_NEAR(mc.model.frequencies[i] * p[i * s + j],
+                  mc.model.frequencies[j] * p[j * s + i], 1e-9)
+          << mc.name << " t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelTimeGrid, TransitionProperties,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(0.0, 1e-4, 0.05, 0.3, 1.0, 4.0)));
+
+// --- Engine vs reference over tree-size x category sweeps --------------------
+
+class EngineReference
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EngineReference, MatchesBruteForce) {
+  const auto [taxa, categories] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(taxa * 100 + categories));
+  Tree tree = random_tree(static_cast<std::size_t>(taxa), rng);
+  const SubstitutionModel model =
+      gtr({1.2, 4.5, 0.8, 1.1, 5.2, 1.0}, {0.3, 0.22, 0.24, 0.24});
+  Alignment alignment = simulate_alignment(
+      tree, model, 20, rng,
+      SimulationOptions{static_cast<unsigned>(categories), 0.6});
+  const double expected = testing::reference_log_likelihood(
+      tree, alignment, model, static_cast<unsigned>(categories), 0.6);
+  InRamStore store(
+      tree.num_inner(),
+      LikelihoodEngine::vector_width(alignment,
+                                     static_cast<unsigned>(categories)));
+  LikelihoodEngine engine(
+      alignment, tree,
+      ModelConfig{model, static_cast<unsigned>(categories), 0.6}, store);
+  EXPECT_NEAR(engine.log_likelihood(), expected,
+              1e-7 * std::abs(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeAndRates, EngineReference,
+                         ::testing::Combine(::testing::Values(4, 6, 9, 13),
+                                            ::testing::Values(1, 2, 4)));
+
+// --- Out-of-core content integrity under random access patterns --------------
+
+class StoreFuzz : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StoreFuzz, RandomAccessPatternPreservesContent) {
+  const auto [slots, policy_index] = GetParam();
+  const ReplacementPolicy policy =
+      static_cast<ReplacementPolicy>(policy_index);
+  const std::size_t count = 24;
+  const std::size_t width = 48;
+  Rng tree_rng(5);
+  const Tree tree = random_tree(count + 2, tree_rng);  // inner == count
+
+  OocStoreOptions options;
+  options.num_slots = static_cast<std::size_t>(slots);
+  options.policy = policy;
+  options.tree = &tree;
+  options.seed = 31;
+  options.file.base_path = temp_vector_file_path("fuzz");
+  OutOfCoreStore store(count, width, options);
+
+  // Model of expected contents.
+  std::vector<std::vector<double>> expected(count,
+                                            std::vector<double>(width, 0.0));
+  std::vector<bool> written(count, false);
+  Rng rng(1234);
+  for (int op = 0; op < 2000; ++op) {
+    const auto idx = static_cast<std::uint32_t>(rng.below(count));
+    if (!written[idx] || rng.below(3) == 0) {
+      auto lease = store.acquire(idx, AccessMode::kWrite);
+      for (std::size_t i = 0; i < width; ++i) {
+        expected[idx][i] = static_cast<double>(op) + static_cast<double>(i) * 0.5;
+        lease.data()[i] = expected[idx][i];
+      }
+      written[idx] = true;
+    } else {
+      auto lease = store.acquire(idx, AccessMode::kRead);
+      for (std::size_t i = 0; i < width; ++i)
+        ASSERT_EQ(lease.data()[i], expected[idx][i])
+            << "op " << op << " vector " << idx << " element " << i;
+    }
+  }
+  EXPECT_GT(store.stats().misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotsByPolicy, StoreFuzz,
+                         ::testing::Combine(::testing::Values(3, 5, 8, 16, 24),
+                                            ::testing::Range(0, 4)));
+
+// --- Gamma discretisation properties over an alpha grid ----------------------
+
+class GammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaSweep, MeanOneIncreasingPositive) {
+  const double alpha = GetParam();
+  for (unsigned k : {2u, 4u, 6u, 8u}) {
+    const auto rates = discrete_gamma_rates(alpha, k);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      EXPECT_GT(rates[i], 0.0);
+      if (i > 0) EXPECT_GE(rates[i], rates[i - 1]);
+      mean += rates[i];
+    }
+    EXPECT_NEAR(mean / k, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaGrid, GammaSweep,
+                         ::testing::Values(0.02, 0.1, 0.5, 1.0, 2.0, 10.0,
+                                           99.0));
+
+}  // namespace
+}  // namespace plfoc

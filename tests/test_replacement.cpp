@@ -1,0 +1,144 @@
+#include "ooc/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "tree/distances.hpp"
+#include "tree/newick.hpp"
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+std::vector<std::uint32_t> candidates(std::initializer_list<std::uint32_t> v) {
+  return v;
+}
+
+TEST(Replacement, PolicyNamesRoundTrip) {
+  for (ReplacementPolicy policy :
+       {ReplacementPolicy::kRandom, ReplacementPolicy::kLru,
+        ReplacementPolicy::kLfu, ReplacementPolicy::kTopological})
+    EXPECT_EQ(parse_policy(policy_name(policy)), policy);
+  EXPECT_THROW(parse_policy("nope"), Error);
+}
+
+TEST(Replacement, RandomPicksFromCandidatesOnly) {
+  auto strategy = make_strategy({ReplacementPolicy::kRandom, 100, 7, nullptr});
+  const auto c = candidates({3, 17, 42, 99});
+  const std::set<std::uint32_t> allowed(c.begin(), c.end());
+  for (int i = 0; i < 200; ++i)
+    EXPECT_TRUE(allowed.count(strategy->choose_victim(c, 0)));
+}
+
+TEST(Replacement, RandomIsDeterministicPerSeed) {
+  auto a = make_strategy({ReplacementPolicy::kRandom, 100, 7, nullptr});
+  auto b = make_strategy({ReplacementPolicy::kRandom, 100, 7, nullptr});
+  const auto c = candidates({1, 2, 3, 4, 5, 6, 7, 8});
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a->choose_victim(c, 0), b->choose_victim(c, 0));
+}
+
+TEST(Replacement, RandomCoversAllCandidates) {
+  auto strategy = make_strategy({ReplacementPolicy::kRandom, 10, 3, nullptr});
+  const auto c = candidates({0, 1, 2, 3});
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(strategy->choose_victim(c, 9));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Replacement, LruEvictsOldestAccess) {
+  auto strategy = make_strategy({ReplacementPolicy::kLru, 10, 1, nullptr});
+  strategy->on_access(0);
+  strategy->on_access(1);
+  strategy->on_access(2);
+  strategy->on_access(0);  // 0 is now the most recent
+  EXPECT_EQ(strategy->choose_victim(candidates({0, 1, 2}), 5), 1u);
+  strategy->on_access(1);
+  EXPECT_EQ(strategy->choose_victim(candidates({0, 1, 2}), 5), 2u);
+}
+
+TEST(Replacement, LruNeverAccessedIsOldest) {
+  auto strategy = make_strategy({ReplacementPolicy::kLru, 10, 1, nullptr});
+  strategy->on_access(0);
+  strategy->on_access(1);
+  EXPECT_EQ(strategy->choose_victim(candidates({0, 1, 7}), 5), 7u);
+}
+
+TEST(Replacement, LfuEvictsLeastFrequent) {
+  auto strategy = make_strategy({ReplacementPolicy::kLfu, 10, 1, nullptr});
+  for (std::uint32_t idx : {0u, 1u, 2u}) strategy->on_load(idx);
+  strategy->on_access(0);
+  strategy->on_access(0);
+  strategy->on_access(0);
+  strategy->on_access(1);
+  strategy->on_access(1);
+  strategy->on_access(2);
+  EXPECT_EQ(strategy->choose_victim(candidates({0, 1, 2}), 5), 2u);
+}
+
+TEST(Replacement, LfuCountsResetOnReload) {
+  auto strategy = make_strategy({ReplacementPolicy::kLfu, 10, 1, nullptr});
+  strategy->on_load(0);
+  for (int i = 0; i < 10; ++i) strategy->on_access(0);
+  strategy->on_load(1);
+  strategy->on_access(1);
+  // Re-load 0: its history is wiped (per-residency frequency).
+  strategy->on_load(0);
+  strategy->on_access(0);
+  strategy->on_access(1);
+  EXPECT_EQ(strategy->choose_victim(candidates({0, 1}), 5), 0u);
+}
+
+TEST(Replacement, TopologicalEvictsMostDistantNode) {
+  // Ladder tree: inner nodes form a path, so distances are unambiguous.
+  const Tree tree = parse_newick("(a,(b,(c,(d,(e,f)))));");
+  // Inner vector indices 0..3 correspond to inner nodes along the ladder.
+  auto strategy =
+      make_strategy({ReplacementPolicy::kTopological, tree.num_inner(), 1,
+                     &tree});
+  // Request the vector whose node is at one end; the victim must be the
+  // candidate whose node is farthest along the ladder.
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t i = 0; i < tree.num_inner(); ++i) all.push_back(i);
+  const std::uint32_t requested = 0;
+  const std::uint32_t victim = strategy->choose_victim(
+      {all.data(), all.size()}, requested);
+  // Verify by brute force.
+  std::uint32_t best = 0;
+  std::uint32_t best_dist = 0;
+  for (std::uint32_t c : all) {
+    const std::uint32_t d = node_distance(tree, tree.inner_node(requested),
+                                          tree.inner_node(c));
+    if (d > best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  EXPECT_EQ(victim, best);
+}
+
+TEST(Replacement, TopologicalRequiresTree) {
+  EXPECT_THROW(make_strategy({ReplacementPolicy::kTopological, 4, 1, nullptr}),
+               Error);
+}
+
+TEST(Replacement, TopologicalRejectsSizeMismatch) {
+  const Tree tree = parse_newick("(a,b,(c,d));");
+  EXPECT_THROW(
+      make_strategy({ReplacementPolicy::kTopological, 99, 1, &tree}), Error);
+}
+
+TEST(Replacement, StrategyNames) {
+  EXPECT_STREQ(
+      make_strategy({ReplacementPolicy::kRandom, 4, 1, nullptr})->name(),
+      "random");
+  EXPECT_STREQ(make_strategy({ReplacementPolicy::kLru, 4, 1, nullptr})->name(),
+               "lru");
+  EXPECT_STREQ(make_strategy({ReplacementPolicy::kLfu, 4, 1, nullptr})->name(),
+               "lfu");
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,156 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace plfoc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestoresSequence) {
+  Rng rng(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng.next());
+  rng.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next(), first[i]);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(42);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    ASSERT_GE(u, -2.5);
+    ASSERT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, GammaMeanAndVariance) {
+  Rng rng(23);
+  const double shape = 2.5;
+  const double scale = 1.5;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gamma(shape, scale);
+    ASSERT_GT(g, 0.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.08);
+  EXPECT_NEAR(var, shape * scale * scale, 0.25);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(29);
+  const double shape = 0.3;
+  double sum = 0.0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gamma(shape, 1.0);
+    ASSERT_GT(g, 0.0);
+    sum += g;
+  }
+  EXPECT_NEAR(sum / n, shape, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(31);
+  const double weights[3] = {1.0, 2.0, 7.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights, 3)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / double(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / double(n), 0.7, 0.02);
+}
+
+TEST(Rng, CategoricalSingleOutcome) {
+  Rng rng(37);
+  const double weights[1] = {5.0};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.categorical(weights, 1), 0u);
+}
+
+TEST(Rng, WorksWithStdDistributions) {
+  Rng rng(41);
+  // UniformRandomBitGenerator requirements: min/max/operator().
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ull);
+  std::uint64_t x = rng();
+  (void)x;
+}
+
+}  // namespace
+}  // namespace plfoc

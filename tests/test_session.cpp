@@ -1,0 +1,199 @@
+#include "session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/dataset_planner.hpp"
+#include "tree/newick.hpp"
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+PlannedDataset small_dataset(std::uint64_t seed = 3) {
+  DatasetPlan plan;
+  plan.num_taxa = 16;
+  plan.num_sites = 80;
+  plan.seed = seed;
+  return make_dna_dataset(plan);
+}
+
+TEST(Session, InRamBackendWorks) {
+  PlannedDataset data = small_dataset();
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr());
+  const double ll = session.engine().log_likelihood();
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_LT(ll, 0.0);
+  EXPECT_EQ(session.out_of_core(), nullptr);
+  EXPECT_EQ(session.paged(), nullptr);
+}
+
+TEST(Session, CompressionShrinksPatterns) {
+  PlannedDataset data = small_dataset();
+  const std::size_t raw_sites = data.alignment.num_sites();
+  SessionOptions options;
+  options.compress_patterns = true;
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr(), options);
+  EXPECT_LE(session.patterns(), raw_sites);
+}
+
+TEST(Session, CompressionCanBeDisabled) {
+  PlannedDataset data = small_dataset();
+  const std::size_t raw_sites = data.alignment.num_sites();
+  SessionOptions options;
+  options.compress_patterns = false;
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr(), options);
+  EXPECT_EQ(session.patterns(), raw_sites);
+}
+
+TEST(Session, OutOfCoreFromFraction) {
+  PlannedDataset data = small_dataset();
+  SessionOptions options;
+  options.backend = Backend::kOutOfCore;
+  options.ram_fraction = 0.5;
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr(), options);
+  ASSERT_NE(session.out_of_core(), nullptr);
+  EXPECT_EQ(session.out_of_core()->num_slots(), 7u);  // round(0.5 * 14)
+  const double ll = session.engine().log_likelihood();
+  EXPECT_TRUE(std::isfinite(ll));
+}
+
+TEST(Session, OutOfCoreFromBudget) {
+  PlannedDataset data = small_dataset();
+  SessionOptions options;
+  options.backend = Backend::kOutOfCore;
+  options.compress_patterns = false;
+  // Budget for exactly 4 vectors.
+  const std::size_t width = 80 * 4 * 4;
+  options.ram_budget_bytes = 4 * width * sizeof(double);
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr(), options);
+  ASSERT_NE(session.out_of_core(), nullptr);
+  EXPECT_EQ(session.out_of_core()->num_slots(), 4u);
+}
+
+TEST(Session, OutOfCoreRequiresLimit) {
+  PlannedDataset data = small_dataset();
+  SessionOptions options;
+  options.backend = Backend::kOutOfCore;
+  EXPECT_THROW(Session(std::move(data.alignment), std::move(data.tree),
+                       benchmark_gtr(), options),
+               Error);
+}
+
+TEST(Session, PagedBackendWorks) {
+  PlannedDataset data = small_dataset();
+  SessionOptions options;
+  options.backend = Backend::kPaged;
+  options.ram_budget_bytes = 1 << 20;
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr(), options);
+  ASSERT_NE(session.paged(), nullptr);
+  const double ll = session.engine().log_likelihood();
+  EXPECT_TRUE(std::isfinite(ll));
+}
+
+TEST(Session, StatsAccessibleAndResettable) {
+  PlannedDataset data = small_dataset();
+  SessionOptions options;
+  options.backend = Backend::kOutOfCore;
+  options.ram_fraction = 0.3;
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr(), options);
+  session.engine().log_likelihood();
+  EXPECT_GT(session.stats().accesses, 0u);
+  session.reset_stats();
+  EXPECT_EQ(session.stats().accesses, 0u);
+}
+
+TEST(Session, SinglePrecisionDiskStaysAccurate) {
+  PlannedDataset data = small_dataset();
+  Tree tree_copy = data.tree;
+  Alignment alignment_copy = data.alignment;
+
+  SessionOptions dp;
+  dp.backend = Backend::kOutOfCore;
+  dp.ram_fraction = 0.3;
+  Session session_d(std::move(data.alignment), std::move(data.tree),
+                    benchmark_gtr(), dp);
+  session_d.engine().full_traversal_log_likelihood();
+  const double reference = session_d.engine().full_traversal_log_likelihood();
+
+  SessionOptions sp = dp;
+  sp.single_precision_disk = true;
+  Session session_s(std::move(alignment_copy), std::move(tree_copy),
+                    benchmark_gtr(), sp);
+  // Two passes so single-precision round-trips actually happen on re-reads.
+  session_s.engine().full_traversal_log_likelihood();
+  const double measured = session_s.engine().full_traversal_log_likelihood();
+  EXPECT_NEAR(measured, reference, 1e-4 * std::abs(reference));
+  EXPECT_LT(session_s.stats().bytes_written,
+            session_d.stats().bytes_written);
+}
+
+TEST(Session, SiteLogLikelihoodsExpandCompression) {
+  // Build an alignment with guaranteed duplicate columns.
+  Alignment alignment(DataType::kDna, 8);
+  alignment.add_sequence("a", "AACCGGTT");
+  alignment.add_sequence("b", "AACCGGTT");
+  alignment.add_sequence("c", "CCAATTGG");
+  alignment.add_sequence("d", "CCAATTGG");
+  Tree tree = parse_newick("((a:0.1,b:0.1):0.2,(c:0.1,d:0.1):0.2);");
+  Alignment alignment_copy = alignment;
+  Tree tree_copy = tree;
+
+  SessionOptions compressed;
+  compressed.compress_patterns = true;
+  Session with(std::move(alignment), std::move(tree), jc69(), compressed);
+  ASSERT_LT(with.patterns(), 8u);
+  const std::vector<double> expanded = with.site_log_likelihoods();
+  ASSERT_EQ(expanded.size(), 8u);
+
+  SessionOptions raw;
+  raw.compress_patterns = false;
+  Session without(std::move(alignment_copy), std::move(tree_copy), jc69(),
+                  raw);
+  const std::vector<double> direct = without.site_log_likelihoods();
+  ASSERT_EQ(direct.size(), 8u);
+  double total_expanded = 0.0;
+  double total_direct = 0.0;
+  for (std::size_t site = 0; site < 8; ++site) {
+    EXPECT_NEAR(expanded[site], direct[site], 1e-10) << "site " << site;
+    total_expanded += expanded[site];
+    total_direct += direct[site];
+  }
+  // Duplicate columns carry identical values.
+  EXPECT_EQ(expanded[0], expanded[1]);
+  EXPECT_NEAR(total_expanded, total_direct, 1e-9);
+}
+
+TEST(Session, TieredBackendWorks) {
+  PlannedDataset data = small_dataset();
+  SessionOptions options;
+  options.backend = Backend::kTiered;
+  options.tiered_fast_slots = 3;
+  options.tiered_ram_slots = 4;
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr(), options);
+  ASSERT_NE(session.tiered(), nullptr);
+  EXPECT_TRUE(std::isfinite(session.engine().log_likelihood()));
+  EXPECT_GT(session.tiered()->tier_stats().promotions, 0u);
+}
+
+TEST(Session, TopologicalPolicyWiresTreeAutomatically) {
+  PlannedDataset data = small_dataset();
+  SessionOptions options;
+  options.backend = Backend::kOutOfCore;
+  options.ram_fraction = 0.25;
+  options.policy = ReplacementPolicy::kTopological;
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr(), options);
+  EXPECT_STREQ(session.out_of_core()->strategy_name(), "topological");
+  EXPECT_TRUE(std::isfinite(session.engine().log_likelihood()));
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,133 @@
+#include "sim/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/dataset_planner.hpp"
+#include "tree/random_tree.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+TEST(Simulate, ShapeAndNames) {
+  Rng rng(3);
+  const Tree tree = random_tree(6, rng);
+  const Alignment alignment =
+      simulate_alignment(tree, jc69(), 25, rng, SimulationOptions{4, 1.0});
+  EXPECT_EQ(alignment.num_taxa(), 6u);
+  EXPECT_EQ(alignment.num_sites(), 25u);
+  for (NodeId tip = 0; tip < 6; ++tip)
+    EXPECT_EQ(alignment.name(tip), tree.taxon_name(tip));
+}
+
+TEST(Simulate, DeterministicForSeed) {
+  Rng r1(5);
+  Rng r2(5);
+  const Tree t1 = random_tree(5, r1);
+  const Tree t2 = random_tree(5, r2);
+  const Alignment a1 =
+      simulate_alignment(t1, jc69(), 30, r1, SimulationOptions{1, 1.0});
+  const Alignment a2 =
+      simulate_alignment(t2, jc69(), 30, r2, SimulationOptions{1, 1.0});
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(a1.text(i), a2.text(i));
+}
+
+TEST(Simulate, OnlyUnambiguousCharacters) {
+  Rng rng(7);
+  const Tree tree = random_tree(8, rng);
+  const Alignment alignment =
+      simulate_alignment(tree, jc69(), 50, rng, SimulationOptions{1, 1.0});
+  for (std::size_t taxon = 0; taxon < 8; ++taxon)
+    for (std::uint8_t code : alignment.row(taxon))
+      EXPECT_TRUE(is_unambiguous(DataType::kDna, code));
+}
+
+TEST(Simulate, FrequenciesTrackModel) {
+  Rng rng(9);
+  RandomTreeOptions tree_options;
+  tree_options.mean_branch_length = 2.0;  // long branches: near equilibrium
+  const Tree tree = random_tree(16, rng, tree_options);
+  const SubstitutionModel model =
+      gtr({1, 1, 1, 1, 1, 1}, {0.45, 0.25, 0.2, 0.1});
+  const Alignment alignment =
+      simulate_alignment(tree, model, 3000, rng, SimulationOptions{1, 1.0});
+  const auto freqs = alignment.empirical_frequencies();
+  for (unsigned s = 0; s < 4; ++s)
+    EXPECT_NEAR(freqs[s], model.frequencies[s], 0.03) << "state " << s;
+}
+
+TEST(Simulate, ShortBranchesPreserveIdentity) {
+  Rng rng(11);
+  RandomTreeOptions tree_options;
+  tree_options.mean_branch_length = 1e-5;
+  const Tree tree = random_tree(8, rng, tree_options);
+  const Alignment alignment =
+      simulate_alignment(tree, jc69(), 200, rng, SimulationOptions{1, 1.0});
+  // With essentially-zero branch lengths all sequences are identical.
+  for (std::size_t taxon = 1; taxon < 8; ++taxon)
+    EXPECT_EQ(alignment.text(taxon), alignment.text(0));
+}
+
+TEST(Simulate, LongBranchesDecorrelate) {
+  Rng rng(13);
+  RandomTreeOptions tree_options;
+  tree_options.mean_branch_length = 10.0;
+  const Tree tree = random_tree(4, rng, tree_options);
+  const Alignment alignment =
+      simulate_alignment(tree, jc69(), 2000, rng, SimulationOptions{1, 1.0});
+  // Saturated branches: pairwise identity approaches 25%.
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < 2000; ++i)
+    if (alignment.row(0)[i] == alignment.row(1)[i]) ++matches;
+  EXPECT_NEAR(static_cast<double>(matches) / 2000.0, 0.25, 0.05);
+}
+
+TEST(Simulate, ProteinData) {
+  Rng rng(15);
+  const Tree tree = random_tree(5, rng);
+  const Alignment alignment = simulate_alignment(tree, poisson_protein(), 30,
+                                                 rng, SimulationOptions{1, 1.0});
+  EXPECT_EQ(alignment.data_type(), DataType::kProtein);
+  for (std::uint8_t code : alignment.row(0)) EXPECT_LT(code, 20);
+}
+
+TEST(Planner, SitesForAncestralBytesInverts) {
+  // Paper example: n = s = 10,000 DNA Γ4 -> 1.28 MB per vector.
+  const std::size_t sites = sites_for_ancestral_bytes(
+      10000, 4, 4, 9998ull * 1280000ull);
+  EXPECT_EQ(sites, 10000u);
+}
+
+TEST(Planner, SitesAlwaysPositive) {
+  EXPECT_GE(sites_for_ancestral_bytes(100, 4, 4, 1), 1u);
+}
+
+TEST(Planner, MakeDnaDatasetHonoursTarget) {
+  DatasetPlan plan;
+  plan.num_taxa = 64;
+  plan.target_ancestral_bytes = 4 << 20;  // 4 MiB
+  const PlannedDataset dataset = make_dna_dataset(plan);
+  EXPECT_EQ(dataset.alignment.num_taxa(), 64u);
+  EXPECT_GE(dataset.memory.ancestral_bytes(), 4u << 20);
+  // Not wildly above the target either (within one per-site increment).
+  const std::uint64_t per_site = 62ull * 8 * 4 * 4;
+  EXPECT_LE(dataset.memory.ancestral_bytes(), (4ull << 20) + per_site);
+}
+
+TEST(Planner, MakeDnaDatasetBySites) {
+  DatasetPlan plan;
+  plan.num_taxa = 16;
+  plan.num_sites = 123;
+  const PlannedDataset dataset = make_dna_dataset(plan);
+  EXPECT_EQ(dataset.alignment.num_sites(), 123u);
+  dataset.tree.validate();
+}
+
+TEST(Planner, BenchmarkGtrIsValid) {
+  benchmark_gtr().validate();
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,153 @@
+#include "search/spr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ooc/inram_store.hpp"
+#include "search/stepwise.hpp"
+#include "sim/simulate.hpp"
+#include "tree/random_tree.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+struct SearchFixture {
+  Tree truth;
+  Alignment alignment;
+  Tree start;
+  InRamStore store;
+  LikelihoodEngine engine;
+
+  SearchFixture(std::uint64_t seed, std::size_t taxa, std::size_t sites,
+                bool random_start = true)
+      : truth(make_truth(seed, taxa)),
+        alignment(make_alignment(seed, sites, truth)),
+        start(make_start(seed, alignment, random_start)),
+        store(start.num_inner(),
+              LikelihoodEngine::vector_width(alignment, 2)),
+        engine(alignment, start, ModelConfig{jc69(), 2, 1.0}, store) {}
+
+  static Tree make_truth(std::uint64_t seed, std::size_t taxa) {
+    Rng rng(seed);
+    RandomTreeOptions options;
+    options.mean_branch_length = 0.15;
+    return random_tree(taxa, rng, options);
+  }
+  static Alignment make_alignment(std::uint64_t seed, std::size_t sites,
+                                  const Tree& truth) {
+    Rng rng(seed + 77);
+    return simulate_alignment(truth, jc69(), sites, rng,
+                              SimulationOptions{2, 1.0});
+  }
+  static Tree make_start(std::uint64_t seed, const Alignment& alignment,
+                         bool random_start) {
+    Rng rng(seed + 154);
+    if (random_start) {
+      StepwiseOptions options;
+      options.use_parsimony = false;  // deliberately bad starting tree
+      return stepwise_addition_tree(alignment, rng, options);
+    }
+    StepwiseOptions options;
+    return stepwise_addition_tree(alignment, rng, options);
+  }
+};
+
+TEST(SprSearch, NeverDecreasesLikelihood) {
+  SearchFixture fx(3, 12, 80);
+  SprOptions options;
+  options.rounds = 1;
+  const SprResult result = spr_search(fx.engine, options);
+  EXPECT_GE(result.final_log_likelihood,
+            result.initial_log_likelihood - 1e-6);
+  fx.engine.tree().validate();
+}
+
+TEST(SprSearch, ImprovesBadStartingTrees) {
+  SearchFixture fx(7, 14, 150, /*random_start=*/true);
+  SprOptions options;
+  options.rounds = 2;
+  const SprResult result = spr_search(fx.engine, options);
+  EXPECT_GT(result.moves_accepted, 0u);
+  EXPECT_GT(result.final_log_likelihood,
+            result.initial_log_likelihood + 1.0);
+}
+
+TEST(SprSearch, LikelihoodStateConsistentAfterSearch) {
+  // The engine's incremental state (orientations, vectors) must agree with a
+  // clean full recomputation after all the trial/undo churn.
+  SearchFixture fx(11, 10, 60);
+  SprOptions options;
+  options.rounds = 1;
+  const SprResult result = spr_search(fx.engine, options);
+  const double incremental = fx.engine.log_likelihood();
+  const double full = fx.engine.full_traversal_log_likelihood();
+  EXPECT_NEAR(incremental, full, 1e-8);
+  EXPECT_NEAR(result.final_log_likelihood, full, 1e-6);
+}
+
+TEST(SprSearch, DeterministicAcrossRuns) {
+  SearchFixture a(13, 10, 60);
+  SearchFixture b(13, 10, 60);
+  SprOptions options;
+  options.rounds = 1;
+  const SprResult ra = spr_search(a.engine, options);
+  const SprResult rb = spr_search(b.engine, options);
+  EXPECT_EQ(ra.final_log_likelihood, rb.final_log_likelihood);
+  EXPECT_EQ(ra.moves_accepted, rb.moves_accepted);
+  EXPECT_EQ(ra.insertions_tried, rb.insertions_tried);
+}
+
+TEST(SprSearch, StrideReducesWorkProportionally) {
+  SearchFixture a(17, 12, 40);
+  SearchFixture b(17, 12, 40);
+  SprOptions full_scan;
+  full_scan.rounds = 1;
+  full_scan.epsilon = 1e18;  // never accept: pure scanning
+  SprOptions strided = full_scan;
+  strided.prune_stride = 3;
+  const SprResult ra = spr_search(a.engine, full_scan);
+  const SprResult rb = spr_search(b.engine, strided);
+  EXPECT_GT(ra.prune_candidates, 2 * rb.prune_candidates);
+  EXPECT_EQ(ra.moves_accepted, 0u);
+  EXPECT_EQ(rb.moves_accepted, 0u);
+}
+
+TEST(SprSearch, ScanOnlyLeavesTreeUntouched) {
+  SearchFixture fx(19, 10, 40);
+  // Record topology and lengths as an edge map (neighbour slot order may be
+  // permuted by the trial disconnect/connect churn; the tree itself is what
+  // must be unchanged).
+  std::map<std::pair<NodeId, NodeId>, double> before;
+  for (const auto& [a, b] : fx.engine.tree().edges())
+    before[{a, b}] = fx.engine.tree().branch_length(a, b);
+  SprOptions options;
+  options.rounds = 1;
+  options.epsilon = 1e18;  // reject everything
+  spr_search(fx.engine, options);
+  std::map<std::pair<NodeId, NodeId>, double> after;
+  for (const auto& [a, b] : fx.engine.tree().edges())
+    after[{a, b}] = fx.engine.tree().branch_length(a, b);
+  EXPECT_EQ(after, before);
+  // And the likelihood state is still exact.
+  EXPECT_NEAR(fx.engine.log_likelihood(),
+              fx.engine.full_traversal_log_likelihood(), 1e-8);
+}
+
+TEST(SprSearch, RadiusBoundsCandidates) {
+  SearchFixture a(23, 16, 30);
+  SearchFixture b(23, 16, 30);
+  SprOptions narrow;
+  narrow.rounds = 1;
+  narrow.radius_max = 1;
+  narrow.epsilon = 1e18;
+  SprOptions wide = narrow;
+  wide.radius_max = 6;
+  const SprResult rn = spr_search(a.engine, narrow);
+  const SprResult rw = spr_search(b.engine, wide);
+  EXPECT_GT(rw.insertions_tried, rn.insertions_tried);
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,101 @@
+#include "search/stepwise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "search/parsimony.hpp"
+#include "sim/simulate.hpp"
+#include "tree/random_tree.hpp"
+
+namespace plfoc {
+namespace {
+
+Alignment simulated_alignment(std::size_t taxa, std::size_t sites,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  const Tree truth = random_tree(taxa, rng);
+  return simulate_alignment(truth, jc69(), sites, rng,
+                            SimulationOptions{1, 1.0});
+}
+
+TEST(Stepwise, ProducesValidTreeOverAllTaxa) {
+  const Alignment alignment = simulated_alignment(20, 60, 3);
+  Rng rng(1);
+  const Tree tree = stepwise_addition_tree(alignment, rng);
+  EXPECT_EQ(tree.num_taxa(), 20u);
+  tree.validate();
+  for (std::size_t i = 0; i < alignment.num_taxa(); ++i)
+    EXPECT_NE(tree.find_taxon(alignment.name(i)), kNoNode);
+}
+
+TEST(Stepwise, DeterministicForSeed) {
+  const Alignment alignment = simulated_alignment(15, 40, 5);
+  Rng r1(9);
+  Rng r2(9);
+  const Tree a = stepwise_addition_tree(alignment, r1);
+  const Tree b = stepwise_addition_tree(alignment, r2);
+  for (NodeId n = 0; n < a.num_nodes(); ++n)
+    for (NodeId nbr : a.neighbors(n)) EXPECT_TRUE(b.has_edge(n, nbr));
+}
+
+TEST(Stepwise, ParsimonyGuidanceBeatsRandomInsertion) {
+  const Alignment alignment = simulated_alignment(24, 100, 7);
+  double parsimony_total = 0.0;
+  double random_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng_p(seed);
+    Rng rng_r(seed);
+    StepwiseOptions guided;
+    guided.use_parsimony = true;
+    StepwiseOptions blind;
+    blind.use_parsimony = false;
+    parsimony_total +=
+        parsimony_score(stepwise_addition_tree(alignment, rng_p, guided),
+                        alignment);
+    random_total += parsimony_score(
+        stepwise_addition_tree(alignment, rng_r, blind), alignment);
+  }
+  EXPECT_LT(parsimony_total, random_total);
+}
+
+TEST(Stepwise, AllCandidatesModeWorks) {
+  const Alignment alignment = simulated_alignment(10, 30, 11);
+  Rng rng(2);
+  StepwiseOptions options;
+  options.max_candidates = 0;  // score every edge
+  const Tree tree = stepwise_addition_tree(alignment, rng, options);
+  tree.validate();
+}
+
+TEST(Stepwise, SmallCandidateBudgetStillValid) {
+  const Alignment alignment = simulated_alignment(12, 30, 13);
+  Rng rng(4);
+  StepwiseOptions options;
+  options.max_candidates = 2;
+  const Tree tree = stepwise_addition_tree(alignment, rng, options);
+  tree.validate();
+}
+
+TEST(Stepwise, RespectsMinBranchLength) {
+  const Alignment alignment = simulated_alignment(10, 20, 17);
+  Rng rng(6);
+  StepwiseOptions options;
+  options.mean_branch_length = 1e-9;
+  options.min_branch_length = 1e-6;
+  const Tree tree = stepwise_addition_tree(alignment, rng, options);
+  for (const auto& [a, b] : tree.edges())
+    EXPECT_GE(tree.branch_length(a, b), 0.99e-6);
+}
+
+TEST(Stepwise, ThreeTaxaIsTheStar) {
+  Alignment alignment(DataType::kDna, 2);
+  alignment.add_sequence("a", "AC");
+  alignment.add_sequence("b", "AG");
+  alignment.add_sequence("c", "AT");
+  Rng rng(8);
+  const Tree tree = stepwise_addition_tree(alignment, rng);
+  EXPECT_EQ(tree.num_taxa(), 3u);
+  tree.validate();
+}
+
+}  // namespace
+}  // namespace plfoc

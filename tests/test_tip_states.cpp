@@ -1,0 +1,99 @@
+#include "likelihood/tip_states.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/eigen.hpp"
+#include "model/transition.hpp"
+#include "tree/newick.hpp"
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+Alignment triple() {
+  Alignment alignment(DataType::kDna, 3);
+  alignment.add_sequence("a", "ACG");
+  alignment.add_sequence("b", "A-G");
+  alignment.add_sequence("c", "ANG");
+  return alignment;
+}
+
+Tree triple_tree() { return parse_newick("(a:0.1,b:0.1,c:0.1);"); }
+
+TEST(TipStates, BindsByName) {
+  // Alignment order differs from tree tip order; binding is by name.
+  Alignment alignment(DataType::kDna, 2);
+  alignment.add_sequence("c", "GG");
+  alignment.add_sequence("a", "AA");
+  alignment.add_sequence("b", "CC");
+  const Tree tree = parse_newick("(a:0.1,b:0.1,c:0.1);");
+  const TipStates tips(alignment, tree);
+  const NodeId a = tree.find_taxon("a");
+  EXPECT_EQ(tips.tip_codes(a)[0], encode_char(DataType::kDna, 'A'));
+  const NodeId c = tree.find_taxon("c");
+  EXPECT_EQ(tips.tip_codes(c)[1], encode_char(DataType::kDna, 'G'));
+}
+
+TEST(TipStates, MissingTaxonThrows) {
+  Alignment alignment(DataType::kDna, 1);
+  alignment.add_sequence("a", "A");
+  alignment.add_sequence("b", "C");
+  alignment.add_sequence("zz", "G");
+  const Tree tree = parse_newick("(a,b,c);");
+  EXPECT_THROW(TipStates(alignment, tree), Error);
+}
+
+TEST(TipStates, IndicatorRowsMatchMasks) {
+  const Alignment alignment = triple();
+  const Tree tree = triple_tree();
+  const TipStates tips(alignment, tree);
+  // 'A' code = 1: indicator (1,0,0,0). 'N' = 15: all ones.
+  const double* a_row = tips.indicator(encode_char(DataType::kDna, 'A'));
+  EXPECT_EQ(a_row[0], 1.0);
+  EXPECT_EQ(a_row[1], 0.0);
+  const double* n_row = tips.indicator(encode_char(DataType::kDna, 'N'));
+  for (unsigned x = 0; x < 4; ++x) EXPECT_EQ(n_row[x], 1.0);
+  // 'R' = A|G.
+  const double* r_row = tips.indicator(encode_char(DataType::kDna, 'R'));
+  EXPECT_EQ(r_row[0], 1.0);
+  EXPECT_EQ(r_row[1], 0.0);
+  EXPECT_EQ(r_row[2], 1.0);
+  EXPECT_EQ(r_row[3], 0.0);
+}
+
+TEST(TipStates, BranchLookupSumsTransitionRows) {
+  const Alignment alignment = triple();
+  const Tree tree = triple_tree();
+  const TipStates tips(alignment, tree);
+  const EigenSystem eigen = decompose(jc69());
+  const std::vector<double> rates = {0.5, 2.0};
+  std::vector<double> pmats;
+  category_transition_matrices(eigen, 0.3, rates, pmats);
+  std::vector<double> lookup;
+  tips.build_branch_lookup(pmats.data(), 2, lookup);
+  ASSERT_EQ(lookup.size(), 16u * 2u * 4u);
+  // For the unambiguous code 'C' (mask 2), lookup = column of P for state 1.
+  const std::uint8_t c_code = encode_char(DataType::kDna, 'C');
+  for (unsigned cat = 0; cat < 2; ++cat)
+    for (unsigned x = 0; x < 4; ++x)
+      EXPECT_NEAR(lookup[(static_cast<std::size_t>(c_code) * 2 + cat) * 4 + x],
+                  pmats[cat * 16 + x * 4 + 1], 1e-15);
+  // For 'N' (all states), rows of P sum to 1.
+  const std::uint8_t n_code = encode_char(DataType::kDna, 'N');
+  for (unsigned cat = 0; cat < 2; ++cat)
+    for (unsigned x = 0; x < 4; ++x)
+      EXPECT_NEAR(lookup[(static_cast<std::size_t>(n_code) * 2 + cat) * 4 + x],
+                  1.0, 1e-12);
+}
+
+TEST(TipStates, DimsExposed) {
+  const Alignment alignment = triple();
+  const Tree tree = triple_tree();
+  const TipStates tips(alignment, tree);
+  EXPECT_EQ(tips.states(), 4u);
+  EXPECT_EQ(tips.codes(), 16u);
+  EXPECT_EQ(tips.patterns(), 3u);
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,144 @@
+#include "model/transition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/protein_matrices.hpp"
+
+namespace plfoc {
+namespace {
+
+SubstitutionModel test_gtr() {
+  return gtr({1.2, 4.5, 0.8, 1.1, 5.2, 1.0}, {0.3, 0.22, 0.24, 0.24});
+}
+
+TEST(Transition, ZeroTimeIsIdentity) {
+  const EigenSystem sys = decompose(test_gtr());
+  double p[16];
+  transition_matrix(sys, 0.0, p);
+  for (unsigned i = 0; i < 4; ++i)
+    for (unsigned j = 0; j < 4; ++j)
+      EXPECT_NEAR(p[i * 4 + j], i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(Transition, RowsSumToOne) {
+  const EigenSystem sys = decompose(test_gtr());
+  double p[16];
+  for (double t : {0.01, 0.1, 0.5, 1.0, 5.0, 50.0}) {
+    transition_matrix(sys, t, p);
+    for (unsigned i = 0; i < 4; ++i) {
+      double row = 0.0;
+      for (unsigned j = 0; j < 4; ++j) {
+        EXPECT_GE(p[i * 4 + j], 0.0);
+        row += p[i * 4 + j];
+      }
+      EXPECT_NEAR(row, 1.0, 1e-9) << "t=" << t;
+    }
+  }
+}
+
+TEST(Transition, LongTimeConvergesToFrequencies) {
+  const SubstitutionModel model = test_gtr();
+  const EigenSystem sys = decompose(model);
+  double p[16];
+  transition_matrix(sys, 300.0, p);
+  for (unsigned i = 0; i < 4; ++i)
+    for (unsigned j = 0; j < 4; ++j)
+      EXPECT_NEAR(p[i * 4 + j], model.frequencies[j], 1e-8);
+}
+
+TEST(Transition, ChapmanKolmogorov) {
+  // P(s) P(t) == P(s + t).
+  const EigenSystem sys = decompose(test_gtr());
+  double ps[16];
+  double pt[16];
+  double pst[16];
+  transition_matrix(sys, 0.3, ps);
+  transition_matrix(sys, 0.7, pt);
+  transition_matrix(sys, 1.0, pst);
+  for (unsigned i = 0; i < 4; ++i)
+    for (unsigned j = 0; j < 4; ++j) {
+      double sum = 0.0;
+      for (unsigned k = 0; k < 4; ++k) sum += ps[i * 4 + k] * pt[k * 4 + j];
+      EXPECT_NEAR(sum, pst[i * 4 + j], 1e-10);
+    }
+}
+
+TEST(Transition, Jc69ClosedForm) {
+  // JC69: P_ii = 1/4 + 3/4 e^{-4t/3}, P_ij = 1/4 - 1/4 e^{-4t/3}.
+  const EigenSystem sys = decompose(jc69());
+  double p[16];
+  for (double t : {0.05, 0.2, 1.0}) {
+    transition_matrix(sys, t, p);
+    const double e = std::exp(-4.0 * t / 3.0);
+    for (unsigned i = 0; i < 4; ++i)
+      for (unsigned j = 0; j < 4; ++j)
+        EXPECT_NEAR(p[i * 4 + j],
+                    i == j ? 0.25 + 0.75 * e : 0.25 - 0.25 * e, 1e-12)
+            << "t=" << t;
+  }
+}
+
+TEST(Transition, DerivativeMatchesFiniteDifference) {
+  const EigenSystem sys = decompose(test_gtr());
+  const double t = 0.37;
+  const double h = 1e-6;
+  double p[16];
+  double dp[16];
+  double d2p[16];
+  transition_derivatives(sys, t, p, dp, d2p);
+  double plus[16];
+  double minus[16];
+  transition_matrix(sys, t + h, plus);
+  transition_matrix(sys, t - h, minus);
+  for (unsigned k = 0; k < 16; ++k) {
+    EXPECT_NEAR(dp[k], (plus[k] - minus[k]) / (2.0 * h), 1e-6);
+    EXPECT_NEAR(d2p[k], (plus[k] - 2.0 * p[k] + minus[k]) / (h * h), 2e-3);
+  }
+}
+
+TEST(Transition, DerivativeRowsSumToZero) {
+  const EigenSystem sys = decompose(test_gtr());
+  double dp[16];
+  double d2p[16];
+  transition_derivatives(sys, 0.4, nullptr, dp, d2p);
+  for (unsigned i = 0; i < 4; ++i) {
+    double row1 = 0.0;
+    double row2 = 0.0;
+    for (unsigned j = 0; j < 4; ++j) {
+      row1 += dp[i * 4 + j];
+      row2 += d2p[i * 4 + j];
+    }
+    EXPECT_NEAR(row1, 0.0, 1e-10);
+    EXPECT_NEAR(row2, 0.0, 1e-10);
+  }
+}
+
+TEST(Transition, CategoryMatricesUseScaledTimes) {
+  const EigenSystem sys = decompose(test_gtr());
+  const std::vector<double> rates = {0.5, 1.0, 2.0};
+  std::vector<double> pmats;
+  category_transition_matrices(sys, 0.4, rates, pmats);
+  ASSERT_EQ(pmats.size(), 3u * 16u);
+  double expected[16];
+  for (unsigned c = 0; c < 3; ++c) {
+    transition_matrix(sys, 0.4 * rates[c], expected);
+    for (unsigned k = 0; k < 16; ++k)
+      EXPECT_NEAR(pmats[c * 16 + k], expected[k], 1e-14);
+  }
+}
+
+TEST(Transition, TwentyStateRowsSumToOne) {
+  const EigenSystem sys = decompose(synthetic_protein_model(21));
+  std::vector<double> p(400);
+  transition_matrix(sys, 0.8, p.data());
+  for (unsigned i = 0; i < 20; ++i) {
+    double row = 0.0;
+    for (unsigned j = 0; j < 20; ++j) row += p[i * 20 + j];
+    EXPECT_NEAR(row, 1.0, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,227 @@
+#include "tree/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tree/newick.hpp"
+#include "tree/random_tree.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+Tree six_taxa() {
+  // ((a,b),(c,d),(e,f)) around a central inner node.
+  return parse_newick("((a:0.1,b:0.1):0.2,(c:0.1,d:0.1):0.2,(e:0.1,f:0.1):0.2);");
+}
+
+bool post_order_valid(const Tree& tree,
+                      const std::vector<TraversalStep>& steps) {
+  std::set<NodeId> computed;
+  for (const TraversalStep& step : steps) {
+    for (NodeId child : {step.left, step.right})
+      if (tree.is_inner(child) && computed.count(child) == 0) return false;
+    computed.insert(step.parent);
+  }
+  return true;
+}
+
+TEST(Traversal, FullPlanCoversAllInnerNodes) {
+  Tree tree = six_taxa();
+  Orientation orientation(tree);
+  const auto [a, b] = tree.default_root_branch();
+  const auto steps = plan_for_branch(tree, orientation, a, b, true);
+  EXPECT_EQ(steps.size(), tree.num_inner());
+  EXPECT_TRUE(post_order_valid(tree, steps));
+}
+
+TEST(Traversal, ColdPlanEqualsFullPlan) {
+  Tree tree = six_taxa();
+  Orientation orientation(tree);
+  const auto [a, b] = tree.default_root_branch();
+  const auto steps = plan_for_branch(tree, orientation, a, b, false);
+  EXPECT_EQ(steps.size(), tree.num_inner());
+}
+
+TEST(Traversal, SecondPlanIsEmpty) {
+  Tree tree = six_taxa();
+  Orientation orientation(tree);
+  const auto [a, b] = tree.default_root_branch();
+  plan_for_branch(tree, orientation, a, b, false);
+  const auto again = plan_for_branch(tree, orientation, a, b, false);
+  EXPECT_TRUE(again.empty());
+}
+
+TEST(Traversal, RerootingReplansOnlyThePath) {
+  Rng rng(7);
+  Tree tree = random_tree(32, rng);
+  Orientation orientation(tree);
+  const auto [a, b] = tree.default_root_branch();
+  plan_for_branch(tree, orientation, a, b, false);
+  // Evaluate at another branch: only nodes whose orientation must flip
+  // (those on the path between the two root branches) are recomputed.
+  const auto edges = tree.edges();
+  for (const auto& [x, y] : edges) {
+    Orientation fresh = orientation;  // keep the original for each probe
+    const auto steps = plan_for_branch(tree, fresh, x, y, false);
+    EXPECT_LE(steps.size(), tree.num_inner());
+    // Only nodes on the path between the root branches flip orientation; an
+    // upper bound is the number of inner nodes on the x/y-to-root path.
+    if (tree.is_inner(x) && tree.is_inner(y)) {
+      EXPECT_GE(steps.size(), 0u);
+    }
+  }
+}
+
+TEST(Traversal, StepsCarryCurrentBranchLengths) {
+  Tree tree = six_taxa();
+  Orientation orientation(tree);
+  const auto [a, b] = tree.default_root_branch();
+  const auto steps = plan_for_branch(tree, orientation, a, b, true);
+  for (const TraversalStep& step : steps) {
+    EXPECT_DOUBLE_EQ(step.length_left,
+                     tree.branch_length(step.parent, step.left));
+    EXPECT_DOUBLE_EQ(step.length_right,
+                     tree.branch_length(step.parent, step.right));
+  }
+}
+
+TEST(Traversal, OrientationUpdatedByPlanning) {
+  Tree tree = six_taxa();
+  Orientation orientation(tree);
+  const auto [a, b] = tree.default_root_branch();
+  plan_for_branch(tree, orientation, a, b, false);
+  EXPECT_TRUE(orientation.valid_towards(a, b));
+  EXPECT_TRUE(orientation.valid_towards(b, a));
+}
+
+TEST(Traversal, InvalidateAllForcesFullReplan) {
+  Tree tree = six_taxa();
+  Orientation orientation(tree);
+  const auto [a, b] = tree.default_root_branch();
+  plan_for_branch(tree, orientation, a, b, false);
+  orientation.invalidate_all();
+  const auto steps = plan_for_branch(tree, orientation, a, b, false);
+  EXPECT_EQ(steps.size(), tree.num_inner());
+}
+
+TEST(Traversal, InvalidateForChangeMarksExactStaleSet) {
+  Rng rng(11);
+  Tree tree = random_tree(24, rng);
+  Orientation orientation(tree);
+  const auto [a, b] = tree.default_root_branch();
+  plan_for_branch(tree, orientation, a, b, false);
+
+  // Change "at" some tip: every vector whose subtree contains that tip must
+  // be invalidated, i.e. exactly the inner nodes on the path from the tip to
+  // the root branch.
+  const NodeId tip = 5;
+  invalidate_for_change(tree, orientation, tip);
+  for (NodeId inner = static_cast<NodeId>(tree.num_taxa());
+       inner < tree.num_nodes(); ++inner) {
+    const NodeId towards = orientation.towards(inner);
+    if (towards == kNoNode) continue;  // invalidated
+    // Valid vectors must NOT contain the tip: walking from the tip must
+    // arrive at `inner` through `towards`.
+    std::vector<NodeId> parent(tree.num_nodes(), kNoNode);
+    std::vector<NodeId> queue{tip};
+    std::vector<bool> seen(tree.num_nodes(), false);
+    seen[tip] = true;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const NodeId node = queue[head++];
+      for (NodeId nbr : tree.neighbors(node))
+        if (!seen[nbr]) {
+          seen[nbr] = true;
+          parent[nbr] = node;
+          queue.push_back(nbr);
+        }
+    }
+    EXPECT_EQ(parent[inner], towards)
+        << "inner " << inner << " kept a stale vector";
+  }
+}
+
+TEST(Traversal, LengthChangeKeepsEndpointVectorsTowardEachOther) {
+  Tree tree = six_taxa();
+  Orientation orientation(tree);
+  const auto [a, b] = tree.default_root_branch();
+  plan_for_branch(tree, orientation, a, b, false);
+  ASSERT_TRUE(orientation.valid_towards(a, b));
+  invalidate_for_length_change(tree, orientation, a, b);
+  // a's vector towards b does not include branch (a, b): still valid.
+  EXPECT_TRUE(orientation.valid_towards(a, b));
+  EXPECT_TRUE(orientation.valid_towards(b, a));
+}
+
+TEST(Traversal, PlanSubtreeWorksOnPrunedComponent) {
+  // The SPR search plans inside a pruned (disconnected) tree: detach a
+  // clade, then validate its root vector towards the detachment point.
+  Tree tree = six_taxa();
+  Orientation orientation(tree);
+  // Prune: take the inner node s adjacent to tips a,b; detach it from the
+  // rest, healing the gap.
+  const NodeId a = tree.find_taxon("a");
+  const NodeId s = tree.neighbors(a)[0];
+  const NodeId b = tree.find_taxon("b");
+  NodeId hub = kNoNode;
+  for (NodeId nbr : tree.neighbors(s))
+    if (nbr != a && nbr != b) hub = nbr;  // s's only non-tip neighbour
+  ASSERT_NE(hub, kNoNode);
+  const double len = tree.branch_length(s, hub);
+  tree.disconnect(s, hub);
+
+  // Plan the clade side: s towards the (now absent) hub direction.
+  std::vector<TraversalStep> steps;
+  plan_subtree(tree, orientation, s, hub, false, steps);
+  ASSERT_EQ(steps.size(), 1u);  // only s itself (children are tips)
+  EXPECT_EQ(steps[0].parent, s);
+  EXPECT_TRUE(orientation.valid_towards(s, hub));
+
+  tree.connect(s, hub, len);
+  tree.validate();
+}
+
+TEST(Traversal, OrientationCopyIsIndependent) {
+  Tree tree = six_taxa();
+  Orientation original(tree);
+  const auto [a, b] = tree.default_root_branch();
+  plan_for_branch(tree, original, a, b, false);
+  Orientation copy = original;
+  copy.invalidate_all();
+  // The original still reflects the planned state.
+  EXPECT_TRUE(original.valid_towards(a, b));
+  EXPECT_FALSE(copy.valid_towards(a, b));
+}
+
+TEST(Traversal, FullPlanIsIdempotentInSize) {
+  Tree tree = six_taxa();
+  Orientation orientation(tree);
+  const auto [a, b] = tree.default_root_branch();
+  const auto first = plan_for_branch(tree, orientation, a, b, true);
+  const auto second = plan_for_branch(tree, orientation, a, b, true);
+  EXPECT_EQ(first.size(), second.size());  // full always recomputes all
+  EXPECT_EQ(first.size(), tree.num_inner());
+}
+
+TEST(Traversal, LengthChangeInvalidatesContainingVectors) {
+  Tree tree = parse_newick("(a:0.1,b:0.1,((c:0.1,d:0.1):0.2,e:0.1):0.2);");
+  Orientation orientation(tree);
+  const auto [ra, rb] = tree.default_root_branch();
+  plan_for_branch(tree, orientation, ra, rb, false);
+  // Find the cherry (c,d) inner node and its parent-side branch.
+  const NodeId c = tree.find_taxon("c");
+  const NodeId cherry = tree.neighbors(c)[0];
+  ASSERT_TRUE(tree.is_inner(cherry));
+  const NodeId c_node = tree.find_taxon("c");
+  invalidate_for_length_change(tree, orientation, cherry, c_node);
+  // Any valid vector containing tip c got invalidated; in particular the
+  // cherry node itself if oriented away from c... cherry towards its parent
+  // contains c, so it must be stale now.
+  const NodeId cherry_towards = orientation.towards(cherry);
+  if (cherry_towards != kNoNode) EXPECT_EQ(cherry_towards, c_node);
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -1,0 +1,168 @@
+#include "tree/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tree/random_tree.hpp"
+#include "util/checks.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+/// The canonical 4-taxon tree ((0,1),(2,3)) with inner nodes 4 and 5.
+Tree quartet() {
+  Tree tree({"a", "b", "c", "d"});
+  tree.connect(0, 4, 0.1);
+  tree.connect(1, 4, 0.2);
+  tree.connect(2, 5, 0.3);
+  tree.connect(3, 5, 0.4);
+  tree.connect(4, 5, 0.5);
+  return tree;
+}
+
+TEST(Tree, NodeCounts) {
+  const Tree tree = quartet();
+  EXPECT_EQ(tree.num_taxa(), 4u);
+  EXPECT_EQ(tree.num_inner(), 2u);
+  EXPECT_EQ(tree.num_nodes(), 6u);
+  EXPECT_EQ(tree.num_edges(), 5u);
+}
+
+TEST(Tree, RequiresThreeTaxa) {
+  EXPECT_THROW(Tree({"a", "b"}), Error);
+}
+
+TEST(Tree, TipAndInnerClassification) {
+  const Tree tree = quartet();
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_TRUE(tree.is_tip(n));
+    EXPECT_FALSE(tree.is_inner(n));
+  }
+  for (NodeId n = 4; n < 6; ++n) {
+    EXPECT_FALSE(tree.is_tip(n));
+    EXPECT_TRUE(tree.is_inner(n));
+  }
+}
+
+TEST(Tree, InnerIndexRoundTrip) {
+  const Tree tree = quartet();
+  EXPECT_EQ(tree.inner_index(4), 0u);
+  EXPECT_EQ(tree.inner_index(5), 1u);
+  EXPECT_EQ(tree.inner_node(0), 4u);
+  EXPECT_EQ(tree.inner_node(1), 5u);
+}
+
+TEST(Tree, TaxonNames) {
+  const Tree tree = quartet();
+  EXPECT_EQ(tree.taxon_name(2), "c");
+  EXPECT_EQ(tree.find_taxon("d"), 3u);
+  EXPECT_EQ(tree.find_taxon("nope"), kNoNode);
+}
+
+TEST(Tree, DegreesAfterFullWiring) {
+  const Tree tree = quartet();
+  EXPECT_TRUE(tree.is_fully_connected());
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(tree.degree(n), 1u);
+  EXPECT_EQ(tree.degree(4), 3u);
+  EXPECT_EQ(tree.degree(5), 3u);
+}
+
+TEST(Tree, BranchLengthSymmetry) {
+  Tree tree = quartet();
+  EXPECT_EQ(tree.branch_length(4, 5), tree.branch_length(5, 4));
+  tree.set_branch_length(5, 4, 0.9);
+  EXPECT_EQ(tree.branch_length(4, 5), 0.9);
+}
+
+TEST(Tree, DisconnectRemovesBothDirections) {
+  Tree tree = quartet();
+  tree.disconnect(4, 5);
+  EXPECT_FALSE(tree.has_edge(4, 5));
+  EXPECT_FALSE(tree.has_edge(5, 4));
+  EXPECT_EQ(tree.degree(4), 2u);
+  EXPECT_FALSE(tree.is_fully_connected());
+  tree.connect(4, 5, 0.5);
+  tree.validate();
+}
+
+TEST(Tree, EdgesListsEachOnce) {
+  const Tree tree = quartet();
+  const auto edges = tree.edges();
+  EXPECT_EQ(edges.size(), 5u);
+  for (const auto& [a, b] : edges) EXPECT_LT(a, b);
+}
+
+TEST(Tree, DefaultRootBranchIsInnerInner) {
+  const Tree tree = quartet();
+  const auto [a, b] = tree.default_root_branch();
+  EXPECT_TRUE(tree.is_inner(a));
+  EXPECT_TRUE(tree.is_inner(b));
+  EXPECT_TRUE(tree.has_edge(a, b));
+}
+
+TEST(Tree, ThreeTaxonDefaultRoot) {
+  Tree tree({"a", "b", "c"});
+  tree.connect(0, 3, 0.1);
+  tree.connect(1, 3, 0.1);
+  tree.connect(2, 3, 0.1);
+  const auto [a, b] = tree.default_root_branch();
+  EXPECT_TRUE(tree.has_edge(a, b));
+}
+
+TEST(RandomTree, ProducesValidTrees) {
+  Rng rng(5);
+  for (std::size_t n : {3u, 4u, 5u, 10u, 50u, 200u}) {
+    const Tree tree = random_tree(n, rng);
+    EXPECT_EQ(tree.num_taxa(), n);
+    tree.validate();  // aborts on violation
+  }
+}
+
+TEST(RandomTree, DeterministicForSeed) {
+  Rng r1(99);
+  Rng r2(99);
+  const Tree a = random_tree(20, r1);
+  const Tree b = random_tree(20, r2);
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    ASSERT_EQ(a.degree(n), b.degree(n));
+    for (NodeId nbr : a.neighbors(n)) {
+      EXPECT_TRUE(b.has_edge(n, nbr));
+      EXPECT_EQ(a.branch_length(n, nbr), b.branch_length(n, nbr));
+    }
+  }
+}
+
+TEST(RandomTree, RespectsMinBranchLength) {
+  Rng rng(3);
+  RandomTreeOptions options;
+  options.mean_branch_length = 1e-7;
+  options.min_branch_length = 1e-6;
+  const Tree tree = random_tree(30, rng, options);
+  for (const auto& [a, b] : tree.edges())
+    EXPECT_GE(tree.branch_length(a, b), 1e-6);
+}
+
+TEST(RandomTree, DifferentSeedsGiveDifferentTopologies) {
+  Rng r1(1);
+  Rng r2(2);
+  const Tree a = random_tree(50, r1);
+  const Tree b = random_tree(50, r2);
+  bool differs = false;
+  for (NodeId n = 0; n < a.num_nodes() && !differs; ++n)
+    for (NodeId nbr : a.neighbors(n))
+      if (!b.has_edge(n, nbr)) {
+        differs = true;
+        break;
+      }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomTree, DefaultNames) {
+  const auto names = default_taxon_names(4);
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "t0");
+  EXPECT_EQ(names[3], "t3");
+}
+
+}  // namespace
+}  // namespace plfoc

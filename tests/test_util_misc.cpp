@@ -1,0 +1,109 @@
+// Coverage for the small utilities: device-cost accounting, stats
+// aggregation, logging levels, timers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ooc/file_backend.hpp"
+#include "ooc/stats.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace plfoc {
+namespace {
+
+TEST(DeviceModel, DisabledByDefault) {
+  DeviceModel model;
+  EXPECT_FALSE(model.enabled());
+  EXPECT_TRUE(DeviceModel::hdd_2010().enabled());
+  EXPECT_TRUE(DeviceModel::ssd().enabled());
+}
+
+TEST(DeviceModel, AccountingAddsSeekPlusTransfer) {
+  FileBackendOptions options;
+  options.base_path = temp_vector_file_path("device");
+  options.device = {1'000'000, 100'000'000};  // 1 ms seek, 100 MB/s
+  FileBackend backend(4, 1'000'000, options);  // 1 MB vectors
+  std::vector<char> buffer(1'000'000, 0);
+  backend.write_vector(0, buffer.data());
+  // 1 ms seek + 1 MB / (100 MB/s) = 1 ms + 10 ms.
+  EXPECT_NEAR(backend.modeled_device_seconds(), 0.011, 1e-9);
+  backend.read_vector(0, buffer.data());
+  EXPECT_NEAR(backend.modeled_device_seconds(), 0.022, 1e-9);
+  EXPECT_EQ(backend.io_operations(), 2u);
+  backend.reset_device_accounting();
+  EXPECT_EQ(backend.modeled_device_seconds(), 0.0);
+  EXPECT_EQ(backend.io_operations(), 0u);
+}
+
+TEST(DeviceModel, ClusteredWriteChargesOnce) {
+  FileBackendOptions options;
+  options.base_path = temp_vector_file_path("devicecluster");
+  options.device = {1'000'000, 100'000'000};
+  FileBackend backend(4, 4096, options);
+  std::vector<char> arena(4 * 4096, 7);
+  FileBackend::IoRange ranges[3] = {{0, 4096}, {4096, 4096}, {8192, 4096}};
+  backend.write_ranges_clustered(ranges, 3, arena.data());
+  EXPECT_EQ(backend.io_operations(), 1u);
+  // One seek + 12 KiB transfer.
+  EXPECT_NEAR(backend.modeled_device_seconds(),
+              0.001 + 3.0 * 4096.0 / 100e6, 1e-9);
+}
+
+TEST(DeviceModel, DisabledModelCountsOpsOnly) {
+  FileBackendOptions options;
+  options.base_path = temp_vector_file_path("deviceoff");
+  FileBackend backend(2, 64, options);
+  char buffer[64] = {};
+  backend.write_vector(0, buffer);
+  EXPECT_EQ(backend.io_operations(), 1u);
+  EXPECT_EQ(backend.modeled_device_seconds(), 0.0);
+}
+
+TEST(OocStatsMath, RatesAndAggregation) {
+  OocStats a;
+  a.accesses = 100;
+  a.misses = 25;
+  a.cold_misses = 5;
+  a.file_reads = 10;
+  EXPECT_DOUBLE_EQ(a.miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(a.read_rate(), 0.10);
+  EXPECT_DOUBLE_EQ(a.capacity_miss_rate(), 0.20);
+
+  OocStats b;
+  b.accesses = 100;
+  b.misses = 75;
+  b.bytes_read = 1024;
+  a += b;
+  EXPECT_EQ(a.accesses, 200u);
+  EXPECT_EQ(a.misses, 100u);
+  EXPECT_EQ(a.bytes_read, 1024u);
+  EXPECT_DOUBLE_EQ(a.miss_rate(), 0.5);
+}
+
+TEST(OocStatsMath, EmptyStatsHaveZeroRates) {
+  const OocStats stats;
+  EXPECT_EQ(stats.miss_rate(), 0.0);
+  EXPECT_EQ(stats.read_rate(), 0.0);
+  EXPECT_EQ(stats.capacity_miss_rate(), 0.0);
+}
+
+TEST(Logging, LevelGate) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kOff);
+  log_line(LogLevel::kError, "should not crash when suppressed");
+  PLFOC_LOG(kDebug) << "also suppressed " << 42;
+  set_log_level(original);
+  SUCCEED();
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.millis(), 15.0);
+  timer.reset();
+  EXPECT_LT(timer.millis(), 15.0);
+}
+
+}  // namespace
+}  // namespace plfoc

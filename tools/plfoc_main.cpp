@@ -1,0 +1,21 @@
+// The plfoc command-line tool. All logic lives in src/cli/driver.cpp so it
+// is unit-testable; this translation unit only maps argv and exceptions to
+// process-level behaviour.
+#include <cstdio>
+#include <iostream>
+
+#include "cli/driver.hpp"
+#include "util/checks.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const plfoc::CliConfig config = plfoc::parse_cli(argc - 1, argv + 1);
+    return plfoc::run_cli(config, std::cout);
+  } catch (const plfoc::Error& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "plfoc: unexpected error: %s\n", error.what());
+    return 3;
+  }
+}
