@@ -1,0 +1,142 @@
+#include "ooc/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace plfoc {
+
+namespace {
+
+std::string describe(const char* what, std::uint32_t index) {
+  return std::string(what) + " (vector " + std::to_string(index) + ")";
+}
+
+}  // namespace
+
+StoreAuditor::StoreAuditor(std::size_t vector_count, std::size_t slot_count)
+    : vector_count_(vector_count),
+      slot_count_(slot_count),
+      on_disk_(vector_count, false),
+      shadow_dirty_(vector_count, false) {}
+
+bool StoreAuditor::ever_on_disk(std::uint32_t index) const {
+  return index < vector_count_ && on_disk_[index];
+}
+
+std::optional<std::string> StoreAuditor::record_acquire(std::uint32_t index,
+                                                        bool write_mode,
+                                                        bool read_skipped) {
+  if (index >= vector_count_)
+    return describe("acquire of out-of-range vector", index);
+  if (read_skipped && !write_mode) {
+    if (on_disk_[index])
+      return describe(
+          "read skipping elided the swap-in read of a READ-mode access to a "
+          "vector with live on-disk contents",
+          index);
+    return describe("read skipping elided the read of a READ-mode access",
+                    index);
+  }
+  if (write_mode) shadow_dirty_[index] = true;
+  return std::nullopt;
+}
+
+std::optional<std::string> StoreAuditor::record_file_write(
+    std::uint32_t index) {
+  if (index >= vector_count_)
+    return describe("file write of out-of-range vector", index);
+  on_disk_[index] = true;
+  shadow_dirty_[index] = false;
+  return std::nullopt;
+}
+
+std::optional<std::string> StoreAuditor::record_evict(std::uint32_t victim,
+                                                      std::uint32_t pins) {
+  if (victim >= vector_count_)
+    return describe("eviction of out-of-range vector", victim);
+  if (pins != 0)
+    return describe("pinned vector selected as replacement victim", victim) +
+           " with " + std::to_string(pins) + " live lease(s)";
+  if (shadow_dirty_[victim])
+    return describe("dirty vector evicted without a write-back", victim);
+  return std::nullopt;
+}
+
+std::optional<std::string> StoreAuditor::record_release(
+    std::uint32_t index, std::uint32_t pins_before) {
+  if (index >= vector_count_)
+    return describe("release of out-of-range vector", index);
+  if (pins_before == 0)
+    return describe("release of a vector that holds no lease", index);
+  return std::nullopt;
+}
+
+std::optional<std::string> StoreAuditor::check_table(
+    const std::vector<OocSlot>& slots,
+    const std::vector<std::uint32_t>& vector_slot) const {
+  if (slots.size() != slot_count_)
+    return "slot table has " + std::to_string(slots.size()) +
+           " slots, expected " + std::to_string(slot_count_);
+  if (vector_slot.size() != vector_count_)
+    return "vector->slot map has " + std::to_string(vector_slot.size()) +
+           " entries, expected " + std::to_string(vector_count_);
+
+  // Slot -> vector direction: every occupied slot names an in-range vector
+  // whose map entry points straight back at the slot.
+  for (std::uint32_t s = 0; s < slots.size(); ++s) {
+    const OocSlot& slot = slots[s];
+    if (slot.vector == kOocNoVector) {
+      if (slot.pins != 0)
+        return "empty slot " + std::to_string(s) + " carries " +
+               std::to_string(slot.pins) + " pin(s)";
+      if (slot.dirty)
+        return "empty slot " + std::to_string(s) + " is marked dirty";
+      continue;
+    }
+    if (slot.vector >= vector_count_)
+      return "slot " + std::to_string(s) + " holds out-of-range vector " +
+             std::to_string(slot.vector);
+    if (vector_slot[slot.vector] != s)
+      return "slot " + std::to_string(s) + " holds vector " +
+             std::to_string(slot.vector) + " but the vector->slot map says " +
+             (vector_slot[slot.vector] == kOocNoSlot
+                    ? std::string("not resident")
+                    : "slot " + std::to_string(vector_slot[slot.vector]));
+    if (slot.dirty != static_cast<bool>(shadow_dirty_[slot.vector]))
+      return "slot " + std::to_string(s) + " dirty flag (" +
+             (slot.dirty ? "dirty" : "clean") + ") disagrees with recorded " +
+             (shadow_dirty_[slot.vector] ? "unwritten modifications"
+                                         : "write-back history") +
+             " for vector " + std::to_string(slot.vector);
+  }
+
+  // Vector -> slot direction: every resident vector names an in-range slot
+  // that holds exactly it. Together with the pass above this makes residency
+  // a bijection (two vectors cannot share a slot, nor one vector two slots).
+  for (std::uint32_t v = 0; v < vector_slot.size(); ++v) {
+    const std::uint32_t s = vector_slot[v];
+    if (s == kOocNoSlot) continue;
+    if (s >= slots.size())
+      return "vector " + std::to_string(v) + " maps to out-of-range slot " +
+             std::to_string(s);
+    if (slots[s].vector != v)
+      return "vector " + std::to_string(v) + " maps to slot " +
+             std::to_string(s) + " which holds " +
+             (slots[s].vector == kOocNoVector
+                    ? std::string("no vector")
+                    : "vector " + std::to_string(slots[s].vector));
+  }
+  return std::nullopt;
+}
+
+void StoreAuditor::enforce(const std::optional<std::string>& violation,
+                           const char* when) const {
+  if (!violation) return;
+  std::fprintf(stderr,
+               "plfoc: slot-table audit failed after %s: %s "
+               "(%zu vectors, %zu slots)\n",
+               when, violation->c_str(), vector_count_, slot_count_);
+  std::abort();
+}
+
+}  // namespace plfoc

@@ -1,0 +1,104 @@
+// Machine-checked invariants for the out-of-core slot table (Sec. 3.2-3.4).
+//
+// The slot table is the piece of state whose silent corruption is costliest:
+// it is mutated concurrently by the likelihood engine and the prefetch worker,
+// and a wrong entry redirects vector-level file I/O, corrupting the on-disk
+// vector file and every likelihood computed from it. StoreAuditor is an
+// oracle for that state: OutOfCoreStore (when built with -DPLFOC_AUDIT=ON)
+// reports every mutation — acquire, release, evict, write-back — and the
+// auditor cross-checks the full table after each one:
+//
+//  * residency is a bijection: every resident vector maps to exactly one slot
+//    and that slot maps back to the vector; no vector occupies two slots;
+//  * pinned slots are never selected as replacement victims;
+//  * dirty flags match write-backs: a vector with un-written-back
+//    modifications is never dropped, and a slot's dirty bit always agrees
+//    with the auditor's shadow model of pending modifications;
+//  * read skipping only ever elides the swap-in read of a write-mode access —
+//    in particular it never skips reading a vector that was ever written to
+//    the backing file and is now being read.
+//
+// All checking methods return the violated invariant as a string (nullopt if
+// the state is consistent) so tests can assert that corruption *is* detected;
+// `enforce()` is the abort-on-violation wrapper the store uses in production
+// audit builds. The auditor itself is always compiled (and unit-tested); only
+// the hooks inside OutOfCoreStore are gated behind PLFOC_AUDIT.
+//
+// Thread safety: the auditor keeps shadow state and must be called under the
+// store's slot-table mutex, exactly where the mutations it observes happen.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace plfoc {
+
+/// Sentinel values shared by the slot table and its auditor.
+inline constexpr std::uint32_t kOocNoSlot = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kOocNoVector = 0xFFFFFFFFu;
+
+/// One RAM slot of the out-of-core slot table.
+struct OocSlot {
+  std::uint32_t vector = kOocNoVector;  ///< resident vector, or kOocNoVector
+  std::uint32_t pins = 0;               ///< live leases on the vector
+  bool dirty = false;                   ///< modified since last write-back
+};
+
+class StoreAuditor {
+ public:
+  StoreAuditor(std::size_t vector_count, std::size_t slot_count);
+
+  // -- Event recorders ------------------------------------------------------
+  // Each records the event into the shadow model and returns the violated
+  // invariant, or nullopt. Call under the store's mutex, in the order the
+  // store performs the operations.
+
+  /// An acquire completed. `write_mode` is AccessMode::kWrite;
+  /// `read_skipped` means the access missed and the swap-in read was elided.
+  [[nodiscard]] std::optional<std::string> record_acquire(std::uint32_t index,
+                                                          bool write_mode,
+                                                          bool read_skipped);
+
+  /// The store wrote `index` back to the backing file (eviction write-back,
+  /// flush, or unconditional paper-mode write).
+  [[nodiscard]] std::optional<std::string> record_file_write(
+      std::uint32_t index);
+
+  /// `victim` (with `pins` live leases) was chosen for eviction; called after
+  /// any write-back but before the table entry is cleared.
+  [[nodiscard]] std::optional<std::string> record_evict(std::uint32_t victim,
+                                                        std::uint32_t pins);
+
+  /// A lease on `index` was released; `pins_before` is the pin count the
+  /// slot held at the moment of release.
+  [[nodiscard]] std::optional<std::string> record_release(
+      std::uint32_t index, std::uint32_t pins_before);
+
+  // -- Full-table validation ------------------------------------------------
+
+  /// Validate the complete slot table against the structural invariants and
+  /// the shadow dirty model. O(slots + vectors).
+  [[nodiscard]] std::optional<std::string> check_table(
+      const std::vector<OocSlot>& slots,
+      const std::vector<std::uint32_t>& vector_slot) const;
+
+  /// Abort with a diagnostic if `violation` holds a message. `when` labels
+  /// the mutating operation ("acquire", "release", "evict", ...).
+  void enforce(const std::optional<std::string>& violation,
+               const char* when) const;
+
+  std::size_t vector_count() const { return vector_count_; }
+  std::size_t slot_count() const { return slot_count_; }
+  /// True once `index` has ever been written to the backing file.
+  bool ever_on_disk(std::uint32_t index) const;
+
+ private:
+  std::size_t vector_count_;
+  std::size_t slot_count_;
+  std::vector<bool> on_disk_;      ///< vector was ever written to the file
+  std::vector<bool> shadow_dirty_; ///< modifications not yet written back
+};
+
+}  // namespace plfoc

@@ -5,6 +5,18 @@
 
 #include "util/logging.hpp"
 
+// Audit hooks: record every slot-table mutation with the invariant auditor
+// and re-validate the whole table afterwards. All hook sites run under
+// mutex_. Compiled out entirely unless configured with -DPLFOC_AUDIT=ON.
+#ifdef PLFOC_AUDIT
+#define PLFOC_AUDIT_EVENT(when, call) auditor_.enforce((call), (when))
+#define PLFOC_AUDIT_TABLE(when) \
+  auditor_.enforce(auditor_.check_table(slots_, vector_slot_), (when))
+#else
+#define PLFOC_AUDIT_EVENT(when, call) ((void)0)
+#define PLFOC_AUDIT_TABLE(when) ((void)0)
+#endif
+
 namespace plfoc {
 
 std::size_t OocStoreOptions::slots_from_fraction(double f, std::size_t count) {
@@ -26,6 +38,9 @@ OutOfCoreStore::OutOfCoreStore(std::size_t count, std::size_t width,
     : AncestralStore(count, width),
       options_(std::move(options)),
       arena_(std::min(options_.num_slots, count) * width),
+#ifdef PLFOC_AUDIT
+      auditor_(count, std::min(options_.num_slots, count)),
+#endif
       slots_(std::min(options_.num_slots, count)),
       vector_slot_(count, kNoSlot),
       touched_(count, false),
@@ -74,6 +89,7 @@ void OutOfCoreStore::file_write(std::uint32_t index, const double* src) {
   }
   ++stats_.file_writes;
   stats_.bytes_written += file_.bytes_per_vector();
+  PLFOC_AUDIT_EVENT("file write", auditor_.record_file_write(index));
 }
 
 std::uint32_t OutOfCoreStore::obtain_slot(std::uint32_t index) {
@@ -100,6 +116,7 @@ std::uint32_t OutOfCoreStore::obtain_slot(std::uint32_t index) {
   // back; dirty tracking (write_back_clean = false) is an ablation extension.
   if (options_.write_back_clean || slots_[slot].dirty)
     file_write(victim, slot_data(slot));
+  PLFOC_AUDIT_EVENT("evict", auditor_.record_evict(victim, slots_[slot].pins));
   ++stats_.evictions;
   strategy_->on_evict(victim);
   vector_slot_[victim] = kNoSlot;
@@ -114,6 +131,7 @@ double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
   ++stats_.accesses;
 
   std::uint32_t slot = vector_slot_[index];
+  [[maybe_unused]] bool read_skipped = false;  // only consumed by audit hooks
   if (slot != kNoSlot) {
     ++stats_.hits;
   } else {
@@ -127,6 +145,7 @@ double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
       file_read(index, slot_data(slot));
     } else {
       ++stats_.skipped_reads;
+      read_skipped = true;
     }
     vector_slot_[index] = slot;
     slots_[slot].vector = index;
@@ -136,6 +155,10 @@ double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
   ++slots_[slot].pins;
   if (mode == AccessMode::kWrite) slots_[slot].dirty = true;
   strategy_->on_access(index);
+  PLFOC_AUDIT_EVENT("acquire", auditor_.record_acquire(
+                                   index, mode == AccessMode::kWrite,
+                                   read_skipped));
+  PLFOC_AUDIT_TABLE("acquire");
   return slot_data(slot);
 }
 
@@ -143,7 +166,10 @@ void OutOfCoreStore::do_release(std::uint32_t index) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::uint32_t slot = vector_slot_[index];
   PLFOC_CHECK(slot != kNoSlot && slots_[slot].pins > 0);
+  PLFOC_AUDIT_EVENT("release",
+                    auditor_.record_release(index, slots_[slot].pins));
   --slots_[slot].pins;
+  PLFOC_AUDIT_TABLE("release");
 }
 
 void OutOfCoreStore::prefetch(std::uint32_t index) {
@@ -172,6 +198,7 @@ void OutOfCoreStore::prefetch(std::uint32_t index) {
   vector_slot_[index] = slot;
   slots_[slot].vector = index;
   strategy_->on_load(index);
+  PLFOC_AUDIT_TABLE("prefetch");
 }
 
 void OutOfCoreStore::flush() {
@@ -182,6 +209,7 @@ void OutOfCoreStore::flush() {
     slots_[s].dirty = false;
   }
   file_.sync();
+  PLFOC_AUDIT_TABLE("flush");
 }
 
 }  // namespace plfoc

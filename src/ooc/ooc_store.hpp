@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "ooc/audit.hpp"
 #include "ooc/file_backend.hpp"
 #include "ooc/replacement.hpp"
 #include "ooc/storage.hpp"
@@ -86,14 +87,12 @@ class OutOfCoreStore final : public AncestralStore {
   void do_release(std::uint32_t index) override;
 
  private:
-  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
-  static constexpr std::uint32_t kNoVector = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kNoSlot = kOocNoSlot;
+  static constexpr std::uint32_t kNoVector = kOocNoVector;
 
-  struct Slot {
-    std::uint32_t vector = kNoVector;
-    std::uint32_t pins = 0;
-    bool dirty = false;
-  };
+  // The slot record itself lives in ooc/audit.hpp so the PLFOC_AUDIT
+  // invariant auditor can validate the table without friending into here.
+  using Slot = OocSlot;
 
   double* slot_data(std::uint32_t slot) {
     return arena_.data() + static_cast<std::size_t>(slot) * width_;
@@ -106,6 +105,9 @@ class OutOfCoreStore final : public AncestralStore {
 
   OocStoreOptions options_;
   AlignedBuffer arena_;
+#ifdef PLFOC_AUDIT
+  StoreAuditor auditor_;  ///< slot-table invariant oracle; used under mutex_
+#endif
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> vector_slot_;  ///< per vector: slot or kNoSlot
   std::vector<bool> touched_;               ///< vector ever accessed (cold-miss tracking)

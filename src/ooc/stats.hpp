@@ -31,11 +31,14 @@ struct OocStats {
   double read_rate() const {
     return accesses == 0 ? 0.0 : static_cast<double>(file_reads) / static_cast<double>(accesses);
   }
-  /// Miss rate with compulsory (first-touch) misses excluded.
+  /// Miss rate with compulsory (first-touch) misses excluded. Counters merged
+  /// with operator+= from partially reset stats can leave misses < cold_misses;
+  /// clamp instead of letting the unsigned subtraction wrap.
   double capacity_miss_rate() const {
-    return accesses == 0
-               ? 0.0
-               : static_cast<double>(misses - cold_misses) / static_cast<double>(accesses);
+    if (accesses == 0) return 0.0;
+    const std::uint64_t capacity_misses =
+        misses >= cold_misses ? misses - cold_misses : 0;
+    return static_cast<double>(capacity_misses) / static_cast<double>(accesses);
   }
 
   OocStats& operator+=(const OocStats& other);

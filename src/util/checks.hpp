@@ -30,7 +30,11 @@ class Error : public std::runtime_error {
   ((expr) ? (void)0 : ::plfoc::fail_check(#expr, __FILE__, __LINE__))
 
 #ifdef NDEBUG
-#define PLFOC_DCHECK(expr) ((void)0)
+// The expression must not be evaluated, but it must still count as *used*:
+// a plain ((void)0) leaves variables referenced only in debug checks
+// triggering -Wunused-variable / -Wunused-but-set-variable under -Werror.
+// sizeof keeps the operand unevaluated while marking its operands used.
+#define PLFOC_DCHECK(expr) ((void)sizeof((expr) ? 1 : 0))
 #else
 #define PLFOC_DCHECK(expr) PLFOC_CHECK(expr)
 #endif

@@ -1,0 +1,205 @@
+// StoreAuditor unit tests: the auditor must accept every state a correct
+// slot manager can produce and reject each class of corruption it exists to
+// catch. The checking API returns the violated invariant instead of aborting
+// so these tests can assert on detection without death tests; the abort-on-
+// violation path (enforce) is what OutOfCoreStore uses under PLFOC_AUDIT.
+#include "ooc/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ooc/ooc_store.hpp"
+
+namespace plfoc {
+namespace {
+
+// A consistent 3-slot / 6-vector table: vectors 4, 1 resident, slot 2 free.
+struct TableFixture {
+  std::vector<OocSlot> slots;
+  std::vector<std::uint32_t> vector_slot;
+
+  TableFixture() {
+    slots.resize(3);
+    slots[0] = {4, 1, false};
+    slots[1] = {1, 0, false};
+    vector_slot.assign(6, kOocNoSlot);
+    vector_slot[4] = 0;
+    vector_slot[1] = 1;
+  }
+};
+
+TEST(StoreAuditor, AcceptsConsistentTable) {
+  TableFixture t;
+  StoreAuditor auditor(6, 3);
+  EXPECT_EQ(auditor.check_table(t.slots, t.vector_slot), std::nullopt);
+}
+
+TEST(StoreAuditor, RejectsWrongSlotCount) {
+  TableFixture t;
+  StoreAuditor auditor(6, 4);
+  ASSERT_TRUE(auditor.check_table(t.slots, t.vector_slot).has_value());
+}
+
+TEST(StoreAuditor, RejectsVectorMappedToWrongSlot) {
+  TableFixture t;
+  t.vector_slot[4] = 1;  // slot 1 actually holds vector 1
+  StoreAuditor auditor(6, 3);
+  const auto violation = auditor.check_table(t.slots, t.vector_slot);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("slot 0"), std::string::npos);
+}
+
+TEST(StoreAuditor, RejectsResidentVectorMissingFromMap) {
+  TableFixture t;
+  t.vector_slot[4] = kOocNoSlot;  // slot 0 says vector 4 lives there
+  StoreAuditor auditor(6, 3);
+  const auto violation = auditor.check_table(t.slots, t.vector_slot);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("not resident"), std::string::npos);
+}
+
+TEST(StoreAuditor, RejectsOneVectorInTwoSlots) {
+  TableFixture t;
+  t.slots[2] = {4, 0, false};  // vector 4 now also "in" slot 2
+  StoreAuditor auditor(6, 3);
+  ASSERT_TRUE(auditor.check_table(t.slots, t.vector_slot).has_value());
+}
+
+TEST(StoreAuditor, RejectsMapPointingIntoEmptySlot) {
+  TableFixture t;
+  t.vector_slot[3] = 2;  // slot 2 is empty
+  StoreAuditor auditor(6, 3);
+  const auto violation = auditor.check_table(t.slots, t.vector_slot);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("no vector"), std::string::npos);
+}
+
+TEST(StoreAuditor, RejectsOutOfRangeEntries) {
+  TableFixture t;
+  StoreAuditor auditor(6, 3);
+  t.slots[0].vector = 99;
+  ASSERT_TRUE(auditor.check_table(t.slots, t.vector_slot).has_value());
+  TableFixture u;
+  u.vector_slot[2] = 17;
+  ASSERT_TRUE(auditor.check_table(u.slots, u.vector_slot).has_value());
+}
+
+TEST(StoreAuditor, RejectsPinnedOrDirtyEmptySlot) {
+  TableFixture t;
+  t.slots[2].pins = 1;
+  StoreAuditor auditor(6, 3);
+  ASSERT_TRUE(auditor.check_table(t.slots, t.vector_slot).has_value());
+  TableFixture u;
+  u.slots[2].dirty = true;
+  ASSERT_TRUE(auditor.check_table(u.slots, u.vector_slot).has_value());
+}
+
+TEST(StoreAuditor, TracksDirtyFlagsAgainstWriteBacks) {
+  TableFixture t;
+  StoreAuditor auditor(6, 3);
+  // Write-mode acquire of vector 4: the slot must now be dirty.
+  EXPECT_EQ(auditor.record_acquire(4, /*write_mode=*/true,
+                                   /*read_skipped=*/false),
+            std::nullopt);
+  EXPECT_TRUE(auditor.check_table(t.slots, t.vector_slot).has_value())
+      << "clean flag on a vector with unwritten modifications must fail";
+  t.slots[0].dirty = true;
+  EXPECT_EQ(auditor.check_table(t.slots, t.vector_slot), std::nullopt);
+  // Write-back: the dirty flag must be cleared again.
+  EXPECT_EQ(auditor.record_file_write(4), std::nullopt);
+  EXPECT_TRUE(auditor.check_table(t.slots, t.vector_slot).has_value())
+      << "dirty flag surviving a write-back must fail";
+  t.slots[0].dirty = false;
+  EXPECT_EQ(auditor.check_table(t.slots, t.vector_slot), std::nullopt);
+}
+
+TEST(StoreAuditor, RejectsEvictionOfPinnedVector) {
+  StoreAuditor auditor(6, 3);
+  const auto violation = auditor.record_evict(4, /*pins=*/2);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("pinned"), std::string::npos);
+  EXPECT_EQ(auditor.record_evict(4, /*pins=*/0), std::nullopt);
+}
+
+TEST(StoreAuditor, RejectsDirtyEvictionWithoutWriteBack) {
+  StoreAuditor auditor(6, 3);
+  ASSERT_EQ(auditor.record_acquire(2, true, false), std::nullopt);
+  const auto violation = auditor.record_evict(2, 0);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("write-back"), std::string::npos);
+  // With the write-back recorded first, the same eviction is legal.
+  StoreAuditor ok(6, 3);
+  ASSERT_EQ(ok.record_acquire(2, true, false), std::nullopt);
+  ASSERT_EQ(ok.record_file_write(2), std::nullopt);
+  EXPECT_EQ(ok.record_evict(2, 0), std::nullopt);
+}
+
+TEST(StoreAuditor, RejectsReadModeReadSkip) {
+  StoreAuditor auditor(6, 3);
+  // Write-mode skips are the whole point of read skipping: allowed.
+  EXPECT_EQ(auditor.record_acquire(1, /*write_mode=*/true,
+                                   /*read_skipped=*/true),
+            std::nullopt);
+  // Read-mode skips are never sound.
+  ASSERT_TRUE(auditor.record_acquire(1, false, true).has_value());
+  // Worst case: the vector's authoritative copy is on disk and a read-mode
+  // access skipped loading it.
+  StoreAuditor disk(6, 3);
+  ASSERT_EQ(disk.record_file_write(1), std::nullopt);
+  EXPECT_TRUE(disk.ever_on_disk(1));
+  const auto violation = disk.record_acquire(1, false, true);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("on-disk"), std::string::npos);
+}
+
+TEST(StoreAuditor, RejectsReleaseWithoutLease) {
+  StoreAuditor auditor(6, 3);
+  ASSERT_TRUE(auditor.record_release(3, /*pins_before=*/0).has_value());
+  EXPECT_EQ(auditor.record_release(3, 1), std::nullopt);
+}
+
+TEST(StoreAuditor, RejectsOutOfRangeEvents) {
+  StoreAuditor auditor(6, 3);
+  EXPECT_TRUE(auditor.record_acquire(6, true, false).has_value());
+  EXPECT_TRUE(auditor.record_file_write(6).has_value());
+  EXPECT_TRUE(auditor.record_evict(6, 0).has_value());
+  EXPECT_TRUE(auditor.record_release(6, 1).has_value());
+}
+
+TEST(StoreAuditor, EnforceIsSilentWithoutViolation) {
+  StoreAuditor auditor(6, 3);
+  auditor.enforce(std::nullopt, "noop");  // must not abort
+  SUCCEED();
+}
+
+// End-to-end: drive a real store through misses, evictions, read skips,
+// flushes, and prefetches while replaying every event into a shadow auditor
+// exactly as the PLFOC_AUDIT hooks do. In PLFOC_AUDIT builds the store also
+// runs its internal auditor on every mutation, so this doubles as an
+// integration test that a correct workload never trips the oracle.
+TEST(StoreAuditor, CleanStoreWorkloadNeverTrips) {
+  const std::size_t width = 16;
+  OocStoreOptions options;
+  options.num_slots = 4;
+  options.policy = ReplacementPolicy::kLru;
+  options.file.base_path = temp_vector_file_path("audit");
+  OutOfCoreStore store(12, width, options);
+
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t idx = 0; idx < 12; ++idx) {
+      auto lease = store.acquire(idx, AccessMode::kWrite);
+      for (std::size_t i = 0; i < width; ++i)
+        lease.data()[i] = idx * 100.0 + static_cast<double>(round);
+    }
+    store.flush();
+    for (std::uint32_t idx = 0; idx < 12; ++idx) {
+      auto lease = store.acquire(idx, AccessMode::kRead);
+      ASSERT_EQ(lease.data()[0], idx * 100.0 + round);
+    }
+    store.prefetch(3);
+    store.prefetch(7);
+  }
+  EXPECT_GT(store.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -50,8 +50,9 @@ TEST(BranchOpt, OptimumHasZeroDerivative) {
   const double t = fx.engine.tree().branch_length(a, b);
   const BranchValue value = fx.engine.branch_value(a, b, t, true);
   // At an interior optimum d1 ~ 0; at the boundary the gradient points out.
-  if (t > kMinBranchLength * 2 && t < kMaxBranchLength / 2)
+  if (t > kMinBranchLength * 2 && t < kMaxBranchLength / 2) {
     EXPECT_NEAR(value.d1 / std::max(1.0, std::abs(value.d2)), 0.0, 1e-3);
+  }
 }
 
 TEST(BranchOpt, RecoversPerturbedBranch) {

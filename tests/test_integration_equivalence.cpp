@@ -105,9 +105,9 @@ INSTANTIATE_TEST_SUITE_P(
                       // Minimum-RAM extreme: 5 slots via tiny fraction.
                       OocCase{ReplacementPolicy::kRandom, 0.001},
                       OocCase{ReplacementPolicy::kLru, 0.001}),
-    [](const ::testing::TestParamInfo<OocCase>& info) {
-      return std::string(policy_name(info.param.policy)) + "_f" +
-             std::to_string(static_cast<int>(info.param.fraction * 1000));
+    [](const ::testing::TestParamInfo<OocCase>& param_info) {
+      return std::string(policy_name(param_info.param.policy)) + "_f" +
+             std::to_string(static_cast<int>(param_info.param.fraction * 1000));
     });
 
 TEST_F(BackendEquivalence, ReadSkippingDoesNotChangeResults) {

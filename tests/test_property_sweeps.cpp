@@ -157,7 +157,9 @@ TEST_P(GammaSweep, MeanOneIncreasingPositive) {
     double mean = 0.0;
     for (std::size_t i = 0; i < rates.size(); ++i) {
       EXPECT_GT(rates[i], 0.0);
-      if (i > 0) EXPECT_GE(rates[i], rates[i - 1]);
+      if (i > 0) {
+        EXPECT_GE(rates[i], rates[i - 1]);
+      }
       mean += rates[i];
     }
     EXPECT_NEAR(mean / k, 1.0, 1e-9);

@@ -1,0 +1,107 @@
+#include "ooc/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plfoc {
+namespace {
+
+TEST(Stats, RatesAreZeroWithoutAccesses) {
+  OocStats stats;
+  EXPECT_EQ(stats.miss_rate(), 0.0);
+  EXPECT_EQ(stats.read_rate(), 0.0);
+  EXPECT_EQ(stats.capacity_miss_rate(), 0.0);
+}
+
+TEST(Stats, MissRate) {
+  OocStats stats;
+  stats.accesses = 10;
+  stats.hits = 6;
+  stats.misses = 4;
+  EXPECT_DOUBLE_EQ(stats.miss_rate(), 0.4);
+}
+
+TEST(Stats, ReadRateDivergesFromMissRateUnderReadSkipping) {
+  OocStats stats;
+  stats.accesses = 10;
+  stats.misses = 4;
+  stats.file_reads = 1;  // 3 of the 4 misses were write-mode and skipped
+  stats.skipped_reads = 3;
+  EXPECT_DOUBLE_EQ(stats.miss_rate(), 0.4);
+  EXPECT_DOUBLE_EQ(stats.read_rate(), 0.1);
+}
+
+TEST(Stats, CapacityMissRateExcludesColdMisses) {
+  OocStats stats;
+  stats.accesses = 20;
+  stats.misses = 8;
+  stats.cold_misses = 3;
+  EXPECT_DOUBLE_EQ(stats.capacity_miss_rate(), 0.25);
+}
+
+TEST(Stats, CapacityMissRateClampsWhenColdMissesExceedMisses) {
+  // A merge of partially reset counters can leave misses < cold_misses;
+  // the unsigned subtraction must clamp to zero, not wrap to ~2^64.
+  OocStats stats;
+  stats.accesses = 10;
+  stats.misses = 2;
+  stats.cold_misses = 5;
+  EXPECT_DOUBLE_EQ(stats.capacity_miss_rate(), 0.0);
+}
+
+TEST(Stats, PlusEqualsAccumulatesAllCounters) {
+  OocStats a;
+  a.accesses = 1;
+  a.hits = 2;
+  a.misses = 3;
+  a.cold_misses = 4;
+  a.evictions = 5;
+  a.file_reads = 6;
+  a.file_writes = 7;
+  a.skipped_reads = 8;
+  a.prefetch_reads = 9;
+  a.bytes_read = 10;
+  a.bytes_written = 11;
+  OocStats b = a;
+  b += a;
+  EXPECT_EQ(b.accesses, 2u);
+  EXPECT_EQ(b.hits, 4u);
+  EXPECT_EQ(b.misses, 6u);
+  EXPECT_EQ(b.cold_misses, 8u);
+  EXPECT_EQ(b.evictions, 10u);
+  EXPECT_EQ(b.file_reads, 12u);
+  EXPECT_EQ(b.file_writes, 14u);
+  EXPECT_EQ(b.skipped_reads, 16u);
+  EXPECT_EQ(b.prefetch_reads, 18u);
+  EXPECT_EQ(b.bytes_read, 20u);
+  EXPECT_EQ(b.bytes_written, 22u);
+}
+
+TEST(Stats, PlusEqualsThenCapacityMissRateStaysFinite) {
+  // The underflow scenario from the field: one store reset between merges.
+  OocStats total;
+  OocStats fresh;  // reset after its cold phase: cold_misses kept, misses gone
+  fresh.accesses = 4;
+  fresh.cold_misses = 6;
+  fresh.misses = 1;
+  total += fresh;
+  EXPECT_GE(total.capacity_miss_rate(), 0.0);
+  EXPECT_LE(total.capacity_miss_rate(), 1.0);
+}
+
+TEST(Stats, SummaryMentionsKeyCounters) {
+  OocStats stats;
+  stats.accesses = 42;
+  stats.misses = 21;
+  stats.file_reads = 7;
+  stats.file_writes = 3;
+  stats.skipped_reads = 14;
+  const std::string text = stats.summary();
+  EXPECT_NE(text.find("accesses=42"), std::string::npos);
+  EXPECT_NE(text.find("miss_rate=0.5000"), std::string::npos);
+  EXPECT_NE(text.find("reads=7"), std::string::npos);
+  EXPECT_NE(text.find("writes=3"), std::string::npos);
+  EXPECT_NE(text.find("skipped=14"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -220,7 +220,9 @@ TEST(Traversal, LengthChangeInvalidatesContainingVectors) {
   // cherry node itself if oriented away from c... cherry towards its parent
   // contains c, so it must be stale now.
   const NodeId cherry_towards = orientation.towards(cherry);
-  if (cherry_towards != kNoNode) EXPECT_EQ(cherry_towards, c_node);
+  if (cherry_towards != kNoNode) {
+    EXPECT_EQ(cherry_towards, c_node);
+  }
 }
 
 }  // namespace
