@@ -15,9 +15,19 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-lint}"
 
+# An explicit CLANG_TIDY override that does not resolve is an error, never a
+# silent fallback to whatever clang-tidy happens to be on PATH. Checked here
+# (not in find_clang_tidy, which runs in a command-substitution subshell where
+# `exit` would only leave the subshell).
+if [[ -n "${CLANG_TIDY:-}" ]] && ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+  echo "lint.sh: CLANG_TIDY='${CLANG_TIDY}' is not an executable" >&2
+  exit 2
+fi
+
 find_clang_tidy() {
   if [[ -n "${CLANG_TIDY:-}" ]]; then
-    command -v "${CLANG_TIDY}" && return 0
+    command -v "${CLANG_TIDY}"
+    return 0
   fi
   local candidate
   for candidate in clang-tidy clang-tidy-{21,20,19,18,17,16,15}; do

@@ -50,14 +50,14 @@ std::optional<std::string> StoreAuditor::record_file_write(
   return std::nullopt;
 }
 
-std::optional<std::string> StoreAuditor::record_evict(std::uint32_t victim,
-                                                      std::uint32_t pins) {
+std::optional<std::string> StoreAuditor::record_evict(
+    std::uint32_t victim, std::uint32_t pins, bool write_back_scheduled) {
   if (victim >= vector_count_)
     return describe("eviction of out-of-range vector", victim);
   if (pins != 0)
     return describe("pinned vector selected as replacement victim", victim) +
            " with " + std::to_string(pins) + " live lease(s)";
-  if (shadow_dirty_[victim])
+  if (shadow_dirty_[victim] && !write_back_scheduled)
     return describe("dirty vector evicted without a write-back", victim);
   return std::nullopt;
 }

@@ -66,10 +66,13 @@ class StoreAuditor {
   [[nodiscard]] std::optional<std::string> record_file_write(
       std::uint32_t index);
 
-  /// `victim` (with `pins` live leases) was chosen for eviction; called after
-  /// any write-back but before the table entry is cleared.
-  [[nodiscard]] std::optional<std::string> record_evict(std::uint32_t victim,
-                                                        std::uint32_t pins);
+  /// `victim` (with `pins` live leases) was chosen for eviction;
+  /// `write_back_scheduled` reports whether the store will write the victim
+  /// back before dropping it. Call BEFORE the write-back and before the
+  /// store's own consistency checks, so the auditor observes the
+  /// pre-write-back pin/dirty state independently of them.
+  [[nodiscard]] std::optional<std::string> record_evict(
+      std::uint32_t victim, std::uint32_t pins, bool write_back_scheduled);
 
   /// A lease on `index` was released; `pins_before` is the pin count the
   /// slot held at the moment of release.

@@ -109,14 +109,19 @@ std::uint32_t OutOfCoreStore::obtain_slot(std::uint32_t index) {
   const std::uint32_t victim = strategy_->choose_victim(
       {candidates.data(), candidates.size()}, index);
   const std::uint32_t slot = vector_slot_[victim];
-  PLFOC_CHECK(slot != kNoSlot && slots_[slot].vector == victim &&
-              slots_[slot].pins == 0);
+  PLFOC_CHECK(slot != kNoSlot);
 
-  // Swap the victim out. The paper's implementation always writes the victim
-  // back; dirty tracking (write_back_clean = false) is an ablation extension.
-  if (options_.write_back_clean || slots_[slot].dirty)
-    file_write(victim, slot_data(slot));
-  PLFOC_AUDIT_EVENT("evict", auditor_.record_evict(victim, slots_[slot].pins));
+  // The paper's implementation always writes the victim back; dirty tracking
+  // (write_back_clean = false) is an ablation extension.
+  const bool write_back = options_.write_back_clean || slots_[slot].dirty;
+  // The auditor must see the victim's pin count and shadow dirty bit before
+  // the store's own pin assertion and before the write-back clears the shadow
+  // state — otherwise it only re-checks values the store already validated.
+  PLFOC_AUDIT_EVENT("evict", auditor_.record_evict(victim, slots_[slot].pins,
+                                                   write_back));
+  PLFOC_CHECK(slots_[slot].vector == victim && slots_[slot].pins == 0);
+
+  if (write_back) file_write(victim, slot_data(slot));
   ++stats_.evictions;
   strategy_->on_evict(victim);
   vector_slot_[victim] = kNoSlot;

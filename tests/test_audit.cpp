@@ -114,23 +114,32 @@ TEST(StoreAuditor, TracksDirtyFlagsAgainstWriteBacks) {
 
 TEST(StoreAuditor, RejectsEvictionOfPinnedVector) {
   StoreAuditor auditor(6, 3);
-  const auto violation = auditor.record_evict(4, /*pins=*/2);
+  const auto violation =
+      auditor.record_evict(4, /*pins=*/2, /*write_back_scheduled=*/true);
   ASSERT_TRUE(violation.has_value());
   EXPECT_NE(violation->find("pinned"), std::string::npos);
-  EXPECT_EQ(auditor.record_evict(4, /*pins=*/0), std::nullopt);
+  EXPECT_EQ(auditor.record_evict(4, /*pins=*/0, /*write_back_scheduled=*/true),
+            std::nullopt);
 }
 
 TEST(StoreAuditor, RejectsDirtyEvictionWithoutWriteBack) {
   StoreAuditor auditor(6, 3);
   ASSERT_EQ(auditor.record_acquire(2, true, false), std::nullopt);
-  const auto violation = auditor.record_evict(2, 0);
+  const auto violation =
+      auditor.record_evict(2, 0, /*write_back_scheduled=*/false);
   ASSERT_TRUE(violation.has_value());
   EXPECT_NE(violation->find("write-back"), std::string::npos);
-  // With the write-back recorded first, the same eviction is legal.
+  // The same dirty victim with a write-back scheduled is legal (the hook runs
+  // before the write-back, so the shadow dirty bit is still set here).
+  EXPECT_EQ(auditor.record_evict(2, 0, /*write_back_scheduled=*/true),
+            std::nullopt);
+  // A victim whose modifications were already flushed may be dropped without
+  // a write-back.
   StoreAuditor ok(6, 3);
   ASSERT_EQ(ok.record_acquire(2, true, false), std::nullopt);
   ASSERT_EQ(ok.record_file_write(2), std::nullopt);
-  EXPECT_EQ(ok.record_evict(2, 0), std::nullopt);
+  EXPECT_EQ(ok.record_evict(2, 0, /*write_back_scheduled=*/false),
+            std::nullopt);
 }
 
 TEST(StoreAuditor, RejectsReadModeReadSkip) {
@@ -161,7 +170,7 @@ TEST(StoreAuditor, RejectsOutOfRangeEvents) {
   StoreAuditor auditor(6, 3);
   EXPECT_TRUE(auditor.record_acquire(6, true, false).has_value());
   EXPECT_TRUE(auditor.record_file_write(6).has_value());
-  EXPECT_TRUE(auditor.record_evict(6, 0).has_value());
+  EXPECT_TRUE(auditor.record_evict(6, 0, true).has_value());
   EXPECT_TRUE(auditor.record_release(6, 1).has_value());
 }
 
