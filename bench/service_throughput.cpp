@@ -1,0 +1,119 @@
+// Batch-service throughput: jobs/sec and aggregate miss rate as a function
+// of worker count and the global slot-memory budget (docs/service.md).
+//
+// Expected shape: job-level speedup > 1 at 4 workers vs 1 worker under an
+// unlimited budget; tightening --ram-budget degrades jobs to smaller
+// out-of-core stores (higher miss rate) while peak charged slot memory stays
+// within the budget; log likelihoods are bit-identical across every cell of
+// the sweep (the service's determinism contract).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "likelihood/memory_model.hpp"
+#include "service/service.hpp"
+
+using namespace plfoc;
+using namespace plfoc::bench;
+
+namespace {
+
+struct SweepCell {
+  std::size_t workers;
+  std::uint64_t budget;
+  double jobs_per_second = 0.0;
+  double miss_rate = 0.0;
+  std::uint64_t peak_bytes = 0;
+  std::size_t degraded = 0;
+};
+
+JobSpec make_job(const SearchDataset& dataset, std::size_t index) {
+  JobSpec spec{"job-" + std::to_string(index + 1), dataset.alignment,
+               dataset.start_tree, benchmark_gtr(), SessionOptions{}};
+  spec.session.backend = Backend::kOutOfCore;
+  spec.session.ram_fraction = 0.25;
+  spec.session.policy = ReplacementPolicy::kLru;
+  spec.session.seed = index + 1;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = scale_from_env();
+  const std::size_t taxa = scale == Scale::kQuick ? 48 : 128;
+  const std::size_t sites = scale == Scale::kQuick ? 240 : 600;
+  const std::size_t jobs = scale == Scale::kFull ? 32 : 16;
+  const SearchDataset dataset = make_search_dataset(taxa, sites, 20110516);
+  print_header("Service throughput: workers x global RAM budget", dataset,
+               scale);
+
+  // Price one job with the same conservative model the scheduler uses.
+  const JobSpec probe = make_job(dataset, 0);
+  const JobDemand demand = JobDemand::from_spec(probe);
+  const std::uint64_t desired = demand.desired_bytes();
+  std::printf("# %zu jobs, per-job demand %llu B (min %llu B)\n", jobs,
+              static_cast<unsigned long long>(desired),
+              static_cast<unsigned long long>(demand.minimum_bytes()));
+
+  const std::size_t worker_counts[] = {1, 2, 4};
+  // 0 = unlimited; 1.5x one job leaves a half-desired remainder that forces
+  // a concurrent peer into a degraded (smaller-store) admission; 1x
+  // serialises peers entirely.
+  const std::uint64_t budgets[] = {0, desired + desired / 2, desired};
+
+  std::vector<double> reference;  // logLs of the first cell, by job index
+  bool deterministic = true;
+  std::vector<SweepCell> cells;
+  for (const std::size_t workers : worker_counts) {
+    for (const std::uint64_t budget : budgets) {
+      ServiceOptions options;
+      options.workers = workers;
+      options.queue_capacity = jobs;
+      options.ram_budget_bytes = budget;
+      Service service(options);
+      Timer timer;
+      for (std::size_t j = 0; j < jobs; ++j)
+        service.submit(make_job(dataset, j));
+      const std::vector<JobResult> results = service.drain();
+      const double wall = timer.seconds();
+
+      SweepCell cell{workers, budget};
+      cell.jobs_per_second = wall > 0.0 ? results.size() / wall : 0.0;
+      cell.miss_rate = service.merged_stats().miss_rate();
+      cell.peak_bytes = service.peak_charged_bytes();
+      if (reference.empty()) {
+        for (const JobResult& r : results)
+          reference.push_back(r.log_likelihood);
+      }
+      for (std::size_t j = 0; j < results.size(); ++j) {
+        if (results[j].status != JobStatus::kDone ||
+            results[j].log_likelihood != reference[j])
+          deterministic = false;
+        if (results[j].degraded) ++cell.degraded;
+      }
+      cells.push_back(cell);
+      std::fflush(stdout);
+    }
+  }
+
+  const double base = cells.front().jobs_per_second;  // 1 worker, unlimited
+  std::printf("%8s %14s %10s %10s %12s %14s %9s\n", "workers", "budget_B",
+              "jobs_s", "speedup", "miss_rate_%", "peak_B", "degraded");
+  for (const SweepCell& cell : cells) {
+    char budget_text[32];
+    if (cell.budget == 0)
+      std::snprintf(budget_text, sizeof budget_text, "%s", "unlimited");
+    else
+      std::snprintf(budget_text, sizeof budget_text, "%llu",
+                    static_cast<unsigned long long>(cell.budget));
+    std::printf("%8zu %14s %10.2f %10.2f %12.3f %14llu %9zu\n", cell.workers,
+                budget_text, cell.jobs_per_second,
+                base > 0.0 ? cell.jobs_per_second / base : 0.0,
+                100.0 * cell.miss_rate,
+                static_cast<unsigned long long>(cell.peak_bytes),
+                cell.degraded);
+  }
+  std::printf("# deterministic across all cells: %s\n",
+              deterministic ? "yes" : "NO");
+  return deterministic ? 0 : 1;
+}

@@ -6,6 +6,8 @@
 #
 # The build dir must have a compile_commands.json; if it does not exist the
 # script configures one (tests/bench/examples off — lint targets src/ only).
+# Coverage is every .cpp under src/, discovered by find — new subsystems
+# (e.g. src/service/) are linted without touching this script.
 # Environment:
 #   CLANG_TIDY=<binary>       override the clang-tidy executable
 #   PLFOC_LINT_STRICT=1       fail (exit 2) when clang-tidy is not installed,

@@ -10,6 +10,8 @@
 #include "search/mcmc.hpp"
 #include "search/search.hpp"
 #include "search/stepwise.hpp"
+#include "service/jobfile.hpp"
+#include "service/service.hpp"
 #include "session.hpp"
 #include "tree/newick.hpp"
 #include "util/args.hpp"
@@ -18,34 +20,15 @@
 namespace plfoc {
 namespace {
 
-DataType parse_data_type(const std::string& name) {
-  if (name == "dna") return DataType::kDna;
-  if (name == "protein") return DataType::kProtein;
-  throw Error("unknown --data-type '" + name + "' (dna | protein)");
-}
-
-SubstitutionModel build_model(const CliConfig& config,
-                              const Alignment& alignment) {
-  if (config.model == "jc") return jc69();
-  if (config.model == "k80") return k80(config.kappa);
-  if (config.model == "hky")
-    return hky85(config.kappa, alignment.empirical_frequencies());
-  if (config.model == "gtr")
-    return gtr({1.0, 2.0, 1.0, 1.0, 2.0, 1.0},
-               alignment.empirical_frequencies());
-  if (config.model == "poisson") return poisson_protein();
-  throw Error("unknown --model '" + config.model +
-              "' (jc | k80 | hky | gtr | poisson)");
-}
-
-Backend parse_backend(const std::string& name) {
-  if (name == "inram") return Backend::kInRam;
-  if (name == "ooc") return Backend::kOutOfCore;
-  if (name == "paged") return Backend::kPaged;
-  if (name == "tiered") return Backend::kTiered;
-  if (name == "mmap") return Backend::kMmap;
-  throw Error("unknown --backend '" + name +
-              "' (inram | ooc | paged | tiered | mmap)");
+const char* backend_label(Backend backend) {
+  switch (backend) {
+    case Backend::kInRam: return "inram";
+    case Backend::kOutOfCore: return "ooc";
+    case Backend::kPaged: return "paged";
+    case Backend::kTiered: return "tiered";
+    case Backend::kMmap: return "mmap";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -96,7 +79,7 @@ CliConfig parse_cli(int argc, const char* const* argv) {
 
 int run_cli(const CliConfig& config, std::ostream& out) {
   Timer total;
-  const DataType data_type = parse_data_type(config.data_type);
+  const DataType data_type = parse_data_type_name(config.data_type);
   Alignment alignment = [&] {
     if (config.format == "fasta")
       return read_fasta_file(config.msa_path, data_type);
@@ -127,7 +110,9 @@ int run_cli(const CliConfig& config, std::ostream& out) {
                 "tree and alignment have different taxon counts");
 
   SubstitutionModel model =
-      resume.has_value() ? resume->model : build_model(config, alignment);
+      resume.has_value()
+          ? resume->model
+          : build_named_model(config.model, config.kappa, alignment);
   out << "model: " << model.name << " + G" << config.categories << "\n";
 
   SessionOptions options;
@@ -135,7 +120,7 @@ int run_cli(const CliConfig& config, std::ostream& out) {
                            ? resume->categories
                            : static_cast<unsigned>(config.categories);
   options.alpha = resume.has_value() ? resume->alpha : config.alpha;
-  options.backend = parse_backend(config.backend);
+  options.backend = parse_backend_name(config.backend);
   options.ram_budget_bytes = config.memory_limit;
   options.ram_fraction = config.ram_fraction;
   options.policy = parse_policy(config.strategy);
@@ -199,6 +184,94 @@ int run_cli(const CliConfig& config, std::ostream& out) {
   }
   out << "total wall time: " << total.seconds() << " s\n";
   return 0;
+}
+
+BatchConfig parse_batch_cli(int argc, const char* const* argv) {
+  BatchConfig config;
+  ArgParser parser("plfoc batch",
+                   "run a jobfile of likelihood evaluations through the "
+                   "memory-budgeted batch service");
+  parser
+      .add_string("jobs", &config.jobfile_path,
+                  "jobfile, one job per line (see docs/service.md)")
+      .add_uint("workers", &config.workers, "concurrent evaluation workers")
+      .add_uint("ram-budget", &config.ram_budget,
+                "aggregate slot-memory budget in bytes across all running "
+                "jobs (0 = unlimited)")
+      .add_uint("queue", &config.queue_capacity,
+                "bounded intake capacity; submission blocks beyond this")
+      .add_uint("prefetch", &config.prefetch,
+                "prefetcher lookahead for out-of-core jobs (0 = off)")
+      .add_flag("stats", &config.print_stats,
+                "print per-job and merged storage statistics");
+  // The jobfile may lead as a positional: `plfoc batch jobs.txt --workers 4`.
+  int start = 0;
+  if (argc > 0 && argv[0] != nullptr && argv[0][0] != '-') {
+    config.jobfile_path = argv[0];
+    start = 1;
+  }
+  parser.parse(argc - start, argv + start);
+  PLFOC_REQUIRE(!config.jobfile_path.empty(),
+                "batch mode needs a jobfile: plfoc batch <jobfile> "
+                "[flags], or --jobs <jobfile>\n" +
+                    parser.usage());
+  return config;
+}
+
+int run_batch_cli(const BatchConfig& config, std::ostream& out) {
+  Timer total;
+  const std::vector<JobFileEntry> entries =
+      read_job_file(config.jobfile_path);
+  PLFOC_REQUIRE(!entries.empty(),
+                "jobfile '" + config.jobfile_path + "' contains no jobs");
+  out << "batch: " << entries.size() << " jobs, " << config.workers
+      << (config.workers == 1 ? " worker" : " workers") << ", ram budget ";
+  if (config.ram_budget == 0)
+    out << "unlimited\n";
+  else
+    out << config.ram_budget << " B\n";
+
+  ServiceOptions options;
+  options.workers = static_cast<std::size_t>(config.workers);
+  options.queue_capacity = static_cast<std::size_t>(config.queue_capacity);
+  options.ram_budget_bytes = config.ram_budget;
+  options.prefetch_lookahead = static_cast<std::size_t>(config.prefetch);
+  Service service(options);
+  for (const JobFileEntry& entry : entries) service.submit(load_job(entry));
+  const std::vector<JobResult> results = service.drain();
+
+  std::size_t failed = 0;
+  for (const JobResult& result : results) {
+    out << result.name << ": ";
+    switch (result.status) {
+      case JobStatus::kDone:
+        out << "logL = " << result.log_likelihood << " ["
+            << backend_label(result.admitted_backend)
+            << (result.degraded ? ", degraded" : "") << "] "
+            << result.wall_seconds << " s";
+        if (config.print_stats)
+          out << "; storage: " << result.stats.summary();
+        break;
+      case JobStatus::kFailed:
+        ++failed;
+        out << "FAILED: " << result.error;
+        break;
+      default:
+        ++failed;
+        out << job_status_name(result.status);
+        break;
+    }
+    out << "\n";
+  }
+  const double wall = total.seconds();
+  out << "batch done: " << results.size() - failed << "/" << results.size()
+      << " jobs in " << wall << " s";
+  if (wall > 0.0) out << " (" << results.size() / wall << " jobs/s)";
+  out << "; peak charged slot memory " << service.peak_charged_bytes()
+      << " B\n";
+  if (config.print_stats)
+    out << "merged storage: " << service.merged_stats().summary() << "\n";
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace plfoc

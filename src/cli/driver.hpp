@@ -1,6 +1,6 @@
 // The plfoc command-line driver — the library's counterpart of the paper's
-// modified RAxML binary. Thin `tools/plfoc_main.cpp` wraps run_cli() so the
-// whole driver is unit-testable.
+// modified RAxML binary. Thin `tools/plfoc_main.cpp` wraps run_cli() /
+// run_batch_cli() so the whole driver is unit-testable.
 //
 // Modes (--mode):
 //   evaluate  log likelihood of the given (or stepwise-addition) tree
@@ -10,6 +10,11 @@
 //
 // Memory control mirrors the paper: --memory-limit <bytes> is RAxML's -L
 // flag; --ram-fraction <f> is the experiments' fraction parameter.
+//
+// `plfoc batch <jobfile>` is a separate subcommand: it feeds a jobfile (one
+// evaluation per line, src/service/jobfile.hpp) through the concurrent
+// batch-evaluation service under one global --ram-budget. docs/service.md
+// describes the format and the admission-control math.
 #pragma once
 
 #include <cstdint>
@@ -57,5 +62,25 @@ CliConfig parse_cli(int argc, const char* const* argv);
 /// Execute the configured run, writing the report to `out`.
 /// Returns a process exit code.
 int run_cli(const CliConfig& config, std::ostream& out);
+
+/// Configuration of the `plfoc batch` subcommand.
+struct BatchConfig {
+  std::string jobfile_path;           ///< positional or --jobs
+  std::uint64_t workers = 1;          ///< concurrent evaluation workers
+  std::uint64_t ram_budget = 0;       ///< aggregate slot-memory bytes; 0 = ∞
+  std::uint64_t queue_capacity = 64;  ///< bounded intake (backpressure)
+  std::uint64_t prefetch = 0;         ///< prefetcher lookahead; 0 = off
+  bool print_stats = false;           ///< per-job + merged store counters
+};
+
+/// Parse the argv that follows the `batch` keyword. The jobfile may be the
+/// first positional argument (`plfoc batch jobs.txt --workers 4`) or given
+/// via --jobs. Throws plfoc::Error on bad input or --help.
+BatchConfig parse_batch_cli(int argc, const char* const* argv);
+
+/// Run every job in the jobfile through the service and report per-job
+/// results in submission order (deterministic regardless of --workers).
+/// Returns 0 when every job evaluated, 1 when any failed.
+int run_batch_cli(const BatchConfig& config, std::ostream& out);
 
 }  // namespace plfoc

@@ -1,3 +1,22 @@
-// MemoryModel is header-only arithmetic; this TU exists so the build has a
-// home for future non-inline additions and keeps one-definition hygiene.
 #include "likelihood/memory_model.hpp"
+
+#include "ooc/ooc_store.hpp"
+
+namespace plfoc {
+
+// Defined out of line so the header does not pull in the ooc layer: the slot
+// rounding must match OocStoreOptions exactly or the scheduler's charge and
+// the store's allocation drift apart.
+std::uint64_t MemoryModel::ooc_bytes_for_fraction(double fraction) const {
+  return ooc_slot_bytes(OocStoreOptions::slots_from_fraction(
+      fraction, static_cast<std::size_t>(vector_count())));
+}
+
+std::uint64_t MemoryModel::ooc_bytes_for_budget(
+    std::uint64_t budget_bytes) const {
+  const std::uint64_t w = vector_bytes();
+  const std::uint64_t slots = budget_bytes / (w == 0 ? 1 : w);
+  return ooc_slot_bytes(static_cast<std::size_t>(slots < 3 ? 3 : slots));
+}
+
+}  // namespace plfoc

@@ -42,6 +42,35 @@ struct MemoryModel {
     return vector_count() * num_sites * 4;
   }
 
+  // --- Aggregate-budget helpers -------------------------------------------
+  // Used by the service scheduler (src/service/scheduler.hpp) to arbitrate a
+  // single global RAM budget across concurrently running jobs: each job's
+  // slot-memory demand is computed from its geometry before its Session is
+  // built, charged against the budget while it runs, and released when it
+  // finishes. When `num_sites` is the *uncompressed* site count, the values
+  // are conservative upper bounds on the store's actual allocation (pattern
+  // compression only shrinks the vector width).
+
+  /// Slot memory of an out-of-core store with `slots` RAM slots.
+  std::uint64_t ooc_slot_bytes(std::size_t slots) const {
+    return static_cast<std::uint64_t>(slots) * vector_bytes();
+  }
+  /// Smallest admissible out-of-core footprint: the m >= 3 slot minimum.
+  std::uint64_t min_ooc_bytes() const { return ooc_slot_bytes(3); }
+  /// Slot memory implied by the paper's fraction parameter f
+  /// (m = max(3, round(f * (n-2))); matches OocStoreOptions).
+  std::uint64_t ooc_bytes_for_fraction(double fraction) const;
+  /// Slot memory an out-of-core store actually allocates under a byte budget
+  /// (floor to whole slots, clamped to the 3-slot minimum).
+  std::uint64_t ooc_bytes_for_budget(std::uint64_t budget_bytes) const;
+  /// Smallest paged-store budget that satisfies its 3-vector working-set
+  /// requirement (see PagedStore's constructor check).
+  std::uint64_t min_paged_bytes(std::size_t page_bytes = 4096) const {
+    const std::uint64_t pages_per_vector =
+        (vector_bytes() + page_bytes - 1) / page_bytes + 1;
+    return (3 * pages_per_vector + 2) * page_bytes;
+  }
+
   static MemoryModel dna(std::size_t taxa, std::size_t sites,
                          unsigned categories = 4) {
     return {taxa, sites, 4, categories};

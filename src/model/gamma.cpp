@@ -7,6 +7,19 @@
 namespace plfoc {
 namespace {
 
+/// Thread-safe log-Gamma. std::lgamma writes the process-global `signgam`
+/// on POSIX, a data race once the batch service constructs engines (and
+/// hence discrete-Γ rates) from several workers at once; lgamma_r keeps the
+/// sign in a local. All call sites here have x > 0, so the sign is unused.
+double log_gamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(_GNU_SOURCE)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 /// P(a, x) by its power series — converges fast for x < a + 1.
 double gamma_p_series(double a, double x) {
   double term = 1.0 / a;
@@ -18,7 +31,7 @@ double gamma_p_series(double a, double x) {
     sum += term;
     if (std::abs(term) < std::abs(sum) * 1e-15) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 /// Q(a, x) = 1 - P(a, x) by Lentz's continued fraction — for x >= a + 1.
@@ -40,7 +53,7 @@ double gamma_q_continued_fraction(double a, double x) {
     h *= delta;
     if (std::abs(delta - 1.0) < 1e-15) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 }  // namespace
@@ -59,7 +72,7 @@ double gamma_quantile(double p, double shape, double rate) {
   // Solve P(shape, y) = p for the unit-rate variable y (x = y / rate) in
   // u = log(y): small shapes put the quantile at ~10^{-1/shape} scales, so a
   // linear-space bracket loses all relative precision there.
-  const double g = std::lgamma(shape);
+  const double g = log_gamma(shape);
 
   // Bracket in u. A safe lower start comes from the series leading term
   // P(a, y) ~ y^a / (a Γ(a)), i.e. y0 = (p a Γ(a))^{1/a}, an underestimate

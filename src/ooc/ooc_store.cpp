@@ -61,6 +61,13 @@ OutOfCoreStore::OutOfCoreStore(std::size_t count, std::size_t width,
                    << strategy_->name();
 }
 
+OutOfCoreStore::~OutOfCoreStore() {
+  // The contract in ooc/prefetch.hpp: the store outlives the worker thread.
+  // A Prefetcher that has not been stopped would keep calling prefetch() on
+  // freed slot-table state, so fail loudly instead.
+  PLFOC_CHECK(prefetch_guards_.load(std::memory_order_relaxed) == 0);
+}
+
 bool OutOfCoreStore::is_resident(std::uint32_t index) const {
   PLFOC_CHECK(index < count_);
   std::lock_guard<std::mutex> lock(mutex_);
@@ -215,6 +222,11 @@ void OutOfCoreStore::flush() {
   }
   file_.sync();
   PLFOC_AUDIT_TABLE("flush");
+}
+
+OocStats OutOfCoreStore::stats_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 }  // namespace plfoc

@@ -13,6 +13,7 @@
 // likelihood engine computes. Lease data pointers remain stable while pinned.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <vector>
 
@@ -57,6 +58,10 @@ struct OocStoreOptions {
 class OutOfCoreStore final : public AncestralStore {
  public:
   OutOfCoreStore(std::size_t count, std::size_t width, OocStoreOptions options);
+  /// Aborts if a Prefetcher worker thread is still attached: the contract in
+  /// ooc/prefetch.hpp is that the store outlives the thread, and tearing the
+  /// slot table down under a live worker corrupts the backing file.
+  ~OutOfCoreStore() override;
 
   const char* backend_name() const override { return "out-of-core"; }
   std::size_t num_slots() const { return slots_.size(); }
@@ -73,6 +78,10 @@ class OutOfCoreStore final : public AncestralStore {
   /// Write all resident vectors back to the file (e.g. before checkpointing).
   void flush() override;
 
+  /// Counters are mutated under mutex_ (including by the prefetch thread),
+  /// so a concurrent snapshot must take the same lock.
+  OocStats stats_snapshot() const override;
+
   /// Backing-file accounting (I/O op counts, modeled device time).
   const FileBackend& file() const { return file_; }
   FileBackend& file() { return file_; }
@@ -80,6 +89,15 @@ class OutOfCoreStore final : public AncestralStore {
   /// RAM actually allocated for slots, in bytes.
   std::uint64_t slot_memory_bytes() const {
     return static_cast<std::uint64_t>(slots_.size()) * width_ * sizeof(double);
+  }
+
+  /// Lifecycle guard held by each Prefetcher while its worker thread may
+  /// touch this store (see ~OutOfCoreStore).
+  void attach_prefetch_guard() {
+    prefetch_guards_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void detach_prefetch_guard() {
+    prefetch_guards_.fetch_sub(1, std::memory_order_relaxed);
   }
 
  protected:
@@ -114,6 +132,7 @@ class OutOfCoreStore final : public AncestralStore {
   std::vector<float> float_scratch_;        ///< conversion buffer (kSingle only)
   FileBackend file_;
   std::unique_ptr<ReplacementStrategy> strategy_;
+  std::atomic<int> prefetch_guards_{0};  ///< live Prefetcher worker threads
   mutable std::mutex mutex_;
 };
 

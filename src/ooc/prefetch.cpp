@@ -3,21 +3,32 @@
 namespace plfoc {
 
 Prefetcher::Prefetcher(OutOfCoreStore& store, std::size_t lookahead)
-    : store_(store), lookahead_(lookahead == 0 ? 1 : lookahead),
-      thread_([this] { worker(); }) {}
+    : store_(store), lookahead_(lookahead == 0 ? 1 : lookahead) {
+  store_.attach_prefetch_guard();
+  thread_ = std::thread([this] { worker(); });
+}
 
-Prefetcher::~Prefetcher() {
+Prefetcher::~Prefetcher() { stop(); }
+
+void Prefetcher::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
-  thread_.join();
+  idle_.notify_all();
+  // joinable() is the one-shot gate that makes repeated stop() calls (and
+  // the destructor after an explicit stop()) no-ops.
+  if (thread_.joinable()) {
+    thread_.join();
+    store_.detach_prefetch_guard();
+  }
 }
 
 void Prefetcher::submit(std::vector<std::uint32_t> upcoming) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;  // worker is gone; accepting a plan would strand it
     plan_ = std::move(upcoming);
     next_ = 0;
     cursor_ = 0;
@@ -28,6 +39,7 @@ void Prefetcher::submit(std::vector<std::uint32_t> upcoming) {
 void Prefetcher::notify_progress(std::size_t consumed) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
     if (consumed <= cursor_) return;
     cursor_ = consumed > plan_.size() ? plan_.size() : consumed;
     // Entries the engine already consumed are no longer worth fetching.
@@ -38,14 +50,18 @@ void Prefetcher::notify_progress(std::size_t consumed) {
 
 void Prefetcher::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return next_ >= window_end() && !busy_; });
+  idle_.wait(lock,
+             [this] { return stop_ || (next_ >= window_end() && !busy_); });
 }
 
 void Prefetcher::worker() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     wake_.wait(lock, [this] { return stop_ || next_ < window_end(); });
-    if (stop_) return;
+    if (stop_) {
+      idle_.notify_all();  // wake drain()ers parked before stop() was called
+      return;
+    }
     const std::uint32_t index = plan_[next_++];
     busy_ = true;
     lock.unlock();

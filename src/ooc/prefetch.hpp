@@ -24,13 +24,25 @@ namespace plfoc {
 
 class Prefetcher {
  public:
-  /// Starts the worker thread. The store must outlive the Prefetcher.
-  /// `lookahead` bounds how far beyond the engine's cursor the worker runs
-  /// (in read-sequence entries).
+  /// Starts the worker thread. The store must outlive the worker thread:
+  /// the constructor registers a lifecycle guard with the store, and
+  /// destroying the store while the guard is held aborts (see
+  /// OutOfCoreStore::~OutOfCoreStore) instead of letting the worker touch a
+  /// dead slot table. `lookahead` bounds how far beyond the engine's cursor
+  /// the worker runs (in read-sequence entries).
   explicit Prefetcher(OutOfCoreStore& store, std::size_t lookahead = 8);
   ~Prefetcher();
   Prefetcher(const Prefetcher&) = delete;
   Prefetcher& operator=(const Prefetcher&) = delete;
+
+  /// Stop and join the worker thread, then release the store lifecycle
+  /// guard. Idempotent — safe to call any number of times, and the
+  /// destructor calls it too — so owners that must tear down in a specific
+  /// order (a service worker draining its session) can stop the thread
+  /// explicitly before the store goes away. Not safe to call concurrently
+  /// from two threads. After stop(), submit()/notify_progress() are no-ops
+  /// and drain() returns immediately.
+  void stop();
 
   /// Replace the plan with the read sequence of the next traversal (the
   /// inner-vector indices in the order the engine will read them). Resets

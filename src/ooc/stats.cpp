@@ -1,5 +1,6 @@
 #include "ooc/stats.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace plfoc {
@@ -9,6 +10,11 @@ OocStats& OocStats::operator+=(const OocStats& other) {
   hits += other.hits;
   misses += other.misses;
   cold_misses += other.cold_misses;
+  // Either operand may come from a store whose counters were reset after the
+  // cold population (cold_misses kept, misses cleared); without the clamp the
+  // merged object would report capacity misses computed from a wrapped
+  // unsigned difference.
+  cold_misses = std::min(cold_misses, misses);
   evictions += other.evictions;
   file_reads += other.file_reads;
   file_writes += other.file_writes;

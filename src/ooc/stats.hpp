@@ -31,16 +31,25 @@ struct OocStats {
   double read_rate() const {
     return accesses == 0 ? 0.0 : static_cast<double>(file_reads) / static_cast<double>(accesses);
   }
-  /// Miss rate with compulsory (first-touch) misses excluded. Counters merged
-  /// with operator+= from partially reset stats can leave misses < cold_misses;
-  /// clamp instead of letting the unsigned subtraction wrap.
+  /// Misses excluding compulsory (first-touch) ones. A stats object built
+  /// from partially reset counters (reset_stats() between the cold
+  /// population and the measurement) can carry cold_misses > misses; clamp
+  /// instead of letting the unsigned subtraction wrap.
+  std::uint64_t capacity_misses() const {
+    return misses >= cold_misses ? misses - cold_misses : 0;
+  }
+  /// Miss rate with compulsory (first-touch) misses excluded.
   double capacity_miss_rate() const {
     if (accesses == 0) return 0.0;
-    const std::uint64_t capacity_misses =
-        misses >= cold_misses ? misses - cold_misses : 0;
-    return static_cast<double>(capacity_misses) / static_cast<double>(accesses);
+    return static_cast<double>(capacity_misses()) /
+           static_cast<double>(accesses);
   }
 
+  /// Counter-wise merge. Restores the misses >= cold_misses invariant after
+  /// the addition so downstream accessors never see a half-reset skew; the
+  /// accessors above still clamp defensively for hand-assembled objects.
+  /// Not atomic: callers merging from several threads (the service layer's
+  /// per-job aggregation) must serialise, e.g. under the results mutex.
   OocStats& operator+=(const OocStats& other);
 
   /// One-line human-readable summary.

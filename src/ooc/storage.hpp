@@ -98,6 +98,10 @@ class AncestralStore {
   const OocStats& stats() const { return stats_; }
   void reset_stats() { stats_ = OocStats{}; }
 
+  /// Copy of the counters that is safe to take while a Prefetcher worker is
+  /// still attached; plain stats() is only safe once the store is quiescent.
+  virtual OocStats stats_snapshot() const { return stats_; }
+
   /// Human-readable backend name for reports ("in-ram", "out-of-core", ...).
   virtual const char* backend_name() const = 0;
 

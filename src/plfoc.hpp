@@ -14,6 +14,7 @@
 //   search/      parsimony, stepwise addition, lazy SPR, orchestration
 //   sim/         sequence simulation and dataset planning
 //   session.hpp  one-stop construction of a full analysis
+//   service/     concurrent batch evaluation under a global memory budget
 #pragma once
 
 #include "likelihood/engine.hpp"       // IWYU pragma: export
@@ -46,6 +47,12 @@
 #include "search/search.hpp"           // IWYU pragma: export
 #include "search/spr.hpp"              // IWYU pragma: export
 #include "search/stepwise.hpp"         // IWYU pragma: export
+#include "service/job.hpp"             // IWYU pragma: export
+#include "service/job_queue.hpp"       // IWYU pragma: export
+#include "service/jobfile.hpp"         // IWYU pragma: export
+#include "service/scheduler.hpp"       // IWYU pragma: export
+#include "service/service.hpp"         // IWYU pragma: export
+#include "service/worker_pool.hpp"     // IWYU pragma: export
 #include "session.hpp"                 // IWYU pragma: export
 #include "sim/dataset_planner.hpp"     // IWYU pragma: export
 #include "sim/simulate.hpp"            // IWYU pragma: export

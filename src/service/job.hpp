@@ -1,0 +1,81 @@
+// Job vocabulary of the batch-evaluation service (src/service/service.hpp).
+//
+// A JobSpec is one independent likelihood evaluation: its own alignment,
+// tree, model and SessionOptions (including the per-job seed). Jobs never
+// share mutable state — each service worker builds a private Session per job
+// — which is what lets the single-threaded out-of-core store run under a
+// multi-worker service without locking, and what makes results bit-identical
+// regardless of worker count or admission order.
+//
+// Note the memory asymmetry: queued specs hold their (tip) alignments in
+// RAM, but tips are negligible next to ancestral vectors (Sec. 3.1: 1 byte
+// per site per taxon vs. 8 * states * categories bytes per site per inner
+// node). The budget the scheduler arbitrates covers the dominant term, the
+// per-job slot memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/rate_matrix.hpp"
+#include "msa/alignment.hpp"
+#include "ooc/stats.hpp"
+#include "session.hpp"
+#include "tree/tree.hpp"
+
+namespace plfoc {
+
+/// Monotonically increasing handle assigned by Service::submit().
+using JobId = std::uint64_t;
+
+/// Aggregate-initialise: {name, alignment, tree, model, session}. There is
+/// deliberately no default constructor (Tree has none — a spec without a
+/// real tree is meaningless).
+struct JobSpec {
+  std::string name;  ///< label for reports; defaults to "job-<id>"
+  Alignment alignment;
+  Tree tree;
+  SubstitutionModel model;
+  /// Requested configuration (backend, memory limit, seed, ...). The
+  /// scheduler may degrade the memory-limit fields — never the seed or the
+  /// model — to fit the service's global RAM budget.
+  SessionOptions session;
+};
+
+enum class JobStatus {
+  kQueued,     ///< accepted, waiting in the JobQueue
+  kRunning,    ///< popped by a worker (possibly waiting for admission)
+  kDone,       ///< evaluated successfully
+  kFailed,     ///< Session construction or evaluation threw plfoc::Error
+  kCancelled,  ///< removed from the queue before a worker picked it up
+};
+
+inline const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+struct JobResult {
+  JobId id = 0;
+  std::string name;
+  JobStatus status = JobStatus::kQueued;
+  /// Log likelihood at the default root branch; bit-identical to a
+  /// sequential Session::evaluate() with the same spec (backend degradation
+  /// changes I/O behaviour, never values).
+  double log_likelihood = 0.0;
+  OocStats stats;              ///< the job's own store counters
+  double wall_seconds = 0.0;   ///< session construction + evaluation
+  double queue_seconds = 0.0;  ///< submit -> popped by a worker
+  Backend admitted_backend = Backend::kInRam;
+  std::uint64_t charged_bytes = 0;  ///< slot memory charged to the budget
+  bool degraded = false;  ///< scheduler shrank the limit / switched backend
+  std::string error;      ///< non-empty iff status == kFailed
+};
+
+}  // namespace plfoc

@@ -1,0 +1,79 @@
+#include "service/job_queue.hpp"
+
+#include <algorithm>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+PushResult JobQueue::push(Pending job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || jobs_.size() < capacity_; });
+  if (closed_) return PushResult::kClosed;
+  jobs_.push_back(std::move(job));
+  lock.unlock();
+  not_empty_.notify_one();
+  return PushResult::kAccepted;
+}
+
+PushResult JobQueue::try_push(Pending job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return PushResult::kClosed;
+    if (jobs_.size() >= capacity_) return PushResult::kFull;
+    jobs_.push_back(std::move(job));
+  }
+  not_empty_.notify_one();
+  return PushResult::kAccepted;
+}
+
+std::optional<JobQueue::Pending> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return std::nullopt;  // closed and drained
+  Pending job = std::move(jobs_.front());
+  jobs_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return job;
+}
+
+bool JobQueue::cancel(JobId id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it =
+        std::find_if(jobs_.begin(), jobs_.end(),
+                     [id](const Pending& job) { return job.id == id; });
+    if (it == jobs_.end()) return false;
+    jobs_.erase(it);
+  }
+  not_full_.notify_one();
+  return true;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  // Wake every waiter: blocked pushers return kClosed, idle poppers see the
+  // closed+empty exit condition.
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace plfoc

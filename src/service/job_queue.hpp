@@ -1,0 +1,67 @@
+// Bounded FIFO job queue with backpressure, cancellation and drain-on-close.
+//
+// The intake side of the service: submitters block (or get kFull from
+// try_push) once `capacity` jobs are waiting, which bounds the RAM held by
+// queued specs and propagates overload back to the caller instead of
+// accepting unbounded work. close() stops intake while letting workers pop
+// the remainder — the mechanism behind Service::drain()'s graceful shutdown.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "service/job.hpp"
+
+namespace plfoc {
+
+enum class PushResult {
+  kAccepted,
+  kFull,    ///< try_push only: queue at capacity
+  kClosed,  ///< close() was called; job not accepted
+};
+
+class JobQueue {
+ public:
+  struct Pending {
+    JobId id = 0;
+    JobSpec spec;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  explicit JobQueue(std::size_t capacity);
+
+  /// Blocks while the queue is full (backpressure); kAccepted or kClosed.
+  PushResult push(Pending job);
+  /// Never blocks; kFull when at capacity.
+  PushResult try_push(Pending job);
+
+  /// Pop the oldest job; blocks while the queue is empty and open. Returns
+  /// nullopt once the queue is closed *and* drained — the worker-loop exit
+  /// condition.
+  std::optional<Pending> pop();
+
+  /// Remove a still-queued job. False if `id` was already popped (running or
+  /// finished) or was never queued.
+  bool cancel(JobId id);
+
+  /// Stop intake; queued jobs remain poppable. Idempotent.
+  void close();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Pending> jobs_;
+  bool closed_ = false;
+};
+
+}  // namespace plfoc

@@ -1,0 +1,186 @@
+#include "service/jobfile.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "msa/fasta.hpp"
+#include "msa/phylip.hpp"
+#include "ooc/replacement.hpp"
+#include "search/stepwise.hpp"
+#include "tree/newick.hpp"
+#include "util/checks.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace {
+
+Error line_error(std::size_t line, const std::string& what) {
+  return Error("jobfile line " + std::to_string(line) + ": " + what);
+}
+
+double parse_double(std::size_t line, const std::string& key,
+                    const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used == value.size()) return parsed;
+  } catch (const std::exception&) {
+  }
+  throw line_error(line, "bad numeric value '" + value + "' for " + key);
+}
+
+std::uint64_t parse_uint(std::size_t line, const std::string& key,
+                         const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long parsed = std::stoull(value, &used);
+    if (used == value.size()) return parsed;
+  } catch (const std::exception&) {
+  }
+  throw line_error(line, "bad integer value '" + value + "' for " + key);
+}
+
+void apply_key(JobFileEntry* entry, const std::string& key,
+               const std::string& value) {
+  const std::size_t line = entry->line;
+  if (key == "name") {
+    entry->name = value;
+  } else if (key == "seed") {
+    entry->seed = parse_uint(line, key, value);
+  } else if (key == "format") {
+    entry->format = value;
+  } else if (key == "data-type") {
+    entry->data_type = value;
+  } else if (key == "kappa") {
+    entry->kappa = parse_double(line, key, value);
+  } else if (key == "categories") {
+    entry->categories =
+        static_cast<unsigned>(parse_uint(line, key, value));
+  } else if (key == "alpha") {
+    entry->alpha = parse_double(line, key, value);
+  } else if (key == "strategy") {
+    entry->strategy = value;
+  } else if (key == "budget") {
+    entry->budget_bytes = parse_uint(line, key, value);
+  } else {
+    throw line_error(line, "unknown option '" + key + "'");
+  }
+}
+
+}  // namespace
+
+Backend parse_backend_name(const std::string& name) {
+  if (name == "inram") return Backend::kInRam;
+  if (name == "ooc") return Backend::kOutOfCore;
+  if (name == "paged") return Backend::kPaged;
+  if (name == "tiered") return Backend::kTiered;
+  if (name == "mmap") return Backend::kMmap;
+  throw Error("unknown backend '" + name +
+              "' (inram | ooc | paged | tiered | mmap)");
+}
+
+DataType parse_data_type_name(const std::string& name) {
+  if (name == "dna") return DataType::kDna;
+  if (name == "protein") return DataType::kProtein;
+  throw Error("unknown data type '" + name + "' (dna | protein)");
+}
+
+SubstitutionModel build_named_model(const std::string& model, double kappa,
+                                    const Alignment& alignment) {
+  if (model == "jc") return jc69();
+  if (model == "k80") return k80(kappa);
+  if (model == "hky") return hky85(kappa, alignment.empirical_frequencies());
+  if (model == "gtr")
+    return gtr({1.0, 2.0, 1.0, 1.0, 2.0, 1.0},
+               alignment.empirical_frequencies());
+  if (model == "poisson") return poisson_protein();
+  throw Error("unknown model '" + model +
+              "' (jc | k80 | hky | gtr | poisson)");
+}
+
+std::vector<JobFileEntry> parse_job_lines(std::istream& in) {
+  std::vector<JobFileEntry> entries;
+  std::string raw;
+  std::size_t line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream fields(raw);
+    JobFileEntry entry;
+    entry.line = line;
+    std::string fraction;
+    if (!(fields >> entry.msa_path)) continue;  // blank / comment-only line
+    if (!(fields >> entry.tree_path >> entry.model >> entry.backend >>
+          fraction))
+      throw line_error(line,
+                       "expected '<msa> <tree> <model> <backend> <f>'");
+    if (fraction != "-") {
+      entry.ram_fraction = parse_double(line, "f", fraction);
+      if (entry.ram_fraction <= 0.0 || entry.ram_fraction > 1.0)
+        throw line_error(line, "f must be in (0, 1] or '-'");
+    }
+    std::string option;
+    while (fields >> option) {
+      const std::size_t eq = option.find('=');
+      if (eq == std::string::npos || eq == 0)
+        throw line_error(line, "expected key=value, got '" + option + "'");
+      apply_key(&entry, option.substr(0, eq), option.substr(eq + 1));
+    }
+    // Fail on vocabulary typos at parse time, before any file I/O.
+    try {
+      parse_backend_name(entry.backend);
+      parse_data_type_name(entry.data_type);
+      parse_policy(entry.strategy);
+    } catch (const Error& error) {
+      throw line_error(line, error.what());
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<JobFileEntry> read_job_file(const std::string& path) {
+  std::ifstream in(path);
+  PLFOC_REQUIRE(in.good(), "cannot open jobfile '" + path + "'");
+  return parse_job_lines(in);
+}
+
+JobSpec load_job(const JobFileEntry& entry) {
+  try {
+    const DataType data_type = parse_data_type_name(entry.data_type);
+    Alignment alignment = [&] {
+      if (entry.format == "fasta")
+        return read_fasta_file(entry.msa_path, data_type);
+      if (entry.format == "phylip")
+        return read_phylip_file(entry.msa_path, data_type);
+      throw Error("unknown format '" + entry.format + "' (fasta | phylip)");
+    }();
+
+    Tree tree = [&] {
+      if (entry.tree_path != "-") return read_newick_file(entry.tree_path);
+      Rng rng(entry.seed);
+      return stepwise_addition_tree(alignment, rng);
+    }();
+    PLFOC_REQUIRE(tree.num_taxa() == alignment.num_taxa(),
+                  "tree and alignment have different taxon counts");
+
+    SubstitutionModel model =
+        build_named_model(entry.model, entry.kappa, alignment);
+    JobSpec spec{entry.name, std::move(alignment), std::move(tree),
+                 std::move(model), SessionOptions{}};
+    spec.session.categories = entry.categories;
+    spec.session.alpha = entry.alpha;
+    spec.session.backend = parse_backend_name(entry.backend);
+    spec.session.ram_fraction = entry.ram_fraction;
+    spec.session.ram_budget_bytes = entry.budget_bytes;
+    spec.session.policy = parse_policy(entry.strategy);
+    spec.session.seed = entry.seed;
+    return spec;
+  } catch (const Error& error) {
+    throw line_error(entry.line, error.what());
+  }
+}
+
+}  // namespace plfoc

@@ -1,0 +1,70 @@
+// Jobfile parsing for `plfoc batch` and the service benchmarks.
+//
+// A jobfile describes one evaluation job per line:
+//
+//   <msa> <tree> <model> <backend> <f> [key=value ...]
+//
+//   msa      alignment file path
+//   tree     Newick file path, or '-' for a stepwise-addition starting tree
+//   model    jc | k80 | hky | gtr | poisson
+//   backend  inram | ooc | paged | tiered | mmap
+//   f        RAM fraction in (0,1], or '-' when unset (pair with budget=)
+//
+// Optional keys: name=, seed=, format= (fasta|phylip), data-type=
+// (dna|protein), kappa=, categories=, alpha=, strategy= (random|lru|lfu|
+// topological), budget= (ram_budget_bytes, RAxML's -L). Blank lines and
+// `#` comments are skipped. See docs/service.md for worked examples.
+//
+// The file also exports the name -> enum/model helpers shared with the CLI
+// driver, so `--backend ooc` on the command line and `ooc` in a jobfile can
+// never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/rate_matrix.hpp"
+#include "msa/alignment.hpp"
+#include "service/job.hpp"
+
+namespace plfoc {
+
+/// One parsed (not yet loaded) jobfile line.
+struct JobFileEntry {
+  std::size_t line = 0;  ///< 1-based line number, for error messages
+  std::string msa_path;
+  std::string tree_path;  ///< "-": stepwise-addition tree seeded by `seed`
+  std::string model = "gtr";
+  std::string backend = "inram";
+  double ram_fraction = 0.0;  ///< 0 when the f column was '-'
+  std::string name;           ///< empty: service default "job-<id>"
+  std::string format = "fasta";
+  std::string data_type = "dna";
+  std::string strategy = "lru";
+  double kappa = 2.0;
+  unsigned categories = 4;
+  double alpha = 1.0;
+  std::uint64_t seed = 42;
+  std::uint64_t budget_bytes = 0;  ///< budget= key (bytes, RAxML's -L)
+};
+
+/// Shared CLI/jobfile vocabulary. All throw plfoc::Error on unknown names.
+Backend parse_backend_name(const std::string& name);
+DataType parse_data_type_name(const std::string& name);
+/// `kappa` feeds k80/hky; frequency-parameterised models use the
+/// alignment's empirical base frequencies (the CLI driver's convention).
+SubstitutionModel build_named_model(const std::string& model, double kappa,
+                                    const Alignment& alignment);
+
+/// Parse jobfile lines from a stream; throws plfoc::Error with the line
+/// number on malformed input.
+std::vector<JobFileEntry> parse_job_lines(std::istream& in);
+std::vector<JobFileEntry> read_job_file(const std::string& path);
+
+/// Load the entry's files and build the submittable spec. Throws
+/// plfoc::Error (file, parse, or model problems) tagged with the line.
+JobSpec load_job(const JobFileEntry& entry);
+
+}  // namespace plfoc

@@ -1,0 +1,219 @@
+#include "service/service.hpp"
+
+#include <string>
+#include <utility>
+
+#include "ooc/prefetch.hpp"
+#include "util/checks.hpp"
+#include "util/timer.hpp"
+
+namespace plfoc {
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+bool terminal(JobStatus status) {
+  return status == JobStatus::kDone || status == JobStatus::kFailed ||
+         status == JobStatus::kCancelled;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      scheduler_(options_.ram_budget_bytes) {
+  pool_ = std::make_unique<WorkerPool>(
+      options_.workers, [this](std::size_t worker) { worker_loop(worker); });
+}
+
+Service::~Service() { drain(); }
+
+JobId Service::submit(JobSpec spec) {
+  JobId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PLFOC_REQUIRE(!queue_.closed(), "service intake is closed (drained)");
+    id = next_id_++;
+    if (spec.name.empty()) spec.name = "job-" + std::to_string(id);
+    JobResult placeholder;
+    placeholder.id = id;
+    placeholder.name = spec.name;
+    placeholder.status = JobStatus::kQueued;
+    results_.emplace(id, std::move(placeholder));
+  }
+  const PushResult pushed =
+      queue_.push({id, std::move(spec), std::chrono::steady_clock::now()});
+  if (pushed == PushResult::kClosed) {
+    // drain() raced us between the check and the push: the job never ran.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      results_[id].status = JobStatus::kCancelled;
+    }
+    done_cv_.notify_all();
+    throw Error("service intake closed while submitting job " +
+                std::to_string(id));
+  }
+  return id;
+}
+
+std::optional<JobId> Service::try_submit(JobSpec spec) {
+  JobId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PLFOC_REQUIRE(!queue_.closed(), "service intake is closed (drained)");
+    id = next_id_++;
+    if (spec.name.empty()) spec.name = "job-" + std::to_string(id);
+    JobResult placeholder;
+    placeholder.id = id;
+    placeholder.name = spec.name;
+    placeholder.status = JobStatus::kQueued;
+    results_.emplace(id, std::move(placeholder));
+  }
+  const PushResult pushed =
+      queue_.try_push({id, std::move(spec), std::chrono::steady_clock::now()});
+  if (pushed == PushResult::kAccepted) return id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pushed == PushResult::kFull) {
+      results_.erase(id);  // backpressure: pretend the submit never happened
+    } else {
+      results_[id].status = JobStatus::kCancelled;
+    }
+  }
+  if (pushed == PushResult::kClosed) done_cv_.notify_all();
+  return std::nullopt;
+}
+
+bool Service::cancel(JobId id) {
+  if (!queue_.cancel(id)) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = results_.find(id);
+    PLFOC_CHECK(it != results_.end());
+    it->second.status = JobStatus::kCancelled;
+  }
+  done_cv_.notify_all();
+  return true;
+}
+
+JobResult Service::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = results_.find(id);
+  PLFOC_REQUIRE(it != results_.end(), "unknown job id");
+  done_cv_.wait(lock, [&] { return terminal(it->second.status); });
+  return it->second;
+}
+
+std::vector<JobResult> Service::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (drained_) return drain_snapshot_;
+  }
+  queue_.close();
+  pool_->join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!drained_) {
+    drained_ = true;
+    drain_snapshot_.reserve(results_.size());
+    for (auto& [id, result] : results_) {
+      // Jobs cancelled by queue close between submit and push stay
+      // kCancelled; everything popped by a worker is terminal by now.
+      if (result.status == JobStatus::kQueued)
+        result.status = JobStatus::kCancelled;
+      drain_snapshot_.push_back(result);
+    }
+  }
+  return drain_snapshot_;
+}
+
+std::uint64_t Service::peak_charged_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_.peak_bytes();
+}
+
+OocStats Service::merged_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return merged_;
+}
+
+void Service::worker_loop(std::size_t /*worker*/) {
+  while (std::optional<JobQueue::Pending> pending = queue_.pop()) {
+    const auto popped = std::chrono::steady_clock::now();
+    const JobDemand demand = JobDemand::from_spec(pending->spec);
+    Admission admission;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      results_[pending->id].status = JobStatus::kRunning;
+      admission_cv_.wait(lock, [&] {
+        admission = scheduler_.decide(demand);
+        return admission.admit;
+      });
+      scheduler_.reserve(admission.charged_bytes);
+    }
+    JobResult result =
+        run_job(pending->id, std::move(pending->spec), admission);
+    result.queue_seconds = seconds_between(pending->enqueued, popped);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      scheduler_.release(admission.charged_bytes);
+      merged_ += result.stats;
+      results_[pending->id] = std::move(result);
+    }
+    admission_cv_.notify_all();
+    done_cv_.notify_all();
+  }
+}
+
+JobResult Service::run_job(JobId id, JobSpec spec,
+                           const Admission& admission) {
+  JobResult result;
+  result.id = id;
+  result.name = spec.name;
+  result.admitted_backend = admission.backend;
+  result.charged_bytes = admission.charged_bytes;
+  result.degraded = admission.degraded;
+  Timer timer;
+  try {
+    // Surface an inconsistent *request* even when degradation would have
+    // papered over it with a valid admitted configuration.
+    spec.session.validate();
+    SessionOptions session_options = spec.session;
+    session_options.backend = admission.backend;
+    session_options.ram_fraction = admission.ram_fraction;
+    session_options.ram_budget_bytes = admission.ram_budget_bytes;
+    Session session(std::move(spec.alignment), std::move(spec.tree),
+                    std::move(spec.model), std::move(session_options));
+    // Declared after the session, destroyed before it: the Prefetcher's
+    // stop() joins its worker thread while the store is still alive, which
+    // is exactly the lifecycle contract in ooc/prefetch.hpp.
+    std::unique_ptr<Prefetcher> prefetcher;
+    if (options_.prefetch_lookahead > 0) {
+      if (OutOfCoreStore* ooc = session.out_of_core()) {
+        prefetcher = std::make_unique<Prefetcher>(
+            *ooc, options_.prefetch_lookahead);
+        session.engine().attach_prefetcher(prefetcher.get());
+      }
+    }
+    const EvalResult eval = session.evaluate();
+    if (prefetcher != nullptr) {
+      session.engine().attach_prefetcher(nullptr);
+      prefetcher->stop();
+    }
+    result.log_likelihood = eval.log_likelihood;
+    result.stats = eval.stats;
+    result.status = JobStatus::kDone;
+  } catch (const std::exception& error) {
+    // Error (the expected case: validation, I/O) and anything else the
+    // evaluation throws; a worker thread must never die on a bad job.
+    result.status = JobStatus::kFailed;
+    result.error = error.what();
+  }
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace plfoc

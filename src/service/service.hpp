@@ -1,0 +1,106 @@
+// The embedded batch-evaluation service core.
+//
+// The paper's out-of-core layer makes one PLF evaluation fit a fixed RAM
+// budget; this subsystem serves *many* evaluations at once under the same
+// kind of budget. Architecture (see docs/service.md):
+//
+//   submit() -> JobQueue (bounded, backpressure, cancellation)
+//           -> Scheduler (admission against the global slot-memory budget,
+//              degrading jobs instead of rejecting them)
+//           -> WorkerPool (each worker builds a private Session per job)
+//           -> JobResult (logL + per-job OocStats + timings), merged
+//              aggregate stats, drain()/destructor graceful shutdown.
+//
+// Determinism contract: a job's log likelihood depends only on its spec
+// (data, model, seed) — never on worker count, admission order or the
+// degradation the scheduler applied — because every backend computes
+// bit-identical likelihoods (Sec. 4.1). tests/test_service.cpp enforces
+// this across 1/2/8 workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "service/job.hpp"
+#include "service/job_queue.hpp"
+#include "service/scheduler.hpp"
+#include "service/worker_pool.hpp"
+
+namespace plfoc {
+
+struct ServiceOptions {
+  std::size_t workers = 1;
+  /// Bounded intake: submit() blocks (try_submit() fails) beyond this many
+  /// queued jobs.
+  std::size_t queue_capacity = 64;
+  /// Aggregate slot-memory budget across all running jobs, in bytes
+  /// (0 = unlimited). The scheduler degrades jobs to keep the sum of
+  /// admitted slot memory under this.
+  std::uint64_t ram_budget_bytes = 0;
+  /// When > 0, workers attach a Prefetcher with this lookahead to each
+  /// out-of-core job's store (torn down before the session, exercising the
+  /// Prefetcher::stop() lifecycle).
+  std::size_t prefetch_lookahead = 0;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options);
+  /// Drains: completes queued jobs, joins workers. Cancel first via drain()
+  /// + your own policy if you need to abandon queued work.
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Enqueue a job; blocks while the queue is full (backpressure). Throws
+  /// plfoc::Error after drain() has closed intake.
+  JobId submit(JobSpec spec);
+  /// Non-blocking submit; nullopt when the queue is full.
+  std::optional<JobId> try_submit(JobSpec spec);
+
+  /// Remove a still-queued job. True: the job will never run and its result
+  /// reads kCancelled. False: a worker already picked it up (it will run to
+  /// completion; mid-evaluation cancellation is not supported).
+  bool cancel(JobId id);
+
+  /// Block until `id` reaches a terminal status and return its result.
+  JobResult wait(JobId id);
+
+  /// Graceful shutdown: close intake, run every queued job to completion,
+  /// join the workers, and return all results in submission order.
+  /// Idempotent — later calls return the same snapshot.
+  std::vector<JobResult> drain();
+
+  /// High-water mark of concurrently charged slot memory (the acceptance
+  /// check against ram_budget_bytes).
+  std::uint64_t peak_charged_bytes() const;
+  /// All finished jobs' store counters merged (operator+= under the service
+  /// mutex — the thread-safe merge path).
+  OocStats merged_stats() const;
+  std::size_t queued_jobs() const { return queue_.size(); }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  void worker_loop(std::size_t worker);
+  JobResult run_job(JobId id, JobSpec spec, const Admission& admission);
+
+  ServiceOptions options_;
+  JobQueue queue_;
+  mutable std::mutex mutex_;  ///< guards scheduler_, results_, merged_
+  std::condition_variable admission_cv_;
+  std::condition_variable done_cv_;
+  Scheduler scheduler_;
+  std::map<JobId, JobResult> results_;  ///< ordered: drain() reports by id
+  OocStats merged_;
+  JobId next_id_ = 1;
+  bool drained_ = false;
+  std::vector<JobResult> drain_snapshot_;
+  std::unique_ptr<WorkerPool> pool_;  ///< last member: threads die first
+};
+
+}  // namespace plfoc

@@ -1,0 +1,22 @@
+#include "service/worker_pool.hpp"
+
+#include <utility>
+
+namespace plfoc {
+
+WorkerPool::WorkerPool(std::size_t workers,
+                       std::function<void(std::size_t)> body) {
+  const std::size_t count = workers == 0 ? 1 : workers;
+  threads_.reserve(count);
+  for (std::size_t index = 0; index < count; ++index)
+    threads_.emplace_back([body, index] { body(index); });
+}
+
+WorkerPool::~WorkerPool() { join(); }
+
+void WorkerPool::join() {
+  for (std::thread& thread : threads_)
+    if (thread.joinable()) thread.join();
+}
+
+}  // namespace plfoc

@@ -1,6 +1,7 @@
 #include "session.hpp"
 
 #include "util/checks.hpp"
+#include "util/timer.hpp"
 
 namespace plfoc {
 namespace {
@@ -15,6 +16,31 @@ Alignment prepare_alignment(Alignment alignment, bool compress,
 
 }  // namespace
 
+void SessionOptions::validate() const {
+  PLFOC_REQUIRE(ram_fraction >= 0.0, "ram_fraction must not be negative");
+  const bool has_fraction = ram_fraction > 0.0;
+  const bool has_budget = ram_budget_bytes > 0;
+  switch (backend) {
+    case Backend::kOutOfCore:
+      PLFOC_REQUIRE(has_fraction || has_budget,
+                    "out-of-core backend needs exactly one of ram_fraction / "
+                    "ram_budget_bytes; neither is set");
+      PLFOC_REQUIRE(!(has_fraction && has_budget),
+                    "out-of-core backend needs exactly one of ram_fraction / "
+                    "ram_budget_bytes; both are set");
+      break;
+    case Backend::kPaged:
+      PLFOC_REQUIRE(has_budget, "paged backend needs ram_budget_bytes");
+      PLFOC_REQUIRE(!has_fraction,
+                    "paged backend takes ram_budget_bytes, not ram_fraction");
+      break;
+    case Backend::kInRam:
+    case Backend::kTiered:
+    case Backend::kMmap:
+      break;  // memory-limit fields are ignored by these backends
+  }
+}
+
 Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
                  SessionOptions options)
     : options_(std::move(options)),
@@ -22,6 +48,7 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
                                    options_.compress_patterns,
                                    &site_to_pattern_)),
       tree_(std::move(tree)) {
+  options_.validate();
   const std::size_t count = tree_.num_inner();
   const std::size_t width =
       LikelihoodEngine::vector_width(alignment_, options_.categories);
@@ -37,9 +64,6 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
         ooc.num_slots =
             OocStoreOptions::slots_from_fraction(options_.ram_fraction, count);
       } else {
-        PLFOC_REQUIRE(options_.ram_budget_bytes > 0,
-                      "out-of-core backend needs ram_fraction or "
-                      "ram_budget_bytes");
         ooc.num_slots = OocStoreOptions::slots_from_budget(
             options_.ram_budget_bytes, width);
       }
@@ -60,8 +84,6 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
       break;
     }
     case Backend::kPaged: {
-      PLFOC_REQUIRE(options_.ram_budget_bytes > 0,
-                    "paged backend needs ram_budget_bytes");
       PagedStoreOptions paged;
       paged.budget_bytes = options_.ram_budget_bytes;
       paged.page_bytes = options_.page_bytes;
@@ -104,6 +126,17 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
   config.alpha = options_.alpha;
   engine_ = std::make_unique<LikelihoodEngine>(alignment_, tree_,
                                                std::move(config), *store_);
+}
+
+EvalResult Session::evaluate() {
+  Timer timer;
+  EvalResult result;
+  result.log_likelihood = engine_->log_likelihood();
+  result.wall_seconds = timer.seconds();
+  // Snapshot, not stats(): a batch-service prefetch thread may still be
+  // draining its queue when the traversal finishes.
+  result.stats = store_->stats_snapshot();
+  return result;
 }
 
 std::vector<double> Session::site_log_likelihoods() {

@@ -36,8 +36,10 @@ struct SessionOptions {
   /// Collapse identical columns before building vectors (RAxML default).
   bool compress_patterns = true;
 
-  // Out-of-core / paged memory limit: exactly one of these for non-RAM
-  // backends. `ram_fraction` is the paper's f; `ram_budget_bytes` is -L.
+  // Out-of-core / paged memory limit. The out-of-core backend takes exactly
+  // one of these (`ram_fraction` is the paper's f, `ram_budget_bytes` is
+  // RAxML's -L); the paged backend takes only `ram_budget_bytes`. Other
+  // backends ignore both. Enforced by validate().
   double ram_fraction = 0.0;
   std::uint64_t ram_budget_bytes = 0;
 
@@ -58,6 +60,21 @@ struct SessionOptions {
   /// Virtual device cost model applied to all backing-file I/O (see
   /// ooc/file_backend.hpp); disabled by default.
   DeviceModel device;
+
+  /// Throws plfoc::Error unless the memory-limit fields are consistent with
+  /// the backend: out-of-core needs exactly one of ram_fraction /
+  /// ram_budget_bytes (neither or both is a configuration error), paged
+  /// needs ram_budget_bytes and no ram_fraction. Called by the Session
+  /// constructor; the service layer also calls it per job so a bad jobfile
+  /// line surfaces as that job's error instead of aborting the batch.
+  void validate() const;
+};
+
+/// What one evaluation job produced — the service core's per-job payload.
+struct EvalResult {
+  double log_likelihood = 0.0;
+  double wall_seconds = 0.0;
+  OocStats stats;  ///< store counters accumulated up to the evaluation's end
 };
 
 class Session {
@@ -91,6 +108,11 @@ class Session {
   /// values when compression is disabled). Evaluated at the default root
   /// branch.
   std::vector<double> site_log_likelihoods();
+
+  /// The one-shot job path shared by the CLI's evaluate mode and the batch
+  /// service workers: evaluate the log likelihood at the default root branch
+  /// and report wall time plus a snapshot of the store's I/O statistics.
+  EvalResult evaluate();
 
  private:
   SessionOptions options_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -14,6 +16,13 @@
 namespace plfoc {
 namespace {
 
+/// Per-process temp path: ctest runs each gtest case as its own process, in
+/// parallel, so a fixed filename lets one process's teardown delete a file
+/// another process is still reading.
+std::string tmp_path(const std::string& name) {
+  return "/tmp/plfoc_cli_" + std::to_string(::getpid()) + "_" + name;
+}
+
 /// Writes a small simulated dataset to temp files once per process.
 class CliFixture : public ::testing::Test {
  protected:
@@ -23,8 +32,8 @@ class CliFixture : public ::testing::Test {
     plan.num_sites = 60;
     plan.seed = 99;
     const PlannedDataset data = make_dna_dataset(plan);
-    msa_path_ = "/tmp/plfoc_cli_test_msa.fasta";
-    tree_path_ = "/tmp/plfoc_cli_test_tree.nwk";
+    msa_path_ = tmp_path("msa.fasta");
+    tree_path_ = tmp_path("tree.nwk");
     write_fasta_file(msa_path_, data.alignment);
     write_newick_file(tree_path_, data.tree);
   }
@@ -121,7 +130,7 @@ TEST_F(CliFixture, SearchModeWritesTree) {
   CliConfig config = base_config();
   config.mode = "search";
   config.spr_rounds = 1;
-  config.out_tree_path = "/tmp/plfoc_cli_test_out.nwk";
+  config.out_tree_path = tmp_path("out.nwk");
   std::ostringstream out;
   EXPECT_EQ(run_cli(config, out), 0);
   const Tree result = read_newick_file(config.out_tree_path);
@@ -180,7 +189,7 @@ TEST_F(CliFixture, BadConfigurationsThrow) {
 }
 
 TEST_F(CliFixture, CheckpointSaveAndResume) {
-  const std::string ckpt = "/tmp/plfoc_cli_test_ckpt.bin";
+  const std::string ckpt = tmp_path("ckpt.bin");
   // Run a search and checkpoint the result.
   CliConfig first = base_config();
   first.mode = "search";
@@ -214,6 +223,100 @@ TEST_F(CliFixture, K80AndJcModels) {
     std::ostringstream out;
     EXPECT_EQ(run_cli(config, out), 0) << model;
   }
+}
+
+BatchConfig parse_batch(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return parse_batch_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliBatchParse, PositionalJobfileAndFlags) {
+  const BatchConfig config = parse_batch(
+      {"jobs.txt", "--workers", "4", "--ram-budget", "1048576", "--stats"});
+  EXPECT_EQ(config.jobfile_path, "jobs.txt");
+  EXPECT_EQ(config.workers, 4u);
+  EXPECT_EQ(config.ram_budget, 1048576u);
+  EXPECT_TRUE(config.print_stats);
+  EXPECT_EQ(config.queue_capacity, 64u);  // default
+}
+
+TEST(CliBatchParse, JobsFlagAndMissingJobfile) {
+  EXPECT_EQ(parse_batch({"--jobs", "j.txt"}).jobfile_path, "j.txt");
+  EXPECT_THROW(parse_batch({"--workers", "2"}), Error);
+  EXPECT_THROW(parse_batch({"jobs.txt", "--bogus"}), Error);
+}
+
+TEST_F(CliFixture, BatchModeMatchesSequentialEvaluate) {
+  // Sequential references via the evaluate mode, one per backend config.
+  const auto logl_of = [&](const char* backend, double fraction,
+                           std::uint64_t budget) {
+    CliConfig config = base_config();
+    config.backend = backend;
+    config.ram_fraction = fraction;
+    config.memory_limit = budget;
+    std::ostringstream out;
+    run_cli(config, out);
+    const std::string text = out.str();
+    const std::size_t at = text.find("logL = ");
+    EXPECT_NE(at, std::string::npos);
+    return text.substr(at, text.find('\n', at) - at);
+  };
+  const std::string ram_ll = logl_of("inram", 0.0, 0);
+  const std::string ooc_ll = logl_of("ooc", 0.3, 0);
+  const std::string paged_ll = logl_of("paged", 0.0, 1 << 20);
+
+  const std::string jobfile = tmp_path("jobs.txt");
+  {
+    std::ofstream jobs(jobfile);
+    jobs << "# three jobs over the shared fixture dataset\n";
+    jobs << msa_path_ << " " << tree_path_ << " gtr inram - name=ram\n";
+    jobs << msa_path_ << " " << tree_path_ << " gtr ooc 0.3 name=ooc\n";
+    jobs << msa_path_ << " " << tree_path_
+         << " gtr paged - budget=1048576 name=paged\n";
+  }
+  BatchConfig config;
+  config.jobfile_path = jobfile;
+  config.workers = 2;
+  std::ostringstream out;
+  EXPECT_EQ(run_batch_cli(config, out), 0);
+  const std::string text = out.str();
+  // Results are reported per job in submission order, each bit-identical to
+  // the sequential evaluate run (the printed strings match exactly).
+  const std::size_t ram_at = text.find("ram: " + ram_ll);
+  const std::size_t ooc_at = text.find("ooc: " + ooc_ll);
+  const std::size_t paged_at = text.find("paged: " + paged_ll);
+  EXPECT_NE(ram_at, std::string::npos) << text;
+  EXPECT_NE(ooc_at, std::string::npos) << text;
+  EXPECT_NE(paged_at, std::string::npos) << text;
+  EXPECT_LT(ram_at, ooc_at);
+  EXPECT_LT(ooc_at, paged_at);
+  EXPECT_NE(text.find("batch done: 3/3"), std::string::npos) << text;
+  std::remove(jobfile.c_str());
+}
+
+TEST_F(CliFixture, BatchModeSurfacesPerJobFailures) {
+  const std::string jobfile = tmp_path("badjobs.txt");
+  {
+    std::ofstream jobs(jobfile);
+    jobs << msa_path_ << " " << tree_path_ << " gtr inram - name=good\n";
+    // ooc with neither f nor budget=: fails validate() inside its worker.
+    jobs << msa_path_ << " " << tree_path_ << " gtr ooc - name=bad\n";
+  }
+  BatchConfig config;
+  config.jobfile_path = jobfile;
+  std::ostringstream out;
+  EXPECT_EQ(run_batch_cli(config, out), 1);
+  EXPECT_NE(out.str().find("bad: FAILED"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("batch done: 1/2"), std::string::npos)
+      << out.str();
+  std::remove(jobfile.c_str());
+}
+
+TEST(CliBatch, MissingJobfileThrows) {
+  BatchConfig config;
+  config.jobfile_path = "/nonexistent_jobs.txt";
+  std::ostringstream out;
+  EXPECT_THROW(run_batch_cli(config, out), Error);
 }
 
 }  // namespace

@@ -91,6 +91,37 @@ TEST(Prefetch, ConcurrentEngineAccessesStaySane) {
   prefetcher.drain();
 }
 
+TEST(Prefetch, StopIsIdempotentAndDisablesFurtherWork) {
+  OutOfCoreStore store(10, 32, options_with_slots(4));
+  for (std::uint32_t idx = 0; idx < 10; ++idx)
+    store.acquire(idx, AccessMode::kWrite);
+  store.flush();
+  Prefetcher prefetcher(store);
+  prefetcher.submit({0, 1, 2});
+  prefetcher.drain();
+  prefetcher.stop();
+  prefetcher.stop();  // idempotent: second join must be a no-op
+  const std::uint64_t reads_after_stop = store.stats().prefetch_reads;
+  prefetcher.submit({3, 4, 5});   // no-op after stop()
+  prefetcher.notify_progress(2);  // no-op after stop()
+  prefetcher.drain();             // returns immediately, no deadlock
+  EXPECT_EQ(store.stats().prefetch_reads, reads_after_stop);
+  // The destructor will call stop() a third time — still fine.
+}
+
+TEST(Prefetch, ExplicitStopThenDestructor) {
+  OutOfCoreStore store(10, 32, options_with_slots(4));
+  for (std::uint32_t idx = 0; idx < 10; ++idx)
+    store.acquire(idx, AccessMode::kWrite);
+  store.flush();
+  {
+    Prefetcher prefetcher(store);
+    prefetcher.submit({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+    prefetcher.stop();  // owner tears down in explicit order...
+  }                     // ...and the destructor repeats it harmlessly
+  SUCCEED();
+}
+
 TEST(Prefetch, DestructorStopsCleanly) {
   OutOfCoreStore store(10, 32, options_with_slots(4));
   for (std::uint32_t idx = 0; idx < 10; ++idx)

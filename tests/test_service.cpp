@@ -1,0 +1,438 @@
+// The batch-evaluation service (src/service/): queue semantics, admission
+// math, and the service determinism contract — results bit-identical to
+// sequential Session runs regardless of worker count, admission order, or
+// the degradation the scheduler applied. Built as its own binary with the
+// `service` ctest label so CI runs it under every sanitizer flavour
+// (TSan being the one that matters here).
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "service/jobfile.hpp"
+#include "service/scheduler.hpp"
+#include "sim/dataset_planner.hpp"
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+PlannedDataset small_dataset(std::uint64_t seed = 3, std::size_t taxa = 16,
+                             std::size_t sites = 80) {
+  DatasetPlan plan;
+  plan.num_taxa = taxa;
+  plan.num_sites = sites;
+  plan.seed = seed;
+  return make_dna_dataset(plan);
+}
+
+/// A fresh spec per call: the service consumes specs by move.
+JobSpec make_job(std::uint64_t seed, Backend backend, double fraction = 0.0,
+                 std::uint64_t budget = 0) {
+  PlannedDataset data = small_dataset(seed);
+  JobSpec spec{"", std::move(data.alignment), std::move(data.tree),
+               benchmark_gtr(), SessionOptions{}};
+  spec.session.backend = backend;
+  spec.session.ram_fraction = fraction;
+  spec.session.ram_budget_bytes = budget;
+  spec.session.seed = seed;
+  return spec;
+}
+
+/// A spec whose evaluation takes long enough (tens of ms) that queue-state
+/// assertions made microseconds after submit cannot race its completion.
+JobSpec make_slow_job(std::uint64_t seed) {
+  PlannedDataset data = small_dataset(seed, 48, 600);
+  JobSpec spec{"", std::move(data.alignment), std::move(data.tree),
+               benchmark_gtr(), SessionOptions{}};
+  spec.session.backend = Backend::kOutOfCore;
+  spec.session.ram_fraction = 0.1;
+  spec.session.seed = seed;
+  return spec;
+}
+
+/// The cheapest valid spec, for queue-only tests that never evaluate.
+JobQueue::Pending pending(JobId id) {
+  Alignment alignment(DataType::kDna, 4);
+  alignment.add_sequence("a", "ACGT");
+  alignment.add_sequence("b", "ACGT");
+  alignment.add_sequence("c", "ACGT");
+  Tree tree(std::vector<std::string>{"a", "b", "c"});
+  return {id,
+          JobSpec{"", std::move(alignment), std::move(tree), jc69(),
+                  SessionOptions{}},
+          {}};
+}
+
+double sequential_log_likelihood(JobSpec spec) {
+  Session session(std::move(spec.alignment), std::move(spec.tree),
+                  std::move(spec.model), std::move(spec.session));
+  return session.evaluate().log_likelihood;
+}
+
+// ---------------------------------------------------------------- JobQueue
+
+TEST(JobQueue, FifoOrderAndSize) {
+  JobQueue queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  for (JobId id = 1; id <= 3; ++id)
+    EXPECT_EQ(queue.try_push(pending(id)), PushResult::kAccepted);
+  EXPECT_EQ(queue.size(), 3u);
+  for (JobId id = 1; id <= 3; ++id) {
+    const auto job = queue.pop();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->id, id);
+  }
+}
+
+TEST(JobQueue, TryPushReportsBackpressure) {
+  JobQueue queue(2);
+  EXPECT_EQ(queue.try_push(pending(1)), PushResult::kAccepted);
+  EXPECT_EQ(queue.try_push(pending(2)), PushResult::kAccepted);
+  EXPECT_EQ(queue.try_push(pending(3)), PushResult::kFull);
+  queue.pop();
+  EXPECT_EQ(queue.try_push(pending(3)), PushResult::kAccepted);
+}
+
+TEST(JobQueue, PushBlocksUntilPopMakesRoom) {
+  JobQueue queue(1);
+  ASSERT_EQ(queue.try_push(pending(1)), PushResult::kAccepted);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_EQ(queue.push(pending(2)), PushResult::kAccepted);
+    pushed = true;
+  });
+  // The producer is stuck behind the full queue until this pop.
+  const auto first = queue.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 1u);
+  const auto second = queue.pop();  // blocks until the producer lands
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->id, 2u);
+  producer.join();
+  EXPECT_TRUE(pushed);
+}
+
+TEST(JobQueue, CancelRemovesOnlyQueuedJobs) {
+  JobQueue queue(4);
+  queue.try_push(pending(1));
+  queue.try_push(pending(2));
+  EXPECT_TRUE(queue.cancel(2));
+  EXPECT_FALSE(queue.cancel(2));  // already gone
+  EXPECT_FALSE(queue.cancel(99));
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(JobQueue, CloseStopsIntakeButDrainsRemainder) {
+  JobQueue queue(4);
+  queue.try_push(pending(1));
+  queue.close();
+  queue.close();  // idempotent
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.try_push(pending(2)), PushResult::kClosed);
+  EXPECT_EQ(queue.push(pending(2)), PushResult::kClosed);
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());  // closed and drained
+}
+
+// --------------------------------------------------------------- Scheduler
+
+JobDemand demand_for(Backend backend, double fraction = 0.0,
+                     std::uint64_t budget = 0) {
+  return JobDemand::from_spec(make_job(11, backend, fraction, budget));
+}
+
+TEST(Scheduler, UnlimitedBudgetAdmitsAsRequested) {
+  Scheduler scheduler(0);
+  const JobDemand demand = demand_for(Backend::kOutOfCore, 0.5);
+  const Admission verdict = scheduler.decide(demand);
+  EXPECT_TRUE(verdict.admit);
+  EXPECT_FALSE(verdict.degraded);
+  EXPECT_EQ(verdict.backend, Backend::kOutOfCore);
+  EXPECT_EQ(verdict.ram_fraction, 0.5);
+  EXPECT_EQ(verdict.charged_bytes, demand.desired_bytes());
+}
+
+TEST(Scheduler, FittingDemandAdmittedAsRequested) {
+  const JobDemand demand = demand_for(Backend::kInRam);
+  Scheduler scheduler(2 * demand.desired_bytes());
+  const Admission verdict = scheduler.decide(demand);
+  EXPECT_TRUE(verdict.admit);
+  EXPECT_FALSE(verdict.degraded);
+  EXPECT_EQ(verdict.backend, Backend::kInRam);
+}
+
+TEST(Scheduler, OversizedDemandDegradesToAvailableBytes) {
+  const JobDemand demand = demand_for(Backend::kInRam);
+  // Room for more than the floor but less than the full in-RAM store.
+  const std::uint64_t budget = demand.minimum_bytes() +
+                               (demand.desired_bytes() -
+                                demand.minimum_bytes()) / 2;
+  Scheduler scheduler(budget);
+  const Admission verdict = scheduler.decide(demand);
+  EXPECT_TRUE(verdict.admit);
+  EXPECT_TRUE(verdict.degraded);
+  EXPECT_EQ(verdict.backend, Backend::kOutOfCore);  // inram cannot shrink
+  EXPECT_EQ(verdict.ram_fraction, 0.0);
+  EXPECT_EQ(verdict.ram_budget_bytes, budget);
+  EXPECT_LE(verdict.charged_bytes, budget);
+}
+
+TEST(Scheduler, WaitsWhileOthersRunThenFloorsWhenAlone) {
+  const JobDemand demand = demand_for(Backend::kOutOfCore, 0.9);
+  Scheduler scheduler(demand.minimum_bytes());
+  scheduler.reserve(demand.minimum_bytes());  // a running peer uses it all
+  EXPECT_FALSE(scheduler.decide(demand).admit);
+
+  scheduler.release(demand.minimum_bytes());
+  // Alone, waiting would deadlock: admit at the floor and report the charge.
+  const Admission verdict = scheduler.decide(demand);
+  EXPECT_TRUE(verdict.admit);
+  EXPECT_TRUE(verdict.degraded);
+  EXPECT_EQ(verdict.charged_bytes, demand.minimum_bytes());
+}
+
+TEST(Scheduler, LedgerTracksPeak) {
+  Scheduler scheduler(1000);
+  scheduler.reserve(400);
+  scheduler.reserve(500);
+  EXPECT_EQ(scheduler.in_use(), 900u);
+  EXPECT_EQ(scheduler.running(), 2u);
+  scheduler.release(400);
+  scheduler.reserve(100);
+  EXPECT_EQ(scheduler.peak_bytes(), 900u);
+}
+
+// ----------------------------------------------------------------- Service
+
+TEST(Service, DeterministicAcrossWorkerCounts) {
+  // A mixed batch: in-RAM, out-of-core, paged — each job its own seed.
+  struct Case {
+    std::uint64_t seed;
+    Backend backend;
+    double fraction;
+    std::uint64_t budget;
+  };
+  const Case cases[] = {
+      {21, Backend::kInRam, 0.0, 0},
+      {22, Backend::kOutOfCore, 0.3, 0},
+      {23, Backend::kOutOfCore, 0.7, 0},
+      {24, Backend::kPaged, 0.0, 1 << 20},
+      {25, Backend::kInRam, 0.0, 0},
+      {26, Backend::kOutOfCore, 0.25, 0},
+  };
+  std::vector<double> reference;
+  for (const Case& c : cases)
+    reference.push_back(sequential_log_likelihood(
+        make_job(c.seed, c.backend, c.fraction, c.budget)));
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ServiceOptions options;
+    options.workers = workers;
+    Service service(options);
+    std::vector<JobId> ids;
+    for (const Case& c : cases)
+      ids.push_back(service.submit(
+          make_job(c.seed, c.backend, c.fraction, c.budget)));
+    const std::vector<JobResult> results = service.drain();
+    ASSERT_EQ(results.size(), std::size(cases)) << workers << " workers";
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      EXPECT_EQ(results[j].id, ids[j]);  // submission order
+      EXPECT_EQ(results[j].status, JobStatus::kDone);
+      // Bit-identical to the sequential run: the determinism contract.
+      EXPECT_EQ(results[j].log_likelihood, reference[j])
+          << workers << " workers, job " << j;
+    }
+  }
+}
+
+TEST(Service, TinyBudgetDegradesInsteadOfRejecting) {
+  const JobDemand demand = demand_for(Backend::kOutOfCore, 0.9);
+  ASSERT_GT(demand.desired_bytes(), demand.minimum_bytes());
+  const double reference =
+      sequential_log_likelihood(make_job(31, Backend::kOutOfCore, 0.9));
+
+  ServiceOptions options;
+  options.workers = 4;
+  // Enough for one floor-sized job only: concurrent peers must wait, every
+  // admitted job is degraded, and the ledger peak must respect the budget.
+  options.ram_budget_bytes = demand.minimum_bytes();
+  Service service(options);
+  for (int j = 0; j < 6; ++j)
+    service.submit(make_job(31, Backend::kOutOfCore, 0.9));
+  const std::vector<JobResult> results = service.drain();
+  for (const JobResult& result : results) {
+    EXPECT_EQ(result.status, JobStatus::kDone);
+    EXPECT_TRUE(result.degraded);
+    EXPECT_EQ(result.admitted_backend, Backend::kOutOfCore);
+    // Degradation changed the slot count, never the likelihood.
+    EXPECT_EQ(result.log_likelihood, reference);
+  }
+  EXPECT_LE(service.peak_charged_bytes(), options.ram_budget_bytes);
+}
+
+TEST(Service, CancelRemovesQueuedJobOnly) {
+  ServiceOptions options;
+  options.workers = 1;
+  Service service(options);
+  const JobId running = service.submit(make_slow_job(41));
+  const JobId queued_a = service.submit(make_job(42, Backend::kInRam));
+  const JobId queued_b = service.submit(make_job(43, Backend::kInRam));
+  EXPECT_TRUE(service.cancel(queued_b));
+  EXPECT_FALSE(service.cancel(queued_b));  // already cancelled
+  EXPECT_FALSE(service.cancel(9999));      // never existed in the queue
+  const JobResult cancelled = service.wait(queued_b);
+  EXPECT_EQ(cancelled.status, JobStatus::kCancelled);
+  const std::vector<JobResult> results = service.drain();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(service.wait(running).status, JobStatus::kDone);
+  EXPECT_EQ(service.wait(queued_a).status, JobStatus::kDone);
+}
+
+TEST(Service, TrySubmitReportsBackpressure) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  Service service(options);
+  // The slow job occupies the single queue slot until the worker pops it;
+  // retry until that happens (each kFull rejection must leave no trace).
+  service.submit(make_slow_job(51));
+  std::optional<JobId> queued;
+  while (!(queued = service.try_submit(make_job(52, Backend::kInRam))))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // The worker is now busy evaluating the slow job; 52 fills the queue.
+  const auto rejected = service.try_submit(make_job(53, Backend::kInRam));
+  EXPECT_FALSE(rejected.has_value());
+  // The rejected submission left no trace: exactly two results.
+  EXPECT_EQ(service.drain().size(), 2u);
+}
+
+TEST(Service, DrainIsIdempotentAndClosesIntake) {
+  ServiceOptions options;
+  options.workers = 2;
+  Service service(options);
+  for (std::uint64_t j = 0; j < 4; ++j)
+    service.submit(make_job(60 + j, Backend::kInRam));
+  const std::vector<JobResult> first = service.drain();
+  ASSERT_EQ(first.size(), 4u);
+  for (const JobResult& result : first)
+    EXPECT_EQ(result.status, JobStatus::kDone);
+  const std::vector<JobResult> second = service.drain();
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t j = 0; j < first.size(); ++j)
+    EXPECT_EQ(second[j].id, first[j].id);
+  EXPECT_THROW(service.submit(make_job(99, Backend::kInRam)), Error);
+}
+
+TEST(Service, InvalidSpecFailsThatJobOnly) {
+  ServiceOptions options;
+  options.workers = 2;
+  Service service(options);
+  const JobId good = service.submit(make_job(71, Backend::kInRam));
+  // Out-of-core with neither f nor a budget: rejected by validate() inside
+  // the worker, surfaced on the job, and the rest of the batch is untouched.
+  const JobId bad = service.submit(make_job(72, Backend::kOutOfCore));
+  const JobId both = service.submit(
+      make_job(73, Backend::kOutOfCore, 0.5, 1 << 20));
+  service.drain();
+  EXPECT_EQ(service.wait(good).status, JobStatus::kDone);
+  const JobResult neither_result = service.wait(bad);
+  EXPECT_EQ(neither_result.status, JobStatus::kFailed);
+  EXPECT_NE(neither_result.error.find("neither"), std::string::npos);
+  const JobResult both_result = service.wait(both);
+  EXPECT_EQ(both_result.status, JobStatus::kFailed);
+  EXPECT_NE(both_result.error.find("both"), std::string::npos);
+}
+
+TEST(Service, MergedStatsSumPerJobCounters) {
+  ServiceOptions options;
+  options.workers = 2;
+  Service service(options);
+  for (std::uint64_t j = 0; j < 4; ++j)
+    service.submit(make_job(80 + j, Backend::kOutOfCore, 0.3));
+  const std::vector<JobResult> results = service.drain();
+  OocStats expected;
+  for (const JobResult& result : results) expected += result.stats;
+  const OocStats merged = service.merged_stats();
+  EXPECT_EQ(merged.accesses, expected.accesses);
+  EXPECT_EQ(merged.misses, expected.misses);
+  EXPECT_GT(merged.accesses, 0u);
+  EXPECT_GE(merged.misses, merged.cold_misses);  // the merge invariant
+}
+
+TEST(Service, PrefetcherLifecycleSurvivesBatch) {
+  const double reference =
+      sequential_log_likelihood(make_job(91, Backend::kOutOfCore, 0.3));
+  ServiceOptions options;
+  options.workers = 2;
+  options.prefetch_lookahead = 2;
+  Service service(options);
+  for (int j = 0; j < 4; ++j)
+    service.submit(make_job(91, Backend::kOutOfCore, 0.3));
+  for (const JobResult& result : service.drain()) {
+    EXPECT_EQ(result.status, JobStatus::kDone);
+    EXPECT_EQ(result.log_likelihood, reference);
+  }
+}
+
+// ----------------------------------------------------------------- Jobfile
+
+TEST(Jobfile, ParsesFieldsAndOptions) {
+  std::istringstream in(
+      "# comment line\n"
+      "\n"
+      "a.fasta t.nwk gtr ooc 0.25 seed=7 name=alpha budget=0\n"
+      "b.phy - jc paged - format=phylip budget=1048576 categories=2\n");
+  const std::vector<JobFileEntry> entries = parse_job_lines(in);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].line, 3u);
+  EXPECT_EQ(entries[0].msa_path, "a.fasta");
+  EXPECT_EQ(entries[0].backend, "ooc");
+  EXPECT_EQ(entries[0].ram_fraction, 0.25);
+  EXPECT_EQ(entries[0].seed, 7u);
+  EXPECT_EQ(entries[0].name, "alpha");
+  EXPECT_EQ(entries[1].tree_path, "-");
+  EXPECT_EQ(entries[1].format, "phylip");
+  EXPECT_EQ(entries[1].ram_fraction, 0.0);
+  EXPECT_EQ(entries[1].budget_bytes, 1048576u);
+  EXPECT_EQ(entries[1].categories, 2u);
+}
+
+TEST(Jobfile, RejectsMalformedLinesWithLineNumbers) {
+  const auto expect_error = [](const char* text, const char* needle) {
+    std::istringstream in(text);
+    try {
+      parse_job_lines(in);
+      FAIL() << "expected Error for: " << text;
+    } catch (const Error& error) {
+      EXPECT_NE(std::string(error.what()).find("line 1"), std::string::npos)
+          << error.what();
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << error.what();
+    }
+  };
+  expect_error("a.fasta t.nwk gtr\n", "expected");
+  expect_error("a.fasta t.nwk gtr ooc 1.5\n", "(0, 1]");
+  expect_error("a.fasta t.nwk gtr warp 0.5\n", "unknown backend");
+  expect_error("a.fasta t.nwk gtr ooc 0.5 bogus=1\n", "unknown option");
+  expect_error("a.fasta t.nwk gtr ooc 0.5 seed=xyz\n", "bad integer");
+}
+
+TEST(Jobfile, SharedVocabularyMatchesDriver) {
+  EXPECT_EQ(parse_backend_name("paged"), Backend::kPaged);
+  EXPECT_EQ(parse_data_type_name("protein"), DataType::kProtein);
+  EXPECT_THROW(parse_backend_name("x"), Error);
+  EXPECT_THROW(parse_data_type_name("x"), Error);
+  PlannedDataset data = small_dataset();
+  EXPECT_EQ(build_named_model("jc", 2.0, data.alignment).name,
+            std::string("JC69"));
+  EXPECT_THROW(build_named_model("x", 2.0, data.alignment), Error);
+}
+
+}  // namespace
+}  // namespace plfoc

@@ -84,6 +84,71 @@ TEST(Session, OutOfCoreRequiresLimit) {
                Error);
 }
 
+TEST(SessionOptions, ValidateRejectsInconsistentMemoryLimits) {
+  const auto error_text = [](const SessionOptions& options) {
+    try {
+      options.validate();
+    } catch (const Error& error) {
+      return std::string(error.what());
+    }
+    return std::string();
+  };
+
+  SessionOptions neither;
+  neither.backend = Backend::kOutOfCore;
+  EXPECT_NE(error_text(neither).find("neither"), std::string::npos);
+
+  SessionOptions both;
+  both.backend = Backend::kOutOfCore;
+  both.ram_fraction = 0.5;
+  both.ram_budget_bytes = 1 << 20;
+  EXPECT_NE(error_text(both).find("both"), std::string::npos);
+
+  SessionOptions paged_fraction;
+  paged_fraction.backend = Backend::kPaged;
+  paged_fraction.ram_budget_bytes = 1 << 20;
+  paged_fraction.ram_fraction = 0.5;
+  EXPECT_NE(error_text(paged_fraction).find("ram_fraction"),
+            std::string::npos);
+
+  SessionOptions paged_no_budget;
+  paged_no_budget.backend = Backend::kPaged;
+  EXPECT_FALSE(error_text(paged_no_budget).empty());
+
+  SessionOptions negative;
+  negative.ram_fraction = -0.1;
+  EXPECT_FALSE(error_text(negative).empty());
+
+  // Valid configurations pass, and other backends ignore the limit fields.
+  SessionOptions fraction_only;
+  fraction_only.backend = Backend::kOutOfCore;
+  fraction_only.ram_fraction = 0.25;
+  fraction_only.validate();
+  SessionOptions in_ram;
+  in_ram.ram_budget_bytes = 123;  // ignored by kInRam
+  in_ram.validate();
+}
+
+TEST(Session, EvaluateReturnsLikelihoodTimingAndStats) {
+  PlannedDataset data = small_dataset();
+  Tree tree_copy = data.tree;
+  Alignment alignment_copy = data.alignment;
+  SessionOptions options;
+  options.backend = Backend::kOutOfCore;
+  options.ram_fraction = 0.3;
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr(), options);
+  const EvalResult result = session.evaluate();
+  EXPECT_TRUE(std::isfinite(result.log_likelihood));
+  EXPECT_LT(result.log_likelihood, 0.0);
+  EXPECT_GE(result.wall_seconds, 0.0);
+  EXPECT_GT(result.stats.accesses, 0u);
+  // The one-shot path computes exactly the engine's likelihood.
+  Session direct(std::move(alignment_copy), std::move(tree_copy),
+                 benchmark_gtr());
+  EXPECT_EQ(result.log_likelihood, direct.engine().log_likelihood());
+}
+
 TEST(Session, PagedBackendWorks) {
   PlannedDataset data = small_dataset();
   SessionOptions options;

@@ -2,6 +2,7 @@
 // is unit-testable; this translation unit only maps argv and exceptions to
 // process-level behaviour.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
 #include "cli/driver.hpp"
@@ -9,6 +10,11 @@
 
 int main(int argc, char** argv) {
   try {
+    if (argc > 1 && std::strcmp(argv[1], "batch") == 0) {
+      const plfoc::BatchConfig config =
+          plfoc::parse_batch_cli(argc - 2, argv + 2);
+      return plfoc::run_batch_cli(config, std::cout);
+    }
     const plfoc::CliConfig config = plfoc::parse_cli(argc - 1, argv + 1);
     return plfoc::run_cli(config, std::cout);
   } catch (const plfoc::Error& error) {
