@@ -1,0 +1,92 @@
+// Robustness-layer overhead: what does the fault-injection / retry
+// machinery cost when it is (a) compiled in but disabled, and (b) armed at
+// the ISSUE's 10% ceiling with a retry budget absorbing every fault? The
+// interesting numbers are the wall-time ratio against the pre-existing I/O
+// loop and the injected/retried counter totals — results must stay
+// bit-identical throughout (docs/robustness.md).
+#include "bench_common.hpp"
+
+using namespace plfoc;
+using namespace plfoc::bench;
+
+namespace {
+
+struct OverheadResult {
+  double wall = 0.0;
+  double loglik = 0.0;
+  OocStats stats;
+};
+
+OverheadResult run(const PlannedDataset& data, const FaultConfig& faults,
+                   std::uint64_t budget, int traversals) {
+  SessionOptions options;
+  options.backend = Backend::kOutOfCore;
+  options.policy = ReplacementPolicy::kLru;
+  options.ram_budget_bytes = budget;
+  options.compress_patterns = false;
+  options.seed = 5;
+  options.faults = faults;
+  options.io_retry.backoff_initial_us = 0;  // measure the loop, not sleeps
+  Session session(data.alignment, data.tree, benchmark_gtr(), options);
+  // Warm-up traversal populates the file; the measured part starts clean.
+  session.engine().full_traversal_log_likelihood();
+  session.reset_stats();
+  Timer timer;
+  OverheadResult result;
+  for (int i = 0; i < traversals; ++i)
+    result.loglik = session.engine().full_traversal_log_likelihood();
+  result.wall = timer.seconds();
+  result.stats = session.store().stats_snapshot();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = scale_from_env();
+  DatasetPlan plan;
+  plan.num_taxa = scale == Scale::kQuick ? 128 : 512;
+  plan.target_ancestral_bytes =
+      scale == Scale::kQuick ? (16ull << 20) : (256ull << 20);
+  plan.seed = 77;
+  const PlannedDataset data = make_dna_dataset(plan);
+  const std::uint64_t budget = plan.target_ancestral_bytes / 8;
+  const int traversals = 3;
+
+  std::printf("# Fault-injection overhead: %d full traversals, %zu taxa, "
+              "%.0f MiB vectors, %.0f MiB budget, scale=%s\n",
+              traversals, plan.num_taxa,
+              static_cast<double>(plan.target_ancestral_bytes) / 1048576.0,
+              static_cast<double>(budget) / 1048576.0, scale_name(scale));
+  std::printf("%-14s %10s %10s %10s %10s\n", "variant", "wall_s", "faults",
+              "retried", "exhausted");
+
+  FaultConfig off;  // rate 0: the injector is never constructed
+  const OverheadResult baseline = run(data, off, budget, traversals);
+  std::printf("%-14s %10.2f %10llu %10llu %10llu\n", "disabled",
+              baseline.wall,
+              static_cast<unsigned long long>(baseline.stats.faults_injected),
+              static_cast<unsigned long long>(baseline.stats.io_retries),
+              static_cast<unsigned long long>(baseline.stats.io_exhausted));
+
+  FaultConfig armed;
+  armed.seed = 20260805;
+  armed.rate = 0.10;  // the acceptance ceiling
+  armed.burst = 2;    // fits inside the default retry budget of 4
+  const OverheadResult faulty = run(data, armed, budget, traversals);
+  std::printf("%-14s %10.2f %10llu %10llu %10llu\n", "rate=0.10",
+              faulty.wall,
+              static_cast<unsigned long long>(faulty.stats.faults_injected),
+              static_cast<unsigned long long>(faulty.stats.io_retries),
+              static_cast<unsigned long long>(faulty.stats.io_exhausted));
+
+  std::printf("# armed/disabled wall ratio: %.2fx\n",
+              baseline.wall == 0.0 ? 0.0 : faulty.wall / baseline.wall);
+  if (faulty.loglik != baseline.loglik) {
+    std::printf("# WARNING: logL mismatch between variants\n");
+    return 1;
+  }
+  std::printf("# logL bit-identical across variants: %.6f\n",
+              baseline.loglik);
+  return 0;
+}

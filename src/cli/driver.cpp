@@ -58,6 +58,11 @@ CliConfig parse_cli(int argc, const char* const* argv) {
                 "disable the read-skipping optimisation")
       .add_string("vector-file", &config.vector_file,
                   "explicit backing file path (default: temp file)")
+      .add_string("inject-faults", &config.inject_faults,
+                  "seeded I/O fault schedule: seed=N,rate=P[,burst=K]"
+                  "[,kinds=short|eintr|eio|enospc|latency][,latency-ns=N]")
+      .add_uint("io-retries", &config.io_retries,
+                "transient I/O retry budget per transfer (0 = fail fast)")
       .add_string("mode", &config.mode,
                   "evaluate | search | traverse | mcmc")
       .add_uint("traversals", &config.traversals,
@@ -127,8 +132,14 @@ int run_cli(const CliConfig& config, std::ostream& out) {
   options.read_skipping = !config.no_read_skipping;
   options.seed = config.seed;
   options.vector_file = config.vector_file;
+  if (!config.inject_faults.empty())
+    options.faults = FaultConfig::parse(config.inject_faults);
+  options.io_retry.max_retries = static_cast<unsigned>(config.io_retries);
   Session session(std::move(alignment), std::move(tree), std::move(model),
                   options);
+  if (options.faults.enabled())
+    out << "fault injection: " << options.faults.spec() << " (retries "
+        << config.io_retries << ")\n";
   out << "backend: " << session.store().backend_name() << " ("
       << session.patterns() << " patterns, vector width "
       << session.vector_width() * sizeof(double) << " B)\n";
@@ -166,7 +177,9 @@ int run_cli(const CliConfig& config, std::ostream& out) {
   }
 
   if (config.print_stats) {
-    out << "storage: " << session.stats().summary() << "\n";
+    // Snapshot rather than stats(): the robustness counters live in backend
+    // atomics and are only overlaid by stats_snapshot().
+    out << "storage: " << session.store().stats_snapshot().summary() << "\n";
     if (TieredStore* tiered = session.tiered()) {
       const TierStats& tier = tiered->tier_stats();
       out << "tiers: " << tier.promotions << " promotions, "
@@ -203,7 +216,15 @@ BatchConfig parse_batch_cli(int argc, const char* const* argv) {
       .add_uint("prefetch", &config.prefetch,
                 "prefetcher lookahead for out-of-core jobs (0 = off)")
       .add_flag("stats", &config.print_stats,
-                "print per-job and merged storage statistics");
+                "print per-job and merged storage statistics")
+      .add_string("inject-faults", &config.inject_faults,
+                  "batch-default fault schedule seed=N,rate=P,... "
+                  "(a job's faults= key overrides)")
+      .add_uint("io-retries", &config.io_retries,
+                "batch-default transient I/O retry budget "
+                "(a job's io-retries= key overrides; 0 = fail fast)")
+      .add_flag("readmit", &config.readmit,
+                "re-admit a job once after a typed I/O failure");
   // The jobfile may lead as a positional: `plfoc batch jobs.txt --workers 4`.
   int start = 0;
   if (argc > 0 && argv[0] != nullptr && argv[0][0] != '-') {
@@ -231,13 +252,30 @@ int run_batch_cli(const BatchConfig& config, std::ostream& out) {
   else
     out << config.ram_budget << " B\n";
 
+  // Validate the batch-wide fault spec before any job is submitted.
+  const FaultConfig batch_faults = config.inject_faults.empty()
+                                       ? FaultConfig{}
+                                       : FaultConfig::parse(config.inject_faults);
+  if (batch_faults.enabled())
+    out << "fault injection: " << batch_faults.spec() << " (retries "
+        << config.io_retries << (config.readmit ? ", readmit" : "") << ")\n";
+
   ServiceOptions options;
   options.workers = static_cast<std::size_t>(config.workers);
   options.queue_capacity = static_cast<std::size_t>(config.queue_capacity);
   options.ram_budget_bytes = config.ram_budget;
   options.prefetch_lookahead = static_cast<std::size_t>(config.prefetch);
+  options.readmit_io_failures = config.readmit;
   Service service(options);
-  for (const JobFileEntry& entry : entries) service.submit(load_job(entry));
+  for (const JobFileEntry& entry : entries) {
+    JobSpec spec = load_job(entry);
+    // Batch-wide robustness defaults; per-line keys take precedence.
+    if (entry.faults.empty()) spec.session.faults = batch_faults;
+    if (entry.io_retries < 0)
+      spec.session.io_retry.max_retries =
+          static_cast<unsigned>(config.io_retries);
+    service.submit(std::move(spec));
+  }
   const std::vector<JobResult> results = service.drain();
 
   std::size_t failed = 0;
@@ -255,6 +293,12 @@ int run_batch_cli(const BatchConfig& config, std::ostream& out) {
       case JobStatus::kFailed:
         ++failed;
         out << "FAILED: " << result.error;
+        if (result.io_failure) {
+          out << " (io failure after " << result.attempts
+              << (result.attempts == 1 ? " attempt)" : " attempts)");
+          if (!result.fault_report.empty())
+            out << "\n  fault report: " << result.fault_report;
+        }
         break;
       default:
         ++failed;

@@ -41,6 +41,9 @@ struct CliConfig {
   std::string strategy = "lru";      // random | lru | lfu | topological
   bool no_read_skipping = false;
   std::string vector_file;           // optional explicit backing file
+  // robustness (docs/robustness.md)
+  std::string inject_faults;         // FaultConfig spec "seed=N,rate=P,..."
+  std::uint64_t io_retries = 4;      // transient-error retry budget (0 = off)
   // workload
   std::string mode = "evaluate";     // evaluate | search | traverse | mcmc
   std::uint64_t traversals = 5;      // traverse mode
@@ -71,6 +74,10 @@ struct BatchConfig {
   std::uint64_t queue_capacity = 64;  ///< bounded intake (backpressure)
   std::uint64_t prefetch = 0;         ///< prefetcher lookahead; 0 = off
   bool print_stats = false;           ///< per-job + merged store counters
+  /// Batch-wide defaults; a job line's own faults= / io-retries= keys win.
+  std::string inject_faults;          ///< FaultConfig spec "seed=N,rate=P,..."
+  std::uint64_t io_retries = 4;       ///< transient-error retry budget
+  bool readmit = false;               ///< re-admit I/O-failed jobs once
 };
 
 /// Parse the argv that follows the `batch` keyword. The jobfile may be the

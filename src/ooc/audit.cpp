@@ -129,6 +129,51 @@ std::optional<std::string> StoreAuditor::check_table(
   return std::nullopt;
 }
 
+std::optional<std::string> StoreAuditor::check_stats(const OocStats& stats) {
+  // Algebraic identities that hold at every quiescent point of the store.
+  if (stats.hits + stats.misses != stats.accesses)
+    return "hits (" + std::to_string(stats.hits) + ") + misses (" +
+           std::to_string(stats.misses) + ") != accesses (" +
+           std::to_string(stats.accesses) + ")";
+  if (stats.cold_misses > stats.misses)
+    return "cold_misses (" + std::to_string(stats.cold_misses) +
+           ") exceeds misses (" + std::to_string(stats.misses) + ")";
+  if (stats.skipped_reads > stats.misses)
+    return "skipped_reads (" + std::to_string(stats.skipped_reads) +
+           ") exceeds misses (" + std::to_string(stats.misses) + ")";
+
+  // Monotonicity against the previous snapshot: counters only ever grow
+  // between resets (reset_stats_baseline() clears the reference).
+  struct Field {
+    const char* name;
+    std::uint64_t now;
+    std::uint64_t before;
+  };
+  const Field fields[] = {
+      {"accesses", stats.accesses, last_stats_.accesses},
+      {"hits", stats.hits, last_stats_.hits},
+      {"misses", stats.misses, last_stats_.misses},
+      {"cold_misses", stats.cold_misses, last_stats_.cold_misses},
+      {"evictions", stats.evictions, last_stats_.evictions},
+      {"file_reads", stats.file_reads, last_stats_.file_reads},
+      {"file_writes", stats.file_writes, last_stats_.file_writes},
+      {"skipped_reads", stats.skipped_reads, last_stats_.skipped_reads},
+      {"prefetch_reads", stats.prefetch_reads, last_stats_.prefetch_reads},
+      {"bytes_read", stats.bytes_read, last_stats_.bytes_read},
+      {"bytes_written", stats.bytes_written, last_stats_.bytes_written},
+      {"faults_injected", stats.faults_injected, last_stats_.faults_injected},
+      {"io_retries", stats.io_retries, last_stats_.io_retries},
+      {"io_exhausted", stats.io_exhausted, last_stats_.io_exhausted},
+  };
+  for (const Field& f : fields) {
+    if (f.now < f.before)
+      return std::string(f.name) + " ran backwards (" +
+             std::to_string(f.before) + " -> " + std::to_string(f.now) + ")";
+  }
+  last_stats_ = stats;
+  return std::nullopt;
+}
+
 void StoreAuditor::enforce(const std::optional<std::string>& violation,
                            const char* when) const {
   if (!violation) return;

@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "ooc/stats.hpp"
+
 namespace plfoc {
 
 /// Sentinel values shared by the slot table and its auditor.
@@ -87,6 +89,18 @@ class StoreAuditor {
       const std::vector<OocSlot>& slots,
       const std::vector<std::uint32_t>& vector_slot) const;
 
+  /// Validate the store's counter object: algebraic identities
+  /// (hits + misses == accesses, cold_misses <= misses, skipped_reads <=
+  /// misses) and monotonicity against the previously checked snapshot —
+  /// including the robustness counters (faults_injected / io_retries /
+  /// io_exhausted), which must never run backwards mid-run. Call after
+  /// every counter mutation; reset_stats_baseline() after a counter reset.
+  [[nodiscard]] std::optional<std::string> check_stats(const OocStats& stats);
+
+  /// Forget the monotonicity baseline (pairs with AncestralStore's
+  /// reset_stats(), which legitimately zeroes the counters).
+  void reset_stats_baseline() { last_stats_ = OocStats{}; }
+
   /// Abort with a diagnostic if `violation` holds a message. `when` labels
   /// the mutating operation ("acquire", "release", "evict", ...).
   void enforce(const std::optional<std::string>& violation,
@@ -102,6 +116,7 @@ class StoreAuditor {
   std::size_t slot_count_;
   std::vector<bool> on_disk_;      ///< vector was ever written to the file
   std::vector<bool> shadow_dirty_; ///< modifications not yet written back
+  OocStats last_stats_;            ///< monotonicity baseline for check_stats
 };
 
 }  // namespace plfoc

@@ -1,0 +1,179 @@
+#include "ooc/faults.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+namespace plfoc {
+namespace {
+
+// splitmix64: the repo-wide seeding permutation (util/rng.cpp uses the same
+// constants), so equal seeds never produce correlated streams across uses.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+unsigned parse_kind_token(const std::string& token) {
+  if (token == "short") return kFaultShort;
+  if (token == "eintr") return kFaultEintr;
+  if (token == "eio") return kFaultEio;
+  if (token == "enospc") return kFaultEnospc;
+  if (token == "latency") return kFaultLatency;
+  if (token == "all") return kFaultAllErrors | kFaultLatency;
+  throw Error("bad fault kind '" + token +
+              "' (short | eintr | eio | enospc | latency | all)");
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long parsed = std::stoull(value, &used);
+    if (used == value.size()) return parsed;
+  } catch (const std::exception&) {
+  }
+  throw Error("bad integer value '" + value + "' for fault key " + key);
+}
+
+double parse_prob(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used == value.size() && parsed >= 0.0 && parsed <= 1.0) return parsed;
+  } catch (const std::exception&) {
+  }
+  throw Error("bad probability '" + value + "' for fault key " + key +
+              " (expected a number in [0, 1])");
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kShortTransfer: return "short";
+    case FaultKind::kEintr: return "eintr";
+    case FaultKind::kEio: return "eio";
+    case FaultKind::kEnospc: return "enospc";
+    case FaultKind::kLatency: return "latency";
+  }
+  return "?";
+}
+
+FaultConfig FaultConfig::parse(const std::string& spec) {
+  FaultConfig config;
+  if (spec.empty()) return config;
+  std::istringstream in(spec);
+  std::string field;
+  bool saw_rate = false;
+  while (std::getline(in, field, ',')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    PLFOC_REQUIRE(eq != std::string::npos && eq > 0,
+                  "fault spec expects key=value, got '" + field + "'");
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "seed") {
+      config.seed = parse_u64(key, value);
+    } else if (key == "rate") {
+      config.rate = parse_prob(key, value);
+      saw_rate = true;
+    } else if (key == "burst") {
+      config.burst = static_cast<unsigned>(parse_u64(key, value));
+    } else if (key == "kinds") {
+      config.kinds = 0;
+      std::istringstream kinds(value);
+      std::string token;
+      while (std::getline(kinds, token, '|'))
+        config.kinds |= parse_kind_token(token);
+      PLFOC_REQUIRE(config.kinds != 0, "fault spec kinds= selected nothing");
+    } else if (key == "latency-ns") {
+      config.latency_ns = parse_u64(key, value);
+    } else if (key == "nonce") {
+      config.nonce = parse_u64(key, value);
+    } else {
+      throw Error("unknown fault spec key '" + key +
+                  "' (seed | rate | burst | kinds | latency-ns | nonce)");
+    }
+  }
+  PLFOC_REQUIRE(saw_rate, "fault spec needs rate= (e.g. seed=7,rate=0.05)");
+  return config;
+}
+
+std::string FaultConfig::spec() const {
+  std::ostringstream out;
+  out << "seed=" << seed << ",rate=" << rate << ",burst=" << burst;
+  if (kinds != kFaultAllErrors) {
+    out << ",kinds=";
+    bool first = true;
+    const std::pair<unsigned, const char*> names[] = {
+        {kFaultShort, "short"},
+        {kFaultEintr, "eintr"},
+        {kFaultEio, "eio"},
+        {kFaultEnospc, "enospc"},
+        {kFaultLatency, "latency"}};
+    for (const auto& [bit, name] : names) {
+      if (!(kinds & bit)) continue;
+      if (!first) out << "|";
+      out << name;
+      first = false;
+    }
+  }
+  if (latency_ns != 0) out << ",latency-ns=" << latency_ns;
+  if (nonce != 0) out << ",nonce=" << nonce;
+  return out.str();
+}
+
+IoError::IoError(const std::string& op, int errno_value, std::uint64_t offset,
+                 unsigned attempts, bool injected)
+    : Error(op + " failed at offset " + std::to_string(offset) + " after " +
+            std::to_string(attempts) +
+            (attempts == 1 ? " attempt: " : " attempts: ") +
+            std::strerror(errno_value) + (injected ? " [injected]" : "")),
+      op_(op),
+      errno_value_(errno_value),
+      offset_(offset),
+      attempts_(attempts),
+      injected_(injected) {}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config),
+      base_(splitmix64(config.seed ^
+                       splitmix64(config.nonce * 0xda942042e4dd58b5ull))) {}
+
+FaultDecision FaultInjector::next(bool is_write, unsigned faults_so_far) {
+  // Always advance the stream, even when the burst cap suppresses the fault:
+  // the schedule position then depends only on how many syscalls ran, and a
+  // replay with the same op sequence sees the same decisions.
+  const std::uint64_t k = op_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = splitmix64(base_ ^ (k * 0x2545f4914f6cdd1dull));
+  if (faults_so_far >= config_.burst) return {};
+  if (to_unit(h) >= config_.rate) return {};
+
+  // Draw the kind from the enabled set; the sub-hash keeps the choice
+  // independent of the fire/no-fire draw above.
+  std::vector<FaultKind> enabled;
+  enabled.reserve(5);
+  if (config_.kinds & kFaultShort) enabled.push_back(FaultKind::kShortTransfer);
+  if (config_.kinds & kFaultEintr) enabled.push_back(FaultKind::kEintr);
+  if (config_.kinds & kFaultEio) enabled.push_back(FaultKind::kEio);
+  if ((config_.kinds & kFaultEnospc) && is_write)
+    enabled.push_back(FaultKind::kEnospc);
+  if ((config_.kinds & kFaultLatency) && config_.latency_ns != 0)
+    enabled.push_back(FaultKind::kLatency);
+  if (enabled.empty()) return {};
+
+  const std::uint64_t sub = splitmix64(h);
+  FaultDecision decision;
+  decision.kind = enabled[sub % enabled.size()];
+  decision.fraction = to_unit(splitmix64(sub));
+  return decision;
+}
+
+}  // namespace plfoc

@@ -3,54 +3,127 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "util/checks.hpp"
 
 namespace plfoc {
-namespace {
 
-void pread_all(int fd, void* dst, std::size_t bytes, std::uint64_t offset) {
-  char* cursor = static_cast<char*>(dst);
+// The single I/O loop behind every vector transfer. POSIX permits pread /
+// pwrite to transfer fewer bytes than requested or fail with EINTR on a
+// perfectly healthy device, so short-transfer resumption and EINTR retry are
+// unconditional — they neither consume retry budget nor depend on fault
+// injection being configured. Transient errors (EIO, ENOSPC, ...) consume
+// the bounded RetryPolicy budget with exponential backoff; completed
+// progress is kept across retries (partial-I/O resumption), and any
+// successful transfer resets the consecutive-failure count.
+void FileBackend::transfer_all(bool is_write, int fd, void* buffer,
+                               std::size_t bytes, std::uint64_t offset) {
+  char* cursor = static_cast<char*>(buffer);
   std::size_t remaining = bytes;
+  unsigned consecutive_failures = 0;
+  unsigned faults_this_transfer = 0;
+  std::uint64_t backoff_us = options_.retry.backoff_initial_us;
+  const char* op = is_write ? "pwrite" : "pread";
   while (remaining > 0) {
-    const ssize_t got = ::pread(fd, cursor, remaining,
-                                static_cast<off_t>(offset + (bytes - remaining)));
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      throw Error(std::string("pread failed: ") + std::strerror(errno));
+    const std::uint64_t position = offset + (bytes - remaining);
+    std::size_t request = remaining;
+    int simulated_errno = 0;
+    if (injector_ != nullptr) {
+      const FaultDecision fault =
+          injector_->next(is_write, faults_this_transfer);
+      if (fault.kind != FaultKind::kNone)
+        faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      switch (fault.kind) {
+        case FaultKind::kNone:
+          break;
+        case FaultKind::kLatency:
+          // A stall, not an error: the transfer proceeds untouched and the
+          // spike does not count against the burst cap.
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(options_.faults.latency_ns));
+          break;
+        case FaultKind::kShortTransfer:
+          ++faults_this_transfer;
+          if (remaining > 1)
+            request = 1 + static_cast<std::size_t>(
+                              fault.fraction *
+                              static_cast<double>(remaining - 1));
+          break;
+        case FaultKind::kEintr:
+          ++faults_this_transfer;
+          simulated_errno = EINTR;
+          break;
+        case FaultKind::kEio:
+          ++faults_this_transfer;
+          simulated_errno = EIO;
+          break;
+        case FaultKind::kEnospc:
+          ++faults_this_transfer;
+          simulated_errno = is_write ? ENOSPC : EIO;
+          break;
+      }
     }
-    PLFOC_REQUIRE(got > 0, "pread hit end of vector file (file truncated?)");
-    cursor += got;
-    remaining -= static_cast<std::size_t>(got);
+    ssize_t moved;
+    if (simulated_errno != 0) {
+      // An injected error models a syscall that transferred nothing.
+      moved = -1;
+      errno = simulated_errno;
+    } else if (is_write) {
+      moved = ::pwrite(fd, cursor, request, static_cast<off_t>(position));
+    } else {
+      moved = ::pread(fd, cursor, request, static_cast<off_t>(position));
+    }
+    if (moved < 0) {
+      const int error = errno;
+      if (error == EINTR) {
+        // Mandatory POSIX handling, never bounded by the retry policy.
+        io_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (consecutive_failures < options_.retry.max_retries) {
+        ++consecutive_failures;
+        io_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (backoff_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+          backoff_us = std::min<std::uint64_t>(
+              options_.retry.backoff_max_us,
+              static_cast<std::uint64_t>(
+                  static_cast<double>(backoff_us) *
+                  options_.retry.backoff_multiplier));
+        }
+        continue;  // resume from `position`: prior progress is kept
+      }
+      io_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      throw IoError(op, error, position, consecutive_failures + 1,
+                    simulated_errno != 0);
+    }
+    PLFOC_REQUIRE(moved > 0,
+                  is_write ? "pwrite transferred no bytes"
+                           : "pread hit end of vector file (file truncated?)");
+    // A transfer that did not finish in this syscall resumes from the new
+    // cursor on the next iteration — count that continuation as a retry.
+    if (static_cast<std::size_t>(moved) < remaining)
+      io_retries_.fetch_add(1, std::memory_order_relaxed);
+    consecutive_failures = 0;
+    backoff_us = options_.retry.backoff_initial_us;
+    cursor += moved;
+    remaining -= static_cast<std::size_t>(moved);
   }
 }
-
-void pwrite_all(int fd, const void* src, std::size_t bytes,
-                std::uint64_t offset) {
-  const char* cursor = static_cast<const char*>(src);
-  std::size_t remaining = bytes;
-  while (remaining > 0) {
-    const ssize_t put = ::pwrite(fd, cursor, remaining,
-                                 static_cast<off_t>(offset + (bytes - remaining)));
-    if (put < 0) {
-      if (errno == EINTR) continue;
-      throw Error(std::string("pwrite failed: ") + std::strerror(errno));
-    }
-    cursor += put;
-    remaining -= static_cast<std::size_t>(put);
-  }
-}
-
-}  // namespace
 
 FileBackend::FileBackend(std::size_t count, std::size_t bytes_per_vector,
                          FileBackendOptions options)
     : count_(count), bytes_per_vector_(bytes_per_vector),
       options_(std::move(options)) {
+  if (options_.faults.enabled())
+    injector_ = std::make_unique<FaultInjector>(options_.faults);
   PLFOC_REQUIRE(count_ > 0 && bytes_per_vector_ > 0,
                 "FileBackend needs a positive vector count and width");
   PLFOC_REQUIRE(options_.num_files >= 1 && options_.num_files <= 64,
@@ -105,13 +178,14 @@ void FileBackend::charge(std::size_t bytes) {
 
 void FileBackend::read_vector(std::uint32_t index, void* dst) {
   const Location loc = locate(index);
-  pread_all(loc.fd, dst, bytes_per_vector_, loc.offset);
+  transfer_all(false, loc.fd, dst, bytes_per_vector_, loc.offset);
   charge(bytes_per_vector_);
 }
 
 void FileBackend::write_vector(std::uint32_t index, const void* src) {
   const Location loc = locate(index);
-  pwrite_all(loc.fd, src, bytes_per_vector_, loc.offset);
+  transfer_all(true, loc.fd, const_cast<void*>(src), bytes_per_vector_,
+               loc.offset);
   charge(bytes_per_vector_);
 }
 
@@ -119,7 +193,7 @@ void FileBackend::read_bytes(std::uint64_t offset, void* dst,
                              std::size_t bytes) {
   PLFOC_CHECK(options_.num_files == 1);
   PLFOC_DCHECK(offset + bytes <= total_bytes());
-  pread_all(fds_[0], dst, bytes, offset);
+  transfer_all(false, fds_[0], dst, bytes, offset);
   charge(bytes);
 }
 
@@ -127,7 +201,7 @@ void FileBackend::write_bytes(std::uint64_t offset, const void* src,
                               std::size_t bytes) {
   PLFOC_CHECK(options_.num_files == 1);
   PLFOC_DCHECK(offset + bytes <= total_bytes());
-  pwrite_all(fds_[0], src, bytes, offset);
+  transfer_all(true, fds_[0], const_cast<void*>(src), bytes, offset);
   charge(bytes);
 }
 
@@ -137,9 +211,10 @@ void FileBackend::write_ranges_clustered(const IoRange* ranges,
   std::size_t total = 0;
   for (std::size_t i = 0; i < count; ++i) {
     PLFOC_DCHECK(ranges[i].offset + ranges[i].bytes <= total_bytes());
-    pwrite_all(fds_[0],
-               static_cast<const char*>(base) + ranges[i].offset,
-               ranges[i].bytes, ranges[i].offset);
+    transfer_all(
+        true, fds_[0],
+        const_cast<char*>(static_cast<const char*>(base) + ranges[i].offset),
+        ranges[i].bytes, ranges[i].offset);
     total += ranges[i].bytes;
   }
   if (count > 0) charge(total);  // one device operation for the cluster

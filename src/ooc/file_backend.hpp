@@ -9,8 +9,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "ooc/faults.hpp"
 
 namespace plfoc {
 
@@ -37,6 +40,8 @@ struct FileBackendOptions {
   bool preallocate = true;    ///< ftruncate to full size up front (zero-filled)
   bool remove_on_close = true;  ///< unlink backing files in the destructor
   DeviceModel device;         ///< virtual device cost accounting (off by default)
+  FaultConfig faults;         ///< seeded fault schedule (disabled by default)
+  RetryPolicy retry;          ///< bounded retry + backoff for transient errors
 };
 
 class FileBackend {
@@ -94,8 +99,39 @@ class FileBackend {
     io_ops_.store(0);
   }
 
+  // Robustness counters (see ooc/faults.hpp and docs/robustness.md). The
+  // stores fold these into their OocStats so per-job reports carry them.
+  /// Faults injected by the configured schedule (0 when injection is off).
+  std::uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+  /// Syscall re-attempts: EINTR, resumed short transfers, transient errors.
+  std::uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+  /// Logical transfers that exhausted the retry budget and threw IoError.
+  std::uint64_t io_exhausted() const {
+    return io_exhausted_.load(std::memory_order_relaxed);
+  }
+  void reset_fault_counters() {
+    faults_injected_.store(0, std::memory_order_relaxed);
+    io_retries_.store(0, std::memory_order_relaxed);
+    io_exhausted_.store(0, std::memory_order_relaxed);
+  }
+  /// Non-null when a fault schedule is configured.
+  const FaultInjector* injector() const { return injector_.get(); }
+
  private:
   void charge(std::size_t bytes);
+
+  /// The one I/O loop every transfer goes through: loops over short
+  /// transfers (resuming from the last completed byte) and EINTR
+  /// unconditionally — POSIX permits both on a healthy device — and retries
+  /// transient errors per RetryPolicy with exponential backoff. Consults the
+  /// fault injector, when configured, before each syscall. Throws IoError
+  /// once the retry budget is exhausted.
+  void transfer_all(bool is_write, int fd, void* buffer, std::size_t bytes,
+                    std::uint64_t offset);
 
   struct Location {
     int fd;
@@ -108,8 +144,12 @@ class FileBackend {
   FileBackendOptions options_;
   std::vector<int> fds_;
   std::vector<std::string> paths_;
+  std::unique_ptr<FaultInjector> injector_;  ///< null: injection disabled
   std::atomic<std::uint64_t> modeled_ns_{0};
   std::atomic<std::uint64_t> io_ops_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+  std::atomic<std::uint64_t> io_retries_{0};
+  std::atomic<std::uint64_t> io_exhausted_{0};
 };
 
 /// A unique temporary file path under $TMPDIR (or /tmp) for vector files.

@@ -74,6 +74,12 @@ bool OutOfCoreStore::is_resident(std::uint32_t index) const {
   return vector_slot_[index] != kNoSlot;
 }
 
+void OutOfCoreStore::refresh_fault_counters() {
+  stats_.faults_injected = file_.faults_injected();
+  stats_.io_retries = file_.io_retries();
+  stats_.io_exhausted = file_.io_exhausted();
+}
+
 void OutOfCoreStore::file_read(std::uint32_t index, double* dst) {
   if (options_.disk_precision == DiskPrecision::kDouble) {
     file_.read_vector(index, dst);
@@ -84,6 +90,7 @@ void OutOfCoreStore::file_read(std::uint32_t index, double* dst) {
   }
   ++stats_.file_reads;
   stats_.bytes_read += file_.bytes_per_vector();
+  refresh_fault_counters();
 }
 
 void OutOfCoreStore::file_write(std::uint32_t index, const double* src) {
@@ -96,6 +103,7 @@ void OutOfCoreStore::file_write(std::uint32_t index, const double* src) {
   }
   ++stats_.file_writes;
   stats_.bytes_written += file_.bytes_per_vector();
+  refresh_fault_counters();
   PLFOC_AUDIT_EVENT("file write", auditor_.record_file_write(index));
 }
 
@@ -171,6 +179,7 @@ double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
                                    index, mode == AccessMode::kWrite,
                                    read_skipped));
   PLFOC_AUDIT_TABLE("acquire");
+  PLFOC_AUDIT_EVENT("acquire stats", auditor_.check_stats(stats_));
   return slot_data(slot);
 }
 
@@ -197,16 +206,27 @@ void OutOfCoreStore::prefetch(std::uint32_t index) {
   } catch (const Error&) {
     return;  // everything pinned; skip this prefetch
   }
-  if (options_.disk_precision == DiskPrecision::kDouble) {
-    file_.read_vector(index, slot_data(slot));
-  } else {
-    file_.read_vector(index, float_scratch_.data());
-    double* dst = slot_data(slot);
-    for (std::size_t i = 0; i < width_; ++i)
-      dst[i] = static_cast<double>(float_scratch_[i]);
+  // Prefetching is advisory: a transfer whose retry budget is exhausted must
+  // not propagate IoError onto the prefetch worker thread (which would call
+  // std::terminate). The slot stays free and the demand access either
+  // succeeds on retry or fails on the engine thread, where it is catchable.
+  try {
+    if (options_.disk_precision == DiskPrecision::kDouble) {
+      file_.read_vector(index, slot_data(slot));
+    } else {
+      file_.read_vector(index, float_scratch_.data());
+      double* dst = slot_data(slot);
+      for (std::size_t i = 0; i < width_; ++i)
+        dst[i] = static_cast<double>(float_scratch_[i]);
+    }
+  } catch (const IoError&) {
+    refresh_fault_counters();
+    PLFOC_AUDIT_TABLE("prefetch io-error");
+    return;
   }
   ++stats_.prefetch_reads;
   stats_.bytes_read += file_.bytes_per_vector();
+  refresh_fault_counters();
   vector_slot_[index] = slot;
   slots_[slot].vector = index;
   strategy_->on_load(index);
@@ -226,7 +246,23 @@ void OutOfCoreStore::flush() {
 
 OocStats OutOfCoreStore::stats_snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  OocStats out = stats_;
+  // Overlay the robustness counters straight from the backend atomics: an
+  // IoError unwinds past the stats_ mirroring, so the mirror can be stale
+  // exactly when a failure report is being assembled.
+  out.faults_injected = file_.faults_injected();
+  out.io_retries = file_.io_retries();
+  out.io_exhausted = file_.io_exhausted();
+  return out;
+}
+
+void OutOfCoreStore::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  file_.reset_fault_counters();
+  stats_ = OocStats{};
+#ifdef PLFOC_AUDIT
+  auditor_.reset_stats_baseline();
+#endif
 }
 
 }  // namespace plfoc

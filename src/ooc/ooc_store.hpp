@@ -79,8 +79,15 @@ class OutOfCoreStore final : public AncestralStore {
   void flush() override;
 
   /// Counters are mutated under mutex_ (including by the prefetch thread),
-  /// so a concurrent snapshot must take the same lock.
+  /// so a concurrent snapshot must take the same lock. The robustness
+  /// counters (faults_injected / io_retries / io_exhausted) are read fresh
+  /// from the backing file, so a snapshot taken right after an IoError still
+  /// reflects the failed transfer.
   OocStats stats_snapshot() const override;
+
+  /// Also clears the backing file's robustness counters (and, in audit
+  /// builds, the auditor's counter-monotonicity baseline).
+  void reset_stats() override;
 
   /// Backing-file accounting (I/O op counts, modeled device time).
   const FileBackend& file() const { return file_; }
@@ -120,6 +127,8 @@ class OutOfCoreStore final : public AncestralStore {
   /// Vector-level file transfer honouring disk_precision; lock held.
   void file_read(std::uint32_t index, double* dst);
   void file_write(std::uint32_t index, const double* src);
+  /// Mirror the backing file's robustness counters into stats_; lock held.
+  void refresh_fault_counters();
 
   OocStoreOptions options_;
   AlignedBuffer arena_;

@@ -178,4 +178,19 @@ void PagedStore::do_release(std::uint32_t index) {
   }
 }
 
+OocStats PagedStore::stats_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OocStats out = stats_;
+  out.faults_injected = file_.faults_injected();
+  out.io_retries = file_.io_retries();
+  out.io_exhausted = file_.io_exhausted();
+  return out;
+}
+
+void PagedStore::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  file_.reset_fault_counters();
+  stats_ = OocStats{};
+}
+
 }  // namespace plfoc

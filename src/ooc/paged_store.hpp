@@ -53,6 +53,12 @@ class PagedStore final : public AncestralStore {
   const FileBackend& file() const { return file_; }
   FileBackend& file() { return file_; }
 
+  /// Counters plus the backing file's robustness counters (faults_injected /
+  /// io_retries / io_exhausted), which live in backend atomics.
+  OocStats stats_snapshot() const override;
+  /// Also clears the backing file's robustness counters.
+  void reset_stats() override;
+
  protected:
   double* do_acquire(std::uint32_t index, AccessMode mode) override;
   void do_release(std::uint32_t index) override;
@@ -99,7 +105,7 @@ class PagedStore final : public AncestralStore {
   std::uint64_t lru_tail_ = kNoPage;  ///< least recently used
   std::vector<AccessMode> lease_mode_;  ///< active lease mode per vector
   std::vector<std::uint32_t> lease_count_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace plfoc

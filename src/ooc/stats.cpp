@@ -22,6 +22,9 @@ OocStats& OocStats::operator+=(const OocStats& other) {
   prefetch_reads += other.prefetch_reads;
   bytes_read += other.bytes_read;
   bytes_written += other.bytes_written;
+  faults_injected += other.faults_injected;
+  io_retries += other.io_retries;
+  io_exhausted += other.io_exhausted;
   return *this;
 }
 
@@ -36,7 +39,18 @@ std::string OocStats::summary() const {
                 static_cast<unsigned long long>(skipped_reads),
                 static_cast<double>(bytes_read) / 1048576.0,
                 static_cast<double>(bytes_written) / 1048576.0);
-  return buffer;
+  std::string out = buffer;
+  // The robustness counters only appear when something actually happened, so
+  // fault-free reports read exactly as before.
+  if (faults_injected != 0 || io_retries != 0 || io_exhausted != 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  " faults=%llu retried=%llu exhausted=%llu",
+                  static_cast<unsigned long long>(faults_injected),
+                  static_cast<unsigned long long>(io_retries),
+                  static_cast<unsigned long long>(io_exhausted));
+    out += buffer;
+  }
+  return out;
 }
 
 }  // namespace plfoc

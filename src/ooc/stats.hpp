@@ -22,14 +22,28 @@ struct OocStats {
   std::uint64_t prefetch_reads = 0;  ///< reads issued by the prefetch thread
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  // Robustness counters, mirrored from the FileBackend I/O core (see
+  // ooc/faults.hpp): lifetime totals of the store's backing file.
+  std::uint64_t faults_injected = 0;  ///< faults fired by the fault schedule
+  std::uint64_t io_retries = 0;       ///< syscall re-attempts / resumptions
+  std::uint64_t io_exhausted = 0;     ///< transfers that gave up (IoError)
 
   /// Fraction of vector requests not served from RAM (Figs. 2, 4).
+  /// 0.0 when no accesses were recorded (zero-denominator guard).
   double miss_rate() const {
     return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
   }
   /// Fraction of vector requests that triggered an actual disk read (Fig. 3).
+  /// 0.0 when no accesses were recorded (zero-denominator guard).
   double read_rate() const {
     return accesses == 0 ? 0.0 : static_cast<double>(file_reads) / static_cast<double>(accesses);
+  }
+  /// Fraction of misses whose swap-in read was elided by read skipping
+  /// (Sec. 3.4). 0.0 when no misses were recorded (zero-denominator guard).
+  double read_skip_rate() const {
+    return misses == 0 ? 0.0
+                       : static_cast<double>(skipped_reads) /
+                             static_cast<double>(misses);
   }
   /// Misses excluding compulsory (first-touch) ones. A stats object built
   /// from partially reset counters (reset_stats() between the cold

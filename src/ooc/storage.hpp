@@ -96,7 +96,9 @@ class AncestralStore {
   virtual void flush() {}
 
   const OocStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = OocStats{}; }
+  /// Zero the counters. Virtual so file-backed stores can also reset their
+  /// backend's robustness counters (and the auditor's monotonicity baseline).
+  virtual void reset_stats() { stats_ = OocStats{}; }
 
   /// Copy of the counters that is safe to take while a Prefetcher worker is
   /// still attached; plain stats() is only safe once the store is quiescent.

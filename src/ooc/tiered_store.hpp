@@ -67,6 +67,12 @@ class TieredStore final : public AncestralStore {
 
   const FileBackend& file() const { return file_; }
 
+  /// Counters plus the backing file's robustness counters (faults_injected /
+  /// io_retries / io_exhausted), which live in backend atomics.
+  OocStats stats_snapshot() const override;
+  /// Also clears the backing file's robustness counters.
+  void reset_stats() override;
+
  protected:
   double* do_acquire(std::uint32_t index, AccessMode mode) override;
   void do_release(std::uint32_t index) override;
@@ -109,7 +115,7 @@ class TieredStore final : public AncestralStore {
   std::unique_ptr<ReplacementStrategy> fast_strategy_;
   std::unique_ptr<ReplacementStrategy> ram_strategy_;
   TierStats tier_stats_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace plfoc

@@ -76,6 +76,16 @@ struct JobResult {
   std::uint64_t charged_bytes = 0;  ///< slot memory charged to the budget
   bool degraded = false;  ///< scheduler shrank the limit / switched backend
   std::string error;      ///< non-empty iff status == kFailed
+  /// The failure was a typed storage error (IoError: retry budget exhausted),
+  /// as opposed to a bad spec or an internal error. Only ever true together
+  /// with status == kFailed.
+  bool io_failure = false;
+  /// Evaluation attempts the service made: 1 normally, 2 when an I/O failure
+  /// was re-admitted (ServiceOptions::readmit_io_failures).
+  unsigned attempts = 1;
+  /// Human-readable per-job fault report (op, errno, offset, robustness
+  /// counters, fault spec for reproduction). Non-empty iff io_failure.
+  std::string fault_report;
 };
 
 }  // namespace plfoc

@@ -63,6 +63,11 @@ void apply_key(JobFileEntry* entry, const std::string& key,
     entry->strategy = value;
   } else if (key == "budget") {
     entry->budget_bytes = parse_uint(line, key, value);
+  } else if (key == "faults") {
+    entry->faults = value;
+  } else if (key == "io-retries") {
+    entry->io_retries =
+        static_cast<long long>(parse_uint(line, key, value));
   } else {
     throw line_error(line, "unknown option '" + key + "'");
   }
@@ -133,6 +138,7 @@ std::vector<JobFileEntry> parse_job_lines(std::istream& in) {
       parse_backend_name(entry.backend);
       parse_data_type_name(entry.data_type);
       parse_policy(entry.strategy);
+      if (!entry.faults.empty()) FaultConfig::parse(entry.faults);
     } catch (const Error& error) {
       throw line_error(line, error.what());
     }
@@ -177,6 +183,11 @@ JobSpec load_job(const JobFileEntry& entry) {
     spec.session.ram_budget_bytes = entry.budget_bytes;
     spec.session.policy = parse_policy(entry.strategy);
     spec.session.seed = entry.seed;
+    if (!entry.faults.empty())
+      spec.session.faults = FaultConfig::parse(entry.faults);
+    if (entry.io_retries >= 0)
+      spec.session.io_retry.max_retries =
+          static_cast<unsigned>(entry.io_retries);
     return spec;
   } catch (const Error& error) {
     throw line_error(entry.line, error.what());

@@ -154,8 +154,23 @@ void Service::worker_loop(std::size_t /*worker*/) {
       });
       scheduler_.reserve(admission.charged_bytes);
     }
+    // Copy the spec up front when re-admission is on: run_job consumes it.
+    std::optional<JobSpec> retry_spec;
+    if (options_.readmit_io_failures) retry_spec = pending->spec;
     JobResult result =
-        run_job(pending->id, std::move(pending->spec), admission);
+        run_job(pending->id, std::move(pending->spec), admission, 1);
+    if (result.io_failure && retry_spec.has_value()) {
+      // One re-admission under the same admission charge. Bumping the nonce
+      // re-keys an injected fault schedule, modelling a transient fault that
+      // does not recur; a deterministic failure (rate=1) fails again and the
+      // second, final result is what the job reports.
+      retry_spec->session.faults.nonce += 1;
+      const std::string first_report = result.fault_report;
+      result = run_job(pending->id, std::move(*retry_spec), admission, 2);
+      if (result.io_failure && !first_report.empty())
+        result.fault_report = "attempt 1: " + first_report +
+                              "\nattempt 2: " + result.fault_report;
+    }
     result.queue_seconds = seconds_between(pending->enqueued, popped);
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -168,15 +183,22 @@ void Service::worker_loop(std::size_t /*worker*/) {
   }
 }
 
-JobResult Service::run_job(JobId id, JobSpec spec,
-                           const Admission& admission) {
+JobResult Service::run_job(JobId id, JobSpec spec, const Admission& admission,
+                           unsigned attempt) {
   JobResult result;
   result.id = id;
   result.name = spec.name;
   result.admitted_backend = admission.backend;
   result.charged_bytes = admission.charged_bytes;
   result.degraded = admission.degraded;
+  result.attempts = attempt;
   Timer timer;
+  // Both live outside the try so the IoError handler can still read the
+  // store's counters for the fault report. Declaration order matters: the
+  // prefetcher is destroyed (joining its worker thread) before the session
+  // and its store go away — the lifecycle contract in ooc/prefetch.hpp.
+  std::unique_ptr<Session> session;
+  std::unique_ptr<Prefetcher> prefetcher;
   try {
     // Surface an inconsistent *request* even when degradation would have
     // papered over it with a valid admitted configuration.
@@ -185,27 +207,49 @@ JobResult Service::run_job(JobId id, JobSpec spec,
     session_options.backend = admission.backend;
     session_options.ram_fraction = admission.ram_fraction;
     session_options.ram_budget_bytes = admission.ram_budget_bytes;
-    Session session(std::move(spec.alignment), std::move(spec.tree),
-                    std::move(spec.model), std::move(session_options));
-    // Declared after the session, destroyed before it: the Prefetcher's
-    // stop() joins its worker thread while the store is still alive, which
-    // is exactly the lifecycle contract in ooc/prefetch.hpp.
-    std::unique_ptr<Prefetcher> prefetcher;
+    session = std::make_unique<Session>(
+        std::move(spec.alignment), std::move(spec.tree), std::move(spec.model),
+        std::move(session_options));
     if (options_.prefetch_lookahead > 0) {
-      if (OutOfCoreStore* ooc = session.out_of_core()) {
+      if (OutOfCoreStore* ooc = session->out_of_core()) {
         prefetcher = std::make_unique<Prefetcher>(
             *ooc, options_.prefetch_lookahead);
-        session.engine().attach_prefetcher(prefetcher.get());
+        session->engine().attach_prefetcher(prefetcher.get());
       }
     }
-    const EvalResult eval = session.evaluate();
+    const EvalResult eval = session->evaluate();
     if (prefetcher != nullptr) {
-      session.engine().attach_prefetcher(nullptr);
+      session->engine().attach_prefetcher(nullptr);
       prefetcher->stop();
     }
     result.log_likelihood = eval.log_likelihood;
     result.stats = eval.stats;
     result.status = JobStatus::kDone;
+  } catch (const IoError& error) {
+    // Typed storage failure: the retry budget of one transfer was exhausted.
+    // Fail this job with a reproduction-grade fault report; the worker (and
+    // any sibling jobs) keep running.
+    if (prefetcher != nullptr) {
+      session->engine().attach_prefetcher(nullptr);
+      prefetcher->stop();
+    }
+    result.status = JobStatus::kFailed;
+    result.io_failure = true;
+    result.error = error.what();
+    std::string report = error.op() + " errno=" +
+                         std::to_string(error.errno_value()) + " offset=" +
+                         std::to_string(error.offset()) + " attempts=" +
+                         std::to_string(error.attempts()) +
+                         (error.injected() ? " injected" : " device");
+    if (session != nullptr) {
+      // Snapshot straight from the store: the failed transfer's counters
+      // never made it into an EvalResult.
+      result.stats = session->store().stats_snapshot();
+      report += " | " + result.stats.summary();
+      if (session->options().faults.enabled())
+        report += " | faults-spec: " + session->options().faults.spec();
+    }
+    result.fault_report = std::move(report);
   } catch (const std::exception& error) {
     // Error (the expected case: validation, I/O) and anything else the
     // evaluation throws; a worker thread must never die on a bad job.

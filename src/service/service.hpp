@@ -46,6 +46,12 @@ struct ServiceOptions {
   /// out-of-core job's store (torn down before the session, exercising the
   /// Prefetcher::stop() lifecycle).
   std::size_t prefetch_lookahead = 0;
+  /// Re-admit a job exactly once after a typed I/O failure (IoError: retry
+  /// budget exhausted). The retry reuses the same admission charge and bumps
+  /// FaultConfig::nonce so an injected schedule behaves like a real transient
+  /// fault (it does not deterministically repeat). JobResult::attempts
+  /// reports 2 for re-admitted jobs.
+  bool readmit_io_failures = false;
 };
 
 class Service {
@@ -87,7 +93,8 @@ class Service {
 
  private:
   void worker_loop(std::size_t worker);
-  JobResult run_job(JobId id, JobSpec spec, const Admission& admission);
+  JobResult run_job(JobId id, JobSpec spec, const Admission& admission,
+                    unsigned attempt);
 
   ServiceOptions options_;
   JobQueue queue_;

@@ -80,6 +80,8 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
                                : options_.vector_file;
       ooc.file.num_files = options_.num_files;
       ooc.file.device = options_.device;
+      ooc.file.faults = options_.faults;
+      ooc.file.retry = options_.io_retry;
       store_ = std::make_unique<OutOfCoreStore>(count, width, std::move(ooc));
       break;
     }
@@ -91,6 +93,8 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
                                  ? temp_vector_file_path("paged")
                                  : options_.vector_file;
       paged.file.device = options_.device;
+      paged.file.faults = options_.faults;
+      paged.file.retry = options_.io_retry;
       store_ = std::make_unique<PagedStore>(count, width, std::move(paged));
       break;
     }
@@ -107,6 +111,8 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
                                   ? temp_vector_file_path("tiered")
                                   : options_.vector_file;
       tiered.file.device = options_.device;
+      tiered.file.faults = options_.faults;
+      tiered.file.retry = options_.io_retry;
       store_ = std::make_unique<TieredStore>(count, width, std::move(tiered));
       break;
     }

@@ -60,6 +60,14 @@ struct SessionOptions {
   /// Virtual device cost model applied to all backing-file I/O (see
   /// ooc/file_backend.hpp); disabled by default.
   DeviceModel device;
+  /// Seeded fault-injection schedule applied to the backing file of every
+  /// file-backed backend (out-of-core / paged / tiered); disabled by default.
+  /// The mmap and in-RAM backends have no syscall I/O path and ignore it.
+  FaultConfig faults;
+  /// Retry budget + backoff for transient backing-file errors (injected or
+  /// real). max_retries = 0 disables retrying: the first transient error
+  /// surfaces as IoError.
+  RetryPolicy io_retry;
 
   /// Throws plfoc::Error unless the memory-limit fields are consistent with
   /// the backend: out-of-core needs exactly one of ram_fraction /

@@ -1,0 +1,181 @@
+// Shared harness for the differential equivalence fuzzers.
+//
+// A fuzz trial draws a random dataset (tree + simulated alignment), a random
+// model configuration, and a random traversal workload from one trial seed,
+// then evaluates the identical workload on a set of backend candidates. The
+// oracle is the paper's Sec. 4.1 criterion: every backend — any replacement
+// strategy, any read-skip setting, with or without an injected fault schedule
+// whose burst cap fits the retry budget — must produce log likelihoods
+// BIT-IDENTICAL to the InRamStore reference.
+//
+// Everything is derived deterministically from (master seed, trial index), so
+// any failure is reproduced by re-running with the printed master seed:
+//   PLFOC_FUZZ_MASTER=<seed> PLFOC_FUZZ_TRIALS=<n> ./plfoc_fault_tests
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "session.hpp"
+#include "sim/dataset_planner.hpp"
+#include "util/rng.hpp"
+
+namespace plfoc {
+namespace fuzz {
+
+/// Reads a positive integer override from the environment (CI knobs).
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  return (end != nullptr && *end == '\0' && parsed > 0) ? parsed : fallback;
+}
+
+/// The random workload shared verbatim by every candidate of one trial.
+struct TrialPlan {
+  DatasetPlan dataset;
+  double kappa = 2.0;
+  int model_choice = 0;    ///< 0 = jc, 1 = k80, 2 = benchmark GTR
+  unsigned categories = 4;
+  double alpha = 1.0;
+  int traversals = 2;      ///< extra full traversals after the first eval
+  std::uint64_t fault_seed = 1;
+  double fault_rate = 0.05;
+
+  std::string describe() const {
+    std::ostringstream out;
+    out << "taxa=" << dataset.num_taxa << " sites=" << dataset.num_sites
+        << " data-seed=" << dataset.seed << " model="
+        << (model_choice == 0 ? "jc" : model_choice == 1 ? "k80" : "gtr")
+        << " categories=" << categories << " alpha=" << alpha
+        << " traversals=" << traversals << " fault-seed=" << fault_seed
+        << " fault-rate=" << fault_rate;
+    return out.str();
+  }
+};
+
+/// Derive one trial's workload from (master, trial). Datasets stay small —
+/// the fuzzer's power is in the number of (trial x candidate) combinations,
+/// not in any single dataset's size.
+inline TrialPlan make_trial_plan(std::uint64_t master, std::uint64_t trial) {
+  Rng rng(master * 0x9e3779b97f4a7c15ull + trial + 1);
+  TrialPlan plan;
+  plan.dataset.num_taxa = 6 + static_cast<std::size_t>(rng.below(11));  // 6..16
+  plan.dataset.num_sites = 40 + static_cast<std::size_t>(rng.below(81));
+  plan.dataset.seed = rng.next();
+  plan.dataset.alpha = 0.5 + rng.uniform() * 1.5;
+  plan.kappa = 1.5 + rng.uniform() * 3.0;
+  plan.model_choice = static_cast<int>(rng.below(3));
+  plan.categories = 2 + static_cast<unsigned>(rng.below(3));  // 2..4
+  plan.alpha = 0.4 + rng.uniform() * 1.2;
+  plan.traversals = 1 + static_cast<int>(rng.below(3));  // 1..3
+  plan.fault_seed = rng.next() | 1;
+  plan.fault_rate = 0.02 + rng.uniform() * 0.08;  // <= 0.1, ISSUE ceiling
+  return plan;
+}
+
+inline SubstitutionModel trial_model(const TrialPlan& plan) {
+  if (plan.model_choice == 0) return jc69();
+  if (plan.model_choice == 1) return k80(plan.kappa);
+  return benchmark_gtr();
+}
+
+/// A fault schedule whose burst cap (2) fits inside the default retry budget
+/// (4): every transfer completes, so results stay bit-identical.
+inline FaultConfig trial_faults(const TrialPlan& plan) {
+  FaultConfig faults;
+  faults.seed = plan.fault_seed;
+  faults.rate = plan.fault_rate;
+  faults.burst = 2;
+  return faults;
+}
+
+/// Evaluate the trial's workload under the given storage options and return
+/// the log-likelihood sequence (first evaluation + each extra traversal).
+/// Bitwise equality of these vectors across candidates is the oracle. When
+/// `stats_out` is given it receives the store's final counter snapshot.
+inline std::vector<double> run_candidate(const TrialPlan& plan,
+                                         SessionOptions options,
+                                         OocStats* stats_out = nullptr) {
+  PlannedDataset data = make_dna_dataset(plan.dataset);
+  options.categories = plan.categories;
+  options.alpha = plan.alpha;
+  // Speed over backoff inside tests: injected transients retry immediately.
+  options.io_retry.backoff_initial_us = 0;
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  trial_model(plan), std::move(options));
+  std::vector<double> series;
+  series.reserve(1 + static_cast<std::size_t>(plan.traversals));
+  series.push_back(session.engine().log_likelihood());
+  for (int t = 0; t < plan.traversals; ++t)
+    series.push_back(session.engine().full_traversal_log_likelihood());
+  if (stats_out != nullptr) *stats_out = session.store().stats_snapshot();
+  return series;
+}
+
+/// One backend configuration entered into the differential comparison.
+struct Candidate {
+  std::string label;
+  SessionOptions options;
+};
+
+/// The full candidate roster for one trial: every replacement policy x
+/// read-skip setting for the out-of-core store (fault schedule on every
+/// other combination), the paged and tiered hierarchies under faults, and
+/// the mmap backend (no syscall path, no faults). 11 candidates per trial.
+inline std::vector<Candidate> make_candidates(const TrialPlan& plan) {
+  std::vector<Candidate> candidates;
+  const FaultConfig faults = trial_faults(plan);
+
+  const ReplacementPolicy policies[] = {
+      ReplacementPolicy::kRandom, ReplacementPolicy::kLru,
+      ReplacementPolicy::kLfu, ReplacementPolicy::kTopological};
+  const char* policy_names[] = {"random", "lru", "lfu", "topological"};
+  int combo = 0;
+  for (int p = 0; p < 4; ++p) {
+    for (const bool skip : {true, false}) {
+      Candidate candidate;
+      candidate.options.backend = Backend::kOutOfCore;
+      candidate.options.ram_fraction = 0.35;  // few slots, heavy eviction
+      candidate.options.policy = policies[p];
+      candidate.options.read_skipping = skip;
+      candidate.options.seed = plan.dataset.seed;
+      const bool faulty = (combo++ % 2) == 0;
+      if (faulty) candidate.options.faults = faults;
+      candidate.label = std::string("ooc/") + policy_names[p] +
+                        (skip ? "/skip" : "/noskip") +
+                        (faulty ? "/faults" : "");
+      candidates.push_back(std::move(candidate));
+    }
+  }
+
+  Candidate paged;
+  paged.options.backend = Backend::kPaged;
+  paged.options.ram_budget_bytes = 1u << 18;  // 64 pages: real paging churn
+  paged.options.faults = faults;
+  paged.label = "paged/faults";
+  candidates.push_back(std::move(paged));
+
+  Candidate tiered;
+  tiered.options.backend = Backend::kTiered;
+  tiered.options.tiered_fast_slots = 3;
+  tiered.options.tiered_ram_slots = 4;
+  tiered.options.seed = plan.dataset.seed;
+  tiered.options.faults = faults;
+  tiered.label = "tiered/faults";
+  candidates.push_back(std::move(tiered));
+
+  Candidate mmapped;
+  mmapped.options.backend = Backend::kMmap;
+  mmapped.label = "mmap";
+  candidates.push_back(std::move(mmapped));
+
+  return candidates;
+}
+
+}  // namespace fuzz
+}  // namespace plfoc

@@ -174,6 +174,82 @@ TEST(StoreAuditor, RejectsOutOfRangeEvents) {
   EXPECT_TRUE(auditor.record_release(6, 1).has_value());
 }
 
+TEST(StoreAuditor, CheckStatsAcceptsConsistentCounters) {
+  StoreAuditor auditor(6, 3);
+  OocStats stats;
+  stats.accesses = 10;
+  stats.hits = 6;
+  stats.misses = 4;
+  stats.cold_misses = 4;
+  stats.skipped_reads = 2;
+  EXPECT_EQ(auditor.check_stats(stats), std::nullopt);
+}
+
+TEST(StoreAuditor, CheckStatsRejectsBrokenIdentities) {
+  StoreAuditor auditor(6, 3);
+  OocStats stats;
+  stats.accesses = 10;
+  stats.hits = 6;
+  stats.misses = 3;  // 6 + 3 != 10
+  auto violation = auditor.check_stats(stats);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("accesses"), std::string::npos);
+
+  stats.misses = 4;
+  stats.cold_misses = 5;  // more compulsory misses than misses
+  violation = auditor.check_stats(stats);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("cold_misses"), std::string::npos);
+
+  stats.cold_misses = 4;
+  stats.skipped_reads = 5;  // every skip is a miss; 5 > 4
+  violation = auditor.check_stats(stats);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("skipped_reads"), std::string::npos);
+}
+
+TEST(StoreAuditor, CheckStatsDetectsBackwardsCounters) {
+  StoreAuditor auditor(6, 3);
+  OocStats first;
+  first.accesses = 8;
+  first.hits = 5;
+  first.misses = 3;
+  first.io_retries = 2;
+  first.faults_injected = 2;
+  ASSERT_EQ(auditor.check_stats(first), std::nullopt);
+
+  // A later snapshot where a lifetime counter shrank is corruption.
+  OocStats second = first;
+  second.io_retries = 1;
+  const auto violation = auditor.check_stats(second);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("io_retries ran backwards"), std::string::npos);
+
+  // A failed check must not poison the baseline: the original counters
+  // still pass, and genuine growth passes too.
+  EXPECT_EQ(auditor.check_stats(first), std::nullopt);
+  OocStats third = first;
+  third.accesses = 9;
+  third.hits = 6;
+  EXPECT_EQ(auditor.check_stats(third), std::nullopt);
+}
+
+TEST(StoreAuditor, ResetStatsBaselineAllowsFreshCounters) {
+  StoreAuditor auditor(6, 3);
+  OocStats grown;
+  grown.accesses = 100;
+  grown.hits = 60;
+  grown.misses = 40;
+  ASSERT_EQ(auditor.check_stats(grown), std::nullopt);
+
+  // After a store-level reset_stats() the counters legitimately restart
+  // from zero; the paired baseline reset makes the auditor accept that.
+  OocStats fresh;
+  ASSERT_TRUE(auditor.check_stats(fresh).has_value());
+  auditor.reset_stats_baseline();
+  EXPECT_EQ(auditor.check_stats(fresh), std::nullopt);
+}
+
 TEST(StoreAuditor, EnforceIsSilentWithoutViolation) {
   StoreAuditor auditor(6, 3);
   auditor.enforce(std::nullopt, "noop");  // must not abort

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 #include <vector>
 
+#include "ooc/ooc_store.hpp"
 #include "tree/distances.hpp"
 #include "tree/newick.hpp"
 #include "util/checks.hpp"
+#include "util/rng.hpp"
 
 namespace plfoc {
 namespace {
@@ -128,6 +131,80 @@ TEST(Replacement, TopologicalRejectsSizeMismatch) {
   const Tree tree = parse_newick("(a,b,(c,d));");
   EXPECT_THROW(
       make_strategy({ReplacementPolicy::kTopological, 99, 1, &tree}), Error);
+}
+
+// Property test under real eviction pressure: every policy must preserve two
+// invariants that no victim choice may break — (1) the engine's pinned
+// triple (two child leases + the write target) stays resident for as long as
+// the leases are held, and (2) the data each vector carries survives any
+// sequence of evictions and swap-ins. In PLFOC_AUDIT builds the store
+// additionally replays each mutation through its internal StoreAuditor, so a
+// policy returning a pinned victim aborts the test immediately.
+TEST(Replacement, AllPoliciesKeepPinsResidentAndDataIntactUnderPressure) {
+  // Ladder tree so kTopological has the tree geometry it requires.
+  std::string newick;
+  for (int i = 0; i < 17; ++i) newick += "(t" + std::to_string(i) + ",";
+  newick += "(t17,t18" + std::string(18, ')') + ";";
+  const Tree tree = parse_newick(newick);
+  const std::uint32_t n = static_cast<std::uint32_t>(tree.num_inner());
+  ASSERT_GE(n, 8u);
+  const std::size_t width = 24;
+
+  for (ReplacementPolicy policy :
+       {ReplacementPolicy::kRandom, ReplacementPolicy::kLru,
+        ReplacementPolicy::kLfu, ReplacementPolicy::kTopological}) {
+    SCOPED_TRACE(policy_name(policy));
+    OocStoreOptions options;
+    options.num_slots = 5;  // m = 5 << n: constant eviction churn
+    options.policy = policy;
+    options.seed = 7;
+    options.tree = &tree;
+    options.file.base_path = temp_vector_file_path(
+        std::string("policy_prop_") + policy_name(policy));
+    OutOfCoreStore store(n, width, options);
+
+    // Shadow model of every vector's expected contents.
+    std::vector<double> shadow(n, 0.0);
+    for (std::uint32_t idx = 0; idx < n; ++idx) {
+      auto lease = store.acquire(idx, AccessMode::kWrite);
+      shadow[idx] = idx * 1000.0;
+      for (std::size_t i = 0; i < width; ++i) lease.data()[i] = shadow[idx];
+    }
+
+    Rng rng(static_cast<std::uint64_t>(policy) * 101 + 13);
+    for (int step = 0; step < 300; ++step) {
+      // An engine-shaped access: two distinct read children plus a distinct
+      // write target, all pinned at once.
+      const std::uint32_t target = static_cast<std::uint32_t>(rng.below(n));
+      std::uint32_t left = static_cast<std::uint32_t>(rng.below(n));
+      while (left == target) left = static_cast<std::uint32_t>(rng.below(n));
+      std::uint32_t right = static_cast<std::uint32_t>(rng.below(n));
+      while (right == target || right == left)
+        right = static_cast<std::uint32_t>(rng.below(n));
+
+      auto left_lease = store.acquire(left, AccessMode::kRead);
+      auto right_lease = store.acquire(right, AccessMode::kRead);
+      auto target_lease = store.acquire(target, AccessMode::kWrite);
+      EXPECT_TRUE(store.is_resident(left));
+      EXPECT_TRUE(store.is_resident(right));
+      EXPECT_TRUE(store.is_resident(target));
+
+      ASSERT_EQ(left_lease.data()[0], shadow[left]) << "step " << step;
+      ASSERT_EQ(right_lease.data()[width - 1], shadow[right])
+          << "step " << step;
+      shadow[target] = shadow[left] + shadow[right] + 1.0;
+      for (std::size_t i = 0; i < width; ++i)
+        target_lease.data()[i] = shadow[target];
+    }
+
+    // Full sweep: every vector still carries exactly its shadow value.
+    for (std::uint32_t idx = 0; idx < n; ++idx) {
+      auto lease = store.acquire(idx, AccessMode::kRead);
+      for (std::size_t i = 0; i < width; ++i)
+        ASSERT_EQ(lease.data()[i], shadow[idx]) << "vector " << idx;
+    }
+    EXPECT_GT(store.stats().evictions, 0u);
+  }
 }
 
 TEST(Replacement, StrategyNames) {

@@ -380,6 +380,102 @@ TEST(Service, PrefetcherLifecycleSurvivesBatch) {
   }
 }
 
+// ---------------------------------------------------- Fault-injected jobs
+
+/// A job whose fault schedule deterministically defeats the retry budget.
+JobSpec make_lethal_job(std::uint64_t seed) {
+  JobSpec spec = make_job(seed, Backend::kOutOfCore, 0.3);
+  spec.session.faults.seed = seed;
+  spec.session.faults.rate = 1.0;
+  spec.session.faults.kinds = kFaultEio;
+  spec.session.faults.burst = 1u << 20;
+  spec.session.io_retry.max_retries = 0;
+  spec.session.io_retry.backoff_initial_us = 0;
+  return spec;
+}
+
+TEST(Service, IoFailureIsTypedAndTheWorkerSurvives) {
+  ServiceOptions options;
+  options.workers = 1;  // both jobs land on the same worker thread
+  Service service(options);
+  const JobId doomed = service.submit(make_lethal_job(201));
+  const JobId healthy = service.submit(make_job(202, Backend::kInRam));
+  service.drain();
+
+  const JobResult failed = service.wait(doomed);
+  EXPECT_EQ(failed.status, JobStatus::kFailed);
+  EXPECT_TRUE(failed.io_failure);
+  EXPECT_EQ(failed.attempts, 1u);
+  EXPECT_NE(failed.error.find("[injected]"), std::string::npos)
+      << failed.error;
+  EXPECT_NE(failed.fault_report.find("injected"), std::string::npos)
+      << failed.fault_report;
+  EXPECT_GT(failed.stats.io_exhausted, 0u)
+      << "the per-job snapshot must survive the unwinding IoError";
+
+  // The worker that just unwound an IoError completes the next job.
+  EXPECT_EQ(service.wait(healthy).status, JobStatus::kDone);
+}
+
+TEST(Service, ReadmissionRetriesOnceAndReportsBothAttempts) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.readmit_io_failures = true;
+  Service service(options);
+  const JobId doomed = service.submit(make_lethal_job(211));
+  service.drain();
+
+  // rate=1 defeats attempt 2's re-keyed schedule as well: the job must fail
+  // typed after exactly two attempts, with both reports preserved.
+  const JobResult result = service.wait(doomed);
+  EXPECT_EQ(result.status, JobStatus::kFailed);
+  EXPECT_TRUE(result.io_failure);
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_NE(result.fault_report.find("attempt 1:"), std::string::npos)
+      << result.fault_report;
+  EXPECT_NE(result.fault_report.find("attempt 2:"), std::string::npos);
+}
+
+TEST(Service, ReadmissionEndsInExactlyTwoStates) {
+  // A stochastic schedule (eio bursts vs a 4-deep retry budget) makes each
+  // attempt a deterministic-per-seed coin toss. With re-admission on, every
+  // job must end either kDone with the bit-exact reference likelihood or
+  // kFailed+typed after two attempts — nothing else, and never a dead worker.
+  const double reference =
+      sequential_log_likelihood(make_job(1, Backend::kOutOfCore, 0.3));
+  ServiceOptions options;
+  options.workers = 2;
+  options.readmit_io_failures = true;
+  Service service(options);
+  std::vector<JobId> ids;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    JobSpec spec = make_job(1, Backend::kOutOfCore, 0.3);
+    spec.session.faults.seed = seed * 7919;
+    spec.session.faults.rate = 0.7;
+    spec.session.faults.kinds = kFaultEio;
+    spec.session.faults.burst = 1u << 12;
+    spec.session.io_retry.backoff_initial_us = 0;
+    ids.push_back(service.submit(std::move(spec)));
+  }
+  service.drain();
+
+  for (const JobId id : ids) {
+    const JobResult result = service.wait(id);
+    if (result.status == JobStatus::kDone) {
+      EXPECT_EQ(result.log_likelihood, reference);
+      EXPECT_FALSE(result.io_failure);
+    } else {
+      EXPECT_EQ(result.status, JobStatus::kFailed);
+      EXPECT_TRUE(result.io_failure);
+      EXPECT_EQ(result.attempts, 2u);
+      EXPECT_FALSE(result.fault_report.empty());
+    }
+  }
+  // The schedules fired: injected faults are visible in the merged counters.
+  EXPECT_GT(service.merged_stats().faults_injected, 0u);
+  EXPECT_GT(service.merged_stats().io_retries, 0u);
+}
+
 // ----------------------------------------------------------------- Jobfile
 
 TEST(Jobfile, ParsesFieldsAndOptions) {

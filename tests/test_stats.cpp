@@ -10,6 +10,25 @@ TEST(Stats, RatesAreZeroWithoutAccesses) {
   EXPECT_EQ(stats.miss_rate(), 0.0);
   EXPECT_EQ(stats.read_rate(), 0.0);
   EXPECT_EQ(stats.capacity_miss_rate(), 0.0);
+  EXPECT_EQ(stats.read_skip_rate(), 0.0);
+}
+
+TEST(Stats, ReadSkipRateGuardsZeroMisses) {
+  // skipped_reads > 0 with misses == 0 can only come from a hand-assembled
+  // or partially reset object; the rate must stay 0.0, not divide by zero.
+  OocStats stats;
+  stats.accesses = 10;
+  stats.hits = 10;
+  stats.skipped_reads = 3;
+  EXPECT_EQ(stats.read_skip_rate(), 0.0);
+}
+
+TEST(Stats, ReadSkipRateIsSkippedOverMisses) {
+  OocStats stats;
+  stats.accesses = 10;
+  stats.misses = 8;
+  stats.skipped_reads = 6;
+  EXPECT_DOUBLE_EQ(stats.read_skip_rate(), 0.75);
 }
 
 TEST(Stats, MissRate) {
@@ -63,6 +82,9 @@ TEST(Stats, PlusEqualsAccumulatesAllCounters) {
   a.prefetch_reads = 9;
   a.bytes_read = 10;
   a.bytes_written = 11;
+  a.faults_injected = 12;
+  a.io_retries = 13;
+  a.io_exhausted = 14;
   OocStats b = a;
   b += a;
   EXPECT_EQ(b.accesses, 2u);
@@ -76,6 +98,9 @@ TEST(Stats, PlusEqualsAccumulatesAllCounters) {
   EXPECT_EQ(b.prefetch_reads, 18u);
   EXPECT_EQ(b.bytes_read, 20u);
   EXPECT_EQ(b.bytes_written, 22u);
+  EXPECT_EQ(b.faults_injected, 24u);
+  EXPECT_EQ(b.io_retries, 26u);
+  EXPECT_EQ(b.io_exhausted, 28u);
 }
 
 TEST(Stats, PlusEqualsThenCapacityMissRateStaysFinite) {
@@ -103,6 +128,21 @@ TEST(Stats, SummaryMentionsKeyCounters) {
   EXPECT_NE(text.find("reads=7"), std::string::npos);
   EXPECT_NE(text.find("writes=3"), std::string::npos);
   EXPECT_NE(text.find("skipped=14"), std::string::npos);
+  // Fault-free runs keep the robustness counters out of the summary line.
+  EXPECT_EQ(text.find("faults="), std::string::npos);
+}
+
+TEST(Stats, SummaryShowsRobustnessCountersOnlyWhenActive) {
+  OocStats stats;
+  stats.accesses = 4;
+  stats.hits = 4;
+  stats.faults_injected = 9;
+  stats.io_retries = 5;
+  stats.io_exhausted = 1;
+  const std::string text = stats.summary();
+  EXPECT_NE(text.find("faults=9"), std::string::npos);
+  EXPECT_NE(text.find("retried=5"), std::string::npos);
+  EXPECT_NE(text.find("exhausted=1"), std::string::npos);
 }
 
 }  // namespace
