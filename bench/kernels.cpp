@@ -2,16 +2,28 @@
 // branch evaluation across state counts, child kinds and Γ settings. These
 // support the experiment harnesses by quantifying the pure compute cost per
 // ancestral-vector element, independent of storage.
+//
+// Thread-scaling mode (docs/parallelism.md): `kernels --json <path>
+// [--threads 1,2,4]` skips google-benchmark and instead sweeps the
+// block-parallel kernels over patterns x categories x threads, writing a
+// machine-readable JSON report with per-cell throughput and speedup_vs_1.
+// CI's bench smoke runs this at --threads 1,2 and uploads the artifact.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "likelihood/kernel_pool.hpp"
 #include "likelihood/kernels.hpp"
 #include "model/eigen.hpp"
 #include "model/gamma.hpp"
 #include "model/protein_matrices.hpp"
 #include "model/transition.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace plfoc {
 namespace {
@@ -174,7 +186,143 @@ void BM_TransitionMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_TransitionMatrix)->Arg(4)->Arg(20);
 
+// ---------------------------------------------------------------------------
+// --json mode: thread-scaling sweep with a machine-readable report.
+
+struct SweepRow {
+  const char* kernel;
+  std::size_t patterns;
+  unsigned categories;
+  unsigned threads;
+  double seconds_per_call = 0.0;
+  double patterns_per_second = 0.0;
+  double speedup_vs_1 = 1.0;
+};
+
+/// Wall-time one kernel invocation, auto-scaling repetitions until the
+/// measurement window is long enough to trust on a noisy CI host.
+template <typename Fn>
+double time_per_call(const Fn& fn) {
+  fn();  // warm-up (page-in, pool wake-up)
+  std::size_t reps = 1;
+  for (;;) {
+    Timer timer;
+    for (std::size_t r = 0; r < reps; ++r) fn();
+    const double elapsed = timer.seconds();
+    if (elapsed >= 0.05 || reps >= (1u << 20))
+      return elapsed / static_cast<double>(reps);
+    reps *= 4;
+  }
+}
+
+int run_json_sweep(const std::string& json_path,
+                   const std::vector<unsigned>& thread_counts) {
+  const std::size_t pattern_counts[] = {1024, 8192};
+  const unsigned category_counts[] = {1, 4};
+  std::vector<SweepRow> rows;
+
+  for (const std::size_t patterns : pattern_counts) {
+    for (const unsigned categories : category_counts) {
+      KernelFixture fx(patterns, categories, 4);
+      EvalSide near_side{fx.left.data(), fx.lscale.data(), nullptr,
+                         nullptr,        nullptr,          nullptr, nullptr};
+      EvalSide far_side{fx.right.data(), fx.rscale.data(), nullptr,
+                        nullptr,         nullptr,          nullptr, nullptr};
+      double newview_base = 0.0;
+      double evaluate_base = 0.0;
+      for (const unsigned threads : thread_counts) {
+        KernelPool pool(threads);
+        KernelPool* handle = threads > 1 ? &pool : nullptr;
+
+        SweepRow nv{"newview", patterns, categories, threads};
+        nv.seconds_per_call = time_per_call([&] {
+          newview(fx.dims, fx.inner_left(), fx.inner_right(),
+                  fx.parent.data(), fx.pscale.data(), handle);
+          benchmark::DoNotOptimize(fx.parent.data());
+        });
+        nv.patterns_per_second =
+            static_cast<double>(patterns) / nv.seconds_per_call;
+        if (newview_base == 0.0) newview_base = nv.seconds_per_call;
+        nv.speedup_vs_1 = newview_base / nv.seconds_per_call;
+        rows.push_back(nv);
+
+        SweepRow ev{"evaluate_branch", patterns, categories, threads};
+        ev.seconds_per_call = time_per_call([&] {
+          const BranchValue value = evaluate_branch(
+              fx.dims, fx.freqs.data(), fx.weights.data(), near_side,
+              far_side, fx.pmat_left.data(), nullptr, nullptr, false, handle);
+          benchmark::DoNotOptimize(value);
+        });
+        ev.patterns_per_second =
+            static_cast<double>(patterns) / ev.seconds_per_call;
+        if (evaluate_base == 0.0) evaluate_base = ev.seconds_per_call;
+        ev.speedup_vs_1 = evaluate_base / ev.seconds_per_call;
+        rows.push_back(ev);
+      }
+    }
+  }
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"kernels\",\n");
+  std::fprintf(out, "  \"pattern_block\": %zu,\n", kPatternBlock);
+  std::fprintf(out, "  \"states\": 4,\n  \"sweep\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"patterns\": %zu, "
+                 "\"categories\": %u, \"threads\": %u, "
+                 "\"seconds_per_call\": %.9e, \"patterns_per_second\": %.6e, "
+                 "\"speedup_vs_1\": %.4f}%s\n",
+                 row.kernel, row.patterns, row.categories, row.threads,
+                 row.seconds_per_call, row.patterns_per_second,
+                 row.speedup_vs_1, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %zu sweep rows to %s\n", rows.size(), json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace plfoc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --json <path> switches to the thread-scaling sweep; anything else is
+  // handed to google-benchmark untouched.
+  std::string json_path;
+  std::vector<unsigned> thread_counts = {1, 2, 4};
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts.clear();
+      const std::string list = argv[++i];
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        const unsigned long value = std::strtoul(item.c_str(), nullptr, 10);
+        if (value > 0) thread_counts.push_back(static_cast<unsigned>(value));
+        pos = comma == std::string::npos ? list.size() : comma + 1;
+      }
+      if (thread_counts.empty()) thread_counts = {1};
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty())
+    return plfoc::run_json_sweep(json_path, thread_counts);
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,7 +6,12 @@
 // out-of-core stores (higher miss rate) while peak charged slot memory stays
 // within the budget; log likelihoods are bit-identical across every cell of
 // the sweep (the service's determinism contract).
+//
+// `--json <path>` additionally writes the sweep as a machine-readable report
+// (one object per cell) for CI artifacts and trend tracking.
 #include <cmath>
+#include <cstring>
+#include <string>
 
 #include "bench_common.hpp"
 #include "likelihood/memory_model.hpp"
@@ -38,7 +43,12 @@ JobSpec make_job(const SearchDataset& dataset, std::size_t index) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+
   const Scale scale = scale_from_env();
   const std::size_t taxa = scale == Scale::kQuick ? 48 : 128;
   const std::size_t sites = scale == Scale::kQuick ? 240 : 600;
@@ -115,5 +125,35 @@ int main() {
   }
   std::printf("# deterministic across all cells: %s\n",
               deterministic ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"service_throughput\",\n");
+    std::fprintf(out, "  \"scale\": \"%s\",\n  \"jobs\": %zu,\n",
+                 scale_name(scale), jobs);
+    std::fprintf(out, "  \"deterministic\": %s,\n  \"sweep\": [\n",
+                 deterministic ? "true" : "false");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const SweepCell& cell = cells[i];
+      std::fprintf(out,
+                   "    {\"workers\": %zu, \"ram_budget_bytes\": %llu, "
+                   "\"jobs_per_second\": %.4f, \"speedup_vs_serial\": %.4f, "
+                   "\"miss_rate\": %.6f, \"peak_charged_bytes\": %llu, "
+                   "\"degraded_jobs\": %zu}%s\n",
+                   cell.workers,
+                   static_cast<unsigned long long>(cell.budget),
+                   cell.jobs_per_second,
+                   base > 0.0 ? cell.jobs_per_second / base : 0.0,
+                   cell.miss_rate,
+                   static_cast<unsigned long long>(cell.peak_bytes),
+                   cell.degraded, i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
   return deterministic ? 0 : 1;
 }

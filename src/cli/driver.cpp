@@ -63,6 +63,9 @@ CliConfig parse_cli(int argc, const char* const* argv) {
                   "[,kinds=short|eintr|eio|enospc|latency][,latency-ns=N]")
       .add_uint("io-retries", &config.io_retries,
                 "transient I/O retry budget per transfer (0 = fail fast)")
+      .add_uint("threads", &config.threads,
+                "kernel threads for block-parallel PLF kernels (1 = serial; "
+                "logL is bit-identical for every value)")
       .add_string("mode", &config.mode,
                   "evaluate | search | traverse | mcmc")
       .add_uint("traversals", &config.traversals,
@@ -135,6 +138,7 @@ int run_cli(const CliConfig& config, std::ostream& out) {
   if (!config.inject_faults.empty())
     options.faults = FaultConfig::parse(config.inject_faults);
   options.io_retry.max_retries = static_cast<unsigned>(config.io_retries);
+  options.threads = static_cast<unsigned>(config.threads);
   Session session(std::move(alignment), std::move(tree), std::move(model),
                   options);
   if (options.faults.enabled())
@@ -223,6 +227,9 @@ BatchConfig parse_batch_cli(int argc, const char* const* argv) {
       .add_uint("io-retries", &config.io_retries,
                 "batch-default transient I/O retry budget "
                 "(a job's io-retries= key overrides; 0 = fail fast)")
+      .add_uint("threads", &config.threads,
+                "batch-default kernel threads per worker "
+                "(a job's threads= key overrides; logL is unaffected)")
       .add_flag("readmit", &config.readmit,
                 "re-admit a job once after a typed I/O failure");
   // The jobfile may lead as a positional: `plfoc batch jobs.txt --workers 4`.
@@ -266,6 +273,7 @@ int run_batch_cli(const BatchConfig& config, std::ostream& out) {
   options.ram_budget_bytes = config.ram_budget;
   options.prefetch_lookahead = static_cast<std::size_t>(config.prefetch);
   options.readmit_io_failures = config.readmit;
+  options.kernel_threads = static_cast<unsigned>(config.threads);
   Service service(options);
   for (const JobFileEntry& entry : entries) {
     JobSpec spec = load_job(entry);

@@ -44,6 +44,8 @@ struct CliConfig {
   // robustness (docs/robustness.md)
   std::string inject_faults;         // FaultConfig spec "seed=N,rate=P,..."
   std::uint64_t io_retries = 4;      // transient-error retry budget (0 = off)
+  // parallelism (docs/parallelism.md)
+  std::uint64_t threads = 1;         // kernel threads (1 = serial)
   // workload
   std::string mode = "evaluate";     // evaluate | search | traverse | mcmc
   std::uint64_t traversals = 5;      // traverse mode
@@ -74,9 +76,11 @@ struct BatchConfig {
   std::uint64_t queue_capacity = 64;  ///< bounded intake (backpressure)
   std::uint64_t prefetch = 0;         ///< prefetcher lookahead; 0 = off
   bool print_stats = false;           ///< per-job + merged store counters
-  /// Batch-wide defaults; a job line's own faults= / io-retries= keys win.
+  /// Batch-wide defaults; a job line's own faults= / io-retries= / threads=
+  /// keys win.
   std::string inject_faults;          ///< FaultConfig spec "seed=N,rate=P,..."
   std::uint64_t io_retries = 4;       ///< transient-error retry budget
+  std::uint64_t threads = 1;          ///< kernel threads per worker
   bool readmit = false;               ///< re-admit I/O-failed jobs once
 };
 

@@ -120,7 +120,8 @@ void LikelihoodEngine::execute(std::span<const TraversalStep> steps) {
 
     VectorLease parent_lease =
         store_.acquire(vector_index(step.parent), AccessMode::kWrite);
-    newview(dims_, left, right, parent_lease.data(), scale_data(step.parent));
+    newview(dims_, left, right, parent_lease.data(), scale_data(step.parent),
+            kernel_pool_);
   }
 }
 
@@ -178,7 +179,7 @@ BranchValue LikelihoodEngine::evaluate_at(NodeId a, NodeId b, double t,
                          pmat_left_.data(),
                          with_derivatives ? dmat_.data() : nullptr,
                          with_derivatives ? d2mat_.data() : nullptr,
-                         with_derivatives);
+                         with_derivatives, kernel_pool_);
 }
 
 double LikelihoodEngine::log_likelihood(NodeId a, NodeId b) {
@@ -218,7 +219,7 @@ std::vector<double> LikelihoodEngine::pattern_log_likelihoods(NodeId a,
   std::vector<double> out(dims_.patterns);
   per_pattern_log_likelihoods(dims_, config_.substitution.frequencies.data(),
                               near_side, far_side, pmat_left_.data(),
-                              out.data());
+                              out.data(), kernel_pool_);
   return out;
 }
 

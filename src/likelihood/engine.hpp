@@ -115,6 +115,12 @@ class LikelihoodEngine {
   /// upcoming inner-child read sequence of each descriptor before computing.
   void attach_prefetcher(Prefetcher* prefetcher) { prefetcher_ = prefetcher; }
 
+  /// Attach (or detach with nullptr) a kernel-thread pool; the PLF kernels
+  /// then run pattern-block parallel on its team. Results are bit-identical
+  /// with and without a pool (see docs/parallelism.md). The pool must
+  /// outlive the engine's kernel calls; the Session owns both.
+  void attach_kernel_pool(KernelPool* pool) { kernel_pool_ = pool; }
+
   /// While set, execute() appends the parent node of every pruning operation
   /// it performs. The lazy-SPR search uses this to invalidate exactly the
   /// vectors a trial move recomputed when the move is rolled back.
@@ -152,6 +158,7 @@ class LikelihoodEngine {
   Orientation orientation_;
   std::vector<std::int32_t> scale_counts_;  ///< num_inner × patterns
   Prefetcher* prefetcher_ = nullptr;
+  KernelPool* kernel_pool_ = nullptr;
   std::vector<NodeId>* journal_ = nullptr;
 
   // Scratch buffers reused across operations (sized on first use).

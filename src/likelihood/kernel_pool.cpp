@@ -1,0 +1,89 @@
+#include "likelihood/kernel_pool.hpp"
+
+namespace plfoc {
+
+KernelPool::KernelPool(unsigned threads)
+    : threads_(threads == 0 ? 1u : threads) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+KernelPool::~KernelPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void KernelPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job;
+    std::size_t blocks;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      blocks = blocks_;
+    }
+    try {
+      for (;;) {
+        const std::size_t b =
+            next_block_.fetch_add(1, std::memory_order_relaxed);
+        if (b >= blocks) break;
+        (*job)(b);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--busy_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void KernelPool::run_blocks(std::size_t blocks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (blocks == 0) return;
+  if (workers_.empty() || blocks == 1) {
+    for (std::size_t b = 0; b < blocks; ++b) fn(b);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    blocks_ = blocks;
+    error_ = nullptr;
+    next_block_.store(0, std::memory_order_relaxed);
+    busy_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  try {
+    for (;;) {
+      const std::size_t b = next_block_.fetch_add(1, std::memory_order_relaxed);
+      if (b >= blocks) break;
+      fn(b);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace plfoc

@@ -1,0 +1,63 @@
+// Persistent thread team for block-parallel PLF kernels.
+//
+// A KernelPool is created once per Session (sized by --threads) and reused
+// for every newview / evaluate_branch / per_pattern_log_likelihoods call, so
+// the kernels never pay thread creation on the hot path. Work is handed out
+// as pattern-block indices from an atomic counter: WHICH thread runs WHICH
+// block is nondeterministic, but callers only write block-disjoint outputs
+// and reduce per-block partials serially in block order, so every result is
+// independent of the thread count (see docs/parallelism.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace plfoc {
+
+class KernelPool {
+ public:
+  /// `threads` is the TOTAL parallelism including the calling thread; the
+  /// pool spawns threads - 1 workers (none for threads <= 1).
+  explicit KernelPool(unsigned threads);
+  ~KernelPool();
+
+  KernelPool(const KernelPool&) = delete;
+  KernelPool& operator=(const KernelPool&) = delete;
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs fn(b) for every b in [0, blocks), distributing blocks across the
+  /// team (the caller participates), and returns when all blocks are done.
+  /// Rethrows the first exception any invocation of fn raised. Not
+  /// re-entrant: one job at a time, submitted from one thread (each Session
+  /// owns its pool, so this holds by construction).
+  void run_blocks(std::size_t blocks,
+                  const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  ///< bumped per job; workers wait on it
+  std::size_t blocks_ = 0;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t busy_workers_ = 0;
+  std::exception_ptr error_;
+
+  std::atomic<std::size_t> next_block_{0};
+};
+
+}  // namespace plfoc

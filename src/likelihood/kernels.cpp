@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
+#include "likelihood/kernel_pool.hpp"
 #include "likelihood/kernels_internal.hpp"
 
 #include "util/checks.hpp"
@@ -27,7 +29,8 @@ inline void propagate_inner(const double* pmat_c, const double* child_block,
 template <unsigned S>
 std::size_t newview_impl(const KernelDims& dims, const NewviewChild& left,
                          const NewviewChild& right, double* parent,
-                         std::int32_t* parent_scale) {
+                         std::int32_t* parent_scale, std::size_t p_begin,
+                         std::size_t p_end) {
   const unsigned states = S != 0 ? S : dims.states;
   const unsigned cats = dims.categories;
   const std::size_t block = static_cast<std::size_t>(cats) * states;
@@ -37,7 +40,7 @@ std::size_t newview_impl(const KernelDims& dims, const NewviewChild& left,
   double rbuf[32];
   PLFOC_CHECK(states <= 32);
 
-  for (std::size_t p = 0; p < dims.patterns; ++p) {
+  for (std::size_t p = p_begin; p < p_end; ++p) {
     double* parent_block = parent + p * block;
     bool all_small = true;
     for (unsigned c = 0; c < cats; ++c) {
@@ -84,6 +87,11 @@ std::size_t newview_impl(const KernelDims& dims, const NewviewChild& left,
           if (parent_block[i] > max_value) max_value = parent_block[i];
         }
         ++count;
+        // A block that underflowed to exactly zero stays zero under the
+        // (power of two, exact) multiplier; without this break the loop
+        // spins forever while count overflows. The AVX2 kernel applies the
+        // identical rule, preserving scalar/AVX2 bit-identity.
+        if (max_value == 0.0) break;
         all_small = max_value < kScaleThreshold;
       }
     }
@@ -97,7 +105,8 @@ BranchValue evaluate_impl(const KernelDims& dims, const double* freqs,
                           const double* weights, const EvalSide& near_side,
                           const EvalSide& far_side, const double* pmats,
                           const double* dmats, const double* d2mats,
-                          bool with_derivatives) {
+                          bool with_derivatives, std::size_t p_begin,
+                          std::size_t p_end) {
   const unsigned states = S != 0 ? S : dims.states;
   const unsigned cats = dims.categories;
   const std::size_t block = static_cast<std::size_t>(cats) * states;
@@ -109,7 +118,7 @@ BranchValue evaluate_impl(const KernelDims& dims, const double* freqs,
   PLFOC_CHECK(states <= 32);
 
   BranchValue result;
-  for (std::size_t p = 0; p < dims.patterns; ++p) {
+  for (std::size_t p = p_begin; p < p_end; ++p) {
     double site_l = 0.0;
     double site_d1 = 0.0;
     double site_d2 = 0.0;
@@ -175,9 +184,16 @@ BranchValue evaluate_impl(const KernelDims& dims, const double* freqs,
     const double guarded = std::max(site_l, std::numeric_limits<double>::min());
     result.log_likelihood += w * (std::log(guarded) + scale * kLogScaleUnit);
     if (with_derivatives) {
-      const double ratio1 = site_d1 / guarded;
-      result.d1 += w * ratio1;
-      result.d2 += w * (site_d2 / guarded - ratio1 * ratio1);
+      const double d1_term = site_d1 / guarded;
+      const double d2_term = site_d2 / guarded - d1_term * d1_term;
+      // When site_l clamps to numeric_limits::min() (underflowed site) the
+      // ratios can overflow to Inf and poison d2 with NaN, derailing the
+      // Newton step in optimize_branch. An underflowed site carries no
+      // usable curvature signal, so drop its derivative contribution.
+      if (std::isfinite(d1_term) && std::isfinite(d2_term)) {
+        result.d1 += w * d1_term;
+        result.d2 += w * d2_term;
+      }
     }
   }
   return result;
@@ -186,14 +202,15 @@ BranchValue evaluate_impl(const KernelDims& dims, const double* freqs,
 template <unsigned S>
 void per_pattern_impl(const KernelDims& dims, const double* freqs,
                       const EvalSide& near_side, const EvalSide& far_side,
-                      const double* pmats, double* out) {
+                      const double* pmats, double* out, std::size_t p_begin,
+                      std::size_t p_end) {
   const unsigned states = S != 0 ? S : dims.states;
   const unsigned cats = dims.categories;
   const std::size_t block = static_cast<std::size_t>(cats) * states;
   const double cat_weight = 1.0 / cats;
   double fb[32];
   PLFOC_CHECK(states <= 32);
-  for (std::size_t p = 0; p < dims.patterns; ++p) {
+  for (std::size_t p = p_begin; p < p_end; ++p) {
     double site_l = 0.0;
     for (unsigned c = 0; c < cats; ++c) {
       const double* far;
@@ -227,61 +244,157 @@ void per_pattern_impl(const KernelDims& dims, const double* freqs,
   }
 }
 
+std::size_t newview_range(const KernelDims& dims, const NewviewChild& left,
+                          const NewviewChild& right, double* parent,
+                          std::int32_t* parent_scale, std::size_t p_begin,
+                          std::size_t p_end) {
+  switch (dims.states) {
+    case 4:
+      return newview_impl<4>(dims, left, right, parent, parent_scale, p_begin,
+                             p_end);
+    case 20:
+      return newview_impl<20>(dims, left, right, parent, parent_scale, p_begin,
+                              p_end);
+    default:
+      return newview_impl<0>(dims, left, right, parent, parent_scale, p_begin,
+                             p_end);
+  }
+}
+
+BranchValue evaluate_range(const KernelDims& dims, const double* freqs,
+                           const double* weights, const EvalSide& near_side,
+                           const EvalSide& far_side, const double* pmats,
+                           const double* dmats, const double* d2mats,
+                           bool with_derivatives, std::size_t p_begin,
+                           std::size_t p_end) {
+  switch (dims.states) {
+    case 4:
+      return evaluate_impl<4>(dims, freqs, weights, near_side, far_side, pmats,
+                              dmats, d2mats, with_derivatives, p_begin, p_end);
+    case 20:
+      return evaluate_impl<20>(dims, freqs, weights, near_side, far_side,
+                               pmats, dmats, d2mats, with_derivatives, p_begin,
+                               p_end);
+    default:
+      return evaluate_impl<0>(dims, freqs, weights, near_side, far_side, pmats,
+                              dmats, d2mats, with_derivatives, p_begin, p_end);
+  }
+}
+
+void per_pattern_range(const KernelDims& dims, const double* freqs,
+                       const EvalSide& near_side, const EvalSide& far_side,
+                       const double* pmats, double* out, std::size_t p_begin,
+                       std::size_t p_end) {
+  switch (dims.states) {
+    case 4:
+      per_pattern_impl<4>(dims, freqs, near_side, far_side, pmats, out,
+                          p_begin, p_end);
+      break;
+    case 20:
+      per_pattern_impl<20>(dims, freqs, near_side, far_side, pmats, out,
+                           p_begin, p_end);
+      break;
+    default:
+      per_pattern_impl<0>(dims, freqs, near_side, far_side, pmats, out,
+                          p_begin, p_end);
+      break;
+  }
+}
+
+inline std::size_t block_begin(std::size_t b) { return b * kPatternBlock; }
+
+inline std::size_t block_end(std::size_t b, std::size_t patterns) {
+  return std::min(patterns, (b + 1) * kPatternBlock);
+}
+
+bool pool_active(const KernelPool* pool, std::size_t blocks) {
+  return pool != nullptr && pool->threads() > 1 && blocks > 1;
+}
+
 }  // namespace
 
 void per_pattern_log_likelihoods(const KernelDims& dims, const double* freqs,
                                  const EvalSide& near_side,
-                                 const EvalSide& far_side,
-                                 const double* pmats, double* out) {
-  switch (dims.states) {
-    case 4:
-      per_pattern_impl<4>(dims, freqs, near_side, far_side, pmats, out);
-      break;
-    case 20:
-      per_pattern_impl<20>(dims, freqs, near_side, far_side, pmats, out);
-      break;
-    default:
-      per_pattern_impl<0>(dims, freqs, near_side, far_side, pmats, out);
-      break;
+                                 const EvalSide& far_side, const double* pmats,
+                                 double* out, KernelPool* pool) {
+  const std::size_t blocks = pattern_block_count(dims.patterns);
+  if (!pool_active(pool, blocks)) {
+    per_pattern_range(dims, freqs, near_side, far_side, pmats, out, 0,
+                      dims.patterns);
+    return;
   }
+  // Each block writes a disjoint slice of out; no reduction needed.
+  pool->run_blocks(blocks, [&](std::size_t b) {
+    per_pattern_range(dims, freqs, near_side, far_side, pmats, out,
+                      block_begin(b), block_end(b, dims.patterns));
+  });
 }
 
 std::size_t newview_scalar(const KernelDims& dims, const NewviewChild& left,
                            const NewviewChild& right, double* parent,
                            std::int32_t* parent_scale) {
-  switch (dims.states) {
-    case 4: return newview_impl<4>(dims, left, right, parent, parent_scale);
-    case 20: return newview_impl<20>(dims, left, right, parent, parent_scale);
-    default: return newview_impl<0>(dims, left, right, parent, parent_scale);
-  }
+  return newview_range(dims, left, right, parent, parent_scale, 0,
+                       dims.patterns);
 }
 
 std::size_t newview(const KernelDims& dims, const NewviewChild& left,
                     const NewviewChild& right, double* parent,
-                    std::int32_t* parent_scale) {
-  if (dims.states == 4 && dims.categories <= 16 && detail::cpu_has_avx2())
-    return detail::newview4_avx2(dims, left, right, parent, parent_scale);
-  return newview_scalar(dims, left, right, parent, parent_scale);
+                    std::int32_t* parent_scale, KernelPool* pool) {
+  const bool use_avx2 =
+      dims.states == 4 && dims.categories <= 16 && detail::cpu_has_avx2();
+  const auto run_range = [&](std::size_t p_begin, std::size_t p_end) {
+    return use_avx2 ? detail::newview4_avx2(dims, left, right, parent,
+                                            parent_scale, p_begin, p_end)
+                    : newview_range(dims, left, right, parent, parent_scale,
+                                    p_begin, p_end);
+  };
+  const std::size_t blocks = pattern_block_count(dims.patterns);
+  if (!pool_active(pool, blocks)) return run_range(0, dims.patterns);
+  // Block outputs (parent slices, scale counts) are disjoint and the
+  // scaled-pattern tally is an exact integer sum, so any execution order
+  // yields the identical result.
+  std::vector<std::size_t> partials(blocks, 0);
+  pool->run_blocks(blocks, [&](std::size_t b) {
+    partials[b] = run_range(block_begin(b), block_end(b, dims.patterns));
+  });
+  std::size_t scaled = 0;
+  for (const std::size_t partial : partials) scaled += partial;
+  return scaled;
 }
 
 BranchValue evaluate_branch(const KernelDims& dims, const double* freqs,
                             const double* weights, const EvalSide& near_side,
                             const EvalSide& far_side, const double* pmats,
                             const double* dmats, const double* d2mats,
-                            bool with_derivatives) {
+                            bool with_derivatives, KernelPool* pool) {
   if (with_derivatives)
     PLFOC_CHECK((dmats != nullptr && d2mats != nullptr) || far_side.is_tip());
-  switch (dims.states) {
-    case 4:
-      return evaluate_impl<4>(dims, freqs, weights, near_side, far_side, pmats,
-                              dmats, d2mats, with_derivatives);
-    case 20:
-      return evaluate_impl<20>(dims, freqs, weights, near_side, far_side,
-                               pmats, dmats, d2mats, with_derivatives);
-    default:
-      return evaluate_impl<0>(dims, freqs, weights, near_side, far_side, pmats,
-                              dmats, d2mats, with_derivatives);
+  const std::size_t blocks = pattern_block_count(dims.patterns);
+  if (blocks <= 1)
+    return evaluate_range(dims, freqs, weights, near_side, far_side, pmats,
+                          dmats, d2mats, with_derivatives, 0, dims.patterns);
+  // Per-block partials are ALWAYS computed and combined serially in block
+  // order — also on the single-threaded path — so the floating-point
+  // association depends only on the pattern count, never the thread count.
+  std::vector<BranchValue> partials(blocks);
+  const auto body = [&](std::size_t b) {
+    partials[b] =
+        evaluate_range(dims, freqs, weights, near_side, far_side, pmats, dmats,
+                       d2mats, with_derivatives, block_begin(b),
+                       block_end(b, dims.patterns));
+  };
+  if (pool_active(pool, blocks)) {
+    pool->run_blocks(blocks, body);
+  } else {
+    for (std::size_t b = 0; b < blocks; ++b) body(b);
   }
+  BranchValue result = partials[0];
+  for (std::size_t b = 1; b < blocks; ++b) {
+    result.log_likelihood += partials[b].log_likelihood;
+    result.d1 += partials[b].d1;
+    result.d2 += partials[b].d2;
+  }
+  return result;
 }
 
 }  // namespace plfoc

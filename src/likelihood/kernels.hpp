@@ -29,6 +29,19 @@ inline const double kScaleThreshold = std::ldexp(1.0, -64);
 inline const double kScaleMultiplier = std::ldexp(1.0, 64);
 inline const double kLogScaleUnit = -64.0 * M_LN2;
 
+class KernelPool;
+
+/// Patterns per parallel work block. The partition of a kernel call into
+/// blocks is a function of the pattern count ONLY — never of the thread
+/// count — and per-block partial sums are combined serially in block order,
+/// so every kernel result is bit-identical across --threads 1..N (the
+/// determinism contract; see docs/parallelism.md).
+inline constexpr std::size_t kPatternBlock = 256;
+
+inline constexpr std::size_t pattern_block_count(std::size_t patterns) {
+  return (patterns + kPatternBlock - 1) / kPatternBlock;
+}
+
 struct KernelDims {
   std::size_t patterns;
   unsigned categories;
@@ -55,10 +68,13 @@ struct NewviewChild {
 /// Returns the number of patterns scaled in this call.
 /// Dispatches to an AVX2 path for 4-state data when the CPU supports it;
 /// the vector path performs the identical multiply/add sequence, so results
-/// are bit-identical to the portable kernel.
+/// are bit-identical to the portable kernel. When `pool` is non-null the
+/// pattern blocks run in parallel on its thread team (block writes are
+/// disjoint and the scaled-pattern count is an exact integer sum, so the
+/// result does not depend on the thread count).
 std::size_t newview(const KernelDims& dims, const NewviewChild& left,
                     const NewviewChild& right, double* parent,
-                    std::int32_t* parent_scale);
+                    std::int32_t* parent_scale, KernelPool* pool = nullptr);
 
 /// The portable kernel, bypassing SIMD dispatch (reference for tests/benches).
 std::size_t newview_scalar(const KernelDims& dims, const NewviewChild& left,
@@ -93,18 +109,22 @@ struct BranchValue {
 /// for RELL bootstrapping). `out` must hold dims.patterns doubles.
 void per_pattern_log_likelihoods(const KernelDims& dims, const double* freqs,
                                  const EvalSide& near_side,
-                                 const EvalSide& far_side,
-                                 const double* pmats, double* out);
+                                 const EvalSide& far_side, const double* pmats,
+                                 double* out, KernelPool* pool = nullptr);
 
 /// Log likelihood (and optionally its first two branch-length derivatives)
 /// across a branch with per-category transition matrices pmats (C×S×S) and,
 /// when `with_derivatives`, dmats/d2mats. `near_side` is conditioned on data
 /// on its side only; `far_side` is propagated across the branch. `weights`
 /// are per-pattern multiplicities, `freqs` the equilibrium frequencies.
+/// The sums are always reduced per pattern block in serial block order
+/// (whether or not `pool` is supplied), which pins the floating-point
+/// association to the partition and keeps the value bit-identical for any
+/// thread count.
 BranchValue evaluate_branch(const KernelDims& dims, const double* freqs,
                             const double* weights, const EvalSide& near_side,
                             const EvalSide& far_side, const double* pmats,
                             const double* dmats, const double* d2mats,
-                            bool with_derivatives);
+                            bool with_derivatives, KernelPool* pool = nullptr);
 
 }  // namespace plfoc

@@ -50,7 +50,8 @@ __attribute__((target("avx2"))) inline __m256d propagate(
 
 __attribute__((target("avx2"))) std::size_t newview4_avx2(
     const KernelDims& dims, const NewviewChild& left,
-    const NewviewChild& right, double* parent, std::int32_t* parent_scale) {
+    const NewviewChild& right, double* parent, std::int32_t* parent_scale,
+    std::size_t p_begin, std::size_t p_end) {
   PLFOC_CHECK(dims.states == 4);
   const unsigned cats = dims.categories;
   PLFOC_CHECK(cats <= 16);
@@ -68,7 +69,7 @@ __attribute__((target("avx2"))) std::size_t newview4_avx2(
     for (unsigned c = 0; c < cats; ++c)
       right_t[c] = transpose(right.pmat + static_cast<std::size_t>(c) * 16);
 
-  for (std::size_t p = 0; p < dims.patterns; ++p) {
+  for (std::size_t p = p_begin; p < p_end; ++p) {
     double* parent_block = parent + p * block;
     // all_small lane-mask: 1 where the value is below the scaling threshold.
     bool all_small = true;
@@ -108,6 +109,7 @@ __attribute__((target("avx2"))) std::size_t newview4_avx2(
       // kernel for the rationale).
       while (all_small) {
         all_small = true;
+        bool any_positive = false;
         for (unsigned c = 0; c < cats; ++c) {
           double* out = parent_block + static_cast<std::size_t>(c) * 4;
           const __m256d scaled_block =
@@ -116,8 +118,14 @@ __attribute__((target("avx2"))) std::size_t newview4_avx2(
           const __m256d below =
               _mm256_cmp_pd(scaled_block, threshold, _CMP_LT_OQ);
           if (_mm256_movemask_pd(below) != 0xF) all_small = false;
+          const __m256d positive =
+              _mm256_cmp_pd(scaled_block, _mm256_setzero_pd(), _CMP_GT_OQ);
+          if (_mm256_movemask_pd(positive) != 0) any_positive = true;
         }
         ++count;
+        // Matches the scalar kernel's max_value == 0.0 break: an all-zero
+        // block never clears the threshold, so stop instead of spinning.
+        if (!any_positive) break;
       }
     }
     parent_scale[p] = count;

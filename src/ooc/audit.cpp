@@ -159,6 +159,7 @@ std::optional<std::string> StoreAuditor::check_stats(const OocStats& stats) {
       {"file_writes", stats.file_writes, last_stats_.file_writes},
       {"skipped_reads", stats.skipped_reads, last_stats_.skipped_reads},
       {"prefetch_reads", stats.prefetch_reads, last_stats_.prefetch_reads},
+      {"prefetch_stale", stats.prefetch_stale, last_stats_.prefetch_stale},
       {"bytes_read", stats.bytes_read, last_stats_.bytes_read},
       {"bytes_written", stats.bytes_written, last_stats_.bytes_written},
       {"faults_injected", stats.faults_injected, last_stats_.faults_injected},

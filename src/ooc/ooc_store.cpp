@@ -44,6 +44,7 @@ OutOfCoreStore::OutOfCoreStore(std::size_t count, std::size_t width,
       slots_(std::min(options_.num_slots, count)),
       vector_slot_(count, kNoSlot),
       touched_(count, false),
+      file_generation_(count, 0),
       float_scratch_(options_.disk_precision == DiskPrecision::kSingle ? width
                                                                         : 0),
       file_(count,
@@ -103,6 +104,7 @@ void OutOfCoreStore::file_write(std::uint32_t index, const double* src) {
   }
   ++stats_.file_writes;
   stats_.bytes_written += file_.bytes_per_vector();
+  ++file_generation_[index];
   refresh_fault_counters();
   PLFOC_AUDIT_EVENT("file write", auditor_.record_file_write(index));
 }
@@ -195,38 +197,65 @@ void OutOfCoreStore::do_release(std::uint32_t index) {
 
 void OutOfCoreStore::prefetch(std::uint32_t index) {
   PLFOC_CHECK(index < count_);
+  // Serialises prefetch() callers and owns the staging buffers. mutex_ is
+  // only taken in short sections below, so a demand miss on the engine
+  // thread never waits behind this call's disk read.
+  std::lock_guard<std::mutex> io_lock(prefetch_io_mutex_);
+
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (vector_slot_[index] != kNoSlot) return;  // already resident
+    // Never prefetch a vector that has not been written yet: the file holds
+    // no meaningful bytes for it, and the first real access is write-mode.
+    if (!touched_[index]) return;
+    generation = file_generation_[index];
+  }
+
+  // Stage the read WITHOUT the slot-table lock. Prefetching is advisory: a
+  // transfer whose retry budget is exhausted must not propagate IoError onto
+  // the prefetch worker thread (which would call std::terminate). The demand
+  // access either succeeds on retry or fails on the engine thread, where it
+  // is catchable.
+  if (prefetch_scratch_.size() != width_) prefetch_scratch_.resize(width_);
+  try {
+    if (options_.disk_precision == DiskPrecision::kDouble) {
+      file_.read_vector(index, prefetch_scratch_.data());
+    } else {
+      if (prefetch_float_scratch_.size() != width_)
+        prefetch_float_scratch_.resize(width_);
+      file_.read_vector(index, prefetch_float_scratch_.data());
+      for (std::size_t i = 0; i < width_; ++i)
+        prefetch_scratch_[i] = static_cast<double>(prefetch_float_scratch_[i]);
+    }
+  } catch (const IoError&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    refresh_fault_counters();
+    PLFOC_AUDIT_TABLE("prefetch io-error");
+    return;
+  }
+
   std::lock_guard<std::mutex> lock(mutex_);
-  if (vector_slot_[index] != kNoSlot) return;  // already resident
-  // Never prefetch a vector that has not been written yet: the file holds no
-  // meaningful bytes for it, and the first real access will be write-mode.
-  if (!touched_[index]) return;
+  stats_.bytes_read += file_.bytes_per_vector();
+  refresh_fault_counters();
+  // Re-validate before installing: the vector may have been demand-loaded
+  // while the read was in flight (drop — it is already resident), or loaded,
+  // dirtied and evicted again, making the staged bytes stale (drop — the
+  // file's newer contents win on the next access).
+  if (vector_slot_[index] != kNoSlot || file_generation_[index] != generation) {
+    ++stats_.prefetch_stale;
+    PLFOC_AUDIT_TABLE("prefetch stale");
+    return;
+  }
   std::uint32_t slot;
   try {
     slot = obtain_slot(index);
   } catch (const Error&) {
     return;  // everything pinned; skip this prefetch
   }
-  // Prefetching is advisory: a transfer whose retry budget is exhausted must
-  // not propagate IoError onto the prefetch worker thread (which would call
-  // std::terminate). The slot stays free and the demand access either
-  // succeeds on retry or fails on the engine thread, where it is catchable.
-  try {
-    if (options_.disk_precision == DiskPrecision::kDouble) {
-      file_.read_vector(index, slot_data(slot));
-    } else {
-      file_.read_vector(index, float_scratch_.data());
-      double* dst = slot_data(slot);
-      for (std::size_t i = 0; i < width_; ++i)
-        dst[i] = static_cast<double>(float_scratch_[i]);
-    }
-  } catch (const IoError&) {
-    refresh_fault_counters();
-    PLFOC_AUDIT_TABLE("prefetch io-error");
-    return;
-  }
+  std::copy(prefetch_scratch_.begin(), prefetch_scratch_.end(),
+            slot_data(slot));
   ++stats_.prefetch_reads;
-  stats_.bytes_read += file_.bytes_per_vector();
-  refresh_fault_counters();
   vector_slot_[index] = slot;
   slots_[slot].vector = index;
   strategy_->on_load(index);

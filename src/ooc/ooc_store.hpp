@@ -72,7 +72,12 @@ class OutOfCoreStore final : public AncestralStore {
 
   /// Bring `index` into RAM (read mode) without pinning it; used by the
   /// prefetch thread. No-op if resident; never evicts a pinned vector.
-  /// Counted in stats().prefetch_reads, not as an access.
+  /// Counted in stats().prefetch_reads, not as an access. The disk read is
+  /// staged into a prefetch-private buffer OUTSIDE mutex_, so a concurrent
+  /// demand miss on the engine thread never stalls behind prefetch I/O; the
+  /// slot install re-validates residency and the vector's file generation
+  /// under the lock (a raced install is dropped and counted in
+  /// stats().prefetch_stale).
   void prefetch(std::uint32_t index);
 
   /// Write all resident vectors back to the file (e.g. before checkpointing).
@@ -139,10 +144,23 @@ class OutOfCoreStore final : public AncestralStore {
   std::vector<std::uint32_t> vector_slot_;  ///< per vector: slot or kNoSlot
   std::vector<bool> touched_;               ///< vector ever accessed (cold-miss tracking)
   std::vector<float> float_scratch_;        ///< conversion buffer (kSingle only)
+  /// Per vector: bumped by every file_write (under mutex_). Lets prefetch()
+  /// detect that bytes it staged without the lock were superseded by a
+  /// write-back that happened during the read (the write-then-evict ABA the
+  /// residency check alone cannot see).
+  std::vector<std::uint64_t> file_generation_;
   FileBackend file_;
   std::unique_ptr<ReplacementStrategy> strategy_;
   std::atomic<int> prefetch_guards_{0};  ///< live Prefetcher worker threads
   mutable std::mutex mutex_;
+
+  // Prefetch staging state, private to prefetch() and guarded by
+  // prefetch_io_mutex_ (lock order: prefetch_io_mutex_ before mutex_, never
+  // the reverse). float_scratch_ is engine-owned (used by file_read /
+  // file_write under mutex_), hence the dedicated buffers here.
+  std::mutex prefetch_io_mutex_;
+  std::vector<double> prefetch_scratch_;
+  std::vector<float> prefetch_float_scratch_;  ///< kSingle only
 };
 
 }  // namespace plfoc

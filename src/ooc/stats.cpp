@@ -20,6 +20,7 @@ OocStats& OocStats::operator+=(const OocStats& other) {
   file_writes += other.file_writes;
   skipped_reads += other.skipped_reads;
   prefetch_reads += other.prefetch_reads;
+  prefetch_stale += other.prefetch_stale;
   bytes_read += other.bytes_read;
   bytes_written += other.bytes_written;
   faults_injected += other.faults_injected;

@@ -20,6 +20,10 @@ struct OocStats {
   std::uint64_t file_writes = 0;  ///< write operations actually issued
   std::uint64_t skipped_reads = 0;  ///< reads omitted by read skipping
   std::uint64_t prefetch_reads = 0;  ///< reads issued by the prefetch thread
+  /// Prefetch reads staged outside the slot-table lock and then dropped at
+  /// install time because a demand load or write-back raced them (the
+  /// advisory prefetch lost; correctness is unaffected).
+  std::uint64_t prefetch_stale = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   // Robustness counters, mirrored from the FileBackend I/O core (see

@@ -68,6 +68,8 @@ void apply_key(JobFileEntry* entry, const std::string& key,
   } else if (key == "io-retries") {
     entry->io_retries =
         static_cast<long long>(parse_uint(line, key, value));
+  } else if (key == "threads") {
+    entry->threads = static_cast<unsigned>(parse_uint(line, key, value));
   } else {
     throw line_error(line, "unknown option '" + key + "'");
   }
@@ -183,6 +185,9 @@ JobSpec load_job(const JobFileEntry& entry) {
     spec.session.ram_budget_bytes = entry.budget_bytes;
     spec.session.policy = parse_policy(entry.strategy);
     spec.session.seed = entry.seed;
+    // 0 = "inherit": the service substitutes its kernel_threads default at
+    // admission time; the Session itself normalises a remaining 0 to 1.
+    spec.session.threads = entry.threads;
     if (!entry.faults.empty())
       spec.session.faults = FaultConfig::parse(entry.faults);
     if (entry.io_retries >= 0)

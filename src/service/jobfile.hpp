@@ -15,9 +15,10 @@
 // topological), budget= (ram_budget_bytes, RAxML's -L), faults= (a
 // FaultConfig spec, e.g. faults=seed=7,rate=0.05 — commas are safe because
 // jobfile fields split on whitespace), io-retries= (per-job retry budget;
-// 0 disables retrying). Blank lines and `#` comments are skipped. See
-// docs/service.md for worked examples and docs/robustness.md for the fault
-// model.
+// 0 disables retrying), threads= (kernel threads for this job; unset lines
+// inherit the batch --threads default — see docs/parallelism.md). Blank
+// lines and `#` comments are skipped. See docs/service.md for worked
+// examples and docs/robustness.md for the fault model.
 //
 // The file also exports the name -> enum/model helpers shared with the CLI
 // driver, so `--backend ooc` on the command line and `ooc` in a jobfile can
@@ -54,6 +55,7 @@ struct JobFileEntry {
   std::uint64_t budget_bytes = 0;  ///< budget= key (bytes, RAxML's -L)
   std::string faults;     ///< faults= key, FaultConfig spec ('' = inherit)
   long long io_retries = -1;  ///< io-retries= key; -1 = inherit batch default
+  unsigned threads = 0;  ///< threads= key; 0 = inherit the service default
 };
 
 /// Shared CLI/jobfile vocabulary. All throw plfoc::Error on unknown names.

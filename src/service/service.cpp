@@ -207,6 +207,11 @@ JobResult Service::run_job(JobId id, JobSpec spec, const Admission& admission,
     session_options.backend = admission.backend;
     session_options.ram_fraction = admission.ram_fraction;
     session_options.ram_budget_bytes = admission.ram_budget_bytes;
+    // threads == 0 means the job did not pin a kernel-thread count; give it
+    // the service-wide default (kernel threads never change the job's slot
+    // memory demand, so admission needs no adjustment).
+    if (session_options.threads == 0)
+      session_options.threads = options_.kernel_threads;
     session = std::make_unique<Session>(
         std::move(spec.alignment), std::move(spec.tree), std::move(spec.model),
         std::move(session_options));

@@ -46,6 +46,13 @@ struct ServiceOptions {
   /// out-of-core job's store (torn down before the session, exercising the
   /// Prefetcher::stop() lifecycle).
   std::size_t prefetch_lookahead = 0;
+  /// Kernel threads per worker (the batch --threads default), applied to
+  /// every job whose spec left SessionOptions::threads at 0 (a jobfile line
+  /// pins its own count with threads=). Total OS compute threads is roughly
+  /// workers × kernel_threads; the --ram-budget admission math is unchanged
+  /// because kernel threads share the job's already-pinned working triple
+  /// (Sec. 3 invariant) — see docs/parallelism.md.
+  unsigned kernel_threads = 1;
   /// Re-admit a job exactly once after a typed I/O failure (IoError: retry
   /// budget exhausted). The retry reuses the same admission charge and bumps
   /// FaultConfig::nonce so an injected schedule behaves like a real transient

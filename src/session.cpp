@@ -132,6 +132,10 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
   config.alpha = options_.alpha;
   engine_ = std::make_unique<LikelihoodEngine>(alignment_, tree_,
                                                std::move(config), *store_);
+  if (options_.threads > 1) {
+    kernel_pool_ = std::make_unique<KernelPool>(options_.threads);
+    engine_->attach_kernel_pool(kernel_pool_.get());
+  }
 }
 
 EvalResult Session::evaluate() {

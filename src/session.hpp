@@ -12,6 +12,7 @@
 #include <string>
 
 #include "likelihood/engine.hpp"
+#include "likelihood/kernel_pool.hpp"
 #include "msa/patterns.hpp"
 #include "ooc/inram_store.hpp"
 #include "ooc/ooc_store.hpp"
@@ -33,6 +34,10 @@ struct SessionOptions {
   unsigned categories = 4;
   double alpha = 1.0;
   Backend backend = Backend::kInRam;
+  /// Kernel threads for pattern-block-parallel PLF kernels (--threads).
+  /// 1 = serial (no pool). The log likelihood is bit-identical for every
+  /// value; see docs/parallelism.md. 0 is normalised to 1.
+  unsigned threads = 1;
   /// Collapse identical columns before building vectors (RAxML default).
   bool compress_patterns = true;
 
@@ -128,6 +133,7 @@ class Session {
   Alignment alignment_;  ///< pattern-compressed when requested
   Tree tree_;
   std::unique_ptr<AncestralStore> store_;
+  std::unique_ptr<KernelPool> kernel_pool_;  ///< null when threads <= 1
   std::unique_ptr<LikelihoodEngine> engine_;
 };
 

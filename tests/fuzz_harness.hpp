@@ -66,6 +66,12 @@ inline TrialPlan make_trial_plan(std::uint64_t master, std::uint64_t trial) {
   TrialPlan plan;
   plan.dataset.num_taxa = 6 + static_cast<std::size_t>(rng.below(11));  // 6..16
   plan.dataset.num_sites = 40 + static_cast<std::size_t>(rng.below(81));
+  // Every fourth trial draws a multi-block alignment (> kPatternBlock
+  // patterns even after compression) so the thread-count candidates exercise
+  // the block-parallel reduction itself, not just its single-block
+  // degenerate case.
+  if (trial % 4 == 0)
+    plan.dataset.num_sites = 600 + static_cast<std::size_t>(rng.below(201));
   plan.dataset.seed = rng.next();
   plan.dataset.alpha = 0.5 + rng.uniform() * 1.5;
   plan.kappa = 1.5 + rng.uniform() * 3.0;
@@ -125,8 +131,12 @@ struct Candidate {
 
 /// The full candidate roster for one trial: every replacement policy x
 /// read-skip setting for the out-of-core store (fault schedule on every
-/// other combination), the paged and tiered hierarchies under faults, and
-/// the mmap backend (no syscall path, no faults). 11 candidates per trial.
+/// other combination, kernel threads rotating through 1/2/4), the paged and
+/// tiered hierarchies under faults, the mmap backend (no syscall path, no
+/// faults), and three explicitly multithreaded configurations. 14 candidates
+/// per trial, every one compared bitwise against the single-threaded in-RAM
+/// reference — the thread axis extends the Sec. 4.1 equivalence guarantee to
+/// the block-parallel kernels.
 inline std::vector<Candidate> make_candidates(const TrialPlan& plan) {
   std::vector<Candidate> candidates;
   const FaultConfig faults = trial_faults(plan);
@@ -135,6 +145,9 @@ inline std::vector<Candidate> make_candidates(const TrialPlan& plan) {
       ReplacementPolicy::kRandom, ReplacementPolicy::kLru,
       ReplacementPolicy::kLfu, ReplacementPolicy::kTopological};
   const char* policy_names[] = {"random", "lru", "lfu", "topological"};
+  // Rotating with period 3 against the period-2 skip/fault alternation, so
+  // every policy gets at least one multithreaded combination.
+  const unsigned thread_axis[] = {1, 2, 4};
   int combo = 0;
   for (int p = 0; p < 4; ++p) {
     for (const bool skip : {true, false}) {
@@ -144,11 +157,14 @@ inline std::vector<Candidate> make_candidates(const TrialPlan& plan) {
       candidate.options.policy = policies[p];
       candidate.options.read_skipping = skip;
       candidate.options.seed = plan.dataset.seed;
+      candidate.options.threads = thread_axis[combo % 3];
       const bool faulty = (combo++ % 2) == 0;
       if (faulty) candidate.options.faults = faults;
       candidate.label = std::string("ooc/") + policy_names[p] +
                         (skip ? "/skip" : "/noskip") +
                         (faulty ? "/faults" : "");
+      if (candidate.options.threads > 1)
+        candidate.label += "/t" + std::to_string(candidate.options.threads);
       candidates.push_back(std::move(candidate));
     }
   }
@@ -173,6 +189,32 @@ inline std::vector<Candidate> make_candidates(const TrialPlan& plan) {
   mmapped.options.backend = Backend::kMmap;
   mmapped.label = "mmap";
   candidates.push_back(std::move(mmapped));
+
+  // Explicit thread-count candidates: the parallel path on the reference's
+  // own backend, and 4-thread runs through the eviction-heavy stores.
+  Candidate inram_mt;
+  inram_mt.options.backend = Backend::kInRam;
+  inram_mt.options.threads = 4;
+  inram_mt.label = "inram/t4";
+  candidates.push_back(std::move(inram_mt));
+
+  Candidate ooc_mt;
+  ooc_mt.options.backend = Backend::kOutOfCore;
+  ooc_mt.options.ram_fraction = 0.35;
+  ooc_mt.options.policy = ReplacementPolicy::kLru;
+  ooc_mt.options.seed = plan.dataset.seed;
+  ooc_mt.options.faults = faults;
+  ooc_mt.options.threads = 4;
+  ooc_mt.label = "ooc/lru/skip/faults/t4";
+  candidates.push_back(std::move(ooc_mt));
+
+  Candidate paged_mt;
+  paged_mt.options.backend = Backend::kPaged;
+  paged_mt.options.ram_budget_bytes = 1u << 18;
+  paged_mt.options.faults = faults;
+  paged_mt.options.threads = 4;
+  paged_mt.label = "paged/faults/t4";
+  candidates.push_back(std::move(paged_mt));
 
   return candidates;
 }

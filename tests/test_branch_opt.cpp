@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "likelihood/engine.hpp"
 #include "ooc/inram_store.hpp"
 #include "sim/simulate.hpp"
@@ -117,6 +119,31 @@ TEST(BranchOpt, LazyModeSkipsInvalidation) {
   const double t = fx.engine.tree().branch_length(a, b);
   const BranchValue value = fx.engine.branch_value(a, b, t, false);
   EXPECT_NEAR(direct, value.log_likelihood, 1e-9);
+}
+
+TEST(BranchOpt, SaturatedBranchWithNearZeroSignalStaysFinite) {
+  // Regression for the derivative NaN/Inf guard in evaluate_branch: with
+  // every branch stretched to kMaxBranchLength the transition matrices are
+  // nearly stationary, per-site likelihoods sink toward the DBL_MIN clamp and
+  // the d1/d2 signal is almost zero. Before the guard, an underflowed site
+  // could feed Inf/NaN ratios into the Newton step and optimize_branch would
+  // return NaN (or walk the branch to garbage). It must stay finite and
+  // in-bounds instead.
+  Fixture fx(29);
+  for (const auto& [a, b] : fx.engine.tree().edges()) {
+    fx.engine.tree().set_branch_length(a, b, kMaxBranchLength);
+    fx.engine.invalidate_length_change(a, b);
+  }
+  const auto [a, b] = fx.engine.tree().default_root_branch();
+  const double after = fx.engine.optimize_branch(a, b, 64);
+  EXPECT_TRUE(std::isfinite(after)) << after;
+  const double t = fx.engine.tree().branch_length(a, b);
+  EXPECT_GE(t, kMinBranchLength);
+  EXPECT_LE(t, kMaxBranchLength);
+  const BranchValue value = fx.engine.branch_value(a, b, t, true);
+  EXPECT_TRUE(std::isfinite(value.log_likelihood));
+  EXPECT_TRUE(std::isfinite(value.d1));
+  EXPECT_TRUE(std::isfinite(value.d2));
 }
 
 TEST(BranchOpt, TipBranchOptimizable) {

@@ -2,8 +2,10 @@
 // trees, models, and traversal workloads evaluated on every backend x
 // replacement strategy x read-skip setting, with seeded fault schedules on
 // the file-backed candidates, asserting BIT-identical log likelihoods
-// against the InRamStore reference (Sec. 4.1). Default scale: 20 trials x 11
-// candidates = 220 randomized cases. Every assertion message carries the
+// against the InRamStore reference (Sec. 4.1). Default scale: 20 trials x 14
+// candidates = 280 randomized cases (the roster now carries a kernel-thread
+// axis; every fourth trial draws a multi-block alignment so the parallel
+// reduction itself is exercised). Every assertion message carries the
 // master seed and trial description needed to reproduce the exact failure:
 //   PLFOC_FUZZ_MASTER=<seed> PLFOC_FUZZ_TRIALS=<n> ./plfoc_fault_tests
 // The end of the file drives the same fault machinery through `plfoc batch`
@@ -19,6 +21,7 @@
 
 #include "cli/driver.hpp"
 #include "fuzz_harness.hpp"
+#include "likelihood/kernels.hpp"
 #include "msa/fasta.hpp"
 #include "tree/newick.hpp"
 
@@ -76,6 +79,57 @@ TEST(FaultFuzz, AllBackendsBitIdenticalUnderFaults) {
   EXPECT_GT(faults_seen, 0u) << "no fault schedule ever fired (master="
                              << master << ")";
   EXPECT_GT(retries_seen, 0u);
+}
+
+TEST(FaultFuzz, ThreadCountBitIdenticalAcrossPoliciesAndPrecisions) {
+  // The block-partition determinism contract (docs/parallelism.md): for a
+  // fixed configuration the logL series must be bitwise invariant under the
+  // kernel-thread count. Single-precision disk storage legitimately diverges
+  // from the in-RAM double reference, so it cannot ride the main fuzzer's
+  // oracle — instead every policy x precision pair is compared against its
+  // own single-threaded run. Trial 4 is a multi-block draw (sites > 256), so
+  // the parallel reduction runs for real rather than hitting the one-block
+  // serial fast path.
+  const std::uint64_t master = fuzz::env_u64("PLFOC_FUZZ_MASTER", 20260805);
+  const fuzz::TrialPlan plan = fuzz::make_trial_plan(master, 4);
+  ASSERT_GT(plan.dataset.num_sites, 2 * kPatternBlock)
+      << "trial 4 must be a multi-block draw for this test to bite";
+
+  const ReplacementPolicy policies[] = {
+      ReplacementPolicy::kRandom, ReplacementPolicy::kLru,
+      ReplacementPolicy::kLfu, ReplacementPolicy::kTopological};
+  for (const ReplacementPolicy policy : policies) {
+    for (const bool single : {false, true}) {
+      SessionOptions base;
+      base.backend = Backend::kOutOfCore;
+      base.ram_fraction = 0.35;
+      base.policy = policy;
+      base.seed = plan.dataset.seed;
+      base.single_precision_disk = single;
+      base.faults = fuzz::trial_faults(plan);
+
+      SessionOptions serial = base;
+      serial.threads = 1;
+      const std::vector<double> expected =
+          fuzz::run_candidate(plan, std::move(serial));
+      for (const double value : expected) ASSERT_TRUE(std::isfinite(value));
+
+      for (const unsigned threads : {2u, 4u}) {
+        SessionOptions parallel = base;
+        parallel.threads = threads;
+        const std::vector<double> series =
+            fuzz::run_candidate(plan, std::move(parallel));
+        ASSERT_EQ(series.size(), expected.size());
+        for (std::size_t i = 0; i < series.size(); ++i) {
+          EXPECT_EQ(series[i], expected[i])
+              << "policy " << static_cast<int>(policy)
+              << (single ? " single" : " double") << "-precision diverged at "
+              << "evaluation " << i << " with threads=" << threads
+              << " | master=" << master << " [" << plan.describe() << "]";
+        }
+      }
+    }
+  }
 }
 
 TEST(FaultFuzz, ExhaustionIsTypedAcrossBackends) {

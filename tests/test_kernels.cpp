@@ -4,10 +4,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
+#include "likelihood/kernel_pool.hpp"
 #include "model/eigen.hpp"
+#include "model/gamma.hpp"
 #include "model/transition.hpp"
+#include "util/rng.hpp"
 
 namespace plfoc {
 namespace {
@@ -108,6 +112,177 @@ TEST(Kernels, ScalingTriggersAndCounts) {
   for (unsigned x = 0; x < 4; ++x) max_value = std::max(max_value, parent[x]);
   EXPECT_GE(max_value, kScaleThreshold);
   EXPECT_LT(max_value, kScaleThreshold * kScaleMultiplier);
+}
+
+TEST(Kernels, ZeroBlockRescaleTerminates) {
+  // Regression: a pattern whose children multiply to exactly 0.0 can never
+  // clear kScaleThreshold — the multiplier is an exact power of two, so zero
+  // stays zero. The rescale loop used to spin forever (count overflowing);
+  // it must now apply exactly one scaling pass and break.
+  TinySetup setup(0.1, 0.2);
+  const KernelDims dims{2, 1, 4};
+  // Pattern 0: left child exactly zero. Pattern 1: ordinary values (the fix
+  // must not perturb the non-degenerate path).
+  const std::vector<double> left = {0.0, 0.0, 0.0, 0.0, 0.1, 0.2, 0.3, 0.4};
+  const std::vector<double> right = {0.4, 0.3, 0.2, 0.1, 0.4, 0.3, 0.2, 0.1};
+  const std::vector<std::int32_t> lscale = {3, 0};
+  const std::vector<std::int32_t> rscale = {5, 0};
+  NewviewChild cl{left.data(), lscale.data(), setup.pmat_left.data(), nullptr,
+                  nullptr};
+  NewviewChild cr{right.data(), rscale.data(), setup.pmat_right.data(),
+                  nullptr, nullptr};
+  std::vector<double> parent(8, -1.0);
+  std::vector<std::int32_t> parent_scale(2, -9);
+  const std::size_t scaled =
+      newview_scalar(dims, cl, cr, parent.data(), parent_scale.data());
+  EXPECT_EQ(scaled, 1u);  // only the zero pattern triggered scaling
+  // Children's counts propagate plus the single pass that detected the zero.
+  EXPECT_EQ(parent_scale[0], 3 + 5 + 1);
+  EXPECT_EQ(parent_scale[1], 0);
+  for (unsigned x = 0; x < 4; ++x) EXPECT_EQ(parent[x], 0.0);
+  for (unsigned x = 4; x < 8; ++x) EXPECT_GT(parent[x], 0.0);
+}
+
+TEST(Kernels, UnderflowedSiteDoesNotPoisonDerivatives) {
+  // Regression for the derivative guard in evaluate_branch: when a site's
+  // likelihood clamps to DBL_MIN (here: exactly zero via a zeroed P-lookup)
+  // while the derivative folds stay nonzero, the d1/d2 ratios overflow to
+  // Inf and d2 becomes Inf - Inf = NaN. The guard must drop that site's
+  // derivative contribution instead of poisoning the totals.
+  const KernelDims dims{1, 1, 4};
+  const double freqs[4] = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> near = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<std::int32_t> zero = {0};
+  const std::vector<std::uint8_t> codes = {1};
+  // P-folded lookup all zero (site likelihood 0), derivative folds large.
+  std::vector<double> lp(16 * 4, 0.0);
+  std::vector<double> ld1(16 * 4, 10.0);
+  std::vector<double> ld2(16 * 4, 10.0);
+  EvalSide near_side{near.data(), zero.data(), nullptr, nullptr,
+                     nullptr,     nullptr,     nullptr};
+  EvalSide tip_far{nullptr,   nullptr,    codes.data(), nullptr,
+                   lp.data(), ld1.data(), ld2.data()};
+  std::vector<double> pmat(16, 0.0);
+  for (unsigned i = 0; i < 4; ++i) pmat[i * 4 + i] = 1.0;
+  const BranchValue value = evaluate_branch(dims, freqs, nullptr, near_side,
+                                            tip_far, pmat.data(), pmat.data(),
+                                            pmat.data(), true);
+  // site_l == 0 -> clamped to numeric_limits::min(); logL is finite...
+  EXPECT_NEAR(value.log_likelihood,
+              std::log(std::numeric_limits<double>::min()), 1e-12);
+  // ...and the unusable curvature signal is dropped, not NaN.
+  EXPECT_TRUE(std::isfinite(value.d1)) << value.d1;
+  EXPECT_TRUE(std::isfinite(value.d2)) << value.d2;
+  EXPECT_EQ(value.d1, 0.0);
+  EXPECT_EQ(value.d2, 0.0);
+}
+
+/// Multi-block random inputs for the block-parallel determinism checks:
+/// patterns deliberately > 2 * kPatternBlock with a ragged tail.
+struct BlockInputs {
+  KernelDims dims;
+  std::vector<double> left;
+  std::vector<double> right;
+  std::vector<std::int32_t> lscale;
+  std::vector<std::int32_t> rscale;
+  std::vector<double> pmat_left;
+  std::vector<double> pmat_right;
+  std::vector<double> dmat;
+  std::vector<double> d2mat;
+  std::vector<double> freqs = {0.3, 0.22, 0.24, 0.24};
+  std::vector<double> weights;
+
+  explicit BlockInputs(std::uint64_t seed)
+      : dims{2 * kPatternBlock + 37, 2, 4} {
+    Rng rng(seed);
+    const std::size_t width = dims.patterns * dims.categories * 4;
+    left.resize(width);
+    right.resize(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      left[i] = rng.uniform(0.01, 1.0);
+      right[i] = rng.uniform(0.01, 1.0);
+    }
+    lscale.assign(dims.patterns, 0);
+    rscale.assign(dims.patterns, 0);
+    const EigenSystem eigen = decompose(
+        gtr({1.2, 4.5, 0.8, 1.1, 5.2, 1.0}, {0.3, 0.22, 0.24, 0.24}));
+    const auto rates = discrete_gamma_rates(0.7, dims.categories);
+    category_transition_matrices(eigen, 0.17, rates, pmat_left);
+    category_transition_matrices(eigen, 0.33, rates, pmat_right);
+    dmat.resize(16 * dims.categories);
+    d2mat.resize(16 * dims.categories);
+    for (unsigned c = 0; c < dims.categories; ++c) {
+      transition_derivatives(eigen, 0.33 * rates[c],
+                             pmat_right.data() + 16 * c, dmat.data() + 16 * c,
+                             d2mat.data() + 16 * c);
+    }
+    weights.resize(dims.patterns);
+    for (std::size_t p = 0; p < dims.patterns; ++p)
+      weights[p] = 1.0 + static_cast<double>(rng.below(4));
+  }
+};
+
+TEST(Kernels, BlockParallelNewviewBitIdenticalToSerial) {
+  const BlockInputs in(101);
+  NewviewChild cl{in.left.data(), in.lscale.data(), in.pmat_left.data(),
+                  nullptr, nullptr};
+  NewviewChild cr{in.right.data(), in.rscale.data(), in.pmat_right.data(),
+                  nullptr, nullptr};
+  const std::size_t width = in.dims.patterns * in.dims.categories * 4;
+  std::vector<double> serial_out(width);
+  std::vector<std::int32_t> serial_scale(in.dims.patterns);
+  const std::size_t serial_scaled =
+      newview(in.dims, cl, cr, serial_out.data(), serial_scale.data());
+  for (const unsigned threads : {2u, 4u}) {
+    KernelPool pool(threads);
+    std::vector<double> pool_out(width, -1.0);
+    std::vector<std::int32_t> pool_scale(in.dims.patterns, -9);
+    const std::size_t pool_scaled =
+        newview(in.dims, cl, cr, pool_out.data(), pool_scale.data(), &pool);
+    EXPECT_EQ(pool_scaled, serial_scaled);
+    EXPECT_EQ(pool_scale, serial_scale);
+    for (std::size_t i = 0; i < width; ++i)
+      ASSERT_EQ(pool_out[i], serial_out[i]) << "element " << i;
+  }
+}
+
+TEST(Kernels, BlockParallelEvaluateBitIdenticalToSerial) {
+  const BlockInputs in(103);
+  EvalSide a{in.left.data(), in.lscale.data(), nullptr, nullptr,
+             nullptr,        nullptr,          nullptr};
+  EvalSide b{in.right.data(), in.rscale.data(), nullptr, nullptr,
+             nullptr,         nullptr,          nullptr};
+  const BranchValue serial = evaluate_branch(
+      in.dims, in.freqs.data(), in.weights.data(), a, b, in.pmat_right.data(),
+      in.dmat.data(), in.d2mat.data(), true);
+  for (const unsigned threads : {2u, 4u}) {
+    KernelPool pool(threads);
+    const BranchValue parallel = evaluate_branch(
+        in.dims, in.freqs.data(), in.weights.data(), a, b,
+        in.pmat_right.data(), in.dmat.data(), in.d2mat.data(), true, &pool);
+    // Bitwise: the per-block partials are reduced serially in block order,
+    // independent of which thread computed each block.
+    EXPECT_EQ(parallel.log_likelihood, serial.log_likelihood);
+    EXPECT_EQ(parallel.d1, serial.d1);
+    EXPECT_EQ(parallel.d2, serial.d2);
+  }
+}
+
+TEST(Kernels, BlockParallelPerPatternBitIdenticalToSerial) {
+  const BlockInputs in(107);
+  EvalSide a{in.left.data(), in.lscale.data(), nullptr, nullptr,
+             nullptr,        nullptr,          nullptr};
+  EvalSide b{in.right.data(), in.rscale.data(), nullptr, nullptr,
+             nullptr,         nullptr,          nullptr};
+  std::vector<double> serial_out(in.dims.patterns);
+  per_pattern_log_likelihoods(in.dims, in.freqs.data(), a, b,
+                              in.pmat_right.data(), serial_out.data());
+  KernelPool pool(4);
+  std::vector<double> pool_out(in.dims.patterns, -1.0);
+  per_pattern_log_likelihoods(in.dims, in.freqs.data(), a, b,
+                              in.pmat_right.data(), pool_out.data(), &pool);
+  for (std::size_t p = 0; p < in.dims.patterns; ++p)
+    ASSERT_EQ(pool_out[p], serial_out[p]) << "pattern " << p;
 }
 
 TEST(Kernels, ScalingPreservesLikelihood) {

@@ -75,8 +75,9 @@ void expect_bit_identical(const Inputs& in, const NewviewChild& left,
   const std::size_t scalar_scaled =
       newview_scalar(in.dims, left, right, scalar_out.data(),
                      scalar_scale.data());
-  const std::size_t simd_scaled = detail::newview4_avx2(
-      in.dims, left, right, simd_out.data(), simd_scale.data());
+  const std::size_t simd_scaled =
+      detail::newview4_avx2(in.dims, left, right, simd_out.data(),
+                            simd_scale.data(), 0, in.dims.patterns);
   EXPECT_EQ(scalar_scaled, simd_scaled);
   EXPECT_EQ(scalar_scale, simd_scale);
   for (std::size_t i = 0; i < width; ++i)
@@ -107,6 +108,19 @@ TEST(KernelsSimd, ScalingPathBitIdentical) {
   // Tiny values force the scaling branch: counts and multiplied values must
   // match exactly too.
   const Inputs in(50, 4, 5, /*tiny_values=*/true);
+  expect_bit_identical(in, in.inner_left(), in.inner_right());
+}
+
+TEST(KernelsSimd, ZeroBlockTerminatesAndMatchesScalar) {
+  // Regression for the unbounded rescale loop: a pattern whose children
+  // multiply to exactly 0.0 can never clear the scale threshold. Both
+  // kernels must break out (identically, preserving bit-identity) instead of
+  // spinning forever. Zero one child's vector for a few patterns; tiny
+  // values elsewhere keep the scaling branch hot.
+  Inputs in(50, 4, 7, /*tiny_values=*/true);
+  for (std::size_t p = 0; p < in.dims.patterns; p += 5)
+    for (unsigned i = 0; i < in.dims.categories * 4; ++i)
+      in.left[p * in.dims.categories * 4 + i] = 0.0;
   expect_bit_identical(in, in.inner_left(), in.inner_right());
 }
 
