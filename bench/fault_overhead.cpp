@@ -1,9 +1,17 @@
-// Robustness-layer overhead: what does the fault-injection / retry
-// machinery cost when it is (a) compiled in but disabled, and (b) armed at
-// the ISSUE's 10% ceiling with a retry budget absorbing every fault? The
-// interesting numbers are the wall-time ratio against the pre-existing I/O
-// loop and the injected/retried counter totals — results must stay
-// bit-identical throughout (docs/robustness.md).
+// Robustness-layer overhead: what do the fault-injection / retry machinery
+// and the per-vector checksum layer cost on the clean path? Variants:
+//
+//   no-integrity  legacy raw layout, no injector — the pre-robustness I/O loop
+//   integrity     checksums verified at swap-in / updated at write-back
+//                 (the default configuration; no faults armed)
+//   rate=0.10     integrity plus a fault schedule at the ISSUE's 10% ceiling
+//                 with a retry budget absorbing every fault
+//
+// The interesting numbers are the integrity/no-integrity wall ratio (the
+// clean-path checksum verify/update overhead) and the armed/integrity ratio
+// (the injection machinery itself) — results must stay bit-identical
+// throughout (docs/robustness.md). The final stdout line is a JSON object
+// with every variant's numbers for dashboards and CI scraping.
 #include "bench_common.hpp"
 
 using namespace plfoc;
@@ -18,7 +26,7 @@ struct OverheadResult {
 };
 
 OverheadResult run(const PlannedDataset& data, const FaultConfig& faults,
-                   std::uint64_t budget, int traversals) {
+                   bool integrity, std::uint64_t budget, int traversals) {
   SessionOptions options;
   options.backend = Backend::kOutOfCore;
   options.policy = ReplacementPolicy::kLru;
@@ -26,6 +34,7 @@ OverheadResult run(const PlannedDataset& data, const FaultConfig& faults,
   options.compress_patterns = false;
   options.seed = 5;
   options.faults = faults;
+  options.integrity = integrity;
   options.io_retry.backoff_initial_us = 0;  // measure the loop, not sleeps
   Session session(data.alignment, data.tree, benchmark_gtr(), options);
   // Warm-up traversal populates the file; the measured part starts clean.
@@ -38,6 +47,25 @@ OverheadResult run(const PlannedDataset& data, const FaultConfig& faults,
   result.wall = timer.seconds();
   result.stats = session.store().stats_snapshot();
   return result;
+}
+
+void print_row(const char* name, const OverheadResult& r) {
+  std::printf("%-14s %10.2f %10llu %10llu %10llu\n", name, r.wall,
+              static_cast<unsigned long long>(r.stats.faults_injected),
+              static_cast<unsigned long long>(r.stats.io_retries),
+              static_cast<unsigned long long>(r.stats.io_exhausted));
+}
+
+void print_json_variant(const char* name, const OverheadResult& r,
+                        const char* trailer) {
+  std::printf("\"%s\":{\"wall_s\":%.4f,\"file_reads\":%llu,\"file_writes\":"
+              "%llu,\"faults\":%llu,\"retried\":%llu,\"exhausted\":%llu}%s",
+              name, r.wall,
+              static_cast<unsigned long long>(r.stats.file_reads),
+              static_cast<unsigned long long>(r.stats.file_writes),
+              static_cast<unsigned long long>(r.stats.faults_injected),
+              static_cast<unsigned long long>(r.stats.io_retries),
+              static_cast<unsigned long long>(r.stats.io_exhausted), trailer);
 }
 
 }  // namespace
@@ -53,7 +81,7 @@ int main() {
   const std::uint64_t budget = plan.target_ancestral_bytes / 8;
   const int traversals = 3;
 
-  std::printf("# Fault-injection overhead: %d full traversals, %zu taxa, "
+  std::printf("# Robustness-layer overhead: %d full traversals, %zu taxa, "
               "%.0f MiB vectors, %.0f MiB budget, scale=%s\n",
               traversals, plan.num_taxa,
               static_cast<double>(plan.target_ancestral_bytes) / 1048576.0,
@@ -61,32 +89,42 @@ int main() {
   std::printf("%-14s %10s %10s %10s %10s\n", "variant", "wall_s", "faults",
               "retried", "exhausted");
 
-  FaultConfig off;  // rate 0: the injector is never constructed
-  const OverheadResult baseline = run(data, off, budget, traversals);
-  std::printf("%-14s %10.2f %10llu %10llu %10llu\n", "disabled",
-              baseline.wall,
-              static_cast<unsigned long long>(baseline.stats.faults_injected),
-              static_cast<unsigned long long>(baseline.stats.io_retries),
-              static_cast<unsigned long long>(baseline.stats.io_exhausted));
+  const FaultConfig off;  // rate 0: the injector is never constructed
+  const OverheadResult raw = run(data, off, false, budget, traversals);
+  print_row("no-integrity", raw);
+
+  const OverheadResult checked = run(data, off, true, budget, traversals);
+  print_row("integrity", checked);
 
   FaultConfig armed;
   armed.seed = 20260805;
   armed.rate = 0.10;  // the acceptance ceiling
   armed.burst = 2;    // fits inside the default retry budget of 4
-  const OverheadResult faulty = run(data, armed, budget, traversals);
-  std::printf("%-14s %10.2f %10llu %10llu %10llu\n", "rate=0.10",
-              faulty.wall,
-              static_cast<unsigned long long>(faulty.stats.faults_injected),
-              static_cast<unsigned long long>(faulty.stats.io_retries),
-              static_cast<unsigned long long>(faulty.stats.io_exhausted));
+  const OverheadResult faulty = run(data, armed, true, budget, traversals);
+  print_row("rate=0.10", faulty);
 
-  std::printf("# armed/disabled wall ratio: %.2fx\n",
-              baseline.wall == 0.0 ? 0.0 : faulty.wall / baseline.wall);
-  if (faulty.loglik != baseline.loglik) {
-    std::printf("# WARNING: logL mismatch between variants\n");
-    return 1;
-  }
-  std::printf("# logL bit-identical across variants: %.6f\n",
-              baseline.loglik);
-  return 0;
+  const double integrity_overhead =
+      raw.wall == 0.0 ? 0.0 : checked.wall / raw.wall;
+  const double armed_overhead =
+      checked.wall == 0.0 ? 0.0 : faulty.wall / checked.wall;
+  std::printf("# integrity/no-integrity wall ratio (clean-path checksum "
+              "verify+update): %.2fx\n", integrity_overhead);
+  std::printf("# armed/integrity wall ratio: %.2fx\n", armed_overhead);
+
+  const bool identical =
+      raw.loglik == checked.loglik && checked.loglik == faulty.loglik;
+  if (!identical) std::printf("# WARNING: logL mismatch between variants\n");
+  else std::printf("# logL bit-identical across variants: %.6f\n", raw.loglik);
+
+  // Machine-readable summary (one line, scraped by dashboards / CI).
+  std::printf("{\"bench\":\"fault_overhead\",\"scale\":\"%s\",\"traversals\""
+              ":%d,", scale_name(scale), traversals);
+  print_json_variant("no_integrity", raw, ",");
+  print_json_variant("integrity", checked, ",");
+  print_json_variant("faulty", faulty, ",");
+  std::printf("\"integrity_clean_path_overhead\":%.4f,"
+              "\"armed_overhead\":%.4f,\"logl_bit_identical\":%s}\n",
+              integrity_overhead, armed_overhead,
+              identical ? "true" : "false");
+  return identical ? 0 : 1;
 }

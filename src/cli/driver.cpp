@@ -1,5 +1,6 @@
 #include "cli/driver.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <ostream>
 
@@ -59,10 +60,12 @@ CliConfig parse_cli(int argc, const char* const* argv) {
       .add_string("vector-file", &config.vector_file,
                   "explicit backing file path (default: temp file)")
       .add_string("inject-faults", &config.inject_faults,
-                  "seeded I/O fault schedule: seed=N,rate=P[,burst=K]"
-                  "[,kinds=short|eintr|eio|enospc|latency][,latency-ns=N]")
+                  std::string("seeded I/O fault + corruption schedule: ") +
+                      FaultConfig::grammar())
       .add_uint("io-retries", &config.io_retries,
                 "transient I/O retry budget per transfer (0 = fail fast)")
+      .add_flag("no-integrity", &config.no_integrity,
+                "disable per-vector checksums and self-healing recovery")
       .add_uint("threads", &config.threads,
                 "kernel threads for block-parallel PLF kernels (1 = serial; "
                 "logL is bit-identical for every value)")
@@ -137,6 +140,7 @@ int run_cli(const CliConfig& config, std::ostream& out) {
   options.vector_file = config.vector_file;
   if (!config.inject_faults.empty())
     options.faults = FaultConfig::parse(config.inject_faults);
+  options.integrity = !config.no_integrity;
   options.io_retry.max_retries = static_cast<unsigned>(config.io_retries);
   options.threads = static_cast<unsigned>(config.threads);
   Session session(std::move(alignment), std::move(tree), std::move(model),
@@ -222,8 +226,9 @@ BatchConfig parse_batch_cli(int argc, const char* const* argv) {
       .add_flag("stats", &config.print_stats,
                 "print per-job and merged storage statistics")
       .add_string("inject-faults", &config.inject_faults,
-                  "batch-default fault schedule seed=N,rate=P,... "
-                  "(a job's faults= key overrides)")
+                  std::string("batch-default fault + corruption schedule ") +
+                      FaultConfig::grammar() + " (a job's faults= key "
+                      "overrides)")
       .add_uint("io-retries", &config.io_retries,
                 "batch-default transient I/O retry budget "
                 "(a job's io-retries= key overrides; 0 = fail fast)")
@@ -231,7 +236,7 @@ BatchConfig parse_batch_cli(int argc, const char* const* argv) {
                 "batch-default kernel threads per worker "
                 "(a job's threads= key overrides; logL is unaffected)")
       .add_flag("readmit", &config.readmit,
-                "re-admit a job once after a typed I/O failure");
+                "re-admit a job once after a typed I/O or integrity failure");
   // The jobfile may lead as a positional: `plfoc batch jobs.txt --workers 4`.
   int start = 0;
   if (argc > 0 && argv[0] != nullptr && argv[0][0] != '-') {
@@ -301,8 +306,9 @@ int run_batch_cli(const BatchConfig& config, std::ostream& out) {
       case JobStatus::kFailed:
         ++failed;
         out << "FAILED: " << result.error;
-        if (result.io_failure) {
-          out << " (io failure after " << result.attempts
+        if (result.io_failure || result.integrity_failure) {
+          out << " (" << (result.io_failure ? "io" : "integrity")
+              << " failure after " << result.attempts
               << (result.attempts == 1 ? " attempt)" : " attempts)");
           if (!result.fault_report.empty())
             out << "\n  fault report: " << result.fault_report;
@@ -324,6 +330,61 @@ int run_batch_cli(const BatchConfig& config, std::ostream& out) {
   if (config.print_stats)
     out << "merged storage: " << service.merged_stats().summary() << "\n";
   return failed == 0 ? 0 : 1;
+}
+
+FsckConfig parse_fsck_cli(int argc, const char* const* argv) {
+  FsckConfig config;
+  ArgParser parser("plfoc fsck",
+                   "offline integrity scan of a plfoc vector file: verify "
+                   "every record against its checksum table entry");
+  parser
+      .add_string("file", &config.vector_file,
+                  "vector-file stripe to scan (see docs/file-formats.md)")
+      .add_flag("verbose", &config.verbose,
+                "list every damaged record (default: first 10 + summary)");
+  // The file may lead as a positional: `plfoc fsck vectors.bin`.
+  int start = 0;
+  if (argc > 0 && argv[0] != nullptr && argv[0][0] != '-') {
+    config.vector_file = argv[0];
+    start = 1;
+  }
+  parser.parse(argc - start, argv + start);
+  PLFOC_REQUIRE(!config.vector_file.empty(),
+                "fsck mode needs a vector file: plfoc fsck <vector-file>, "
+                "or --file <vector-file>\n" +
+                    parser.usage());
+  return config;
+}
+
+int run_fsck_cli(const FsckConfig& config, std::ostream& out) {
+  const FsckReport report = FileBackend::fsck(config.vector_file);
+  out << "fsck " << config.vector_file << "\n";
+  if (!report.header_ok) {
+    out << "header: INVALID — " << report.header_error << "\n";
+    return 1;
+  }
+  out << "header: ok (" << report.block_count << " blocks of "
+      << report.block_bytes << " B, payload " << report.payload_bytes
+      << " B)\n";
+  out << "records: " << report.checked << " verified, "
+      << report.skipped_unwritten << " never written\n";
+  if (report.clean()) {
+    out << "clean\n";
+    return 0;
+  }
+  const std::size_t shown =
+      config.verbose ? report.issues.size()
+                     : std::min<std::size_t>(report.issues.size(), 10);
+  for (std::size_t i = 0; i < shown; ++i)
+    out << "  block " << report.issues[i].block << ": "
+        << report.issues[i].what << "\n";
+  if (shown < report.issues.size())
+    out << "  ... " << report.issues.size() - shown
+        << " more (use --verbose)\n";
+  out << "DAMAGED: " << report.issues.size()
+      << (report.issues.size() == 1 ? " record" : " records")
+      << " failed verification\n";
+  return 1;
 }
 
 }  // namespace plfoc

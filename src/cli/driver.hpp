@@ -44,6 +44,7 @@ struct CliConfig {
   // robustness (docs/robustness.md)
   std::string inject_faults;         // FaultConfig spec "seed=N,rate=P,..."
   std::uint64_t io_retries = 4;      // transient-error retry budget (0 = off)
+  bool no_integrity = false;         // disable per-vector checksums
   // parallelism (docs/parallelism.md)
   std::uint64_t threads = 1;         // kernel threads (1 = serial)
   // workload
@@ -93,5 +94,22 @@ BatchConfig parse_batch_cli(int argc, const char* const* argv);
 /// results in submission order (deterministic regardless of --workers).
 /// Returns 0 when every job evaluated, 1 when any failed.
 int run_batch_cli(const BatchConfig& config, std::ostream& out);
+
+/// Configuration of the `plfoc fsck` subcommand: offline integrity scan of
+/// one vector-file stripe (docs/file-formats.md). Header + record walk only —
+/// no engine, no store, no recovery.
+struct FsckConfig {
+  std::string vector_file;  ///< positional or --file
+  bool verbose = false;     ///< list every damaged record, not just a summary
+};
+
+/// Parse the argv that follows the `fsck` keyword. The file may be the first
+/// positional argument (`plfoc fsck vectors.bin`) or given via --file.
+FsckConfig parse_fsck_cli(int argc, const char* const* argv);
+
+/// Scan the file, report per-record checksum/generation damage to `out`.
+/// Returns 0 for a clean file, 1 when any record is damaged or the header is
+/// invalid.
+int run_fsck_cli(const FsckConfig& config, std::ostream& out);
 
 }  // namespace plfoc

@@ -314,6 +314,76 @@ double LikelihoodEngine::optimize_all_branches(int passes) {
   return ll;
 }
 
+std::uint64_t LikelihoodEngine::recover_vector(std::uint32_t index,
+                                               double* dst) {
+  const NodeId node = tree_.inner_node(index);
+  const NodeId toward = orientation_.towards(node);
+  // An unoriented vector has no defined content — nothing to recover (and
+  // nothing a future computation would read without recomputing it anyway).
+  if (toward == kNoNode) return 0;
+
+  // Same child enumeration as plan_subtree: neighbors order minus the parent,
+  // so left/right keep their transition-matrix association and the recomputed
+  // bytes match the originals bit for bit.
+  NodeId children[2] = {kNoNode, kNoNode};
+  int count = 0;
+  for (NodeId nbr : tree_.neighbors(node))
+    if (nbr != toward) children[count++] = nbr;
+  PLFOC_CHECK(count == 2);
+  for (NodeId child : children)
+    if (tree_.is_inner(child) && !orientation_.valid_towards(child, node))
+      return 0;  // child summarises another direction: recurrence undefined
+
+  // Local scratch: the member pmat/lookup buffers are live in the interrupted
+  // operation's frame (recovery runs from inside a store acquire).
+  std::vector<double> pmat_left;
+  std::vector<double> pmat_right;
+  std::vector<double> lookup_left;
+  std::vector<double> lookup_right;
+  try {
+    category_transition_matrices(
+        eigen_, tree_.branch_length(node, children[0]), rates_, pmat_left);
+    category_transition_matrices(
+        eigen_, tree_.branch_length(node, children[1]), rates_, pmat_right);
+    NewviewChild left{};
+    NewviewChild right{};
+    VectorLease left_lease;
+    VectorLease right_lease;
+    if (tree_.is_tip(children[0])) {
+      tips_.build_branch_lookup(pmat_left.data(), dims_.categories,
+                                lookup_left);
+      left.codes = tips_.tip_codes(children[0]);
+      left.lookup = lookup_left.data();
+    } else {
+      // May recurse into recovery of the child; recursion depth is bounded
+      // by the tree height and each level pins at most two more vectors.
+      left_lease = store_.acquire(vector_index(children[0]), AccessMode::kRead);
+      left.vector = left_lease.data();
+      left.scale_counts = scale_data(children[0]);
+      left.pmat = pmat_left.data();
+    }
+    if (tree_.is_tip(children[1])) {
+      tips_.build_branch_lookup(pmat_right.data(), dims_.categories,
+                                lookup_right);
+      right.codes = tips_.tip_codes(children[1]);
+      right.lookup = lookup_right.data();
+    } else {
+      right_lease =
+          store_.acquire(vector_index(children[1]), AccessMode::kRead);
+      right.vector = right_lease.data();
+      right.scale_counts = scale_data(children[1]);
+      right.pmat = pmat_right.data();
+    }
+    // Scale counts are RAM-resident and recomputed to identical values.
+    newview(dims_, left, right, dst, scale_data(node), kernel_pool_);
+  } catch (const Error&) {
+    // Nested unrecoverable corruption, pinned-slot exhaustion, or I/O retry
+    // exhaustion: report "not recomputable" and let the store throw typed.
+    return 0;
+  }
+  return 1;
+}
+
 std::span<const std::int32_t> LikelihoodEngine::scale_counts(
     NodeId inner) const {
   PLFOC_CHECK(tree_.is_inner(inner));

@@ -132,6 +132,20 @@ class LikelihoodEngine {
   /// DESIGN.md — they are <= 1/32 of vector memory under DNA Γ4).
   std::span<const std::int32_t> scale_counts(NodeId inner) const;
 
+  /// Self-healing backend for AncestralStore::RecoveryHook: recompute the
+  /// ancestral vector `index` into `dst` (store width doubles) by one
+  /// Felsenstein pruning step over its current children, exactly as the
+  /// interrupted traversal would have produced it (same child order, same
+  /// kernel pool — bit-identical). Child vectors are acquired through the
+  /// store, so a corrupt child heals recursively (bounded by tree height;
+  /// tips are always RAM-resident). Returns 1 on success, 0 when the record
+  /// is not recomputable: the node's orientation is invalid (its content was
+  /// never defined), a child summarises the wrong direction, or a child
+  /// acquire fails (nested unrecoverable corruption, pinned-slot exhaustion,
+  /// I/O retry exhaustion). Uses only local scratch — the engine's member
+  /// buffers belong to the interrupted operation's stack frame.
+  std::uint64_t recover_vector(std::uint32_t index, double* dst);
+
  private:
   void rebuild_eigen();
   std::uint32_t vector_index(NodeId inner) const {

@@ -71,6 +71,20 @@ std::optional<std::string> StoreAuditor::record_release(
   return std::nullopt;
 }
 
+std::optional<std::string> StoreAuditor::record_recovery(std::uint32_t index,
+                                                         bool recovered) {
+  if (index >= vector_count_)
+    return describe("recovery of out-of-range vector", index);
+  if (!on_disk_[index])
+    return describe(
+        "integrity failure reported for a vector never written to the file",
+        index);
+  // The recomputed slot content supersedes the corrupt file record: it must
+  // reach the file before the slot may be dropped.
+  if (recovered) shadow_dirty_[index] = true;
+  return std::nullopt;
+}
+
 std::optional<std::string> StoreAuditor::check_table(
     const std::vector<OocSlot>& slots,
     const std::vector<std::uint32_t>& vector_slot) const {
@@ -141,6 +155,20 @@ std::optional<std::string> StoreAuditor::check_stats(const OocStats& stats) {
   if (stats.skipped_reads > stats.misses)
     return "skipped_reads (" + std::to_string(stats.skipped_reads) +
            ") exceeds misses (" + std::to_string(stats.misses) + ")";
+  if (stats.integrity_recoveries + stats.integrity_unrecovered !=
+      stats.integrity_failures)
+    return "integrity_recoveries (" +
+           std::to_string(stats.integrity_recoveries) +
+           ") + integrity_unrecovered (" +
+           std::to_string(stats.integrity_unrecovered) +
+           ") != integrity_failures (" +
+           std::to_string(stats.integrity_failures) + ")";
+  if (stats.recovery_recomputes < stats.integrity_recoveries)
+    return "recovery_recomputes (" +
+           std::to_string(stats.recovery_recomputes) +
+           ") below integrity_recoveries (" +
+           std::to_string(stats.integrity_recoveries) +
+           ") — every recovery recomputes at least its own vector";
 
   // Monotonicity against the previous snapshot: counters only ever grow
   // between resets (reset_stats_baseline() clears the reference).
@@ -165,6 +193,16 @@ std::optional<std::string> StoreAuditor::check_stats(const OocStats& stats) {
       {"faults_injected", stats.faults_injected, last_stats_.faults_injected},
       {"io_retries", stats.io_retries, last_stats_.io_retries},
       {"io_exhausted", stats.io_exhausted, last_stats_.io_exhausted},
+      {"integrity_failures", stats.integrity_failures,
+       last_stats_.integrity_failures},
+      {"integrity_recoveries", stats.integrity_recoveries,
+       last_stats_.integrity_recoveries},
+      {"integrity_unrecovered", stats.integrity_unrecovered,
+       last_stats_.integrity_unrecovered},
+      {"recovery_recomputes", stats.recovery_recomputes,
+       last_stats_.recovery_recomputes},
+      {"corruptions_injected", stats.corruptions_injected,
+       last_stats_.corruptions_injected},
   };
   for (const Field& f : fields) {
     if (f.now < f.before)

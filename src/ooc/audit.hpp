@@ -81,6 +81,14 @@ class StoreAuditor {
   [[nodiscard]] std::optional<std::string> record_release(
       std::uint32_t index, std::uint32_t pins_before);
 
+  /// A verified read of `index` failed its checksum and the store attempted
+  /// self-healing recomputation. `recovered` reports the outcome. A
+  /// successful recovery leaves the slot holding content newer than the
+  /// (corrupt) file record, so the shadow model marks the vector dirty —
+  /// the slot must be written back before it can be dropped.
+  [[nodiscard]] std::optional<std::string> record_recovery(std::uint32_t index,
+                                                          bool recovered);
+
   // -- Full-table validation ------------------------------------------------
 
   /// Validate the complete slot table against the structural invariants and
@@ -91,10 +99,12 @@ class StoreAuditor {
 
   /// Validate the store's counter object: algebraic identities
   /// (hits + misses == accesses, cold_misses <= misses, skipped_reads <=
-  /// misses) and monotonicity against the previously checked snapshot —
-  /// including the robustness counters (faults_injected / io_retries /
-  /// io_exhausted), which must never run backwards mid-run. Call after
-  /// every counter mutation; reset_stats_baseline() after a counter reset.
+  /// misses, integrity_recoveries + integrity_unrecovered ==
+  /// integrity_failures, recovery_recomputes >= integrity_recoveries) and
+  /// monotonicity against the previously checked snapshot — including the
+  /// robustness and integrity counters, which must never run backwards
+  /// mid-run. Call after every counter mutation; reset_stats_baseline()
+  /// after a counter reset.
   [[nodiscard]] std::optional<std::string> check_stats(const OocStats& stats);
 
   /// Forget the monotonicity baseline (pairs with AncestralStore's

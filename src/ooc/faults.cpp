@@ -66,6 +66,22 @@ const char* fault_kind_name(FaultKind kind) {
   return "?";
 }
 
+const char* corruption_kind_name(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kNone: return "none";
+    case CorruptionKind::kFlip: return "flip";
+    case CorruptionKind::kZero: return "zero";
+    case CorruptionKind::kTorn: return "torn";
+    case CorruptionKind::kStale: return "stale";
+  }
+  return "?";
+}
+
+const char* FaultConfig::grammar() {
+  return "seed=N,rate=P[,burst=K][,kinds=short|eintr|eio|enospc|latency|all]"
+         "[,latency-ns=N][,flip=P][,torn=P][,zero=P][,stale=P][,nonce=N]";
+}
+
 FaultConfig FaultConfig::parse(const std::string& spec) {
   FaultConfig config;
   if (spec.empty()) return config;
@@ -95,14 +111,28 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
       PLFOC_REQUIRE(config.kinds != 0, "fault spec kinds= selected nothing");
     } else if (key == "latency-ns") {
       config.latency_ns = parse_u64(key, value);
+    } else if (key == "flip") {
+      config.flip_rate = parse_prob(key, value);
+    } else if (key == "torn") {
+      config.torn_rate = parse_prob(key, value);
+    } else if (key == "zero") {
+      config.zero_rate = parse_prob(key, value);
+    } else if (key == "stale") {
+      config.stale_rate = parse_prob(key, value);
     } else if (key == "nonce") {
       config.nonce = parse_u64(key, value);
     } else {
-      throw Error("unknown fault spec key '" + key +
-                  "' (seed | rate | burst | kinds | latency-ns | nonce)");
+      throw Error("unknown fault spec key '" + key + "' (grammar: " +
+                  std::string(FaultConfig::grammar()) + ")");
     }
   }
-  PLFOC_REQUIRE(saw_rate, "fault spec needs rate= (e.g. seed=7,rate=0.05)");
+  PLFOC_REQUIRE(config.flip_rate + config.zero_rate <= 1.0,
+                "fault spec flip= + zero= must not exceed 1");
+  PLFOC_REQUIRE(config.torn_rate + config.stale_rate <= 1.0,
+                "fault spec torn= + stale= must not exceed 1");
+  PLFOC_REQUIRE(saw_rate || config.corruption_enabled(),
+                "fault spec needs rate= or a corruption rate "
+                "(e.g. seed=7,rate=0.05 or seed=7,rate=0,flip=0.01)");
   return config;
 }
 
@@ -126,9 +156,27 @@ std::string FaultConfig::spec() const {
     }
   }
   if (latency_ns != 0) out << ",latency-ns=" << latency_ns;
+  if (flip_rate != 0.0) out << ",flip=" << flip_rate;
+  if (torn_rate != 0.0) out << ",torn=" << torn_rate;
+  if (zero_rate != 0.0) out << ",zero=" << zero_rate;
+  if (stale_rate != 0.0) out << ",stale=" << stale_rate;
   if (nonce != 0) out << ",nonce=" << nonce;
   return out.str();
 }
+
+IntegrityError::IntegrityError(const std::string& op, std::uint64_t index,
+                               std::uint64_t expected_generation,
+                               std::uint64_t found_generation, bool injected,
+                               const std::string& detail)
+    : Error(op + ": integrity failure on record " + std::to_string(index) +
+            " (generation expected " + std::to_string(expected_generation) +
+            ", found " + std::to_string(found_generation) + "): " + detail +
+            (injected ? " [injected]" : "")),
+      op_(op),
+      index_(index),
+      expected_generation_(expected_generation),
+      found_generation_(found_generation),
+      injected_(injected) {}
 
 IoError::IoError(const std::string& op, int errno_value, std::uint64_t offset,
                  unsigned attempts, bool injected)
@@ -173,6 +221,40 @@ FaultDecision FaultInjector::next(bool is_write, unsigned faults_so_far) {
   FaultDecision decision;
   decision.kind = enabled[sub % enabled.size()];
   decision.fraction = to_unit(splitmix64(sub));
+  return decision;
+}
+
+CorruptionDecision FaultInjector::next_corruption(bool is_write) {
+  // Separate counter + distinct salt: the corruption stream neither consumes
+  // nor perturbs the syscall-fault stream, so arming flip= does not change
+  // which reads see transient EIO under the same seed.
+  const std::uint64_t k =
+      corruption_op_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h =
+      splitmix64(base_ ^ 0x6c62272e07bb0142ull ^ (k * 0x9fb21c651e98df25ull));
+  const double draw = to_unit(h);
+
+  CorruptionDecision decision;
+  if (is_write) {
+    if (draw < config_.torn_rate) {
+      decision.kind = CorruptionKind::kTorn;
+    } else if (draw < config_.torn_rate + config_.stale_rate) {
+      decision.kind = CorruptionKind::kStale;
+    } else {
+      return decision;
+    }
+  } else {
+    if (draw < config_.flip_rate) {
+      decision.kind = CorruptionKind::kFlip;
+    } else if (draw < config_.flip_rate + config_.zero_rate) {
+      decision.kind = CorruptionKind::kZero;
+    } else {
+      return decision;
+    }
+  }
+  const std::uint64_t sub = splitmix64(h);
+  decision.a = to_unit(sub);
+  decision.b = to_unit(splitmix64(sub));
   return decision;
 }
 

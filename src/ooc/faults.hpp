@@ -18,6 +18,13 @@
 //  * IoError — the typed error thrown once the budget is exhausted. The
 //    service layer catches it to fail a single job with a per-job fault
 //    report instead of taking down the worker thread.
+//  * Corruption modes + IntegrityError — faults that *survive* a successful
+//    read(): single-bit flips, torn writes, zeroed pages, stale-generation
+//    replays. FileBackend detects them via per-vector checksums; the store
+//    first tries to self-heal by recomputing the vector (ancestral vectors
+//    are pure functions of tree + model + tips, so every on-disk record is a
+//    recomputable cache entry) and throws IntegrityError only when recovery
+//    is impossible.
 //
 // docs/robustness.md describes the fault model and how to reproduce a
 // failure from a fuzzer seed.
@@ -73,11 +80,30 @@ struct FaultConfig {
   /// fault would not repeat. Mixed into the effective seed.
   std::uint64_t nonce = 0;
 
-  bool enabled() const { return rate > 0.0; }
+  /// Corruption rates — faults a successful read() cannot see. Each is a
+  /// per-operation probability, drawn on a stream independent of the
+  /// syscall-fault stream above. Read-side: flip (one bit of the delivered
+  /// payload), zero (an aligned page-sized span zeroed). Write-side: torn
+  /// (only a prefix of the payload reaches the file while the checksum table
+  /// records the full write), stale (the payload write is dropped entirely —
+  /// a stale-generation replay on the next read).
+  double flip_rate = 0.0;
+  double torn_rate = 0.0;
+  double zero_rate = 0.0;
+  double stale_rate = 0.0;
 
-  /// Parse "seed=N,rate=P[,burst=K][,kinds=eio|short|...][,latency-ns=N]".
-  /// An empty spec returns a disabled config. Throws plfoc::Error on unknown
-  /// keys or malformed values.
+  bool corruption_enabled() const {
+    return flip_rate > 0.0 || torn_rate > 0.0 || zero_rate > 0.0 ||
+           stale_rate > 0.0;
+  }
+  bool enabled() const { return rate > 0.0 || corruption_enabled(); }
+
+  /// The one authoritative description of the spec grammar, shared by the
+  /// --inject-faults CLI help, the jobfile faults= key, and parse errors.
+  static const char* grammar();
+
+  /// Parse a spec per grammar(). An empty spec returns a disabled config.
+  /// Throws plfoc::Error on unknown keys or malformed values.
   static FaultConfig parse(const std::string& spec);
   /// Round-trip back to the spec string (for reports and reproduction).
   std::string spec() const;
@@ -118,12 +144,61 @@ class IoError : public Error {
   bool injected_;
 };
 
+/// Typed error for corruption that could not be healed: a checksum or
+/// generation mismatch on a vector whose recomputation is impossible (no
+/// recovery hook, children unmaterialized during a read-skip window, or no
+/// free slot to stage a child in). Sibling of IoError so the service can
+/// fail one job at the same boundary without killing the worker.
+class IntegrityError : public Error {
+ public:
+  IntegrityError(const std::string& op, std::uint64_t index,
+                 std::uint64_t expected_generation,
+                 std::uint64_t found_generation, bool injected,
+                 const std::string& detail);
+
+  const std::string& op() const { return op_; }
+  /// Vector index for the stores' vector-granular paths; integrity-block
+  /// index for PagedStore's byte-granular path.
+  std::uint64_t index() const { return index_; }
+  std::uint64_t expected_generation() const { return expected_generation_; }
+  std::uint64_t found_generation() const { return found_generation_; }
+  /// True when a FaultInjector corruption decision explains the damage (vs.
+  /// real media corruption) — surfaces in reports for reproduction.
+  bool injected() const { return injected_; }
+
+ private:
+  std::string op_;
+  std::uint64_t index_;
+  std::uint64_t expected_generation_;
+  std::uint64_t found_generation_;
+  bool injected_;
+};
+
 /// One fault decision for one syscall attempt.
 struct FaultDecision {
   FaultKind kind = FaultKind::kNone;
   /// kShortTransfer: fraction in [0, 1) of the remaining span to transfer
   /// (clamped to at least one byte by the I/O loop).
   double fraction = 0.0;
+};
+
+enum class CorruptionKind : std::uint8_t {
+  kNone,
+  kFlip,   ///< read-side: flip one bit of the delivered payload
+  kZero,   ///< read-side: zero an aligned span (a "zeroed page")
+  kTorn,   ///< write-side: only a prefix of the payload reaches the file
+  kStale,  ///< write-side: the payload write is silently dropped
+};
+
+const char* corruption_kind_name(CorruptionKind kind);
+
+/// One corruption decision for one logical vector/block transfer. `a` and
+/// `b` are uniform draws in [0, 1) the backend maps onto positions (which
+/// bit to flip, where a torn write stops, which page to zero).
+struct CorruptionDecision {
+  CorruptionKind kind = CorruptionKind::kNone;
+  double a = 0.0;
+  double b = 0.0;
 };
 
 /// Deterministic decision stream. Thread-safe: decisions are numbered by an
@@ -138,6 +213,14 @@ class FaultInjector {
   /// injected into the current logical transfer (enforces `burst`).
   FaultDecision next(bool is_write, unsigned faults_so_far);
 
+  /// Corruption decision for the next logical vector/block transfer. Drawn
+  /// from a separately-salted stream on its own counter, so arming
+  /// corruption does not perturb the syscall-fault schedule (and vice
+  /// versa). Read-side transfers draw from {flip, zero}, write-side from
+  /// {torn, stale}; the per-kind rates are cumulative thresholds on one
+  /// uniform draw.
+  CorruptionDecision next_corruption(bool is_write);
+
   /// Total decisions drawn (faulting or not) — the schedule position.
   std::uint64_t decisions() const {
     return op_.load(std::memory_order_relaxed);
@@ -148,6 +231,7 @@ class FaultInjector {
   FaultConfig config_;
   std::uint64_t base_;  ///< splitmix64(seed ^ nonce) — the stream key
   std::atomic<std::uint64_t> op_{0};
+  std::atomic<std::uint64_t> corruption_op_{0};
 };
 
 }  // namespace plfoc

@@ -14,6 +14,61 @@
 #include "util/checks.hpp"
 
 namespace plfoc {
+namespace {
+
+// On-disk layout of an integrity-enabled vector file (docs/file-formats.md):
+//   [0, 4096)                       header (fields below, rest reserved 0)
+//   [4096, 4096 + 16 * blocks)      table: {u64 checksum, u64 generation}
+//   [payload_offset, ...)           payload, payload_offset 4 KiB-aligned
+constexpr std::uint64_t kHeaderBytes = 4096;
+constexpr std::uint64_t kTableEntryBytes = 16;
+constexpr std::uint32_t kMagic = 0x56464c50;  // "PLFV" little-endian
+constexpr std::uint32_t kFormatVersion = 1;
+// Header field byte offsets.
+constexpr std::uint64_t kOffMagic = 0;
+constexpr std::uint64_t kOffVersion = 4;
+constexpr std::uint64_t kOffBlockBytes = 8;
+constexpr std::uint64_t kOffBlockCount = 16;
+constexpr std::uint64_t kOffTableOffset = 24;
+constexpr std::uint64_t kOffPayloadOffset = 32;
+constexpr std::uint64_t kOffChecksumSeed = 40;
+constexpr std::uint64_t kOffPayloadBytes = 48;
+// Stripe-file checksum seeds derive from this constant: seed_k =
+// mix64(kChecksumSeedBase ^ mix64(k)). The seed is stored in the header so
+// fsck needs no out-of-band knowledge.
+constexpr std::uint64_t kChecksumSeedBase = 0x504c4656ull;  // "PLFV"
+
+constexpr std::uint64_t round_up(std::uint64_t value, std::uint64_t align) {
+  return (value + align - 1) / align * align;
+}
+
+void put_u32(unsigned char* base, std::uint64_t offset, std::uint32_t value) {
+  std::memcpy(base + offset, &value, sizeof value);
+}
+void put_u64(unsigned char* base, std::uint64_t offset, std::uint64_t value) {
+  std::memcpy(base + offset, &value, sizeof value);
+}
+std::uint32_t get_u32(const unsigned char* base, std::uint64_t offset) {
+  std::uint32_t value;
+  std::memcpy(&value, base + offset, sizeof value);
+  return value;
+}
+std::uint64_t get_u64(const unsigned char* base, std::uint64_t offset) {
+  std::uint64_t value;
+  std::memcpy(&value, base + offset, sizeof value);
+  return value;
+}
+
+}  // namespace
+
+const char* VerifyResult::status_name() const {
+  switch (status) {
+    case VerifyStatus::kOk: return "ok";
+    case VerifyStatus::kChecksumMismatch: return "checksum mismatch";
+    case VerifyStatus::kStaleGeneration: return "stale generation";
+  }
+  return "?";
+}
 
 // The single I/O loop behind every vector transfer. POSIX permits pread /
 // pwrite to transfer fewer bytes than requested or fail with EINTR on a
@@ -129,6 +184,12 @@ FileBackend::FileBackend(std::size_t count, std::size_t bytes_per_vector,
   PLFOC_REQUIRE(options_.num_files >= 1 && options_.num_files <= 64,
                 "FileBackend supports 1..64 stripe files");
   PLFOC_REQUIRE(!options_.base_path.empty(), "FileBackend needs a file path");
+  PLFOC_REQUIRE(!options_.faults.corruption_enabled() || options_.integrity,
+                "corruption injection requires integrity checksums — a flip "
+                "without a checksum table is a silently wrong likelihood");
+  block_bytes_ = options_.integrity_block_bytes != 0
+                     ? options_.integrity_block_bytes
+                     : bytes_per_vector_;
 
   for (unsigned k = 0; k < options_.num_files; ++k) {
     std::string path = options_.base_path;
@@ -140,17 +201,80 @@ FileBackend::FileBackend(std::size_t count, std::size_t bytes_per_vector,
     paths_.push_back(std::move(path));
   }
 
-  if (options_.preallocate) {
-    // Vectors stripe round-robin: file k holds ceil((count - k)/num_files).
-    for (unsigned k = 0; k < options_.num_files; ++k) {
-      const std::uint64_t vectors_in_file =
-          (count_ + options_.num_files - 1 - k) / options_.num_files;
-      const int rc = ::ftruncate(
-          fds_[k], static_cast<off_t>(vectors_in_file * bytes_per_vector_));
+  // Vectors stripe round-robin: file k holds ceil((count - k)/num_files).
+  for (unsigned k = 0; k < options_.num_files; ++k) {
+    const std::uint64_t vectors_in_file =
+        (count_ + options_.num_files - 1 - k) / options_.num_files;
+    const std::uint64_t payload_bytes = vectors_in_file * bytes_per_vector_;
+    if (options_.integrity) init_integrity_file(k, payload_bytes);
+    if (options_.preallocate) {
+      const std::uint64_t file_bytes =
+          (options_.integrity ? integrity_[k].payload_offset : 0) +
+          payload_bytes;
+      const int rc = ::ftruncate(fds_[k], static_cast<off_t>(file_bytes));
       PLFOC_REQUIRE(rc == 0, std::string("ftruncate failed: ") +
                                  std::strerror(errno));
     }
   }
+}
+
+// Raw bootstrap/diagnostic I/O: EINTR and short transfers handled, no fault
+// injection, no retry budget, no device-time accounting. A read past EOF
+// zero-fills the remainder (preallocation semantics: unwritten is zero).
+void FileBackend::raw_io(bool is_write, int fd, void* buffer,
+                         std::size_t bytes, std::uint64_t offset) {
+  char* cursor = static_cast<char*>(buffer);
+  std::size_t remaining = bytes;
+  while (remaining > 0) {
+    const off_t position = static_cast<off_t>(offset + (bytes - remaining));
+    const ssize_t moved = is_write ? ::pwrite(fd, cursor, remaining, position)
+                                   : ::pread(fd, cursor, remaining, position);
+    if (moved < 0) {
+      if (errno == EINTR) continue;
+      PLFOC_REQUIRE(false, std::string(is_write ? "pwrite" : "pread") +
+                               " (integrity metadata) failed: " +
+                               std::strerror(errno));
+    }
+    if (moved == 0) {
+      PLFOC_REQUIRE(!is_write, "pwrite transferred no bytes");
+      std::memset(cursor, 0, remaining);
+      return;
+    }
+    cursor += moved;
+    remaining -= static_cast<std::size_t>(moved);
+  }
+}
+
+void FileBackend::init_integrity_file(unsigned file_index,
+                                      std::uint64_t payload_bytes) {
+  FileIntegrity fi;
+  fi.payload_bytes = payload_bytes;
+  fi.block_count = (payload_bytes + block_bytes_ - 1) / block_bytes_;
+  fi.payload_offset =
+      round_up(kHeaderBytes + fi.block_count * kTableEntryBytes, 4096);
+  fi.checksum_seed = mix64(kChecksumSeedBase ^ mix64(file_index));
+  fi.checksum.reset(new std::atomic<std::uint64_t>[fi.block_count]());
+  fi.generation.reset(new std::atomic<std::uint64_t>[fi.block_count]());
+  fi.corrupt_mark.reset(new std::atomic<std::uint8_t>[fi.block_count]());
+
+  unsigned char header[kHeaderBytes] = {};
+  put_u32(header, kOffMagic, kMagic);
+  put_u32(header, kOffVersion, kFormatVersion);
+  put_u64(header, kOffBlockBytes, block_bytes_);
+  put_u64(header, kOffBlockCount, fi.block_count);
+  put_u64(header, kOffTableOffset, kHeaderBytes);
+  put_u64(header, kOffPayloadOffset, fi.payload_offset);
+  put_u64(header, kOffChecksumSeed, fi.checksum_seed);
+  put_u64(header, kOffPayloadBytes, payload_bytes);
+  raw_io(true, fds_[file_index], header, sizeof header, 0);
+  // The zeroed table region materialises via ftruncate (preallocation) or
+  // sparse extension on the first table write; generation 0 == never written
+  // either way.
+  const int rc = ::ftruncate(fds_[file_index],
+                             static_cast<off_t>(fi.payload_offset));
+  PLFOC_REQUIRE(rc == 0,
+                std::string("ftruncate failed: ") + std::strerror(errno));
+  integrity_.push_back(std::move(fi));
 }
 
 FileBackend::~FileBackend() {
@@ -163,7 +287,7 @@ FileBackend::Location FileBackend::locate(std::uint32_t index) const {
   PLFOC_DCHECK(index < count_);
   const unsigned file = index % options_.num_files;
   const std::uint64_t slot = index / options_.num_files;
-  return {fds_[file], slot * bytes_per_vector_};
+  return {fds_[file], slot * bytes_per_vector_, file, slot};
 }
 
 void FileBackend::charge(std::size_t bytes) {
@@ -178,22 +302,124 @@ void FileBackend::charge(std::size_t bytes) {
 
 void FileBackend::read_vector(std::uint32_t index, void* dst) {
   const Location loc = locate(index);
-  transfer_all(false, loc.fd, dst, bytes_per_vector_, loc.offset);
+  const std::uint64_t base =
+      options_.integrity ? integrity_[loc.file].payload_offset : 0;
+  transfer_all(false, loc.fd, dst, bytes_per_vector_, base + loc.offset);
   charge(bytes_per_vector_);
 }
 
 void FileBackend::write_vector(std::uint32_t index, const void* src) {
   const Location loc = locate(index);
-  transfer_all(true, loc.fd, const_cast<void*>(src), bytes_per_vector_,
-               loc.offset);
+  if (!options_.integrity) {
+    transfer_all(true, loc.fd, const_cast<void*>(src), bytes_per_vector_,
+                 loc.offset);
+    charge(bytes_per_vector_);
+    return;
+  }
+  FileIntegrity& fi = integrity_[loc.file];
+  // The table records the *intended* content, computed from memory, never
+  // re-read from the file — that is what makes a torn or dropped payload
+  // write detectable on the next verified read.
+  const std::uint64_t checksum =
+      checksum64(fi.checksum_seed, src, bytes_per_vector_);
+  const std::uint64_t generation =
+      fi.generation[loc.block].load(std::memory_order_relaxed) + 1;
+  CorruptionDecision corruption;
+  if (injector_ != nullptr) corruption = injector_->next_corruption(true);
+  switch (corruption.kind) {
+    case CorruptionKind::kStale:
+      // The device acks but nothing reaches the medium: neither payload nor
+      // table is written. The mirror still advances, so the next verified
+      // read sees the on-disk table lagging — a stale-generation replay.
+      corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
+      fi.corrupt_mark[loc.block].store(1, std::memory_order_relaxed);
+      break;
+    case CorruptionKind::kTorn: {
+      std::size_t prefix = 1 + static_cast<std::size_t>(
+                                   corruption.a *
+                                   static_cast<double>(bytes_per_vector_ - 1));
+      prefix = std::min(prefix, bytes_per_vector_ - 1);
+      transfer_all(true, loc.fd, const_cast<void*>(src), prefix,
+                   fi.payload_offset + loc.offset);
+      store_table_entry(loc.file, loc.block, checksum, generation, true);
+      corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
+      fi.corrupt_mark[loc.block].store(1, std::memory_order_relaxed);
+      break;
+    }
+    default:
+      transfer_all(true, loc.fd, const_cast<void*>(src), bytes_per_vector_,
+                   fi.payload_offset + loc.offset);
+      store_table_entry(loc.file, loc.block, checksum, generation, true);
+      fi.corrupt_mark[loc.block].store(0, std::memory_order_relaxed);
+      break;
+  }
+  fi.checksum[loc.block].store(checksum, std::memory_order_relaxed);
+  fi.generation[loc.block].store(generation, std::memory_order_relaxed);
   charge(bytes_per_vector_);
+}
+
+VerifyResult FileBackend::read_vector_verified(std::uint32_t index,
+                                               void* dst) {
+  PLFOC_CHECK(options_.integrity);
+  PLFOC_CHECK(block_bytes_ == bytes_per_vector_);
+  const Location loc = locate(index);
+  FileIntegrity& fi = integrity_[loc.file];
+  transfer_all(false, loc.fd, dst, bytes_per_vector_,
+               fi.payload_offset + loc.offset);
+  charge(bytes_per_vector_);
+  VerifyResult result;
+  const std::uint64_t generation =
+      fi.generation[loc.block].load(std::memory_order_relaxed);
+  if (generation == 0) return result;  // never written: preallocated zeros
+  const bool injected_now = apply_read_corruption(dst, bytes_per_vector_);
+  const std::uint64_t expected =
+      fi.checksum[loc.block].load(std::memory_order_relaxed);
+  if (checksum64(fi.checksum_seed, dst, bytes_per_vector_) == expected)
+    return result;
+  return classify_mismatch(loc.file, loc.block, injected_now);
+}
+
+VerifyResult FileBackend::read_bytes_verified(std::uint64_t offset, void* dst,
+                                              std::size_t bytes) {
+  PLFOC_CHECK(options_.num_files == 1);
+  PLFOC_CHECK(options_.integrity);
+  PLFOC_DCHECK(offset + bytes <= total_bytes());
+  FileIntegrity& fi = integrity_[0];
+  transfer_all(false, fds_[0], dst, bytes, fi.payload_offset + offset);
+  charge(bytes);
+  const bool injected_now = apply_read_corruption(dst, bytes);
+  VerifyResult result;
+  if (bytes == 0) return result;
+  const std::uint64_t first = offset / block_bytes_;
+  const std::uint64_t last = (offset + bytes - 1) / block_bytes_;
+  for (std::uint64_t block = first; block <= last; ++block) {
+    const std::uint64_t block_start = block * block_bytes_;
+    const std::uint64_t block_end =
+        std::min<std::uint64_t>(block_start + block_bytes_, fi.payload_bytes);
+    if (block_start < offset || block_end > offset + bytes)
+      continue;  // partially covered: not verifiable from this read
+    const std::uint64_t generation =
+        fi.generation[block].load(std::memory_order_relaxed);
+    if (generation == 0) continue;
+    const std::uint64_t expected =
+        fi.checksum[block].load(std::memory_order_relaxed);
+    const char* content = static_cast<const char*>(dst) +
+                          (block_start - offset);
+    if (checksum64(fi.checksum_seed, content, block_end - block_start) ==
+        expected)
+      continue;
+    return classify_mismatch(0, block, injected_now);
+  }
+  return result;
 }
 
 void FileBackend::read_bytes(std::uint64_t offset, void* dst,
                              std::size_t bytes) {
   PLFOC_CHECK(options_.num_files == 1);
   PLFOC_DCHECK(offset + bytes <= total_bytes());
-  transfer_all(false, fds_[0], dst, bytes, offset);
+  const std::uint64_t base =
+      options_.integrity ? integrity_[0].payload_offset : 0;
+  transfer_all(false, fds_[0], dst, bytes, base + offset);
   charge(bytes);
 }
 
@@ -201,23 +427,287 @@ void FileBackend::write_bytes(std::uint64_t offset, const void* src,
                               std::size_t bytes) {
   PLFOC_CHECK(options_.num_files == 1);
   PLFOC_DCHECK(offset + bytes <= total_bytes());
-  transfer_all(true, fds_[0], const_cast<void*>(src), bytes, offset);
+  const std::uint64_t base =
+      options_.integrity ? integrity_[0].payload_offset : 0;
+  transfer_all(true, fds_[0], const_cast<void*>(src), bytes, base + offset);
+  update_blocks_after_byte_write(offset, src, bytes);
   charge(bytes);
 }
 
 void FileBackend::write_ranges_clustered(const IoRange* ranges,
                                          std::size_t count, const void* base) {
   PLFOC_CHECK(options_.num_files == 1);
+  const std::uint64_t payload_base =
+      options_.integrity ? integrity_[0].payload_offset : 0;
   std::size_t total = 0;
   for (std::size_t i = 0; i < count; ++i) {
     PLFOC_DCHECK(ranges[i].offset + ranges[i].bytes <= total_bytes());
-    transfer_all(
-        true, fds_[0],
-        const_cast<char*>(static_cast<const char*>(base) + ranges[i].offset),
-        ranges[i].bytes, ranges[i].offset);
+    const char* src = static_cast<const char*>(base) + ranges[i].offset;
+    CorruptionDecision corruption;
+    if (options_.integrity && injector_ != nullptr)
+      corruption = injector_->next_corruption(true);
+    switch (corruption.kind) {
+      case CorruptionKind::kStale:
+        corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case CorruptionKind::kTorn: {
+        std::size_t prefix =
+            1 + static_cast<std::size_t>(
+                    corruption.a * static_cast<double>(ranges[i].bytes - 1));
+        prefix = std::min(prefix, ranges[i].bytes - 1);
+        if (prefix > 0)
+          transfer_all(true, fds_[0], const_cast<char*>(src), prefix,
+                       payload_base + ranges[i].offset);
+        corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      default:
+        transfer_all(true, fds_[0], const_cast<char*>(src), ranges[i].bytes,
+                     payload_base + ranges[i].offset);
+        break;
+    }
+    // The table always records the intended content (from memory), so a
+    // torn/dropped payload write above stays detectable at fault-in.
+    update_blocks_after_byte_write(ranges[i].offset, src, ranges[i].bytes);
+    if (corruption.kind != CorruptionKind::kNone && options_.integrity) {
+      FileIntegrity& fi = integrity_[0];
+      const std::uint64_t first = ranges[i].offset / block_bytes_;
+      const std::uint64_t last =
+          (ranges[i].offset + ranges[i].bytes - 1) / block_bytes_;
+      for (std::uint64_t block = first; block <= last; ++block)
+        fi.corrupt_mark[block].store(1, std::memory_order_relaxed);
+    }
     total += ranges[i].bytes;
   }
   if (count > 0) charge(total);  // one device operation for the cluster
+}
+
+void FileBackend::update_blocks_after_byte_write(std::uint64_t offset,
+                                                 const void* src,
+                                                 std::size_t bytes) {
+  if (!options_.integrity || bytes == 0) return;
+  FileIntegrity& fi = integrity_[0];
+  const char* intended = static_cast<const char*>(src);
+  const std::uint64_t first = offset / block_bytes_;
+  const std::uint64_t last = (offset + bytes - 1) / block_bytes_;
+  std::vector<char> scratch;
+  for (std::uint64_t block = first; block <= last; ++block) {
+    const std::uint64_t block_start = block * block_bytes_;
+    const std::uint64_t block_end =
+        std::min<std::uint64_t>(block_start + block_bytes_, fi.payload_bytes);
+    const std::size_t block_len =
+        static_cast<std::size_t>(block_end - block_start);
+    std::uint64_t checksum;
+    if (block_start >= offset && block_end <= offset + bytes) {
+      checksum = checksum64(fi.checksum_seed,
+                            intended + (block_start - offset), block_len);
+      fi.corrupt_mark[block].store(0, std::memory_order_relaxed);
+    } else {
+      // Partial overlap: reconstruct the intended block as current file
+      // content overlaid with the written span. (Raw read: maintenance
+      // traffic, not a data op.)
+      scratch.resize(block_len);
+      raw_io(false, fds_[0], scratch.data(), block_len,
+             fi.payload_offset + block_start);
+      const std::uint64_t cover_start = std::max(offset, block_start);
+      const std::uint64_t cover_end =
+          std::min<std::uint64_t>(offset + bytes, block_end);
+      std::memcpy(scratch.data() + (cover_start - block_start),
+                  intended + (cover_start - offset),
+                  static_cast<std::size_t>(cover_end - cover_start));
+      checksum = checksum64(fi.checksum_seed, scratch.data(), block_len);
+    }
+    store_table_entry(
+        0, block, checksum,
+        fi.generation[block].load(std::memory_order_relaxed) + 1, true);
+    fi.checksum[block].store(checksum, std::memory_order_relaxed);
+    fi.generation[block].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FileBackend::store_table_entry(unsigned file_index, std::uint64_t block,
+                                    std::uint64_t checksum,
+                                    std::uint64_t generation,
+                                    bool write_table) {
+  if (!write_table) return;
+  unsigned char entry[kTableEntryBytes];
+  put_u64(entry, 0, checksum);
+  put_u64(entry, 8, generation);
+  transfer_all(true, fds_[file_index], entry, sizeof entry,
+               kHeaderBytes + block * kTableEntryBytes);
+}
+
+bool FileBackend::apply_read_corruption(void* dst, std::size_t bytes) {
+  if (injector_ == nullptr || !options_.faults.corruption_enabled())
+    return false;
+  const CorruptionDecision corruption = injector_->next_corruption(false);
+  unsigned char* p = static_cast<unsigned char*>(dst);
+  switch (corruption.kind) {
+    case CorruptionKind::kFlip: {
+      std::uint64_t bit = static_cast<std::uint64_t>(
+          corruption.a * static_cast<double>(bytes) * 8.0);
+      bit = std::min<std::uint64_t>(bit, static_cast<std::uint64_t>(bytes) * 8 - 1);
+      p[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+      corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    case CorruptionKind::kZero: {
+      // Zero one aligned "page" of the delivered buffer, as a dropped or
+      // unmapped sector would.
+      constexpr std::size_t kSpan = 4096;
+      std::size_t start = static_cast<std::size_t>(
+                              corruption.a * static_cast<double>(bytes)) /
+                          kSpan * kSpan;
+      if (start >= bytes) start = (bytes - 1) / kSpan * kSpan;
+      const std::size_t len = std::min(kSpan, bytes - start);
+      bool changed = false;
+      for (std::size_t i = start; i < start + len; ++i)
+        if (p[i] != 0) { changed = true; break; }
+      if (!changed) return false;  // zeroing zeros: no damage done
+      std::memset(p + start, 0, len);
+      corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+VerifyResult FileBackend::classify_mismatch(unsigned file_index,
+                                            std::uint64_t block,
+                                            bool injected_now) {
+  FileIntegrity& fi = integrity_[file_index];
+  // Failure path only: one raw table read distinguishes a payload that
+  // changed under a current table (checksum mismatch) from a table that
+  // never saw the write reach the medium (stale-generation replay).
+  unsigned char entry[kTableEntryBytes];
+  raw_io(false, fds_[file_index], entry, sizeof entry,
+         kHeaderBytes + block * kTableEntryBytes);
+  VerifyResult result;
+  result.block = block;
+  result.expected_generation =
+      fi.generation[block].load(std::memory_order_relaxed);
+  result.found_generation = get_u64(entry, 8);
+  result.status = result.found_generation != result.expected_generation
+                      ? VerifyStatus::kStaleGeneration
+                      : VerifyStatus::kChecksumMismatch;
+  result.injected =
+      injected_now ||
+      fi.corrupt_mark[block].load(std::memory_order_relaxed) != 0;
+  return result;
+}
+
+FsckReport FileBackend::fsck(const std::string& path) {
+  FsckReport report;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    report.header_error =
+        "cannot open '" + path + "': " + std::strerror(errno);
+    return report;
+  }
+  const auto read_span = [fd](void* dst, std::size_t bytes,
+                              std::uint64_t offset) {
+    char* cursor = static_cast<char*>(dst);
+    std::size_t remaining = bytes;
+    while (remaining > 0) {
+      const ssize_t moved =
+          ::pread(fd, cursor, remaining,
+                  static_cast<off_t>(offset + (bytes - remaining)));
+      if (moved < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (moved == 0) {  // EOF: unwritten tail reads as zeros
+        std::memset(cursor, 0, remaining);
+        return true;
+      }
+      cursor += moved;
+      remaining -= static_cast<std::size_t>(moved);
+    }
+    return true;
+  };
+
+  unsigned char header[kHeaderBytes];
+  if (!read_span(header, sizeof header, 0)) {
+    report.header_error = "cannot read header: " + std::string(
+                              std::strerror(errno));
+    ::close(fd);
+    return report;
+  }
+  if (get_u32(header, kOffMagic) != kMagic) {
+    report.header_error =
+        "bad magic (not an integrity-enabled plfoc vector file)";
+    ::close(fd);
+    return report;
+  }
+  if (get_u32(header, kOffVersion) != kFormatVersion) {
+    report.header_error = "unsupported format version " +
+                          std::to_string(get_u32(header, kOffVersion));
+    ::close(fd);
+    return report;
+  }
+  report.block_bytes = get_u64(header, kOffBlockBytes);
+  report.block_count = get_u64(header, kOffBlockCount);
+  report.payload_bytes = get_u64(header, kOffPayloadBytes);
+  const std::uint64_t table_offset = get_u64(header, kOffTableOffset);
+  const std::uint64_t payload_offset = get_u64(header, kOffPayloadOffset);
+  const std::uint64_t seed = get_u64(header, kOffChecksumSeed);
+  if (report.block_bytes == 0 || table_offset != kHeaderBytes ||
+      payload_offset <
+          table_offset + report.block_count * kTableEntryBytes ||
+      report.block_count !=
+          (report.payload_bytes + report.block_bytes - 1) /
+              report.block_bytes) {
+    report.header_error = "inconsistent header geometry";
+    ::close(fd);
+    return report;
+  }
+  report.header_ok = true;
+
+  std::vector<char> payload(static_cast<std::size_t>(report.block_bytes));
+  for (std::uint64_t block = 0; block < report.block_count; ++block) {
+    unsigned char entry[kTableEntryBytes];
+    if (!read_span(entry, sizeof entry,
+                   table_offset + block * kTableEntryBytes)) {
+      report.issues.push_back({block, "cannot read table entry"});
+      continue;
+    }
+    const std::uint64_t checksum = get_u64(entry, 0);
+    const std::uint64_t generation = get_u64(entry, 8);
+    const std::uint64_t block_start = block * report.block_bytes;
+    const std::uint64_t block_end = std::min(
+        block_start + report.block_bytes, report.payload_bytes);
+    const std::size_t block_len =
+        static_cast<std::size_t>(block_end - block_start);
+    if (!read_span(payload.data(), block_len, payload_offset + block_start)) {
+      report.issues.push_back({block, "cannot read payload"});
+      continue;
+    }
+    if (generation == 0) {
+      bool nonzero = false;
+      for (std::size_t i = 0; i < block_len; ++i)
+        if (payload[i] != 0) { nonzero = true; break; }
+      if (nonzero)
+        report.issues.push_back(
+            {block, "unwritten record (generation 0) has nonzero payload"});
+      else
+        ++report.skipped_unwritten;
+      continue;
+    }
+    const std::uint64_t computed =
+        checksum64(seed, payload.data(), block_len);
+    if (computed != checksum) {
+      report.issues.push_back(
+          {block, "checksum mismatch (generation " +
+                      std::to_string(generation) + ", recorded " +
+                      std::to_string(checksum) + ", computed " +
+                      std::to_string(computed) + ")"});
+      continue;
+    }
+    ++report.checked;
+  }
+  ::close(fd);
+  return report;
 }
 
 void FileBackend::drop_page_cache() {

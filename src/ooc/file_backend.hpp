@@ -5,10 +5,19 @@
 // differences) by striping vectors round-robin. The logical block size equals
 // one vector — far above the 512 B / 8 KiB hardware block granularity — so
 // every transfer is one large contiguous pread/pwrite.
+//
+// With integrity on (the default) each stripe file carries a 4 KiB header
+// and a per-block {checksum, generation} table ahead of the payload, so
+// corruption that survives a successful read() — bit flips, torn writes,
+// zeroed pages, stale-sector replays — is detected at swap-in instead of
+// being folded into the likelihood. docs/file-formats.md specifies the
+// layout; docs/robustness.md covers the corruption model and the stores'
+// self-healing recovery path.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +25,39 @@
 #include "ooc/faults.hpp"
 
 namespace plfoc {
+
+/// The splitmix64 finalizer — the repo-wide mixing permutation (util/rng.cpp
+/// and ooc/faults.cpp use the same constants).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Seeded 64-bit content checksum over an integrity block: one mix64 round
+/// per 8-byte little-endian word, tail zero-padded and salted with the
+/// length so blocks of different sizes never collide trivially. Seeding
+/// makes checksums file-specific: a record replayed from another file (or
+/// stripe) with a self-consistent checksum still fails verification.
+inline std::uint64_t checksum64(std::uint64_t seed, const void* data,
+                                std::size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h =
+      seed ^ (0x9e3779b97f4a7c15ull + (static_cast<std::uint64_t>(bytes) << 1));
+  std::size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p + i, 8);
+    h = mix64(h ^ word);
+  }
+  if (i < bytes) {
+    std::uint64_t word = 0;
+    std::memcpy(&word, p + i, bytes - i);
+    h = mix64(h ^ word ^ static_cast<std::uint64_t>(bytes));
+  }
+  return h;
+}
 
 /// Deterministic storage-device cost model. The paper's Fig. 5 machine had
 /// 2 GB of RAM, so its vector file could never be page-cached and every
@@ -42,6 +84,55 @@ struct FileBackendOptions {
   DeviceModel device;         ///< virtual device cost accounting (off by default)
   FaultConfig faults;         ///< seeded fault schedule (disabled by default)
   RetryPolicy retry;          ///< bounded retry + backoff for transient errors
+  /// Per-block checksum + generation table (docs/file-formats.md). Required
+  /// when the fault schedule has corruption rates; off = the legacy headerless
+  /// raw layout (the bench baseline for measuring the integrity overhead).
+  bool integrity = true;
+  /// Integrity-block granularity in bytes; 0 = one block per vector (the
+  /// stores' natural unit). PagedStore sets this to its page size so the
+  /// byte-granular path verifies page runs. Must divide into the payload
+  /// only logically — the final block of a file may be short.
+  std::size_t integrity_block_bytes = 0;
+};
+
+/// Outcome of a verified read.
+enum class VerifyStatus : std::uint8_t {
+  kOk,
+  kChecksumMismatch,   ///< content does not match the recorded checksum
+  kStaleGeneration,    ///< on-disk table lags the in-memory generation
+};
+
+struct VerifyResult {
+  VerifyStatus status = VerifyStatus::kOk;
+  /// Failing integrity block (byte-granular path; equals the per-file block
+  /// index for the vector path).
+  std::uint64_t block = 0;
+  std::uint64_t expected_generation = 0;  ///< what the backend last wrote
+  std::uint64_t found_generation = 0;     ///< what the on-disk table says
+  /// True when an injected corruption decision explains the damage.
+  bool injected = false;
+  bool ok() const { return status == VerifyStatus::kOk; }
+  const char* status_name() const;
+};
+
+/// One damaged record found by an offline fsck scan.
+struct FsckIssue {
+  std::uint64_t block = 0;
+  std::string what;
+};
+
+/// Result of FileBackend::fsck — an offline header + table + payload walk
+/// over one stripe file (no engine, no store).
+struct FsckReport {
+  bool header_ok = false;
+  std::string header_error;  ///< set when !header_ok
+  std::uint64_t block_bytes = 0;
+  std::uint64_t block_count = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checked = 0;            ///< written records verified
+  std::uint64_t skipped_unwritten = 0;  ///< generation-0 records skipped
+  std::vector<FsckIssue> issues;
+  bool clean() const { return header_ok && issues.empty(); }
 };
 
 class FileBackend {
@@ -63,6 +154,22 @@ class FileBackend {
   /// Read/write one whole vector (one logical block).
   void read_vector(std::uint32_t index, void* dst);
   void write_vector(std::uint32_t index, const void* src);
+
+  /// Verified whole-vector read: reads the payload, applies any scheduled
+  /// read-side corruption, then checks the content against the in-memory
+  /// checksum/generation mirror. Never-written vectors (generation 0)
+  /// verify trivially — preallocated zeros are the contract. Requires
+  /// integrity; detection only — the *store* decides whether to recover or
+  /// throw IntegrityError.
+  VerifyResult read_vector_verified(std::uint32_t index, void* dst);
+
+  /// Verified byte-granular read (num_files == 1): verifies every integrity
+  /// block *fully covered* by [offset, offset+bytes) that has been written;
+  /// partially-covered blocks are read but not checked (the paged store
+  /// reads aligned page runs, so full coverage is the common case). Returns
+  /// the first failing block.
+  VerifyResult read_bytes_verified(std::uint64_t offset, void* dst,
+                                   std::size_t bytes);
 
   /// Byte-granularity access into the single-file linear vector space
   /// (vector i occupies [i*w, (i+1)*w)). Used by the paged baseline.
@@ -113,13 +220,29 @@ class FileBackend {
   std::uint64_t io_exhausted() const {
     return io_exhausted_.load(std::memory_order_relaxed);
   }
+  /// Corruptions actually applied by the configured schedule (flip, torn,
+  /// zero, stale) — every one of these is detectable by a verified read.
+  std::uint64_t corruptions_injected() const {
+    return corruptions_injected_.load(std::memory_order_relaxed);
+  }
   void reset_fault_counters() {
     faults_injected_.store(0, std::memory_order_relaxed);
     io_retries_.store(0, std::memory_order_relaxed);
     io_exhausted_.store(0, std::memory_order_relaxed);
+    corruptions_injected_.store(0, std::memory_order_relaxed);
   }
   /// Non-null when a fault schedule is configured.
   const FaultInjector* injector() const { return injector_.get(); }
+
+  bool integrity() const { return options_.integrity; }
+  std::size_t integrity_block_bytes() const { return block_bytes_; }
+
+  /// Offline integrity scan of one stripe file: header validation, then a
+  /// table + payload walk recomputing every written record's checksum with
+  /// the seed stored in the header. Flags checksum mismatches, generation
+  /// regressions (table generation 0 with a nonzero payload), and truncated
+  /// payloads. Pure file-format knowledge — no store or engine involved.
+  static FsckReport fsck(const std::string& path);
 
  private:
   void charge(std::size_t bytes);
@@ -135,21 +258,68 @@ class FileBackend {
 
   struct Location {
     int fd;
-    std::uint64_t offset;
+    std::uint64_t offset;  ///< payload-relative byte offset within the file
+    unsigned file;
+    std::uint64_t block;  ///< per-file integrity-block index
   };
   Location locate(std::uint32_t index) const;
+
+  /// Per-stripe-file integrity state: the on-disk layout plus an in-memory
+  /// mirror of the {checksum, generation} table. The mirror entries are
+  /// relaxed atomics so the prefetch thread may verify concurrently with
+  /// demand-path writes — a torn {checksum, generation} pair read there
+  /// yields at worst a spurious mismatch, which prefetch treats as "drop the
+  /// staged read" (the demand access re-verifies under the store lock).
+  struct FileIntegrity {
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t block_count = 0;
+    std::uint64_t payload_offset = 0;
+    std::uint64_t checksum_seed = 0;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> checksum;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> generation;
+    /// Attribution only: set when an injected torn/stale write damaged the
+    /// block, cleared by the next clean full-block write.
+    std::unique_ptr<std::atomic<std::uint8_t>[]> corrupt_mark;
+  };
+
+  /// Raw non-injected, non-counted I/O (EINTR/short-transfer safe) for
+  /// header + table bootstrap and failure-path classification reads. Using
+  /// the injector here would let a rate=1.0 schedule fail construction
+  /// before any data op runs.
+  void raw_io(bool is_write, int fd, void* buffer, std::size_t bytes,
+              std::uint64_t offset);
+
+  void init_integrity_file(unsigned file_index, std::uint64_t payload_bytes);
+  /// Persist one table entry (fault-injectable like any data write) and the
+  /// in-memory mirror.
+  void store_table_entry(unsigned file_index, std::uint64_t block,
+                         std::uint64_t checksum, std::uint64_t generation,
+                         bool write_table);
+  /// Re-checksum the blocks touched by a byte-granular write. `src` holds
+  /// the *intended* content of [offset, offset+bytes) so a torn payload
+  /// write stays detectable; partially-covered blocks are read back and
+  /// overlaid with the intended span.
+  void update_blocks_after_byte_write(std::uint64_t offset, const void* src,
+                                      std::size_t bytes);
+  /// Apply a read-side corruption decision to a buffer just read.
+  bool apply_read_corruption(void* dst, std::size_t bytes);
+  VerifyResult classify_mismatch(unsigned file_index, std::uint64_t block,
+                                 bool injected_now);
 
   std::size_t count_;
   std::size_t bytes_per_vector_;
   FileBackendOptions options_;
+  std::size_t block_bytes_ = 0;  ///< integrity-block granularity (resolved)
   std::vector<int> fds_;
   std::vector<std::string> paths_;
+  std::vector<FileIntegrity> integrity_;  ///< empty when integrity is off
   std::unique_ptr<FaultInjector> injector_;  ///< null: injection disabled
   std::atomic<std::uint64_t> modeled_ns_{0};
   std::atomic<std::uint64_t> io_ops_{0};
   std::atomic<std::uint64_t> faults_injected_{0};
   std::atomic<std::uint64_t> io_retries_{0};
   std::atomic<std::uint64_t> io_exhausted_{0};
+  std::atomic<std::uint64_t> corruptions_injected_{0};
 };
 
 /// A unique temporary file path under $TMPDIR (or /tmp) for vector files.

@@ -12,7 +12,9 @@
 
 #include "ooc/storage.hpp"
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace plfoc {
 
@@ -22,6 +24,12 @@ struct MmapStoreOptions {
   /// Advise the kernel about the access pattern (MADV_RANDOM fits the
   /// slot-manager-free usage best; false = default readahead).
   bool advise_random = true;
+  /// Verify a per-vector checksum when a read acquire touches a vector whose
+  /// pages have left the page cache — the only moment mapped content can
+  /// silently change, because the fault re-reads the device. While the span
+  /// stays resident re-verification is skipped (the cache content was already
+  /// checked, and checksumming every access would defeat the point of mmap).
+  bool integrity = true;
 };
 
 class MmapStore final : public AncestralStore {
@@ -38,15 +46,34 @@ class MmapStore final : public AncestralStore {
   /// (sampled with mincore; diagnostic only).
   double resident_fraction() const;
 
+  /// True when every page backing vector `index` is in the page cache.
+  bool span_resident(std::uint32_t index) const;
+
+  /// Best-effort: flush the vector's span and push its pages out of the page
+  /// cache (msync + fadvise/madvise DONTNEED), so the next read acquire
+  /// re-faults from the device and re-verifies. Test seam for corruption
+  /// experiments; production evictions happen by memory pressure instead.
+  void drop_residency(std::uint32_t index);
+
  protected:
   double* do_acquire(std::uint32_t index, AccessMode mode) override;
   void do_release(std::uint32_t index) override;
 
  private:
+  char* vector_bytes(std::uint32_t index) const;
+  /// Checksum the (just re-faulted) span; on mismatch run the recovery hook
+  /// or throw IntegrityError. Counts the episode in stats_.
+  void verify_or_recover(std::uint32_t index);
+
   MmapStoreOptions options_;
   int fd_ = -1;
   void* mapping_ = nullptr;
   std::size_t mapping_bytes_ = 0;
+  std::uint64_t checksum_seed_ = 0;
+  std::vector<std::uint64_t> checksums_;    ///< valid when generation > 0
+  std::vector<std::uint64_t> generations_;  ///< write-lease releases; 0 = never
+  std::vector<std::uint32_t> lease_count_;  ///< live leases per vector
+  std::vector<AccessMode> lease_mode_;      ///< mode of the live leases
 };
 
 }  // namespace plfoc

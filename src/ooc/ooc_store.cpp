@@ -44,9 +44,9 @@ OutOfCoreStore::OutOfCoreStore(std::size_t count, std::size_t width,
       slots_(std::min(options_.num_slots, count)),
       vector_slot_(count, kNoSlot),
       touched_(count, false),
-      file_generation_(count, 0),
       float_scratch_(options_.disk_precision == DiskPrecision::kSingle ? width
                                                                         : 0),
+      file_generation_(count, 0),
       file_(count,
             width * (options_.disk_precision == DiskPrecision::kSingle
                          ? sizeof(float)
@@ -79,19 +79,32 @@ void OutOfCoreStore::refresh_fault_counters() {
   stats_.faults_injected = file_.faults_injected();
   stats_.io_retries = file_.io_retries();
   stats_.io_exhausted = file_.io_exhausted();
+  stats_.corruptions_injected = file_.corruptions_injected();
 }
 
-void OutOfCoreStore::file_read(std::uint32_t index, double* dst) {
+VerifyResult OutOfCoreStore::file_read(std::uint32_t index, double* dst,
+                                       bool verify) {
+  VerifyResult result;
+  const bool verified = verify && file_.integrity();
   if (options_.disk_precision == DiskPrecision::kDouble) {
-    file_.read_vector(index, dst);
+    if (verified)
+      result = file_.read_vector_verified(index, dst);
+    else
+      file_.read_vector(index, dst);
   } else {
-    file_.read_vector(index, float_scratch_.data());
+    // Verification runs over the on-disk representation (floats), before
+    // widening — the checksum covers file bytes, not RAM content.
+    if (verified)
+      result = file_.read_vector_verified(index, float_scratch_.data());
+    else
+      file_.read_vector(index, float_scratch_.data());
     for (std::size_t i = 0; i < width_; ++i)
       dst[i] = static_cast<double>(float_scratch_[i]);
   }
   ++stats_.file_reads;
   stats_.bytes_read += file_.bytes_per_vector();
   refresh_fault_counters();
+  return result;
 }
 
 void OutOfCoreStore::file_write(std::uint32_t index, const double* src) {
@@ -149,11 +162,14 @@ std::uint32_t OutOfCoreStore::obtain_slot(std::uint32_t index) {
 
 double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
   PLFOC_CHECK(index < count_);
-  std::lock_guard<std::mutex> lock(mutex_);
+  // unique_lock (not lock_guard): a failed verification releases the lock
+  // around the recovery hook, whose child acquires re-enter this method.
+  std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.accesses;
 
   std::uint32_t slot = vector_slot_[index];
   [[maybe_unused]] bool read_skipped = false;  // only consumed by audit hooks
+  VerifyResult verify;  // stays kOk unless a verified swap-in failed
   if (slot != kNoSlot) {
     ++stats_.hits;
   } else {
@@ -164,7 +180,7 @@ double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
     // and read skipping applies (Sec. 3.4). First-ever accesses never have
     // meaningful file contents either way (the file is zero-preallocated).
     if (mode == AccessMode::kRead || !options_.read_skipping) {
-      file_read(index, slot_data(slot));
+      verify = file_read(index, slot_data(slot), mode == AccessMode::kRead);
     } else {
       ++stats_.skipped_reads;
       read_skipped = true;
@@ -177,12 +193,71 @@ double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
   ++slots_[slot].pins;
   if (mode == AccessMode::kWrite) slots_[slot].dirty = true;
   strategy_->on_access(index);
+  // Self-healing happens with the slot fully installed and pinned: the pin
+  // keeps the recomputation target stable while the hook's child acquires
+  // recurse through this method with the lock released.
+  if (!verify.ok()) recover_or_throw(lock, index, slot, verify);
   PLFOC_AUDIT_EVENT("acquire", auditor_.record_acquire(
                                    index, mode == AccessMode::kWrite,
                                    read_skipped));
   PLFOC_AUDIT_TABLE("acquire");
   PLFOC_AUDIT_EVENT("acquire stats", auditor_.check_stats(stats_));
   return slot_data(slot);
+}
+
+void OutOfCoreStore::recover_or_throw(std::unique_lock<std::mutex>& lock,
+                                      std::uint32_t index, std::uint32_t slot,
+                                      const VerifyResult& verify) {
+  std::uint64_t recomputed = 0;
+  if (recovery_hook_) {
+    double* dst = slot_data(slot);  // pinned: stable across the unlock
+    lock.unlock();
+    try {
+      recomputed = recovery_hook_(index, dst);
+    } catch (...) {
+      recomputed = 0;  // a throwing hook is an unrecoverable vector
+    }
+    lock.lock();
+  }
+  // Count the whole episode at resolution, under one lock hold: nested
+  // acquires inside the hook run check_stats mid-flight and must never see
+  // the recoveries + unrecovered == failures identity half-updated.
+  ++stats_.integrity_failures;
+  if (recomputed > 0) {
+    ++stats_.integrity_recoveries;
+    stats_.recovery_recomputes += recomputed;
+    refresh_fault_counters();
+    if (options_.disk_precision == DiskPrecision::kSingle) {
+      // Match what an intact disk read would have delivered: the recomputed
+      // doubles round-trip through the on-disk float representation.
+      double* data = slot_data(slot);
+      for (std::size_t i = 0; i < width_; ++i)
+        data[i] = static_cast<double>(static_cast<float>(data[i]));
+    }
+    // The healed content supersedes the corrupt file record; the dirty bit
+    // routes it back to the file through the normal write-back path.
+    slots_[slot].dirty = true;
+    PLFOC_AUDIT_EVENT("recovery", auditor_.record_recovery(index, true));
+    return;
+  }
+  ++stats_.integrity_unrecovered;
+  refresh_fault_counters();
+  PLFOC_AUDIT_EVENT("recovery", auditor_.record_recovery(index, false));
+  // Undo the install: the acquire is failing, so its pin and residency must
+  // not outlive this throw (callers never see the lease).
+  PLFOC_CHECK(slots_[slot].pins == 1);
+  slots_[slot] = Slot{};
+  vector_slot_[index] = kNoSlot;
+  strategy_->on_evict(index);
+  PLFOC_AUDIT_TABLE("integrity failure");
+  PLFOC_AUDIT_EVENT("integrity stats", auditor_.check_stats(stats_));
+  throw IntegrityError(
+      "out-of-core swap-in", index, verify.expected_generation,
+      verify.found_generation, verify.injected,
+      std::string(verify.status_name()) +
+          (recovery_hook_ ? "; recomputation failed (children unmaterialized "
+                            "during a read-skip window, or no free slot)"
+                          : "; no recovery hook registered"));
 }
 
 void OutOfCoreStore::do_release(std::uint32_t index) {
@@ -218,13 +293,31 @@ void OutOfCoreStore::prefetch(std::uint32_t index) {
   // access either succeeds on retry or fails on the engine thread, where it
   // is catchable.
   if (prefetch_scratch_.size() != width_) prefetch_scratch_.resize(width_);
+  // Prefetch never recovers: recovery needs the engine (and may deadlock on
+  // engine-owned scratch). A verification failure here just drops the staged
+  // read — the demand access re-verifies under the slot-table lock, on the
+  // engine thread, where the recovery hook is callable and IntegrityError is
+  // catchable. This also absorbs the benign race where a concurrent
+  // write-back tears the checksum mirror read (a spurious mismatch).
+  bool verify_failed = false;
   try {
     if (options_.disk_precision == DiskPrecision::kDouble) {
-      file_.read_vector(index, prefetch_scratch_.data());
+      verify_failed =
+          file_.integrity()
+              ? !file_.read_vector_verified(index, prefetch_scratch_.data())
+                     .ok()
+              : (file_.read_vector(index, prefetch_scratch_.data()), false);
     } else {
       if (prefetch_float_scratch_.size() != width_)
         prefetch_float_scratch_.resize(width_);
-      file_.read_vector(index, prefetch_float_scratch_.data());
+      verify_failed =
+          file_.integrity()
+              ? !file_
+                     .read_vector_verified(index,
+                                           prefetch_float_scratch_.data())
+                     .ok()
+              : (file_.read_vector(index, prefetch_float_scratch_.data()),
+                 false);
       for (std::size_t i = 0; i < width_; ++i)
         prefetch_scratch_[i] = static_cast<double>(prefetch_float_scratch_[i]);
     }
@@ -232,6 +325,14 @@ void OutOfCoreStore::prefetch(std::uint32_t index) {
     std::lock_guard<std::mutex> lock(mutex_);
     refresh_fault_counters();
     PLFOC_AUDIT_TABLE("prefetch io-error");
+    return;
+  }
+  if (verify_failed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.bytes_read += file_.bytes_per_vector();
+    ++stats_.prefetch_stale;
+    refresh_fault_counters();
+    PLFOC_AUDIT_TABLE("prefetch integrity drop");
     return;
   }
 
@@ -282,6 +383,7 @@ OocStats OutOfCoreStore::stats_snapshot() const {
   out.faults_injected = file_.faults_injected();
   out.io_retries = file_.io_retries();
   out.io_exhausted = file_.io_exhausted();
+  out.corruptions_injected = file_.corruptions_injected();
   return out;
 }
 

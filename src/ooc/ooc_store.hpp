@@ -130,8 +130,20 @@ class OutOfCoreStore final : public AncestralStore {
   /// Pick (evicting if needed) a slot for `index`; requires lock held.
   std::uint32_t obtain_slot(std::uint32_t index);
   /// Vector-level file transfer honouring disk_precision; lock held.
-  void file_read(std::uint32_t index, double* dst);
+  /// `verify` (kRead-mode demand misses) checks the record against its
+  /// checksum; the returned result is kOk on unverified reads. Write-mode
+  /// paper-mode reads (read skipping off) load bytes that are about to be
+  /// overwritten, so a corrupt record there must not fail a run that never
+  /// consumes it — those reads stay unverified.
+  VerifyResult file_read(std::uint32_t index, double* dst, bool verify);
   void file_write(std::uint32_t index, const double* src);
+  /// A verified swap-in failed: try the recovery hook (released lock), then
+  /// either mark the slot dirty (healed — the recomputed content supersedes
+  /// the corrupt record) or undo the install and throw IntegrityError.
+  /// Requires: lock held, `slot` installed for `index` and pinned once.
+  void recover_or_throw(std::unique_lock<std::mutex>& lock,
+                        std::uint32_t index, std::uint32_t slot,
+                        const VerifyResult& verify);
   /// Mirror the backing file's robustness counters into stats_; lock held.
   void refresh_fault_counters();
 

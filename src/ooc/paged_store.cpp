@@ -7,10 +7,21 @@
 
 namespace plfoc {
 
+namespace {
+
+// Integrity blocks match the paging granularity: each page checksums
+// independently, so a clustered fault verifies exactly the span it reads.
+PagedStoreOptions with_page_integrity_blocks(PagedStoreOptions options) {
+  options.file.integrity_block_bytes = options.page_bytes;
+  return options;
+}
+
+}  // namespace
+
 PagedStore::PagedStore(std::size_t count, std::size_t width,
                        PagedStoreOptions options)
     : AncestralStore(count, width),
-      options_(std::move(options)),
+      options_(with_page_integrity_blocks(std::move(options))),
       arena_(count * width),
       file_(count, width * sizeof(double), options_.file),
       lease_mode_(count, AccessMode::kRead),
@@ -127,10 +138,30 @@ void PagedStore::fault_cluster(std::uint64_t first) {
     const std::size_t bytes = static_cast<std::size_t>(std::min<std::uint64_t>(
         static_cast<std::uint64_t>(run) * options_.page_bytes,
         file_.total_bytes() - offset));
-    file_.read_bytes(offset, reinterpret_cast<char*>(arena_.data()) + offset,
-                     bytes);
-    ++stats_.file_reads;
-    stats_.bytes_read += bytes;
+    char* dst = reinterpret_cast<char*>(arena_.data()) + offset;
+    if (file_.integrity()) {
+      const VerifyResult verify = file_.read_bytes_verified(offset, dst, bytes);
+      ++stats_.file_reads;
+      stats_.bytes_read += bytes;
+      if (!verify.ok()) {
+        // Detection only: the OS-paging baseline has no recomputation seam —
+        // generic paging cannot know a swap page is a recomputable cache
+        // entry. The pages stay non-resident (a later fault re-reads them),
+        // and the damage surfaces typed instead of as a wrong likelihood.
+        ++stats_.integrity_failures;
+        ++stats_.integrity_unrecovered;
+        stats_.corruptions_injected = file_.corruptions_injected();
+        throw IntegrityError(
+            "paged swap-in", verify.block, verify.expected_generation,
+            verify.found_generation, verify.injected,
+            std::string(verify.status_name()) +
+                "; the OS-paging baseline cannot self-heal");
+      }
+    } else {
+      file_.read_bytes(offset, dst, bytes);
+      ++stats_.file_reads;
+      stats_.bytes_read += bytes;
+    }
   }
   for (std::uint64_t page = first; page < end; ++page) {
     pages_[page].resident = true;
@@ -146,17 +177,31 @@ double* PagedStore::do_acquire(std::uint32_t index, AccessMode mode) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.accesses;
   bool any_fault = false;
-  for (std::uint64_t page = first_page(index); page <= last_page(index);
-       ++page) {
-    PageMeta& meta = pages_[page];
-    if (!meta.resident) {
-      fault_cluster(page);
-      ++stats_.misses;  // one miss per page fault (readahead pages are free)
-      any_fault = true;
+  const std::uint64_t first = first_page(index);
+  std::uint64_t page = first;
+  try {
+    for (; page <= last_page(index); ++page) {
+      PageMeta& meta = pages_[page];
+      if (!meta.resident) {
+        fault_cluster(page);
+        ++stats_.misses;  // one miss per page fault (readahead pages are free)
+        any_fault = true;
+      }
+      if (meta.pins == 0) lru_remove(page);  // re-inserted at release (MRU)
+      ++meta.pins;
+      if (mode == AccessMode::kWrite) meta.dirty = true;
     }
-    if (meta.pins == 0) lru_remove(page);  // re-inserted at release (MRU)
-    ++meta.pins;
-    if (mode == AccessMode::kWrite) meta.dirty = true;
+  } catch (...) {
+    // A fault detected damage mid-walk (IntegrityError) or hit an I/O error:
+    // unpin the pages this acquire already pinned so the cache is not leaked
+    // behind the typed failure.
+    for (std::uint64_t undo = first; undo < page; ++undo) {
+      PageMeta& meta = pages_[undo];
+      PLFOC_CHECK(meta.pins > 0);
+      --meta.pins;
+      if (meta.pins == 0) lru_push_front(undo);
+    }
+    throw;
   }
   if (!any_fault) ++stats_.hits;
   if (lease_count_[index] == 0 || mode == AccessMode::kWrite)
@@ -184,6 +229,7 @@ OocStats PagedStore::stats_snapshot() const {
   out.faults_injected = file_.faults_injected();
   out.io_retries = file_.io_retries();
   out.io_exhausted = file_.io_exhausted();
+  out.corruptions_injected = file_.corruptions_injected();
   return out;
 }
 

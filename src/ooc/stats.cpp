@@ -26,6 +26,11 @@ OocStats& OocStats::operator+=(const OocStats& other) {
   faults_injected += other.faults_injected;
   io_retries += other.io_retries;
   io_exhausted += other.io_exhausted;
+  integrity_failures += other.integrity_failures;
+  integrity_recoveries += other.integrity_recoveries;
+  integrity_unrecovered += other.integrity_unrecovered;
+  recovery_recomputes += other.recovery_recomputes;
+  corruptions_injected += other.corruptions_injected;
   return *this;
 }
 
@@ -49,6 +54,20 @@ std::string OocStats::summary() const {
                   static_cast<unsigned long long>(faults_injected),
                   static_cast<unsigned long long>(io_retries),
                   static_cast<unsigned long long>(io_exhausted));
+    out += buffer;
+  }
+  // Likewise for the integrity counters: silent when nothing was detected.
+  if (integrity_failures != 0 || integrity_recoveries != 0 ||
+      integrity_unrecovered != 0 || recovery_recomputes != 0 ||
+      corruptions_injected != 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  " corrupt=%llu detected=%llu recovered=%llu "
+                  "unrecovered=%llu recomputed=%llu",
+                  static_cast<unsigned long long>(corruptions_injected),
+                  static_cast<unsigned long long>(integrity_failures),
+                  static_cast<unsigned long long>(integrity_recoveries),
+                  static_cast<unsigned long long>(integrity_unrecovered),
+                  static_cast<unsigned long long>(recovery_recomputes));
     out += buffer;
   }
   return out;

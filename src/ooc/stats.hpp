@@ -31,6 +31,20 @@ struct OocStats {
   std::uint64_t faults_injected = 0;  ///< faults fired by the fault schedule
   std::uint64_t io_retries = 0;       ///< syscall re-attempts / resumptions
   std::uint64_t io_exhausted = 0;     ///< transfers that gave up (IoError)
+  // Integrity counters (docs/robustness.md, "corruption and self-healing").
+  // Invariant, enforced by StoreAuditor::check_stats:
+  //   integrity_recoveries + integrity_unrecovered == integrity_failures.
+  /// Verified reads whose checksum/generation did not match.
+  std::uint64_t integrity_failures = 0;
+  /// Failures healed by recomputing the vector from its children.
+  std::uint64_t integrity_recoveries = 0;
+  /// Failures that could not be healed (the access threw IntegrityError).
+  std::uint64_t integrity_unrecovered = 0;
+  /// Vectors recomputed while healing (>= integrity_recoveries: recovery
+  /// recurses into children that are themselves unmaterialized).
+  std::uint64_t recovery_recomputes = 0;
+  /// Corruptions applied by the injection schedule (flip/torn/zero/stale).
+  std::uint64_t corruptions_injected = 0;
 
   /// Fraction of vector requests not served from RAM (Figs. 2, 4).
   /// 0.0 when no accesses were recorded (zero-denominator guard).

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 
 #include "ooc/stats.hpp"
@@ -107,6 +108,20 @@ class AncestralStore {
   /// Human-readable backend name for reports ("in-ram", "out-of-core", ...).
   virtual const char* backend_name() const = 0;
 
+  /// Self-healing seam: recompute vector `index` into `dst` (width() doubles)
+  /// from first principles — ancestral vectors are pure functions of the
+  /// tree, model, and tip data, so a corrupt on-disk record is a recomputable
+  /// cache entry. Returns the number of vectors recomputed (>= 1 — recovery
+  /// may recurse into unmaterialized children), or 0 when recomputation is
+  /// impossible. Registered by the Session, which owns the likelihood engine
+  /// that knows the Felsenstein recurrence; file-backed stores call it on a
+  /// checksum mismatch before giving up with IntegrityError. The hook may
+  /// re-enter acquire()/release() on *other* vectors.
+  using RecoveryHook = std::function<std::uint64_t(std::uint32_t, double*)>;
+  void set_recovery_hook(RecoveryHook hook) {
+    recovery_hook_ = std::move(hook);
+  }
+
  protected:
   friend class VectorLease;
   virtual double* do_acquire(std::uint32_t index, AccessMode mode) = 0;
@@ -115,6 +130,7 @@ class AncestralStore {
   std::size_t count_;
   std::size_t width_;
   OocStats stats_;
+  RecoveryHook recovery_hook_;  ///< empty: recovery impossible, throw typed
 };
 
 inline void VectorLease::release() {

@@ -97,7 +97,9 @@ std::uint32_t TieredStore::obtain_ram_slot(std::uint32_t incoming) {
 
 double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
   PLFOC_CHECK(index < count_);
-  std::lock_guard<std::mutex> lock(mutex_);
+  // unique_lock: a failed disk-read verification releases the lock around
+  // the recovery hook, whose child acquires re-enter this method.
+  std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.accesses;
 
   if (where_[index] == Location::kFast) {
@@ -131,6 +133,7 @@ double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
   }
 
   const std::uint32_t fast_slot = obtain_fast_slot(index);
+  VerifyResult verify;  // stays kOk unless a verified disk read fails
   if (from_ram) {
     // Promote from host RAM: a PCIe copy, no disk access.
     std::memcpy(fast_data(fast_slot), bounce_.data(), width_ * sizeof(double));
@@ -142,7 +145,12 @@ double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
     // Load from disk straight into the fast tier (staging through host RAM
     // is a hardware detail the model need not pay twice for).
     if (mode == AccessMode::kRead || !options_.read_skipping) {
-      file_.read_vector(index, fast_data(fast_slot));
+      // Only kRead misses verify: a paper-mode write-miss read loads bytes
+      // that are about to be overwritten, so damage there is never consumed.
+      if (mode == AccessMode::kRead && file_.integrity())
+        verify = file_.read_vector_verified(index, fast_data(fast_slot));
+      else
+        file_.read_vector(index, fast_data(fast_slot));
       ++stats_.file_reads;
       stats_.bytes_read += width_ * sizeof(double);
     } else {
@@ -161,7 +169,54 @@ double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
   slot_of_[index] = fast_slot;
   fast_strategy_->on_load(index);
   fast_strategy_->on_access(index);
+  if (!verify.ok()) recover_or_throw(lock, index, fast_slot, verify);
   return fast_data(fast_slot);
+}
+
+void TieredStore::recover_or_throw(std::unique_lock<std::mutex>& lock,
+                                   std::uint32_t index, std::uint32_t slot,
+                                   const VerifyResult& verify) {
+  std::uint64_t recomputed = 0;
+  if (recovery_hook_) {
+    double* dst = fast_data(slot);
+    // The hook recomputes from children via acquire()/release(), which
+    // re-enter do_acquire — the slot table must be unlocked. `index` itself
+    // stays pinned, so its fast slot (and dst) cannot move meanwhile.
+    lock.unlock();
+    try {
+      recomputed = recovery_hook_(index, dst);
+    } catch (...) {
+      recomputed = 0;  // a failing recovery is an unrecoverable record
+    }
+    lock.lock();
+  }
+
+  // Count the whole episode at resolution, under one lock hold, so snapshots
+  // taken by nested acquires never see the failure/recovery identity broken.
+  ++stats_.integrity_failures;
+  if (recomputed > 0) {
+    ++stats_.integrity_recoveries;
+    stats_.recovery_recomputes += recomputed;
+    // The healed content supersedes the corrupt record: route it back to the
+    // file through the normal dirty demote/spill path.
+    fast_[slot].dirty = true;
+    return;
+  }
+
+  ++stats_.integrity_unrecovered;
+  // Undo the install: the slot holds damaged bytes nobody may consume.
+  PLFOC_CHECK(fast_[slot].pins == 1);
+  fast_[slot] = Slot{};
+  where_[index] = Location::kDisk;
+  slot_of_[index] = kNone;
+  fast_strategy_->on_evict(index);
+  throw IntegrityError(
+      "tiered swap-in", index, verify.expected_generation,
+      verify.found_generation, verify.injected,
+      std::string(verify.status_name()) +
+          (recovery_hook_
+               ? "; recomputation failed (children unavailable or hook error)"
+               : "; no recovery hook registered"));
 }
 
 void TieredStore::do_release(std::uint32_t index) {
@@ -197,6 +252,7 @@ OocStats TieredStore::stats_snapshot() const {
   out.faults_injected = file_.faults_injected();
   out.io_retries = file_.io_retries();
   out.io_exhausted = file_.io_exhausted();
+  out.corruptions_injected = file_.corruptions_injected();
   return out;
 }
 

@@ -95,6 +95,13 @@ class TieredStore final : public AncestralStore {
     return ram_arena_.data() + static_cast<std::size_t>(slot) * width_;
   }
 
+  /// A verified disk read into fast slot `slot` failed: try the recovery
+  /// hook (released lock), then either mark the slot dirty (healed) or undo
+  /// the install and throw IntegrityError. Requires: lock held, `slot`
+  /// installed for `index` and pinned once.
+  void recover_or_throw(std::unique_lock<std::mutex>& lock,
+                        std::uint32_t index, std::uint32_t slot,
+                        const VerifyResult& verify);
   /// Free a fast slot (demoting its occupant to RAM); lock held.
   std::uint32_t obtain_fast_slot(std::uint32_t incoming);
   /// Free a RAM slot (evicting its occupant to disk); lock held.

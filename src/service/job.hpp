@@ -80,11 +80,17 @@ struct JobResult {
   /// as opposed to a bad spec or an internal error. Only ever true together
   /// with status == kFailed.
   bool io_failure = false;
-  /// Evaluation attempts the service made: 1 normally, 2 when an I/O failure
-  /// was re-admitted (ServiceOptions::readmit_io_failures).
+  /// The failure was an unrecoverable vector-record corruption
+  /// (IntegrityError: checksum/generation mismatch that self-healing could
+  /// not repair). Only ever true together with status == kFailed; disjoint
+  /// from io_failure.
+  bool integrity_failure = false;
+  /// Evaluation attempts the service made: 1 normally, 2 when an I/O or
+  /// integrity failure was re-admitted (ServiceOptions::readmit_io_failures).
   unsigned attempts = 1;
   /// Human-readable per-job fault report (op, errno, offset, robustness
-  /// counters, fault spec for reproduction). Non-empty iff io_failure.
+  /// counters, fault spec for reproduction). Non-empty iff io_failure or
+  /// integrity_failure.
   std::string fault_report;
 };
 

@@ -159,15 +159,18 @@ void Service::worker_loop(std::size_t /*worker*/) {
     if (options_.readmit_io_failures) retry_spec = pending->spec;
     JobResult result =
         run_job(pending->id, std::move(pending->spec), admission, 1);
-    if (result.io_failure && retry_spec.has_value()) {
+    if ((result.io_failure || result.integrity_failure) &&
+        retry_spec.has_value()) {
       // One re-admission under the same admission charge. Bumping the nonce
-      // re-keys an injected fault schedule, modelling a transient fault that
-      // does not recur; a deterministic failure (rate=1) fails again and the
-      // second, final result is what the job reports.
+      // re-keys an injected fault schedule, modelling a transient fault (or
+      // corruption burst) that does not recur; a deterministic failure
+      // (rate=1 / flip=1) fails again and the second, final result is what
+      // the job reports.
       retry_spec->session.faults.nonce += 1;
       const std::string first_report = result.fault_report;
       result = run_job(pending->id, std::move(*retry_spec), admission, 2);
-      if (result.io_failure && !first_report.empty())
+      if ((result.io_failure || result.integrity_failure) &&
+          !first_report.empty())
         result.fault_report = "attempt 1: " + first_report +
                               "\nattempt 2: " + result.fault_report;
     }
@@ -249,6 +252,29 @@ JobResult Service::run_job(JobId id, JobSpec spec, const Admission& admission,
     if (session != nullptr) {
       // Snapshot straight from the store: the failed transfer's counters
       // never made it into an EvalResult.
+      result.stats = session->store().stats_snapshot();
+      report += " | " + result.stats.summary();
+      if (session->options().faults.enabled())
+        report += " | faults-spec: " + session->options().faults.spec();
+    }
+    result.fault_report = std::move(report);
+  } catch (const IntegrityError& error) {
+    // Unrecoverable corruption: a record failed its checksum and the
+    // self-healing recomputation could not repair it. Same job boundary as
+    // IoError — the job fails typed, the worker and sibling jobs survive.
+    if (prefetcher != nullptr) {
+      session->engine().attach_prefetcher(nullptr);
+      prefetcher->stop();
+    }
+    result.status = JobStatus::kFailed;
+    result.integrity_failure = true;
+    result.error = error.what();
+    std::string report =
+        error.op() + " record=" + std::to_string(error.index()) +
+        " generation-expected=" + std::to_string(error.expected_generation()) +
+        " generation-found=" + std::to_string(error.found_generation()) +
+        (error.injected() ? " injected" : " media");
+    if (session != nullptr) {
       result.stats = session->store().stats_snapshot();
       report += " | " + result.stats.summary();
       if (session->options().faults.enabled())

@@ -82,6 +82,7 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
       ooc.file.device = options_.device;
       ooc.file.faults = options_.faults;
       ooc.file.retry = options_.io_retry;
+      ooc.file.integrity = options_.integrity;
       store_ = std::make_unique<OutOfCoreStore>(count, width, std::move(ooc));
       break;
     }
@@ -95,6 +96,7 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
       paged.file.device = options_.device;
       paged.file.faults = options_.faults;
       paged.file.retry = options_.io_retry;
+      paged.file.integrity = options_.integrity;
       store_ = std::make_unique<PagedStore>(count, width, std::move(paged));
       break;
     }
@@ -113,6 +115,7 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
       tiered.file.device = options_.device;
       tiered.file.faults = options_.faults;
       tiered.file.retry = options_.io_retry;
+      tiered.file.integrity = options_.integrity;
       store_ = std::make_unique<TieredStore>(count, width, std::move(tiered));
       break;
     }
@@ -121,6 +124,7 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
       mm.file_path = options_.vector_file.empty()
                          ? temp_vector_file_path("mmap")
                          : options_.vector_file;
+      mm.integrity = options_.integrity;
       store_ = std::make_unique<MmapStore>(count, width, std::move(mm));
       break;
     }
@@ -136,6 +140,17 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
     kernel_pool_ = std::make_unique<KernelPool>(options_.threads);
     engine_->attach_kernel_pool(kernel_pool_.get());
   }
+  // Self-healing seam: a corrupt record found at swap-in is recomputed from
+  // its children via the Felsenstein recurrence instead of failing the run.
+  store_->set_recovery_hook([this](std::uint32_t index, double* dst) {
+    return engine_->recover_vector(index, dst);
+  });
+}
+
+Session::~Session() {
+  // The hook captures `this` and dispatches into engine_; drop it before the
+  // members it reaches through are torn down.
+  if (store_) store_->set_recovery_hook(nullptr);
 }
 
 EvalResult Session::evaluate() {

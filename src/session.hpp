@@ -69,6 +69,12 @@ struct SessionOptions {
   /// file-backed backend (out-of-core / paged / tiered); disabled by default.
   /// The mmap and in-RAM backends have no syscall I/O path and ignore it.
   FaultConfig faults;
+  /// Per-vector checksums on the backing file (out-of-core / paged / tiered)
+  /// and on the mmap mapping, verified at swap-in / re-fault; a mismatch
+  /// triggers self-healing recomputation through the likelihood engine before
+  /// surfacing as IntegrityError (see docs/robustness.md). Corruption
+  /// injection (faults flip=/torn=/zero=/stale=) requires this on.
+  bool integrity = true;
   /// Retry budget + backoff for transient backing-file errors (injected or
   /// real). max_retries = 0 disables retrying: the first transient error
   /// surfaces as IoError.
@@ -96,6 +102,9 @@ class Session {
   /// the substitution model's data type must match the alignment.
   Session(Alignment alignment, Tree tree, SubstitutionModel model,
           SessionOptions options = {});
+  /// Clears the store's recovery hook (which captures `this`) before the
+  /// engine it dispatches to is destroyed.
+  ~Session();
 
   LikelihoodEngine& engine() { return *engine_; }
   Tree& tree() { return tree_; }

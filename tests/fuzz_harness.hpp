@@ -45,6 +45,17 @@ struct TrialPlan {
   int traversals = 2;      ///< extra full traversals after the first eval
   std::uint64_t fault_seed = 1;
   double fault_rate = 0.05;
+  /// Corruption axis (armed on every third trial): per-mode rates for the
+  /// integrity fuzzer, layered on top of the syscall-fault schedule.
+  double flip_rate = 0.0;
+  double torn_rate = 0.0;
+  double zero_rate = 0.0;
+  double stale_rate = 0.0;
+
+  bool corrupting() const {
+    return flip_rate > 0.0 || torn_rate > 0.0 || zero_rate > 0.0 ||
+           stale_rate > 0.0;
+  }
 
   std::string describe() const {
     std::ostringstream out;
@@ -54,6 +65,9 @@ struct TrialPlan {
         << " categories=" << categories << " alpha=" << alpha
         << " traversals=" << traversals << " fault-seed=" << fault_seed
         << " fault-rate=" << fault_rate;
+    if (corrupting())
+      out << " flip=" << flip_rate << " torn=" << torn_rate
+          << " zero=" << zero_rate << " stale=" << stale_rate;
     return out.str();
   }
 };
@@ -81,6 +95,15 @@ inline TrialPlan make_trial_plan(std::uint64_t master, std::uint64_t trial) {
   plan.traversals = 1 + static_cast<int>(rng.below(3));  // 1..3
   plan.fault_seed = rng.next() | 1;
   plan.fault_rate = 0.02 + rng.uniform() * 0.08;  // <= 0.1, ISSUE ceiling
+  // Every third trial arms the corruption axis. The draws happen last, so
+  // arming them changes nothing about the other trials' plans, and the rates
+  // land in the repro line via describe().
+  if (trial % 3 == 0) {
+    plan.flip_rate = 0.01 + rng.uniform() * 0.04;
+    plan.torn_rate = 0.01 + rng.uniform() * 0.03;
+    plan.zero_rate = rng.uniform() * 0.02;
+    plan.stale_rate = rng.uniform() * 0.02;
+  }
   return plan;
 }
 
@@ -97,6 +120,19 @@ inline FaultConfig trial_faults(const TrialPlan& plan) {
   faults.seed = plan.fault_seed;
   faults.rate = plan.fault_rate;
   faults.burst = 2;
+  return faults;
+}
+
+/// The trial's fault schedule plus its corruption rates (write-back torn /
+/// stale, swap-in flip / zero — docs/robustness.md). Recoverable corruption
+/// must keep the logL series bit-identical through the self-healing
+/// recomputation; unrecoverable corruption must surface as IntegrityError.
+inline FaultConfig trial_corrupting_faults(const TrialPlan& plan) {
+  FaultConfig faults = trial_faults(plan);
+  faults.flip_rate = plan.flip_rate;
+  faults.torn_rate = plan.torn_rate;
+  faults.zero_rate = plan.zero_rate;
+  faults.stale_rate = plan.stale_rate;
   return faults;
 }
 

@@ -81,6 +81,125 @@ TEST(FaultFuzz, AllBackendsBitIdenticalUnderFaults) {
   EXPECT_GT(retries_seen, 0u);
 }
 
+TEST(FaultFuzz, CorruptionSelfHealsBitIdenticalOrFailsTyped) {
+  // The integrity tentpole's differential oracle: every third trial layers
+  // seeded checksum corruption (flip / torn / zero / stale) on top of the
+  // syscall fault schedule. A corrupted swap-in must either self-heal — the
+  // store recomputes the vector from its children via the Felsenstein
+  // recurrence and the logL series stays BIT-identical to the in-RAM
+  // reference — or fail with a typed IntegrityError. A divergent number, a
+  // crash, or any other exception type is a bug. The paged (OS-style)
+  // baseline has no recomputation seam, so for it only the typed-failure
+  // outcome is acceptable when corruption fires.
+  const std::uint64_t master = fuzz::env_u64("PLFOC_FUZZ_MASTER", 20260805);
+  const std::uint64_t trials = fuzz::env_u64("PLFOC_FUZZ_TRIALS", 20);
+  std::uint64_t corrupted = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t healed_runs = 0;
+  std::uint64_t typed_failures = 0;
+
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    if (trial % 3 != 0) continue;  // the corruption-armed subset
+    const fuzz::TrialPlan plan = fuzz::make_trial_plan(master, trial);
+    ASSERT_TRUE(plan.corrupting());
+    const std::string repro = "master=" + std::to_string(master) +
+                              " trial=" + std::to_string(trial) + " [" +
+                              plan.describe() + "]";
+    SCOPED_TRACE(repro);
+
+    SessionOptions reference_options;
+    reference_options.backend = Backend::kInRam;
+    const std::vector<double> reference =
+        fuzz::run_candidate(plan, reference_options);
+
+    std::vector<fuzz::Candidate> candidates;
+    const ReplacementPolicy policies[] = {ReplacementPolicy::kLru,
+                                          ReplacementPolicy::kTopological,
+                                          ReplacementPolicy::kRandom};
+    const char* policy_names[] = {"lru", "topological", "random"};
+    const unsigned thread_axis[] = {1, 4, 2};
+    for (int p = 0; p < 3; ++p) {
+      fuzz::Candidate candidate;
+      candidate.options.backend = Backend::kOutOfCore;
+      // More slot headroom than the main fuzzer: the recovery recursion
+      // pins child vectors on top of the interrupted traversal's own pins.
+      candidate.options.ram_fraction = 0.45;
+      candidate.options.policy = policies[p];
+      candidate.options.seed = plan.dataset.seed;
+      candidate.options.threads = thread_axis[p];
+      candidate.options.faults = fuzz::trial_corrupting_faults(plan);
+      candidate.label = std::string("ooc/") + policy_names[p] + "/corrupt/t" +
+                        std::to_string(thread_axis[p]);
+      candidates.push_back(std::move(candidate));
+    }
+    {
+      fuzz::Candidate candidate;
+      candidate.options.backend = Backend::kTiered;
+      candidate.options.tiered_fast_slots = 3;
+      candidate.options.tiered_ram_slots = 4;
+      candidate.options.seed = plan.dataset.seed;
+      candidate.options.faults = fuzz::trial_corrupting_faults(plan);
+      candidate.label = "tiered/corrupt";
+      candidates.push_back(std::move(candidate));
+    }
+    {
+      fuzz::Candidate candidate;
+      candidate.options.backend = Backend::kPaged;
+      candidate.options.ram_budget_bytes = 1u << 18;
+      candidate.options.faults = fuzz::trial_corrupting_faults(plan);
+      candidate.label = "paged/corrupt";
+      candidates.push_back(std::move(candidate));
+    }
+
+    for (const fuzz::Candidate& candidate : candidates) {
+      OocStats stats;
+      std::vector<double> series;
+      try {
+        series = fuzz::run_candidate(plan, candidate.options, &stats);
+      } catch (const IntegrityError& error) {
+        // Unrecoverable corruption is an acceptable outcome — but only as
+        // this exact type, and only for corruption this test injected.
+        ++typed_failures;
+        EXPECT_TRUE(error.injected())
+            << candidate.label << " blamed the media for an injected "
+            << "corruption | reproduce with " << repro;
+        continue;
+      } catch (const std::exception& error) {
+        FAIL() << "candidate " << candidate.label
+               << " threw an untyped error: " << error.what()
+               << " | reproduce with " << repro;
+      }
+      ASSERT_EQ(series.size(), reference.size()) << candidate.label;
+      for (std::size_t i = 0; i < series.size(); ++i) {
+        EXPECT_EQ(series[i], reference[i])
+            << "candidate " << candidate.label << " diverged at evaluation "
+            << i << " after " << stats.integrity_recoveries
+            << " recoveries | reproduce with " << repro;
+      }
+      // A run that returned healed everything it detected: the unrecovered
+      // path always throws, so the counters must balance exactly.
+      EXPECT_EQ(stats.integrity_unrecovered, 0u) << candidate.label;
+      EXPECT_EQ(stats.integrity_failures, stats.integrity_recoveries)
+          << candidate.label;
+      EXPECT_GE(stats.recovery_recomputes, stats.integrity_recoveries)
+          << candidate.label;
+      if (stats.integrity_recoveries > 0) ++healed_runs;
+      corrupted += stats.corruptions_injected;
+      detected += stats.integrity_failures;
+      recovered += stats.integrity_recoveries;
+    }
+  }
+  // Aggregate proof the axis was exercised: corruption fired, detection
+  // fired, and at least one run healed itself back to bit-identity.
+  EXPECT_GT(corrupted, 0u) << "no corruption ever injected (master=" << master
+                           << ")";
+  EXPECT_GT(detected, 0u) << "injected corruption was never detected";
+  EXPECT_GT(recovered, 0u) << "no corrupted record was ever self-healed";
+  EXPECT_GT(healed_runs, 0u);
+  (void)typed_failures;  // typed failures are legal but not required to occur
+}
+
 TEST(FaultFuzz, ThreadCountBitIdenticalAcrossPoliciesAndPrecisions) {
   // The block-partition determinism contract (docs/parallelism.md): for a
   // fixed configuration the logL series must be bitwise invariant under the
