@@ -11,7 +11,7 @@ KernelPool::KernelPool(unsigned threads)
 
 KernelPool::~KernelPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -24,8 +24,8 @@ void KernelPool::worker_loop() {
     const std::function<void(std::size_t)>* job;
     std::size_t blocks;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen) work_cv_.wait(lock);
       if (stop_) return;
       seen = generation_;
       job = job_;
@@ -39,11 +39,11 @@ void KernelPool::worker_loop() {
         (*job)(b);
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!error_) error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--busy_workers_ == 0) done_cv_.notify_one();
     }
   }
@@ -57,7 +57,7 @@ void KernelPool::run_blocks(std::size_t blocks,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     blocks_ = blocks;
     error_ = nullptr;
@@ -73,11 +73,11 @@ void KernelPool::run_blocks(std::size_t blocks,
       fn(b);
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!error_) error_ = std::current_exception();
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
+  MutexLock lock(mutex_);
+  while (busy_workers_ != 0) done_cv_.wait(lock);
   job_ = nullptr;
   if (error_) {
     std::exception_ptr error = error_;

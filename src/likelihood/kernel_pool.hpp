@@ -10,14 +10,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace plfoc {
 
@@ -47,15 +47,20 @@ class KernelPool {
   unsigned threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  bool stop_ = false;
-  std::uint64_t generation_ = 0;  ///< bumped per job; workers wait on it
-  std::size_t blocks_ = 0;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t busy_workers_ = 0;
-  std::exception_ptr error_;
+  // Generation-condvar dispatch state. Everything a worker reads to decide
+  // whether (and what) to run is guarded; the block counter is the only
+  // cross-thread state touched outside the lock, and it is atomic.
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  bool stop_ PLFOC_GUARDED_BY(mutex_) = false;
+  /// Bumped per job; workers wait on it.
+  std::uint64_t generation_ PLFOC_GUARDED_BY(mutex_) = 0;
+  std::size_t blocks_ PLFOC_GUARDED_BY(mutex_) = 0;
+  const std::function<void(std::size_t)>* job_ PLFOC_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t busy_workers_ PLFOC_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr error_ PLFOC_GUARDED_BY(mutex_);
 
   std::atomic<std::size_t> next_block_{0};
 };

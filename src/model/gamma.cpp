@@ -16,6 +16,9 @@ double log_gamma(double x) {
   int sign = 0;
   return ::lgamma_r(x, &sign);
 #else
+  // Non-glibc fallback only; every caller has x > 0 and ignores the sign,
+  // so the process-global signgam write cannot be observed.
+  // plfoc-lint: allow(mt-unsafe-libc): signgam race benign (x > 0)
   return std::lgamma(x);
 #endif
 }

@@ -42,6 +42,7 @@ OutOfCoreStore::OutOfCoreStore(std::size_t count, std::size_t width,
       auditor_(count, std::min(options_.num_slots, count)),
 #endif
       slots_(std::min(options_.num_slots, count)),
+      slot_count_(std::min(options_.num_slots, count)),
       vector_slot_(count, kNoSlot),
       touched_(count, false),
       float_scratch_(options_.disk_precision == DiskPrecision::kSingle ? width
@@ -57,7 +58,7 @@ OutOfCoreStore::OutOfCoreStore(std::size_t count, std::size_t width,
   PLFOC_REQUIRE(options_.num_slots >= 3,
                 "the out-of-core store needs at least 3 slots (m >= 3)");
   PLFOC_LOG(kInfo) << "out-of-core store: " << count << " vectors x " << width
-                   << " doubles, " << slots_.size() << " slots ("
+                   << " doubles, " << slot_count_ << " slots ("
                    << (slot_memory_bytes() >> 20) << " MiB RAM), strategy="
                    << strategy_->name();
 }
@@ -69,17 +70,25 @@ OutOfCoreStore::~OutOfCoreStore() {
   PLFOC_CHECK(prefetch_guards_.load(std::memory_order_relaxed) == 0);
 }
 
+const char* OutOfCoreStore::strategy_name() const {
+  // The strategy object is never replaced after construction, but the
+  // pointer read still synchronises with mutations of the strategy's own
+  // state, which happen under mutex_.
+  MutexLock lock(mutex_);
+  return strategy_->name();
+}
+
 bool OutOfCoreStore::is_resident(std::uint32_t index) const {
   PLFOC_CHECK(index < count_);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return vector_slot_[index] != kNoSlot;
 }
 
 void OutOfCoreStore::refresh_fault_counters() {
-  stats_.faults_injected = file_.faults_injected();
-  stats_.io_retries = file_.io_retries();
-  stats_.io_exhausted = file_.io_exhausted();
-  stats_.corruptions_injected = file_.corruptions_injected();
+  stats_locked().faults_injected = file_.faults_injected();
+  stats_locked().io_retries = file_.io_retries();
+  stats_locked().io_exhausted = file_.io_exhausted();
+  stats_locked().corruptions_injected = file_.corruptions_injected();
 }
 
 VerifyResult OutOfCoreStore::file_read(std::uint32_t index, double* dst,
@@ -101,8 +110,8 @@ VerifyResult OutOfCoreStore::file_read(std::uint32_t index, double* dst,
     for (std::size_t i = 0; i < width_; ++i)
       dst[i] = static_cast<double>(float_scratch_[i]);
   }
-  ++stats_.file_reads;
-  stats_.bytes_read += file_.bytes_per_vector();
+  ++stats_locked().file_reads;
+  stats_locked().bytes_read += file_.bytes_per_vector();
   refresh_fault_counters();
   return result;
 }
@@ -115,8 +124,8 @@ void OutOfCoreStore::file_write(std::uint32_t index, const double* src) {
       float_scratch_[i] = static_cast<float>(src[i]);
     file_.write_vector(index, float_scratch_.data());
   }
-  ++stats_.file_writes;
-  stats_.bytes_written += file_.bytes_per_vector();
+  ++stats_locked().file_writes;
+  stats_locked().bytes_written += file_.bytes_per_vector();
   ++file_generation_[index];
   refresh_fault_counters();
   PLFOC_AUDIT_EVENT("file write", auditor_.record_file_write(index));
@@ -152,7 +161,7 @@ std::uint32_t OutOfCoreStore::obtain_slot(std::uint32_t index) {
   PLFOC_CHECK(slots_[slot].vector == victim && slots_[slot].pins == 0);
 
   if (write_back) file_write(victim, slot_data(slot));
-  ++stats_.evictions;
+  ++stats_locked().evictions;
   strategy_->on_evict(victim);
   vector_slot_[victim] = kNoSlot;
   slots_[slot].vector = kNoVector;
@@ -162,19 +171,19 @@ std::uint32_t OutOfCoreStore::obtain_slot(std::uint32_t index) {
 
 double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
   PLFOC_CHECK(index < count_);
-  // unique_lock (not lock_guard): a failed verification releases the lock
+  // MutexLock (not a plain guard): a failed verification releases the lock
   // around the recovery hook, whose child acquires re-enter this method.
-  std::unique_lock<std::mutex> lock(mutex_);
-  ++stats_.accesses;
+  MutexLock lock(mutex_);
+  ++stats_locked().accesses;
 
   std::uint32_t slot = vector_slot_[index];
   [[maybe_unused]] bool read_skipped = false;  // only consumed by audit hooks
   VerifyResult verify;  // stays kOk unless a verified swap-in failed
   if (slot != kNoSlot) {
-    ++stats_.hits;
+    ++stats_locked().hits;
   } else {
-    ++stats_.misses;
-    if (!touched_[index]) ++stats_.cold_misses;
+    ++stats_locked().misses;
+    if (!touched_[index]) ++stats_locked().cold_misses;
     slot = obtain_slot(index);
     // Swap the requested vector in — unless this access overwrites it anyway
     // and read skipping applies (Sec. 3.4). First-ever accesses never have
@@ -182,7 +191,7 @@ double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
     if (mode == AccessMode::kRead || !options_.read_skipping) {
       verify = file_read(index, slot_data(slot), mode == AccessMode::kRead);
     } else {
-      ++stats_.skipped_reads;
+      ++stats_locked().skipped_reads;
       read_skipped = true;
     }
     vector_slot_[index] = slot;
@@ -201,13 +210,17 @@ double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
                                    index, mode == AccessMode::kWrite,
                                    read_skipped));
   PLFOC_AUDIT_TABLE("acquire");
-  PLFOC_AUDIT_EVENT("acquire stats", auditor_.check_stats(stats_));
+  PLFOC_AUDIT_EVENT("acquire stats", auditor_.check_stats(stats_locked()));
   return slot_data(slot);
 }
 
-void OutOfCoreStore::recover_or_throw(std::unique_lock<std::mutex>& lock,
-                                      std::uint32_t index, std::uint32_t slot,
-                                      const VerifyResult& verify) {
+// The body juggles the capability (unlocks around the re-entrant recovery
+// hook, relocks before mutating the slot table); the REQUIRES contract on
+// the declaration is what callers are checked against.
+void OutOfCoreStore::recover_or_throw(MutexLock& lock, std::uint32_t index,
+                                      std::uint32_t slot,
+                                      const VerifyResult& verify)
+    PLFOC_NO_THREAD_SAFETY_ANALYSIS {
   std::uint64_t recomputed = 0;
   if (recovery_hook_) {
     double* dst = slot_data(slot);  // pinned: stable across the unlock
@@ -222,10 +235,10 @@ void OutOfCoreStore::recover_or_throw(std::unique_lock<std::mutex>& lock,
   // Count the whole episode at resolution, under one lock hold: nested
   // acquires inside the hook run check_stats mid-flight and must never see
   // the recoveries + unrecovered == failures identity half-updated.
-  ++stats_.integrity_failures;
+  ++stats_locked().integrity_failures;
   if (recomputed > 0) {
-    ++stats_.integrity_recoveries;
-    stats_.recovery_recomputes += recomputed;
+    ++stats_locked().integrity_recoveries;
+    stats_locked().recovery_recomputes += recomputed;
     refresh_fault_counters();
     if (options_.disk_precision == DiskPrecision::kSingle) {
       // Match what an intact disk read would have delivered: the recomputed
@@ -240,7 +253,7 @@ void OutOfCoreStore::recover_or_throw(std::unique_lock<std::mutex>& lock,
     PLFOC_AUDIT_EVENT("recovery", auditor_.record_recovery(index, true));
     return;
   }
-  ++stats_.integrity_unrecovered;
+  ++stats_locked().integrity_unrecovered;
   refresh_fault_counters();
   PLFOC_AUDIT_EVENT("recovery", auditor_.record_recovery(index, false));
   // Undo the install: the acquire is failing, so its pin and residency must
@@ -250,7 +263,7 @@ void OutOfCoreStore::recover_or_throw(std::unique_lock<std::mutex>& lock,
   vector_slot_[index] = kNoSlot;
   strategy_->on_evict(index);
   PLFOC_AUDIT_TABLE("integrity failure");
-  PLFOC_AUDIT_EVENT("integrity stats", auditor_.check_stats(stats_));
+  PLFOC_AUDIT_EVENT("integrity stats", auditor_.check_stats(stats_locked()));
   throw IntegrityError(
       "out-of-core swap-in", index, verify.expected_generation,
       verify.found_generation, verify.injected,
@@ -261,7 +274,7 @@ void OutOfCoreStore::recover_or_throw(std::unique_lock<std::mutex>& lock,
 }
 
 void OutOfCoreStore::do_release(std::uint32_t index) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint32_t slot = vector_slot_[index];
   PLFOC_CHECK(slot != kNoSlot && slots_[slot].pins > 0);
   PLFOC_AUDIT_EVENT("release",
@@ -275,11 +288,11 @@ void OutOfCoreStore::prefetch(std::uint32_t index) {
   // Serialises prefetch() callers and owns the staging buffers. mutex_ is
   // only taken in short sections below, so a demand miss on the engine
   // thread never waits behind this call's disk read.
-  std::lock_guard<std::mutex> io_lock(prefetch_io_mutex_);
+  MutexLock io_lock(prefetch_io_mutex_);
 
   std::uint64_t generation;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (vector_slot_[index] != kNoSlot) return;  // already resident
     // Never prefetch a vector that has not been written yet: the file holds
     // no meaningful bytes for it, and the first real access is write-mode.
@@ -322,29 +335,29 @@ void OutOfCoreStore::prefetch(std::uint32_t index) {
         prefetch_scratch_[i] = static_cast<double>(prefetch_float_scratch_[i]);
     }
   } catch (const IoError&) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     refresh_fault_counters();
     PLFOC_AUDIT_TABLE("prefetch io-error");
     return;
   }
   if (verify_failed) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.bytes_read += file_.bytes_per_vector();
-    ++stats_.prefetch_stale;
+    MutexLock lock(mutex_);
+    stats_locked().bytes_read += file_.bytes_per_vector();
+    ++stats_locked().prefetch_stale;
     refresh_fault_counters();
     PLFOC_AUDIT_TABLE("prefetch integrity drop");
     return;
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.bytes_read += file_.bytes_per_vector();
+  MutexLock lock(mutex_);
+  stats_locked().bytes_read += file_.bytes_per_vector();
   refresh_fault_counters();
   // Re-validate before installing: the vector may have been demand-loaded
   // while the read was in flight (drop — it is already resident), or loaded,
   // dirtied and evicted again, making the staged bytes stale (drop — the
   // file's newer contents win on the next access).
   if (vector_slot_[index] != kNoSlot || file_generation_[index] != generation) {
-    ++stats_.prefetch_stale;
+    ++stats_locked().prefetch_stale;
     PLFOC_AUDIT_TABLE("prefetch stale");
     return;
   }
@@ -356,7 +369,7 @@ void OutOfCoreStore::prefetch(std::uint32_t index) {
   }
   std::copy(prefetch_scratch_.begin(), prefetch_scratch_.end(),
             slot_data(slot));
-  ++stats_.prefetch_reads;
+  ++stats_locked().prefetch_reads;
   vector_slot_[index] = slot;
   slots_[slot].vector = index;
   strategy_->on_load(index);
@@ -364,7 +377,7 @@ void OutOfCoreStore::prefetch(std::uint32_t index) {
 }
 
 void OutOfCoreStore::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (std::uint32_t s = 0; s < slots_.size(); ++s) {
     if (slots_[s].vector == kNoVector || !slots_[s].dirty) continue;
     file_write(slots_[s].vector, slot_data(s));
@@ -375,8 +388,8 @@ void OutOfCoreStore::flush() {
 }
 
 OocStats OutOfCoreStore::stats_snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  OocStats out = stats_;
+  MutexLock lock(mutex_);
+  OocStats out = stats_locked();
   // Overlay the robustness counters straight from the backend atomics: an
   // IoError unwinds past the stats_ mirroring, so the mirror can be stale
   // exactly when a failure report is being assembled.
@@ -388,9 +401,9 @@ OocStats OutOfCoreStore::stats_snapshot() const {
 }
 
 void OutOfCoreStore::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   file_.reset_fault_counters();
-  stats_ = OocStats{};
+  stats_locked() = OocStats{};
 #ifdef PLFOC_AUDIT
   auditor_.reset_stats_baseline();
 #endif

@@ -14,7 +14,6 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <vector>
 
 #include "ooc/audit.hpp"
@@ -22,6 +21,7 @@
 #include "ooc/replacement.hpp"
 #include "ooc/storage.hpp"
 #include "util/aligned_buffer.hpp"
+#include "util/mutex.hpp"
 
 namespace plfoc {
 
@@ -64,8 +64,8 @@ class OutOfCoreStore final : public AncestralStore {
   ~OutOfCoreStore() override;
 
   const char* backend_name() const override { return "out-of-core"; }
-  std::size_t num_slots() const { return slots_.size(); }
-  const char* strategy_name() const { return strategy_->name(); }
+  std::size_t num_slots() const { return slot_count_; }
+  const char* strategy_name() const;
 
   /// True if the vector is currently in a RAM slot.
   bool is_resident(std::uint32_t index) const;
@@ -100,7 +100,7 @@ class OutOfCoreStore final : public AncestralStore {
 
   /// RAM actually allocated for slots, in bytes.
   std::uint64_t slot_memory_bytes() const {
-    return static_cast<std::uint64_t>(slots_.size()) * width_ * sizeof(double);
+    return static_cast<std::uint64_t>(slot_count_) * width_ * sizeof(double);
   }
 
   /// Lifecycle guard held by each Prefetcher while its worker thread may
@@ -124,55 +124,77 @@ class OutOfCoreStore final : public AncestralStore {
   // invariant auditor can validate the table without friending into here.
   using Slot = OocSlot;
 
+  /// Lease data pointers derive from the ctor-immutable arena; the *content*
+  /// they address is protected by pins + the slot table, not by mutex_, so
+  /// this accessor carries no capability requirement.
   double* slot_data(std::uint32_t slot) {
     return arena_.data() + static_cast<std::size_t>(slot) * width_;
   }
-  /// Pick (evicting if needed) a slot for `index`; requires lock held.
-  std::uint32_t obtain_slot(std::uint32_t index);
-  /// Vector-level file transfer honouring disk_precision; lock held.
+  /// Pick (evicting if needed) a slot for `index`.
+  std::uint32_t obtain_slot(std::uint32_t index) PLFOC_REQUIRES(mutex_);
+  /// Vector-level file transfer honouring disk_precision.
   /// `verify` (kRead-mode demand misses) checks the record against its
   /// checksum; the returned result is kOk on unverified reads. Write-mode
   /// paper-mode reads (read skipping off) load bytes that are about to be
   /// overwritten, so a corrupt record there must not fail a run that never
   /// consumes it — those reads stay unverified.
-  VerifyResult file_read(std::uint32_t index, double* dst, bool verify);
-  void file_write(std::uint32_t index, const double* src);
+  VerifyResult file_read(std::uint32_t index, double* dst, bool verify)
+      PLFOC_REQUIRES(mutex_);
+  void file_write(std::uint32_t index, const double* src)
+      PLFOC_REQUIRES(mutex_);
   /// A verified swap-in failed: try the recovery hook (released lock), then
   /// either mark the slot dirty (healed — the recomputed content supersedes
   /// the corrupt record) or undo the install and throw IntegrityError.
-  /// Requires: lock held, `slot` installed for `index` and pinned once.
-  void recover_or_throw(std::unique_lock<std::mutex>& lock,
-                        std::uint32_t index, std::uint32_t slot,
-                        const VerifyResult& verify);
-  /// Mirror the backing file's robustness counters into stats_; lock held.
-  void refresh_fault_counters();
+  /// Requires: lock held (`lock` is the scoped acquisition of mutex_),
+  /// `slot` installed for `index` and pinned once.
+  void recover_or_throw(MutexLock& lock, std::uint32_t index,
+                        std::uint32_t slot, const VerifyResult& verify)
+      PLFOC_REQUIRES(mutex_);
+  /// Mirror the backing file's robustness counters into the stats block.
+  void refresh_fault_counters() PLFOC_REQUIRES(mutex_);
+
+  /// Base-class counters re-exported under their capability: every counter
+  /// mutation in this store goes through here so the analysis can prove it
+  /// happens with the slot-table lock held.
+  OocStats& stats_locked() PLFOC_REQUIRES(mutex_) { return stats_; }
+  const OocStats& stats_locked() const PLFOC_REQUIRES(mutex_) {
+    return stats_;
+  }
 
   OocStoreOptions options_;
   AlignedBuffer arena_;
 #ifdef PLFOC_AUDIT
-  StoreAuditor auditor_;  ///< slot-table invariant oracle; used under mutex_
+  /// Slot-table invariant oracle.
+  StoreAuditor auditor_ PLFOC_GUARDED_BY(mutex_);
 #endif
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> vector_slot_;  ///< per vector: slot or kNoSlot
-  std::vector<bool> touched_;               ///< vector ever accessed (cold-miss tracking)
-  std::vector<float> float_scratch_;        ///< conversion buffer (kSingle only)
+  std::vector<Slot> slots_ PLFOC_GUARDED_BY(mutex_);
+  std::size_t slot_count_ = 0;  ///< slots_.size(); ctor-immutable
+  /// Per vector: slot or kNoSlot.
+  std::vector<std::uint32_t> vector_slot_ PLFOC_GUARDED_BY(mutex_);
+  /// Vector ever accessed (cold-miss tracking).
+  std::vector<bool> touched_ PLFOC_GUARDED_BY(mutex_);
+  /// Conversion buffer (kSingle only).
+  std::vector<float> float_scratch_ PLFOC_GUARDED_BY(mutex_);
   /// Per vector: bumped by every file_write (under mutex_). Lets prefetch()
   /// detect that bytes it staged without the lock were superseded by a
   /// write-back that happened during the read (the write-then-evict ABA the
   /// residency check alone cannot see).
-  std::vector<std::uint64_t> file_generation_;
-  FileBackend file_;
-  std::unique_ptr<ReplacementStrategy> strategy_;
+  std::vector<std::uint64_t> file_generation_ PLFOC_GUARDED_BY(mutex_);
+  FileBackend file_;  ///< internally synchronised (backend atomics)
+  std::unique_ptr<ReplacementStrategy> strategy_ PLFOC_GUARDED_BY(mutex_);
   std::atomic<int> prefetch_guards_{0};  ///< live Prefetcher worker threads
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
 
   // Prefetch staging state, private to prefetch() and guarded by
   // prefetch_io_mutex_ (lock order: prefetch_io_mutex_ before mutex_, never
-  // the reverse). float_scratch_ is engine-owned (used by file_read /
-  // file_write under mutex_), hence the dedicated buffers here.
-  std::mutex prefetch_io_mutex_;
-  std::vector<double> prefetch_scratch_;
-  std::vector<float> prefetch_float_scratch_;  ///< kSingle only
+  // the reverse — declared to the analysis via ACQUIRED_BEFORE).
+  // float_scratch_ is engine-owned (used by file_read / file_write under
+  // mutex_), hence the dedicated buffers here.
+  Mutex prefetch_io_mutex_ PLFOC_ACQUIRED_BEFORE(mutex_);
+  std::vector<double> prefetch_scratch_ PLFOC_GUARDED_BY(prefetch_io_mutex_);
+  /// kSingle only.
+  std::vector<float> prefetch_float_scratch_
+      PLFOC_GUARDED_BY(prefetch_io_mutex_);
 };
 
 }  // namespace plfoc

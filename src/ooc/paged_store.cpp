@@ -79,9 +79,9 @@ void PagedStore::make_room(std::size_t needed) {
   const auto flush_batch = [&] {
     if (batch.empty()) return;
     file_.write_ranges_clustered(batch.data(), batch.size(), arena_.data());
-    ++stats_.file_writes;
+    ++stats_locked().file_writes;
     for (const FileBackend::IoRange& range : batch)
-      stats_.bytes_written += range.bytes;
+      stats_locked().bytes_written += range.bytes;
     batch.clear();
   };
   if (resident_count_ + needed <= frames_) return;
@@ -104,7 +104,7 @@ void PagedStore::make_room(std::size_t needed) {
     }
     meta.resident = false;
     meta.dirty = false;
-    ++stats_.evictions;
+    ++stats_locked().evictions;
     --resident_count_;
   }
   flush_batch();
@@ -141,16 +141,16 @@ void PagedStore::fault_cluster(std::uint64_t first) {
     char* dst = reinterpret_cast<char*>(arena_.data()) + offset;
     if (file_.integrity()) {
       const VerifyResult verify = file_.read_bytes_verified(offset, dst, bytes);
-      ++stats_.file_reads;
-      stats_.bytes_read += bytes;
+      ++stats_locked().file_reads;
+      stats_locked().bytes_read += bytes;
       if (!verify.ok()) {
         // Detection only: the OS-paging baseline has no recomputation seam —
         // generic paging cannot know a swap page is a recomputable cache
         // entry. The pages stay non-resident (a later fault re-reads them),
         // and the damage surfaces typed instead of as a wrong likelihood.
-        ++stats_.integrity_failures;
-        ++stats_.integrity_unrecovered;
-        stats_.corruptions_injected = file_.corruptions_injected();
+        ++stats_locked().integrity_failures;
+        ++stats_locked().integrity_unrecovered;
+        stats_locked().corruptions_injected = file_.corruptions_injected();
         throw IntegrityError(
             "paged swap-in", verify.block, verify.expected_generation,
             verify.found_generation, verify.injected,
@@ -159,8 +159,8 @@ void PagedStore::fault_cluster(std::uint64_t first) {
       }
     } else {
       file_.read_bytes(offset, dst, bytes);
-      ++stats_.file_reads;
-      stats_.bytes_read += bytes;
+      ++stats_locked().file_reads;
+      stats_locked().bytes_read += bytes;
     }
   }
   for (std::uint64_t page = first; page < end; ++page) {
@@ -174,8 +174,8 @@ void PagedStore::fault_cluster(std::uint64_t first) {
 
 double* PagedStore::do_acquire(std::uint32_t index, AccessMode mode) {
   PLFOC_CHECK(index < count_);
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.accesses;
+  MutexLock lock(mutex_);
+  ++stats_locked().accesses;
   bool any_fault = false;
   const std::uint64_t first = first_page(index);
   std::uint64_t page = first;
@@ -184,7 +184,7 @@ double* PagedStore::do_acquire(std::uint32_t index, AccessMode mode) {
       PageMeta& meta = pages_[page];
       if (!meta.resident) {
         fault_cluster(page);
-        ++stats_.misses;  // one miss per page fault (readahead pages are free)
+        ++stats_locked().misses;  // one miss per page fault (readahead pages are free)
         any_fault = true;
       }
       if (meta.pins == 0) lru_remove(page);  // re-inserted at release (MRU)
@@ -203,7 +203,7 @@ double* PagedStore::do_acquire(std::uint32_t index, AccessMode mode) {
     }
     throw;
   }
-  if (!any_fault) ++stats_.hits;
+  if (!any_fault) ++stats_locked().hits;
   if (lease_count_[index] == 0 || mode == AccessMode::kWrite)
     lease_mode_[index] = mode;
   ++lease_count_[index];
@@ -211,7 +211,7 @@ double* PagedStore::do_acquire(std::uint32_t index, AccessMode mode) {
 }
 
 void PagedStore::do_release(std::uint32_t index) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   PLFOC_CHECK(lease_count_[index] > 0);
   --lease_count_[index];
   for (std::uint64_t page = first_page(index); page <= last_page(index);
@@ -223,9 +223,14 @@ void PagedStore::do_release(std::uint32_t index) {
   }
 }
 
+std::uint64_t PagedStore::page_faults() const {
+  MutexLock lock(mutex_);
+  return stats_locked().misses;
+}
+
 OocStats PagedStore::stats_snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  OocStats out = stats_;
+  MutexLock lock(mutex_);
+  OocStats out = stats_locked();
   out.faults_injected = file_.faults_injected();
   out.io_retries = file_.io_retries();
   out.io_exhausted = file_.io_exhausted();
@@ -234,9 +239,9 @@ OocStats PagedStore::stats_snapshot() const {
 }
 
 void PagedStore::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   file_.reset_fault_counters();
-  stats_ = OocStats{};
+  stats_locked() = OocStats{};
 }
 
 }  // namespace plfoc

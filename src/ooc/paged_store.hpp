@@ -20,12 +20,12 @@
 // counted statistics and wall-clock comparisons are meaningful.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
 #include "ooc/file_backend.hpp"
 #include "ooc/storage.hpp"
 #include "util/aligned_buffer.hpp"
+#include "util/mutex.hpp"
 
 namespace plfoc {
 
@@ -46,7 +46,9 @@ class PagedStore final : public AncestralStore {
 
   const char* backend_name() const override { return "paged"; }
 
-  std::uint64_t page_faults() const { return stats_.misses; }
+  /// Snapshot-consistent fault count (misses are mutated under mutex_, so a
+  /// concurrent reader must take the same lock — not a bare stats_ read).
+  std::uint64_t page_faults() const;
   std::size_t num_page_frames() const { return frames_; }
 
   /// Backing-file accounting (I/O op counts, modeled device time).
@@ -88,24 +90,36 @@ class PagedStore final : public AncestralStore {
            options_.page_bytes;
   }
 
-  void lru_push_front(std::uint64_t page);
-  void lru_remove(std::uint64_t page);
+  void lru_push_front(std::uint64_t page) PLFOC_REQUIRES(mutex_);
+  void lru_remove(std::uint64_t page) PLFOC_REQUIRES(mutex_);
   /// Bring `page` (plus readahead) into the cache; one clustered device read.
-  void fault_cluster(std::uint64_t page);
+  void fault_cluster(std::uint64_t page) PLFOC_REQUIRES(mutex_);
   /// Free at least `needed` frames, coalescing dirty write-back.
-  void make_room(std::size_t needed);
+  void make_room(std::size_t needed) PLFOC_REQUIRES(mutex_);
+
+  /// The base-class counters, re-exported under their capability: every
+  /// counter mutation in this store goes through here so the analysis can
+  /// prove it happens with the page-table lock held.
+  OocStats& stats_locked() PLFOC_REQUIRES(mutex_) { return stats_; }
+  const OocStats& stats_locked() const PLFOC_REQUIRES(mutex_) {
+    return stats_;
+  }
 
   PagedStoreOptions options_;
   AlignedBuffer arena_;  ///< the full vector address space
-  FileBackend file_;
-  std::vector<PageMeta> pages_;
-  std::size_t frames_ = 0;          ///< page-cache capacity in pages
-  std::size_t resident_count_ = 0;  ///< pages currently "in RAM"
-  std::uint64_t lru_head_ = kNoPage;  ///< most recently used
-  std::uint64_t lru_tail_ = kNoPage;  ///< least recently used
-  std::vector<AccessMode> lease_mode_;  ///< active lease mode per vector
-  std::vector<std::uint32_t> lease_count_;
-  mutable std::mutex mutex_;
+  FileBackend file_;     ///< internally synchronised (backend atomics)
+  std::vector<PageMeta> pages_ PLFOC_GUARDED_BY(mutex_);
+  std::size_t frames_ = 0;  ///< page-cache capacity in pages; ctor-immutable
+  /// Pages currently "in RAM".
+  std::size_t resident_count_ PLFOC_GUARDED_BY(mutex_) = 0;
+  /// Most recently used.
+  std::uint64_t lru_head_ PLFOC_GUARDED_BY(mutex_) = kNoPage;
+  /// Least recently used.
+  std::uint64_t lru_tail_ PLFOC_GUARDED_BY(mutex_) = kNoPage;
+  /// Active lease mode per vector.
+  std::vector<AccessMode> lease_mode_ PLFOC_GUARDED_BY(mutex_);
+  std::vector<std::uint32_t> lease_count_ PLFOC_GUARDED_BY(mutex_);
+  mutable Mutex mutex_;
 };
 
 }  // namespace plfoc

@@ -12,7 +12,7 @@ Prefetcher::~Prefetcher() { stop(); }
 
 void Prefetcher::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -27,7 +27,7 @@ void Prefetcher::stop() {
 
 void Prefetcher::submit(std::vector<std::uint32_t> upcoming) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) return;  // worker is gone; accepting a plan would strand it
     plan_ = std::move(upcoming);
     next_ = 0;
@@ -38,7 +38,7 @@ void Prefetcher::submit(std::vector<std::uint32_t> upcoming) {
 
 void Prefetcher::notify_progress(std::size_t consumed) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) return;
     if (consumed <= cursor_) return;
     cursor_ = consumed > plan_.size() ? plan_.size() : consumed;
@@ -49,15 +49,14 @@ void Prefetcher::notify_progress(std::size_t consumed) {
 }
 
 void Prefetcher::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock,
-             [this] { return stop_ || (next_ >= window_end() && !busy_); });
+  MutexLock lock(mutex_);
+  while (!stop_ && (next_ < window_end() || busy_)) idle_.wait(lock);
 }
 
 void Prefetcher::worker() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    wake_.wait(lock, [this] { return stop_ || next_ < window_end(); });
+    while (!stop_ && next_ >= window_end()) wake_.wait(lock);
     if (stop_) {
       idle_.notify_all();  // wake drain()ers parked before stop() was called
       return;

@@ -12,13 +12,12 @@
 // skip entries the engine has already taken the miss for.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "ooc/ooc_store.hpp"
+#include "util/mutex.hpp"
 
 namespace plfoc {
 
@@ -59,21 +58,23 @@ class Prefetcher {
 
  private:
   void worker();
-  std::size_t window_end() const {
+  std::size_t window_end() const PLFOC_REQUIRES(mutex_) {
     const std::size_t end = cursor_ + lookahead_;
     return end < plan_.size() ? end : plan_.size();
   }
 
   OutOfCoreStore& store_;
   const std::size_t lookahead_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable idle_;
-  std::vector<std::uint32_t> plan_;
-  std::size_t next_ = 0;    ///< worker position in plan_
-  std::size_t cursor_ = 0;  ///< engine progress in plan_
-  bool stop_ = false;
-  bool busy_ = false;
+  mutable Mutex mutex_;
+  CondVar wake_;
+  CondVar idle_;
+  std::vector<std::uint32_t> plan_ PLFOC_GUARDED_BY(mutex_);
+  /// Worker position in plan_.
+  std::size_t next_ PLFOC_GUARDED_BY(mutex_) = 0;
+  /// Engine progress in plan_.
+  std::size_t cursor_ PLFOC_GUARDED_BY(mutex_) = 0;
+  bool stop_ PLFOC_GUARDED_BY(mutex_) = false;
+  bool busy_ PLFOC_GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 

@@ -31,6 +31,21 @@ TieredStore::TieredStore(std::size_t count, std::size_t width,
                    << fast_.size() << " ram=" << ram_.size() << " slots";
 }
 
+std::size_t TieredStore::fast_slots() const {
+  MutexLock lock(mutex_);
+  return fast_.size();
+}
+
+std::size_t TieredStore::ram_slots() const {
+  MutexLock lock(mutex_);
+  return ram_.size();
+}
+
+TierStats TieredStore::tier_stats() const {
+  MutexLock lock(mutex_);
+  return tier_stats_;
+}
+
 void TieredStore::demote(std::uint32_t slot) {
   Slot& fast_slot = fast_[slot];
   PLFOC_CHECK(fast_slot.vector != kNone && fast_slot.pins == 0);
@@ -83,10 +98,10 @@ std::uint32_t TieredStore::obtain_ram_slot(std::uint32_t incoming) {
   // we keep dirty tracking here since the tiers multiply traffic).
   if (ram_[slot].dirty) {
     file_.write_vector(victim, ram_data(slot));
-    ++stats_.file_writes;
-    stats_.bytes_written += width_ * sizeof(double);
+    ++stats_locked().file_writes;
+    stats_locked().bytes_written += width_ * sizeof(double);
   }
-  ++stats_.evictions;
+  ++stats_locked().evictions;
   ram_strategy_->on_evict(victim);
   where_[victim] = Location::kDisk;
   slot_of_[victim] = kNone;
@@ -97,13 +112,14 @@ std::uint32_t TieredStore::obtain_ram_slot(std::uint32_t incoming) {
 
 double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
   PLFOC_CHECK(index < count_);
-  // unique_lock: a failed disk-read verification releases the lock around
-  // the recovery hook, whose child acquires re-enter this method.
-  std::unique_lock<std::mutex> lock(mutex_);
-  ++stats_.accesses;
+  // MutexLock (not lock_guard semantics): a failed disk-read verification
+  // releases the lock around the recovery hook, whose child acquires
+  // re-enter this method.
+  MutexLock lock(mutex_);
+  ++stats_locked().accesses;
 
   if (where_[index] == Location::kFast) {
-    ++stats_.hits;
+    ++stats_locked().hits;
     ++tier_stats_.fast_hits;
     const std::uint32_t slot = slot_of_[index];
     ++fast_[slot].pins;
@@ -112,8 +128,8 @@ double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
     return fast_data(slot);
   }
 
-  ++stats_.misses;
-  if (!touched_[index]) ++stats_.cold_misses;
+  ++stats_locked().misses;
+  if (!touched_[index]) ++stats_locked().cold_misses;
 
   const bool from_ram = where_[index] == Location::kRam;
   bool promoted_dirty = false;
@@ -151,10 +167,10 @@ double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
         verify = file_.read_vector_verified(index, fast_data(fast_slot));
       else
         file_.read_vector(index, fast_data(fast_slot));
-      ++stats_.file_reads;
-      stats_.bytes_read += width_ * sizeof(double);
+      ++stats_locked().file_reads;
+      stats_locked().bytes_read += width_ * sizeof(double);
     } else {
-      ++stats_.skipped_reads;
+      ++stats_locked().skipped_reads;
     }
     ++tier_stats_.promotions;
     tier_stats_.bytes_transferred += width_ * sizeof(double);
@@ -173,9 +189,13 @@ double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
   return fast_data(fast_slot);
 }
 
-void TieredStore::recover_or_throw(std::unique_lock<std::mutex>& lock,
-                                   std::uint32_t index, std::uint32_t slot,
-                                   const VerifyResult& verify) {
+// The body juggles the capability (unlocks around the re-entrant recovery
+// hook, relocks before mutating the slot table); the REQUIRES contract on
+// the declaration is what callers are checked against.
+void TieredStore::recover_or_throw(MutexLock& lock, std::uint32_t index,
+                                   std::uint32_t slot,
+                                   const VerifyResult& verify)
+    PLFOC_NO_THREAD_SAFETY_ANALYSIS {
   std::uint64_t recomputed = 0;
   if (recovery_hook_) {
     double* dst = fast_data(slot);
@@ -193,17 +213,17 @@ void TieredStore::recover_or_throw(std::unique_lock<std::mutex>& lock,
 
   // Count the whole episode at resolution, under one lock hold, so snapshots
   // taken by nested acquires never see the failure/recovery identity broken.
-  ++stats_.integrity_failures;
+  ++stats_locked().integrity_failures;
   if (recomputed > 0) {
-    ++stats_.integrity_recoveries;
-    stats_.recovery_recomputes += recomputed;
+    ++stats_locked().integrity_recoveries;
+    stats_locked().recovery_recomputes += recomputed;
     // The healed content supersedes the corrupt record: route it back to the
     // file through the normal dirty demote/spill path.
     fast_[slot].dirty = true;
     return;
   }
 
-  ++stats_.integrity_unrecovered;
+  ++stats_locked().integrity_unrecovered;
   // Undo the install: the slot holds damaged bytes nobody may consume.
   PLFOC_CHECK(fast_[slot].pins == 1);
   fast_[slot] = Slot{};
@@ -220,7 +240,7 @@ void TieredStore::recover_or_throw(std::unique_lock<std::mutex>& lock,
 }
 
 void TieredStore::do_release(std::uint32_t index) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   PLFOC_CHECK(where_[index] == Location::kFast);
   Slot& slot = fast_[slot_of_[index]];
   PLFOC_CHECK(slot.pins > 0);
@@ -228,27 +248,27 @@ void TieredStore::do_release(std::uint32_t index) {
 }
 
 void TieredStore::flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (std::uint32_t s = 0; s < fast_.size(); ++s) {
     if (fast_[s].vector == kNone || !fast_[s].dirty) continue;
     file_.write_vector(fast_[s].vector, fast_data(s));
-    ++stats_.file_writes;
-    stats_.bytes_written += width_ * sizeof(double);
+    ++stats_locked().file_writes;
+    stats_locked().bytes_written += width_ * sizeof(double);
     fast_[s].dirty = false;
   }
   for (std::uint32_t s = 0; s < ram_.size(); ++s) {
     if (ram_[s].vector == kNone || !ram_[s].dirty) continue;
     file_.write_vector(ram_[s].vector, ram_data(s));
-    ++stats_.file_writes;
-    stats_.bytes_written += width_ * sizeof(double);
+    ++stats_locked().file_writes;
+    stats_locked().bytes_written += width_ * sizeof(double);
     ram_[s].dirty = false;
   }
   file_.sync();
 }
 
 OocStats TieredStore::stats_snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  OocStats out = stats_;
+  MutexLock lock(mutex_);
+  OocStats out = stats_locked();
   out.faults_injected = file_.faults_injected();
   out.io_retries = file_.io_retries();
   out.io_exhausted = file_.io_exhausted();
@@ -257,9 +277,9 @@ OocStats TieredStore::stats_snapshot() const {
 }
 
 void TieredStore::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   file_.reset_fault_counters();
-  stats_ = OocStats{};
+  stats_locked() = OocStats{};
 }
 
 }  // namespace plfoc

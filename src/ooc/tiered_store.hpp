@@ -23,13 +23,13 @@
 // host<->device traffic.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
 #include "ooc/file_backend.hpp"
 #include "ooc/replacement.hpp"
 #include "ooc/storage.hpp"
 #include "util/aligned_buffer.hpp"
+#include "util/mutex.hpp"
 
 namespace plfoc {
 
@@ -58,9 +58,13 @@ class TieredStore final : public AncestralStore {
   TieredStore(std::size_t count, std::size_t width, TieredStoreOptions options);
 
   const char* backend_name() const override { return "tiered"; }
-  std::size_t fast_slots() const { return fast_.size(); }
-  std::size_t ram_slots() const { return ram_.size(); }
-  const TierStats& tier_stats() const { return tier_stats_; }
+  std::size_t fast_slots() const;
+  std::size_t ram_slots() const;
+  /// Copy of the host<->device transfer counters, taken under the slot-table
+  /// lock. Returned by value: the counters are mutated under mutex_, so a
+  /// reference would hand out unsynchronised state (the same defect class
+  /// the PR 2 stats_snapshot() fix closed for OocStats).
+  TierStats tier_stats() const;
 
   /// Write all dirty state (both tiers) back to the file.
   void flush() override;
@@ -97,32 +101,44 @@ class TieredStore final : public AncestralStore {
 
   /// A verified disk read into fast slot `slot` failed: try the recovery
   /// hook (released lock), then either mark the slot dirty (healed) or undo
-  /// the install and throw IntegrityError. Requires: lock held, `slot`
-  /// installed for `index` and pinned once.
-  void recover_or_throw(std::unique_lock<std::mutex>& lock,
-                        std::uint32_t index, std::uint32_t slot,
-                        const VerifyResult& verify);
-  /// Free a fast slot (demoting its occupant to RAM); lock held.
-  std::uint32_t obtain_fast_slot(std::uint32_t incoming);
-  /// Free a RAM slot (evicting its occupant to disk); lock held.
-  std::uint32_t obtain_ram_slot(std::uint32_t incoming);
-  /// Move the vector in fast slot `slot` down to the RAM tier; lock held.
-  void demote(std::uint32_t slot);
+  /// the install and throw IntegrityError. Requires: lock held (`lock` is
+  /// the scoped acquisition of mutex_), `slot` installed for `index` and
+  /// pinned once.
+  void recover_or_throw(MutexLock& lock, std::uint32_t index,
+                        std::uint32_t slot, const VerifyResult& verify)
+      PLFOC_REQUIRES(mutex_);
+  /// Free a fast slot (demoting its occupant to RAM).
+  std::uint32_t obtain_fast_slot(std::uint32_t incoming)
+      PLFOC_REQUIRES(mutex_);
+  /// Free a RAM slot (evicting its occupant to disk).
+  std::uint32_t obtain_ram_slot(std::uint32_t incoming) PLFOC_REQUIRES(mutex_);
+  /// Move the vector in fast slot `slot` down to the RAM tier.
+  void demote(std::uint32_t slot) PLFOC_REQUIRES(mutex_);
+
+  /// Base-class counters re-exported under their capability (every mutation
+  /// is provably under the slot-table lock).
+  OocStats& stats_locked() PLFOC_REQUIRES(mutex_) { return stats_; }
+  const OocStats& stats_locked() const PLFOC_REQUIRES(mutex_) {
+    return stats_;
+  }
 
   TieredStoreOptions options_;
   AlignedBuffer fast_arena_;
   AlignedBuffer ram_arena_;
-  AlignedBuffer bounce_;  ///< one-vector staging buffer for promotions
-  std::vector<Slot> fast_;
-  std::vector<Slot> ram_;
-  std::vector<Location> where_;           ///< per vector
-  std::vector<std::uint32_t> slot_of_;    ///< per vector: slot in its tier
-  std::vector<bool> touched_;
-  FileBackend file_;
-  std::unique_ptr<ReplacementStrategy> fast_strategy_;
-  std::unique_ptr<ReplacementStrategy> ram_strategy_;
-  TierStats tier_stats_;
-  mutable std::mutex mutex_;
+  /// One-vector staging buffer for promotions.
+  AlignedBuffer bounce_ PLFOC_GUARDED_BY(mutex_);
+  std::vector<Slot> fast_ PLFOC_GUARDED_BY(mutex_);
+  std::vector<Slot> ram_ PLFOC_GUARDED_BY(mutex_);
+  /// Per vector.
+  std::vector<Location> where_ PLFOC_GUARDED_BY(mutex_);
+  /// Per vector: slot in its tier.
+  std::vector<std::uint32_t> slot_of_ PLFOC_GUARDED_BY(mutex_);
+  std::vector<bool> touched_ PLFOC_GUARDED_BY(mutex_);
+  FileBackend file_;  ///< internally synchronised (backend atomics)
+  std::unique_ptr<ReplacementStrategy> fast_strategy_ PLFOC_GUARDED_BY(mutex_);
+  std::unique_ptr<ReplacementStrategy> ram_strategy_ PLFOC_GUARDED_BY(mutex_);
+  TierStats tier_stats_ PLFOC_GUARDED_BY(mutex_);
+  mutable Mutex mutex_;
 };
 
 }  // namespace plfoc

@@ -10,9 +10,8 @@ JobQueue::JobQueue(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 PushResult JobQueue::push(Pending job) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || jobs_.size() < capacity_; });
+  MutexLock lock(mutex_);
+  while (!closed_ && jobs_.size() >= capacity_) not_full_.wait(lock);
   if (closed_) return PushResult::kClosed;
   jobs_.push_back(std::move(job));
   lock.unlock();
@@ -22,7 +21,7 @@ PushResult JobQueue::push(Pending job) {
 
 PushResult JobQueue::try_push(Pending job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) return PushResult::kClosed;
     if (jobs_.size() >= capacity_) return PushResult::kFull;
     jobs_.push_back(std::move(job));
@@ -32,8 +31,8 @@ PushResult JobQueue::try_push(Pending job) {
 }
 
 std::optional<JobQueue::Pending> JobQueue::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+  MutexLock lock(mutex_);
+  while (!closed_ && jobs_.empty()) not_empty_.wait(lock);
   if (jobs_.empty()) return std::nullopt;  // closed and drained
   Pending job = std::move(jobs_.front());
   jobs_.pop_front();
@@ -44,7 +43,7 @@ std::optional<JobQueue::Pending> JobQueue::pop() {
 
 bool JobQueue::cancel(JobId id) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it =
         std::find_if(jobs_.begin(), jobs_.end(),
                      [id](const Pending& job) { return job.id == id; });
@@ -57,7 +56,7 @@ bool JobQueue::cancel(JobId id) {
 
 void JobQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
   // Wake every waiter: blocked pushers return kClosed, idle poppers see the
@@ -67,12 +66,12 @@ void JobQueue::close() {
 }
 
 std::size_t JobQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return jobs_.size();
 }
 
 bool JobQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_;
 }
 

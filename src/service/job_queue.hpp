@@ -8,13 +8,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "service/job.hpp"
+#include "util/mutex.hpp"
 
 namespace plfoc {
 
@@ -57,11 +56,11 @@ class JobQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<Pending> jobs_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<Pending> jobs_ PLFOC_GUARDED_BY(mutex_);
+  bool closed_ PLFOC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace plfoc

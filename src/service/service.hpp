@@ -18,11 +18,9 @@
 // this across 1/2/8 workers.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -30,6 +28,7 @@
 #include "service/job_queue.hpp"
 #include "service/scheduler.hpp"
 #include "service/worker_pool.hpp"
+#include "util/mutex.hpp"
 
 namespace plfoc {
 
@@ -104,16 +103,17 @@ class Service {
                     unsigned attempt);
 
   ServiceOptions options_;
-  JobQueue queue_;
-  mutable std::mutex mutex_;  ///< guards scheduler_, results_, merged_
-  std::condition_variable admission_cv_;
-  std::condition_variable done_cv_;
-  Scheduler scheduler_;
-  std::map<JobId, JobResult> results_;  ///< ordered: drain() reports by id
-  OocStats merged_;
-  JobId next_id_ = 1;
-  bool drained_ = false;
-  std::vector<JobResult> drain_snapshot_;
+  JobQueue queue_;  ///< internally synchronised (its own Mutex)
+  mutable Mutex mutex_;
+  CondVar admission_cv_;
+  CondVar done_cv_;
+  Scheduler scheduler_ PLFOC_GUARDED_BY(mutex_);
+  /// Ordered: drain() reports by id.
+  std::map<JobId, JobResult> results_ PLFOC_GUARDED_BY(mutex_);
+  OocStats merged_ PLFOC_GUARDED_BY(mutex_);
+  JobId next_id_ PLFOC_GUARDED_BY(mutex_) = 1;
+  bool drained_ PLFOC_GUARDED_BY(mutex_) = false;
+  std::vector<JobResult> drain_snapshot_ PLFOC_GUARDED_BY(mutex_);
   std::unique_ptr<WorkerPool> pool_;  ///< last member: threads die first
 };
 

@@ -1,0 +1,96 @@
+// Annotated locking primitives — the capability layer under -Wthread-safety.
+//
+// std::mutex and std::condition_variable carry no thread-safety attributes
+// (libstdc++ ships them unannotated), so clang's analysis cannot see through
+// them. These thin wrappers restore visibility without changing behaviour:
+//
+//   plfoc::Mutex      — std::mutex as a PLFOC_CAPABILITY, so members can be
+//                       PLFOC_GUARDED_BY(mutex_) and helpers
+//                       PLFOC_REQUIRES(mutex_);
+//   plfoc::MutexLock  — scoped acquisition (std::unique_lock underneath) the
+//                       analysis tracks across mid-scope unlock()/lock(),
+//                       the shape recover_or_throw-style re-entrant
+//                       callbacks need;
+//   plfoc::CondVar    — std::condition_variable bound to MutexLock. There is
+//                       deliberately NO predicate-lambda wait: the analysis
+//                       checks lambda bodies as unannotated functions, so
+//                       predicates reading guarded state would either warn
+//                       or silently escape checking. Callers write the
+//                       explicit `while (!cond) cv.wait(lock);` loop, which
+//                       the analysis sees in full.
+//
+// Everything is header-only and inlines to exactly the std calls it wraps;
+// there is no runtime cost over the raw primitives.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace plfoc {
+
+class MutexLock;
+class CondVar;
+
+/// std::mutex with a capability attribute. Lock through MutexLock; direct
+/// lock()/unlock() exist for completeness but scoped acquisition is the
+/// house style (exception-safe and visible to the analysis as a region).
+class PLFOC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PLFOC_ACQUIRE() { impl_.lock(); }
+  void unlock() PLFOC_RELEASE() { impl_.unlock(); }
+  bool try_lock() PLFOC_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex impl_;
+};
+
+/// Scoped lock on a plfoc::Mutex. Tracks mid-scope unlock()/lock() (the
+/// analysis models the managed capability through both), which is how
+/// recovery hooks get the lock dropped around their re-entrant callbacks.
+class PLFOC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) PLFOC_ACQUIRE(mutex)
+      : lock_(mutex.impl_) {}
+  ~MutexLock() PLFOC_RELEASE() = default;  // unique_lock releases if held
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Re-acquire after unlock() — the tail half of a hook-callback window.
+  void lock() PLFOC_ACQUIRE() { lock_.lock(); }
+  /// Drop the lock mid-scope (e.g. around a callback that re-enters the
+  /// owning object). The destructor copes either way.
+  void unlock() PLFOC_RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable bound to MutexLock. wait() atomically releases
+/// and re-acquires the lock internally; from the analysis' point of view the
+/// capability is held across the call, which matches what callers may assume
+/// (guarded state must be re-checked after every wake-up — hence the
+/// explicit while-loop idiom).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { impl_.wait(lock.lock_); }
+  void notify_one() noexcept { impl_.notify_one(); }
+  void notify_all() noexcept { impl_.notify_all(); }
+
+ private:
+  std::condition_variable impl_;
+};
+
+}  // namespace plfoc

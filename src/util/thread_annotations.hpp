@@ -1,0 +1,81 @@
+// Compile-time concurrency contracts: Clang thread-safety-analysis macros.
+//
+// The runtime substrate (StoreAuditor, the TSan CI legs, the differential
+// fuzzer) only validates schedules that actually execute; these macros move
+// the lock-discipline contracts to compile time, where clang's
+// -Wthread-safety proves them for *every* schedule. The spelling follows the
+// attribute names of the official analysis documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); under any other
+// compiler (the GCC tier-1 build included) every macro expands to nothing,
+// so the annotations are pure documentation there.
+//
+// Usage conventions (see docs/static-analysis.md):
+//  * lock members are plfoc::Mutex (util/mutex.hpp), never raw std::mutex —
+//    std::mutex carries no capability attribute, so the analysis cannot see
+//    it (plfoc-lint's raw-capability rule enforces this in the locking
+//    subsystems);
+//  * data members touched by more than one thread carry PLFOC_GUARDED_BY;
+//  * private helpers that expect the lock already held are named *_locked()
+//    or otherwise documented, and carry PLFOC_REQUIRES;
+//  * the rare function that must juggle a lock mid-body (unlock around a
+//    re-entrant callback) keeps its PLFOC_REQUIRES contract for callers and
+//    opts its *body* out with PLFOC_NO_THREAD_SAFETY_ANALYSIS, with a
+//    comment explaining why.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PLFOC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PLFOC_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the capability kind
+/// in diagnostics).
+#define PLFOC_CAPABILITY(x) PLFOC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (plfoc::MutexLock).
+#define PLFOC_SCOPED_CAPABILITY PLFOC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define PLFOC_GUARDED_BY(x) PLFOC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself may
+/// be read freely).
+#define PLFOC_PT_GUARDED_BY(x) PLFOC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities are held on entry (and
+/// still held on exit). The `_locked()` helper contract.
+#define PLFOC_REQUIRES(...) \
+  PLFOC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit, not on entry).
+#define PLFOC_ACQUIRE(...) \
+  PLFOC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry, not on exit).
+#define PLFOC_RELEASE(...) \
+  PLFOC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; `b` is the success return value.
+#define PLFOC_TRY_ACQUIRE(...) \
+  PLFOC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (guards
+/// against self-deadlock on non-recursive mutexes).
+#define PLFOC_EXCLUDES(...) PLFOC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares lock-ordering edges checked by -Wthread-safety-beta.
+#define PLFOC_ACQUIRED_BEFORE(...) \
+  PLFOC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PLFOC_ACQUIRED_AFTER(...) \
+  PLFOC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to a value guarded by `x`.
+#define PLFOC_RETURN_CAPABILITY(x) PLFOC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the body is exempt from analysis (annotations on the
+/// declaration still bind callers). Every use must carry a justifying
+/// comment — see docs/static-analysis.md for the policy.
+#define PLFOC_NO_THREAD_SAFETY_ANALYSIS \
+  PLFOC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,22 @@
+// lint-as: src/likelihood/clean_kernel.cpp
+// A snippet inside the strictest scope (kernel TU: every identifier rule
+// applies) that must produce zero findings — the token contexts the lexer
+// must not misread.
+#include <mutex>  // preprocessor lines never produce tokens
+
+/* block comment: std::mutex, rand(), read(fd), std::reduce(a, b) */
+
+// line comment: strtok(s), lgamma(x), std::random_device entropy;
+
+double fine(const double* partials, int n) {
+  const char* doc =
+      "std::mutex in a string; rand() too; even // plfoc-lint: allow(x)";
+  const char* raw = R"(raw string: read(fd, buf, 8); std::lock_guard lock;)";
+  const char kQuote = '"';
+  int lgamma_r = n;          // identifier merely *containing* a banned name
+  int reduced = n;           // same for reduce
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += partials[i];
+  return sum + lgamma_r + reduced + (doc != nullptr) + (raw != nullptr) +
+         kQuote;
+}

@@ -1,0 +1,25 @@
+// lint-as: src/likelihood/some_kernel.cpp
+// Kernel/reduction TUs must be bit-deterministic: no ambient randomness, no
+// iteration-order-dependent containers, no unordered reductions.
+#include <numeric>
+#include <random>
+#include <unordered_map>
+
+double bad(double* partials, int n) {
+  std::random_device entropy;                    // expect(kernel-determinism)
+  int jitter = rand();                           // expect(kernel-determinism)
+  srand(42);                                     // expect(kernel-determinism)
+  std::unordered_map<int, double> cache;         // expect(kernel-determinism)
+  unordered_map<int, double> imported;           // expect(kernel-determinism)
+  double sum =
+      std::reduce(partials, partials + n);       // expect(kernel-determinism)
+  return sum + jitter + entropy() + cache[0] + imported[0];
+}
+
+double fine(const double* partials, int n) {
+  // Seeded deterministic generators and ordered containers are allowed;
+  // words like rand or reduce in comments must not fire.
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += partials[i];
+  return sum;
+}

@@ -1,0 +1,25 @@
+// lint-as: src/model/some_model.cpp
+// Thread-unsafe libc/libm calls are banned everywhere in src/: kernel
+// threads may execute this code concurrently.
+#include <cmath>
+#include <ctime>
+
+double bad(double x, char* s, long t) {
+  double g = std::lgamma(x);      // expect(mt-unsafe-libc)
+  g += lgamma(x);                 // expect(mt-unsafe-libc)
+  char* tok = strtok(s, ",");     // expect(mt-unsafe-libc)
+  auto* tm = localtime(&t);       // expect(mt-unsafe-libc)
+  auto* utc = std::gmtime(&t);    // expect(mt-unsafe-libc)
+  return g + (tok != nullptr) + (tm != nullptr) + (utc != nullptr);
+}
+
+double fine(double x, char* s, char** save, long t, void* buf) {
+  // The re-entrant variants are the sanctioned spelling.
+  int sign = 0;
+  double g = lgamma_r(x, &sign);
+  char* tok = strtok_r(s, ",", save);
+  auto* tm = localtime_r(&t, buf);
+  // lgamma( in a comment or "strtok(" in a string must not fire.
+  const char* doc = "call strtok( at your peril";
+  return g + (tok != nullptr) + (tm != nullptr) + (doc != nullptr);
+}

@@ -1,0 +1,26 @@
+// lint-as: src/service/some_queue.cpp
+// Annotated subsystems must use the util/mutex.hpp wrappers: a raw
+// std::mutex is a capability the thread-safety analysis cannot see.
+#include <condition_variable>
+#include <mutex>
+
+class BadQueue {
+ public:
+  void push() {
+    // Two findings per line below: the lock template and its mutex argument.
+    std::lock_guard<std::mutex> a;   // expect(raw-capability) expect(raw-capability)
+    std::unique_lock<std::mutex> b;  // expect(raw-capability) expect(raw-capability)
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;                            // expect(raw-capability)
+  std::condition_variable cv_;                  // expect(raw-capability)
+  pthread_mutex_t legacy_;                      // expect(raw-capability)
+};
+
+class FineQueue {
+  // The annotated wrappers (and mere mentions of std::mutex in comments or
+  // "std::scoped_lock" in strings) must not fire.
+  const char* doc_ = "std::scoped_lock is banned here";
+};

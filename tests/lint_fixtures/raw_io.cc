@@ -1,0 +1,22 @@
+// lint-as: src/ooc/some_store.cpp
+// Raw POSIX I/O is only legal inside the FileBackend (and faults.cpp).
+#include <unistd.h>
+
+void bad(int fd, char* buf) {
+  read(fd, buf, 8);               // expect(raw-io)
+  write(fd, buf, 8);              // expect(raw-io)
+  pread(fd, buf, 8, 0);           // expect(raw-io)
+  pwrite(fd, buf, 8, 0);          // expect(raw-io)
+  ::read(fd, buf, 8);             // expect(raw-io)
+}
+
+struct Wrapper;
+
+void fine(Wrapper& w, Wrapper* p) {
+  w.read(1);         // member access: not a raw syscall
+  p->write(2);       // member access: not a raw syscall
+  Wrapper::read(3);  // class-qualified: not a raw syscall
+  // A comment mentioning read( and pwrite( must not fire.
+  const char* s = "read(fd) in a string must not fire";
+  (void)s;
+}

@@ -1,0 +1,23 @@
+// lint-as: src/ooc/some_io.cpp
+// Suppression hygiene: a justified allow() silences its rule; an
+// unjustified one silences it but is reported itself (at the suppression's
+// line); unknown rules and malformed markers are reported and silence
+// nothing. Markers sit on the line the finding anchors to.
+#include <unistd.h>
+
+void cases(int fd, char* buf) {
+  // plfoc-lint: allow(raw-io): exercising the justified-suppression path
+  read(fd, buf, 8);
+
+  // Trailing form, also justified:
+  write(fd, buf, 8);  // plfoc-lint: allow(raw-io): trailing suppression
+
+  // plfoc-lint: allow(raw-io) -- expect(suppression-justification)
+  pread(fd, buf, 8, 0);
+
+  // plfoc-lint: allow(no-such-rule): x -- expect(suppression-unknown-rule)
+  pwrite(fd, buf, 8, 0);  // expect(raw-io)
+
+  // plfoc-lint: disallow everything -- expect(suppression-syntax)
+  ::write(fd, buf, 8);  // expect(raw-io)
+}

@@ -1,0 +1,246 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace plfoc::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Parse a `plfoc-lint:` marker inside a line comment. `comment` is the text
+/// after `//`. Returns false when the comment carries no marker at all.
+bool ParseSuppression(std::string_view comment, int line, Suppression* out) {
+  const std::size_t marker = comment.find("plfoc-lint:");
+  if (marker == std::string_view::npos) return false;
+  out->line = line;
+  std::string_view rest = Trim(comment.substr(marker + 11));
+  constexpr std::string_view kAllow = "allow(";
+  if (rest.substr(0, kAllow.size()) != kAllow) {
+    out->malformed = true;
+    return true;
+  }
+  rest.remove_prefix(kAllow.size());
+  const std::size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    out->malformed = true;
+    return true;
+  }
+  out->rule = std::string(Trim(rest.substr(0, close)));
+  if (out->rule.empty()) {
+    out->malformed = true;
+    return true;
+  }
+  std::string_view tail = Trim(rest.substr(close + 1));
+  if (!tail.empty() && tail.front() == ':')
+    out->justified = !Trim(tail.substr(1)).empty();
+  return true;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexedFile Run() {
+    while (pos_ < src_.size()) Step();
+    return std::move(result_);
+  }
+
+ private:
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (src_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void Step() {
+    const char c = Peek();
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+      at_line_start_ = at_line_start_ || c == '\n';
+      Advance();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      SkipPreprocessorLine();
+      return;
+    }
+    at_line_start_ = false;
+    if (c == '/' && Peek(1) == '/') {
+      SkipLineComment();
+      return;
+    }
+    if (c == '/' && Peek(1) == '*') {
+      SkipBlockComment();
+      return;
+    }
+    if (c == '"') {
+      SkipQuoted('"');
+      return;
+    }
+    if (c == '\'') {
+      SkipQuoted('\'');
+      return;
+    }
+    if (IsIdentStart(c)) {
+      LexIdentifier();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      SkipNumber();
+      return;
+    }
+    LexPunct();
+  }
+
+  void SkipPreprocessorLine() {
+    // Directives never produce tokens; honour backslash continuations.
+    while (pos_ < src_.size()) {
+      if (Peek() == '\\' && Peek(1) == '\n') {
+        Advance();
+        Advance();
+        continue;
+      }
+      if (Peek() == '\n') return;  // newline handled by Step (line start)
+      Advance();
+    }
+  }
+
+  void SkipLineComment() {
+    const int line = line_;
+    const std::size_t start = pos_ + 2;
+    while (pos_ < src_.size() && Peek() != '\n') Advance();
+    Suppression s;
+    if (ParseSuppression(src_.substr(start, pos_ - start), line, &s))
+      result_.suppressions.push_back(std::move(s));
+  }
+
+  void SkipBlockComment() {
+    Advance();
+    Advance();
+    while (pos_ < src_.size()) {
+      if (Peek() == '*' && Peek(1) == '/') {
+        Advance();
+        Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  void SkipQuoted(char delim) {
+    Advance();
+    while (pos_ < src_.size()) {
+      if (Peek() == '\\') {
+        Advance();
+        if (pos_ < src_.size()) Advance();
+        continue;
+      }
+      if (Peek() == delim) {
+        Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  void SkipRawString() {
+    // At the opening quote of R"delim( ... )delim".
+    Advance();
+    std::string delim;
+    while (pos_ < src_.size() && Peek() != '(') {
+      delim += Peek();
+      Advance();
+    }
+    const std::string close = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (src_.compare(pos_, close.size(), close) == 0) {
+        for (std::size_t i = 0; i < close.size(); ++i) Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  void LexIdentifier() {
+    const int line = line_;
+    std::string text;
+    while (pos_ < src_.size() && IsIdentChar(Peek())) {
+      text += Peek();
+      Advance();
+    }
+    // Raw-string prefix (R"..., u8R"..., LR"...): the content must not leak
+    // identifier tokens, so consume the whole literal here.
+    if (!text.empty() && text.back() == 'R' && Peek() == '"') {
+      SkipRawString();
+      return;
+    }
+    // Other literal prefixes (u8"...", L'x'): the literal is skipped by the
+    // quote handler on the next Step; still suppress the prefix token.
+    if ((text == "u8" || text == "u" || text == "U" || text == "L") &&
+        (Peek() == '"' || Peek() == '\'')) {
+      return;
+    }
+    result_.tokens.push_back({Token::Kind::kIdentifier, std::move(text), line});
+  }
+
+  void SkipNumber() {
+    // Coarse pp-number scan: good enough to keep 1e5, 0x1Fu and digit
+    // separators from being misread as identifiers.
+    while (pos_ < src_.size() &&
+           (IsIdentChar(Peek()) || Peek() == '\'' || Peek() == '.')) {
+      if ((Peek() == 'e' || Peek() == 'E' || Peek() == 'p' || Peek() == 'P') &&
+          (Peek(1) == '+' || Peek(1) == '-')) {
+        Advance();
+      }
+      Advance();
+    }
+  }
+
+  void LexPunct() {
+    const int line = line_;
+    if (Peek() == ':' && Peek(1) == ':') {
+      Advance();
+      Advance();
+      result_.tokens.push_back({Token::Kind::kPunct, "::", line});
+      return;
+    }
+    if (Peek() == '-' && Peek(1) == '>') {
+      Advance();
+      Advance();
+      result_.tokens.push_back({Token::Kind::kPunct, "->", line});
+      return;
+    }
+    result_.tokens.push_back(
+        {Token::Kind::kPunct, std::string(1, Peek()), line});
+    Advance();
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile result_;
+};
+
+}  // namespace
+
+LexedFile Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace plfoc::lint

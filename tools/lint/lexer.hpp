@@ -1,0 +1,54 @@
+// Token-level C++ lexer for plfoc-lint.
+//
+// Deliberately not a compiler frontend: the project rules it feeds
+// (tools/lint/rules.hpp) are identifier-level contracts — "no raw pread()
+// outside the FileBackend", "no std::mutex in annotated subsystems" — so a
+// faithful tokenizer that understands comments, string/char literals, raw
+// strings and preprocessor lines is sufficient, and it keeps the linter
+// dependency-free (the build image has no libclang). What it guarantees:
+//
+//  * identifiers inside comments, string literals (including raw strings)
+//    and preprocessor directives are never reported;
+//  * `::` and `->` are single punctuation tokens, so rules can distinguish
+//    `std::mutex` from a member named `mutex` and `file.read(` from a bare
+//    `read(`;
+//  * suppression comments (`// plfoc-lint: allow(<rule>): <justification>`)
+//    are parsed here, with their line numbers, for the driver to apply.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plfoc::lint {
+
+struct Token {
+  enum class Kind { kIdentifier, kPunct };
+  Kind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// One `// plfoc-lint: allow(<rule>): <justification>` comment. It silences
+/// findings of <rule> on the comment's own line and on the next line (so it
+/// works both trailing the offending code and on the line above it).
+/// A suppression without a non-empty justification is itself reported by the
+/// driver, as is one whose `allow(...)` clause does not parse (`malformed`).
+struct Suppression {
+  int line = 0;
+  std::string rule;
+  bool justified = false;
+  bool malformed = false;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+/// Tokenize one translation unit. Never fails: unterminated constructs are
+/// consumed to end-of-input (the compiler, not the linter, owns rejecting
+/// such code).
+LexedFile Lex(std::string_view source);
+
+}  // namespace plfoc::lint

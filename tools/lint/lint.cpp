@@ -1,0 +1,282 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace plfoc::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasPrefix(const std::string& path, const std::string& prefix) {
+  return path.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool InScope(const IdentifierRule& rule, const std::string& relative_path) {
+  const bool covered =
+      std::any_of(rule.paths.begin(), rule.paths.end(),
+                  [&](const std::string& p) {
+                    return HasPrefix(relative_path, p);
+                  });
+  if (!covered) return false;
+  return std::none_of(rule.allow_files.begin(), rule.allow_files.end(),
+                      [&](const std::string& f) { return relative_path == f; });
+}
+
+bool IsPunct(const std::vector<Token>& tokens, std::size_t index,
+             const char* text) {
+  return index < tokens.size() && tokens[index].kind == Token::Kind::kPunct &&
+         tokens[index].text == text;
+}
+
+bool IsIdentifier(const std::vector<Token>& tokens, std::size_t index) {
+  return index < tokens.size() &&
+         tokens[index].kind == Token::Kind::kIdentifier;
+}
+
+/// The call-position test for call-only rules: the matched name (whose
+/// leftmost token sits at `start`) must be followed by `(` (token index
+/// `after`) and must not be a member access or a qualified name on some
+/// class — `x.read(`, `x->read(` and `Reader::read(` never match, while
+/// `read(` and the explicit global-scope `::read(` do.
+bool IsFreeCall(const std::vector<Token>& tokens, std::size_t start,
+                std::size_t after) {
+  if (!IsPunct(tokens, after, "(")) return false;
+  if (start == 0) return true;
+  if (IsPunct(tokens, start - 1, ".") || IsPunct(tokens, start - 1, "->"))
+    return false;
+  if (IsPunct(tokens, start - 1, "::"))
+    return start < 2 || !IsIdentifier(tokens, start - 2);
+  return true;
+}
+
+void ApplyIdentifierRule(const IdentifierRule& rule,
+                         const std::string& relative_path,
+                         const std::vector<Token>& tokens,
+                         std::vector<Finding>* findings) {
+  const auto contains = [](const std::vector<std::string>& list,
+                           const std::string& text) {
+    return std::find(list.begin(), list.end(), text) != list.end();
+  };
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdentifier) continue;
+    const bool std_qualified = i >= 2 && IsPunct(tokens, i - 1, "::") &&
+                               IsIdentifier(tokens, i - 2) &&
+                               tokens[i - 2].text == "std";
+    std::string spelled;
+    std::size_t start = i;
+    if (std_qualified && contains(rule.std_identifiers, tokens[i].text)) {
+      spelled = "std::" + tokens[i].text;
+      start = i - 2;
+    } else if (!std_qualified && contains(rule.bare_identifiers,
+                                          tokens[i].text)) {
+      spelled = tokens[i].text;
+    } else {
+      continue;
+    }
+    if (rule.call_only && !IsFreeCall(tokens, start, i + 1)) continue;
+    findings->push_back({relative_path, tokens[i].line, rule.id,
+                         rule.message + ": '" + spelled + "'"});
+  }
+}
+
+/// Suppression hygiene findings plus the line->rules map used to filter.
+/// An unjustified suppression still silences its rule (the justification
+/// defect is reported once, not duplicated as the original finding too);
+/// malformed or unknown-rule suppressions silence nothing.
+std::map<int, std::set<std::string>> CollectSuppressions(
+    const Manifest& manifest, const std::string& relative_path,
+    const std::vector<Suppression>& suppressions,
+    std::vector<Finding>* findings) {
+  std::map<int, std::set<std::string>> by_line;
+  for (const Suppression& s : suppressions) {
+    if (s.malformed) {
+      findings->push_back(
+          {relative_path, s.line, kSuppressionSyntaxRule,
+           "malformed suppression; use "
+           "'// plfoc-lint: allow(<rule>): <justification>'"});
+      continue;
+    }
+    if (!manifest.HasRule(s.rule)) {
+      findings->push_back({relative_path, s.line, kSuppressionUnknownRule,
+                           "suppression names unknown rule '" + s.rule + "'"});
+      continue;
+    }
+    if (!s.justified) {
+      findings->push_back(
+          {relative_path, s.line, kSuppressionJustificationRule,
+           "suppression of '" + s.rule +
+               "' lacks a justification ('... allow(" + s.rule +
+               "): <why>')"});
+    }
+    by_line[s.line].insert(s.rule);
+    by_line[s.line + 1].insert(s.rule);
+  }
+  return by_line;
+}
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) return false;
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool LintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// Extract the std::uint64_t *data members* of `struct_name` (member
+/// functions that merely return std::uint64_t are skipped by requiring the
+/// name not be followed by `(`). Returns name -> declaration line.
+std::map<std::string, int> StatsMembers(const std::vector<Token>& tokens,
+                                        const std::string& struct_name) {
+  std::map<std::string, int> members;
+  std::size_t i = 0;
+  for (; i + 2 < tokens.size(); ++i) {
+    if (IsIdentifier(tokens, i) && tokens[i].text == "struct" &&
+        IsIdentifier(tokens, i + 1) && tokens[i + 1].text == struct_name &&
+        IsPunct(tokens, i + 2, "{")) {
+      i += 3;
+      break;
+    }
+  }
+  int depth = 1;
+  for (; i < tokens.size() && depth > 0; ++i) {
+    if (IsPunct(tokens, i, "{")) ++depth;
+    if (IsPunct(tokens, i, "}")) --depth;
+    if (depth != 1) continue;
+    if (IsIdentifier(tokens, i) && tokens[i].text == "uint64_t" &&
+        IsIdentifier(tokens, i + 1) && !IsPunct(tokens, i + 2, "(")) {
+      members.emplace(tokens[i + 1].text, tokens[i + 1].line);
+    }
+  }
+  return members;
+}
+
+void ApplyStatsAuditRule(const StatsAuditRule& rule, const std::string& root,
+                         std::vector<Finding>* findings) {
+  std::string stats_text;
+  std::string audit_text;
+  if (!ReadFile(fs::path(root) / rule.stats_header, &stats_text)) {
+    findings->push_back({rule.stats_header, 0, "io-error",
+                         "cannot read stats header for rule '" + rule.id +
+                             "'"});
+    return;
+  }
+  if (!ReadFile(fs::path(root) / rule.audit_source, &audit_text)) {
+    findings->push_back({rule.audit_source, 0, "io-error",
+                         "cannot read audit source for rule '" + rule.id +
+                             "'"});
+    return;
+  }
+  const std::map<std::string, int> members =
+      StatsMembers(Lex(stats_text).tokens, rule.struct_name);
+  if (members.empty()) {
+    findings->push_back({rule.stats_header, 0, rule.id,
+                         "found no std::uint64_t members of '" +
+                             rule.struct_name +
+                             "' — rule misconfigured or struct moved"});
+    return;
+  }
+  std::set<std::string> audited;
+  for (const Token& token : Lex(audit_text).tokens)
+    if (token.kind == Token::Kind::kIdentifier) audited.insert(token.text);
+  for (const auto& [name, line] : members) {
+    if (audited.count(name) != 0) continue;
+    findings->push_back({rule.stats_header, line, rule.id,
+                         rule.message + ": '" + name + "' (extend " +
+                             rule.audit_source + ")"});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> LintSource(const Manifest& manifest,
+                                const std::string& relative_path,
+                                std::string_view source) {
+  std::vector<Finding> findings;
+  const LexedFile lexed = Lex(source);
+  const auto suppressed = CollectSuppressions(manifest, relative_path,
+                                              lexed.suppressions, &findings);
+  std::vector<Finding> raw;
+  for (const IdentifierRule& rule : manifest.identifier_rules) {
+    if (!InScope(rule, relative_path)) continue;
+    ApplyIdentifierRule(rule, relative_path, lexed.tokens, &raw);
+  }
+  for (Finding& finding : raw) {
+    const auto it = suppressed.find(finding.line);
+    if (it != suppressed.end() && it->second.count(finding.rule) != 0)
+      continue;
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+std::vector<Finding> LintTree(const Manifest& manifest,
+                              const std::string& root) {
+  std::vector<Finding> findings;
+
+  std::set<std::string> prefixes;
+  for (const IdentifierRule& rule : manifest.identifier_rules)
+    prefixes.insert(rule.paths.begin(), rule.paths.end());
+
+  std::set<std::string> files;
+  for (const std::string& prefix : prefixes) {
+    const fs::path base = fs::path(root) / prefix;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      files.insert(prefix);
+      continue;
+    }
+    if (!fs::is_directory(base, ec)) {
+      findings.push_back({prefix, 0, "io-error",
+                          "rule path does not exist under the lint root"});
+      continue;
+    }
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file() || !LintableExtension(it->path())) continue;
+      files.insert(
+          fs::relative(it->path(), root).generic_string());
+    }
+  }
+
+  for (const std::string& relative_path : files) {
+    std::string source;
+    if (!ReadFile(fs::path(root) / relative_path, &source)) {
+      findings.push_back({relative_path, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::vector<Finding> file_findings =
+        LintSource(manifest, relative_path, source);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  for (const StatsAuditRule& rule : manifest.stats_rules)
+    ApplyStatsAuditRule(rule, root, &findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": error: " +
+         finding.message + " [" + finding.rule + "]";
+}
+
+}  // namespace plfoc::lint

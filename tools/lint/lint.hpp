@@ -1,0 +1,34 @@
+// plfoc-lint driver: file discovery, rule application, suppression handling.
+//
+// The library half of the linter (the CLI in tools/plfoc_lint_main.cpp is a
+// thin wrapper) so tests/test_lint.cpp can run rules over fixture snippets
+// and over the real tree in-process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+
+namespace plfoc::lint {
+
+/// Apply every matching identifier rule plus suppression hygiene to one
+/// file. `relative_path` decides rule scope; `source` is the file content.
+/// Cross-file rules (stats-audit) are not applied here.
+std::vector<Finding> LintSource(const Manifest& manifest,
+                                const std::string& relative_path,
+                                std::string_view source);
+
+/// Run every rule, including cross-file ones, over the tree rooted at
+/// `root`. Scanned files are the union of the manifest's rule paths
+/// (.cpp/.hpp/.cc/.h, sorted for deterministic output). Files that fail to
+/// read are reported as findings under the reserved rule id "io-error".
+std::vector<Finding> LintTree(const Manifest& manifest,
+                              const std::string& root);
+
+/// Format one finding the way compilers do, so editors can jump to it:
+/// `path:line: error: message [rule-id]`.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace plfoc::lint

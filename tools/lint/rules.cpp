@@ -1,0 +1,194 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace plfoc::lint {
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> SplitList(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    item = Trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool ParseBool(const std::string& value, bool* out) {
+  if (value == "true") {
+    *out = true;
+    return true;
+  }
+  if (value == "false") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+std::string AtLine(int line, const std::string& what) {
+  return "line " + std::to_string(line) + ": " + what;
+}
+
+}  // namespace
+
+bool Manifest::HasRule(const std::string& id) const {
+  const auto ident = std::find_if(
+      identifier_rules.begin(), identifier_rules.end(),
+      [&](const IdentifierRule& rule) { return rule.id == id; });
+  if (ident != identifier_rules.end()) return true;
+  const auto stats =
+      std::find_if(stats_rules.begin(), stats_rules.end(),
+                   [&](const StatsAuditRule& rule) { return rule.id == id; });
+  return stats != stats_rules.end();
+}
+
+bool ParseManifest(const std::string& text, Manifest* out,
+                   std::string* error) {
+  // Accumulate each [rule <id>] section generically, then materialize it as
+  // the declared kind once the section ends.
+  struct Section {
+    std::string id;
+    std::string kind = "identifier";
+    int line = 0;
+    std::vector<std::pair<std::string, std::string>> entries;
+  };
+  std::vector<Section> sections;
+
+  std::stringstream stream(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::string line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.compare(0, 6, "[rule ") != 0) {
+        *error = AtLine(line_no, "expected '[rule <id>]' section header");
+        return false;
+      }
+      Section section;
+      section.id = Trim(line.substr(6, line.size() - 7));
+      section.line = line_no;
+      if (section.id.empty()) {
+        *error = AtLine(line_no, "empty rule id");
+        return false;
+      }
+      sections.push_back(std::move(section));
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      // Continuation line: extends the previous entry's value (long
+      // identifier lists and messages wrap in the manifest).
+      if (!sections.empty() && !sections.back().entries.empty()) {
+        sections.back().entries.back().second += " " + line;
+        continue;
+      }
+      *error = AtLine(line_no, "expected 'key = value' inside a rule section");
+      return false;
+    }
+    if (sections.empty()) {
+      *error = AtLine(line_no, "'key = value' before any [rule ...] section");
+      return false;
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key == "kind")
+      sections.back().kind = value;
+    else
+      sections.back().entries.emplace_back(key, value);
+  }
+
+  for (const Section& section : sections) {
+    if (out->HasRule(section.id)) {
+      *error = AtLine(section.line, "duplicate rule id '" + section.id + "'");
+      return false;
+    }
+    if (section.kind == "identifier") {
+      IdentifierRule rule;
+      rule.id = section.id;
+      for (const auto& [key, value] : section.entries) {
+        if (key == "message") {
+          rule.message = value;
+        } else if (key == "call-only") {
+          if (!ParseBool(value, &rule.call_only)) {
+            *error = AtLine(section.line, "call-only must be true or false");
+            return false;
+          }
+        } else if (key == "identifiers") {
+          // `std::name` entries match only when std-qualified; bare entries
+          // match any occurrence of the identifier token.
+          for (std::string& ident : SplitList(value)) {
+            if (ident.compare(0, 5, "std::") == 0)
+              rule.std_identifiers.push_back(ident.substr(5));
+            else
+              rule.bare_identifiers.push_back(std::move(ident));
+          }
+        } else if (key == "paths") {
+          rule.paths = SplitList(value);
+        } else if (key == "allow") {
+          rule.allow_files = SplitList(value);
+        } else {
+          *error = AtLine(section.line, "unknown key '" + key + "' in rule '" +
+                                            section.id + "'");
+          return false;
+        }
+      }
+      if (rule.message.empty() || rule.paths.empty() ||
+          (rule.bare_identifiers.empty() && rule.std_identifiers.empty())) {
+        *error = AtLine(section.line, "rule '" + section.id +
+                                          "' needs message, identifiers "
+                                          "and paths");
+        return false;
+      }
+      out->identifier_rules.push_back(std::move(rule));
+    } else if (section.kind == "stats-audit") {
+      StatsAuditRule rule;
+      rule.id = section.id;
+      for (const auto& [key, value] : section.entries) {
+        if (key == "message")
+          rule.message = value;
+        else if (key == "stats-header")
+          rule.stats_header = value;
+        else if (key == "audit-source")
+          rule.audit_source = value;
+        else if (key == "struct")
+          rule.struct_name = value;
+        else {
+          *error = AtLine(section.line, "unknown key '" + key + "' in rule '" +
+                                            section.id + "'");
+          return false;
+        }
+      }
+      if (rule.message.empty() || rule.stats_header.empty() ||
+          rule.audit_source.empty() || rule.struct_name.empty()) {
+        *error = AtLine(section.line,
+                        "rule '" + section.id +
+                            "' needs message, stats-header, audit-source "
+                            "and struct");
+        return false;
+      }
+      out->stats_rules.push_back(std::move(rule));
+    } else {
+      *error = AtLine(section.line, "unknown rule kind '" + section.kind +
+                                        "' (identifier | stats-audit)");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace plfoc::lint

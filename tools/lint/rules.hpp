@@ -1,0 +1,74 @@
+// Rule manifest for plfoc-lint.
+//
+// The rules are data, not code: tools/plfoc-lint.rules (checked in, INI-ish)
+// declares what each rule forbids and where it applies, so tightening a
+// project contract is a manifest edit reviewed like any other change — the
+// linter binary only knows the two rule *kinds*:
+//
+//  * `identifier` — forbid a set of identifiers (bare, or std::-qualified)
+//    in every .cpp/.hpp under the rule's path prefixes, minus an allow-list
+//    of files that implement the boundary the rule protects. With
+//    `call-only = true` the identifier must syntactically be a call
+//    (followed by `(`) that is not a member access (`x.read(...)` and
+//    `x->read(...)` never match; `read(...)` and `::read(...)` do).
+//  * `stats-audit` — cross-file completeness check: every std::uint64_t
+//    member of the stats struct must appear in the auditor source, so a new
+//    OocStats counter cannot land without monotonicity coverage in
+//    StoreAuditor::check_stats (src/ooc/audit.cpp).
+//
+// Findings can be silenced per line with
+//     // plfoc-lint: allow(<rule-id>): <justification>
+// where the justification is mandatory — an unjustified or malformed
+// suppression is reported through the reserved rule ids below.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace plfoc::lint {
+
+/// Reserved rule ids for defects in suppression comments themselves. They
+/// are not declared in the manifest and cannot be suppressed.
+inline constexpr char kSuppressionSyntaxRule[] = "suppression-syntax";
+inline constexpr char kSuppressionJustificationRule[] =
+    "suppression-justification";
+inline constexpr char kSuppressionUnknownRule[] = "suppression-unknown-rule";
+
+struct Finding {
+  std::string file;  ///< path relative to the lint root
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct IdentifierRule {
+  std::string id;
+  std::string message;
+  bool call_only = false;
+  std::vector<std::string> bare_identifiers;
+  std::vector<std::string> std_identifiers;  ///< match only as std::<name>
+  std::vector<std::string> paths;            ///< relative prefixes in scope
+  std::vector<std::string> allow_files;      ///< exact relative paths exempt
+};
+
+struct StatsAuditRule {
+  std::string id;
+  std::string message;
+  std::string stats_header;  ///< file declaring the counter struct
+  std::string audit_source;  ///< file that must reference every counter
+  std::string struct_name;
+};
+
+struct Manifest {
+  std::vector<IdentifierRule> identifier_rules;
+  std::vector<StatsAuditRule> stats_rules;
+
+  bool HasRule(const std::string& id) const;
+};
+
+/// Parse the manifest text. On a malformed manifest, returns false and sets
+/// `*error` to a "line N: ..." description; the manifest is the linter's own
+/// configuration, so errors are fatal, never findings.
+bool ParseManifest(const std::string& text, Manifest* out, std::string* error);
+
+}  // namespace plfoc::lint

@@ -1,0 +1,86 @@
+// plfoc-lint — the project-rule linter (docs/static-analysis.md).
+//
+// Enforces the identifier-level contracts declared in tools/plfoc-lint.rules
+// over the tree: raw POSIX I/O stays inside the FileBackend, kernel TUs stay
+// deterministic, thread-unsafe libc calls stay out, annotated subsystems use
+// the util/mutex.hpp wrappers, and every OocStats counter has auditor
+// coverage. CI runs it as a merge gate; run it locally with
+//
+//   ./build/tools/plfoc-lint            # from the repo root
+//
+// Exit codes: 0 clean, 1 findings, 2 bad invocation/manifest.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int Usage(std::ostream& out, int code) {
+  out << "usage: plfoc-lint [--root <dir>] [--rules <manifest>]"
+         " [--list-rules]\n"
+         "  --root   lint root (default: current directory)\n"
+         "  --rules  rule manifest (default: <root>/tools/plfoc-lint.rules)\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string rules_path;
+  bool list_rules = false;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--root" && i + 1 < args.size()) {
+      root = args[++i];
+    } else if (args[i] == "--rules" && i + 1 < args.size()) {
+      rules_path = args[++i];
+    } else if (args[i] == "--list-rules") {
+      list_rules = true;
+    } else if (args[i] == "--help" || args[i] == "-h") {
+      return Usage(std::cout, 0);
+    } else {
+      std::cerr << "plfoc-lint: unknown argument '" << args[i] << "'\n";
+      return Usage(std::cerr, 2);
+    }
+  }
+  if (rules_path.empty()) rules_path = root + "/tools/plfoc-lint.rules";
+
+  std::ifstream stream(rules_path);
+  if (!stream) {
+    std::cerr << "plfoc-lint: cannot read manifest '" << rules_path << "'\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+
+  plfoc::lint::Manifest manifest;
+  std::string error;
+  if (!plfoc::lint::ParseManifest(buffer.str(), &manifest, &error)) {
+    std::cerr << "plfoc-lint: " << rules_path << ": " << error << "\n";
+    return 2;
+  }
+
+  if (list_rules) {
+    for (const auto& rule : manifest.identifier_rules)
+      std::cout << rule.id << " (identifier): " << rule.message << "\n";
+    for (const auto& rule : manifest.stats_rules)
+      std::cout << rule.id << " (stats-audit): " << rule.message << "\n";
+    return 0;
+  }
+
+  const std::vector<plfoc::lint::Finding> findings =
+      plfoc::lint::LintTree(manifest, root);
+  for (const plfoc::lint::Finding& finding : findings)
+    std::cout << plfoc::lint::FormatFinding(finding) << "\n";
+  if (!findings.empty()) {
+    std::cerr << "plfoc-lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  std::cout << "plfoc-lint: clean\n";
+  return 0;
+}
