@@ -1,12 +1,16 @@
 #include "cli/driver.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <istream>
 #include <optional>
 #include <ostream>
 
 #include "likelihood/checkpoint.hpp"
 #include "likelihood/model_opt.hpp"
 #include "msa/fasta.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "msa/phylip.hpp"
 #include "search/mcmc.hpp"
 #include "search/search.hpp"
@@ -236,7 +240,12 @@ BatchConfig parse_batch_cli(int argc, const char* const* argv) {
                 "batch-default kernel threads per worker "
                 "(a job's threads= key overrides; logL is unaffected)")
       .add_flag("readmit", &config.readmit,
-                "re-admit a job once after a typed I/O or integrity failure");
+                "re-admit a job once after a typed I/O or integrity failure")
+      .add_uint("cache", &config.cache,
+                "result-cache entries (0 = off); equivalent trees dedupe "
+                "via Phylo2Vec canonicalization — see docs/serving.md")
+      .add_uint("cache-shards", &config.cache_shards,
+                "result-cache shard count");
   // The jobfile may lead as a positional: `plfoc batch jobs.txt --workers 4`.
   int start = 0;
   if (argc > 0 && argv[0] != nullptr && argv[0][0] != '-') {
@@ -279,6 +288,8 @@ int run_batch_cli(const BatchConfig& config, std::ostream& out) {
   options.prefetch_lookahead = static_cast<std::size_t>(config.prefetch);
   options.readmit_io_failures = config.readmit;
   options.kernel_threads = static_cast<unsigned>(config.threads);
+  options.result_cache_entries = static_cast<std::size_t>(config.cache);
+  options.result_cache_shards = static_cast<std::size_t>(config.cache_shards);
   Service service(options);
   for (const JobFileEntry& entry : entries) {
     JobSpec spec = load_job(entry);
@@ -329,6 +340,12 @@ int run_batch_cli(const BatchConfig& config, std::ostream& out) {
       << " B\n";
   if (config.print_stats)
     out << "merged storage: " << service.merged_stats().summary() << "\n";
+  if (config.print_stats && config.cache > 0) {
+    const CacheStats cache = service.cache_stats();
+    out << "result cache: " << cache.lookups << " lookups, " << cache.hits
+        << " hits, " << cache.coalesced << " coalesced, " << cache.evictions
+        << " evictions\n";
+  }
   return failed == 0 ? 0 : 1;
 }
 
@@ -385,6 +402,257 @@ int run_fsck_cli(const FsckConfig& config, std::ostream& out) {
       << (report.issues.size() == 1 ? " record" : " records")
       << " failed verification\n";
   return 1;
+}
+
+HostPort parse_host_port(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  PLFOC_REQUIRE(colon != std::string::npos && colon > 0,
+                "expected host:port, got '" + spec + "'");
+  HostPort result;
+  result.host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  try {
+    std::size_t used = 0;
+    const unsigned long port = std::stoul(port_text, &used);
+    PLFOC_REQUIRE(used == port_text.size() && port <= 65535,
+                  "bad port in '" + spec + "'");
+    result.port = static_cast<std::uint16_t>(port);
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("bad port in '" + spec + "'");
+  }
+  return result;
+}
+
+std::map<std::string, TenantPolicy> parse_tenant_policies(
+    const std::string& spec) {
+  std::map<std::string, TenantPolicy> policies;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    // name:weight[:max_inflight[:ram_share_bytes]]
+    std::vector<std::string> fields;
+    std::size_t field_start = 0;
+    while (field_start <= entry.size()) {
+      std::size_t field_end = entry.find(':', field_start);
+      if (field_end == std::string::npos) field_end = entry.size();
+      fields.push_back(entry.substr(field_start, field_end - field_start));
+      field_start = field_end + 1;
+    }
+    PLFOC_REQUIRE(fields.size() >= 2 && fields.size() <= 4 &&
+                      !fields[0].empty(),
+                  "bad tenant entry '" + entry +
+                      "' (want name:weight[:max_inflight[:ram_share]])");
+    PLFOC_REQUIRE(policies.find(fields[0]) == policies.end(),
+                  "duplicate tenant '" + fields[0] + "'");
+    const auto parse_u64 = [&entry](const std::string& text) {
+      try {
+        std::size_t used = 0;
+        const unsigned long long value = std::stoull(text, &used);
+        PLFOC_REQUIRE(used == text.size(), "bad number in '" + entry + "'");
+        return static_cast<std::uint64_t>(value);
+      } catch (const Error&) {
+        throw;
+      } catch (const std::exception&) {
+        throw Error("bad number in tenant entry '" + entry + "'");
+      }
+    };
+    TenantPolicy policy;
+    policy.weight = static_cast<unsigned>(parse_u64(fields[1]));
+    if (fields.size() >= 3)
+      policy.max_in_flight = static_cast<std::size_t>(parse_u64(fields[2]));
+    if (fields.size() >= 4) policy.ram_share_bytes = parse_u64(fields[3]);
+    policies.emplace(fields[0], policy);
+  }
+  return policies;
+}
+
+ServeConfig parse_serve_cli(int argc, const char* const* argv) {
+  ServeConfig config;
+  ArgParser parser("plfoc serve",
+                   "serve likelihood evaluations over a TCP socket: the "
+                   "batch service behind the length-prefixed wire protocol "
+                   "(docs/serving.md)");
+  parser
+      .add_string("listen", &config.listen,
+                  "host:port to bind (port 0 = kernel-assigned ephemeral)")
+      .add_uint("workers", &config.workers, "concurrent evaluation workers")
+      .add_uint("ram-budget", &config.ram_budget,
+                "aggregate slot-memory budget in bytes (0 = unlimited)")
+      .add_uint("queue", &config.queue_capacity,
+                "bounded intake capacity; submits beyond it answer busy")
+      .add_uint("prefetch", &config.prefetch,
+                "prefetcher lookahead for out-of-core jobs (0 = off)")
+      .add_uint("threads", &config.threads,
+                "kernel threads per worker (jobfile threads= overrides)")
+      .add_flag("readmit", &config.readmit,
+                "re-admit a job once after a typed I/O or integrity failure")
+      .add_uint("cache", &config.cache,
+                "result-cache entries (0 = off); topologically equivalent "
+                "trees dedupe via Phylo2Vec canonicalization")
+      .add_uint("cache-shards", &config.cache_shards,
+                "result-cache shard count")
+      .add_string("tenants", &config.tenants,
+                  "per-tenant policies: name:weight[:max_inflight"
+                  "[:ram_share_bytes]],... (absent tenants run "
+                  "unconstrained at weight 1)")
+      .add_double("idle-timeout", &config.idle_timeout,
+                  "close connections idle for this many seconds (0 = never)")
+      .add_uint("max-connections", &config.max_connections,
+                "refuse accepts beyond this many live connections")
+      .add_flag("stats", &config.print_stats,
+                "print cache counters with the shutdown drain report");
+  parser.parse(argc, argv);
+  parse_host_port(config.listen);        // validate early
+  parse_tenant_policies(config.tenants); // validate early
+  return config;
+}
+
+int run_serve_cli(const ServeConfig& config, std::istream& in,
+                  std::ostream& out) {
+  const HostPort listen = parse_host_port(config.listen);
+  ServerOptions options;
+  options.host = listen.host;
+  options.port = listen.port;
+  options.max_connections = static_cast<std::size_t>(config.max_connections);
+  options.idle_timeout_seconds = config.idle_timeout;
+  options.service.workers = static_cast<std::size_t>(config.workers);
+  options.service.queue_capacity =
+      static_cast<std::size_t>(config.queue_capacity);
+  options.service.ram_budget_bytes = config.ram_budget;
+  options.service.prefetch_lookahead =
+      static_cast<std::size_t>(config.prefetch);
+  options.service.kernel_threads = static_cast<unsigned>(config.threads);
+  options.service.readmit_io_failures = config.readmit;
+  options.service.result_cache_entries =
+      static_cast<std::size_t>(config.cache);
+  options.service.result_cache_shards =
+      static_cast<std::size_t>(config.cache_shards);
+  options.service.tenants = parse_tenant_policies(config.tenants);
+
+  Server server(std::move(options));
+  server.start();
+  out << "serving on " << listen.host << ":" << server.port() << "\n";
+  out.flush();
+
+  // Block until operator EOF (or an explicit "stop" line) — the server
+  // runs on its own threads.
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == "stop" || line == "quit") break;
+  }
+
+  const DrainReport report = server.stop();
+  out << "drained " << report.results.size()
+      << (report.results.size() == 1 ? " job" : " jobs") << "\n";
+  for (const auto& [tenant, counts] : report.per_tenant) {
+    out << "  tenant " << (tenant.empty() ? "<default>" : tenant) << ": "
+        << counts.completed << " completed, " << counts.failed << " failed, "
+        << counts.cancelled << " cancelled\n";
+  }
+  if (config.print_stats && config.cache > 0) {
+    const CacheStats cache = server.service().cache_stats();
+    out << "result cache: " << cache.lookups << " lookups, " << cache.hits
+        << " hits, " << cache.coalesced << " coalesced, " << cache.evictions
+        << " evictions\n";
+  }
+  return 0;
+}
+
+ClientConfig parse_client_cli(int argc, const char* const* argv) {
+  ClientConfig config;
+  ArgParser parser("plfoc-client",
+                   "submit a jobfile to a running `plfoc serve` over the "
+                   "wire protocol and print per-job results "
+                   "(docs/serving.md)");
+  parser
+      .add_string("connect", &config.connect,
+                  "host:port of the server", /*required=*/false)
+      .add_string("jobs", &config.jobfile_path,
+                  "jobfile, one job per line (see docs/service.md)")
+      .add_string("tenant", &config.tenant,
+                  "tenant id to submit under (fair-scheduling identity)")
+      .add_uint("request-base", &config.request_base,
+                "first request id; ids increase per job")
+      .add_flag("stats", &config.print_stats,
+                "also fetch and print the server's cache/tenant stats");
+  // The jobfile may lead as a positional, mirroring `plfoc batch`.
+  int start = 0;
+  if (argc > 0 && argv[0] != nullptr && argv[0][0] != '-') {
+    config.jobfile_path = argv[0];
+    start = 1;
+  }
+  parser.parse(argc - start, argv + start);
+  PLFOC_REQUIRE(!config.jobfile_path.empty(),
+                "plfoc-client needs a jobfile: plfoc-client <jobfile> "
+                "--connect host:port\n" +
+                    parser.usage());
+  PLFOC_REQUIRE(!config.connect.empty(),
+                "plfoc-client needs --connect host:port\n" + parser.usage());
+  return config;
+}
+
+int run_client_cli(const ClientConfig& config, std::ostream& out) {
+  const HostPort remote = parse_host_port(config.connect);
+  const std::vector<JobFileEntry> entries =
+      read_job_file(config.jobfile_path);
+  PLFOC_REQUIRE(!entries.empty(),
+                "jobfile '" + config.jobfile_path + "' contains no jobs");
+
+  BlockingClient client(remote.host, remote.port);
+  std::vector<std::uint64_t> request_ids;
+  request_ids.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::uint64_t request_id = config.request_base + i;
+    client.submit(
+        submit_request_from_entry(entries[i], config.tenant, request_id));
+    request_ids.push_back(request_id);
+  }
+
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const ClientResponse response = client.wait(request_ids[i]);
+    const std::string label =
+        entries[i].name.empty() ? "job-" + std::to_string(request_ids[i])
+                                : entries[i].name;
+    out << label << ": ";
+    if (response.error) {
+      ++failed;
+      out << "REJECTED: " << response.error->message << "\n";
+      continue;
+    }
+    const ResultResponse& result = *response.result;
+    if (result.status == static_cast<std::uint8_t>(JobStatus::kDone)) {
+      out << "logL = " << std::bit_cast<double>(result.logl_bits) << " ["
+          << result.backend
+          << ((result.flags & kResultDegraded) ? ", degraded" : "")
+          << ((result.flags & kResultCacheHit) ? ", cached" : "") << "] "
+          << result.wall_seconds << " s\n";
+    } else {
+      ++failed;
+      out << "FAILED: " << result.error << "\n";
+    }
+  }
+  if (config.print_stats) {
+    const StatsResponse stats = client.stats();
+    out << "server cache: " << stats.cache_lookups << " lookups, "
+        << stats.cache_hits << " hits, " << stats.cache_misses
+        << " misses, " << stats.cache_coalesced << " coalesced\n";
+    for (const StatsResponse::TenantRow& row : stats.tenants) {
+      out << "tenant " << (row.tenant.empty() ? "<default>" : row.tenant)
+          << ": " << row.submitted << " submitted, " << row.completed
+          << " completed, " << row.failed << " failed, " << row.cancelled
+          << " cancelled, " << row.cache_hits << " cache hits\n";
+    }
+  }
+  out << "client done: " << entries.size() - failed << "/" << entries.size()
+      << " jobs ok\n";
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace plfoc

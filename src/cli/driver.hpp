@@ -19,7 +19,10 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
+
+#include "service/tenant.hpp"
 
 namespace plfoc {
 
@@ -83,6 +86,11 @@ struct BatchConfig {
   std::uint64_t io_retries = 4;       ///< transient-error retry budget
   std::uint64_t threads = 1;          ///< kernel threads per worker
   bool readmit = false;               ///< re-admit I/O-failed jobs once
+  /// Result-cache entries (0 = off). With the cache on, trees are
+  /// Phylo2Vec-canonicalized before evaluation — same contract as `plfoc
+  /// serve --cache`, so batch and loopback runs stay bit-comparable.
+  std::uint64_t cache = 0;
+  std::uint64_t cache_shards = 8;     ///< result-cache shard count
 };
 
 /// Parse the argv that follows the `batch` keyword. The jobfile may be the
@@ -111,5 +119,67 @@ FsckConfig parse_fsck_cli(int argc, const char* const* argv);
 /// Returns 0 for a clean file, 1 when any record is damaged or the header is
 /// invalid.
 int run_fsck_cli(const FsckConfig& config, std::ostream& out);
+
+/// "host:port" split for --listen / --connect (port may be 0 for an
+/// ephemeral listen port). Throws plfoc::Error on a malformed spec.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+HostPort parse_host_port(const std::string& spec);
+
+/// Parse a `--tenants` spec: comma-separated
+/// `name:weight[:max_inflight[:ram_share_bytes]]` entries
+/// (e.g. "alice:3,bob:1:2:1073741824"). Throws plfoc::Error on malformed
+/// input or duplicate tenants.
+std::map<std::string, TenantPolicy> parse_tenant_policies(
+    const std::string& spec);
+
+/// Configuration of the `plfoc serve` subcommand: the socket front-end of
+/// the batch service (docs/serving.md).
+struct ServeConfig {
+  std::string listen = "127.0.0.1:0";  ///< host:port; port 0 = ephemeral
+  std::uint64_t workers = 1;
+  std::uint64_t ram_budget = 0;        ///< aggregate slot-memory bytes; 0 = ∞
+  std::uint64_t queue_capacity = 64;
+  std::uint64_t prefetch = 0;
+  std::uint64_t threads = 1;           ///< kernel threads per worker
+  bool readmit = false;
+  std::uint64_t cache = 0;             ///< result-cache entries; 0 = off
+  std::uint64_t cache_shards = 8;
+  std::string tenants;                 ///< parse_tenant_policies() spec
+  double idle_timeout = 300.0;         ///< seconds; 0 disables the sweep
+  std::uint64_t max_connections = 64;
+  bool print_stats = false;            ///< drain report + cache counters
+};
+
+/// Parse the argv that follows the `serve` keyword. Throws plfoc::Error on
+/// bad input or --help.
+ServeConfig parse_serve_cli(int argc, const char* const* argv);
+
+/// Start the server, print "serving on <host>:<port>" to `out`, then block
+/// until `in` reaches EOF (or a line reading "stop"); shut down and print
+/// the per-tenant drain report. Returns 0.
+int run_serve_cli(const ServeConfig& config, std::istream& in,
+                  std::ostream& out);
+
+/// Configuration of the `plfoc-client` tool: submit a jobfile over the
+/// socket and print results — the wire-transport twin of `plfoc batch`.
+struct ClientConfig {
+  std::string connect;       ///< host:port of a running `plfoc serve`
+  std::string jobfile_path;  ///< positional or --jobs
+  std::string tenant = "default";
+  std::uint64_t request_base = 1;  ///< first request id (then sequential)
+  bool print_stats = false;        ///< also fetch + print server stats
+};
+
+/// Parse plfoc-client argv (excluding argv[0]). The jobfile may lead as a
+/// positional argument. Throws plfoc::Error on bad input or --help.
+ClientConfig parse_client_cli(int argc, const char* const* argv);
+
+/// Submit every jobfile entry over the socket, wait for all responses and
+/// report them in submission order (same line format as `plfoc batch`).
+/// Returns 0 when every job evaluated, 1 when any failed or was rejected.
+int run_client_cli(const ClientConfig& config, std::ostream& out);
 
 }  // namespace plfoc

@@ -1,0 +1,126 @@
+#include "net/client.hpp"
+
+#include <utility>
+
+#include "tree/newick.hpp"
+#include "tree/phylo2vec.hpp"
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+BlockingClient::BlockingClient(const std::string& host, std::uint16_t port)
+    : socket_(Socket::connect_to(host, port)) {}
+
+void BlockingClient::submit(const SubmitRequest& request) {
+  const std::vector<std::uint8_t> bytes = encode_submit_request(request);
+  socket_.send_all(bytes.data(), bytes.size());
+}
+
+Frame BlockingClient::read_frame() {
+  std::uint8_t chunk[4096];
+  for (;;) {
+    if (std::optional<Frame> frame = decoder_.next()) return *std::move(frame);
+    const std::size_t n = socket_.recv_some(chunk, sizeof(chunk));
+    PLFOC_REQUIRE(n > 0, "connection closed by server");
+    decoder_.append(chunk, n);
+  }
+}
+
+void BlockingClient::file_response(const Frame& frame) {
+  switch (frame.type) {
+    case MessageType::kResultResponse: {
+      ResultResponse response = decode_result_response(frame);
+      const std::uint64_t id = response.request_id;
+      pending_[id].result = std::move(response);
+      break;
+    }
+    case MessageType::kErrorResponse: {
+      ErrorResponse response = decode_error_response(frame);
+      const std::uint64_t id = response.request_id;
+      pending_[id].error = std::move(response);
+      break;
+    }
+    case MessageType::kStatsResponse: {
+      StatsResponse response = decode_stats_response(frame);
+      const std::uint64_t id = response.request_id;
+      pending_stats_[id] = std::move(response);
+      break;
+    }
+    case MessageType::kPong:
+      pong_seen_ = true;
+      break;
+    default:
+      throw ProtocolError(ProtocolError::Kind::kBadType,
+                          "unexpected message type on a client");
+  }
+}
+
+ClientResponse BlockingClient::wait(std::uint64_t request_id) {
+  for (;;) {
+    auto it = pending_.find(request_id);
+    if (it != pending_.end()) {
+      ClientResponse response = std::move(it->second);
+      pending_.erase(it);
+      return response;
+    }
+    file_response(read_frame());
+  }
+}
+
+StatsResponse BlockingClient::stats(std::uint64_t request_id) {
+  StatsRequest request;
+  request.request_id = request_id;
+  const std::vector<std::uint8_t> bytes = encode_stats_request(request);
+  socket_.send_all(bytes.data(), bytes.size());
+  for (;;) {
+    auto it = pending_stats_.find(request_id);
+    if (it != pending_stats_.end()) {
+      StatsResponse response = std::move(it->second);
+      pending_stats_.erase(it);
+      return response;
+    }
+    file_response(read_frame());
+  }
+}
+
+void BlockingClient::ping() {
+  const std::vector<std::uint8_t> bytes = encode_ping();
+  socket_.send_all(bytes.data(), bytes.size());
+  pong_seen_ = false;
+  while (!pong_seen_) file_response(read_frame());
+}
+
+SubmitRequest submit_request_from_entry(const JobFileEntry& entry,
+                                        const std::string& tenant,
+                                        std::uint64_t request_id) {
+  SubmitRequest request;
+  request.request_id = request_id;
+  request.tenant = tenant;
+  request.name = entry.name;
+  request.msa_path = entry.msa_path;
+  request.format = entry.format;
+  request.data_type = entry.data_type;
+  request.model = entry.model;
+  request.kappa = entry.kappa;
+  request.categories = entry.categories;
+  request.alpha = entry.alpha;
+  request.backend = entry.backend;
+  request.ram_fraction = entry.ram_fraction;
+  request.budget_bytes = entry.budget_bytes;
+  request.strategy = entry.strategy;
+  request.seed = entry.seed;
+  request.threads = entry.threads;
+  if (entry.tree_path == "-") {
+    request.tree_kind = WireTreeKind::kStepwise;
+  } else {
+    const Tree tree = read_newick_file(entry.tree_path);
+    Phylo2Vec encoding = phylo2vec_encode(tree);
+    request.tree_kind = WireTreeKind::kPhylo2Vec;
+    request.taxa_digest = phylo2vec_taxa_digest(encoding.taxa);
+    request.tree_v = std::move(encoding.v);
+    request.tree_lengths = std::move(encoding.lengths);
+  }
+  return request;
+}
+
+}  // namespace plfoc

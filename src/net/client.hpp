@@ -1,0 +1,80 @@
+// Blocking client of the serving tier's wire protocol.
+//
+// One BlockingClient owns one TCP connection. submit() fires a
+// SubmitRequest frame and returns immediately; wait(request_id) reads
+// frames (buffering out-of-order answers) until that request's
+// ResultResponse or ErrorResponse arrives, so a caller can pipeline many
+// submits and collect the answers in any order. stats() and ping() are
+// simple request/response round trips.
+//
+// This class performs no raw socket syscalls — all its I/O goes through
+// net/socket.hpp (implemented in server.cpp, the one TU the plfoc-lint
+// `raw-socket` rule allows). `plfoc-client`, the loopback tests and the
+// networked bench phases all sit on top of this class, which makes it the
+// protocol's reference consumer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "service/jobfile.hpp"
+
+namespace plfoc {
+
+/// Exactly one of the two members is set: the server answers a submit with
+/// either a ResultResponse (the job ran) or an ErrorResponse (rejected
+/// before it reached the queue — malformed, digest mismatch, busy,
+/// shutting down).
+struct ClientResponse {
+  std::optional<ResultResponse> result;
+  std::optional<ErrorResponse> error;
+};
+
+class BlockingClient {
+ public:
+  /// Connect; throws plfoc::Error when the server is unreachable.
+  BlockingClient(const std::string& host, std::uint16_t port);
+
+  /// Send one submit frame (non-blocking on the response; pair with
+  /// wait()). The request_id must be unique within this connection.
+  void submit(const SubmitRequest& request);
+
+  /// Block until the response for `request_id` arrives. Throws
+  /// plfoc::Error when the connection dies first and ProtocolError when
+  /// the server sends malformed bytes.
+  ClientResponse wait(std::uint64_t request_id);
+
+  /// Round trip a StatsRequest.
+  StatsResponse stats(std::uint64_t request_id = 0);
+
+  /// Round trip a Ping (liveness probe); throws if the pong never comes.
+  void ping();
+
+ private:
+  /// Read one frame off the wire (blocking). Throws plfoc::Error on EOF.
+  Frame read_frame();
+  /// File a response frame under its request id.
+  void file_response(const Frame& frame);
+
+  Socket socket_;
+  FrameDecoder decoder_;
+  /// Answers read while waiting for a different request id.
+  std::map<std::uint64_t, ClientResponse> pending_;
+  std::map<std::uint64_t, StatsResponse> pending_stats_;
+  bool pong_seen_ = false;
+};
+
+/// Build the wire request for one jobfile entry: scalar fields copied
+/// verbatim; a '-' tree column becomes kStepwise (the server seeds the
+/// stepwise-addition tree), any other column is read as a Newick file here
+/// on the client and shipped as a canonical Phylo2Vec payload with the
+/// sorted-taxa digest the server verifies before binding leaf ranks.
+SubmitRequest submit_request_from_entry(const JobFileEntry& entry,
+                                        const std::string& tenant,
+                                        std::uint64_t request_id);
+
+}  // namespace plfoc

@@ -1,0 +1,55 @@
+// RAII wrapper for a connected TCP socket.
+//
+// Deliberately interface-only: every raw socket syscall in the project lives
+// in src/net/server.cpp (including the implementations of these methods),
+// which is the single file the plfoc-lint `raw-socket` rule allows. The
+// client (net/client.hpp), the CLI and the benchmarks all do their network
+// I/O through this class, so the auditable syscall surface stays one TU.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace plfoc {
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { reset(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Close the descriptor now (also done by the destructor).
+  void reset();
+
+  /// Blocking TCP connect; throws plfoc::Error on resolution/connect
+  /// failure.
+  static Socket connect_to(const std::string& host, std::uint16_t port);
+
+  /// Send the whole buffer (blocking, retries short sends); throws
+  /// plfoc::Error on a broken connection.
+  void send_all(const std::uint8_t* data, std::size_t size);
+
+  /// Receive up to `size` bytes; returns 0 on orderly peer shutdown,
+  /// throws plfoc::Error on a socket error.
+  std::size_t recv_some(std::uint8_t* data, std::size_t size);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace plfoc

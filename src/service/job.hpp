@@ -40,6 +40,11 @@ struct JobSpec {
   /// scheduler may degrade the memory-limit fields — never the seed or the
   /// model — to fit the service's global RAM budget.
   SessionOptions session;
+  /// Owning tenant for fair scheduling and quotas (service/tenant.hpp);
+  /// empty = the default tenant. Last member so the established 5-element
+  /// aggregate init `{name, alignment, tree, model, session}` keeps
+  /// working — in-process batch callers can ignore tenancy entirely.
+  std::string tenant;
 };
 
 enum class JobStatus {
@@ -64,6 +69,7 @@ inline const char* job_status_name(JobStatus status) {
 struct JobResult {
   JobId id = 0;
   std::string name;
+  std::string tenant;  ///< copied from the spec
   JobStatus status = JobStatus::kQueued;
   /// Log likelihood at the default root branch; bit-identical to a
   /// sequential Session::evaluate() with the same spec (backend degradation
@@ -92,6 +98,11 @@ struct JobResult {
   /// counters, fault spec for reproduction). Non-empty iff io_failure or
   /// integrity_failure.
   std::string fault_report;
+  /// The log likelihood came from the result cache (cache/result_cache.hpp)
+  /// instead of a fresh traversal. Bit-identical either way — the cache key
+  /// covers every value-affecting input and the determinism contract covers
+  /// the rest — so this is observability, not a semantic difference.
+  bool cache_hit = false;
 };
 
 }  // namespace plfoc

@@ -155,29 +155,28 @@ std::vector<JobFileEntry> read_job_file(const std::string& path) {
   return parse_job_lines(in);
 }
 
-JobSpec load_job(const JobFileEntry& entry) {
+Alignment load_entry_alignment(const JobFileEntry& entry) {
   try {
     const DataType data_type = parse_data_type_name(entry.data_type);
-    Alignment alignment = [&] {
-      if (entry.format == "fasta")
-        return read_fasta_file(entry.msa_path, data_type);
-      if (entry.format == "phylip")
-        return read_phylip_file(entry.msa_path, data_type);
-      throw Error("unknown format '" + entry.format + "' (fasta | phylip)");
-    }();
+    if (entry.format == "fasta")
+      return read_fasta_file(entry.msa_path, data_type);
+    if (entry.format == "phylip")
+      return read_phylip_file(entry.msa_path, data_type);
+    throw Error("unknown format '" + entry.format + "' (fasta | phylip)");
+  } catch (const Error& error) {
+    throw line_error(entry.line, error.what());
+  }
+}
 
-    Tree tree = [&] {
-      if (entry.tree_path != "-") return read_newick_file(entry.tree_path);
-      Rng rng(entry.seed);
-      return stepwise_addition_tree(alignment, rng);
-    }();
+JobSpec make_job_spec(const JobFileEntry& entry, Alignment alignment,
+                      Tree tree) {
+  try {
     PLFOC_REQUIRE(tree.num_taxa() == alignment.num_taxa(),
                   "tree and alignment have different taxon counts");
-
     SubstitutionModel model =
         build_named_model(entry.model, entry.kappa, alignment);
     JobSpec spec{entry.name, std::move(alignment), std::move(tree),
-                 std::move(model), SessionOptions{}};
+                 std::move(model), SessionOptions{}, /*tenant=*/""};
     spec.session.categories = entry.categories;
     spec.session.alpha = entry.alpha;
     spec.session.backend = parse_backend_name(entry.backend);
@@ -196,6 +195,26 @@ JobSpec load_job(const JobFileEntry& entry) {
     return spec;
   } catch (const Error& error) {
     throw line_error(entry.line, error.what());
+  }
+}
+
+JobSpec load_job(const JobFileEntry& entry) {
+  Alignment alignment = load_entry_alignment(entry);
+  try {
+    Tree tree = [&] {
+      if (entry.tree_path != "-") return read_newick_file(entry.tree_path);
+      Rng rng(entry.seed);
+      return stepwise_addition_tree(alignment, rng);
+    }();
+    return make_job_spec(entry, std::move(alignment), std::move(tree));
+  } catch (const Error& error) {
+    // make_job_spec tags its own errors; only tag the tree-loading path,
+    // identified by the absence of the line prefix.
+    const std::string what = error.what();
+    const std::string prefix =
+        "jobfile line " + std::to_string(entry.line) + ":";
+    if (what.compare(0, prefix.size(), prefix) == 0) throw;
+    throw line_error(entry.line, what);
   }
 }
 

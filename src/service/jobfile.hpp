@@ -75,4 +75,15 @@ std::vector<JobFileEntry> read_job_file(const std::string& path);
 /// plfoc::Error (file, parse, or model problems) tagged with the line.
 JobSpec load_job(const JobFileEntry& entry);
 
+/// Load just the entry's alignment (format / data-type applied). The
+/// serving tier uses this to bind a wire-decoded Phylo2Vec tree against
+/// the alignment's taxa before assembling the spec.
+Alignment load_entry_alignment(const JobFileEntry& entry);
+
+/// Assemble the submittable spec from already-loaded pieces. Applies the
+/// entry's model/backend/session keys exactly like load_job; throws
+/// plfoc::Error tagged with the entry's line.
+JobSpec make_job_spec(const JobFileEntry& entry, Alignment alignment,
+                      Tree tree);
+
 }  // namespace plfoc

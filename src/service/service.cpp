@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ooc/prefetch.hpp"
+#include "tree/phylo2vec.hpp"
 #include "util/checks.hpp"
 #include "util/timer.hpp"
 
@@ -24,27 +25,37 @@ bool terminal(JobStatus status) {
 
 Service::Service(ServiceOptions options)
     : options_(std::move(options)),
-      queue_(options_.queue_capacity),
+      queue_(options_.queue_capacity, registry_),
       scheduler_(options_.ram_budget_bytes) {
+  for (const auto& [tenant, policy] : options_.tenants)
+    registry_.set_policy(tenant, policy);
+  if (options_.result_cache_entries > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.result_cache_entries,
+                                           options_.result_cache_shards);
+  }
   pool_ = std::make_unique<WorkerPool>(
       options_.workers, [this](std::size_t worker) { worker_loop(worker); });
 }
 
 Service::~Service() { drain(); }
 
+JobId Service::register_job(JobSpec& spec) {
+  MutexLock lock(mutex_);
+  PLFOC_REQUIRE(!queue_.closed(), "service intake is closed (drained)");
+  const JobId id = next_id_++;
+  if (spec.name.empty()) spec.name = "job-" + std::to_string(id);
+  JobResult placeholder;
+  placeholder.id = id;
+  placeholder.name = spec.name;
+  placeholder.tenant = spec.tenant;
+  placeholder.status = JobStatus::kQueued;
+  results_.emplace(id, std::move(placeholder));
+  return id;
+}
+
 JobId Service::submit(JobSpec spec) {
-  JobId id = 0;
-  {
-    MutexLock lock(mutex_);
-    PLFOC_REQUIRE(!queue_.closed(), "service intake is closed (drained)");
-    id = next_id_++;
-    if (spec.name.empty()) spec.name = "job-" + std::to_string(id);
-    JobResult placeholder;
-    placeholder.id = id;
-    placeholder.name = spec.name;
-    placeholder.status = JobStatus::kQueued;
-    results_.emplace(id, std::move(placeholder));
-  }
+  const std::string tenant = spec.tenant;
+  const JobId id = register_job(spec);
   const PushResult pushed =
       queue_.push({id, std::move(spec), std::chrono::steady_clock::now()});
   if (pushed == PushResult::kClosed) {
@@ -57,25 +68,19 @@ JobId Service::submit(JobSpec spec) {
     throw Error("service intake closed while submitting job " +
                 std::to_string(id));
   }
+  registry_.record_submitted(tenant);
   return id;
 }
 
 std::optional<JobId> Service::try_submit(JobSpec spec) {
-  JobId id = 0;
-  {
-    MutexLock lock(mutex_);
-    PLFOC_REQUIRE(!queue_.closed(), "service intake is closed (drained)");
-    id = next_id_++;
-    if (spec.name.empty()) spec.name = "job-" + std::to_string(id);
-    JobResult placeholder;
-    placeholder.id = id;
-    placeholder.name = spec.name;
-    placeholder.status = JobStatus::kQueued;
-    results_.emplace(id, std::move(placeholder));
-  }
+  const std::string tenant = spec.tenant;
+  const JobId id = register_job(spec);
   const PushResult pushed =
       queue_.try_push({id, std::move(spec), std::chrono::steady_clock::now()});
-  if (pushed == PushResult::kAccepted) return id;
+  if (pushed == PushResult::kAccepted) {
+    registry_.record_submitted(tenant);
+    return id;
+  }
   {
     MutexLock lock(mutex_);
     if (pushed == PushResult::kFull) {
@@ -90,12 +95,15 @@ std::optional<JobId> Service::try_submit(JobSpec spec) {
 
 bool Service::cancel(JobId id) {
   if (!queue_.cancel(id)) return false;
+  std::string tenant;
   {
     MutexLock lock(mutex_);
     const auto it = results_.find(id);
     PLFOC_CHECK(it != results_.end());
     it->second.status = JobStatus::kCancelled;
+    tenant = it->second.tenant;
   }
+  registry_.record_cancelled(tenant);
   done_cv_.notify_all();
   return true;
 }
@@ -130,6 +138,38 @@ std::vector<JobResult> Service::drain() {
   return drain_snapshot_;
 }
 
+DrainReport Service::drain(DrainMode mode) {
+  if (mode == DrainMode::kFlushQueued) {
+    // Pull everything still queued out before closing; the flush marks the
+    // queue closed, so workers finish only what they already popped. On a
+    // second call the queue is empty and this is a no-op — drain() below
+    // returns the first call's snapshot either way.
+    FairJobQueue::FlushReport flushed = queue_.flush();
+    if (!flushed.jobs.empty()) {
+      {
+        MutexLock lock(mutex_);
+        for (const FairJobQueue::Pending& pending : flushed.jobs)
+          results_[pending.id].status = JobStatus::kCancelled;
+      }
+      for (const FairJobQueue::Pending& pending : flushed.jobs)
+        registry_.record_cancelled(pending.spec.tenant);
+      done_cv_.notify_all();
+    }
+  }
+  DrainReport report;
+  report.results = drain();
+  for (const JobResult& result : report.results) {
+    DrainReport::TenantCounts& counts = report.per_tenant[result.tenant];
+    switch (result.status) {
+      case JobStatus::kDone: ++counts.completed; break;
+      case JobStatus::kFailed: ++counts.failed; break;
+      case JobStatus::kCancelled: ++counts.cancelled; break;
+      default: break;
+    }
+  }
+  return report;
+}
+
 std::uint64_t Service::peak_charged_bytes() const {
   MutexLock lock(mutex_);
   return scheduler_.peak_bytes();
@@ -140,23 +180,116 @@ OocStats Service::merged_stats() const {
   return merged_;
 }
 
+CacheStats Service::cache_stats() const {
+  return cache_ ? cache_->stats() : CacheStats{};
+}
+
+std::map<std::string, TenantStats> Service::tenant_stats() const {
+  return registry_.stats();
+}
+
+void Service::set_tenant_policy(const std::string& tenant,
+                                const TenantPolicy& policy) {
+  registry_.set_policy(tenant, policy);
+}
+
+bool Service::tenant_share_allows(const std::string& tenant,
+                                  std::uint64_t bytes) {
+  const std::uint64_t share = registry_.policy(tenant).ram_share_bytes;
+  if (share == 0) return true;
+  const auto it = tenant_charged_.find(tenant);
+  const std::uint64_t charged = it == tenant_charged_.end() ? 0 : it->second;
+  // Progress guarantee: a tenant with nothing running may always start one
+  // job even if it alone exceeds the share (mirrors the scheduler's
+  // sole-job floor — shares throttle concurrency, they never starve).
+  if (charged == 0) return true;
+  return charged + bytes <= share;
+}
+
+void Service::finish_job(JobId id, JobResult result) {
+  const std::string tenant = result.tenant;
+  const JobStatus status = result.status;
+  const bool cache_hit = result.cache_hit;
+  JobResult callback_copy;
+  const bool has_callback = static_cast<bool>(options_.on_complete);
+  {
+    MutexLock lock(mutex_);
+    merged_ += result.stats;
+    results_[id] = std::move(result);
+    if (has_callback) callback_copy = results_[id];
+  }
+  if (status == JobStatus::kDone) {
+    registry_.record_completed(tenant, cache_hit);
+  } else {
+    registry_.record_failed(tenant);
+  }
+  queue_.job_finished(tenant);
+  admission_cv_.notify_all();
+  done_cv_.notify_all();
+  if (has_callback) options_.on_complete(callback_copy);
+}
+
 void Service::worker_loop(std::size_t /*worker*/) {
-  while (std::optional<JobQueue::Pending> pending = queue_.pop()) {
+  while (std::optional<FairJobQueue::Pending> pending = queue_.pop()) {
     const auto popped = std::chrono::steady_clock::now();
+    const std::string tenant = pending->spec.tenant;
+    {
+      MutexLock lock(mutex_);
+      results_[pending->id].status = JobStatus::kRunning;
+    }
+
+    // Result-cache probe. Encoding canonicalizes the tree, so equivalent
+    // rotations share a key AND evaluate bit-identically on a miss; the
+    // lookup is single-flight — a concurrent identical job blocks here and
+    // coalesces onto the leader's result instead of re-evaluating.
+    std::optional<CacheKey> cache_key;
+    if (cache_ != nullptr) {
+      try {
+        const Phylo2Vec encoded = phylo2vec_encode(pending->spec.tree);
+        cache_key = plf_cache_key(pending->spec.alignment, encoded,
+                                  pending->spec.model,
+                                  pending->spec.session);
+        pending->spec.tree = phylo2vec_decode(encoded);
+      } catch (const Error&) {
+        cache_key.reset();  // uncacheable spec: evaluate as-is
+      }
+    }
+    if (cache_key.has_value()) {
+      Timer probe_timer;
+      if (const std::optional<double> hit = cache_->lookup(*cache_key)) {
+        JobResult result;
+        result.id = pending->id;
+        result.name = pending->spec.name;
+        result.tenant = tenant;
+        result.status = JobStatus::kDone;
+        result.log_likelihood = *hit;
+        result.cache_hit = true;
+        result.admitted_backend = pending->spec.session.backend;
+        result.wall_seconds = probe_timer.seconds();
+        result.queue_seconds = seconds_between(pending->enqueued, popped);
+        finish_job(pending->id, std::move(result));
+        continue;
+      }
+      // Miss: this worker is now the leader for the key and must publish
+      // or abandon below — never neither, or waiters would block forever.
+    }
+
     const JobDemand demand = JobDemand::from_spec(pending->spec);
     Admission admission;
     {
       MutexLock lock(mutex_);
-      results_[pending->id].status = JobStatus::kRunning;
       // Explicit wait loop (not a predicate lambda): the admission decision
       // reads scheduler_ state guarded by mutex_, and the analysis checks
       // loop bodies but not lambda captures — see util/mutex.hpp.
       for (;;) {
         admission = scheduler_.decide(demand);
-        if (admission.admit) break;
+        if (admission.admit &&
+            tenant_share_allows(tenant, admission.charged_bytes))
+          break;
         admission_cv_.wait(lock);
       }
       scheduler_.reserve(admission.charged_bytes);
+      tenant_charged_[tenant] += admission.charged_bytes;
     }
     // Copy the spec up front when re-admission is on: run_job consumes it.
     std::optional<JobSpec> retry_spec;
@@ -178,15 +311,26 @@ void Service::worker_loop(std::size_t /*worker*/) {
         result.fault_report = "attempt 1: " + first_report +
                               "\nattempt 2: " + result.fault_report;
     }
+    if (cache_key.has_value()) {
+      // Leader resolution: successful values are published for the
+      // coalesced waiters, failures are abandoned so the key stays
+      // uncached (IoError/IntegrityError must not poison the cache).
+      if (result.status == JobStatus::kDone) {
+        cache_->publish(*cache_key, result.log_likelihood);
+      } else {
+        cache_->abandon(*cache_key);
+      }
+    }
+    result.tenant = tenant;
     result.queue_seconds = seconds_between(pending->enqueued, popped);
     {
       MutexLock lock(mutex_);
       scheduler_.release(admission.charged_bytes);
-      merged_ += result.stats;
-      results_[pending->id] = std::move(result);
+      std::uint64_t& charged = tenant_charged_[tenant];
+      PLFOC_CHECK(charged >= admission.charged_bytes);
+      charged -= admission.charged_bytes;
     }
-    admission_cv_.notify_all();
-    done_cv_.notify_all();
+    finish_job(pending->id, std::move(result));
   }
 }
 
@@ -195,6 +339,7 @@ JobResult Service::run_job(JobId id, JobSpec spec, const Admission& admission,
   JobResult result;
   result.id = id;
   result.name = spec.name;
+  result.tenant = spec.tenant;
   result.admitted_backend = admission.backend;
   result.charged_bytes = admission.charged_bytes;
   result.degraded = admission.degraded;

@@ -2,11 +2,16 @@
 //
 // The paper's out-of-core layer makes one PLF evaluation fit a fixed RAM
 // budget; this subsystem serves *many* evaluations at once under the same
-// kind of budget. Architecture (see docs/service.md):
+// kind of budget. Architecture (see docs/service.md, docs/serving.md):
 //
-//   submit() -> JobQueue (bounded, backpressure, cancellation)
-//           -> Scheduler (admission against the global slot-memory budget,
-//              degrading jobs instead of rejecting them)
+//   submit() -> FairJobQueue (bounded, backpressure, cancellation,
+//              weighted-fair dequeue across tenants — service/tenant.hpp)
+//           -> ResultCache probe (optional; topologically equivalent
+//              queries dedupe via Phylo2Vec canonicalization, concurrent
+//              identical queries single-flight — cache/result_cache.hpp)
+//           -> Scheduler (admission against the global slot-memory budget
+//              plus the tenant's RAM share, degrading jobs instead of
+//              rejecting them)
 //           -> WorkerPool (each worker builds a private Session per job)
 //           -> JobResult (logL + per-job OocStats + timings), merged
 //              aggregate stats, drain()/destructor graceful shutdown.
@@ -15,18 +20,24 @@
 // (data, model, seed) — never on worker count, admission order or the
 // degradation the scheduler applied — because every backend computes
 // bit-identical likelihoods (Sec. 4.1). tests/test_service.cpp enforces
-// this across 1/2/8 workers.
+// this across 1/2/8 workers. With the cache enabled the tree is first
+// canonicalized (decode(encode(T))), so equivalent rotations are not just
+// equal in topology but evaluate bit-identically — which is what makes a
+// cached value indistinguishable from a fresh traversal.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "service/job.hpp"
-#include "service/job_queue.hpp"
 #include "service/scheduler.hpp"
+#include "service/tenant.hpp"
 #include "service/worker_pool.hpp"
 #include "util/mutex.hpp"
 
@@ -58,13 +69,44 @@ struct ServiceOptions {
   /// fault (it does not deterministically repeat). JobResult::attempts
   /// reports 2 for re-admitted jobs.
   bool readmit_io_failures = false;
+  /// Result-cache capacity in entries; 0 disables caching. With the cache
+  /// on, job trees are canonicalized through Phylo2Vec before evaluation
+  /// (value-transparent; see the determinism note above) and failed jobs
+  /// are never cached.
+  std::size_t result_cache_entries = 0;
+  std::size_t result_cache_shards = 8;
+  /// Per-tenant scheduling policies, applied before the workers start.
+  /// Tenants absent from the map run under the unconstrained default.
+  std::map<std::string, TenantPolicy> tenants;
+  /// Invoked outside all service locks after a job reaches kDone or
+  /// kFailed through the worker path (not for cancellations). The serving
+  /// tier uses this to push responses without polling wait().
+  std::function<void(const JobResult&)> on_complete;
+};
+
+/// How drain() treats still-queued jobs.
+enum class DrainMode {
+  kComplete,     ///< run everything queued to completion (the default)
+  kFlushQueued,  ///< cancel queued-but-unadmitted jobs; finish running ones
+};
+
+/// drain(DrainMode) summary: every result plus per-tenant terminal counts,
+/// so server shutdown is observable per tenant (docs/serving.md).
+struct DrainReport {
+  struct TenantCounts {
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+  };
+  std::vector<JobResult> results;  ///< submission order
+  std::map<std::string, TenantCounts> per_tenant;
 };
 
 class Service {
  public:
   explicit Service(ServiceOptions options);
-  /// Drains: completes queued jobs, joins workers. Cancel first via drain()
-  /// + your own policy if you need to abandon queued work.
+  /// Drains (kComplete): finishes queued jobs, joins workers. Use
+  /// drain(DrainMode::kFlushQueued) first to abandon queued work instead.
   ~Service();
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
@@ -88,12 +130,26 @@ class Service {
   /// Idempotent — later calls return the same snapshot.
   std::vector<JobResult> drain();
 
+  /// Shutdown with a per-tenant report. kComplete matches drain();
+  /// kFlushQueued first cancels everything still queued (per-tenant FIFO
+  /// flush, results read kCancelled) so shutdown does not wait on a deep
+  /// backlog — only on the jobs workers already picked up. Idempotent like
+  /// drain(); the first call's mode wins.
+  DrainReport drain(DrainMode mode);
+
   /// High-water mark of concurrently charged slot memory (the acceptance
   /// check against ram_budget_bytes).
   std::uint64_t peak_charged_bytes() const;
   /// All finished jobs' store counters merged (operator+= under the service
   /// mutex — the thread-safe merge path).
   OocStats merged_stats() const;
+  /// Result-cache counters (identity-checked); zeros when caching is off.
+  CacheStats cache_stats() const;
+  /// Per-tenant counters (submitted/completed/failed/cancelled/cache_hits).
+  std::map<std::string, TenantStats> tenant_stats() const;
+  /// Install or replace one tenant's policy at runtime (server admin path).
+  void set_tenant_policy(const std::string& tenant,
+                         const TenantPolicy& policy);
   std::size_t queued_jobs() const { return queue_.size(); }
   const ServiceOptions& options() const { return options_; }
 
@@ -101,13 +157,28 @@ class Service {
   void worker_loop(std::size_t worker);
   JobResult run_job(JobId id, JobSpec spec, const Admission& admission,
                     unsigned attempt);
+  JobId register_job(JobSpec& spec) PLFOC_EXCLUDES(mutex_);
+  /// Record a terminal worker-path result and fire the notifications +
+  /// on_complete. Consumes `result`.
+  void finish_job(JobId id, JobResult result);
+  /// True when `tenant` may charge `bytes` against its RAM share right
+  /// now. A tenant with nothing charged is always admitted (progress
+  /// guarantee mirroring the scheduler's sole-job floor).
+  bool tenant_share_allows(const std::string& tenant, std::uint64_t bytes)
+      PLFOC_REQUIRES(mutex_);
 
   ServiceOptions options_;
-  JobQueue queue_;  ///< internally synchronised (its own Mutex)
+  TenantRegistry registry_;  ///< internally synchronised (its own Mutex)
+  FairJobQueue queue_;       ///< internally synchronised (its own Mutex)
+  /// Null when result_cache_entries == 0; internally synchronised.
+  std::unique_ptr<ResultCache> cache_;
   mutable Mutex mutex_;
   CondVar admission_cv_;
   CondVar done_cv_;
   Scheduler scheduler_ PLFOC_GUARDED_BY(mutex_);
+  /// Slot memory currently charged per tenant (the RAM-share ledger).
+  std::map<std::string, std::uint64_t> tenant_charged_
+      PLFOC_GUARDED_BY(mutex_);
   /// Ordered: drain() reports by id.
   std::map<JobId, JobResult> results_ PLFOC_GUARDED_BY(mutex_);
   OocStats merged_ PLFOC_GUARDED_BY(mutex_);

@@ -1,0 +1,200 @@
+#include "service/tenant.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/checks.hpp"
+
+namespace plfoc {
+
+void TenantRegistry::set_policy(const std::string& tenant,
+                                const TenantPolicy& policy) {
+  MutexLock lock(mutex_);
+  policies_[tenant] = policy;
+}
+
+TenantPolicy TenantRegistry::policy(const std::string& tenant) const {
+  MutexLock lock(mutex_);
+  const auto it = policies_.find(tenant);
+  return it == policies_.end() ? TenantPolicy{} : it->second;
+}
+
+void TenantRegistry::record_submitted(const std::string& tenant) {
+  MutexLock lock(mutex_);
+  ++stats_[tenant].submitted;
+}
+
+void TenantRegistry::record_completed(const std::string& tenant,
+                                      bool cache_hit) {
+  MutexLock lock(mutex_);
+  TenantStats& stats = stats_[tenant];
+  ++stats.completed;
+  if (cache_hit) ++stats.cache_hits;
+}
+
+void TenantRegistry::record_failed(const std::string& tenant) {
+  MutexLock lock(mutex_);
+  ++stats_[tenant].failed;
+}
+
+void TenantRegistry::record_cancelled(const std::string& tenant) {
+  MutexLock lock(mutex_);
+  ++stats_[tenant].cancelled;
+}
+
+std::map<std::string, TenantStats> TenantRegistry::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+FairJobQueue::FairJobQueue(std::size_t capacity, TenantRegistry& registry)
+    : capacity_(capacity == 0 ? 1 : capacity), registry_(registry) {}
+
+PushResult FairJobQueue::enqueue_locked(Pending&& job) {
+  // Bind the map's own key, not job.spec.tenant: the job (and its tenant
+  // string) is moved into the queue on the next line.
+  const auto entry = tenants_.try_emplace(job.spec.tenant).first;
+  const std::string& tenant = entry->first;
+  TenantQueue& queue = entry->second;
+  queue.jobs.push_back(std::move(job));
+  if (!queue.in_round) {
+    queue.in_round = true;
+    queue.deficit = 0;  // joins the round with fresh credit, no hoarding
+    round_.push_back(tenant);
+  }
+  ++size_;
+  dequeueable_.notify_all();
+  return PushResult::kAccepted;
+}
+
+PushResult FairJobQueue::push(Pending job) {
+  MutexLock lock(mutex_);
+  while (size_ >= capacity_ && !closed_) not_full_.wait(lock);
+  if (closed_) return PushResult::kClosed;
+  return enqueue_locked(std::move(job));
+}
+
+PushResult FairJobQueue::try_push(Pending job) {
+  MutexLock lock(mutex_);
+  if (closed_) return PushResult::kClosed;
+  if (size_ >= capacity_) return PushResult::kFull;
+  return enqueue_locked(std::move(job));
+}
+
+std::optional<FairJobQueue::Pending> FairJobQueue::pop() {
+  MutexLock lock(mutex_);
+  for (;;) {
+    if (size_ == 0 && closed_) return std::nullopt;
+    // One pass over the active round looking for an eligible tenant.
+    // round_ only shrinks (empty tenants leave) or rotates inside the
+    // pass, so bounding by the entry size terminates it.
+    std::size_t scanned = 0;
+    std::size_t round_size = round_.size();
+    while (scanned < round_size) {
+      const std::string tenant = round_.front();
+      TenantQueue& queue = tenants_[tenant];
+      if (queue.jobs.empty()) {
+        // Drained by pops or cancellations: leave the round; credit does
+        // not survive idleness.
+        queue.in_round = false;
+        queue.deficit = 0;
+        round_.pop_front();
+        --round_size;
+        continue;
+      }
+      const TenantPolicy policy = registry_.policy(tenant);
+      if (policy.max_in_flight != 0 &&
+          queue.in_flight >= policy.max_in_flight) {
+        // Quota-blocked: rotate past, job_finished() will re-wake us.
+        round_.pop_front();
+        round_.push_back(tenant);
+        ++scanned;
+        continue;
+      }
+      if (queue.deficit == 0)
+        queue.deficit = std::max(1u, policy.weight);
+      Pending job = std::move(queue.jobs.front());
+      queue.jobs.pop_front();
+      --queue.deficit;
+      ++queue.in_flight;
+      --size_;
+      if (queue.jobs.empty()) {
+        queue.in_round = false;
+        queue.deficit = 0;
+        round_.pop_front();
+      } else if (queue.deficit == 0) {
+        // Round share spent: move to the tail, next tenant's turn.
+        round_.pop_front();
+        round_.push_back(tenant);
+      }
+      not_full_.notify_all();
+      return job;
+    }
+    // Nothing eligible: either empty, or every queued tenant is at its
+    // in-flight quota (some job is running, so a job_finished() wake-up
+    // is guaranteed — no deadlock even after close()).
+    dequeueable_.wait(lock);
+  }
+}
+
+void FairJobQueue::job_finished(const std::string& tenant) {
+  MutexLock lock(mutex_);
+  TenantQueue& queue = tenants_[tenant];
+  PLFOC_CHECK(queue.in_flight > 0);
+  --queue.in_flight;
+  dequeueable_.notify_all();
+}
+
+bool FairJobQueue::cancel(JobId id) {
+  MutexLock lock(mutex_);
+  for (auto& [tenant, queue] : tenants_) {
+    for (auto it = queue.jobs.begin(); it != queue.jobs.end(); ++it) {
+      if (it->id != id) continue;
+      queue.jobs.erase(it);
+      --size_;
+      not_full_.notify_all();
+      return true;
+    }
+  }
+  return false;
+}
+
+void FairJobQueue::close() {
+  MutexLock lock(mutex_);
+  closed_ = true;
+  not_full_.notify_all();
+  dequeueable_.notify_all();
+}
+
+FairJobQueue::FlushReport FairJobQueue::flush() {
+  MutexLock lock(mutex_);
+  closed_ = true;
+  FlushReport report;
+  for (auto& [tenant, queue] : tenants_) {
+    while (!queue.jobs.empty()) {
+      ++report.per_tenant[tenant];
+      report.jobs.push_back(std::move(queue.jobs.front()));
+      queue.jobs.pop_front();
+      --size_;
+    }
+    queue.in_round = false;
+    queue.deficit = 0;
+  }
+  round_.clear();
+  PLFOC_CHECK(size_ == 0);
+  not_full_.notify_all();
+  dequeueable_.notify_all();
+  return report;
+}
+
+std::size_t FairJobQueue::size() const {
+  MutexLock lock(mutex_);
+  return size_;
+}
+
+bool FairJobQueue::closed() const {
+  MutexLock lock(mutex_);
+  return closed_;
+}
+
+}  // namespace plfoc

@@ -1,0 +1,82 @@
+// Phylo2Vec: canonical integer-vector encoding of tree topologies
+// (Penn et al., arXiv 2304.12693), extended with a canonical branch-length
+// ordering so a full (topology, lengths) pair round-trips losslessly.
+//
+// The encoding is defined over *rooted* binary trees grown leaf by leaf:
+// start from a root whose children are leaves 0 and 1; at step i the tree
+// has leaves 0..i-1 and internal nodes c_1..c_{i-1} (c_j was created at
+// step j; c_1 is the starting root), and v[i] names the edge that leaf i's
+// new parent c_i splits:
+//
+//   edge above leaf j      -> name j            (0 <= j < i)
+//   edge above internal c_j -> name i + (j - 1)  (1 <= j < i; the current
+//                                                 root's virtual parent edge
+//                                                 included, so splitting it
+//                                                 re-roots)
+//
+// which gives v[i] in [0, 2i-2] and makes v -> rooted tree a bijection
+// ((2n-3)!! vectors of length n, one per topology).
+//
+// plfoc trees are unrooted, so canonical form fixes both the leaf labels
+// and the rooting:
+//   * leaf label = rank of the taxon name in sorted order;
+//   * the root subdivides the pendant edge of leaf 0 (rank-0 taxon).
+// Two Newick strings for the same unrooted topology — any rotation, any
+// root placement — therefore encode to the same vector, which is what the
+// result cache keys on (docs/serving.md).
+//
+// Branch lengths travel in a canonical order derived from the same node
+// identities: entry 0 is the merged root edge (leaf 0's full pendant
+// length), then one parent-edge length per node — leaves by rank, then
+// internals by creation index — skipping the root and its two children
+// (their two half edges are the merged entry 0).
+//
+// decode(encode(T)) reproduces the topology exactly (same logical tree,
+// node ids renumbered canonically) and every branch length bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace plfoc {
+
+/// A canonically encoded tree: sorted taxon names, the Phylo2Vec topology
+/// vector (size n, v[0] = v[1] = 0, v[i] <= 2i-2) and the branch lengths in
+/// canonical order (size 2n-3).
+struct Phylo2Vec {
+  std::vector<std::string> taxa;
+  std::vector<std::uint32_t> v;
+  std::vector<double> lengths;
+
+  std::size_t num_taxa() const { return v.size(); }
+};
+
+/// Encode an unrooted tree canonically. The tree must be fully connected
+/// and have >= 3 taxa with unique names; violations throw plfoc::Error.
+Phylo2Vec phylo2vec_encode(const Tree& tree);
+
+/// Rebuild the unrooted tree. Accepts any structurally valid encoding (the
+/// wire path feeds untrusted vectors through this); malformed input —
+/// v[i] out of range, wrong lengths arity, non-positive or non-finite
+/// lengths, duplicate or unsorted taxa — throws plfoc::Error.
+Tree phylo2vec_decode(const Phylo2Vec& encoding);
+
+/// Structural validation shared by decode and the wire decoder: throws
+/// plfoc::Error unless taxa are unique and sorted, v has the Phylo2Vec
+/// shape, and lengths has 2n-3 positive finite entries.
+void phylo2vec_validate(const Phylo2Vec& encoding);
+
+/// decode(encode(tree)): same topology and branch lengths, canonical node
+/// numbering. Idempotent; the service canonicalizes cached jobs through
+/// this so topologically equivalent submissions evaluate bit-identically.
+Tree phylo2vec_canonical(const Tree& tree);
+
+/// Order-insensitive digest of a taxon set (hashes the sorted names). The
+/// wire format sends this instead of the names themselves; the server
+/// checks it against the alignment's taxa to catch tree/MSA mismatches.
+std::uint64_t phylo2vec_taxa_digest(const std::vector<std::string>& taxa);
+
+}  // namespace plfoc

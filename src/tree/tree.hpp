@@ -55,6 +55,7 @@ class Tree {
 
   /// Add edge (a, b) with the given length. Tips accept one edge, inner
   /// nodes three; violating that is a checked internal error.
+  // plfoc-lint: allow(raw-socket): Tree::connect member decl, not connect(2)
   void connect(NodeId a, NodeId b, double length);
   /// Remove edge (a, b); the edge must exist.
   void disconnect(NodeId a, NodeId b);

@@ -1,0 +1,31 @@
+// lint-as: src/net/client.cpp
+// Raw socket syscalls are only legal inside src/net/server.cpp; everything
+// else (this file pretends to be the client) goes through the Socket and
+// FrameDecoder abstractions.
+#include <sys/socket.h>
+
+void bad(int fd, char* buf, void* addr) {
+  socket(2, 1, 0);                    // expect(raw-socket)
+  connect(fd, nullptr, 0);            // expect(raw-socket)
+  send(fd, buf, 8, 0);                // expect(raw-socket)
+  recv(fd, buf, 8, 0);                // expect(raw-socket)
+  ::accept(fd, nullptr, nullptr);     // expect(raw-socket)
+  setsockopt(fd, 0, 0, addr, 4);      // expect(raw-socket)
+  shutdown(fd, 2);                    // expect(raw-socket)
+}
+
+struct Socket;
+
+void fine(Socket& s, Socket* p) {
+  s.send(1);          // member access: not a raw syscall
+  p->recv(2);         // member access: not a raw syscall
+  Socket::connect(3); // class-qualified: not a raw syscall
+  // A comment mentioning connect( and send( must not fire.
+  const char* doc = "bind(fd, addr, len) in a string must not fire";
+  (void)doc;
+  int listen_backlog = 8;  // identifier merely *containing* a banned name
+  (void)listen_backlog;
+}
+
+// plfoc-lint: allow(raw-socket): fixture: justified suppression is silent
+void suppressed(int fd) { listen(fd, 8); }

@@ -728,7 +728,7 @@ TEST(ServiceIntegrity, UnrecoverableJobFailsTypedAndIsReadmitted) {
   // deterministically unrecoverable on the first swapped-in read.
   PlannedDataset doomed = make_dna_dataset(dataset);
   JobSpec doomed_spec{"doomed", std::move(doomed.alignment),
-                      std::move(doomed.tree), benchmark_gtr(), {}};
+                      std::move(doomed.tree), benchmark_gtr(), {}, {}};
   doomed_spec.session.backend = Backend::kPaged;
   // Uncompressed 400-site DNA vectors are 13 pages each (×8 inner nodes);
   // 48 frames clear the store's 3-vector floor yet force swapping.
@@ -741,7 +741,7 @@ TEST(ServiceIntegrity, UnrecoverableJobFailsTypedAndIsReadmitted) {
   // Job 2: a healthy sibling on the same worker.
   PlannedDataset healthy = make_dna_dataset(dataset);
   JobSpec healthy_spec{"healthy", std::move(healthy.alignment),
-                       std::move(healthy.tree), benchmark_gtr(), {}};
+                       std::move(healthy.tree), benchmark_gtr(), {}, {}};
   const JobId healthy_id = service.submit(std::move(healthy_spec));
 
   const JobResult failed = service.wait(doomed_id);

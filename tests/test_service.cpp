@@ -16,6 +16,7 @@
 
 #include "service/jobfile.hpp"
 #include "service/scheduler.hpp"
+#include "service/tenant.hpp"
 #include "sim/dataset_planner.hpp"
 #include "util/checks.hpp"
 
@@ -36,7 +37,7 @@ JobSpec make_job(std::uint64_t seed, Backend backend, double fraction = 0.0,
                  std::uint64_t budget = 0) {
   PlannedDataset data = small_dataset(seed);
   JobSpec spec{"", std::move(data.alignment), std::move(data.tree),
-               benchmark_gtr(), SessionOptions{}};
+               benchmark_gtr(), SessionOptions{}, ""};
   spec.session.backend = backend;
   spec.session.ram_fraction = fraction;
   spec.session.ram_budget_bytes = budget;
@@ -49,7 +50,7 @@ JobSpec make_job(std::uint64_t seed, Backend backend, double fraction = 0.0,
 JobSpec make_slow_job(std::uint64_t seed) {
   PlannedDataset data = small_dataset(seed, 48, 600);
   JobSpec spec{"", std::move(data.alignment), std::move(data.tree),
-               benchmark_gtr(), SessionOptions{}};
+               benchmark_gtr(), SessionOptions{}, ""};
   spec.session.backend = Backend::kOutOfCore;
   spec.session.ram_fraction = 0.1;
   spec.session.seed = seed;
@@ -65,7 +66,7 @@ JobQueue::Pending pending(JobId id) {
   Tree tree(std::vector<std::string>{"a", "b", "c"});
   return {id,
           JobSpec{"", std::move(alignment), std::move(tree), jc69(),
-                  SessionOptions{}},
+                  SessionOptions{}, ""},
           {}};
 }
 
@@ -517,6 +518,188 @@ TEST(Jobfile, RejectsMalformedLinesWithLineNumbers) {
   expect_error("a.fasta t.nwk gtr warp 0.5\n", "unknown backend");
   expect_error("a.fasta t.nwk gtr ooc 0.5 bogus=1\n", "unknown option");
   expect_error("a.fasta t.nwk gtr ooc 0.5 seed=xyz\n", "bad integer");
+}
+
+// ------------------------------------------------------------ FairJobQueue
+
+FairJobQueue::Pending tenant_pending(JobId id, const std::string& tenant) {
+  FairJobQueue::Pending job = pending(id);
+  job.spec.tenant = tenant;
+  return job;
+}
+
+TEST(FairJobQueue, DeficitRoundRobinFollowsWeights) {
+  TenantRegistry registry;
+  registry.set_policy("heavy", {.weight = 2});
+  registry.set_policy("light", {.weight = 1});
+  FairJobQueue queue(16, registry);
+  // heavy: ids 1-4, light: ids 11-12, arrival interleaved.
+  queue.try_push(tenant_pending(1, "heavy"));
+  queue.try_push(tenant_pending(11, "light"));
+  queue.try_push(tenant_pending(2, "heavy"));
+  queue.try_push(tenant_pending(12, "light"));
+  queue.try_push(tenant_pending(3, "heavy"));
+  queue.try_push(tenant_pending(4, "heavy"));
+  // heavy entered the round first and spends a 2-credit deficit before the
+  // round rotates; light gets 1; then heavy again.
+  std::vector<JobId> order;
+  while (queue.size() > 0) order.push_back(queue.pop()->id);
+  EXPECT_EQ(order, (std::vector<JobId>{1, 2, 11, 3, 4, 12}));
+}
+
+TEST(FairJobQueue, NonEmptyTenantNamesScheduleImmediately) {
+  // Regression: enqueue once held a reference to the job's tenant string
+  // across the move into the per-tenant FIFO, so named tenants joined the
+  // round under the moved-from (empty) name and were never dequeued.
+  TenantRegistry registry;
+  FairJobQueue queue(4, registry);
+  ASSERT_EQ(queue.try_push(tenant_pending(7, "acme")), PushResult::kAccepted);
+  const auto job = queue.pop();  // deadlocked before the fix
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->id, 7u);
+  EXPECT_EQ(job->spec.tenant, "acme");
+}
+
+TEST(FairJobQueue, InFlightQuotaBlocksUntilJobFinished) {
+  TenantRegistry registry;
+  registry.set_policy("a", {.weight = 1, .max_in_flight = 1});
+  FairJobQueue queue(8, registry);
+  queue.try_push(tenant_pending(1, "a"));
+  queue.try_push(tenant_pending(2, "a"));
+  ASSERT_EQ(queue.pop()->id, 1u);  // "a" now at its quota
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    const auto job = queue.pop();  // blocks until job 1 finishes
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->id, 2u);
+    popped = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(popped);  // quota held the second job back
+  queue.job_finished("a");
+  consumer.join();
+  EXPECT_TRUE(popped);
+}
+
+TEST(FairJobQueue, QuotaBlockedTenantDoesNotStarveOthers) {
+  TenantRegistry registry;
+  registry.set_policy("a", {.weight = 5, .max_in_flight = 1});
+  FairJobQueue queue(8, registry);
+  queue.try_push(tenant_pending(1, "a"));
+  queue.try_push(tenant_pending(2, "a"));
+  queue.try_push(tenant_pending(3, "b"));
+  ASSERT_EQ(queue.pop()->id, 1u);
+  // "a" is quota-blocked; the round must rotate past it to "b".
+  ASSERT_EQ(queue.pop()->id, 3u);
+}
+
+TEST(FairJobQueue, FlushReturnsQueuedJobsPerTenantAndCloses) {
+  TenantRegistry registry;
+  FairJobQueue queue(8, registry);
+  queue.try_push(tenant_pending(1, "a"));
+  queue.try_push(tenant_pending(2, "a"));
+  queue.try_push(tenant_pending(3, "b"));
+  const FairJobQueue::FlushReport report = queue.flush();
+  EXPECT_EQ(report.jobs.size(), 3u);
+  EXPECT_EQ(report.per_tenant.at("a"), 2u);
+  EXPECT_EQ(report.per_tenant.at("b"), 1u);
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.try_push(tenant_pending(4, "a")), PushResult::kClosed);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+// --------------------------------------------------------- Service tenants
+
+JobSpec tenant_job(std::uint64_t seed, const std::string& tenant) {
+  JobSpec spec = make_job(seed, Backend::kInRam);
+  spec.tenant = tenant;
+  return spec;
+}
+
+TEST(Service, DrainFlushQueuedCancelsPerTenant) {
+  ServiceOptions options;
+  options.workers = 1;
+  Service service(options);
+  // The worker picks up the slow job; everything behind it stays queued
+  // long enough for the flush to see it.
+  JobSpec slow = make_slow_job(5);
+  slow.tenant = "running";
+  const JobId running = service.submit(std::move(slow));
+  // Don't flush until the worker has actually popped the slow job, or the
+  // flush would cancel it while still queued.
+  while (service.queued_jobs() != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::vector<JobId> queued;
+  for (std::uint64_t i = 0; i < 3; ++i)
+    queued.push_back(service.submit(tenant_job(20 + i, "waiting")));
+  const DrainReport report = service.drain(DrainMode::kFlushQueued);
+  ASSERT_EQ(report.results.size(), 4u);
+  EXPECT_EQ(report.per_tenant.at("running").completed, 1u);
+  EXPECT_EQ(report.per_tenant.at("waiting").cancelled, 3u);
+  for (const JobResult& result : report.results) {
+    if (result.id == running) {
+      EXPECT_EQ(result.status, JobStatus::kDone);
+    } else {
+      EXPECT_EQ(result.status, JobStatus::kCancelled);
+    }
+  }
+  // Flushed jobs are terminal and waitable, not lost.
+  EXPECT_EQ(service.wait(queued[0]).status, JobStatus::kCancelled);
+}
+
+TEST(Service, DrainCompleteRunsEverythingPerTenant) {
+  ServiceOptions options;
+  options.workers = 2;
+  Service service(options);
+  for (std::uint64_t i = 0; i < 2; ++i)
+    service.submit(tenant_job(30 + i, "a"));
+  service.submit(tenant_job(40, "b"));
+  const DrainReport report = service.drain(DrainMode::kComplete);
+  EXPECT_EQ(report.per_tenant.at("a").completed, 2u);
+  EXPECT_EQ(report.per_tenant.at("b").completed, 1u);
+  EXPECT_EQ(report.per_tenant.at("a").cancelled, 0u);
+}
+
+TEST(Service, TenantStatsCountCacheHitsAcrossTenants) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.result_cache_entries = 16;
+  Service service(options);
+  // Same spec, two tenants: the second evaluation is a cache hit credited
+  // to the submitting tenant.
+  const JobResult first = service.wait(service.submit(tenant_job(9, "a")));
+  const JobResult second = service.wait(service.submit(tenant_job(9, "b")));
+  ASSERT_EQ(first.status, JobStatus::kDone);
+  ASSERT_EQ(second.status, JobStatus::kDone);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  // Bit-identical: the hit replays the leader's published value.
+  EXPECT_EQ(second.log_likelihood, first.log_likelihood);
+  const auto stats = service.tenant_stats();
+  EXPECT_EQ(stats.at("a").completed, 1u);
+  EXPECT_EQ(stats.at("a").cache_hits, 0u);
+  EXPECT_EQ(stats.at("b").cache_hits, 1u);
+  const CacheStats cache = service.cache_stats();
+  EXPECT_EQ(cache.lookups, 2u);
+  EXPECT_EQ(cache.hits + cache.misses, cache.lookups);
+  service.drain();
+}
+
+TEST(Service, TinyRamShareStillMakesProgress) {
+  ServiceOptions options;
+  options.workers = 2;
+  options.ram_budget_bytes = 64 << 20;
+  options.tenants["cramped"] = {.weight = 1,
+                                .max_in_flight = 0,
+                                .ram_share_bytes = 1};  // below any one job
+  Service service(options);
+  std::vector<JobId> ids;
+  for (std::uint64_t i = 0; i < 3; ++i)
+    ids.push_back(service.submit(tenant_job(50 + i, "cramped")));
+  for (const JobId id : ids)
+    EXPECT_EQ(service.wait(id).status, JobStatus::kDone);
+  service.drain();
 }
 
 TEST(Jobfile, SharedVocabularyMatchesDriver) {

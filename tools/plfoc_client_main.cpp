@@ -1,0 +1,24 @@
+// The plfoc-client command-line tool: submit a jobfile to a running
+// `plfoc serve` over the wire protocol (docs/serving.md) and print per-job
+// results. All logic lives in src/cli/driver.cpp (run_client_cli) so it is
+// unit-testable; this translation unit only maps argv and exceptions to
+// process-level behaviour.
+#include <cstdio>
+#include <iostream>
+
+#include "cli/driver.hpp"
+#include "util/checks.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const plfoc::ClientConfig config =
+        plfoc::parse_client_cli(argc - 1, argv + 1);
+    return plfoc::run_client_cli(config, std::cout);
+  } catch (const plfoc::Error& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "plfoc-client: unexpected error: %s\n", error.what());
+    return 3;
+  }
+}

@@ -15,6 +15,11 @@ int main(int argc, char** argv) {
           plfoc::parse_batch_cli(argc - 2, argv + 2);
       return plfoc::run_batch_cli(config, std::cout);
     }
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+      const plfoc::ServeConfig config =
+          plfoc::parse_serve_cli(argc - 2, argv + 2);
+      return plfoc::run_serve_cli(config, std::cin, std::cout);
+    }
     if (argc > 1 && std::strcmp(argv[1], "fsck") == 0) {
       const plfoc::FsckConfig config =
           plfoc::parse_fsck_cli(argc - 2, argv + 2);
