@@ -82,11 +82,7 @@ NetworkCell run_network_phase(const std::string& fasta_path,
                               const std::vector<Phylo2Vec>& pool,
                               const std::vector<std::size_t>& picks,
                               std::size_t cache_entries) {
-  ServerOptions options;
-  options.host = "127.0.0.1";
-  options.port = 0;
-  options.service.workers = 2;
-  options.service.queue_capacity = picks.size();
+  ServerOptions options = loopback_server_options(2, picks.size());
   options.service.result_cache_entries = cache_entries;
   Server server(std::move(options));
   server.start();

@@ -70,6 +70,15 @@ CliConfig parse_cli(int argc, const char* const* argv) {
                 "transient I/O retry budget per transfer (0 = fail fast)")
       .add_flag("no-integrity", &config.no_integrity,
                 "disable per-vector checksums and self-healing recovery")
+      .add_string("io-engine", &config.io_engine,
+                  "backing-file I/O engine: sync | threads | uring | "
+                  "deterministic (uring degrades to threads when the host "
+                  "lacks io_uring)")
+      .add_uint("io-depth", &config.io_depth,
+                "submission-queue depth for async I/O engines")
+      .add_flag("direct-io", &config.direct_io,
+                "route 512-byte-aligned transfers through O_DIRECT "
+                "(best effort; misaligned transfers stay buffered)")
       .add_uint("threads", &config.threads,
                 "kernel threads for block-parallel PLF kernels (1 = serial; "
                 "logL is bit-identical for every value)")
@@ -146,6 +155,9 @@ int run_cli(const CliConfig& config, std::ostream& out) {
     options.faults = FaultConfig::parse(config.inject_faults);
   options.integrity = !config.no_integrity;
   options.io_retry.max_retries = static_cast<unsigned>(config.io_retries);
+  options.io_engine = parse_aio_engine(config.io_engine);
+  options.io_depth = static_cast<unsigned>(config.io_depth);
+  options.direct_io = config.direct_io;
   options.threads = static_cast<unsigned>(config.threads);
   Session session(std::move(alignment), std::move(tree), std::move(model),
                   options);
@@ -155,6 +167,21 @@ int run_cli(const CliConfig& config, std::ostream& out) {
   out << "backend: " << session.store().backend_name() << " ("
       << session.patterns() << " patterns, vector width "
       << session.vector_width() * sizeof(double) << " B)\n";
+  if (options.io_engine != AioEngineKind::kSync) {
+    // Report the engine that actually got built (uring degrades to the
+    // thread pool on hosts without io_uring support).
+    const FileBackend* backing = nullptr;
+    if (const OutOfCoreStore* ooc = session.out_of_core())
+      backing = &ooc->file();
+    else if (const PagedStore* paged = session.paged())
+      backing = &paged->file();
+    else if (const TieredStore* tiered = session.tiered())
+      backing = &tiered->file();
+    if (backing != nullptr)
+      out << "io engine: " << backing->io_engine_name() << " (depth "
+          << backing->io_depth() << (config.direct_io ? ", O_DIRECT" : "")
+          << ")\n";
+  }
 
   if (config.mode == "evaluate") {
     out << "logL = " << session.engine().log_likelihood() << "\n";
@@ -236,6 +263,12 @@ BatchConfig parse_batch_cli(int argc, const char* const* argv) {
       .add_uint("io-retries", &config.io_retries,
                 "batch-default transient I/O retry budget "
                 "(a job's io-retries= key overrides; 0 = fail fast)")
+      .add_string("io-engine", &config.io_engine,
+                  "batch-default backing-file I/O engine: sync | threads | "
+                  "uring | deterministic (a job's io-engine= key overrides)")
+      .add_uint("io-depth", &config.io_depth,
+                "batch-default async submission-queue depth "
+                "(a job's io-depth= key overrides)")
       .add_uint("threads", &config.threads,
                 "batch-default kernel threads per worker "
                 "(a job's threads= key overrides; logL is unaffected)")
@@ -280,6 +313,11 @@ int run_batch_cli(const BatchConfig& config, std::ostream& out) {
   if (batch_faults.enabled())
     out << "fault injection: " << batch_faults.spec() << " (retries "
         << config.io_retries << (config.readmit ? ", readmit" : "") << ")\n";
+  // Validate the batch-default engine name before any job is submitted.
+  const AioEngineKind batch_engine = parse_aio_engine(config.io_engine);
+  if (batch_engine != AioEngineKind::kSync)
+    out << "io engine: " << aio_engine_name(batch_engine) << " (depth "
+        << config.io_depth << ")\n";
 
   ServiceOptions options;
   options.workers = static_cast<std::size_t>(config.workers);
@@ -298,6 +336,9 @@ int run_batch_cli(const BatchConfig& config, std::ostream& out) {
     if (entry.io_retries < 0)
       spec.session.io_retry.max_retries =
           static_cast<unsigned>(config.io_retries);
+    if (entry.io_engine.empty()) spec.session.io_engine = batch_engine;
+    if (entry.io_depth < 0)
+      spec.session.io_depth = static_cast<unsigned>(config.io_depth);
     service.submit(std::move(spec));
   }
   const std::vector<JobResult> results = service.drain();
@@ -490,6 +531,11 @@ ServeConfig parse_serve_cli(int argc, const char* const* argv) {
                 "prefetcher lookahead for out-of-core jobs (0 = off)")
       .add_uint("threads", &config.threads,
                 "kernel threads per worker (jobfile threads= overrides)")
+      .add_string("io-engine", &config.io_engine,
+                  "service-default backing-file I/O engine: sync | threads | "
+                  "uring | deterministic (jobfile io-engine= overrides)")
+      .add_uint("io-depth", &config.io_depth,
+                "service-default async submission-queue depth")
       .add_flag("readmit", &config.readmit,
                 "re-admit a job once after a typed I/O or integrity failure")
       .add_uint("cache", &config.cache,
@@ -510,6 +556,7 @@ ServeConfig parse_serve_cli(int argc, const char* const* argv) {
   parser.parse(argc, argv);
   parse_host_port(config.listen);        // validate early
   parse_tenant_policies(config.tenants); // validate early
+  parse_aio_engine(config.io_engine);    // validate early
   return config;
 }
 
@@ -528,6 +575,8 @@ int run_serve_cli(const ServeConfig& config, std::istream& in,
   options.service.prefetch_lookahead =
       static_cast<std::size_t>(config.prefetch);
   options.service.kernel_threads = static_cast<unsigned>(config.threads);
+  options.service.io_engine = parse_aio_engine(config.io_engine);
+  options.service.io_depth = static_cast<unsigned>(config.io_depth);
   options.service.readmit_io_failures = config.readmit;
   options.service.result_cache_entries =
       static_cast<std::size_t>(config.cache);

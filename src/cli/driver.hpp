@@ -48,6 +48,10 @@ struct CliConfig {
   std::string inject_faults;         // FaultConfig spec "seed=N,rate=P,..."
   std::uint64_t io_retries = 4;      // transient-error retry budget (0 = off)
   bool no_integrity = false;         // disable per-vector checksums
+  // async I/O (docs/async-io.md)
+  std::string io_engine = "sync";    // sync | threads | uring | deterministic
+  std::uint64_t io_depth = 8;        // submission-queue depth (async engines)
+  bool direct_io = false;            // O_DIRECT for 512-aligned transfers
   // parallelism (docs/parallelism.md)
   std::uint64_t threads = 1;         // kernel threads (1 = serial)
   // workload
@@ -84,6 +88,8 @@ struct BatchConfig {
   /// keys win.
   std::string inject_faults;          ///< FaultConfig spec "seed=N,rate=P,..."
   std::uint64_t io_retries = 4;       ///< transient-error retry budget
+  std::string io_engine = "sync";     ///< batch-default I/O engine
+  std::uint64_t io_depth = 8;         ///< batch-default submission-queue depth
   std::uint64_t threads = 1;          ///< kernel threads per worker
   bool readmit = false;               ///< re-admit I/O-failed jobs once
   /// Result-cache entries (0 = off). With the cache on, trees are
@@ -144,6 +150,8 @@ struct ServeConfig {
   std::uint64_t queue_capacity = 64;
   std::uint64_t prefetch = 0;
   std::uint64_t threads = 1;           ///< kernel threads per worker
+  std::string io_engine = "sync";      ///< service-default I/O engine
+  std::uint64_t io_depth = 8;          ///< service-default queue depth
   bool readmit = false;
   std::uint64_t cache = 0;             ///< result-cache entries; 0 = off
   std::uint64_t cache_shards = 8;

@@ -17,6 +17,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "search/stepwise.hpp"
@@ -117,6 +118,16 @@ std::size_t Socket::recv_some(std::uint8_t* data, std::size_t size) {
   }
 }
 
+ServerOptions loopback_server_options(std::size_t workers,
+                                      std::size_t queue_capacity) {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;  // kernel-assigned ephemeral
+  options.service.workers = workers;
+  options.service.queue_capacity = queue_capacity;
+  return options;
+}
+
 Server::Server(ServerOptions options) : options_(std::move(options)) {
   // Self-wake channel, created before the Service so on_complete can poke
   // it from day one. A socketpair (not a pipe) keeps the wake path inside
@@ -163,9 +174,21 @@ void Server::start() {
     if (fd < 0) continue;
     const int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    if (::bind(fd, entry->ai_addr, entry->ai_addrlen) == 0 &&
-        ::listen(fd, 64) == 0)
-      break;
+    // A fixed port can sit in TIME_WAIT from a previous listener that had
+    // live connections when it closed (SO_REUSEADDR does not cover every
+    // such state on all hosts) — the classic source of flaky EADDRINUSE in
+    // back-to-back test runs. Retry briefly instead of failing on the
+    // first collision; any other errno fails immediately as before.
+    bool bound = false;
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      if (::bind(fd, entry->ai_addr, entry->ai_addrlen) == 0) {
+        bound = true;
+        break;
+      }
+      if (errno != EADDRINUSE) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (bound && ::listen(fd, 64) == 0) break;
     ::close(fd);
     fd = -1;
   }

@@ -50,6 +50,13 @@ struct ServerOptions {
   ServiceOptions service;
 };
 
+/// Loopback server options for tests and benchmarks: bind 127.0.0.1 on a
+/// kernel-assigned ephemeral port, so back-to-back runs can never collide on
+/// a fixed port (Server::start() additionally retries a transient
+/// EADDRINUSE). Read the actual port back with Server::port().
+ServerOptions loopback_server_options(std::size_t workers = 2,
+                                      std::size_t queue_capacity = 16);
+
 /// Lifetime counters, readable while the server runs.
 struct ServerStats {
   std::uint64_t accepted = 0;         ///< connections accepted

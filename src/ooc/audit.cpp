@@ -203,6 +203,8 @@ std::optional<std::string> StoreAuditor::check_stats(const OocStats& stats) {
        last_stats_.recovery_recomputes},
       {"corruptions_injected", stats.corruptions_injected,
        last_stats_.corruptions_injected},
+      {"io_batches", stats.io_batches, last_stats_.io_batches},
+      {"io_coalesced", stats.io_coalesced, last_stats_.io_coalesced},
   };
   for (const Field& f : fields) {
     if (f.now < f.before)

@@ -200,6 +200,26 @@ FileBackend::FileBackend(std::size_t count, std::size_t bytes_per_vector,
     fds_.push_back(fd);
     paths_.push_back(std::move(path));
   }
+  if (options_.direct_io) {
+    // Best effort: a filesystem may refuse O_DIRECT (tmpfs does); -1 routes
+    // every attempt through the buffered fd.
+    for (const std::string& path : paths_) {
+#ifdef O_DIRECT
+      direct_fds_.push_back(::open(path.c_str(), O_RDWR | O_DIRECT));
+#else
+      direct_fds_.push_back(-1);
+#endif
+    }
+  }
+
+  AioEngineOptions engine_options;
+  engine_options.kind = options_.io_engine;
+  engine_options.depth = options_.io_depth < 1 ? 1 : options_.io_depth;
+  engine_options.permute_seed = options_.io_permute_seed;
+  engine_options.injector = injector_.get();
+  engine_options.retry = options_.retry;
+  engine_options.latency_ns = options_.faults.latency_ns;
+  engine_ = make_aio_engine(engine_options);
 
   // Vectors stripe round-robin: file k holds ceil((count - k)/num_files).
   for (unsigned k = 0; k < options_.num_files; ++k) {
@@ -278,9 +298,17 @@ void FileBackend::init_integrity_file(unsigned file_index,
 }
 
 FileBackend::~FileBackend() {
+  engine_.reset();  // drain workers before their fds go away
+  for (int fd : direct_fds_)
+    if (fd >= 0) ::close(fd);
   for (int fd : fds_) ::close(fd);
   if (options_.remove_on_close)
     for (const std::string& path : paths_) ::unlink(path.c_str());
+}
+
+const char* FileBackend::io_engine_name() const {
+  MutexLock lock(engine_mutex_);
+  return engine_->name();
 }
 
 FileBackend::Location FileBackend::locate(std::uint32_t index) const {
@@ -356,6 +384,204 @@ void FileBackend::write_vector(std::uint32_t index, const void* src) {
   fi.checksum[loc.block].store(checksum, std::memory_order_relaxed);
   fi.generation[loc.block].store(generation, std::memory_order_relaxed);
   charge(bytes_per_vector_);
+}
+
+// Batched vector transfers through the AioEngine. The completions may arrive
+// in any order, so every effect that must be deterministic — injector draws,
+// checksum-table writes, counter folds, verification, corruption draws — is
+// split between submission time (in op order) and a completion pass that
+// walks the batch in op order again, keyed by token rather than by delivery.
+// Per-op semantics mirror the sequential read_vector / write_vector /
+// read_vector_verified paths exactly; the only intended difference is that a
+// coalesced read range charges the device model once for the whole range.
+void FileBackend::submit_vector_ops(VectorOp* ops, std::size_t count) {
+  if (count == 0) return;
+  io_batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // Write-side integrity decisions are drawn at submission, in op order
+  // (write_vector draws before its payload I/O, too).
+  struct WritePlan {
+    std::uint64_t checksum = 0;
+    std::uint64_t generation = 0;
+    CorruptionKind corruption = CorruptionKind::kNone;
+    bool skip_payload = false;  ///< kStale: the device acks, nothing lands
+  };
+  struct Staged {
+    AioOp aio;
+    std::vector<std::size_t> members;  ///< op indices riding this transfer
+  };
+  std::vector<WritePlan> plans(count);
+  std::vector<Staged> staged;
+  staged.reserve(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    VectorOp& op = ops[i];
+    op.error = 0;
+    op.attempts = 0;
+    op.fail_offset = 0;
+    op.injected = false;
+    op.coalesced = false;
+    op.verify_result = VerifyResult{};
+    const Location loc = locate(op.index);
+    const std::uint64_t payload_base =
+        options_.integrity ? integrity_[loc.file].payload_offset : 0;
+
+    AioOp aio;
+    aio.is_write = op.is_write;
+    aio.fd = loc.fd;
+    aio.direct_fd = direct_fd(loc.file);
+    aio.buffer = op.buffer;
+    aio.bytes = bytes_per_vector_;
+    aio.offset = payload_base + loc.offset;
+
+    if (op.is_write) {
+      if (options_.integrity) {
+        FileIntegrity& fi = integrity_[loc.file];
+        WritePlan& plan = plans[i];
+        plan.checksum =
+            checksum64(fi.checksum_seed, op.buffer, bytes_per_vector_);
+        plan.generation =
+            fi.generation[loc.block].load(std::memory_order_relaxed) + 1;
+        CorruptionDecision corruption;
+        if (injector_ != nullptr)
+          corruption = injector_->next_corruption(true);
+        plan.corruption = corruption.kind;
+        if (corruption.kind == CorruptionKind::kStale) {
+          plan.skip_payload = true;
+          continue;  // no transfer at all — bookkeeping-only at completion
+        }
+        if (corruption.kind == CorruptionKind::kTorn) {
+          std::size_t prefix =
+              1 + static_cast<std::size_t>(
+                      corruption.a *
+                      static_cast<double>(bytes_per_vector_ - 1));
+          aio.bytes = std::min(prefix, bytes_per_vector_ - 1);
+        }
+      }
+    } else {
+      PLFOC_CHECK(!op.verify || options_.integrity);
+      // Coalesce with the previous staged transfer when this read continues
+      // it in both the file and the destination buffer (prefetch batches
+      // staged into contiguous scratch are the common case).
+      if (!staged.empty()) {
+        Staged& prev = staged.back();
+        if (!prev.aio.is_write && prev.aio.fd == aio.fd &&
+            prev.aio.offset + prev.aio.bytes == aio.offset &&
+            static_cast<char*>(prev.aio.buffer) + prev.aio.bytes ==
+                aio.buffer) {
+          prev.aio.bytes += aio.bytes;
+          prev.members.push_back(i);
+          continue;
+        }
+      }
+    }
+    aio.token = staged.size();
+    staged.push_back(Staged{aio, {i}});
+  }
+
+  std::vector<AioCompletion> completions(staged.size());
+  if (!staged.empty()) {
+    std::vector<AioOp> aio_ops;
+    aio_ops.reserve(staged.size());
+    for (const Staged& s : staged) aio_ops.push_back(s.aio);
+    // One whole batch at a time on the shared engine: a prefetch batch
+    // interleaved with the engine thread's overlapped swap would cross-
+    // deliver completions (tokens are batch-relative).
+    MutexLock engine_lock(engine_mutex_);
+    engine_->submit(aio_ops.data(), aio_ops.size());
+    engine_->collect(completions.data(), completions.size());
+  }
+
+  // Fold the per-op counter deltas and distribute outcomes in token order —
+  // delivery order must leave no trace.
+  std::vector<const AioCompletion*> by_token(staged.size(), nullptr);
+  for (const AioCompletion& completion : completions)
+    by_token[completion.token] = &completion;
+  for (std::size_t t = 0; t < staged.size(); ++t) {
+    const Staged& s = staged[t];
+    PLFOC_CHECK(by_token[t] != nullptr);
+    const AioCompletion& completion = *by_token[t];
+    faults_injected_.fetch_add(completion.faults, std::memory_order_relaxed);
+    io_retries_.fetch_add(completion.retries, std::memory_order_relaxed);
+    io_exhausted_.fetch_add(completion.exhausted, std::memory_order_relaxed);
+    const bool merged = s.members.size() > 1;
+    for (const std::size_t i : s.members) {
+      if (merged) {
+        ops[i].coalesced = true;
+        io_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!completion.ok()) {
+        ops[i].error = completion.error;
+        ops[i].attempts = completion.attempts;
+        ops[i].fail_offset = completion.fail_offset;
+        ops[i].injected = completion.injected;
+      }
+    }
+    // A ranged read is one device operation however many vectors it carries;
+    // a failed transfer charges nothing (the sequential path throws before
+    // charge()).
+    if (!s.aio.is_write && completion.ok()) charge(s.aio.bytes);
+  }
+
+  // Completion bookkeeping, in op order.
+  for (std::size_t i = 0; i < count; ++i) {
+    VectorOp& op = ops[i];
+    const Location loc = locate(op.index);
+    if (op.is_write) {
+      if (!options_.integrity) {
+        if (op.ok()) charge(bytes_per_vector_);
+        continue;
+      }
+      FileIntegrity& fi = integrity_[loc.file];
+      const WritePlan& plan = plans[i];
+      if (plan.skip_payload) {  // kStale: mirror advances, medium untouched
+        corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
+        fi.corrupt_mark[loc.block].store(1, std::memory_order_relaxed);
+        fi.checksum[loc.block].store(plan.checksum, std::memory_order_relaxed);
+        fi.generation[loc.block].store(plan.generation,
+                                       std::memory_order_relaxed);
+        charge(bytes_per_vector_);
+        continue;
+      }
+      // A failed payload leaves table, mirror, marks and device accounting
+      // untouched — exactly the state write_vector's throw leaves behind.
+      if (!op.ok()) continue;
+      try {
+        store_table_entry(loc.file, loc.block, plan.checksum, plan.generation,
+                          true);
+      } catch (const IoError& error) {
+        op.error = error.errno_value();
+        op.attempts = error.attempts();
+        op.fail_offset = error.offset();
+        op.injected = error.injected();
+        continue;
+      }
+      if (plan.corruption == CorruptionKind::kTorn) {
+        corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
+        fi.corrupt_mark[loc.block].store(1, std::memory_order_relaxed);
+      } else {
+        fi.corrupt_mark[loc.block].store(0, std::memory_order_relaxed);
+      }
+      fi.checksum[loc.block].store(plan.checksum, std::memory_order_relaxed);
+      fi.generation[loc.block].store(plan.generation,
+                                     std::memory_order_relaxed);
+      charge(bytes_per_vector_);
+    } else {
+      if (!op.ok() || !op.verify) continue;
+      FileIntegrity& fi = integrity_[loc.file];
+      const std::uint64_t generation =
+          fi.generation[loc.block].load(std::memory_order_relaxed);
+      if (generation == 0) continue;  // never written: preallocated zeros
+      const bool injected_now =
+          apply_read_corruption(op.buffer, bytes_per_vector_);
+      const std::uint64_t expected =
+          fi.checksum[loc.block].load(std::memory_order_relaxed);
+      if (checksum64(fi.checksum_seed, op.buffer, bytes_per_vector_) !=
+          expected)
+        op.verify_result =
+            classify_mismatch(loc.file, loc.block, injected_now);
+    }
+  }
 }
 
 VerifyResult FileBackend::read_vector_verified(std::uint32_t index,

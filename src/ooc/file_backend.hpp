@@ -22,7 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "ooc/aio.hpp"
 #include "ooc/faults.hpp"
+#include "util/mutex.hpp"
 
 namespace plfoc {
 
@@ -93,6 +95,19 @@ struct FileBackendOptions {
   /// byte-granular path verifies page runs. Must divide into the payload
   /// only logically — the final block of a file may be short.
   std::size_t integrity_block_bytes = 0;
+  /// Async submission/completion backend for batched vector ops
+  /// (docs/async-io.md). kSync keeps the historical sequential path; the
+  /// stores only take their overlapped eviction/demand and batched-prefetch
+  /// paths when this is an async engine.
+  AioEngineKind io_engine = AioEngineKind::kSync;
+  /// Queue depth for the async engines (worker count / ring size).
+  unsigned io_depth = 8;
+  /// Completion-delivery permutation seed (kDeterministic engine only).
+  std::uint64_t io_permute_seed = kAioOrderIdentity;
+  /// Also open O_DIRECT descriptors and route 512-aligned attempts through
+  /// them, bypassing the page cache (best effort: falls back to the buffered
+  /// fd when the open or the alignment fails).
+  bool direct_io = false;
 };
 
 /// Outcome of a verified read.
@@ -154,6 +169,46 @@ class FileBackend {
   /// Read/write one whole vector (one logical block).
   void read_vector(std::uint32_t index, void* dst);
   void write_vector(std::uint32_t index, const void* src);
+
+  /// One whole-vector transfer in a batch submitted through the AioEngine.
+  /// Outcome fields are filled by submit_vector_ops; `verify` requests the
+  /// read_vector_verified semantics at completion (requires integrity).
+  struct VectorOp {
+    // -- request --
+    bool is_write = false;
+    std::uint32_t index = 0;
+    void* buffer = nullptr;  ///< read target / write source, bytes_per_vector()
+    bool verify = false;     ///< verified read (reads only)
+    // -- outcome --
+    /// 0 = transferred; else errno of the exhausted transfer (the caller
+    /// converts to the same typed IoError the sequential path throws, using
+    /// attempts/fail_offset/injected below).
+    int error = 0;
+    unsigned attempts = 0;
+    std::uint64_t fail_offset = 0;
+    bool injected = false;
+    VerifyResult verify_result;  ///< verified reads only
+    bool coalesced = false;  ///< rode a merged ranged op with neighbours
+    bool ok() const { return error == 0; }
+  };
+
+  /// Submit a batch of whole-vector transfers through the configured
+  /// AioEngine and block until all complete. Adjacent reads (same stripe
+  /// file, contiguous file offsets AND contiguous buffers) coalesce into
+  /// single ranged ops, charged as one device operation. All bookkeeping —
+  /// counter folds, checksum-table writes, verification, corruption draws —
+  /// happens in submission order at completion, so results are independent
+  /// of the engine's delivery order. Per-op failures are *recorded*, never
+  /// thrown; ops in one batch must not alias buffers or vector indices.
+  void submit_vector_ops(VectorOp* ops, std::size_t count);
+
+  /// True when the configured engine completes ops out of submission order
+  /// (threads/uring/deterministic): the stores' overlap paths key off this.
+  bool async_io() const { return options_.io_engine != AioEngineKind::kSync; }
+  unsigned io_depth() const { return options_.io_depth < 1 ? 1 : options_.io_depth; }
+  /// Resolved engine name ("sync", "threads", "uring", "deterministic") —
+  /// reflects a uring→threads runtime fallback.
+  const char* io_engine_name() const;
 
   /// Verified whole-vector read: reads the payload, applies any scheduled
   /// read-side corruption, then checks the content against the in-memory
@@ -225,11 +280,21 @@ class FileBackend {
   std::uint64_t corruptions_injected() const {
     return corruptions_injected_.load(std::memory_order_relaxed);
   }
+  /// Batches submitted through submit_vector_ops.
+  std::uint64_t io_batches() const {
+    return io_batches_.load(std::memory_order_relaxed);
+  }
+  /// Vector ops that rode a coalesced ranged op with their neighbours.
+  std::uint64_t io_coalesced() const {
+    return io_coalesced_.load(std::memory_order_relaxed);
+  }
   void reset_fault_counters() {
     faults_injected_.store(0, std::memory_order_relaxed);
     io_retries_.store(0, std::memory_order_relaxed);
     io_exhausted_.store(0, std::memory_order_relaxed);
     corruptions_injected_.store(0, std::memory_order_relaxed);
+    io_batches_.store(0, std::memory_order_relaxed);
+    io_coalesced_.store(0, std::memory_order_relaxed);
   }
   /// Non-null when a fault schedule is configured.
   const FaultInjector* injector() const { return injector_.get(); }
@@ -306,11 +371,18 @@ class FileBackend {
   VerifyResult classify_mismatch(unsigned file_index, std::uint64_t block,
                                  bool injected_now);
 
+  /// O_DIRECT sibling fd of stripe `file_index`, or -1 (direct_io off, or
+  /// the open failed — tmpfs, for one, refuses O_DIRECT).
+  int direct_fd(unsigned file_index) const {
+    return direct_fds_.empty() ? -1 : direct_fds_[file_index];
+  }
+
   std::size_t count_;
   std::size_t bytes_per_vector_;
   FileBackendOptions options_;
   std::size_t block_bytes_ = 0;  ///< integrity-block granularity (resolved)
   std::vector<int> fds_;
+  std::vector<int> direct_fds_;  ///< empty when direct_io is off
   std::vector<std::string> paths_;
   std::vector<FileIntegrity> integrity_;  ///< empty when integrity is off
   std::unique_ptr<FaultInjector> injector_;  ///< null: injection disabled
@@ -320,6 +392,17 @@ class FileBackend {
   std::atomic<std::uint64_t> io_retries_{0};
   std::atomic<std::uint64_t> io_exhausted_{0};
   std::atomic<std::uint64_t> corruptions_injected_{0};
+  std::atomic<std::uint64_t> io_batches_{0};
+  std::atomic<std::uint64_t> io_coalesced_{0};
+  /// Serialises whole batches on the engine: AioEngine's contract is one
+  /// submitting/waiting thread at a time, and the prefetch worker's batches
+  /// run concurrently with the engine thread's overlapped swaps. Interleaved
+  /// batches would cross-deliver completions (tokens are batch-relative).
+  /// Ops *within* a batch still overlap — that is where the parallelism is.
+  mutable Mutex engine_mutex_;
+  /// Built from io_engine/io_depth/io_permute_seed; declared after the
+  /// injector it borrows, destroyed before it.
+  std::unique_ptr<AioEngine> engine_ PLFOC_GUARDED_BY(engine_mutex_);
 };
 
 /// A unique temporary file path under $TMPDIR (or /tmp) for vector files.

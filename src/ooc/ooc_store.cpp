@@ -89,6 +89,8 @@ void OutOfCoreStore::refresh_fault_counters() {
   stats_locked().io_retries = file_.io_retries();
   stats_locked().io_exhausted = file_.io_exhausted();
   stats_locked().corruptions_injected = file_.corruptions_injected();
+  stats_locked().io_batches = file_.io_batches();
+  stats_locked().io_coalesced = file_.io_coalesced();
 }
 
 VerifyResult OutOfCoreStore::file_read(std::uint32_t index, double* dst,
@@ -169,6 +171,111 @@ std::uint32_t OutOfCoreStore::obtain_slot(std::uint32_t index) {
   return slot;
 }
 
+// The async-engine miss path: the victim write-back and the demand read are
+// one engine batch, so the device (or the modeled latency) overlaps them
+// instead of serialising write-then-read. All slot-table bookkeeping happens
+// at completion in the sequential path's order, so stats, audit events and
+// failure states are indistinguishable from obtain_slot + file_read.
+std::uint32_t OutOfCoreStore::swap_in_overlapped(std::uint32_t index,
+                                                 bool verify,
+                                                 VerifyResult* out_verify) {
+  // A free slot (or a dropped clean victim) leaves nothing to overlap.
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].vector != kNoVector) continue;
+    *out_verify = file_read(index, slot_data(s), verify);
+    return s;
+  }
+
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(slots_.size());
+  for (const Slot& slot : slots_)
+    if (slot.pins == 0) candidates.push_back(slot.vector);
+  PLFOC_REQUIRE(!candidates.empty(),
+                "all RAM slots are pinned; the store needs more slots than "
+                "concurrently held leases");
+  const std::uint32_t victim = strategy_->choose_victim(
+      {candidates.data(), candidates.size()}, index);
+  const std::uint32_t slot = vector_slot_[victim];
+  PLFOC_CHECK(slot != kNoSlot);
+  const bool write_back = options_.write_back_clean || slots_[slot].dirty;
+  PLFOC_AUDIT_EVENT("evict", auditor_.record_evict(victim, slots_[slot].pins,
+                                                   write_back));
+  PLFOC_CHECK(slots_[slot].vector == victim && slots_[slot].pins == 0);
+
+  if (!write_back) {
+    ++stats_locked().evictions;
+    strategy_->on_evict(victim);
+    vector_slot_[victim] = kNoSlot;
+    slots_[slot].vector = kNoVector;
+    slots_[slot].dirty = false;
+    *out_verify = file_read(index, slot_data(slot), verify);
+    return slot;
+  }
+
+  // The write-back sources a scratch copy: the demand read is about to reuse
+  // the victim's slot buffer while the write is still in flight, and the
+  // copy doubles as the undo image if the write-back fails.
+  evict_scratch_.assign(slot_data(slot), slot_data(slot) + width_);
+  const bool single = options_.disk_precision == DiskPrecision::kSingle;
+  FileBackend::VectorOp ops[2];
+  ops[0].is_write = true;
+  ops[0].index = victim;
+  if (single) {
+    for (std::size_t i = 0; i < width_; ++i)
+      float_scratch_[i] = static_cast<float>(evict_scratch_[i]);
+    ops[0].buffer = float_scratch_.data();
+  } else {
+    ops[0].buffer = evict_scratch_.data();
+  }
+  ops[1].is_write = false;
+  ops[1].index = index;
+  ops[1].verify = verify && file_.integrity();
+  if (single) {
+    if (swap_float_scratch_.size() != width_)
+      swap_float_scratch_.resize(width_);
+    ops[1].buffer = swap_float_scratch_.data();
+  } else {
+    ops[1].buffer = slot_data(slot);
+  }
+  file_.submit_vector_ops(ops, 2);
+  refresh_fault_counters();
+
+  // Write-back outcome first — it precedes the read in the sequential order.
+  if (!ops[0].ok()) {
+    // file_write would have thrown with the victim still fully installed:
+    // restore the slot content (the concurrent read may have clobbered it)
+    // and leave every table and counter untouched.
+    std::copy(evict_scratch_.begin(), evict_scratch_.end(), slot_data(slot));
+    throw IoError("pwrite", ops[0].error, ops[0].fail_offset, ops[0].attempts,
+                  ops[0].injected);
+  }
+  ++stats_locked().file_writes;
+  stats_locked().bytes_written += file_.bytes_per_vector();
+  ++file_generation_[victim];
+  PLFOC_AUDIT_EVENT("file write", auditor_.record_file_write(victim));
+  ++stats_locked().evictions;
+  strategy_->on_evict(victim);
+  vector_slot_[victim] = kNoSlot;
+  slots_[slot].vector = kNoVector;
+  slots_[slot].dirty = false;
+
+  if (!ops[1].ok()) {
+    // Sequential equivalent: file_read threw after the eviction completed —
+    // the slot stays free, file_reads/bytes_read untouched.
+    throw IoError("pread", ops[1].error, ops[1].fail_offset, ops[1].attempts,
+                  ops[1].injected);
+  }
+  if (single) {
+    double* dst = slot_data(slot);
+    for (std::size_t i = 0; i < width_; ++i)
+      dst[i] = static_cast<double>(swap_float_scratch_[i]);
+  }
+  ++stats_locked().file_reads;
+  stats_locked().bytes_read += file_.bytes_per_vector();
+  *out_verify = ops[1].verify_result;
+  return slot;
+}
+
 double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
   PLFOC_CHECK(index < count_);
   // MutexLock (not a plain guard): a failed verification releases the lock
@@ -184,15 +291,20 @@ double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
   } else {
     ++stats_locked().misses;
     if (!touched_[index]) ++stats_locked().cold_misses;
-    slot = obtain_slot(index);
     // Swap the requested vector in — unless this access overwrites it anyway
     // and read skipping applies (Sec. 3.4). First-ever accesses never have
     // meaningful file contents either way (the file is zero-preallocated).
-    if (mode == AccessMode::kRead || !options_.read_skipping) {
-      verify = file_read(index, slot_data(slot), mode == AccessMode::kRead);
+    const bool need_read = mode == AccessMode::kRead || !options_.read_skipping;
+    if (need_read && file_.async_io()) {
+      slot = swap_in_overlapped(index, mode == AccessMode::kRead, &verify);
     } else {
-      ++stats_locked().skipped_reads;
-      read_skipped = true;
+      slot = obtain_slot(index);
+      if (need_read) {
+        verify = file_read(index, slot_data(slot), mode == AccessMode::kRead);
+      } else {
+        ++stats_locked().skipped_reads;
+        read_skipped = true;
+      }
     }
     vector_slot_[index] = slot;
     slots_[slot].vector = index;
@@ -376,6 +488,110 @@ void OutOfCoreStore::prefetch(std::uint32_t index) {
   PLFOC_AUDIT_TABLE("prefetch");
 }
 
+// Batched prefetch (async engines): one engine batch carries every staged
+// read — vectors adjacent in the file coalesce into ranged transfers inside
+// submit_vector_ops — and the install pass replays prefetch()'s
+// re-validation per index. Per-op failures are advisory exactly like the
+// sequential path: an exhausted transfer refreshes counters and moves on, a
+// verification failure or a raced install counts prefetch_stale.
+void OutOfCoreStore::prefetch_batch(const std::uint32_t* indices,
+                                    std::size_t count) {
+  if (count == 0) return;
+  if (!file_.async_io()) {
+    // Sync engine: the historical one-vector-per-call path, byte for byte.
+    for (std::size_t i = 0; i < count; ++i) prefetch(indices[i]);
+    return;
+  }
+  MutexLock io_lock(prefetch_io_mutex_);
+
+  struct Item {
+    std::uint32_t index;
+    std::uint64_t generation;
+  };
+  std::vector<Item> items;
+  items.reserve(count);
+  {
+    MutexLock lock(mutex_);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t index = indices[i];
+      PLFOC_CHECK(index < count_);
+      if (vector_slot_[index] != kNoSlot) continue;  // already resident
+      if (!touched_[index]) continue;  // never written: nothing to stage
+      bool duplicate = false;  // a repeated plan entry stages one read
+      for (const Item& item : items)
+        if (item.index == index) { duplicate = true; break; }
+      if (!duplicate) items.push_back({index, file_generation_[index]});
+    }
+  }
+  if (items.empty()) return;
+
+  const bool single = options_.disk_precision == DiskPrecision::kSingle;
+  const std::size_t n = items.size();
+  if (single) {
+    if (prefetch_float_scratch_.size() < n * width_)
+      prefetch_float_scratch_.resize(n * width_);
+  } else {
+    if (prefetch_scratch_.size() < n * width_)
+      prefetch_scratch_.resize(n * width_);
+  }
+  std::vector<FileBackend::VectorOp> ops(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    ops[k].is_write = false;
+    ops[k].index = items[k].index;
+    ops[k].verify = file_.integrity();
+    ops[k].buffer = single
+                        ? static_cast<void*>(prefetch_float_scratch_.data() +
+                                             k * width_)
+                        : static_cast<void*>(prefetch_scratch_.data() +
+                                             k * width_);
+  }
+  // Records per-op failures instead of throwing — prefetch stays advisory.
+  file_.submit_vector_ops(ops.data(), n);
+
+  MutexLock lock(mutex_);
+  refresh_fault_counters();
+  for (std::size_t k = 0; k < n; ++k) {
+    FileBackend::VectorOp& op = ops[k];
+    const std::uint32_t index = items[k].index;
+    if (!op.ok()) {
+      PLFOC_AUDIT_TABLE("prefetch io-error");
+      continue;  // demand access retries on the engine thread, catchably
+    }
+    stats_locked().bytes_read += file_.bytes_per_vector();
+    if (op.verify && !op.verify_result.ok()) {
+      ++stats_locked().prefetch_stale;
+      PLFOC_AUDIT_TABLE("prefetch integrity drop");
+      continue;
+    }
+    if (vector_slot_[index] != kNoSlot ||
+        file_generation_[index] != items[k].generation) {
+      ++stats_locked().prefetch_stale;
+      PLFOC_AUDIT_TABLE("prefetch stale");
+      continue;
+    }
+    std::uint32_t slot;
+    try {
+      slot = obtain_slot(index);
+    } catch (const Error&) {
+      continue;  // everything pinned (or the write-back failed): skip
+    }
+    double* dst = slot_data(slot);
+    if (single) {
+      const float* src = prefetch_float_scratch_.data() + k * width_;
+      for (std::size_t i = 0; i < width_; ++i)
+        dst[i] = static_cast<double>(src[i]);
+    } else {
+      const double* src = prefetch_scratch_.data() + k * width_;
+      std::copy(src, src + width_, dst);
+    }
+    ++stats_locked().prefetch_reads;
+    vector_slot_[index] = slot;
+    slots_[slot].vector = index;
+    strategy_->on_load(index);
+    PLFOC_AUDIT_TABLE("prefetch");
+  }
+}
+
 void OutOfCoreStore::flush() {
   MutexLock lock(mutex_);
   for (std::uint32_t s = 0; s < slots_.size(); ++s) {
@@ -397,6 +613,8 @@ OocStats OutOfCoreStore::stats_snapshot() const {
   out.io_retries = file_.io_retries();
   out.io_exhausted = file_.io_exhausted();
   out.corruptions_injected = file_.corruptions_injected();
+  out.io_batches = file_.io_batches();
+  out.io_coalesced = file_.io_coalesced();
   return out;
 }
 

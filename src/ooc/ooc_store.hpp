@@ -80,6 +80,18 @@ class OutOfCoreStore final : public AncestralStore {
   /// stats().prefetch_stale).
   void prefetch(std::uint32_t index);
 
+  /// Batched prefetch: stage up to `count` queued reads as ONE engine batch
+  /// (adjacent vectors coalesce into ranged transfers) and install whatever
+  /// survives the same re-validation as prefetch(). With the sync engine
+  /// this degrades to per-index prefetch() semantics, byte for byte.
+  void prefetch_batch(const std::uint32_t* indices, std::size_t count);
+
+  /// How many queued reads a prefetch_batch caller should aim to hand over
+  /// at once: the engine queue depth for async engines, 1 for sync.
+  std::size_t prefetch_batch_limit() const {
+    return file_.async_io() ? file_.io_depth() : 1;
+  }
+
   /// Write all resident vectors back to the file (e.g. before checkpointing).
   void flush() override;
 
@@ -132,6 +144,15 @@ class OutOfCoreStore final : public AncestralStore {
   }
   /// Pick (evicting if needed) a slot for `index`.
   std::uint32_t obtain_slot(std::uint32_t index) PLFOC_REQUIRES(mutex_);
+  /// Async-engine demand-miss path: pick the slot AND perform the swap, with
+  /// the victim write-back (staged from a scratch copy) and the demand read
+  /// (into the freed slot) in flight together. On a write-back failure the
+  /// victim is restored and stays resident — the exact state the sequential
+  /// obtain_slot leaves when file_write throws. `verify` carries
+  /// read_vector_verified semantics; the result lands in *out_verify.
+  std::uint32_t swap_in_overlapped(std::uint32_t index, bool verify,
+                                   VerifyResult* out_verify)
+      PLFOC_REQUIRES(mutex_);
   /// Vector-level file transfer honouring disk_precision.
   /// `verify` (kRead-mode demand misses) checks the record against its
   /// checksum; the returned result is kOk on unverified reads. Write-mode
@@ -175,6 +196,14 @@ class OutOfCoreStore final : public AncestralStore {
   std::vector<bool> touched_ PLFOC_GUARDED_BY(mutex_);
   /// Conversion buffer (kSingle only).
   std::vector<float> float_scratch_ PLFOC_GUARDED_BY(mutex_);
+  /// Overlapped-swap staging (async engines only): the victim's content is
+  /// written back from this copy so the demand read can target the slot
+  /// buffer concurrently — and so a failed write-back can restore the victim
+  /// even after the read clobbered the slot.
+  std::vector<double> evict_scratch_ PLFOC_GUARDED_BY(mutex_);
+  /// kSingle overlapped swap: demand-read float staging (float_scratch_ is
+  /// busy carrying the victim's write-back conversion).
+  std::vector<float> swap_float_scratch_ PLFOC_GUARDED_BY(mutex_);
   /// Per vector: bumped by every file_write (under mutex_). Lets prefetch()
   /// detect that bytes it staged without the lock were superseded by a
   /// write-back that happened during the read (the write-then-evict ABA the

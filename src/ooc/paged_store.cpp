@@ -235,6 +235,8 @@ OocStats PagedStore::stats_snapshot() const {
   out.io_retries = file_.io_retries();
   out.io_exhausted = file_.io_exhausted();
   out.corruptions_injected = file_.corruptions_injected();
+  out.io_batches = file_.io_batches();
+  out.io_coalesced = file_.io_coalesced();
   return out;
 }
 

@@ -55,19 +55,35 @@ void Prefetcher::drain() {
 
 void Prefetcher::worker() {
   MutexLock lock(mutex_);
+  std::vector<std::uint32_t> batch;
   for (;;) {
-    while (!stop_ && next_ >= window_end()) wake_.wait(lock);
+    while (!stop_ && next_ >= window_end()) {
+      // Window empty *right now, under the lock*. A notify_progress can
+      // empty it remotely (skipping entries the engine already consumed)
+      // while only waking wake_ — so the worker, not the mutator, owns
+      // telling drain()ers the window drained. Without this notify a
+      // drain() that raced such a skip would sleep until stop().
+      idle_.notify_all();
+      wake_.wait(lock);
+    }
     if (stop_) {
       idle_.notify_all();  // wake drain()ers parked before stop() was called
       return;
     }
-    const std::uint32_t index = plan_[next_++];
+    // Pop up to the store's preferred batch size. The window edge is read
+    // under the lock on every iteration, so a batch never reaches past a
+    // plan swap or cursor move that landed while the previous batch was in
+    // flight.
+    const std::size_t limit = store_.prefetch_batch_limit();
+    batch.clear();
+    while (next_ < window_end() && batch.size() < limit)
+      batch.push_back(plan_[next_++]);
     busy_ = true;
     lock.unlock();
     // The store's own mutex serialises against the engine; prefetch never
     // evicts pinned vectors and silently skips when everything is pinned or
     // the vector is resident already.
-    store_.prefetch(index);
+    store_.prefetch_batch(batch.data(), batch.size());
     lock.lock();
     busy_ = false;
     if (next_ >= window_end()) idle_.notify_all();

@@ -10,6 +10,13 @@
 // the window the worker trails the engine (re-reading vectors that were
 // already consumed and evicted — pure waste); without the cursor it cannot
 // skip entries the engine has already taken the miss for.
+//
+// The worker hands the window over in *batches*: up to
+// store.prefetch_batch_limit() upcoming indices per wakeup go into one
+// OutOfCoreStore::prefetch_batch() call, which async I/O engines turn into a
+// single submission-queue batch (adjacent vectors coalesce into ranged
+// reads). With the sync engine the limit is 1 and behaviour is byte-for-byte
+// the historical per-index prefetch.
 #pragma once
 
 #include <cstdint>

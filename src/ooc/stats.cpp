@@ -31,6 +31,8 @@ OocStats& OocStats::operator+=(const OocStats& other) {
   integrity_unrecovered += other.integrity_unrecovered;
   recovery_recomputes += other.recovery_recomputes;
   corruptions_injected += other.corruptions_injected;
+  io_batches += other.io_batches;
+  io_coalesced += other.io_coalesced;
   return *this;
 }
 
@@ -68,6 +70,13 @@ std::string OocStats::summary() const {
                   static_cast<unsigned long long>(integrity_recoveries),
                   static_cast<unsigned long long>(integrity_unrecovered),
                   static_cast<unsigned long long>(recovery_recomputes));
+    out += buffer;
+  }
+  // Async-engine traffic: silent under the sync engine (both stay zero).
+  if (io_batches != 0 || io_coalesced != 0) {
+    std::snprintf(buffer, sizeof(buffer), " batches=%llu coalesced=%llu",
+                  static_cast<unsigned long long>(io_batches),
+                  static_cast<unsigned long long>(io_coalesced));
     out += buffer;
   }
   return out;

@@ -45,6 +45,12 @@ struct OocStats {
   std::uint64_t recovery_recomputes = 0;
   /// Corruptions applied by the injection schedule (flip/torn/zero/stale).
   std::uint64_t corruptions_injected = 0;
+  // Async I/O counters (docs/async-io.md), mirrored from the FileBackend:
+  /// Engine submission batches issued through submit_vector_ops.
+  std::uint64_t io_batches = 0;
+  /// Vector transfers absorbed into a neighbouring ranged read (each saved a
+  /// syscall/SQE: ops_submitted = ops_requested - io_coalesced).
+  std::uint64_t io_coalesced = 0;
 
   /// Fraction of vector requests not served from RAM (Figs. 2, 4).
   /// 0.0 when no accesses were recorded (zero-denominator guard).

@@ -110,6 +110,142 @@ std::uint32_t TieredStore::obtain_ram_slot(std::uint32_t incoming) {
   return slot;
 }
 
+// Async-engine disk-miss path. The only real write in the fast-miss cascade
+// is the dirty RAM victim's spill; when it occurs, it and the demand read
+// become one engine batch so the device overlaps them. Every other shape of
+// the cascade (free slots, clean victims) is delegated to the sequential
+// helpers — crucially without pre-consulting the replacement strategies,
+// whose draws (Random consumes RNG state) must happen exactly once and in
+// the sequential order.
+std::uint32_t TieredStore::swap_in_overlapped(std::uint32_t index,
+                                              bool verified,
+                                              VerifyResult* out_verify) {
+  const auto read_into = [&](std::uint32_t fslot)
+                             PLFOC_REQUIRES(mutex_) {
+    if (verified)
+      *out_verify = file_.read_vector_verified(index, fast_data(fslot));
+    else
+      file_.read_vector(index, fast_data(fslot));
+    ++stats_locked().file_reads;
+    stats_locked().bytes_read += width_ * sizeof(double);
+  };
+
+  // A free fast slot leaves nothing to overlap.
+  for (std::uint32_t s = 0; s < fast_.size(); ++s) {
+    if (fast_[s].vector != kNone) continue;
+    read_into(s);
+    return s;
+  }
+
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(fast_.size());
+  for (const Slot& slot : fast_)
+    if (slot.pins == 0) candidates.push_back(slot.vector);
+  PLFOC_REQUIRE(!candidates.empty(),
+                "all fast-tier slots are pinned; increase fast_slots");
+  const std::uint32_t fast_victim = fast_strategy_->choose_victim(
+      {candidates.data(), candidates.size()}, index);
+  const std::uint32_t fslot = slot_of_[fast_victim];
+  PLFOC_CHECK(fast_[fslot].vector == fast_victim && fast_[fslot].pins == 0);
+
+  // A free RAM slot means the demotion spills nothing: pure sequential.
+  for (std::uint32_t s = 0; s < ram_.size(); ++s) {
+    if (ram_[s].vector != kNone) continue;
+    demote(fslot);
+    read_into(fslot);
+    return fslot;
+  }
+
+  // RAM full: choose the victim once (the sequential obtain_ram_slot order).
+  std::vector<std::uint32_t> ram_candidates;
+  ram_candidates.reserve(ram_.size());
+  for (const Slot& slot : ram_) ram_candidates.push_back(slot.vector);
+  const std::uint32_t ram_victim = ram_strategy_->choose_victim(
+      {ram_candidates.data(), ram_candidates.size()}, fast_victim);
+  const std::uint32_t rslot = slot_of_[ram_victim];
+  PLFOC_CHECK(ram_[rslot].vector == ram_victim);
+
+  if (ram_[rslot].dirty) {
+    // Overlap: the spill write sources the RAM slot directly (its content is
+    // not touched until the demotion lands below); the demand read reuses
+    // the fast victim's slot, so that content moves to scratch first.
+    if (demote_scratch_.size() != width_) demote_scratch_.resize(width_);
+    std::memcpy(demote_scratch_.data(), fast_data(fslot),
+                width_ * sizeof(double));
+    FileBackend::VectorOp ops[2];
+    ops[0].is_write = true;
+    ops[0].index = ram_victim;
+    ops[0].buffer = ram_data(rslot);
+    ops[1].is_write = false;
+    ops[1].index = index;
+    ops[1].verify = verified;
+    ops[1].buffer = fast_data(fslot);
+    file_.submit_vector_ops(ops, 2);
+
+    if (!ops[0].ok()) {
+      // The sequential spill throw leaves both tiers fully intact: restore
+      // the fast victim's content (the read clobbered its slot) and unwind.
+      std::memcpy(fast_data(fslot), demote_scratch_.data(),
+                  width_ * sizeof(double));
+      throw IoError("pwrite", ops[0].error, ops[0].fail_offset,
+                    ops[0].attempts, ops[0].injected);
+    }
+    ++stats_locked().file_writes;
+    stats_locked().bytes_written += width_ * sizeof(double);
+    ++stats_locked().evictions;
+    ram_strategy_->on_evict(ram_victim);
+    where_[ram_victim] = Location::kDisk;
+    slot_of_[ram_victim] = kNone;
+    ram_[rslot].vector = kNone;
+    ram_[rslot].dirty = false;
+    // The demotion itself, from the scratch image.
+    std::memcpy(ram_data(rslot), demote_scratch_.data(),
+                width_ * sizeof(double));
+    ++tier_stats_.demotions;
+    tier_stats_.bytes_transferred += width_ * sizeof(double);
+    ram_[rslot].vector = fast_victim;
+    ram_[rslot].dirty = fast_[fslot].dirty;
+    ram_strategy_->on_load(fast_victim);
+    ram_strategy_->on_access(fast_victim);
+    where_[fast_victim] = Location::kRam;
+    slot_of_[fast_victim] = rslot;
+    fast_strategy_->on_evict(fast_victim);
+    fast_[fslot].vector = kNone;
+    fast_[fslot].dirty = false;
+
+    if (!ops[1].ok())
+      throw IoError("pread", ops[1].error, ops[1].fail_offset,
+                    ops[1].attempts, ops[1].injected);
+    ++stats_locked().file_reads;
+    stats_locked().bytes_read += width_ * sizeof(double);
+    *out_verify = ops[1].verify_result;
+    return fslot;
+  }
+
+  // Clean RAM victim: no spill write — inline the sequential bookkeeping
+  // (the victim draw above already happened, so demote() must not redraw).
+  ++stats_locked().evictions;
+  ram_strategy_->on_evict(ram_victim);
+  where_[ram_victim] = Location::kDisk;
+  slot_of_[ram_victim] = kNone;
+  ram_[rslot].vector = kNone;
+  ram_[rslot].dirty = false;
+  std::memcpy(ram_data(rslot), fast_data(fslot), width_ * sizeof(double));
+  ++tier_stats_.demotions;
+  tier_stats_.bytes_transferred += width_ * sizeof(double);
+  ram_[rslot].vector = fast_victim;
+  ram_[rslot].dirty = fast_[fslot].dirty;
+  ram_strategy_->on_load(fast_victim);
+  ram_strategy_->on_access(fast_victim);
+  where_[fast_victim] = Location::kRam;
+  slot_of_[fast_victim] = rslot;
+  fast_strategy_->on_evict(fast_victim);
+  fast_[fslot].vector = kNone;
+  fast_[fslot].dirty = false;
+  read_into(fslot);
+  return fslot;
+}
+
 double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
   PLFOC_CHECK(index < count_);
   // MutexLock (not lock_guard semantics): a failed disk-read verification
@@ -148,9 +284,10 @@ double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
     slot_of_[index] = kNone;
   }
 
-  const std::uint32_t fast_slot = obtain_fast_slot(index);
+  std::uint32_t fast_slot;
   VerifyResult verify;  // stays kOk unless a verified disk read fails
   if (from_ram) {
+    fast_slot = obtain_fast_slot(index);
     // Promote from host RAM: a PCIe copy, no disk access.
     std::memcpy(fast_data(fast_slot), bounce_.data(), width_ * sizeof(double));
     ++tier_stats_.promotions;
@@ -160,17 +297,24 @@ double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
   } else {
     // Load from disk straight into the fast tier (staging through host RAM
     // is a hardware detail the model need not pay twice for).
-    if (mode == AccessMode::kRead || !options_.read_skipping) {
+    const bool need_read = mode == AccessMode::kRead || !options_.read_skipping;
+    if (need_read && file_.async_io()) {
       // Only kRead misses verify: a paper-mode write-miss read loads bytes
       // that are about to be overwritten, so damage there is never consumed.
-      if (mode == AccessMode::kRead && file_.integrity())
-        verify = file_.read_vector_verified(index, fast_data(fast_slot));
-      else
-        file_.read_vector(index, fast_data(fast_slot));
-      ++stats_locked().file_reads;
-      stats_locked().bytes_read += width_ * sizeof(double);
+      fast_slot = swap_in_overlapped(
+          index, mode == AccessMode::kRead && file_.integrity(), &verify);
     } else {
-      ++stats_locked().skipped_reads;
+      fast_slot = obtain_fast_slot(index);
+      if (need_read) {
+        if (mode == AccessMode::kRead && file_.integrity())
+          verify = file_.read_vector_verified(index, fast_data(fast_slot));
+        else
+          file_.read_vector(index, fast_data(fast_slot));
+        ++stats_locked().file_reads;
+        stats_locked().bytes_read += width_ * sizeof(double);
+      } else {
+        ++stats_locked().skipped_reads;
+      }
     }
     ++tier_stats_.promotions;
     tier_stats_.bytes_transferred += width_ * sizeof(double);
@@ -273,6 +417,8 @@ OocStats TieredStore::stats_snapshot() const {
   out.io_retries = file_.io_retries();
   out.io_exhausted = file_.io_exhausted();
   out.corruptions_injected = file_.corruptions_injected();
+  out.io_batches = file_.io_batches();
+  out.io_coalesced = file_.io_coalesced();
   return out;
 }
 

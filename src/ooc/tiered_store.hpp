@@ -114,6 +114,15 @@ class TieredStore final : public AncestralStore {
   std::uint32_t obtain_ram_slot(std::uint32_t incoming) PLFOC_REQUIRES(mutex_);
   /// Move the vector in fast slot `slot` down to the RAM tier.
   void demote(std::uint32_t slot) PLFOC_REQUIRES(mutex_);
+  /// Async-engine disk-miss path: free a fast slot AND load `index` into it,
+  /// overlapping the cascaded RAM-victim spill write (when one is needed)
+  /// with the demand read as one engine batch. Counts file_reads/bytes_read
+  /// like the sequential read; the caller still counts the promotion. On a
+  /// spill failure the whole cascade is undone (both tiers keep their
+  /// occupants) — the state the sequential obtain_ram_slot throw leaves.
+  std::uint32_t swap_in_overlapped(std::uint32_t index, bool verified,
+                                   VerifyResult* out_verify)
+      PLFOC_REQUIRES(mutex_);
 
   /// Base-class counters re-exported under their capability (every mutation
   /// is provably under the slot-table lock).
@@ -127,6 +136,10 @@ class TieredStore final : public AncestralStore {
   AlignedBuffer ram_arena_;
   /// One-vector staging buffer for promotions.
   AlignedBuffer bounce_ PLFOC_GUARDED_BY(mutex_);
+  /// Overlapped-swap staging (async engines only): holds the demoting fast
+  /// victim's content while the demand read reuses its fast slot — and
+  /// doubles as the undo image if the cascaded spill write fails.
+  std::vector<double> demote_scratch_ PLFOC_GUARDED_BY(mutex_);
   std::vector<Slot> fast_ PLFOC_GUARDED_BY(mutex_);
   std::vector<Slot> ram_ PLFOC_GUARDED_BY(mutex_);
   /// Per vector.

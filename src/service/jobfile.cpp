@@ -6,6 +6,7 @@
 
 #include "msa/fasta.hpp"
 #include "msa/phylip.hpp"
+#include "ooc/aio.hpp"
 #include "ooc/replacement.hpp"
 #include "search/stepwise.hpp"
 #include "tree/newick.hpp"
@@ -70,6 +71,10 @@ void apply_key(JobFileEntry* entry, const std::string& key,
         static_cast<long long>(parse_uint(line, key, value));
   } else if (key == "threads") {
     entry->threads = static_cast<unsigned>(parse_uint(line, key, value));
+  } else if (key == "io-engine") {
+    entry->io_engine = value;
+  } else if (key == "io-depth") {
+    entry->io_depth = static_cast<long long>(parse_uint(line, key, value));
   } else {
     throw line_error(line, "unknown option '" + key + "'");
   }
@@ -141,6 +146,7 @@ std::vector<JobFileEntry> parse_job_lines(std::istream& in) {
       parse_data_type_name(entry.data_type);
       parse_policy(entry.strategy);
       if (!entry.faults.empty()) FaultConfig::parse(entry.faults);
+      if (!entry.io_engine.empty()) parse_aio_engine(entry.io_engine);
     } catch (const Error& error) {
       throw line_error(line, error.what());
     }
@@ -192,6 +198,10 @@ JobSpec make_job_spec(const JobFileEntry& entry, Alignment alignment,
     if (entry.io_retries >= 0)
       spec.session.io_retry.max_retries =
           static_cast<unsigned>(entry.io_retries);
+    if (!entry.io_engine.empty())
+      spec.session.io_engine = parse_aio_engine(entry.io_engine);
+    if (entry.io_depth >= 0)
+      spec.session.io_depth = static_cast<unsigned>(entry.io_depth);
     return spec;
   } catch (const Error& error) {
     throw line_error(entry.line, error.what());

@@ -16,7 +16,10 @@
 // FaultConfig spec, e.g. faults=seed=7,rate=0.05 — commas are safe because
 // jobfile fields split on whitespace), io-retries= (per-job retry budget;
 // 0 disables retrying), threads= (kernel threads for this job; unset lines
-// inherit the batch --threads default — see docs/parallelism.md). Blank
+// inherit the batch --threads default — see docs/parallelism.md),
+// io-engine= (sync|threads|uring|deterministic; unset lines inherit the
+// batch --io-engine default) and io-depth= (async submission-queue depth;
+// unset lines inherit --io-depth — see docs/async-io.md). Blank
 // lines and `#` comments are skipped. See docs/service.md for worked
 // examples and docs/robustness.md for the fault model.
 //
@@ -56,6 +59,8 @@ struct JobFileEntry {
   std::string faults;     ///< faults= key, FaultConfig spec ('' = inherit)
   long long io_retries = -1;  ///< io-retries= key; -1 = inherit batch default
   unsigned threads = 0;  ///< threads= key; 0 = inherit the service default
+  std::string io_engine;  ///< io-engine= key ('' = inherit batch default)
+  long long io_depth = -1;  ///< io-depth= key; -1 = inherit batch default
 };
 
 /// Shared CLI/jobfile vocabulary. All throw plfoc::Error on unknown names.

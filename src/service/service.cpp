@@ -364,6 +364,14 @@ JobResult Service::run_job(JobId id, JobSpec spec, const Admission& admission,
     // memory demand, so admission needs no adjustment).
     if (session_options.threads == 0)
       session_options.threads = options_.kernel_threads;
+    // io_engine == kSync means the job did not pin an engine; give it the
+    // service-wide default (engine choice never changes the logL, so the
+    // admission math is untouched — see docs/async-io.md).
+    if (session_options.io_engine == AioEngineKind::kSync &&
+        options_.io_engine != AioEngineKind::kSync) {
+      session_options.io_engine = options_.io_engine;
+      session_options.io_depth = options_.io_depth;
+    }
     session = std::make_unique<Session>(
         std::move(spec.alignment), std::move(spec.tree), std::move(spec.model),
         std::move(session_options));

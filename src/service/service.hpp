@@ -63,6 +63,16 @@ struct ServiceOptions {
   /// because kernel threads share the job's already-pinned working triple
   /// (Sec. 3 invariant) — see docs/parallelism.md.
   unsigned kernel_threads = 1;
+  /// Service-wide async I/O engine default (docs/async-io.md), applied to
+  /// every job whose spec left SessionOptions::io_engine at kSync — the
+  /// same inheritance rule as kernel_threads, with kSync playing the role
+  /// of "unset" (a jobfile line pins a non-default engine with io-engine=;
+  /// pinning sync under a non-sync service default is not expressible, by
+  /// design: the service default exists to move a whole batch off the sync
+  /// path at once).
+  AioEngineKind io_engine = AioEngineKind::kSync;
+  /// Submission-queue depth applied together with the io_engine default.
+  unsigned io_depth = 8;
   /// Re-admit a job exactly once after a typed I/O failure (IoError: retry
   /// budget exhausted). The retry reuses the same admission charge and bumps
   /// FaultConfig::nonce so an injected schedule behaves like a real transient

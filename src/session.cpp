@@ -83,6 +83,10 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
       ooc.file.faults = options_.faults;
       ooc.file.retry = options_.io_retry;
       ooc.file.integrity = options_.integrity;
+      ooc.file.io_engine = options_.io_engine;
+      ooc.file.io_depth = options_.io_depth;
+      ooc.file.io_permute_seed = options_.io_permute_seed;
+      ooc.file.direct_io = options_.direct_io;
       store_ = std::make_unique<OutOfCoreStore>(count, width, std::move(ooc));
       break;
     }
@@ -97,6 +101,10 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
       paged.file.faults = options_.faults;
       paged.file.retry = options_.io_retry;
       paged.file.integrity = options_.integrity;
+      paged.file.io_engine = options_.io_engine;
+      paged.file.io_depth = options_.io_depth;
+      paged.file.io_permute_seed = options_.io_permute_seed;
+      paged.file.direct_io = options_.direct_io;
       store_ = std::make_unique<PagedStore>(count, width, std::move(paged));
       break;
     }
@@ -116,6 +124,10 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
       tiered.file.faults = options_.faults;
       tiered.file.retry = options_.io_retry;
       tiered.file.integrity = options_.integrity;
+      tiered.file.io_engine = options_.io_engine;
+      tiered.file.io_depth = options_.io_depth;
+      tiered.file.io_permute_seed = options_.io_permute_seed;
+      tiered.file.direct_io = options_.direct_io;
       store_ = std::make_unique<TieredStore>(count, width, std::move(tiered));
       break;
     }

@@ -79,6 +79,21 @@ struct SessionOptions {
   /// real). max_retries = 0 disables retrying: the first transient error
   /// surfaces as IoError.
   RetryPolicy io_retry;
+  /// Async I/O engine for the backing file of every file-backed backend
+  /// (out-of-core / paged / tiered): kSync keeps the historical sequential
+  /// syscalls; kThreads is the portable submission/completion thread pool;
+  /// kUring is Linux io_uring (degrades to kThreads when the host lacks
+  /// support); kDeterministic is the test engine that delivers completions
+  /// in a seeded permutation (docs/async-io.md).
+  AioEngineKind io_engine = AioEngineKind::kSync;
+  /// Submission-queue depth for async engines (clamped to >= 1).
+  unsigned io_depth = 8;
+  /// Completion-delivery permutation seed (deterministic engine only).
+  std::uint64_t io_permute_seed = kAioOrderIdentity;
+  /// Open a second O_DIRECT descriptor per backing file and route
+  /// 512-byte-aligned transfers through it (best effort: misaligned
+  /// attempts and hosts without O_DIRECT fall back to buffered I/O).
+  bool direct_io = false;
 
   /// Throws plfoc::Error unless the memory-limit fields are consistent with
   /// the backend: out-of-core needs exactly one of ram_fraction /

@@ -167,12 +167,16 @@ struct Candidate {
 
 /// The full candidate roster for one trial: every replacement policy x
 /// read-skip setting for the out-of-core store (fault schedule on every
-/// other combination, kernel threads rotating through 1/2/4), the paged and
-/// tiered hierarchies under faults, the mmap backend (no syscall path, no
-/// faults), and three explicitly multithreaded configurations. 14 candidates
-/// per trial, every one compared bitwise against the single-threaded in-RAM
-/// reference — the thread axis extends the Sec. 4.1 equivalence guarantee to
-/// the block-parallel kernels.
+/// other combination, kernel threads rotating through 1/2/4, io-engine
+/// rotating through sync / thread-pool / deterministic-permuted), the paged
+/// and tiered hierarchies under faults, the mmap backend (no syscall path,
+/// no faults), and explicitly multithreaded and permuted-completion
+/// configurations. 15 candidates per trial, every one compared bitwise
+/// against the single-threaded in-RAM reference — the thread axis extends
+/// the Sec. 4.1 equivalence guarantee to the block-parallel kernels, and the
+/// engine axis extends it to batched/overlapped submission with arbitrary
+/// completion delivery order (docs/async-io.md). Every label carries the
+/// engine choice, so a repro-seed failure message pins it down.
 inline std::vector<Candidate> make_candidates(const TrialPlan& plan) {
   std::vector<Candidate> candidates;
   const FaultConfig faults = trial_faults(plan);
@@ -184,6 +188,13 @@ inline std::vector<Candidate> make_candidates(const TrialPlan& plan) {
   // Rotating with period 3 against the period-2 skip/fault alternation, so
   // every policy gets at least one multithreaded combination.
   const unsigned thread_axis[] = {1, 2, 4};
+  // The engine axis steps by 2 mod 3 while the thread axis steps by 1, so
+  // the (threads, engine) pairing shifts every combo instead of locking the
+  // two rotations together.
+  const AioEngineKind engine_axis[] = {AioEngineKind::kSync,
+                                       AioEngineKind::kThreads,
+                                       AioEngineKind::kDeterministic};
+  const char* engine_names[] = {"sync", "threads", "det"};
   int combo = 0;
   for (int p = 0; p < 4; ++p) {
     for (const bool skip : {true, false}) {
@@ -194,6 +205,11 @@ inline std::vector<Candidate> make_candidates(const TrialPlan& plan) {
       candidate.options.read_skipping = skip;
       candidate.options.seed = plan.dataset.seed;
       candidate.options.threads = thread_axis[combo % 3];
+      const int engine = (combo * 2) % 3;
+      candidate.options.io_engine = engine_axis[engine];
+      if (engine_axis[engine] == AioEngineKind::kDeterministic)
+        candidate.options.io_permute_seed =
+            plan.fault_seed + static_cast<std::uint64_t>(combo);
       const bool faulty = (combo++ % 2) == 0;
       if (faulty) candidate.options.faults = faults;
       candidate.label = std::string("ooc/") + policy_names[p] +
@@ -201,6 +217,7 @@ inline std::vector<Candidate> make_candidates(const TrialPlan& plan) {
                         (faulty ? "/faults" : "");
       if (candidate.options.threads > 1)
         candidate.label += "/t" + std::to_string(candidate.options.threads);
+      candidate.label += std::string("/eng-") + engine_names[engine];
       candidates.push_back(std::move(candidate));
     }
   }
@@ -218,8 +235,17 @@ inline std::vector<Candidate> make_candidates(const TrialPlan& plan) {
   tiered.options.tiered_ram_slots = 4;
   tiered.options.seed = plan.dataset.seed;
   tiered.options.faults = faults;
-  tiered.label = "tiered/faults";
+  tiered.label = "tiered/faults/eng-sync";
   candidates.push_back(std::move(tiered));
+
+  // The tiered hierarchy's overlapped spill+read path under permuted
+  // completion delivery (the RAM-victim cascade is its own state machine,
+  // distinct from the flat store's evict+read overlap).
+  Candidate tiered_det = candidates.back();
+  tiered_det.options.io_engine = AioEngineKind::kDeterministic;
+  tiered_det.options.io_permute_seed = plan.fault_seed ^ 0x5eedu;
+  tiered_det.label = "tiered/faults/eng-det";
+  candidates.push_back(std::move(tiered_det));
 
   Candidate mmapped;
   mmapped.options.backend = Backend::kMmap;
@@ -241,7 +267,8 @@ inline std::vector<Candidate> make_candidates(const TrialPlan& plan) {
   ooc_mt.options.seed = plan.dataset.seed;
   ooc_mt.options.faults = faults;
   ooc_mt.options.threads = 4;
-  ooc_mt.label = "ooc/lru/skip/faults/t4";
+  ooc_mt.options.io_engine = AioEngineKind::kThreads;
+  ooc_mt.label = "ooc/lru/skip/faults/t4/eng-threads";
   candidates.push_back(std::move(ooc_mt));
 
   Candidate paged_mt;

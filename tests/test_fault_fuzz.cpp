@@ -2,10 +2,12 @@
 // trees, models, and traversal workloads evaluated on every backend x
 // replacement strategy x read-skip setting, with seeded fault schedules on
 // the file-backed candidates, asserting BIT-identical log likelihoods
-// against the InRamStore reference (Sec. 4.1). Default scale: 20 trials x 14
-// candidates = 280 randomized cases (the roster now carries a kernel-thread
-// axis; every fourth trial draws a multi-block alignment so the parallel
-// reduction itself is exercised). Every assertion message carries the
+// against the InRamStore reference (Sec. 4.1). Default scale: 20 trials x 15
+// candidates = 300 randomized cases (the roster carries a kernel-thread axis
+// and an io-engine axis — sync / thread-pool / deterministic-permuted
+// completions; every fourth trial draws a multi-block alignment so the
+// parallel reduction itself is exercised). Every candidate label carries its
+// engine choice, and every assertion message carries the label plus the
 // master seed and trial description needed to reproduce the exact failure:
 //   PLFOC_FUZZ_MASTER=<seed> PLFOC_FUZZ_TRIALS=<n> ./plfoc_fault_tests
 // The end of the file drives the same fault machinery through `plfoc batch`

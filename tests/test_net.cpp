@@ -443,11 +443,9 @@ std::string LoopbackFixture::rotated_path_;
 std::string LoopbackFixture::jobfile_path_;
 
 ServerOptions loopback_options(std::size_t cache_entries = 64) {
-  ServerOptions options;
-  options.host = "127.0.0.1";
-  options.port = 0;  // ephemeral
-  options.service.workers = 2;
-  options.service.queue_capacity = 16;
+  // Shared ephemeral-port helper (src/net/server.hpp): the kernel picks the
+  // port, so repeated test runs can never flake on EADDRINUSE.
+  ServerOptions options = loopback_server_options();
   options.service.result_cache_entries = cache_entries;
   return options;
 }

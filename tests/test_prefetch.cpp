@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 namespace plfoc {
@@ -89,6 +90,38 @@ TEST(Prefetch, ConcurrentEngineAccessesStaySane) {
       ASSERT_EQ(lease.data()[i], (round % 20) * 10.0 + i);
   }
   prefetcher.drain();
+}
+
+TEST(Prefetch, DrainSurvivesProgressSkippingTheWindow) {
+  // Regression for the lost-wakeup window: notify_progress() can empty the
+  // prefetch window remotely (the engine consumed entries the worker never
+  // staged, so next_ jumps past window_end) while signalling only wake_. The
+  // worker then found no work and silently re-waited, so a drain() that
+  // parked between the window opening and the skip was never notified and
+  // slept until stop(). The worker now reports the drained window itself
+  // before every wait. Each round below races exactly that interleaving —
+  // open the window, park a drainer, skip the rest of the plan from a third
+  // thread; without the fix a round eventually parks the drainer across the
+  // skip and hangs (the suite timeout is the failure signal).
+  OutOfCoreStore store(16, 32, options_with_slots(6));
+  for (std::uint32_t idx = 0; idx < 16; ++idx) {
+    auto lease = store.acquire(idx, AccessMode::kWrite);
+    lease.data()[0] = idx;
+  }
+  store.flush();
+  Prefetcher prefetcher(store, /*lookahead=*/1);
+  std::vector<std::uint32_t> plan(16);
+  for (std::uint32_t i = 0; i < 16; ++i) plan[i] = i;
+  for (int round = 0; round < 200; ++round) {
+    prefetcher.submit(plan);
+    prefetcher.drain();  // the worker parks right at the window edge
+    std::thread skipper(
+        [&prefetcher, &plan] { prefetcher.notify_progress(plan.size()); });
+    prefetcher.notify_progress(plan.size() / 2);
+    prefetcher.drain();
+    skipper.join();
+  }
+  SUCCEED();
 }
 
 TEST(Prefetch, StopIsIdempotentAndDisablesFurtherWork) {
