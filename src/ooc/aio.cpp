@@ -691,4 +691,18 @@ std::unique_ptr<AioEngine> make_aio_engine(const AioEngineOptions& options) {
   return std::make_unique<SyncAioEngine>(options);
 }
 
+std::shared_ptr<AioEngineHandle> make_shared_aio_engine(AioEngineKind kind,
+                                                        unsigned depth) {
+  if (kind == AioEngineKind::kSync) return nullptr;
+  AioEngineOptions options;
+  options.kind = kind;
+  options.depth = depth < 1 ? 1 : depth;
+  auto handle = std::make_shared<AioEngineHandle>();
+  handle->kind = kind;
+  handle->depth = options.depth;
+  MutexLock lock(handle->mutex);
+  handle->engine = make_aio_engine(options);
+  return handle;
+}
+
 }  // namespace plfoc

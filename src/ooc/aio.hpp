@@ -42,6 +42,7 @@
 #include <string>
 
 #include "ooc/faults.hpp"
+#include "util/mutex.hpp"
 
 namespace plfoc {
 
@@ -129,6 +130,27 @@ class AioEngine {
 /// Build an engine. kUring silently degrades to kThreads when io_uring is
 /// unavailable (old kernel, seccomp, resource limits) — name() tells.
 std::unique_ptr<AioEngine> make_aio_engine(const AioEngineOptions& options);
+
+/// One AioEngine shared by several FileBackends (the service layer's worker
+/// Sessions), instead of a private engine — and worker pool — per store. The
+/// mutex serialises *whole batches* (submit + collect together), exactly the
+/// discipline each FileBackend already applies to its private engine; ops
+/// within a batch still overlap, which is where the parallelism is. A store
+/// only adopts the handle when it has no fault schedule of its own (the
+/// engine binds the injector/retry/latency it was built with), and its
+/// resolved `kind`/`depth` must match the store's request — FileBackend
+/// checks both and quietly keeps a private engine otherwise.
+struct AioEngineHandle {
+  AioEngineKind kind = AioEngineKind::kSync;  ///< kind the engine was built as
+  unsigned depth = 1;
+  Mutex mutex;
+  std::unique_ptr<AioEngine> engine PLFOC_GUARDED_BY(mutex);
+};
+
+/// Build a shareable engine handle (no injector, default retry). Returns
+/// null for kSync — the sequential path has no engine state worth sharing.
+std::shared_ptr<AioEngineHandle> make_shared_aio_engine(AioEngineKind kind,
+                                                        unsigned depth);
 
 /// True when this host can set up an io_uring instance right now.
 bool aio_uring_supported();

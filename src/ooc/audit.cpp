@@ -169,6 +169,20 @@ std::optional<std::string> StoreAuditor::check_stats(const OocStats& stats) {
            ") below integrity_recoveries (" +
            std::to_string(stats.integrity_recoveries) +
            ") — every recovery recomputes at least its own vector";
+  if (stats.prefetch_wasted > stats.prefetch_reads)
+    return "prefetch_wasted (" + std::to_string(stats.prefetch_wasted) +
+           ") exceeds prefetch_reads (" +
+           std::to_string(stats.prefetch_reads) +
+           ") — a wasted install needs a prefetch read that staged it";
+  if (stats.prefetch_wasted > stats.evictions)
+    return "prefetch_wasted (" + std::to_string(stats.prefetch_wasted) +
+           ") exceeds evictions (" + std::to_string(stats.evictions) +
+           ") — waste is only charged when the install is evicted";
+  if (stats.io_write_coalesced > stats.io_coalesced)
+    return "io_write_coalesced (" +
+           std::to_string(stats.io_write_coalesced) +
+           ") exceeds io_coalesced (" + std::to_string(stats.io_coalesced) +
+           ") — the write-side count is a subset of the total";
 
   // Monotonicity against the previous snapshot: counters only ever grow
   // between resets (reset_stats_baseline() clears the reference).
@@ -188,6 +202,7 @@ std::optional<std::string> StoreAuditor::check_stats(const OocStats& stats) {
       {"skipped_reads", stats.skipped_reads, last_stats_.skipped_reads},
       {"prefetch_reads", stats.prefetch_reads, last_stats_.prefetch_reads},
       {"prefetch_stale", stats.prefetch_stale, last_stats_.prefetch_stale},
+      {"prefetch_wasted", stats.prefetch_wasted, last_stats_.prefetch_wasted},
       {"bytes_read", stats.bytes_read, last_stats_.bytes_read},
       {"bytes_written", stats.bytes_written, last_stats_.bytes_written},
       {"faults_injected", stats.faults_injected, last_stats_.faults_injected},
@@ -205,6 +220,8 @@ std::optional<std::string> StoreAuditor::check_stats(const OocStats& stats) {
        last_stats_.corruptions_injected},
       {"io_batches", stats.io_batches, last_stats_.io_batches},
       {"io_coalesced", stats.io_coalesced, last_stats_.io_coalesced},
+      {"io_write_coalesced", stats.io_write_coalesced,
+       last_stats_.io_write_coalesced},
   };
   for (const Field& f : fields) {
     if (f.now < f.before)

@@ -212,14 +212,27 @@ FileBackend::FileBackend(std::size_t count, std::size_t bytes_per_vector,
     }
   }
 
-  AioEngineOptions engine_options;
-  engine_options.kind = options_.io_engine;
-  engine_options.depth = options_.io_depth < 1 ? 1 : options_.io_depth;
-  engine_options.permute_seed = options_.io_permute_seed;
-  engine_options.injector = injector_.get();
-  engine_options.retry = options_.retry;
-  engine_options.latency_ns = options_.faults.latency_ns;
-  engine_ = make_aio_engine(engine_options);
+  // Adopt the shared engine only when nothing this backend binds into a
+  // private engine would be lost: no fault schedule (the engine carries the
+  // injector + latency spike), matching kind/depth, and no bespoke
+  // completion permutation. Otherwise build a private engine as before.
+  const unsigned resolved_depth = options_.io_depth < 1 ? 1 : options_.io_depth;
+  if (options_.shared_engine != nullptr && injector_ == nullptr &&
+      options_.shared_engine->kind == options_.io_engine &&
+      options_.shared_engine->depth == resolved_depth &&
+      (options_.io_engine != AioEngineKind::kDeterministic ||
+       options_.io_permute_seed == kAioOrderIdentity)) {
+    shared_engine_ = options_.shared_engine;
+  } else {
+    AioEngineOptions engine_options;
+    engine_options.kind = options_.io_engine;
+    engine_options.depth = resolved_depth;
+    engine_options.permute_seed = options_.io_permute_seed;
+    engine_options.injector = injector_.get();
+    engine_options.retry = options_.retry;
+    engine_options.latency_ns = options_.faults.latency_ns;
+    engine_ = make_aio_engine(engine_options);
+  }
 
   // Vectors stripe round-robin: file k holds ceil((count - k)/num_files).
   for (unsigned k = 0; k < options_.num_files; ++k) {
@@ -299,6 +312,10 @@ void FileBackend::init_integrity_file(unsigned file_index,
 
 FileBackend::~FileBackend() {
   engine_.reset();  // drain workers before their fds go away
+  // A shared engine outlives this backend, but no op of ours is in flight:
+  // batches complete synchronously inside submit_vector_ops, so nothing in
+  // the pool references our fds past that call.
+  shared_engine_.reset();
   for (int fd : direct_fds_)
     if (fd >= 0) ::close(fd);
   for (int fd : fds_) ::close(fd);
@@ -307,6 +324,10 @@ FileBackend::~FileBackend() {
 }
 
 const char* FileBackend::io_engine_name() const {
+  if (shared_engine_ != nullptr) {
+    MutexLock lock(shared_engine_->mutex);
+    return shared_engine_->engine->name();
+  }
   MutexLock lock(engine_mutex_);
   return engine_->name();
 }
@@ -393,7 +414,8 @@ void FileBackend::write_vector(std::uint32_t index, const void* src) {
 // walks the batch in op order again, keyed by token rather than by delivery.
 // Per-op semantics mirror the sequential read_vector / write_vector /
 // read_vector_verified paths exactly; the only intended difference is that a
-// coalesced read range charges the device model once for the whole range.
+// coalesced range — read or write — charges the device model once for the
+// whole range.
 void FileBackend::submit_vector_ops(VectorOp* ops, std::size_t count) {
   if (count == 0) return;
   io_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -409,10 +431,18 @@ void FileBackend::submit_vector_ops(VectorOp* ops, std::size_t count) {
   struct Staged {
     AioOp aio;
     std::vector<std::size_t> members;  ///< op indices riding this transfer
+    /// Write transfer that may absorb a following adjacent write: a full,
+    /// uncorrupted payload (a torn write's shortened span must stay its own
+    /// op; a stale write never stages at all).
+    bool write_mergeable = false;
+    int gather = -1;  ///< index into `gathers` when sources were copied
   };
   std::vector<WritePlan> plans(count);
   std::vector<Staged> staged;
   staged.reserve(count);
+  // Gather buffers for merged writes whose source slots are not contiguous
+  // in memory (eviction victims rarely are). Must outlive collect().
+  std::vector<std::vector<char>> gathers;
 
   for (std::size_t i = 0; i < count; ++i) {
     VectorOp& op = ops[i];
@@ -435,6 +465,7 @@ void FileBackend::submit_vector_ops(VectorOp* ops, std::size_t count) {
     aio.offset = payload_base + loc.offset;
 
     if (op.is_write) {
+      bool mergeable = true;
       if (options_.integrity) {
         FileIntegrity& fi = integrity_[loc.file];
         WritePlan& plan = plans[i];
@@ -456,8 +487,38 @@ void FileBackend::submit_vector_ops(VectorOp* ops, std::size_t count) {
                       corruption.a *
                       static_cast<double>(bytes_per_vector_ - 1));
           aio.bytes = std::min(prefix, bytes_per_vector_ - 1);
+          mergeable = false;  // the shortened span must land alone
         }
       }
+      // Coalesce with the previous staged transfer when this write continues
+      // a mergeable write in the file. Eviction victims live in arbitrary
+      // slots, so contiguous *sources* are not required: a gather copy
+      // staples the payloads into one ranged write (the paper's analogue of
+      // the OS clustering dirty pages into a single swap-out).
+      if (mergeable && !staged.empty()) {
+        Staged& prev = staged.back();
+        if (prev.aio.is_write && prev.write_mergeable &&
+            prev.aio.fd == aio.fd &&
+            prev.aio.offset + prev.aio.bytes == aio.offset) {
+          if (prev.gather < 0) {
+            gathers.emplace_back();
+            prev.gather = static_cast<int>(gathers.size()) - 1;
+            gathers[prev.gather].assign(
+                static_cast<const char*>(prev.aio.buffer),
+                static_cast<const char*>(prev.aio.buffer) + prev.aio.bytes);
+          }
+          std::vector<char>& gather = gathers[prev.gather];
+          gather.insert(gather.end(), static_cast<const char*>(op.buffer),
+                        static_cast<const char*>(op.buffer) + aio.bytes);
+          prev.aio.buffer = gather.data();  // insert may reallocate
+          prev.aio.bytes += aio.bytes;
+          prev.members.push_back(i);
+          continue;
+        }
+      }
+      aio.token = staged.size();
+      staged.push_back(Staged{aio, {i}, mergeable, -1});
+      continue;
     } else {
       PLFOC_CHECK(!op.verify || options_.integrity);
       // Coalesce with the previous staged transfer when this read continues
@@ -484,12 +545,20 @@ void FileBackend::submit_vector_ops(VectorOp* ops, std::size_t count) {
     std::vector<AioOp> aio_ops;
     aio_ops.reserve(staged.size());
     for (const Staged& s : staged) aio_ops.push_back(s.aio);
-    // One whole batch at a time on the shared engine: a prefetch batch
-    // interleaved with the engine thread's overlapped swap would cross-
-    // deliver completions (tokens are batch-relative).
-    MutexLock engine_lock(engine_mutex_);
-    engine_->submit(aio_ops.data(), aio_ops.size());
-    engine_->collect(completions.data(), completions.size());
+    // One whole batch at a time on the engine: a prefetch batch interleaved
+    // with the engine thread's overlapped swap would cross-deliver
+    // completions (tokens are batch-relative). With a shared engine the
+    // handle's mutex extends the same whole-batch discipline across every
+    // backend on the handle.
+    if (shared_engine_ != nullptr) {
+      MutexLock engine_lock(shared_engine_->mutex);
+      shared_engine_->engine->submit(aio_ops.data(), aio_ops.size());
+      shared_engine_->engine->collect(completions.data(), completions.size());
+    } else {
+      MutexLock engine_lock(engine_mutex_);
+      engine_->submit(aio_ops.data(), aio_ops.size());
+      engine_->collect(completions.data(), completions.size());
+    }
   }
 
   // Fold the per-op counter deltas and distribute outcomes in token order —
@@ -509,6 +578,8 @@ void FileBackend::submit_vector_ops(VectorOp* ops, std::size_t count) {
       if (merged) {
         ops[i].coalesced = true;
         io_coalesced_.fetch_add(1, std::memory_order_relaxed);
+        if (s.aio.is_write)
+          io_write_coalesced_.fetch_add(1, std::memory_order_relaxed);
       }
       if (!completion.ok()) {
         ops[i].error = completion.error;
@@ -517,10 +588,11 @@ void FileBackend::submit_vector_ops(VectorOp* ops, std::size_t count) {
         ops[i].injected = completion.injected;
       }
     }
-    // A ranged read is one device operation however many vectors it carries;
-    // a failed transfer charges nothing (the sequential path throws before
-    // charge()).
-    if (!s.aio.is_write && completion.ok()) charge(s.aio.bytes);
+    // A ranged transfer is one device operation however many vectors it
+    // carries; a failed transfer charges nothing (the sequential path throws
+    // before charge()). Single writes keep charging in the bookkeeping pass
+    // below, after their table entry lands, exactly like write_vector.
+    if (completion.ok() && (!s.aio.is_write || merged)) charge(s.aio.bytes);
   }
 
   // Completion bookkeeping, in op order.
@@ -529,7 +601,8 @@ void FileBackend::submit_vector_ops(VectorOp* ops, std::size_t count) {
     const Location loc = locate(op.index);
     if (op.is_write) {
       if (!options_.integrity) {
-        if (op.ok()) charge(bytes_per_vector_);
+        // A coalesced member already charged as part of its ranged write.
+        if (op.ok() && !op.coalesced) charge(bytes_per_vector_);
         continue;
       }
       FileIntegrity& fi = integrity_[loc.file];
@@ -565,7 +638,10 @@ void FileBackend::submit_vector_ops(VectorOp* ops, std::size_t count) {
       fi.checksum[loc.block].store(plan.checksum, std::memory_order_relaxed);
       fi.generation[loc.block].store(plan.generation,
                                      std::memory_order_relaxed);
-      charge(bytes_per_vector_);
+      // A coalesced member's payload was charged with its ranged write (one
+      // device op for the range, like ranged reads — the accepted divergence
+      // is that a table-entry failure above has then already charged).
+      if (!op.coalesced) charge(bytes_per_vector_);
     } else {
       if (!op.ok() || !op.verify) continue;
       FileIntegrity& fi = integrity_[loc.file];

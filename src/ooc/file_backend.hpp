@@ -108,6 +108,13 @@ struct FileBackendOptions {
   /// them, bypassing the page cache (best effort: falls back to the buffered
   /// fd when the open or the alignment fails).
   bool direct_io = false;
+  /// Optional engine shared with other FileBackends (the service layer's
+  /// worker Sessions all batch through one pool instead of spawning
+  /// io_depth workers per store). Adopted only when this backend has no
+  /// fault schedule and the handle's kind/depth match io_engine/io_depth;
+  /// otherwise a private engine is built as before. The shared engine keeps
+  /// its own (default) retry policy.
+  std::shared_ptr<AioEngineHandle> shared_engine;
 };
 
 /// Outcome of a verified read.
@@ -195,7 +202,10 @@ class FileBackend {
   /// Submit a batch of whole-vector transfers through the configured
   /// AioEngine and block until all complete. Adjacent reads (same stripe
   /// file, contiguous file offsets AND contiguous buffers) coalesce into
-  /// single ranged ops, charged as one device operation. All bookkeeping —
+  /// single ranged ops, charged as one device operation; adjacent *writes*
+  /// (same file, contiguous offsets — sources need not be contiguous, a
+  /// gather copy staples them) merge the same way unless a scheduled
+  /// corruption must land on an individual op. All bookkeeping —
   /// counter folds, checksum-table writes, verification, corruption draws —
   /// happens in submission order at completion, so results are independent
   /// of the engine's delivery order. Per-op failures are *recorded*, never
@@ -288,13 +298,25 @@ class FileBackend {
   std::uint64_t io_coalesced() const {
     return io_coalesced_.load(std::memory_order_relaxed);
   }
+  /// The write-side subset of io_coalesced(): eviction write-backs that rode
+  /// a merged ranged write.
+  std::uint64_t io_write_coalesced() const {
+    return io_write_coalesced_.load(std::memory_order_relaxed);
+  }
+  /// Zero the robustness counters (faults/retries/exhaustion/corruption).
   void reset_fault_counters() {
     faults_injected_.store(0, std::memory_order_relaxed);
     io_retries_.store(0, std::memory_order_relaxed);
     io_exhausted_.store(0, std::memory_order_relaxed);
     corruptions_injected_.store(0, std::memory_order_relaxed);
+  }
+  /// Zero the async-traffic counters (batches/coalesced). Separate from the
+  /// robustness set so the stores' reset_stats() — which must zero *both* —
+  /// states each intent explicitly.
+  void reset_io_counters() {
     io_batches_.store(0, std::memory_order_relaxed);
     io_coalesced_.store(0, std::memory_order_relaxed);
+    io_write_coalesced_.store(0, std::memory_order_relaxed);
   }
   /// Non-null when a fault schedule is configured.
   const FaultInjector* injector() const { return injector_.get(); }
@@ -394,6 +416,7 @@ class FileBackend {
   std::atomic<std::uint64_t> corruptions_injected_{0};
   std::atomic<std::uint64_t> io_batches_{0};
   std::atomic<std::uint64_t> io_coalesced_{0};
+  std::atomic<std::uint64_t> io_write_coalesced_{0};
   /// Serialises whole batches on the engine: AioEngine's contract is one
   /// submitting/waiting thread at a time, and the prefetch worker's batches
   /// run concurrently with the engine thread's overlapped swaps. Interleaved
@@ -401,8 +424,17 @@ class FileBackend {
   /// Ops *within* a batch still overlap — that is where the parallelism is.
   mutable Mutex engine_mutex_;
   /// Built from io_engine/io_depth/io_permute_seed; declared after the
-  /// injector it borrows, destroyed before it.
+  /// injector it borrows, destroyed before it. Null when shared_engine_ was
+  /// adopted instead.
   std::unique_ptr<AioEngine> engine_ PLFOC_GUARDED_BY(engine_mutex_);
+  /// The adopted shared engine (see FileBackendOptions::shared_engine), or
+  /// null. Batches lock the handle's own mutex, which serialises whole
+  /// batches across *all* backends on the handle.
+  std::shared_ptr<AioEngineHandle> shared_engine_;
+
+ public:
+  /// True when this backend batches through a shared engine handle.
+  bool shared_engine_active() const { return shared_engine_ != nullptr; }
 };
 
 /// A unique temporary file path under $TMPDIR (or /tmp) for vector files.

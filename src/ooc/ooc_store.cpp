@@ -45,6 +45,7 @@ OutOfCoreStore::OutOfCoreStore(std::size_t count, std::size_t width,
       slot_count_(std::min(options_.num_slots, count)),
       vector_slot_(count, kNoSlot),
       touched_(count, false),
+      prefetched_unread_(count, false),
       float_scratch_(options_.disk_precision == DiskPrecision::kSingle ? width
                                                                         : 0),
       file_generation_(count, 0),
@@ -91,6 +92,7 @@ void OutOfCoreStore::refresh_fault_counters() {
   stats_locked().corruptions_injected = file_.corruptions_injected();
   stats_locked().io_batches = file_.io_batches();
   stats_locked().io_coalesced = file_.io_coalesced();
+  stats_locked().io_write_coalesced = file_.io_write_coalesced();
 }
 
 VerifyResult OutOfCoreStore::file_read(std::uint32_t index, double* dst,
@@ -164,6 +166,10 @@ std::uint32_t OutOfCoreStore::obtain_slot(std::uint32_t index) {
 
   if (write_back) file_write(victim, slot_data(slot));
   ++stats_locked().evictions;
+  if (prefetched_unread_[victim]) {
+    prefetched_unread_[victim] = false;
+    ++stats_locked().prefetch_wasted;  // staged, never acquired, gone again
+  }
   strategy_->on_evict(victim);
   vector_slot_[victim] = kNoSlot;
   slots_[slot].vector = kNoVector;
@@ -204,6 +210,10 @@ std::uint32_t OutOfCoreStore::swap_in_overlapped(std::uint32_t index,
 
   if (!write_back) {
     ++stats_locked().evictions;
+    if (prefetched_unread_[victim]) {
+      prefetched_unread_[victim] = false;
+      ++stats_locked().prefetch_wasted;
+    }
     strategy_->on_evict(victim);
     vector_slot_[victim] = kNoSlot;
     slots_[slot].vector = kNoVector;
@@ -254,6 +264,10 @@ std::uint32_t OutOfCoreStore::swap_in_overlapped(std::uint32_t index,
   ++file_generation_[victim];
   PLFOC_AUDIT_EVENT("file write", auditor_.record_file_write(victim));
   ++stats_locked().evictions;
+  if (prefetched_unread_[victim]) {
+    prefetched_unread_[victim] = false;
+    ++stats_locked().prefetch_wasted;
+  }
   strategy_->on_evict(victim);
   vector_slot_[victim] = kNoSlot;
   slots_[slot].vector = kNoVector;
@@ -311,6 +325,9 @@ double* OutOfCoreStore::do_acquire(std::uint32_t index, AccessMode mode) {
     strategy_->on_load(index);
   }
   touched_[index] = true;
+  // The kernel is consuming this vector: whatever prefetch staged it was
+  // useful, so it can no longer count as wasted.
+  prefetched_unread_[index] = false;
   ++slots_[slot].pins;
   if (mode == AccessMode::kWrite) slots_[slot].dirty = true;
   strategy_->on_access(index);
@@ -485,6 +502,8 @@ void OutOfCoreStore::prefetch(std::uint32_t index) {
   vector_slot_[index] = slot;
   slots_[slot].vector = index;
   strategy_->on_load(index);
+  strategy_->on_prefetch_install(index);
+  prefetched_unread_[index] = true;
   PLFOC_AUDIT_TABLE("prefetch");
 }
 
@@ -550,6 +569,33 @@ void OutOfCoreStore::prefetch_batch(const std::uint32_t* indices,
 
   MutexLock lock(mutex_);
   refresh_fault_counters();
+
+  // Install in three passes so the victim write-backs form ONE engine batch
+  // (adjacent victims merge into ranged writes inside submit_vector_ops)
+  // instead of a synchronous file_write per eviction:
+  //
+  //   A. re-validate each staged read and claim a slot for the survivors —
+  //      free slots first, then strategy-chosen victims. Slots claimed (and
+  //      victims chosen) earlier in the batch are excluded, mirroring the
+  //      state the sequential per-install path would see after each install;
+  //      vectors installed by this batch are never victim candidates within
+  //      it (they are exactly the lookahead the batch exists to protect).
+  //   B. submit every victim write-back as one batch.
+  //   C. per surviving install, in op order: fold the write-back outcome (a
+  //      failed write keeps its victim resident and skips the install, the
+  //      state the sequential path leaves when file_write throws), then
+  //      evict, install, and age the vector in via on_prefetch_install.
+  struct Pending {
+    std::size_t k = 0;                  ///< ops[k] / items[k]
+    std::uint32_t slot = kNoSlot;
+    std::uint32_t victim = kNoVector;   ///< kNoVector: free slot, no evict
+    bool write_back = false;
+    std::size_t wop = 0;                ///< index into wops when write_back
+  };
+  std::vector<Pending> pending;
+  pending.reserve(n);
+  std::vector<bool> slot_claimed(slots_.size(), false);
+
   for (std::size_t k = 0; k < n; ++k) {
     FileBackend::VectorOp& op = ops[k];
     const std::uint32_t index = items[k].index;
@@ -569,38 +615,167 @@ void OutOfCoreStore::prefetch_batch(const std::uint32_t* indices,
       PLFOC_AUDIT_TABLE("prefetch stale");
       continue;
     }
-    std::uint32_t slot;
-    try {
-      slot = obtain_slot(index);
-    } catch (const Error&) {
-      continue;  // everything pinned (or the write-back failed): skip
+    Pending p;
+    p.k = k;
+    for (std::uint32_t s = 0; s < slots_.size(); ++s)
+      if (slots_[s].vector == kNoVector && !slot_claimed[s]) {
+        p.slot = s;
+        break;
+      }
+    if (p.slot == kNoSlot) {
+      std::vector<std::uint32_t> candidates;
+      candidates.reserve(slots_.size());
+      for (std::uint32_t s = 0; s < slots_.size(); ++s)
+        if (slots_[s].pins == 0 && !slot_claimed[s] &&
+            slots_[s].vector != kNoVector)
+          candidates.push_back(slots_[s].vector);
+      if (candidates.empty()) continue;  // everything pinned/claimed: skip
+      p.victim = strategy_->choose_victim(
+          {candidates.data(), candidates.size()}, index);
+      p.slot = vector_slot_[p.victim];
+      PLFOC_CHECK(p.slot != kNoSlot);
+      p.write_back = options_.write_back_clean || slots_[p.slot].dirty;
+      PLFOC_AUDIT_EVENT("evict",
+                        auditor_.record_evict(p.victim, slots_[p.slot].pins,
+                                              p.write_back));
+      PLFOC_CHECK(slots_[p.slot].vector == p.victim &&
+                  slots_[p.slot].pins == 0);
     }
-    double* dst = slot_data(slot);
+    slot_claimed[p.slot] = true;
+    pending.push_back(p);
+  }
+
+  // B: the eviction-write batch. Victims source their slot buffers directly
+  // (stable under mutex_; the staged read data only lands in pass C).
+  std::vector<FileBackend::VectorOp> wops;
+  std::vector<float> wfloat;  // kSingle conversion staging, one span per wop
+  for (Pending& p : pending) {
+    if (p.victim == kNoVector || !p.write_back) continue;
+    p.wop = wops.size();
+    FileBackend::VectorOp wop;
+    wop.is_write = true;
+    wop.index = p.victim;
+    wops.push_back(wop);
+  }
+  if (!wops.empty()) {
     if (single) {
-      const float* src = prefetch_float_scratch_.data() + k * width_;
+      wfloat.resize(wops.size() * width_);
+      std::size_t w = 0;
+      for (const Pending& p : pending) {
+        if (p.victim == kNoVector || !p.write_back) continue;
+        const double* src = slot_data(p.slot);
+        for (std::size_t i = 0; i < width_; ++i)
+          wfloat[w * width_ + i] = static_cast<float>(src[i]);
+        wops[w].buffer = wfloat.data() + w * width_;
+        ++w;
+      }
+    } else {
+      for (const Pending& p : pending)
+        if (p.victim != kNoVector && p.write_back)
+          wops[p.wop].buffer = slot_data(p.slot);
+    }
+    file_.submit_vector_ops(wops.data(), wops.size());
+    refresh_fault_counters();
+  }
+
+  // C: fold outcomes and install, in op order.
+  for (const Pending& p : pending) {
+    const std::uint32_t index = items[p.k].index;
+    if (p.victim != kNoVector) {
+      if (p.write_back) {
+        const FileBackend::VectorOp& wop = wops[p.wop];
+        if (!wop.ok()) continue;  // victim stays resident; skip the install
+        ++stats_locked().file_writes;
+        stats_locked().bytes_written += file_.bytes_per_vector();
+        ++file_generation_[p.victim];
+        PLFOC_AUDIT_EVENT("file write", auditor_.record_file_write(p.victim));
+      }
+      ++stats_locked().evictions;
+      if (prefetched_unread_[p.victim]) {
+        prefetched_unread_[p.victim] = false;
+        ++stats_locked().prefetch_wasted;
+      }
+      strategy_->on_evict(p.victim);
+      vector_slot_[p.victim] = kNoSlot;
+      slots_[p.slot].vector = kNoVector;
+      slots_[p.slot].dirty = false;
+    }
+    double* dst = slot_data(p.slot);
+    if (single) {
+      const float* src = prefetch_float_scratch_.data() + p.k * width_;
       for (std::size_t i = 0; i < width_; ++i)
         dst[i] = static_cast<double>(src[i]);
     } else {
-      const double* src = prefetch_scratch_.data() + k * width_;
+      const double* src = prefetch_scratch_.data() + p.k * width_;
       std::copy(src, src + width_, dst);
     }
     ++stats_locked().prefetch_reads;
-    vector_slot_[index] = slot;
-    slots_[slot].vector = index;
+    vector_slot_[index] = p.slot;
+    slots_[p.slot].vector = index;
     strategy_->on_load(index);
+    strategy_->on_prefetch_install(index);
+    prefetched_unread_[index] = true;
     PLFOC_AUDIT_TABLE("prefetch");
   }
 }
 
 void OutOfCoreStore::flush() {
   MutexLock lock(mutex_);
-  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
-    if (slots_[s].vector == kNoVector || !slots_[s].dirty) continue;
-    file_write(slots_[s].vector, slot_data(s));
-    slots_[s].dirty = false;
+  if (!file_.async_io()) {
+    for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].vector == kNoVector || !slots_[s].dirty) continue;
+      file_write(slots_[s].vector, slot_data(s));
+      slots_[s].dirty = false;
+    }
+    file_.sync();
+    PLFOC_AUDIT_TABLE("flush");
+    return;
+  }
+  // Async engines: write every dirty slot as ONE batch, ordered by vector
+  // index so file-adjacent vectors sit next to each other and merge into
+  // ranged writes. Bookkeeping in op order; the first failure is thrown
+  // after the whole batch is folded (failed slots stay dirty), where the
+  // sequential path stops at the first failing slot.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dirty;  // {vector, slot}
+  for (std::uint32_t s = 0; s < slots_.size(); ++s)
+    if (slots_[s].vector != kNoVector && slots_[s].dirty)
+      dirty.push_back({slots_[s].vector, s});
+  std::sort(dirty.begin(), dirty.end());
+  const bool single = options_.disk_precision == DiskPrecision::kSingle;
+  std::vector<FileBackend::VectorOp> ops(dirty.size());
+  std::vector<float> wfloat(single ? dirty.size() * width_ : 0);
+  for (std::size_t k = 0; k < dirty.size(); ++k) {
+    ops[k].is_write = true;
+    ops[k].index = dirty[k].first;
+    if (single) {
+      const double* src = slot_data(dirty[k].second);
+      for (std::size_t i = 0; i < width_; ++i)
+        wfloat[k * width_ + i] = static_cast<float>(src[i]);
+      ops[k].buffer = wfloat.data() + k * width_;
+    } else {
+      ops[k].buffer = slot_data(dirty[k].second);
+    }
+  }
+  if (!ops.empty()) file_.submit_vector_ops(ops.data(), ops.size());
+  refresh_fault_counters();
+  const FileBackend::VectorOp* failed = nullptr;
+  for (std::size_t k = 0; k < dirty.size(); ++k) {
+    const FileBackend::VectorOp& op = ops[k];
+    if (!op.ok()) {
+      if (failed == nullptr) failed = &op;
+      continue;  // stays dirty; a later flush (or eviction) retries
+    }
+    ++stats_locked().file_writes;
+    stats_locked().bytes_written += file_.bytes_per_vector();
+    ++file_generation_[op.index];
+    PLFOC_AUDIT_EVENT("file write", auditor_.record_file_write(op.index));
+    slots_[dirty[k].second].dirty = false;
   }
   file_.sync();
   PLFOC_AUDIT_TABLE("flush");
+  if (failed != nullptr)
+    throw IoError("pwrite", failed->error, failed->fail_offset,
+                  failed->attempts, failed->injected);
 }
 
 OocStats OutOfCoreStore::stats_snapshot() const {
@@ -615,13 +790,20 @@ OocStats OutOfCoreStore::stats_snapshot() const {
   out.corruptions_injected = file_.corruptions_injected();
   out.io_batches = file_.io_batches();
   out.io_coalesced = file_.io_coalesced();
+  out.io_write_coalesced = file_.io_write_coalesced();
   return out;
 }
 
 void OutOfCoreStore::reset_stats() {
   MutexLock lock(mutex_);
   file_.reset_fault_counters();
+  // The async-traffic counters have their own reset: without it a post-reset
+  // snapshot overlays pre-reset io_batches/io_coalesced over zeroed stats.
+  file_.reset_io_counters();
   stats_locked() = OocStats{};
+  // Forget pre-reset prefetch installs, so prefetch_wasted keeps satisfying
+  // prefetch_wasted <= prefetch_reads within the new counting window.
+  std::fill(prefetched_unread_.begin(), prefetched_unread_.end(), false);
 #ifdef PLFOC_AUDIT
   auditor_.reset_stats_baseline();
 #endif

@@ -194,6 +194,12 @@ class OutOfCoreStore final : public AncestralStore {
   std::vector<std::uint32_t> vector_slot_ PLFOC_GUARDED_BY(mutex_);
   /// Vector ever accessed (cold-miss tracking).
   std::vector<bool> touched_ PLFOC_GUARDED_BY(mutex_);
+  /// Vector was installed by a prefetch and has not been demand-acquired
+  /// since: evicting it while set counts stats().prefetch_wasted (the read
+  /// was paid for and the slot churned for nothing). Cleared on acquire and
+  /// by reset_stats() (so prefetch_wasted <= prefetch_reads holds across a
+  /// counter reset).
+  std::vector<bool> prefetched_unread_ PLFOC_GUARDED_BY(mutex_);
   /// Conversion buffer (kSingle only).
   std::vector<float> float_scratch_ PLFOC_GUARDED_BY(mutex_);
   /// Overlapped-swap staging (async engines only): the victim's content is

@@ -237,12 +237,14 @@ OocStats PagedStore::stats_snapshot() const {
   out.corruptions_injected = file_.corruptions_injected();
   out.io_batches = file_.io_batches();
   out.io_coalesced = file_.io_coalesced();
+  out.io_write_coalesced = file_.io_write_coalesced();
   return out;
 }
 
 void PagedStore::reset_stats() {
   MutexLock lock(mutex_);
   file_.reset_fault_counters();
+  file_.reset_io_counters();
   stats_locked() = OocStats{};
 }
 

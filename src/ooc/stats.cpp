@@ -21,6 +21,7 @@ OocStats& OocStats::operator+=(const OocStats& other) {
   skipped_reads += other.skipped_reads;
   prefetch_reads += other.prefetch_reads;
   prefetch_stale += other.prefetch_stale;
+  prefetch_wasted += other.prefetch_wasted;
   bytes_read += other.bytes_read;
   bytes_written += other.bytes_written;
   faults_injected += other.faults_injected;
@@ -33,6 +34,7 @@ OocStats& OocStats::operator+=(const OocStats& other) {
   corruptions_injected += other.corruptions_injected;
   io_batches += other.io_batches;
   io_coalesced += other.io_coalesced;
+  io_write_coalesced += other.io_write_coalesced;
   return *this;
 }
 
@@ -72,11 +74,19 @@ std::string OocStats::summary() const {
                   static_cast<unsigned long long>(recovery_recomputes));
     out += buffer;
   }
-  // Async-engine traffic: silent under the sync engine (both stay zero).
-  if (io_batches != 0 || io_coalesced != 0) {
-    std::snprintf(buffer, sizeof(buffer), " batches=%llu coalesced=%llu",
+  // Async-engine traffic: silent under the sync engine (all stay zero).
+  if (io_batches != 0 || io_coalesced != 0 || io_write_coalesced != 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  " batches=%llu coalesced=%llu write_coalesced=%llu",
                   static_cast<unsigned long long>(io_batches),
-                  static_cast<unsigned long long>(io_coalesced));
+                  static_cast<unsigned long long>(io_coalesced),
+                  static_cast<unsigned long long>(io_write_coalesced));
+    out += buffer;
+  }
+  // Prefetch waste: silent unless lookahead actually churned slots.
+  if (prefetch_wasted != 0) {
+    std::snprintf(buffer, sizeof(buffer), " prefetch_wasted=%llu",
+                  static_cast<unsigned long long>(prefetch_wasted));
     out += buffer;
   }
   return out;

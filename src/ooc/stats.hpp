@@ -24,6 +24,12 @@ struct OocStats {
   /// install time because a demand load or write-back raced them (the
   /// advisory prefetch lost; correctness is unaffected).
   std::uint64_t prefetch_stale = 0;
+  /// Prefetch installs evicted again before the kernel ever acquired them:
+  /// the read was paid for and the slot churned for nothing. A high value
+  /// relative to prefetch_reads is the signature of the LRU lookahead
+  /// collapse (lookahead deeper than the unpinned slot budget, or a
+  /// replacement strategy that does not age prefetched vectors in).
+  std::uint64_t prefetch_wasted = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   // Robustness counters, mirrored from the FileBackend I/O core (see
@@ -48,9 +54,13 @@ struct OocStats {
   // Async I/O counters (docs/async-io.md), mirrored from the FileBackend:
   /// Engine submission batches issued through submit_vector_ops.
   std::uint64_t io_batches = 0;
-  /// Vector transfers absorbed into a neighbouring ranged read (each saved a
-  /// syscall/SQE: ops_submitted = ops_requested - io_coalesced).
+  /// Vector transfers absorbed into a neighbouring ranged read or write
+  /// (each saved a syscall/SQE: ops_submitted = ops_requested - io_coalesced).
   std::uint64_t io_coalesced = 0;
+  /// The write-side subset of io_coalesced: eviction write-backs absorbed
+  /// into a neighbouring ranged write. io_write_coalesced / file_writes is
+  /// the write-coalescing ratio bench/aio reports.
+  std::uint64_t io_write_coalesced = 0;
 
   /// Fraction of vector requests not served from RAM (Figs. 2, 4).
   /// 0.0 when no accesses were recorded (zero-denominator guard).

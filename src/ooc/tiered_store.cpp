@@ -19,6 +19,7 @@ TieredStore::TieredStore(std::size_t count, std::size_t width,
       where_(count, Location::kDisk),
       slot_of_(count, kNone),
       touched_(count, false),
+      prefetched_unread_(count, false),
       file_(count, width * sizeof(double), options_.file),
       fast_strategy_(make_strategy(StrategyConfig{
           options_.fast_policy, count, options_.seed, options_.tree})),
@@ -102,6 +103,10 @@ std::uint32_t TieredStore::obtain_ram_slot(std::uint32_t incoming) {
     stats_locked().bytes_written += width_ * sizeof(double);
   }
   ++stats_locked().evictions;
+  if (prefetched_unread_[victim]) {
+    prefetched_unread_[victim] = false;
+    ++stats_locked().prefetch_wasted;
+  }
   ram_strategy_->on_evict(victim);
   where_[victim] = Location::kDisk;
   slot_of_[victim] = kNone;
@@ -193,6 +198,10 @@ std::uint32_t TieredStore::swap_in_overlapped(std::uint32_t index,
     ++stats_locked().file_writes;
     stats_locked().bytes_written += width_ * sizeof(double);
     ++stats_locked().evictions;
+    if (prefetched_unread_[ram_victim]) {
+      prefetched_unread_[ram_victim] = false;
+      ++stats_locked().prefetch_wasted;
+    }
     ram_strategy_->on_evict(ram_victim);
     where_[ram_victim] = Location::kDisk;
     slot_of_[ram_victim] = kNone;
@@ -225,6 +234,10 @@ std::uint32_t TieredStore::swap_in_overlapped(std::uint32_t index,
   // Clean RAM victim: no spill write — inline the sequential bookkeeping
   // (the victim draw above already happened, so demote() must not redraw).
   ++stats_locked().evictions;
+  if (prefetched_unread_[ram_victim]) {
+    prefetched_unread_[ram_victim] = false;
+    ++stats_locked().prefetch_wasted;
+  }
   ram_strategy_->on_evict(ram_victim);
   where_[ram_victim] = Location::kDisk;
   slot_of_[ram_victim] = kNone;
@@ -322,6 +335,9 @@ double* TieredStore::do_acquire(std::uint32_t index, AccessMode mode) {
   }
 
   touched_[index] = true;
+  // A demand acquire is the payoff the prefetch staged for (the from_ram
+  // promotion above IS the hit); the install can no longer count as wasted.
+  prefetched_unread_[index] = false;
   fast_[fast_slot].vector = index;
   fast_[fast_slot].pins = 1;
   if (mode == AccessMode::kWrite) fast_[fast_slot].dirty = true;
@@ -391,6 +407,37 @@ void TieredStore::do_release(std::uint32_t index) {
   --slot.pins;
 }
 
+void TieredStore::prefetch(std::uint32_t index) {
+  PLFOC_CHECK(index < count_);
+  MutexLock lock(mutex_);
+  if (where_[index] != Location::kDisk) return;  // already staged or resident
+  if (!touched_[index]) return;  // nothing meaningful on disk yet
+  const std::uint32_t rslot = obtain_ram_slot(index);
+  if (file_.integrity()) {
+    // A later promotion consumes RAM-tier bytes without re-verification, so
+    // the advisory read is where damage must be caught: drop the install and
+    // let the demand miss take the verified (and recoverable) disk path.
+    const VerifyResult verify =
+        file_.read_vector_verified(index, ram_data(rslot));
+    if (!verify.ok()) {
+      stats_locked().bytes_read += width_ * sizeof(double);
+      ++stats_locked().prefetch_stale;
+      return;  // rslot stays free
+    }
+  } else {
+    file_.read_vector(index, ram_data(rslot));
+  }
+  stats_locked().bytes_read += width_ * sizeof(double);
+  ++stats_locked().prefetch_reads;
+  ram_[rslot].vector = index;
+  ram_[rslot].dirty = false;
+  ram_strategy_->on_load(index);
+  ram_strategy_->on_prefetch_install(index);
+  where_[index] = Location::kRam;
+  slot_of_[index] = rslot;
+  prefetched_unread_[index] = true;
+}
+
 void TieredStore::flush() {
   MutexLock lock(mutex_);
   for (std::uint32_t s = 0; s < fast_.size(); ++s) {
@@ -419,12 +466,17 @@ OocStats TieredStore::stats_snapshot() const {
   out.corruptions_injected = file_.corruptions_injected();
   out.io_batches = file_.io_batches();
   out.io_coalesced = file_.io_coalesced();
+  out.io_write_coalesced = file_.io_write_coalesced();
   return out;
 }
 
 void TieredStore::reset_stats() {
   MutexLock lock(mutex_);
   file_.reset_fault_counters();
+  file_.reset_io_counters();
+  // Forget pending prefetch installs: a wasted eviction after the reset
+  // would otherwise break the prefetch_wasted <= prefetch_reads identity.
+  std::fill(prefetched_unread_.begin(), prefetched_unread_.end(), false);
   stats_locked() = OocStats{};
 }
 

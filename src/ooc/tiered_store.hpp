@@ -66,6 +66,15 @@ class TieredStore final : public AncestralStore {
   /// the PR 2 stats_snapshot() fix closed for OocStats).
   TierStats tier_stats() const;
 
+  /// Advisory prefetch into the *RAM tier*: stage `index` from disk so a
+  /// later acquire promotes it over PCIe instead of paying a device read.
+  /// No-op unless the vector is on disk and has been written. The install
+  /// ages the vector into the RAM strategy via on_prefetch_install, and an
+  /// install evicted to disk before any acquire counts
+  /// stats().prefetch_wasted. Synchronous (no engine batch): the tier's
+  /// prefetch traffic is host-side staging, not the latency-critical path.
+  void prefetch(std::uint32_t index);
+
   /// Write all dirty state (both tiers) back to the file.
   void flush() override;
 
@@ -147,6 +156,9 @@ class TieredStore final : public AncestralStore {
   /// Per vector: slot in its tier.
   std::vector<std::uint32_t> slot_of_ PLFOC_GUARDED_BY(mutex_);
   std::vector<bool> touched_ PLFOC_GUARDED_BY(mutex_);
+  /// Vector staged into the RAM tier by prefetch() and not acquired since;
+  /// spilling it back to disk while set counts stats().prefetch_wasted.
+  std::vector<bool> prefetched_unread_ PLFOC_GUARDED_BY(mutex_);
   FileBackend file_;  ///< internally synchronised (backend atomics)
   std::unique_ptr<ReplacementStrategy> fast_strategy_ PLFOC_GUARDED_BY(mutex_);
   std::unique_ptr<ReplacementStrategy> ram_strategy_ PLFOC_GUARDED_BY(mutex_);

@@ -27,6 +27,12 @@ Service::Service(ServiceOptions options)
     : options_(std::move(options)),
       queue_(options_.queue_capacity, registry_),
       scheduler_(options_.ram_budget_bytes) {
+  // One engine for the whole service: worker sessions adopt it instead of
+  // each spawning a private submission/completion pool (second-wave sharing,
+  // docs/async-io.md). Jobs that pin a different engine/depth — or carry
+  // fault injection — fail the backend's adoption check and transparently
+  // fall back to a private engine.
+  shared_aio_ = make_shared_aio_engine(options_.io_engine, options_.io_depth);
   for (const auto& [tenant, policy] : options_.tenants)
     registry_.set_policy(tenant, policy);
   if (options_.result_cache_entries > 0) {
@@ -372,6 +378,10 @@ JobResult Service::run_job(JobId id, JobSpec spec, const Admission& admission,
       session_options.io_engine = options_.io_engine;
       session_options.io_depth = options_.io_depth;
     }
+    // Offer the service-wide engine to every job; the backend adopts it only
+    // when the job's resolved kind/depth match and nothing (fault injection,
+    // a permuted deterministic schedule) requires a private engine.
+    session_options.shared_aio_engine = shared_aio_;
     session = std::make_unique<Session>(
         std::move(spec.alignment), std::move(spec.tree), std::move(spec.model),
         std::move(session_options));

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "cache/result_cache.hpp"
+#include "ooc/aio.hpp"
 #include "service/job.hpp"
 #include "service/scheduler.hpp"
 #include "service/tenant.hpp"
@@ -178,6 +179,12 @@ class Service {
       PLFOC_REQUIRES(mutex_);
 
   ServiceOptions options_;
+  /// One async-I/O engine shared by every worker session (null under the
+  /// kSync default). Built once in the constructor and handed to each job's
+  /// SessionOptions: N workers then feed one submission queue / worker pool
+  /// instead of spawning N engines. Immutable after construction; the
+  /// handle's own mutex serialises whole batches (ooc/aio.hpp).
+  std::shared_ptr<AioEngineHandle> shared_aio_;
   TenantRegistry registry_;  ///< internally synchronised (its own Mutex)
   FairJobQueue queue_;       ///< internally synchronised (its own Mutex)
   /// Null when result_cache_entries == 0; internally synchronised.

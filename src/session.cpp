@@ -87,6 +87,7 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
       ooc.file.io_depth = options_.io_depth;
       ooc.file.io_permute_seed = options_.io_permute_seed;
       ooc.file.direct_io = options_.direct_io;
+      ooc.file.shared_engine = options_.shared_aio_engine;
       store_ = std::make_unique<OutOfCoreStore>(count, width, std::move(ooc));
       break;
     }
@@ -105,6 +106,7 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
       paged.file.io_depth = options_.io_depth;
       paged.file.io_permute_seed = options_.io_permute_seed;
       paged.file.direct_io = options_.direct_io;
+      paged.file.shared_engine = options_.shared_aio_engine;
       store_ = std::make_unique<PagedStore>(count, width, std::move(paged));
       break;
     }
@@ -128,6 +130,7 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
       tiered.file.io_depth = options_.io_depth;
       tiered.file.io_permute_seed = options_.io_permute_seed;
       tiered.file.direct_io = options_.direct_io;
+      tiered.file.shared_engine = options_.shared_aio_engine;
       store_ = std::make_unique<TieredStore>(count, width, std::move(tiered));
       break;
     }

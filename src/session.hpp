@@ -94,6 +94,14 @@ struct SessionOptions {
   /// 512-byte-aligned transfers through it (best effort: misaligned
   /// attempts and hosts without O_DIRECT fall back to buffered I/O).
   bool direct_io = false;
+  /// Optional shared async-I/O engine (see AioEngineHandle in ooc/aio.hpp):
+  /// when set, the session's file-backed store adopts this engine instead of
+  /// building a private one — the service tier passes one handle to every
+  /// worker session so N workers share one submission queue and worker pool
+  /// instead of spawning N. Adoption requires the handle's kind/depth to
+  /// match io_engine/io_depth and no fault injection; otherwise the store
+  /// silently keeps a private engine (see FileBackendOptions::shared_engine).
+  std::shared_ptr<AioEngineHandle> shared_aio_engine;
 
   /// Throws plfoc::Error unless the memory-limit fields are consistent with
   /// the backend: out-of-core needs exactly one of ram_fraction /

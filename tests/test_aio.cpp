@@ -31,7 +31,9 @@
 #include "ooc/audit.hpp"
 #include "ooc/file_backend.hpp"
 #include "ooc/ooc_store.hpp"
+#include "ooc/paged_store.hpp"
 #include "ooc/prefetch.hpp"
+#include "ooc/tiered_store.hpp"
 #include "session.hpp"
 
 namespace plfoc {
@@ -351,25 +353,253 @@ TEST(AioBatch, PrefetchBatchInstallsCoalescedReads) {
   for (std::uint32_t idx = 0; idx < 4; ++idx)
     ASSERT_FALSE(store.is_resident(idx));
 
+  // Start the counters from zero so the batch's traffic is read directly
+  // (this also covers reset_stats clearing the backing file's I/O counters).
+  store.reset_stats();
+  ASSERT_EQ(store.stats_snapshot().io_batches, 0u);
+
   const std::uint32_t wanted[] = {0, 1, 2, 3};
   store.prefetch_batch(wanted, 4);
-  // All four staged reads install (prefetch_reads below). LRU then treats a
-  // freshly-loaded vector by its *last access* tick — ancient for 0..3 — so
-  // each install evicts its predecessor and only the final one survives a
-  // fully-warm cache. That is pre-existing cold-install LRU dynamics, shared
-  // with per-index prefetch(); the batch path must not change it.
-  EXPECT_TRUE(store.is_resident(3));
+  // All four installs survive: on_prefetch_install ages each vector in at
+  // the current LRU tick, so the installs evict the four *oldest residents*
+  // (6..9) instead of each other — the lookahead-collapse fix. The victim
+  // write-backs are file-adjacent and ride one coalesced engine batch of
+  // their own, alongside the one ranged read batch.
+  for (const std::uint32_t idx : wanted) EXPECT_TRUE(store.is_resident(idx));
 
   const OocStats stats = store.stats_snapshot();
   EXPECT_EQ(stats.prefetch_reads, 4u);
-  EXPECT_EQ(stats.io_batches, 1u);    // the four reads were ONE engine batch
-  EXPECT_EQ(stats.io_coalesced, 4u);  // ...merged into one ranged transfer
+  EXPECT_EQ(stats.prefetch_wasted, 0u);
+  EXPECT_EQ(stats.io_batches, 2u);    // ONE read batch + ONE eviction-write batch
+  EXPECT_EQ(stats.io_coalesced, 8u);  // four reads + four writes, both ranged
+  EXPECT_EQ(stats.io_write_coalesced, 4u);  // the victim writes 6..9
 
   for (const std::uint32_t idx : wanted) {
     auto lease = store.acquire(idx, AccessMode::kRead);
     for (std::size_t i = 0; i < width; ++i)
       ASSERT_EQ(lease.data()[i], idx * 10.0 + static_cast<double>(i));
   }
+  EXPECT_EQ(store.stats_snapshot().hits, 4u);  // the lookahead paid off
+}
+
+TEST(AioPrefetch, LookaheadHitRateRisesWithDepthUpToSlotBudget) {
+  // The access pattern the Prefetcher produces: the engine announces the
+  // next wave of 6 vectors, but only `depth` of them fit one staged batch
+  // (prefetch_batch_limit() == io_depth). Post-fix, every staged install
+  // survives until its demand access — hits per wave == depth, rising
+  // monotonically up to the slot budget. Before on_prefetch_install, LRU
+  // kept the installs at their ancient last-access ticks, so the batch's
+  // installs evicted each other and the hit rate was flat (~1 per wave)
+  // no matter how deep the engine queue was: the lookahead collapse.
+  const std::size_t width = 16;
+  const std::size_t kSlots = 6;
+  const std::uint32_t kCount = 24;
+  std::uint64_t previous_hits = 0;
+  for (const std::size_t depth : {1u, 2u, 4u, 6u}) {
+    OocStoreOptions options;
+    options.num_slots = kSlots;
+    options.policy = ReplacementPolicy::kLru;
+    options.file.base_path = temp_vector_file_path("aio-lookahead");
+    options.file.io_engine = AioEngineKind::kDeterministic;
+    options.file.io_permute_seed = kAioOrderReverse;
+    options.file.io_depth = static_cast<unsigned>(depth);
+    OutOfCoreStore store(kCount, width, options);
+    for (std::uint32_t idx = 0; idx < kCount; ++idx) {
+      auto lease = store.acquire(idx, AccessMode::kWrite);
+      for (std::size_t i = 0; i < width; ++i) lease.data()[i] = idx + 0.5;
+    }
+    store.flush();
+    store.reset_stats();
+
+    std::vector<std::uint32_t> window;
+    for (std::uint32_t wave = 0; wave < kCount; wave += kSlots) {
+      window.clear();
+      for (std::uint32_t k = 0; k < depth; ++k) window.push_back(wave + k);
+      store.prefetch_batch(window.data(), window.size());
+      for (std::uint32_t k = 0; k < kSlots; ++k)
+        store.acquire(wave + k, AccessMode::kRead);
+    }
+
+    const OocStats stats = store.stats_snapshot();
+    // Every staged vector is acquired before anything can push it out.
+    EXPECT_EQ(stats.prefetch_wasted, 0u) << "depth " << depth;
+    EXPECT_EQ(stats.hits, (kCount / kSlots) * depth) << "depth " << depth;
+    EXPECT_GT(stats.hits, previous_hits) << "depth " << depth;
+    previous_hits = stats.hits;
+    StoreAuditor auditor(1, 1);
+    const auto violation = auditor.check_stats(stats);
+    EXPECT_FALSE(violation.has_value()) << "depth " << depth << ": "
+                                        << *violation;
+  }
+}
+
+TEST(AioPrefetch, AbandonedLookaheadCountsWastedInstalls) {
+  // The demand stream diverges from the staged plan: every prefetched
+  // install is evicted before its first acquire and must be counted in
+  // prefetch_wasted (the signature the bench and the auditor key on).
+  const std::size_t width = 16;
+  OocStoreOptions options;
+  options.num_slots = 6;
+  options.policy = ReplacementPolicy::kLru;
+  options.file.base_path = temp_vector_file_path("aio-wasted");
+  options.file.io_engine = AioEngineKind::kDeterministic;
+  OutOfCoreStore store(12, width, options);
+  for (std::uint32_t idx = 0; idx < 12; ++idx) {
+    auto lease = store.acquire(idx, AccessMode::kWrite);
+    for (std::size_t i = 0; i < width; ++i) lease.data()[i] = idx + 0.25;
+  }
+  store.flush();
+  store.reset_stats();
+
+  const std::uint32_t staged[] = {0, 1, 2, 3, 4, 5};
+  store.prefetch_batch(staged, 6);  // fills every slot with unread installs
+  ASSERT_EQ(store.stats_snapshot().prefetch_reads, 6u);
+  for (std::uint32_t idx = 6; idx < 12; ++idx)
+    store.acquire(idx, AccessMode::kRead);
+
+  const OocStats stats = store.stats_snapshot();
+  EXPECT_EQ(stats.prefetch_wasted, 6u);
+  EXPECT_EQ(stats.hits, 0u);
+  StoreAuditor auditor(1, 1);
+  const auto violation = auditor.check_stats(stats);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+void expect_zero_io_counters(const OocStats& stats, const char* label) {
+  EXPECT_EQ(stats.io_batches, 0u) << label;
+  EXPECT_EQ(stats.io_coalesced, 0u) << label;
+  EXPECT_EQ(stats.io_write_coalesced, 0u) << label;
+}
+
+TEST(AioBatch, ResetStatsClearsIoCountersAcrossStores) {
+  // Regression guard for the reset split: reset_stats() must clear the
+  // backing file's batch/coalescing counters (reset_io_counters) alongside
+  // the robustness counters, or the very first post-reset snapshot reports
+  // traffic from before the reset.
+  const std::size_t width = 16;
+  {
+    OocStoreOptions options;
+    options.num_slots = 6;
+    options.file.base_path = temp_vector_file_path("aio-reset-ooc");
+    options.file.io_engine = AioEngineKind::kDeterministic;
+    OutOfCoreStore store(8, width, options);
+    for (std::uint32_t idx = 0; idx < 8; ++idx) {
+      auto lease = store.acquire(idx, AccessMode::kWrite);
+      lease.data()[0] = idx;
+    }
+    store.flush();  // async engines flush as one coalesced write batch
+    const OocStats before = store.stats_snapshot();
+    ASSERT_GT(before.io_batches, 0u);
+    ASSERT_GT(before.io_write_coalesced, 0u);
+    store.reset_stats();
+    expect_zero_io_counters(store.stats_snapshot(), "ooc");
+  }
+  {
+    TieredStoreOptions options;
+    options.fast_slots = 3;
+    options.ram_slots = 2;
+    options.file.base_path = temp_vector_file_path("aio-reset-tiered");
+    options.file.io_engine = AioEngineKind::kDeterministic;
+    TieredStore store(8, width, options);
+    for (std::uint32_t idx = 0; idx < 8; ++idx) {
+      auto lease = store.acquire(idx, AccessMode::kWrite);
+      lease.data()[0] = idx;
+    }
+    // Disk misses through the overlapped swap path: dirty RAM spills ride
+    // two-op engine batches.
+    for (std::uint32_t idx = 0; idx < 8; ++idx)
+      store.acquire(idx, AccessMode::kRead);
+    ASSERT_GT(store.stats_snapshot().io_batches, 0u);
+    store.reset_stats();
+    expect_zero_io_counters(store.stats_snapshot(), "tiered");
+  }
+  {
+    PagedStoreOptions options;
+    options.page_bytes = 512;  // minimum legal page
+    options.budget_bytes = 8 * options.page_bytes;
+    options.file.base_path = temp_vector_file_path("aio-reset-paged");
+    options.file.io_engine = AioEngineKind::kDeterministic;
+    PagedStore store(8, width, options);
+    for (std::uint32_t idx = 0; idx < 8; ++idx) {
+      auto lease = store.acquire(idx, AccessMode::kWrite);
+      lease.data()[0] = idx;
+    }
+    store.flush();
+    store.reset_stats();
+    expect_zero_io_counters(store.stats_snapshot(), "paged");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared engine: one submission/completion pool across backends
+// ---------------------------------------------------------------------------
+
+TEST(AioShared, BackendsAdoptOneEngineWhenConfigurationsMatch) {
+  auto handle = make_shared_aio_engine(AioEngineKind::kThreads, 4);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->kind, AioEngineKind::kThreads);
+  EXPECT_EQ(handle->depth, 4u);
+  // kSync has no engine object to share.
+  EXPECT_EQ(make_shared_aio_engine(AioEngineKind::kSync, 4), nullptr);
+
+  const std::size_t width = 16;
+  FileBackendOptions options;
+  options.io_engine = AioEngineKind::kThreads;
+  options.io_depth = 4;
+  options.shared_engine = handle;
+  options.base_path = temp_vector_file_path("aio-shared-a");
+  FileBackend a(8, width * sizeof(double), options);
+  options.base_path = temp_vector_file_path("aio-shared-b");
+  FileBackend b(8, width * sizeof(double), options);
+  EXPECT_TRUE(a.shared_engine_active());
+  EXPECT_TRUE(b.shared_engine_active());
+
+  // Both backends push real batches through the one engine and read their
+  // own data back — the handle's mutex serialises whole batches.
+  for (FileBackend* file : {&a, &b}) {
+    std::vector<double> written(8 * width);
+    for (std::size_t v = 0; v < 8; ++v)
+      for (std::size_t i = 0; i < width; ++i)
+        written[v * width + i] =
+            static_cast<double>((file == &b ? 1000 : 0) + v * width + i);
+    for (std::uint32_t v = 0; v < 8; ++v)
+      file->write_vector(v, written.data() + v * width);
+    std::vector<double> arena(8 * width, 0.0);
+    std::vector<FileBackend::VectorOp> ops(8);
+    for (std::size_t v = 0; v < 8; ++v) {
+      ops[v].index = static_cast<std::uint32_t>(v);
+      ops[v].buffer = arena.data() + v * width;
+    }
+    file->submit_vector_ops(ops.data(), ops.size());
+    for (std::size_t v = 0; v < 8; ++v) ASSERT_TRUE(ops[v].ok());
+    EXPECT_EQ(arena, written);
+  }
+}
+
+TEST(AioShared, MismatchOrFaultInjectionKeepsPrivateEngine) {
+  auto handle = make_shared_aio_engine(AioEngineKind::kThreads, 4);
+  ASSERT_NE(handle, nullptr);
+  const std::size_t width = 16;
+
+  FileBackendOptions options;
+  options.io_engine = AioEngineKind::kThreads;
+  options.io_depth = 2;  // depth mismatch: adopting would change batching
+  options.shared_engine = handle;
+  options.base_path = temp_vector_file_path("aio-private-depth");
+  FileBackend depth_mismatch(4, width * sizeof(double), options);
+  EXPECT_FALSE(depth_mismatch.shared_engine_active());
+
+  options.io_depth = 4;
+  options.io_engine = AioEngineKind::kUring;  // kind mismatch
+  options.base_path = temp_vector_file_path("aio-private-kind");
+  FileBackend kind_mismatch(4, width * sizeof(double), options);
+  EXPECT_FALSE(kind_mismatch.shared_engine_active());
+
+  options.io_engine = AioEngineKind::kThreads;
+  options.faults.rate = 0.5;  // injector state is per-backend: never share
+  options.base_path = temp_vector_file_path("aio-private-faults");
+  FileBackend faulty(4, width * sizeof(double), options);
+  EXPECT_FALSE(faulty.shared_engine_active());
 }
 
 // ---------------------------------------------------------------------------

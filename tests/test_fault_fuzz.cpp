@@ -55,7 +55,8 @@ TEST(FaultFuzz, AllBackendsBitIdenticalUnderFaults) {
       std::vector<double> series;
       OocStats stats;
       try {
-        series = fuzz::run_candidate(plan, candidate.options, &stats);
+        series = fuzz::run_candidate(plan, candidate.options, &stats,
+                                     candidate.prefetch_lookahead);
       } catch (const std::exception& error) {
         FAIL() << "candidate " << candidate.label << " threw: " << error.what()
                << " | reproduce with " << repro;

@@ -366,6 +366,36 @@ TEST(Service, MergedStatsSumPerJobCounters) {
   EXPECT_GE(merged.misses, merged.cold_misses);  // the merge invariant
 }
 
+TEST(Service, SharedAioEngineAcrossWorkersIsBitIdentical) {
+  // The service builds ONE async engine and every worker session adopts it
+  // (FileBackendOptions::shared_engine): results must stay bit-identical to
+  // the sequential sync-engine runs, whatever worker interleaving the shared
+  // submission queue sees.
+  const std::uint64_t seeds[] = {131, 132, 133, 134, 135, 136};
+  std::vector<double> reference;
+  for (const std::uint64_t seed : seeds)
+    reference.push_back(sequential_log_likelihood(
+        make_job(seed, Backend::kOutOfCore, 0.3)));
+
+  for (const std::size_t workers : {1u, 4u}) {
+    ServiceOptions options;
+    options.workers = workers;
+    options.io_engine = AioEngineKind::kThreads;
+    options.io_depth = 8;
+    Service service(options);
+    std::vector<JobId> ids;
+    for (const std::uint64_t seed : seeds)
+      ids.push_back(service.submit(make_job(seed, Backend::kOutOfCore, 0.3)));
+    const std::vector<JobResult> results = service.drain();
+    ASSERT_EQ(results.size(), std::size(seeds)) << workers << " workers";
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      EXPECT_EQ(results[j].status, JobStatus::kDone);
+      EXPECT_EQ(results[j].log_likelihood, reference[j])
+          << workers << " workers, job " << j;
+    }
+  }
+}
+
 TEST(Service, PrefetcherLifecycleSurvivesBatch) {
   const double reference =
       sequential_log_likelihood(make_job(91, Backend::kOutOfCore, 0.3));
@@ -518,6 +548,16 @@ TEST(Jobfile, RejectsMalformedLinesWithLineNumbers) {
   expect_error("a.fasta t.nwk gtr warp 0.5\n", "unknown backend");
   expect_error("a.fasta t.nwk gtr ooc 0.5 bogus=1\n", "unknown option");
   expect_error("a.fasta t.nwk gtr ooc 0.5 seed=xyz\n", "bad integer");
+  // A policy typo is line-tagged AND spells out the accepted vocabulary.
+  expect_error("a.fasta t.nwk gtr ooc 0.5 strategy=mru\n",
+               "expected one of: random, lru, lfu, topological");
+}
+
+TEST(Jobfile, PolicyNamesAreCaseInsensitive) {
+  std::istringstream in("a.fasta t.nwk gtr ooc 0.25 strategy=LRU\n");
+  const std::vector<JobFileEntry> entries = parse_job_lines(in);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(parse_policy(entries[0].strategy), ReplacementPolicy::kLru);
 }
 
 // ------------------------------------------------------------ FairJobQueue
