@@ -14,6 +14,13 @@
 //   phase 3 — weighted fairness: two tenants at 3:1 weights through one
 //     worker; the deficit-round-robin completed ratio tracks 3:1 within
 //     10% at any aligned cut.
+//   phase 4 — overload: offered load far above one worker's capacity, with
+//     and without deadlines + queue-wait shedding (docs/robustness.md).
+//     Expected shape: unprotected, every job runs and the accepted p99
+//     (queue + evaluation) grows linearly with the backlog; protected, the
+//     late arrivals are shed / expired and the p99 of the jobs that DO run
+//     is bounded by the shed budget — the report asserts
+//     p99(protected) <= p99(unprotected).
 //
 // `--json <path>` additionally writes all phases as a machine-readable
 // report for CI artifacts and trend tracking.
@@ -196,6 +203,69 @@ FairnessResult run_fairness_phase(std::size_t window) {
   return result;
 }
 
+struct OverloadCell {
+  bool protected_run = false;  ///< deadlines + shedding on
+  std::size_t offered = 0;
+  std::size_t accepted = 0;   ///< kDone
+  std::size_t shed = 0;       ///< kOverloaded
+  std::size_t expired = 0;    ///< kDeadlineExceeded
+  double shed_rate = 0.0;     ///< (shed + expired) / offered
+  double p99_accepted_s = 0.0;  ///< queue + evaluation, accepted jobs only
+};
+
+/// Phase 4: `offered` cheap in-RAM jobs dumped on one worker at once — a
+/// backlog many times deeper than capacity. The protected run arms a queue-
+/// wait shed budget of ~8 jobs' service time and a per-job deadline at 2x
+/// that; the unprotected run takes the full latency hit.
+OverloadCell run_overload_phase(const PlannedDataset& data,
+                                std::size_t offered, double per_job_s,
+                                bool protect) {
+  ServiceOptions options;
+  options.workers = 1;
+  options.queue_capacity = offered;
+  const double shed_budget = 8.0 * per_job_s;
+  if (protect) options.shed_queue_seconds = shed_budget;
+  Service service(options);
+  for (std::size_t i = 0; i < offered; ++i) {
+    JobSpec spec{"", data.alignment, data.tree, benchmark_gtr(),
+                 SessionOptions{}, ""};
+    spec.session.backend = Backend::kInRam;
+    if (protect) spec.deadline_seconds = 2.0 * shed_budget;
+    service.submit(std::move(spec));
+  }
+  const std::vector<JobResult> results = service.drain();
+
+  OverloadCell cell;
+  cell.protected_run = protect;
+  cell.offered = offered;
+  std::vector<double> accepted_latencies;
+  for (const JobResult& result : results) {
+    switch (result.status) {
+      case JobStatus::kDone:
+        ++cell.accepted;
+        accepted_latencies.push_back(result.queue_seconds +
+                                     result.wall_seconds);
+        break;
+      case JobStatus::kOverloaded:
+        ++cell.shed;
+        break;
+      case JobStatus::kDeadlineExceeded:
+        ++cell.expired;
+        break;
+      default:
+        std::fprintf(stderr, "overload job unexpectedly %s\n",
+                     job_status_name(result.status));
+        break;
+    }
+  }
+  cell.shed_rate = offered > 0
+                       ? static_cast<double>(cell.shed + cell.expired) /
+                             static_cast<double>(offered)
+                       : 0.0;
+  cell.p99_accepted_s = percentile(accepted_latencies, 0.99);
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,6 +419,46 @@ int main(int argc, char** argv) {
   const bool fair = fairness.ratio >= 2.7 && fairness.ratio <= 3.3;
   if (!fair) std::printf("# FAIRNESS OUT OF TOLERANCE\n");
 
+  // ---- phase 4: overload, with and without deadlines + shedding.
+  DatasetPlan overload_plan;
+  overload_plan.num_taxa = 24;
+  overload_plan.num_sites = 120;
+  overload_plan.seed = 4242;
+  const PlannedDataset overload_data = make_dna_dataset(overload_plan);
+  // Price one job empirically; the shed budget is phrased in multiples of
+  // this, so the phase self-scales to the host (and to sanitizer slowdown).
+  double per_job_s;
+  {
+    Timer probe_timer;
+    Session probe_session(Alignment(overload_data.alignment),
+                          Tree(overload_data.tree), benchmark_gtr(),
+                          SessionOptions{});
+    probe_session.evaluate();
+    per_job_s = std::max(probe_timer.seconds(), 1e-4);
+  }
+  const std::size_t offered =
+      scale == Scale::kQuick ? 48 : (scale == Scale::kFull ? 128 : 64);
+  const OverloadCell unprotected =
+      run_overload_phase(overload_data, offered, per_job_s, false);
+  const OverloadCell protected_cell =
+      run_overload_phase(overload_data, offered, per_job_s, true);
+  std::printf("\n# overload: %zu jobs on 1 worker (~%.4fs each, shed budget "
+              "8x, deadline 16x)\n",
+              offered, per_job_s);
+  std::printf("%12s %9s %9s %6s %8s %10s %16s\n", "config", "offered",
+              "accepted", "shed", "expired", "shed_rate", "p99_accepted_s");
+  for (const OverloadCell* cell : {&unprotected, &protected_cell})
+    std::printf("%12s %9zu %9zu %6zu %8zu %10.3f %16.6f\n",
+                cell->protected_run ? "protected" : "unprotected",
+                cell->offered, cell->accepted, cell->shed, cell->expired,
+                cell->shed_rate, cell->p99_accepted_s);
+  const bool overload_bounded =
+      protected_cell.p99_accepted_s <= unprotected.p99_accepted_s &&
+      protected_cell.accepted > 0;
+  std::printf("# shedding bounds accepted p99 (protected <= unprotected): "
+              "%s\n",
+              overload_bounded ? "yes" : "NO");
+
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {
@@ -389,12 +499,26 @@ int main(int argc, char** argv) {
     std::fprintf(out,
                  "  ],\n  \"fairness\": {\"weights\": \"3:1\", "
                  "\"completed_heavy\": %llu, \"completed_light\": %llu, "
-                 "\"ratio\": %.4f, \"within_tolerance\": %s}\n",
+                 "\"ratio\": %.4f, \"within_tolerance\": %s},\n",
                  static_cast<unsigned long long>(fairness.completed_heavy),
                  static_cast<unsigned long long>(fairness.completed_light),
                  fairness.ratio, fair ? "true" : "false");
+    std::fprintf(out, "  \"overload\": [\n");
+    const OverloadCell* overload_cells[] = {&unprotected, &protected_cell};
+    for (std::size_t i = 0; i < 2; ++i) {
+      const OverloadCell& cell = *overload_cells[i];
+      std::fprintf(out,
+                   "    {\"protected\": %s, \"offered\": %zu, "
+                   "\"accepted\": %zu, \"shed\": %zu, \"expired\": %zu, "
+                   "\"shed_rate\": %.4f, \"p99_accepted_s\": %.6f}%s\n",
+                   cell.protected_run ? "true" : "false", cell.offered,
+                   cell.accepted, cell.shed, cell.expired, cell.shed_rate,
+                   cell.p99_accepted_s, i == 0 ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"overload_p99_bounded\": %s\n",
+                 overload_bounded ? "true" : "false");
     std::fprintf(out, "}\n");
     std::fclose(out);
   }
-  return deterministic && fair ? 0 : 1;
+  return deterministic && fair && overload_bounded ? 0 : 1;
 }

@@ -552,7 +552,16 @@ ServeConfig parse_serve_cli(int argc, const char* const* argv) {
       .add_uint("max-connections", &config.max_connections,
                 "refuse accepts beyond this many live connections")
       .add_flag("stats", &config.print_stats,
-                "print cache counters with the shutdown drain report");
+                "print cache counters with the shutdown drain report")
+      .add_double("watchdog-stall", &config.watchdog_stall,
+                  "cancel a running job whose progress counter freezes for "
+                  "this many seconds (0 = watchdog off)")
+      .add_double("shed-queue", &config.shed_queue,
+                  "shed a job that waited in the queue longer than this "
+                  "many seconds (typed 'overloaded' answer; 0 = off)")
+      .add_double("drain-flush", &config.drain_flush,
+                  "shutdown: seconds to keep flushing finished responses "
+                  "before closing connections");
   parser.parse(argc, argv);
   parse_host_port(config.listen);        // validate early
   parse_tenant_policies(config.tenants); // validate early
@@ -583,6 +592,9 @@ int run_serve_cli(const ServeConfig& config, std::istream& in,
   options.service.result_cache_shards =
       static_cast<std::size_t>(config.cache_shards);
   options.service.tenants = parse_tenant_policies(config.tenants);
+  options.service.watchdog_stall_seconds = config.watchdog_stall;
+  options.service.shed_queue_seconds = config.shed_queue;
+  options.drain_flush_seconds = config.drain_flush;
 
   Server server(std::move(options));
   server.start();
@@ -602,7 +614,15 @@ int run_serve_cli(const ServeConfig& config, std::istream& in,
   for (const auto& [tenant, counts] : report.per_tenant) {
     out << "  tenant " << (tenant.empty() ? "<default>" : tenant) << ": "
         << counts.completed << " completed, " << counts.failed << " failed, "
-        << counts.cancelled << " cancelled\n";
+        << counts.cancelled << " cancelled, " << counts.expired
+        << " expired, " << counts.shed << " shed\n";
+  }
+  if (report.unsent_frames > 0) {
+    out << "  undelivered: " << report.unsent_frames << " response"
+        << (report.unsent_frames == 1 ? "" : "s") << " on "
+        << report.unsent_connections << " connection"
+        << (report.unsent_connections == 1 ? "" : "s")
+        << " (flush window closed first)\n";
   }
   if (config.print_stats && config.cache > 0) {
     const CacheStats cache = server.service().cache_stats();
@@ -629,7 +649,11 @@ ClientConfig parse_client_cli(int argc, const char* const* argv) {
       .add_uint("request-base", &config.request_base,
                 "first request id; ids increase per job")
       .add_flag("stats", &config.print_stats,
-                "also fetch and print the server's cache/tenant stats");
+                "also fetch and print the server's cache/tenant stats")
+      .add_double("deadline", &config.deadline,
+                  "default per-job deadline in seconds, armed when the "
+                  "server accepts the job (jobfile deadline= overrides; "
+                  "0 = none)");
   // The jobfile may lead as a positional, mirroring `plfoc batch`.
   int start = 0;
   if (argc > 0 && argv[0] != nullptr && argv[0][0] != '-') {
@@ -658,8 +682,11 @@ int run_client_cli(const ClientConfig& config, std::ostream& out) {
   request_ids.reserve(entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const std::uint64_t request_id = config.request_base + i;
-    client.submit(
-        submit_request_from_entry(entries[i], config.tenant, request_id));
+    SubmitRequest request =
+        submit_request_from_entry(entries[i], config.tenant, request_id);
+    if (request.deadline_ms == 0 && config.deadline > 0)
+      request.deadline_ms = deadline_ms_from_seconds(config.deadline);
+    client.submit(request);
     request_ids.push_back(request_id);
   }
 
@@ -684,7 +711,11 @@ int run_client_cli(const ClientConfig& config, std::ostream& out) {
           << result.wall_seconds << " s\n";
     } else {
       ++failed;
-      out << "FAILED: " << result.error << "\n";
+      const char* verdict = "FAILED";
+      if (result.flags & kResultDeadlineExceeded) verdict = "DEADLINE";
+      else if (result.flags & kResultOverloaded) verdict = "SHED";
+      else if (result.flags & kResultCancelled) verdict = "CANCELLED";
+      out << verdict << ": " << result.error << "\n";
     }
   }
   if (config.print_stats) {
@@ -696,7 +727,8 @@ int run_client_cli(const ClientConfig& config, std::ostream& out) {
       out << "tenant " << (row.tenant.empty() ? "<default>" : row.tenant)
           << ": " << row.submitted << " submitted, " << row.completed
           << " completed, " << row.failed << " failed, " << row.cancelled
-          << " cancelled, " << row.cache_hits << " cache hits\n";
+          << " cancelled, " << row.expired << " expired, " << row.shed
+          << " shed, " << row.cache_hits << " cache hits\n";
     }
   }
   out << "client done: " << entries.size() - failed << "/" << entries.size()

@@ -159,6 +159,9 @@ struct ServeConfig {
   double idle_timeout = 300.0;         ///< seconds; 0 disables the sweep
   std::uint64_t max_connections = 64;
   bool print_stats = false;            ///< drain report + cache counters
+  double watchdog_stall = 0.0;  ///< cancel jobs frozen this long; 0 = off
+  double shed_queue = 0.0;      ///< shed jobs queued this long; 0 = off
+  double drain_flush = 2.0;     ///< stop(): response flush window (seconds)
 };
 
 /// Parse the argv that follows the `serve` keyword. Throws plfoc::Error on
@@ -179,6 +182,9 @@ struct ClientConfig {
   std::string tenant = "default";
   std::uint64_t request_base = 1;  ///< first request id (then sequential)
   bool print_stats = false;        ///< also fetch + print server stats
+  /// Default per-job deadline in seconds (0 = none); a jobfile line's own
+  /// deadline= key wins over this batch-wide default.
+  double deadline = 0.0;
 };
 
 /// Parse plfoc-client argv (excluding argv[0]). The jobfile may lead as a

@@ -75,9 +75,31 @@ void LikelihoodEngine::submit_prefetch(std::span<const TraversalStep> steps) {
 
 void LikelihoodEngine::execute(std::span<const TraversalStep> steps) {
   submit_prefetch(steps);
+  // Planning marked every step's parent as oriented (plan_subtree updates
+  // Orientation at PLAN time), so an exception that stops this loop early —
+  // a CancelledError from a check point, an unrecovered IoError — would
+  // leave never-computed vectors marked valid. Track how far we got and
+  // re-invalidate the unexecuted tail before rethrowing: completed steps
+  // stay valid (their vectors really are on disk/RAM), so the next
+  // evaluation resumes incrementally and stays bit-identical.
+  std::size_t completed = 0;
+  try {
+    execute_steps(steps, completed);
+  } catch (...) {
+    for (std::size_t i = completed; i < steps.size(); ++i)
+      orientation_.invalidate(steps[i].parent);
+    throw;
+  }
+}
+
+void LikelihoodEngine::execute_steps(std::span<const TraversalStep> steps,
+                                     std::size_t& completed) {
   std::size_t reads_consumed = 0;
   for (const TraversalStep& step : steps) {
     PLFOC_DCHECK(tree_.is_inner(step.parent));
+    // Per-traversal-step cancellation point — the serial-path granularity
+    // bound (with a kernel pool, run_blocks checks per pattern block too).
+    cancel_.check();
     if (journal_ != nullptr) journal_->push_back(step.parent);
     // Let the prefetch worker run ahead of this step's reads.
     if (prefetcher_ != nullptr) prefetcher_->notify_progress(reads_consumed);
@@ -122,6 +144,7 @@ void LikelihoodEngine::execute(std::span<const TraversalStep> steps) {
         store_.acquire(vector_index(step.parent), AccessMode::kWrite);
     newview(dims_, left, right, parent_lease.data(), scale_data(step.parent),
             kernel_pool_);
+    ++completed;
   }
 }
 

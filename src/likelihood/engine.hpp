@@ -121,6 +121,14 @@ class LikelihoodEngine {
   /// outlive the engine's kernel calls; the Session owns both.
   void attach_kernel_pool(KernelPool* pool) { kernel_pool_ = pool; }
 
+  /// Attach a cancellation token (util/cancel.hpp), checked once per
+  /// traversal step in execute(). Because plan_subtree marks orientation at
+  /// PLAN time, a cancelled execute() re-invalidates the parents of every
+  /// step it did not complete before rethrowing — completed steps stay
+  /// valid, so a re-evaluation after cancellation resumes incrementally and
+  /// stays bit-identical to an uninterrupted run.
+  void set_cancel_token(CancelToken token) { cancel_ = std::move(token); }
+
   /// While set, execute() appends the parent node of every pruning operation
   /// it performs. The lazy-SPR search uses this to invalidate exactly the
   /// vectors a trial move recomputed when the move is rolled back.
@@ -157,6 +165,10 @@ class LikelihoodEngine {
   }
   /// Evaluate across (a, b), assuming valid endpoint vectors.
   BranchValue evaluate_at(NodeId a, NodeId b, double t, bool with_derivatives);
+  /// execute()'s loop body; bumps `completed` after each finished step so
+  /// the catch block knows which planned parents never materialised.
+  void execute_steps(std::span<const TraversalStep> steps,
+                     std::size_t& completed);
   void submit_prefetch(std::span<const TraversalStep> steps);
   void collect_edges_tree_walk(std::vector<std::pair<NodeId, NodeId>>& out);
 
@@ -174,6 +186,7 @@ class LikelihoodEngine {
   Prefetcher* prefetcher_ = nullptr;
   KernelPool* kernel_pool_ = nullptr;
   std::vector<NodeId>* journal_ = nullptr;
+  CancelToken cancel_;  ///< null by default: per-step checks are free
 
   // Scratch buffers reused across operations (sized on first use).
   std::vector<double> pmat_left_;

@@ -18,11 +18,17 @@ KernelPool::~KernelPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void KernelPool::set_cancel_token(CancelToken token) {
+  MutexLock lock(mutex_);
+  cancel_ = std::move(token);
+}
+
 void KernelPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job;
     std::size_t blocks;
+    CancelToken cancel;
     {
       MutexLock lock(mutex_);
       while (!stop_ && generation_ == seen) work_cv_.wait(lock);
@@ -30,9 +36,14 @@ void KernelPool::worker_loop() {
       seen = generation_;
       job = job_;
       blocks = blocks_;
+      cancel = cancel_;
     }
     try {
       for (;;) {
+        // Per-pattern-block cancellation point: a tripped token stops this
+        // worker before it claims another block; the CancelledError rides
+        // the first-exception slot out of run_blocks.
+        cancel.check();
         const std::size_t b =
             next_block_.fetch_add(1, std::memory_order_relaxed);
         if (b >= blocks) break;
@@ -52,8 +63,16 @@ void KernelPool::worker_loop() {
 void KernelPool::run_blocks(std::size_t blocks,
                             const std::function<void(std::size_t)>& fn) {
   if (blocks == 0) return;
+  CancelToken cancel;
   if (workers_.empty() || blocks == 1) {
-    for (std::size_t b = 0; b < blocks; ++b) fn(b);
+    {
+      MutexLock lock(mutex_);
+      cancel = cancel_;
+    }
+    for (std::size_t b = 0; b < blocks; ++b) {
+      cancel.check();
+      fn(b);
+    }
     return;
   }
   {
@@ -64,10 +83,12 @@ void KernelPool::run_blocks(std::size_t blocks,
     next_block_.store(0, std::memory_order_relaxed);
     busy_workers_ = workers_.size();
     ++generation_;
+    cancel = cancel_;
   }
   work_cv_.notify_all();
   try {
     for (;;) {
+      cancel.check();
       const std::size_t b = next_block_.fetch_add(1, std::memory_order_relaxed);
       if (b >= blocks) break;
       fn(b);

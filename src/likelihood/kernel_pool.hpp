@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/mutex.hpp"
 
 namespace plfoc {
@@ -41,6 +42,13 @@ class KernelPool {
   void run_blocks(std::size_t blocks,
                   const std::function<void(std::size_t)>& fn);
 
+  /// Attach a cancellation token, consulted before every pattern-block
+  /// claim (caller and workers alike). A tripped token surfaces as a
+  /// CancelledError rethrown by run_blocks through the existing
+  /// first-exception machinery. Set between jobs only (the pool is
+  /// quiescent between run_blocks calls by the non-re-entrancy contract).
+  void set_cancel_token(CancelToken token);
+
  private:
   void worker_loop();
 
@@ -61,6 +69,8 @@ class KernelPool {
       nullptr;
   std::size_t busy_workers_ PLFOC_GUARDED_BY(mutex_) = 0;
   std::exception_ptr error_ PLFOC_GUARDED_BY(mutex_);
+  /// Copied into each job's dispatch under mutex_; workers read their copy.
+  CancelToken cancel_ PLFOC_GUARDED_BY(mutex_);
 
   std::atomic<std::size_t> next_block_{0};
 };

@@ -110,6 +110,7 @@ SubmitRequest submit_request_from_entry(const JobFileEntry& entry,
   request.strategy = entry.strategy;
   request.seed = entry.seed;
   request.threads = entry.threads;
+  request.deadline_ms = deadline_ms_from_seconds(entry.deadline_seconds);
   if (entry.tree_path == "-") {
     request.tree_kind = WireTreeKind::kStepwise;
   } else {

@@ -1,9 +1,17 @@
 #include "net/protocol.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 namespace plfoc {
+
+std::uint64_t deadline_ms_from_seconds(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  const double ms = std::ceil(seconds * 1000.0);
+  return ms < 1.0 ? 1 : static_cast<std::uint64_t>(ms);
+}
+
 namespace {
 
 void require(bool condition, ProtocolError::Kind kind,
@@ -48,7 +56,8 @@ std::optional<Frame> FrameDecoder::next() {
   require(load_u32(header) == kProtocolMagic, ProtocolError::Kind::kBadMagic,
           "bad frame magic");
   const std::uint16_t version = load_u16(header + 4);
-  require(version == kProtocolVersion, ProtocolError::Kind::kBadVersion,
+  require(version >= kMinProtocolVersion && version <= kProtocolVersion,
+          ProtocolError::Kind::kBadVersion,
           "unsupported protocol version " + std::to_string(version));
   const std::uint16_t raw_type = load_u16(header + 6);
   require(known_type(raw_type), ProtocolError::Kind::kBadType,
@@ -60,6 +69,7 @@ std::optional<Frame> FrameDecoder::next() {
   if (buffer_.size() < kFrameHeaderBytes + payload_len) return std::nullopt;
   Frame frame;
   frame.type = static_cast<MessageType>(raw_type);
+  frame.version = version;
   frame.payload.reserve(payload_len);
   auto begin = buffer_.begin() + kFrameHeaderBytes;
   frame.payload.assign(begin, begin + payload_len);
@@ -171,10 +181,11 @@ void WireWriter::f64_vector(const std::vector<double>& values) {
 }
 
 std::vector<std::uint8_t> encode_frame(MessageType type,
-                                       const std::vector<std::uint8_t>& body) {
+                                       const std::vector<std::uint8_t>& body,
+                                       std::uint16_t version) {
   WireWriter header;
   header.u32(kProtocolMagic);
-  header.u16(kProtocolVersion);
+  header.u16(version);
   header.u16(static_cast<std::uint16_t>(type));
   header.u32(static_cast<std::uint32_t>(body.size()));
   std::vector<std::uint8_t> frame = header.take();
@@ -182,7 +193,8 @@ std::vector<std::uint8_t> encode_frame(MessageType type,
   return frame;
 }
 
-std::vector<std::uint8_t> encode_submit_request(const SubmitRequest& msg) {
+std::vector<std::uint8_t> encode_submit_request(const SubmitRequest& msg,
+                                                std::uint16_t version) {
   WireWriter body;
   body.u64(msg.request_id);
   body.string(msg.tenant);
@@ -206,7 +218,8 @@ std::vector<std::uint8_t> encode_submit_request(const SubmitRequest& msg) {
     body.f64_vector(msg.tree_lengths);
     body.u64(msg.taxa_digest);
   }
-  return encode_frame(MessageType::kSubmitRequest, body.payload());
+  if (version >= 2) body.u64(msg.deadline_ms);
+  return encode_frame(MessageType::kSubmitRequest, body.payload(), version);
 }
 
 SubmitRequest decode_submit_request(const Frame& frame) {
@@ -239,6 +252,9 @@ SubmitRequest decode_submit_request(const Frame& frame) {
     msg.tree_lengths = reader.f64_vector();
     msg.taxa_digest = reader.u64();
   }
+  // v2 trailer: gate on the frame's own version so a v1 submit (no
+  // deadline on the wire) decodes exactly as before.
+  if (frame.version >= 2) msg.deadline_ms = reader.u64();
   reader.expect_end();
   return msg;
 }
@@ -307,6 +323,8 @@ std::vector<std::uint8_t> encode_stats_response(const StatsResponse& msg) {
     body.u64(row.failed);
     body.u64(row.cancelled);
     body.u64(row.cache_hits);
+    body.u64(row.expired);
+    body.u64(row.shed);
   }
   return encode_frame(MessageType::kStatsResponse, body.payload());
 }
@@ -330,6 +348,10 @@ StatsResponse decode_stats_response(const Frame& frame) {
     row.failed = reader.u64();
     row.cancelled = reader.u64();
     row.cache_hits = reader.u64();
+    if (frame.version >= 2) {
+      row.expired = reader.u64();
+      row.shed = reader.u64();
+    }
     msg.tenants.push_back(std::move(row));
   }
   reader.expect_end();

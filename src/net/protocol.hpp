@@ -40,7 +40,14 @@
 namespace plfoc {
 
 inline constexpr std::uint32_t kProtocolMagic = 0x4e464c50u;  // "PLFN"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Current protocol version. v2 adds SubmitRequest::deadline_ms, the
+/// deadline/cancel/overload result flags, and per-tenant expired/shed
+/// stats rows. Decoders accept every version in
+/// [kMinProtocolVersion, kProtocolVersion] and gate the v2 fields on the
+/// frame's own version, so a v1 peer interoperates unchanged (its submits
+/// simply carry no deadline).
+inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// Upper bound on one frame's payload; FrameDecoder rejects larger claims
 /// before buffering (a garbage length prefix must not allocate 4 GiB).
@@ -79,9 +86,12 @@ class ProtocolError : public std::runtime_error {
   Kind kind_;
 };
 
-/// One decoded frame: validated header + raw payload bytes.
+/// One decoded frame: validated header + raw payload bytes. `version` is
+/// the header's protocol version (within the accepted range); decoders use
+/// it to gate fields added after v1.
 struct Frame {
   MessageType type = MessageType::kPing;
+  std::uint16_t version = kProtocolVersion;
   std::vector<std::uint8_t> payload;
 };
 
@@ -184,13 +194,26 @@ struct SubmitRequest {
   std::vector<std::uint32_t> tree_v;
   std::vector<double> tree_lengths;
   std::uint64_t taxa_digest = 0;
+  /// v2: end-to-end deadline in milliseconds, measured from server accept
+  /// (0 = none). Maps to JobSpec::deadline_seconds; absent from v1 frames.
+  std::uint64_t deadline_ms = 0;
 };
+
+/// Converts JobSpec-style deadline seconds to the wire's millisecond field.
+/// Rounds up so a positive sub-millisecond deadline stays a deadline (1 ms)
+/// instead of truncating to 0 = "none"; 0 and negatives stay 0.
+std::uint64_t deadline_ms_from_seconds(double seconds);
 
 /// JobResult bit flags in ResultResponse::flags.
 inline constexpr std::uint8_t kResultDegraded = 1u << 0;
 inline constexpr std::uint8_t kResultCacheHit = 1u << 1;
 inline constexpr std::uint8_t kResultIoFailure = 1u << 2;
 inline constexpr std::uint8_t kResultIntegrityFailure = 1u << 3;
+/// v2 flags: how a non-kDone job ended. The status byte carries the same
+/// information; the flags make it greppable next to the v1 failure bits.
+inline constexpr std::uint8_t kResultDeadlineExceeded = 1u << 4;
+inline constexpr std::uint8_t kResultCancelled = 1u << 5;
+inline constexpr std::uint8_t kResultOverloaded = 1u << 6;
 
 struct ResultResponse {
   std::uint64_t request_id = 0;
@@ -200,7 +223,9 @@ struct ResultResponse {
   /// IEEE-754 bit pattern of the log likelihood (bit-exact transport).
   std::uint64_t logl_bits = 0;
   std::uint8_t flags = 0;
-  std::string error;  ///< non-empty iff status == kFailed
+  /// Diagnostic text: non-empty for failed jobs and typed drops
+  /// (deadline-exceeded / overloaded / cancelled mid-evaluation).
+  std::string error;
   double wall_seconds = 0.0;
   double queue_seconds = 0.0;
   std::string backend;  ///< admitted backend name
@@ -225,6 +250,8 @@ struct StatsResponse {
     std::uint64_t failed = 0;
     std::uint64_t cancelled = 0;
     std::uint64_t cache_hits = 0;
+    std::uint64_t expired = 0;  ///< v2: deadline-exceeded jobs
+    std::uint64_t shed = 0;     ///< v2: overload-shed jobs
   };
   std::vector<TenantRow> tenants;
 };
@@ -244,11 +271,14 @@ struct ErrorResponse {
 
 // Frame assembly: header + payload for one message. decode_* functions
 // take a Frame of the matching type (checked) and throw ProtocolError on
-// any malformation.
-std::vector<std::uint8_t> encode_frame(MessageType type,
-                                       const std::vector<std::uint8_t>& body);
+// any malformation. The version parameters exist for compatibility tests
+// and old-peer emulation; production paths encode kProtocolVersion.
+std::vector<std::uint8_t> encode_frame(
+    MessageType type, const std::vector<std::uint8_t>& body,
+    std::uint16_t version = kProtocolVersion);
 
-std::vector<std::uint8_t> encode_submit_request(const SubmitRequest& msg);
+std::vector<std::uint8_t> encode_submit_request(
+    const SubmitRequest& msg, std::uint16_t version = kProtocolVersion);
 std::vector<std::uint8_t> encode_result_response(const ResultResponse& msg);
 std::vector<std::uint8_t> encode_stats_request(const StatsRequest& msg);
 std::vector<std::uint8_t> encode_stats_response(const StatsResponse& msg);

@@ -235,13 +235,21 @@ DrainReport Server::stop() {
   // joined, so its state is safe to touch from this thread now.
   DrainReport report = service_->drain(DrainMode::kFlushQueued);
   route_pending_results();
-  const double deadline = monotonic_seconds() + 2.0;
+  const double deadline = monotonic_seconds() + options_.drain_flush_seconds;
   for (auto& [id, conn] : connections_) {
     while (!conn.outbox.empty() && monotonic_seconds() < deadline) {
       pollfd pfd{conn.socket.fd(), POLLOUT, 0};
       if (::poll(&pfd, 1, 100) <= 0) continue;
       if (!flush_outbox(conn)) break;
     }
+  }
+  // Make abandoned responses observable: a drain report that says "clean"
+  // while frames died in outboxes would hide exactly the loss the flush
+  // window is meant to bound.
+  for (const auto& [id, conn] : connections_) {
+    if (conn.outbox.empty()) continue;
+    ++report.unsent_connections;
+    report.unsent_frames += conn.outbox.size();
   }
   {
     MutexLock lock(mutex_);
@@ -384,7 +392,8 @@ bool Server::handle_frames(std::uint64_t conn_id, Connection& conn) {
           for (const auto& [tenant, stats] : service_->tenant_stats()) {
             response.tenants.push_back({tenant, stats.submitted,
                                         stats.completed, stats.failed,
-                                        stats.cancelled, stats.cache_hits});
+                                        stats.cancelled, stats.cache_hits,
+                                        stats.expired, stats.shed});
           }
           enqueue_frame(conn, encode_stats_response(response));
           break;
@@ -451,6 +460,9 @@ void Server::handle_submit(std::uint64_t conn_id, Connection& conn,
     }();
     JobSpec spec = make_job_spec(entry, std::move(alignment), std::move(tree));
     spec.tenant = msg.tenant;
+    // v2 deadline (ms on the wire; 0 = none). Armed by the service at
+    // accept time, so the clock starts here — queue time counts.
+    spec.deadline_seconds = static_cast<double>(msg.deadline_ms) / 1000.0;
 
     const std::optional<JobId> id = service_->try_submit(std::move(spec));
     if (!id) {
@@ -535,6 +547,12 @@ ResultResponse Server::make_result_response(std::uint64_t request_id,
   if (result.cache_hit) response.flags |= kResultCacheHit;
   if (result.io_failure) response.flags |= kResultIoFailure;
   if (result.integrity_failure) response.flags |= kResultIntegrityFailure;
+  if (result.status == JobStatus::kDeadlineExceeded)
+    response.flags |= kResultDeadlineExceeded;
+  if (result.status == JobStatus::kCancelled)
+    response.flags |= kResultCancelled;
+  if (result.status == JobStatus::kOverloaded)
+    response.flags |= kResultOverloaded;
   response.error = result.error;
   response.wall_seconds = result.wall_seconds;
   response.queue_seconds = result.queue_seconds;

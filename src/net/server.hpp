@@ -44,6 +44,11 @@ struct ServerOptions {
   /// Close connections silent for longer than this; 0 disables the sweep.
   double idle_timeout_seconds = 300.0;
   std::size_t max_frame_bytes = kMaxFramePayload;
+  /// stop(): how long to keep best-effort flushing already-finished
+  /// responses to still-connected clients before closing them. Responses
+  /// left unsent when the window closes are counted in the drain report
+  /// (DrainReport::unsent_frames / unsent_connections).
+  double drain_flush_seconds = 2.0;
   /// The embedded service (workers, budget, cache, tenants). The server
   /// installs its own on_complete hook; a caller-provided one is invoked
   /// too, after the response is routed.

@@ -414,6 +414,10 @@ void OutOfCoreStore::do_release(std::uint32_t index) {
 
 void OutOfCoreStore::prefetch(std::uint32_t index) {
   PLFOC_CHECK(index < count_);
+  // Cancellation is advisory here: this runs on the Prefetcher's worker
+  // thread, where a throw would terminate the process. Returning early is
+  // enough — the demand path's acquire() throws the typed error.
+  if (cancel_.cancelled_or_expired()) return;
   // Serialises prefetch() callers and owns the staging buffers. mutex_ is
   // only taken in short sections below, so a demand miss on the engine
   // thread never waits behind this call's disk read.
@@ -516,6 +520,8 @@ void OutOfCoreStore::prefetch(std::uint32_t index) {
 void OutOfCoreStore::prefetch_batch(const std::uint32_t* indices,
                                     std::size_t count) {
   if (count == 0) return;
+  // Advisory, like prefetch(): never throw on the prefetch worker thread.
+  if (cancel_.cancelled_or_expired()) return;
   if (!file_.async_io()) {
     // Sync engine: the historical one-vector-per-call path, byte for byte.
     for (std::size_t i = 0; i < count; ++i) prefetch(indices[i]);
@@ -564,6 +570,10 @@ void OutOfCoreStore::prefetch_batch(const std::uint32_t* indices,
                         : static_cast<void*>(prefetch_scratch_.data() +
                                              k * width_);
   }
+  // Between-AIO-batch cancellation point: nothing has been submitted or
+  // installed yet, only private scratch staged, so bailing out here leaves
+  // the store untouched — the "within one AIO batch" granularity bound.
+  if (cancel_.cancelled_or_expired()) return;
   // Records per-op failures instead of throwing — prefetch stays advisory.
   file_.submit_vector_ops(ops.data(), n);
 

@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "ooc/stats.hpp"
+#include "util/cancel.hpp"
 #include "util/checks.hpp"
 
 namespace plfoc {
@@ -88,10 +89,20 @@ class AncestralStore {
 
   /// Pin vector `index` into RAM and return a lease on it. The paper's
   /// getxvector(): transparently swaps the vector in if it is on disk.
+  /// The cancellation check fires *before* do_acquire touches any slot
+  /// state, so an unwinding CancelledError leaves the store exactly as it
+  /// was — no half-installed vector, nothing pinned, audit-clean.
   VectorLease acquire(std::uint32_t index, AccessMode mode) {
+    cancel_.check();
     double* data = do_acquire(index, mode);
     return VectorLease(this, index, data);
   }
+
+  /// Attach a cancellation token (util/cancel.hpp). Checked at every
+  /// acquire(); file-backed stores additionally consult it between AIO
+  /// prefetch batches. Set while the store is quiescent (no concurrent
+  /// acquires or prefetch workers).
+  void set_cancel_token(CancelToken token) { cancel_ = std::move(token); }
 
   /// Write any RAM-only state back to stable storage (no-op for RAM stores).
   virtual void flush() {}
@@ -131,6 +142,7 @@ class AncestralStore {
   std::size_t width_;
   OocStats stats_;
   RecoveryHook recovery_hook_;  ///< empty: recovery impossible, throw typed
+  CancelToken cancel_;          ///< null by default: checks are free
 };
 
 inline void VectorLease::release() {

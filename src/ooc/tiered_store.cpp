@@ -409,6 +409,10 @@ void TieredStore::do_release(std::uint32_t index) {
 
 void TieredStore::prefetch(std::uint32_t index) {
   PLFOC_CHECK(index < count_);
+  // Advisory cancellation: this may run on the Prefetcher's worker thread,
+  // where throwing would terminate the process. The demand path's acquire()
+  // raises the typed CancelledError instead.
+  if (cancel_.cancelled_or_expired()) return;
   MutexLock lock(mutex_);
   if (where_[index] != Location::kDisk) return;  // already staged or resident
   if (!touched_[index]) return;  // nothing meaningful on disk yet

@@ -41,10 +41,17 @@ struct JobSpec {
   /// model — to fit the service's global RAM budget.
   SessionOptions session;
   /// Owning tenant for fair scheduling and quotas (service/tenant.hpp);
-  /// empty = the default tenant. Last member so the established 5-element
-  /// aggregate init `{name, alignment, tree, model, session}` keeps
-  /// working — in-process batch callers can ignore tenancy entirely.
+  /// empty = the default tenant. Trails the established 5-element
+  /// aggregate init `{name, alignment, tree, model, session}` so
+  /// in-process batch callers can ignore tenancy entirely.
   std::string tenant;
+  /// Relative deadline in seconds, measured from submit() (0 = none). The
+  /// service arms the job's cancellation token with it: a job whose deadline
+  /// expires while queued is dropped at pop (kDeadlineExceeded, no Session
+  /// ever built); one that expires mid-evaluation unwinds cooperatively at
+  /// the next pattern-block / traversal-step / AIO-batch check point. Over
+  /// the wire this is SubmitRequest::deadline_ms (protocol v2).
+  double deadline_seconds = 0;
 };
 
 enum class JobStatus {
@@ -52,7 +59,15 @@ enum class JobStatus {
   kRunning,    ///< popped by a worker (possibly waiting for admission)
   kDone,       ///< evaluated successfully
   kFailed,     ///< Session construction or evaluation threw plfoc::Error
-  kCancelled,  ///< removed from the queue before a worker picked it up
+  kCancelled,  ///< cancelled: dequeued before running, or unwound mid-run
+               ///< by Service::cancel / the worker watchdog
+  /// The job's deadline expired — while still queued (dropped at pop, no
+  /// Session built) or mid-evaluation (cooperative unwind via CancelledError).
+  kDeadlineExceeded,
+  /// Shed at pop: the job waited in the queue longer than the service's
+  /// shed_queue_seconds overload budget, so running it would only add load
+  /// with no chance of a timely answer. Never ran.
+  kOverloaded,
 };
 
 inline const char* job_status_name(JobStatus status) {
@@ -62,6 +77,8 @@ inline const char* job_status_name(JobStatus status) {
     case JobStatus::kDone: return "done";
     case JobStatus::kFailed: return "failed";
     case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case JobStatus::kOverloaded: return "overloaded";
   }
   return "?";
 }
@@ -81,7 +98,9 @@ struct JobResult {
   Backend admitted_backend = Backend::kInRam;
   std::uint64_t charged_bytes = 0;  ///< slot memory charged to the budget
   bool degraded = false;  ///< scheduler shrank the limit / switched backend
-  std::string error;      ///< non-empty iff status == kFailed
+  /// Diagnostic text: non-empty for kFailed and for the typed drops
+  /// (kDeadlineExceeded / kOverloaded / mid-evaluation kCancelled).
+  std::string error;
   /// The failure was a typed storage error (IoError: retry budget exhausted),
   /// as opposed to a bad spec or an internal error. Only ever true together
   /// with status == kFailed.
@@ -103,6 +122,11 @@ struct JobResult {
   /// covers every value-affecting input and the determinism contract covers
   /// the rest — so this is observability, not a semantic difference.
   bool cache_hit = false;
+  /// Why the job's cancellation token tripped (util/cancel.hpp): kExplicit
+  /// (Service::cancel), kDeadline, or kWatchdog. kNone for every other
+  /// terminal status, including kOverloaded (shedding is a scheduling
+  /// decision, not a token trip).
+  CancelReason cancel_reason = CancelReason::kNone;
 };
 
 }  // namespace plfoc

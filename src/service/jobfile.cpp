@@ -75,6 +75,10 @@ void apply_key(JobFileEntry* entry, const std::string& key,
     entry->io_engine = value;
   } else if (key == "io-depth") {
     entry->io_depth = static_cast<long long>(parse_uint(line, key, value));
+  } else if (key == "deadline") {
+    entry->deadline_seconds = parse_double(line, key, value);
+    if (entry->deadline_seconds < 0)
+      throw line_error(line, "deadline must be >= 0 seconds");
   } else {
     throw line_error(line, "unknown option '" + key + "'");
   }
@@ -202,6 +206,7 @@ JobSpec make_job_spec(const JobFileEntry& entry, Alignment alignment,
       spec.session.io_engine = parse_aio_engine(entry.io_engine);
     if (entry.io_depth >= 0)
       spec.session.io_depth = static_cast<unsigned>(entry.io_depth);
+    spec.deadline_seconds = entry.deadline_seconds;
     return spec;
   } catch (const Error& error) {
     throw line_error(entry.line, error.what());

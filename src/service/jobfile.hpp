@@ -18,9 +18,11 @@
 // 0 disables retrying), threads= (kernel threads for this job; unset lines
 // inherit the batch --threads default — see docs/parallelism.md),
 // io-engine= (sync|threads|uring|deterministic; unset lines inherit the
-// batch --io-engine default) and io-depth= (async submission-queue depth;
-// unset lines inherit --io-depth — see docs/async-io.md). Blank
-// lines and `#` comments are skipped. See docs/service.md for worked
+// batch --io-engine default), io-depth= (async submission-queue depth;
+// unset lines inherit --io-depth — see docs/async-io.md) and deadline=
+// (relative deadline in seconds, armed when the service accepts the job;
+// 0 = none — see docs/robustness.md "Deadlines, cancellation, and
+// overload"). Blank lines and `#` comments are skipped. See docs/service.md for worked
 // examples and docs/robustness.md for the fault model.
 //
 // The file also exports the name -> enum/model helpers shared with the CLI
@@ -61,6 +63,7 @@ struct JobFileEntry {
   unsigned threads = 0;  ///< threads= key; 0 = inherit the service default
   std::string io_engine;  ///< io-engine= key ('' = inherit batch default)
   long long io_depth = -1;  ///< io-depth= key; -1 = inherit batch default
+  double deadline_seconds = 0;  ///< deadline= key (seconds; 0 = none)
 };
 
 /// Shared CLI/jobfile vocabulary. All throw plfoc::Error on unknown names.

@@ -1,5 +1,6 @@
 #include "service/service.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -18,7 +19,17 @@ double seconds_between(std::chrono::steady_clock::time_point from,
 
 bool terminal(JobStatus status) {
   return status == JobStatus::kDone || status == JobStatus::kFailed ||
-         status == JobStatus::kCancelled;
+         status == JobStatus::kCancelled ||
+         status == JobStatus::kDeadlineExceeded ||
+         status == JobStatus::kOverloaded;
+}
+
+/// Map a tripped token's reason to the job's terminal status: deadlines get
+/// their own typed status, everything else (explicit, watchdog) is a
+/// cancellation.
+JobStatus status_for_reason(CancelReason reason) {
+  return reason == CancelReason::kDeadline ? JobStatus::kDeadlineExceeded
+                                           : JobStatus::kCancelled;
 }
 
 }  // namespace
@@ -41,21 +52,40 @@ Service::Service(ServiceOptions options)
   }
   pool_ = std::make_unique<WorkerPool>(
       options_.workers, [this](std::size_t worker) { worker_loop(worker); });
+  if (options_.watchdog_stall_seconds > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
-Service::~Service() { drain(); }
+Service::~Service() {
+  drain();
+  {
+    MutexLock lock(mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
 
 JobId Service::register_job(JobSpec& spec) {
   MutexLock lock(mutex_);
   PLFOC_REQUIRE(!queue_.closed(), "service intake is closed (drained)");
   const JobId id = next_id_++;
   if (spec.name.empty()) spec.name = "job-" + std::to_string(id);
+  // Every accepted job gets a live token (a caller-supplied one is kept):
+  // it is what cancel() trips for running jobs and what the watchdog
+  // monitors. The relative deadline is armed here, at accept time, so time
+  // spent queued counts against it — that is the "end-to-end" in
+  // end-to-end deadlines.
+  if (!spec.session.cancel.valid()) spec.session.cancel = CancelToken::make();
+  if (spec.deadline_seconds > 0)
+    spec.session.cancel.set_deadline_after(spec.deadline_seconds);
   JobResult placeholder;
   placeholder.id = id;
   placeholder.name = spec.name;
   placeholder.tenant = spec.tenant;
   placeholder.status = JobStatus::kQueued;
   results_.emplace(id, std::move(placeholder));
+  tokens_.emplace(id, spec.session.cancel);
   return id;
 }
 
@@ -69,6 +99,7 @@ JobId Service::submit(JobSpec spec) {
     {
       MutexLock lock(mutex_);
       results_[id].status = JobStatus::kCancelled;
+      tokens_.erase(id);
     }
     done_cv_.notify_all();
     throw Error("service intake closed while submitting job " +
@@ -94,23 +125,42 @@ std::optional<JobId> Service::try_submit(JobSpec spec) {
     } else {
       results_[id].status = JobStatus::kCancelled;
     }
+    tokens_.erase(id);
   }
   if (pushed == PushResult::kClosed) done_cv_.notify_all();
   return std::nullopt;
 }
 
 bool Service::cancel(JobId id) {
-  if (!queue_.cancel(id)) return false;
-  std::string tenant;
+  if (queue_.cancel(id)) {
+    std::string tenant;
+    {
+      MutexLock lock(mutex_);
+      const auto it = results_.find(id);
+      PLFOC_CHECK(it != results_.end());
+      it->second.status = JobStatus::kCancelled;
+      it->second.cancel_reason = CancelReason::kExplicit;
+      tenant = it->second.tenant;
+      tokens_.erase(id);
+    }
+    registry_.record_cancelled(tenant);
+    done_cv_.notify_all();
+    return true;
+  }
+  // Not in the queue: a worker popped it (or is popping it right now).
+  // Trip the token so the evaluation unwinds at its next check point —
+  // this closes the submit/pop race that used to make cancel() return
+  // false for a job that had produced nothing yet.
+  CancelToken token;
   {
     MutexLock lock(mutex_);
     const auto it = results_.find(id);
-    PLFOC_CHECK(it != results_.end());
-    it->second.status = JobStatus::kCancelled;
-    tenant = it->second.tenant;
+    if (it == results_.end() || terminal(it->second.status)) return false;
+    const auto entry = tokens_.find(id);
+    if (entry == tokens_.end()) return false;
+    token = entry->second;
   }
-  registry_.record_cancelled(tenant);
-  done_cv_.notify_all();
+  token.cancel(CancelReason::kExplicit);
   return true;
 }
 
@@ -140,6 +190,7 @@ std::vector<JobResult> Service::drain() {
         result.status = JobStatus::kCancelled;
       drain_snapshot_.push_back(result);
     }
+    tokens_.clear();  // workers are gone; nothing left to trip
   }
   return drain_snapshot_;
 }
@@ -154,8 +205,10 @@ DrainReport Service::drain(DrainMode mode) {
     if (!flushed.jobs.empty()) {
       {
         MutexLock lock(mutex_);
-        for (const FairJobQueue::Pending& pending : flushed.jobs)
+        for (const FairJobQueue::Pending& pending : flushed.jobs) {
           results_[pending.id].status = JobStatus::kCancelled;
+          tokens_.erase(pending.id);
+        }
       }
       for (const FairJobQueue::Pending& pending : flushed.jobs)
         registry_.record_cancelled(pending.spec.tenant);
@@ -170,6 +223,8 @@ DrainReport Service::drain(DrainMode mode) {
       case JobStatus::kDone: ++counts.completed; break;
       case JobStatus::kFailed: ++counts.failed; break;
       case JobStatus::kCancelled: ++counts.cancelled; break;
+      case JobStatus::kDeadlineExceeded: ++counts.expired; break;
+      case JobStatus::kOverloaded: ++counts.shed; break;
       default: break;
     }
   }
@@ -212,7 +267,7 @@ bool Service::tenant_share_allows(const std::string& tenant,
   return charged + bytes <= share;
 }
 
-void Service::finish_job(JobId id, JobResult result) {
+void Service::finish_job(JobId id, JobResult result, bool popped) {
   const std::string tenant = result.tenant;
   const JobStatus status = result.status;
   const bool cache_hit = result.cache_hit;
@@ -223,25 +278,127 @@ void Service::finish_job(JobId id, JobResult result) {
     merged_ += result.stats;
     results_[id] = std::move(result);
     if (has_callback) callback_copy = results_[id];
+    running_.erase(id);
+    tokens_.erase(id);
   }
-  if (status == JobStatus::kDone) {
-    registry_.record_completed(tenant, cache_hit);
-  } else {
-    registry_.record_failed(tenant);
+  switch (status) {
+    case JobStatus::kDone:
+      registry_.record_completed(tenant, cache_hit);
+      break;
+    case JobStatus::kCancelled:
+      registry_.record_cancelled(tenant);
+      break;
+    case JobStatus::kDeadlineExceeded:
+      registry_.record_expired(tenant);
+      break;
+    case JobStatus::kOverloaded:
+      registry_.record_shed(tenant);
+      break;
+    default:
+      registry_.record_failed(tenant);
+      break;
   }
-  queue_.job_finished(tenant);
+  // Jobs harvested by the expired-at-pop drop never held an in-flight
+  // slot, so releasing one for them would trip the queue's accounting.
+  if (popped) queue_.job_finished(tenant);
   admission_cv_.notify_all();
   done_cv_.notify_all();
   if (has_callback) options_.on_complete(callback_copy);
 }
 
+JobResult Service::dropped_result(const FairJobQueue::Pending& pending,
+                                  JobStatus status, CancelReason reason,
+                                  double queue_seconds) const {
+  JobResult result;
+  result.id = pending.id;
+  result.name = pending.spec.name;
+  result.tenant = pending.spec.tenant;
+  result.status = status;
+  result.cancel_reason = reason;
+  result.admitted_backend = pending.spec.session.backend;
+  result.queue_seconds = queue_seconds;
+  result.error = status == JobStatus::kOverloaded
+                     ? "shed: queue wait exceeded the overload budget"
+                     : std::string("dropped before evaluation: ") +
+                           cancel_reason_name(reason);
+  return result;
+}
+
+void Service::watchdog_loop() {
+  // Scan at a quarter of the budget (floored) so a frozen job is caught
+  // within ~1.25 stall budgets of freezing.
+  const double interval = std::max(0.01, options_.watchdog_stall_seconds / 4);
+  MutexLock lock(mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, interval);
+    if (watchdog_stop_) break;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [id, watch] : running_) {
+      const std::uint64_t progress = watch.token.progress();
+      if (progress != watch.last_progress) {
+        watch.last_progress = progress;
+        watch.last_change = now;
+        continue;
+      }
+      if (std::chrono::duration<double>(now - watch.last_change).count() >
+          options_.watchdog_stall_seconds)
+        watch.token.cancel(CancelReason::kWatchdog);
+    }
+  }
+}
+
 void Service::worker_loop(std::size_t /*worker*/) {
-  while (std::optional<FairJobQueue::Pending> pending = queue_.pop()) {
+  std::vector<FairJobQueue::Pending> expired;
+  for (;;) {
+    expired.clear();
+    std::optional<FairJobQueue::Pending> pending = queue_.pop(&expired);
+    // Jobs the queue dropped because their token tripped while queued:
+    // report them typed without ever building a Session. They hold no
+    // in-flight slot (popped=false).
+    for (const FairJobQueue::Pending& dropped : expired) {
+      const CancelReason reason = dropped.spec.session.cancel.reason();
+      finish_job(dropped.id,
+                 dropped_result(dropped, status_for_reason(reason), reason,
+                                seconds_between(
+                                    dropped.enqueued,
+                                    std::chrono::steady_clock::now())),
+                 /*popped=*/false);
+    }
+    if (!pending.has_value()) {
+      // nullopt with harvested jobs is pop's "report these now" early
+      // return; nullopt with none is closed-and-drained.
+      if (!expired.empty()) continue;
+      break;
+    }
     const auto popped = std::chrono::steady_clock::now();
     const std::string tenant = pending->spec.tenant;
+    const CancelToken cancel = pending->spec.session.cancel;
+    const double queue_wait = seconds_between(pending->enqueued, popped);
     {
       MutexLock lock(mutex_);
       results_[pending->id].status = JobStatus::kRunning;
+    }
+
+    // Overload shedding: under sustained offered load above capacity the
+    // queue wait grows without bound; beyond the budget, running this job
+    // would burn a worker on an answer nobody is waiting for anymore.
+    if (options_.shed_queue_seconds > 0 &&
+        queue_wait > options_.shed_queue_seconds) {
+      finish_job(pending->id,
+                 dropped_result(*pending, JobStatus::kOverloaded,
+                                CancelReason::kNone, queue_wait),
+                 /*popped=*/true);
+      continue;
+    }
+    // A token tripped between the queue's harvest scan and here (e.g. a
+    // cancel() racing the pop) drops the job before the cache probe.
+    if (cancel.cancelled_or_expired()) {
+      const CancelReason reason = cancel.reason();
+      finish_job(pending->id,
+                 dropped_result(*pending, status_for_reason(reason), reason,
+                                queue_wait),
+                 /*popped=*/true);
+      continue;
     }
 
     // Result-cache probe. Encoding canonicalizes the tree, so equivalent
@@ -272,8 +429,8 @@ void Service::worker_loop(std::size_t /*worker*/) {
         result.cache_hit = true;
         result.admitted_backend = pending->spec.session.backend;
         result.wall_seconds = probe_timer.seconds();
-        result.queue_seconds = seconds_between(pending->enqueued, popped);
-        finish_job(pending->id, std::move(result));
+        result.queue_seconds = queue_wait;
+        finish_job(pending->id, std::move(result), /*popped=*/true);
         continue;
       }
       // Miss: this worker is now the leader for the key and must publish
@@ -282,20 +439,48 @@ void Service::worker_loop(std::size_t /*worker*/) {
 
     const JobDemand demand = JobDemand::from_spec(pending->spec);
     Admission admission;
+    bool admitted = true;
     {
       MutexLock lock(mutex_);
       // Explicit wait loop (not a predicate lambda): the admission decision
       // reads scheduler_ state guarded by mutex_, and the analysis checks
-      // loop bodies but not lambda captures — see util/mutex.hpp.
+      // loop bodies but not lambda captures — see util/mutex.hpp. The wait
+      // is timed because nothing signals admission_cv_ when a token trips:
+      // a cancelled or deadline-expired job must not wedge here.
       for (;;) {
+        if (cancel.cancelled_or_expired()) {
+          admitted = false;
+          break;
+        }
         admission = scheduler_.decide(demand);
         if (admission.admit &&
             tenant_share_allows(tenant, admission.charged_bytes))
           break;
-        admission_cv_.wait(lock);
+        admission_cv_.wait_for(lock, 0.05);
       }
-      scheduler_.reserve(admission.charged_bytes);
-      tenant_charged_[tenant] += admission.charged_bytes;
+      if (admitted) {
+        scheduler_.reserve(admission.charged_bytes);
+        tenant_charged_[tenant] += admission.charged_bytes;
+      }
+    }
+    if (!admitted) {
+      // Cache-miss leaders must abandon their key or coalesced waiters
+      // block forever (the publish-or-abandon contract).
+      if (cache_key.has_value()) cache_->abandon(*cache_key);
+      const CancelReason reason = cancel.reason();
+      finish_job(pending->id,
+                 dropped_result(*pending, status_for_reason(reason), reason,
+                                queue_wait),
+                 /*popped=*/true);
+      continue;
+    }
+    // Register with the watchdog for the whole run_job span (admission is
+    // already behind us — an admission wait is not a stall, the timed loop
+    // above owns that phase); finish_job deregisters.
+    if (options_.watchdog_stall_seconds > 0) {
+      MutexLock lock(mutex_);
+      running_[pending->id] = RunningWatch{cancel, cancel.progress(),
+                                           std::chrono::steady_clock::now()};
     }
     // Copy the spec up front when re-admission is on: run_job consumes it.
     std::optional<JobSpec> retry_spec;
@@ -328,7 +513,7 @@ void Service::worker_loop(std::size_t /*worker*/) {
       }
     }
     result.tenant = tenant;
-    result.queue_seconds = seconds_between(pending->enqueued, popped);
+    result.queue_seconds = queue_wait;
     {
       MutexLock lock(mutex_);
       scheduler_.release(admission.charged_bytes);
@@ -336,7 +521,7 @@ void Service::worker_loop(std::size_t /*worker*/) {
       PLFOC_CHECK(charged >= admission.charged_bytes);
       charged -= admission.charged_bytes;
     }
-    finish_job(pending->id, std::move(result));
+    finish_job(pending->id, std::move(result), /*popped=*/true);
   }
 }
 
@@ -400,6 +585,23 @@ JobResult Service::run_job(JobId id, JobSpec spec, const Admission& admission,
     result.log_likelihood = eval.log_likelihood;
     result.stats = eval.stats;
     result.status = JobStatus::kDone;
+  } catch (const CancelledError& error) {
+    // Cooperative unwind: the token tripped (explicit cancel, deadline, or
+    // watchdog) and the evaluation threw at a check point *before* mutating
+    // anything at that point — leases released, no partial install, the
+    // store audit-clean. Typed like the IoError path so nothing has to
+    // string-match.
+    if (prefetcher != nullptr) {
+      session->engine().attach_prefetcher(nullptr);
+      prefetcher->stop();
+    }
+    result.status = error.reason() == CancelReason::kDeadline
+                        ? JobStatus::kDeadlineExceeded
+                        : JobStatus::kCancelled;
+    result.cancel_reason = error.reason();
+    result.error = error.what();
+    if (session != nullptr)
+      result.stats = session->store().stats_snapshot();
   } catch (const IoError& error) {
     // Typed storage failure: the retry budget of one transfer was exhausted.
     // Fail this job with a reproduction-grade fault report; the worker (and

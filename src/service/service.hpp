@@ -26,12 +26,14 @@
 // cached value indistinguishable from a fresh traversal.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/result_cache.hpp"
@@ -89,9 +91,27 @@ struct ServiceOptions {
   /// Per-tenant scheduling policies, applied before the workers start.
   /// Tenants absent from the map run under the unconstrained default.
   std::map<std::string, TenantPolicy> tenants;
-  /// Invoked outside all service locks after a job reaches kDone or
-  /// kFailed through the worker path (not for cancellations). The serving
-  /// tier uses this to push responses without polling wait().
+  /// Worker watchdog stall budget in seconds (0 = watchdog off). Every
+  /// check point a job passes bumps its token's progress counter; when the
+  /// counter of a running job stays frozen longer than this budget, the
+  /// watchdog trips the token with kWatchdog and the evaluation unwinds at
+  /// its next check point exactly like an explicit cancel. This catches
+  /// *wedged* jobs (a hung I/O path, a livelocked loop between check
+  /// points), not merely slow ones — a slow job keeps bumping progress.
+  double watchdog_stall_seconds = 0;
+  /// Overload shedding: a popped job that waited in the queue longer than
+  /// this many seconds is rejected with kOverloaded instead of run
+  /// (0 = off). Under sustained offered load above capacity this bounds
+  /// the latency of the jobs that DO run — see bench/service_throughput's
+  /// overload phase and docs/robustness.md.
+  double shed_queue_seconds = 0;
+  /// Invoked outside all service locks after a job reaches a terminal
+  /// status through the worker path: kDone, kFailed, and the typed drops
+  /// kDeadlineExceeded / kOverloaded / mid-evaluation kCancelled. Not
+  /// fired for queue-removal cancellations (Service::cancel of a
+  /// still-queued job, drain flush) — those resolve synchronously at the
+  /// call site. The serving tier uses this to push responses without
+  /// polling wait().
   std::function<void(const JobResult&)> on_complete;
 };
 
@@ -108,9 +128,16 @@ struct DrainReport {
     std::uint64_t completed = 0;
     std::uint64_t failed = 0;
     std::uint64_t cancelled = 0;
+    std::uint64_t expired = 0;  ///< kDeadlineExceeded
+    std::uint64_t shed = 0;     ///< kOverloaded
   };
   std::vector<JobResult> results;  ///< submission order
   std::map<std::string, TenantCounts> per_tenant;
+  /// Socket front-end only (Server::stop): response frames still sitting in
+  /// connection outboxes when the drain-flush window closed, and how many
+  /// connections held them. Always 0 for in-process Service::drain calls.
+  std::uint64_t unsent_frames = 0;
+  std::uint64_t unsent_connections = 0;
 };
 
 class Service {
@@ -128,9 +155,15 @@ class Service {
   /// Non-blocking submit; nullopt when the queue is full.
   std::optional<JobId> try_submit(JobSpec spec);
 
-  /// Remove a still-queued job. True: the job will never run and its result
-  /// reads kCancelled. False: a worker already picked it up (it will run to
-  /// completion; mid-evaluation cancellation is not supported).
+  /// Cancel a job. Still queued: it is removed, never runs, and its result
+  /// reads kCancelled immediately. Already picked up by a worker: the
+  /// job's cancellation token is tripped (kExplicit) and the evaluation
+  /// unwinds cooperatively at its next check point — wait(id) then reports
+  /// kCancelled with the store left audit-clean. Returns false only when
+  /// the job is already terminal (or the id is unknown) — the pop race
+  /// that used to yield a false return now lands in the mid-evaluation
+  /// branch. Best-effort at the finish line: a job that completes its
+  /// last check point concurrently with the trip still reports kDone.
   bool cancel(JobId id);
 
   /// Block until `id` reaches a terminal status and return its result.
@@ -166,12 +199,21 @@ class Service {
 
  private:
   void worker_loop(std::size_t worker);
+  void watchdog_loop();
   JobResult run_job(JobId id, JobSpec spec, const Admission& admission,
                     unsigned attempt);
   JobId register_job(JobSpec& spec) PLFOC_EXCLUDES(mutex_);
   /// Record a terminal worker-path result and fire the notifications +
-  /// on_complete. Consumes `result`.
-  void finish_job(JobId id, JobResult result);
+  /// on_complete. Consumes `result`. `popped` says whether the job was
+  /// dequeued through pop() and so holds an in-flight slot to release via
+  /// job_finished(); jobs harvested by the expired-at-pop drop never
+  /// held one and pass false.
+  void finish_job(JobId id, JobResult result, bool popped);
+  /// Build the terminal result for a job dropped without running (expired
+  /// at pop, shed, or cancelled while waiting for admission).
+  JobResult dropped_result(const FairJobQueue::Pending& pending,
+                           JobStatus status, CancelReason reason,
+                           double queue_seconds) const;
   /// True when `tenant` may charge `bytes` against its RAM share right
   /// now. A tenant with nothing charged is always admitted (progress
   /// guarantee mirroring the scheduler's sole-job floor).
@@ -198,11 +240,27 @@ class Service {
       PLFOC_GUARDED_BY(mutex_);
   /// Ordered: drain() reports by id.
   std::map<JobId, JobResult> results_ PLFOC_GUARDED_BY(mutex_);
+  /// Cancellation token of every non-terminal job (created at submit, armed
+  /// with the spec's deadline). cancel() trips tokens of running jobs
+  /// through this map; entries die with their job.
+  std::map<JobId, CancelToken> tokens_ PLFOC_GUARDED_BY(mutex_);
+  /// Watchdog ledger: one entry per job currently inside run_job.
+  struct RunningWatch {
+    CancelToken token;
+    std::uint64_t last_progress = 0;
+    std::chrono::steady_clock::time_point last_change;
+  };
+  std::map<JobId, RunningWatch> running_ PLFOC_GUARDED_BY(mutex_);
   OocStats merged_ PLFOC_GUARDED_BY(mutex_);
   JobId next_id_ PLFOC_GUARDED_BY(mutex_) = 1;
   bool drained_ PLFOC_GUARDED_BY(mutex_) = false;
+  bool watchdog_stop_ PLFOC_GUARDED_BY(mutex_) = false;
+  CondVar watchdog_cv_;
   std::vector<JobResult> drain_snapshot_ PLFOC_GUARDED_BY(mutex_);
-  std::unique_ptr<WorkerPool> pool_;  ///< last member: threads die first
+  std::unique_ptr<WorkerPool> pool_;  ///< near-last: worker threads die first
+  /// Joined explicitly by the destructor (after drain); only scans
+  /// running_ under mutex_, so its ordering relative to pool_ is free.
+  std::thread watchdog_;
 };
 
 }  // namespace plfoc

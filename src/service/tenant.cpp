@@ -42,6 +42,16 @@ void TenantRegistry::record_cancelled(const std::string& tenant) {
   ++stats_[tenant].cancelled;
 }
 
+void TenantRegistry::record_expired(const std::string& tenant) {
+  MutexLock lock(mutex_);
+  ++stats_[tenant].expired;
+}
+
+void TenantRegistry::record_shed(const std::string& tenant) {
+  MutexLock lock(mutex_);
+  ++stats_[tenant].shed;
+}
+
 std::map<std::string, TenantStats> TenantRegistry::stats() const {
   MutexLock lock(mutex_);
   return stats_;
@@ -81,8 +91,10 @@ PushResult FairJobQueue::try_push(Pending job) {
   return enqueue_locked(std::move(job));
 }
 
-std::optional<FairJobQueue::Pending> FairJobQueue::pop() {
+std::optional<FairJobQueue::Pending> FairJobQueue::pop(
+    std::vector<Pending>* expired) {
   MutexLock lock(mutex_);
+  bool harvested = false;
   for (;;) {
     if (size_ == 0 && closed_) return std::nullopt;
     // One pass over the active round looking for an eligible tenant.
@@ -93,6 +105,17 @@ std::optional<FairJobQueue::Pending> FairJobQueue::pop() {
     while (scanned < round_size) {
       const std::string tenant = round_.front();
       TenantQueue& queue = tenants_[tenant];
+      // Drop deadline-expired (or caller-cancelled) head jobs before they
+      // cost a worker a Session build: harvested jobs charge no deficit and
+      // no in-flight slot — dropping is not this tenant's turn.
+      while (expired != nullptr && !queue.jobs.empty() &&
+             queue.jobs.front().spec.session.cancel.cancelled_or_expired()) {
+        expired->push_back(std::move(queue.jobs.front()));
+        queue.jobs.pop_front();
+        --size_;
+        harvested = true;
+        not_full_.notify_all();
+      }
       if (queue.jobs.empty()) {
         // Drained by pops or cancellations: leave the round; credit does
         // not survive idleness.
@@ -130,6 +153,9 @@ std::optional<FairJobQueue::Pending> FairJobQueue::pop() {
       not_full_.notify_all();
       return job;
     }
+    // Harvested expired jobs must reach the caller promptly — return
+    // instead of blocking; the caller reports them and pops again.
+    if (harvested) return std::nullopt;
     // Nothing eligible: either empty, or every queued tenant is at its
     // in-flight quota (some job is running, so a job_finished() wake-up
     // is guaranteed — no deadlock even after close()).

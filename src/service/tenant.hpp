@@ -51,6 +51,8 @@ struct TenantStats {
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;  ///< explicit cancel() + drain-flushed jobs
   std::uint64_t cache_hits = 0;
+  std::uint64_t expired = 0;  ///< kDeadlineExceeded (queued or mid-run)
+  std::uint64_t shed = 0;     ///< kOverloaded (dropped by overload shedding)
 };
 
 class TenantRegistry {
@@ -68,6 +70,8 @@ class TenantRegistry {
   void record_completed(const std::string& tenant, bool cache_hit);
   void record_failed(const std::string& tenant);
   void record_cancelled(const std::string& tenant);
+  void record_expired(const std::string& tenant);
+  void record_shed(const std::string& tenant);
 
   std::map<std::string, TenantStats> stats() const;
 
@@ -104,7 +108,18 @@ class FairJobQueue {
   /// or every non-empty tenant is at its max_in_flight quota) and the
   /// queue is open; nullopt once closed *and* drained. The popped job
   /// counts against its tenant's in-flight quota until job_finished().
-  std::optional<Pending> pop();
+  ///
+  /// With `expired` non-null, queued jobs whose cancellation token has
+  /// tripped (deadline passed, or cancelled through a caller-held token)
+  /// are moved into *expired instead of being returned: they consume
+  /// neither round deficit nor an in-flight slot — do NOT call
+  /// job_finished() for them. If jobs were harvested this call and no
+  /// runnable job remains, pop returns nullopt WITHOUT blocking so the
+  /// caller can report the drops promptly. Caller contract: process
+  /// *expired after every call, and treat nullopt as shutdown only when
+  /// *expired did not grow — a nullopt that delivered harvested jobs means
+  /// "call pop again".
+  std::optional<Pending> pop(std::vector<Pending>* expired = nullptr);
 
   /// Release one in-flight slot for `tenant` and re-wake poppers that may
   /// have been quota-blocked on it. Call once per popped job, on any

@@ -160,6 +160,15 @@ Session::Session(Alignment alignment, Tree tree, SubstitutionModel model,
   store_->set_recovery_hook([this](std::uint32_t index, double* dst) {
     return engine_->recover_vector(index, dst);
   });
+
+  if (options_.cancel.valid()) set_cancel_token(options_.cancel);
+}
+
+void Session::set_cancel_token(CancelToken token) {
+  options_.cancel = token;
+  store_->set_cancel_token(token);
+  if (kernel_pool_) kernel_pool_->set_cancel_token(token);
+  engine_->set_cancel_token(token);
 }
 
 Session::~Session() {

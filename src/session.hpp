@@ -102,6 +102,14 @@ struct SessionOptions {
   /// match io_engine/io_depth and no fault injection; otherwise the store
   /// silently keeps a private engine (see FileBackendOptions::shared_engine).
   std::shared_ptr<AioEngineHandle> shared_aio_engine;
+  /// Cooperative cancellation token (util/cancel.hpp). When valid, the
+  /// session threads it through the store (checked at every vector acquire),
+  /// the kernel pool (checked per pattern-block claim), and the engine
+  /// (checked per traversal step), so cancelling or letting the deadline
+  /// expire unwinds a running evaluation as CancelledError within one
+  /// pattern-block / traversal-step / AIO-batch granularity. The default
+  /// (null) token makes every check free.
+  CancelToken cancel;
 
   /// Throws plfoc::Error unless the memory-limit fields are consistent with
   /// the backend: out-of-core needs exactly one of ram_fraction /
@@ -147,6 +155,13 @@ class Session {
   std::size_t patterns() const { return alignment_.num_sites(); }
   std::size_t vector_width() const { return store_->width(); }
   const SessionOptions& options() const { return options_; }
+
+  /// Replace the cancellation token and re-thread it through the store, the
+  /// kernel pool, and the engine. A tripped token cannot be un-tripped, so
+  /// this (with a fresh or null token) is how a caller reuses a session
+  /// after a cancelled evaluation; the interrupted steps were invalidated
+  /// on unwind, and the next evaluate() recomputes exactly those.
+  void set_cancel_token(CancelToken token);
 
   /// Per-site log likelihoods in *original alignment column order* (pattern
   /// values expanded through the compression map; identical to the pattern

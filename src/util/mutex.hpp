@@ -23,6 +23,7 @@
 // there is no runtime cost over the raw primitives.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -86,6 +87,14 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void wait(MutexLock& lock) { impl_.wait(lock.lock_); }
+  /// Timed wait: false on timeout, true when notified. Same re-check-the-
+  /// predicate contract as wait(); the timeout exists so waiters can poll a
+  /// cancellation token while blocked (service admission, watchdog).
+  bool wait_for(MutexLock& lock, double seconds) {
+    return impl_.wait_for(lock.lock_,
+                          std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
   void notify_one() noexcept { impl_.notify_one(); }
   void notify_all() noexcept { impl_.notify_all(); }
 

@@ -1,0 +1,32 @@
+// lint-as: src/cli/driver.cpp
+// Readiness multiplexing belongs to the same one-TU boundary as the socket
+// syscalls: a poll/select loop outside src/net/server.cpp (or the chaos
+// harness) would be a second place connection lifetimes get decided. This
+// file pretends to be the CLI driver, which must speak through the
+// Socket/Server abstractions instead.
+#include <poll.h>
+#include <sys/select.h>
+
+void bad(struct pollfd* fds, fd_set* set, void* ts) {
+  poll(fds, 1, 100);                     // expect(raw-socket)
+  ::poll(fds, 1, 0);                     // expect(raw-socket)
+  ppoll(fds, 1, nullptr, nullptr);       // expect(raw-socket)
+  select(1, set, nullptr, nullptr, ts);  // expect(raw-socket)
+  pselect(1, set, nullptr, nullptr, nullptr, nullptr);  // expect(raw-socket)
+  epoll_wait(3, nullptr, 1, 0);          // expect(raw-socket)
+}
+
+struct Poller;
+
+void fine(Poller& p, Poller* q) {
+  p.poll(1);        // member access: not a raw syscall
+  q->select(2);     // member access: not a raw syscall
+  // A comment mentioning poll( and select( must not fire.
+  const char* doc = "ppoll(fds, n, ts, mask) in a string must not fire";
+  (void)doc;
+  int poll_interval = 8;  // identifier merely *containing* a banned name
+  (void)poll_interval;
+}
+
+// plfoc-lint: allow(raw-socket): fixture: justified suppression is silent
+void suppressed(struct pollfd* fds) { poll(fds, 1, 0); }

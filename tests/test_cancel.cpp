@@ -1,0 +1,459 @@
+// Cooperative cancellation and deadlines (util/cancel.hpp + the plumbing
+// through Session, the stores, the engine, and the Service):
+//  * token semantics — null tokens are free, first trip reason wins, the
+//    deterministic trip_at hook fires on the progress counter;
+//  * a cancelled-mid-evaluation Session unwinds as typed CancelledError,
+//    leaves the store consistent, and re-evaluates bit-identically after
+//    the token is replaced (the acceptance contract for PR "end-to-end
+//    deadlines & cooperative cancellation");
+//  * Service-level deadline drops at pop, overload shedding, the
+//    cancel-vs-pop race, watchdog reason plumbing, and drain(kFlushQueued)
+//    racing a mid-evaluation unwind.
+// Rides in plfoc_service_tests (`ctest -L service`) so the sanitizer
+// matrix — TSan above all — covers every path.
+#include "util/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "ooc/audit.hpp"
+#include "service/service.hpp"
+#include "sim/dataset_planner.hpp"
+#include "util/checks.hpp"
+
+namespace plfoc {
+namespace {
+
+PlannedDataset cancel_dataset(std::uint64_t seed = 5) {
+  DatasetPlan plan;
+  plan.num_taxa = 16;
+  plan.num_sites = 80;
+  plan.seed = seed;
+  return make_dna_dataset(plan);
+}
+
+SessionOptions ooc_options(double fraction = 0.3) {
+  SessionOptions options;
+  options.backend = Backend::kOutOfCore;
+  options.ram_fraction = fraction;
+  options.threads = 1;  // serial: check() count is deterministic
+  return options;
+}
+
+double inram_reference(std::uint64_t seed = 5) {
+  PlannedDataset data = cancel_dataset(seed);
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr(), SessionOptions{});
+  return session.evaluate().log_likelihood;
+}
+
+JobSpec service_job(std::uint64_t seed, Backend backend,
+                    double fraction = 0.0) {
+  PlannedDataset data = cancel_dataset(seed);
+  JobSpec spec{"", std::move(data.alignment), std::move(data.tree),
+               benchmark_gtr(), SessionOptions{}, ""};
+  spec.session.backend = backend;
+  spec.session.ram_fraction = fraction;
+  spec.session.seed = seed;
+  return spec;
+}
+
+/// A spec slow enough (tens of ms) that a cancel issued right after the
+/// worker pops it lands mid-evaluation, not after completion.
+JobSpec slow_service_job(std::uint64_t seed) {
+  DatasetPlan plan;
+  plan.num_taxa = 48;
+  plan.num_sites = 600;
+  plan.seed = seed;
+  PlannedDataset data = make_dna_dataset(plan);
+  JobSpec spec{"", std::move(data.alignment), std::move(data.tree),
+               benchmark_gtr(), SessionOptions{}, ""};
+  spec.session.backend = Backend::kOutOfCore;
+  spec.session.ram_fraction = 0.1;
+  spec.session.seed = seed;
+  return spec;
+}
+
+// ------------------------------------------------------------ CancelToken
+
+TEST(CancelToken, NullTokenIsInertEverywhere) {
+  CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.expired());
+  EXPECT_FALSE(token.cancelled_or_expired());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+  EXPECT_EQ(token.progress(), 0u);
+  token.cancel();                     // no-op, no crash
+  EXPECT_NO_THROW(token.check());     // the free fast path
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, FirstTripReasonWins) {
+  CancelToken token = CancelToken::make();
+  token.cancel(CancelReason::kWatchdog);
+  token.cancel(CancelReason::kExplicit);  // too late: reason already set
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kWatchdog);
+  try {
+    token.check();
+    FAIL() << "check() must throw on a tripped token";
+  } catch (const CancelledError& error) {
+    EXPECT_EQ(error.reason(), CancelReason::kWatchdog);
+    EXPECT_NE(std::string(error.what()).find("watchdog"), std::string::npos);
+  }
+}
+
+TEST(CancelToken, ExpiredDeadlineTripsAsDeadline) {
+  CancelToken token = CancelToken::with_deadline(0.0);
+  EXPECT_TRUE(token.expired());
+  EXPECT_FALSE(token.cancelled());  // not tripped until observed
+  EXPECT_TRUE(token.cancelled_or_expired());  // advisory observation trips
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+  EXPECT_THROW(token.check(), CancelledError);
+}
+
+TEST(CancelToken, FutureDeadlineDoesNotFire) {
+  CancelToken token = CancelToken::with_deadline(3600.0);
+  EXPECT_FALSE(token.expired());
+  EXPECT_FALSE(token.cancelled_or_expired());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(CancelToken, TripAtFiresOnTheProgressCounter) {
+  CancelToken token = CancelToken::make();
+  token.set_trip_at(3);
+  EXPECT_NO_THROW(token.check());  // progress 1
+  EXPECT_NO_THROW(token.check());  // progress 2
+  EXPECT_THROW(token.check(), CancelledError);  // progress 3: trips
+  EXPECT_EQ(token.progress(), 3u);
+  EXPECT_EQ(token.reason(), CancelReason::kExplicit);
+}
+
+TEST(CancelToken, SharedStateAcrossCopies) {
+  CancelToken token = CancelToken::make();
+  CancelToken copy = token;
+  copy.cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+// -------------------------------------------------------- Session unwind
+
+TEST(SessionCancel, TripSweepUnwindsCleanAndReevaluatesBitIdentical) {
+  // The acceptance contract, hammered across trip points that land in
+  // different phases of the traversal: the cancelled evaluation throws the
+  // typed error, the store's counters still satisfy every StoreAuditor
+  // identity, and — after replacing the tripped token — the SAME session
+  // re-evaluates to the bit-identical in-RAM reference (the steps the
+  // unwind invalidated are recomputed, nothing half-done survives).
+  const double reference = inram_reference();
+  for (const std::uint64_t trip : {1ull, 2ull, 3ull, 5ull, 8ull, 13ull,
+                                   21ull, 34ull, 55ull, 89ull}) {
+    SCOPED_TRACE("trip_at=" + std::to_string(trip));
+    CancelToken token = CancelToken::make();
+    token.set_trip_at(trip);
+    SessionOptions options = ooc_options();
+    options.cancel = token;
+    PlannedDataset data = cancel_dataset();
+    Session session(std::move(data.alignment), std::move(data.tree),
+                    benchmark_gtr(), std::move(options));
+    bool cancelled = false;
+    try {
+      const double done = session.evaluate().log_likelihood;
+      // trip_at beyond the evaluation's total check count: completes.
+      EXPECT_EQ(done, reference);
+    } catch (const CancelledError& error) {
+      cancelled = true;
+      EXPECT_EQ(error.reason(), CancelReason::kExplicit);
+    }
+    if (trip == 1) {
+      EXPECT_TRUE(cancelled) << "first check must trip";
+    }
+    StoreAuditor auditor(1, 1);
+    const auto violation = auditor.check_stats(session.stats());
+    EXPECT_FALSE(violation.has_value()) << *violation;
+    // A tripped token cannot be un-tripped: swap in a null one and rerun.
+    session.set_cancel_token(CancelToken());
+    EXPECT_EQ(session.evaluate().log_likelihood, reference);
+  }
+}
+
+TEST(SessionCancel, ExpiredDeadlineUnwindsAsDeadlineReason) {
+  SessionOptions options = ooc_options();
+  options.cancel = CancelToken::with_deadline(0.0);
+  PlannedDataset data = cancel_dataset();
+  Session session(std::move(data.alignment), std::move(data.tree),
+                  benchmark_gtr(), std::move(options));
+  try {
+    session.evaluate();
+    FAIL() << "an already-expired deadline must trip the first check";
+  } catch (const CancelledError& error) {
+    EXPECT_EQ(error.reason(), CancelReason::kDeadline);
+  }
+  session.set_cancel_token(CancelToken());
+  EXPECT_EQ(session.evaluate().log_likelihood, inram_reference());
+}
+
+TEST(SessionCancel, ThreadedKernelPoolUnwindsAndRecovers) {
+  // threads > 1: the trip lands inside the kernel pool's block claims; the
+  // unwind must cross the pool back to the calling thread and leave both
+  // the pool and the store reusable.
+  const double reference = inram_reference();
+  for (const std::uint64_t trip : {5ull, 40ull}) {
+    SCOPED_TRACE("trip_at=" + std::to_string(trip));
+    CancelToken token = CancelToken::make();
+    token.set_trip_at(trip);
+    SessionOptions options = ooc_options();
+    options.threads = 4;
+    options.cancel = token;
+    PlannedDataset data = cancel_dataset();
+    Session session(std::move(data.alignment), std::move(data.tree),
+                    benchmark_gtr(), std::move(options));
+    try {
+      EXPECT_EQ(session.evaluate().log_likelihood, reference);
+    } catch (const CancelledError&) {
+    }
+    session.set_cancel_token(CancelToken());
+    EXPECT_EQ(session.evaluate().log_likelihood, reference);
+  }
+}
+
+TEST(SessionCancel, TieredAndPagedBackendsUnwindToo) {
+  for (const Backend backend : {Backend::kTiered, Backend::kPaged}) {
+    SCOPED_TRACE(static_cast<int>(backend));
+    CancelToken token = CancelToken::make();
+    token.set_trip_at(4);
+    SessionOptions options;
+    options.backend = backend;
+    if (backend == Backend::kPaged) options.ram_budget_bytes = 1 << 18;
+    if (backend == Backend::kTiered) {
+      options.tiered_fast_slots = 4;
+      options.tiered_ram_slots = 8;
+    }
+    options.cancel = token;
+    PlannedDataset data = cancel_dataset();
+    Session session(std::move(data.alignment), std::move(data.tree),
+                    benchmark_gtr(), std::move(options));
+    EXPECT_THROW(session.evaluate(), CancelledError);
+    session.set_cancel_token(CancelToken());
+    EXPECT_EQ(session.evaluate().log_likelihood, inram_reference());
+  }
+}
+
+// ------------------------------------------------------ Service plumbing
+
+TEST(ServiceCancel, DeadlineExpiredWhileQueuedDropsAtPop) {
+  // Deadlines so short they expire before the worker can pop: every job is
+  // dropped at pop with the typed status — no Session ever built — and
+  // on_complete fires for each.
+  std::atomic<int> completions{0};
+  ServiceOptions options;
+  options.workers = 1;
+  options.on_complete = [&](const JobResult&) { ++completions; };
+  Service service(options);
+  std::vector<JobId> ids;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    JobSpec spec = service_job(seed, Backend::kInRam);
+    spec.deadline_seconds = 1e-9;
+    ids.push_back(service.submit(std::move(spec)));
+  }
+  for (const JobId id : ids) {
+    const JobResult result = service.wait(id);
+    EXPECT_EQ(result.status, JobStatus::kDeadlineExceeded);
+    EXPECT_EQ(result.cancel_reason, CancelReason::kDeadline);
+    EXPECT_NE(result.error.find("deadline"), std::string::npos);
+    EXPECT_EQ(result.log_likelihood, 0.0);  // never evaluated
+  }
+  service.drain();
+  EXPECT_EQ(completions.load(), 3);
+  const auto tenants = service.tenant_stats();
+  EXPECT_EQ(tenants.at("").expired, 3u);
+}
+
+TEST(ServiceCancel, ShedQueueBudgetRejectsEverythingWhenTiny) {
+  // A shed budget below any realistic pop latency: deterministic full shed.
+  ServiceOptions options;
+  options.workers = 1;
+  options.shed_queue_seconds = 1e-9;
+  Service service(options);
+  std::vector<JobId> ids;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    ids.push_back(service.submit(service_job(seed, Backend::kInRam)));
+  for (const JobId id : ids) {
+    const JobResult result = service.wait(id);
+    EXPECT_EQ(result.status, JobStatus::kOverloaded);
+    EXPECT_EQ(result.cancel_reason, CancelReason::kNone);  // not a trip
+    EXPECT_NE(result.error.find("overload"), std::string::npos);
+  }
+  service.drain();
+  EXPECT_EQ(service.tenant_stats().at("").shed, 3u);
+}
+
+TEST(ServiceCancel, DeterministicMidEvaluationCancelThenCleanRerun) {
+  // trip_at through the service: the job's own token trips at a fixed
+  // check count mid-evaluation, the worker reports the typed status with
+  // identity-clean stats, and resubmitting the identical spec (fresh
+  // token) evaluates bit-identically to the in-RAM reference.
+  const double reference = inram_reference(7);
+  ServiceOptions options;
+  options.workers = 1;
+  Service service(options);
+
+  JobSpec doomed = service_job(7, Backend::kOutOfCore, 0.3);
+  doomed.session.cancel = CancelToken::make();
+  doomed.session.cancel.set_trip_at(12);
+  const JobId cancelled_id = service.submit(std::move(doomed));
+  const JobResult cancelled = service.wait(cancelled_id);
+  EXPECT_EQ(cancelled.status, JobStatus::kCancelled);
+  EXPECT_EQ(cancelled.cancel_reason, CancelReason::kExplicit);
+  EXPECT_NE(cancelled.error.find("cancelled"), std::string::npos);
+  StoreAuditor auditor(1, 1);
+  const auto violation = auditor.check_stats(cancelled.stats);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+
+  const JobId clean_id =
+      service.submit(service_job(7, Backend::kOutOfCore, 0.3));
+  const JobResult clean = service.wait(clean_id);
+  EXPECT_EQ(clean.status, JobStatus::kDone);
+  EXPECT_EQ(clean.log_likelihood, reference);
+  service.drain();
+}
+
+TEST(ServiceCancel, CancelRacingTheWorkerPopNeverReturnsFalseForLiveJobs) {
+  // The regression this PR closes: cancel() used to return false when the
+  // worker had already popped the job (not in the queue, not terminal).
+  // Now that window trips the token instead. Race it repeatedly: cancel()
+  // must return true whenever the job was not yet terminal, and the result
+  // must read kCancelled or (when the finish line won) kDone.
+  for (int round = 0; round < 8; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    ServiceOptions options;
+    options.workers = 1;
+    Service service(options);
+    const JobId id = service.submit(slow_service_job(100 + round));
+    // Wait for the pop — the historical false-return window.
+    while (service.queued_jobs() != 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    const bool accepted = service.cancel(id);
+    const JobResult result = service.wait(id);
+    if (result.status == JobStatus::kCancelled) {
+      EXPECT_TRUE(accepted);
+      EXPECT_EQ(result.cancel_reason, CancelReason::kExplicit);
+      StoreAuditor auditor(1, 1);
+      const auto violation = auditor.check_stats(result.stats);
+      EXPECT_FALSE(violation.has_value()) << *violation;
+    } else {
+      // The evaluation crossed the finish line first: kDone is the
+      // documented best-effort outcome, and cancel() may have returned
+      // either way depending on which side of terminal it observed.
+      EXPECT_EQ(result.status, JobStatus::kDone);
+    }
+    service.drain();
+  }
+}
+
+TEST(ServiceCancel, WatchdogReasonPlumbsThroughTheUnwind) {
+  // Trip a running job's token with kWatchdog by hand (the deterministic
+  // stand-in for a frozen progress counter) and check the reason survives
+  // to the JobResult.
+  ServiceOptions options;
+  options.workers = 1;
+  Service service(options);
+  JobSpec spec = slow_service_job(11);
+  CancelToken token = CancelToken::make();
+  spec.session.cancel = token;
+  const JobId id = service.submit(std::move(spec));
+  // Wait until the evaluation is demonstrably under way...
+  while (token.progress() < 5)
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  token.cancel(CancelReason::kWatchdog);
+  const JobResult result = service.wait(id);
+  ASSERT_EQ(result.status, JobStatus::kCancelled);
+  EXPECT_EQ(result.cancel_reason, CancelReason::kWatchdog);
+  EXPECT_NE(result.error.find("watchdog"), std::string::npos);
+  service.drain();
+}
+
+TEST(ServiceCancel, WatchdogDoesNotKillJobsThatMakeProgress) {
+  // A generous stall budget and live jobs: zero false positives even under
+  // sanitizer slowdowns, because every check() bumps progress.
+  ServiceOptions options;
+  options.workers = 2;
+  options.watchdog_stall_seconds = 30.0;
+  Service service(options);
+  std::vector<JobId> ids;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed)
+    ids.push_back(service.submit(service_job(seed, Backend::kOutOfCore, 0.3)));
+  for (const JobId id : ids)
+    EXPECT_EQ(service.wait(id).status, JobStatus::kDone);
+  service.drain();
+}
+
+TEST(ServiceCancel, DrainFlushQueuedWhileACancelledJobUnwinds) {
+  // drain(kFlushQueued) racing a mid-evaluation cancel: the running job
+  // unwinds as kCancelled (or finishes kDone), the queued backlog flushes
+  // as kCancelled, the report's per-tenant counts cover every job, and the
+  // cancelled job's stats stay identity-clean.
+  ServiceOptions options;
+  options.workers = 1;
+  Service service(options);
+  JobSpec running = slow_service_job(21);
+  CancelToken token = CancelToken::make();
+  running.session.cancel = token;
+  const JobId running_id = service.submit(std::move(running));
+  while (token.progress() < 5)
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  std::vector<JobId> queued;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    queued.push_back(service.submit(service_job(seed, Backend::kInRam)));
+  token.cancel(CancelReason::kExplicit);
+  const DrainReport report = service.drain(DrainMode::kFlushQueued);
+  ASSERT_EQ(report.results.size(), 4u);
+
+  const JobResult head = service.wait(running_id);
+  EXPECT_TRUE(head.status == JobStatus::kCancelled ||
+              head.status == JobStatus::kDone);
+  if (head.status == JobStatus::kCancelled) {
+    StoreAuditor auditor(1, 1);
+    const auto violation = auditor.check_stats(head.stats);
+    EXPECT_FALSE(violation.has_value()) << *violation;
+  }
+  for (const JobId id : queued)
+    EXPECT_EQ(service.wait(id).status, JobStatus::kCancelled);
+  std::uint64_t accounted = 0;
+  for (const auto& [tenant, counts] : report.per_tenant)
+    accounted += counts.completed + counts.failed + counts.cancelled +
+                 counts.expired + counts.shed;
+  EXPECT_EQ(accounted, report.results.size());
+  EXPECT_EQ(report.unsent_frames, 0u);  // in-process drains have no outbox
+}
+
+TEST(ServiceCancel, DeadlineMidEvaluationReportsDeadlineExceeded) {
+  // Arm an already-past deadline on the running job's token once the
+  // evaluation is demonstrably under way (the deterministic stand-in for a
+  // deadline elapsing mid-run): the very next check point trips kDeadline,
+  // and the unwind must surface as kDeadlineExceeded — not plain
+  // kCancelled.
+  ServiceOptions options;
+  options.workers = 1;
+  Service service(options);
+  JobSpec spec = slow_service_job(31);
+  CancelToken token = CancelToken::make();
+  spec.session.cancel = token;
+  const JobId id = service.submit(std::move(spec));
+  while (token.progress() < 5)
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  token.set_deadline_after(-1.0);
+  const JobResult result = service.wait(id);
+  EXPECT_EQ(result.status, JobStatus::kDeadlineExceeded);
+  EXPECT_EQ(result.cancel_reason, CancelReason::kDeadline);
+  EXPECT_NE(result.error.find("deadline"), std::string::npos);
+  service.drain();
+}
+
+}  // namespace
+}  // namespace plfoc

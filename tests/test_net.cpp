@@ -156,6 +156,67 @@ TEST(Protocol, StatsAndErrorAndPingRoundTrip) {
             11u);
 }
 
+// -------------------------------------------------- version compatibility
+
+TEST(Protocol, V2SubmitCarriesTheDeadline) {
+  SubmitRequest msg = sample_submit();
+  msg.deadline_ms = 2500;
+  const std::vector<std::uint8_t> bytes = encode_submit_request(msg);
+  const Frame frame = frame_of(bytes);
+  EXPECT_EQ(frame.version, kProtocolVersion);
+  EXPECT_EQ(decode_submit_request(frame).deadline_ms, 2500u);
+}
+
+TEST(Protocol, DeadlineSecondsRoundUpToWholeMilliseconds) {
+  // A positive sub-millisecond deadline must survive the wire's ms
+  // granularity as 1 ms, not truncate to 0 = "no deadline".
+  EXPECT_EQ(deadline_ms_from_seconds(0.0), 0u);
+  EXPECT_EQ(deadline_ms_from_seconds(-1.0), 0u);
+  EXPECT_EQ(deadline_ms_from_seconds(1e-6), 1u);
+  EXPECT_EQ(deadline_ms_from_seconds(0.001), 1u);
+  EXPECT_EQ(deadline_ms_from_seconds(0.0011), 2u);
+  EXPECT_EQ(deadline_ms_from_seconds(2.5), 2500u);
+}
+
+TEST(Protocol, V1PeersInteroperateWithoutDeadlines) {
+  // An old client encodes at v1: the frame carries no deadline field, and
+  // a current decoder reads it as "no deadline" — every other field
+  // survives unchanged. This is the backward-compatibility contract the
+  // version bump promised.
+  SubmitRequest msg = sample_submit();
+  msg.deadline_ms = 2500;  // the v1 encoder must NOT serialise this
+  const std::vector<std::uint8_t> bytes = encode_submit_request(msg, 1);
+  const Frame frame = frame_of(bytes);
+  EXPECT_EQ(frame.version, 1u);
+  const SubmitRequest back = decode_submit_request(frame);
+  EXPECT_EQ(back.deadline_ms, 0u);
+  EXPECT_EQ(back.tenant, msg.tenant);
+  EXPECT_EQ(back.tree_v, msg.tree_v);
+  EXPECT_EQ(back.taxa_digest, msg.taxa_digest);
+
+  // v1 control frames stay accepted too.
+  const Frame ping = frame_of(encode_frame(MessageType::kPing, {}, 1));
+  EXPECT_EQ(ping.type, MessageType::kPing);
+  EXPECT_EQ(ping.version, 1u);
+}
+
+TEST(Protocol, StatsRowsCarryExpiredAndShedCounts) {
+  StatsResponse stats;
+  stats.request_id = 8;
+  StatsResponse::TenantRow row;
+  row.tenant = "t";
+  row.submitted = 10;
+  row.completed = 6;
+  row.expired = 3;
+  row.shed = 1;
+  stats.tenants.push_back(row);
+  const StatsResponse back = decode_stats_response(
+      frame_of(encode_stats_response(stats)));
+  ASSERT_EQ(back.tenants.size(), 1u);
+  EXPECT_EQ(back.tenants[0].expired, 3u);
+  EXPECT_EQ(back.tenants[0].shed, 1u);
+}
+
 // --------------------------------------------------------- framing errors
 
 ProtocolError::Kind decode_kind(const std::vector<std::uint8_t>& bytes) {
@@ -185,6 +246,13 @@ TEST(Framing, BadMagicBadVersionBadTypeOversized) {
   bad = good;
   bad[6] = 0x7f;  // type 0x7f: unknown
   EXPECT_EQ(decode_kind(bad), ProtocolError::Kind::kBadType);
+
+  // The very next version after the current one is rejected typed — the
+  // forward edge of the [kMinProtocolVersion, kProtocolVersion] window.
+  bad = good;
+  const std::uint16_t future = kProtocolVersion + 1;
+  std::memcpy(&bad[4], &future, sizeof(future));
+  EXPECT_EQ(decode_kind(bad), ProtocolError::Kind::kBadVersion);
 
   bad = good;
   bad[8] = 0xff;  // payload length 0xffffffff
@@ -558,6 +626,68 @@ TEST_F(LoopbackFixture, BadSubmissionsGetTypedErrorsNotCrashes) {
   ASSERT_TRUE(good.result.has_value());
   EXPECT_EQ(good.result->status, static_cast<std::uint8_t>(JobStatus::kDone));
   server.stop();
+}
+
+TEST_F(LoopbackFixture, DeadlineOverTheWireGetsTheTypedFlagAndStatsRow) {
+  // A heavy job (hundreds of traversal steps, several ms) submitted with a
+  // 1 ms deadline: whether it expires queued or mid-evaluation, the wire
+  // must report JobStatus::kDeadlineExceeded plus the v2 result flag, and
+  // the tenant's stats row must count it as expired. The same connection
+  // then evaluates a deadline-free job fine — the drop cost nothing.
+  DatasetPlan plan;
+  plan.num_taxa = 48;
+  plan.num_sites = 600;
+  plan.seed = 31;
+  PlannedDataset heavy = make_dna_dataset(plan);
+  const std::string heavy_msa = tmp_path("heavy.fasta");
+  const std::string heavy_tree = tmp_path("heavy.nwk");
+  write_fasta_file(heavy_msa, heavy.alignment);
+  write_newick_file(heavy_tree, heavy.tree);
+
+  Server server(loopback_options(0));
+  server.start();
+  BlockingClient client("127.0.0.1", server.port());
+
+  JobFileEntry entry;
+  entry.msa_path = heavy_msa;
+  entry.tree_path = heavy_tree;
+  entry.model = "gtr";
+  entry.backend = "ooc";
+  entry.ram_fraction = 0.1;
+  entry.deadline_seconds = 0.001;
+  SubmitRequest request = submit_request_from_entry(entry, "dl", 1);
+  EXPECT_EQ(request.deadline_ms, 1u);  // jobfile seconds -> wire ms
+  client.submit(request);
+  const ClientResponse doomed = client.wait(1);
+  ASSERT_TRUE(doomed.result.has_value())
+      << (doomed.error ? doomed.error->message : "no response");
+  EXPECT_EQ(doomed.result->status,
+            static_cast<std::uint8_t>(JobStatus::kDeadlineExceeded))
+      << doomed.result->error;
+  EXPECT_TRUE(doomed.result->flags & kResultDeadlineExceeded);
+  EXPECT_NE(doomed.result->error.find("deadline"), std::string::npos);
+
+  entry.deadline_seconds = 0;
+  client.submit(submit_request_from_entry(entry, "dl", 2));
+  const ClientResponse fine = client.wait(2);
+  ASSERT_TRUE(fine.result.has_value());
+  EXPECT_EQ(fine.result->status, static_cast<std::uint8_t>(JobStatus::kDone))
+      << fine.result->error;
+
+  const StatsResponse stats = client.stats(3);
+  bool found = false;
+  for (const StatsResponse::TenantRow& row : stats.tenants) {
+    if (row.tenant != "dl") continue;
+    found = true;
+    EXPECT_EQ(row.expired, 1u);
+    EXPECT_EQ(row.completed, 1u);
+  }
+  EXPECT_TRUE(found) << "tenant dl missing from the stats response";
+
+  const DrainReport report = server.stop();
+  EXPECT_EQ(report.per_tenant.at("dl").expired, 1u);
+  std::remove(heavy_msa.c_str());
+  std::remove(heavy_tree.c_str());
 }
 
 TEST_F(LoopbackFixture, GarbageBytesCostOnlyThatConnection) {

@@ -553,6 +553,25 @@ TEST(Jobfile, RejectsMalformedLinesWithLineNumbers) {
                "expected one of: random, lru, lfu, topological");
 }
 
+TEST(Jobfile, DeadlineKeyParsesAndRejectsNegative) {
+  std::istringstream in(
+      "a.fasta t.nwk gtr ooc 0.25 deadline=1.5\n"
+      "b.fasta t.nwk gtr inram -\n");
+  const std::vector<JobFileEntry> entries = parse_job_lines(in);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].deadline_seconds, 1.5);
+  EXPECT_EQ(entries[1].deadline_seconds, 0.0);  // default: no deadline
+
+  std::istringstream bad("a.fasta t.nwk gtr ooc 0.25 deadline=-1\n");
+  try {
+    parse_job_lines(bad);
+    FAIL() << "negative deadline accepted";
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find(">= 0"), std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(Jobfile, PolicyNamesAreCaseInsensitive) {
   std::istringstream in("a.fasta t.nwk gtr ooc 0.25 strategy=LRU\n");
   const std::vector<JobFileEntry> entries = parse_job_lines(in);
